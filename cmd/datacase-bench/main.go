@@ -1,0 +1,131 @@
+// Command datacase-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	datacase-bench -exp all                    # everything, quick scale
+//	datacase-bench -exp fig4a -records 100000  # one experiment, custom scale
+//	datacase-bench -exp table2 -paper          # paper-scale parameters
+//	datacase-bench -exp fig4b -csv             # CSV series output
+//
+// Experiments: table1, fig3, fig4a, fig4b, fig4c, table2, deleteonly, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/datacase/datacase"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1|fig3|fig4a|fig4b|fig4c|table2|deleteonly|all")
+		records = flag.Int("records", 0, "records (0 = scale default)")
+		txns    = flag.Int("txns", 0, "transactions (0 = scale default)")
+		paper   = flag.Bool("paper", false, "use the paper's scale (100k records; slower)")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		csv     = flag.Bool("csv", false, "emit figures as CSV instead of tables")
+		factor  = flag.Int("fig4a-divisor", 5, "divide fig4a's 10K-70K txn sweep by this (1 = paper sweep)")
+	)
+	flag.Parse()
+
+	scale := datacase.DefaultScale()
+	if *paper {
+		scale = datacase.PaperScale()
+		*factor = 1
+	}
+	if *records > 0 {
+		scale.Records = *records
+	}
+	if *txns > 0 {
+		scale.Txns = *txns
+	}
+	scale.Seed = *seed
+
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if run("table1") {
+		ran = true
+		rows, err := datacase.Table1()
+		fail(err)
+		fmt.Println(datacase.RenderTable1(rows))
+	}
+	if run("fig3") {
+		ran = true
+		lines, err := datacase.Fig3Timeline()
+		fail(err)
+		fmt.Println("Figure 3: data erasure timeline (scheduler-driven)")
+		fmt.Println(strings.Join(lines, "\n"))
+		fmt.Println()
+	}
+	if run("fig4a") {
+		ran = true
+		fmt.Printf("running fig4a (records=%d, txn sweep 10K-70K ÷%d)...\n", scale.Records, *factor)
+		fig, err := datacase.Fig4a(scale, *factor)
+		fail(err)
+		render(fig, nil, *csv)
+	}
+	if run("fig4b") {
+		ran = true
+		fmt.Printf("running fig4b (records=%d, txns=%d)...\n", scale.Records, scale.Txns)
+		fig, err := datacase.Fig4b(scale)
+		fail(err)
+		render(fig, datacase.Fig4bWorkloads(), *csv)
+	}
+	if run("fig4c") {
+		ran = true
+		fmt.Printf("running fig4c (records sweep %d-%d, txns=%d)...\n",
+			scale.Records, scale.Records*5, scale.Txns)
+		lines, bars, err := datacase.Fig4c(scale)
+		fail(err)
+		render(lines, nil, *csv)
+		render(bars, nil, *csv)
+	}
+	if run("table2") {
+		ran = true
+		fmt.Printf("running table2 (records=%d, txns=%d, WCus)...\n", scale.Records, scale.Txns)
+		reports, err := datacase.Table2(scale)
+		fail(err)
+		fmt.Println("Table 2: storage space overhead")
+		for _, r := range reports {
+			fmt.Printf("  %s\n", r)
+		}
+		fmt.Println()
+	}
+	if run("deleteonly") {
+		ran = true
+		fmt.Printf("running delete-only footnote (records=%d)...\n", scale.Records)
+		for _, s := range []datacase.EraseStrategy{datacase.StratDelete, datacase.StratVacuum} {
+			r, err := datacase.RunDeleteOnlyWorkload(s, scale.Records, scale.Seed)
+			fail(err)
+			fmt.Printf("  %s\n", r)
+		}
+		fmt.Println("  (expected: plain DELETE wins on a delete-only workload — the paper's footnote)")
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func render(fig datacase.Figure, xnames []string, csv bool) {
+	if csv {
+		fmt.Println(fig.Title)
+		fmt.Print(datacase.RenderFigureCSV(fig))
+	} else {
+		fmt.Print(datacase.RenderFigure(fig, xnames))
+	}
+	fmt.Println()
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datacase-bench:", err)
+		os.Exit(1)
+	}
+}

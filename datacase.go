@@ -1,0 +1,355 @@
+// Package datacase is the public API of the Data-CASE reproduction: a
+// formal framework for grounding data regulations (GDPR and kin) into
+// checkable invariants and concrete system-actions, plus the complete
+// experimental stack of the paper (EDBT 2024, arXiv:2308.07501).
+//
+// The model (data units, policies, actions, histories, invariants,
+// groundings) lives in internal/core and is re-exported here; the
+// substrates (a PostgreSQL-like heap engine, an LSM engine with
+// tombstones, policy engines, audit loggers, crypto, provenance, the
+// erasure engine) live under internal/ and are reachable through the
+// compliance profiles and the experiment runners below.
+//
+// Quick start:
+//
+//	db, err := datacase.OpenProfile(datacase.PBase())
+//	...
+//	report, err := db.Audit(datacase.DefaultGDPRInvariants())
+package datacase
+
+import (
+	"github.com/datacase/datacase/internal/benchx"
+	"github.com/datacase/datacase/internal/compliance"
+	"github.com/datacase/datacase/internal/core"
+	"github.com/datacase/datacase/internal/erasure"
+	"github.com/datacase/datacase/internal/gdprbench"
+	"github.com/datacase/datacase/internal/ycsb"
+)
+
+// ---- Formal model (Data-CASE concepts, §2 of the paper) ----
+
+// Core model types.
+type (
+	// Time is the logical timestamp of the model.
+	Time = core.Time
+	// Clock issues monotone logical timestamps.
+	Clock = core.Clock
+	// Entity is a data subject, controller, processor or auditor.
+	Entity = core.Entity
+	// EntityID identifies an entity.
+	EntityID = core.EntityID
+	// EntityRole classifies entities.
+	EntityRole = core.EntityRole
+	// Purpose names a task data is processed for.
+	Purpose = core.Purpose
+	// PurposeSpec grounds a purpose into authorized actions.
+	PurposeSpec = core.PurposeSpec
+	// PurposeRegistry holds grounded purposes.
+	PurposeRegistry = core.PurposeRegistry
+	// Policy is ⟨purpose, entity, t_b, t_f⟩.
+	Policy = core.Policy
+	// PolicySet is the policy aspect of a data unit.
+	PolicySet = core.PolicySet
+	// DataUnit is X = (S, O, V, P).
+	DataUnit = core.DataUnit
+	// UnitID identifies a data unit.
+	UnitID = core.UnitID
+	// UnitKind is base/derived/metadata.
+	UnitKind = core.UnitKind
+	// UnitState is the snapshot X(t).
+	UnitState = core.UnitState
+	// Database is the model-level collection of units.
+	Database = core.Database
+	// Action is τ: an operation on data units.
+	Action = core.Action
+	// ActionKind classifies actions.
+	ActionKind = core.ActionKind
+	// HistoryTuple is (X, p, e, τ(X), t).
+	HistoryTuple = core.HistoryTuple
+	// History is the append-only action-history H.
+	History = core.History
+	// Invariant is a regulation requirement stated formally.
+	Invariant = core.Invariant
+	// InvariantSet is an ordered set of invariants.
+	InvariantSet = core.InvariantSet
+	// CheckContext is what invariants inspect.
+	CheckContext = core.CheckContext
+	// Violation is one invariant failure.
+	Violation = core.Violation
+	// Regulation is a taxonomy of articles (Figure 1).
+	Regulation = core.Regulation
+	// Article is one regulation article.
+	Article = core.Article
+	// RequirementCategory is a Figure-1 category.
+	RequirementCategory = core.RequirementCategory
+	// Concept is a groundable Data-CASE concept.
+	Concept = core.Concept
+	// Interpretation is one reading of a concept.
+	Interpretation = core.Interpretation
+	// SystemAction is a concrete engine operation.
+	SystemAction = core.SystemAction
+	// Grounding binds a concept to an interpretation and actions.
+	Grounding = core.Grounding
+	// GroundingRegistry records a deployment's groundings.
+	GroundingRegistry = core.GroundingRegistry
+	// ErasureInterpretation is one of the four erasure readings (§3.1).
+	ErasureInterpretation = core.ErasureInterpretation
+	// ErasureProperties are the IR/II/Inv characteristics.
+	ErasureProperties = core.ErasureProperties
+	// ErasureTimeline is the Figure-3 timeline.
+	ErasureTimeline = core.ErasureTimeline
+)
+
+// Entity roles.
+const (
+	RoleDataSubject = core.RoleDataSubject
+	RoleController  = core.RoleController
+	RoleProcessor   = core.RoleProcessor
+	RoleAuditor     = core.RoleAuditor
+	RoleRegulator   = core.RoleRegulator
+)
+
+// Unit kinds.
+const (
+	KindBase     = core.KindBase
+	KindDerived  = core.KindDerived
+	KindMetadata = core.KindMetadata
+)
+
+// Action kinds.
+const (
+	ActionCreate        = core.ActionCreate
+	ActionRead          = core.ActionRead
+	ActionWrite         = core.ActionWrite
+	ActionReadMetadata  = core.ActionReadMetadata
+	ActionWriteMetadata = core.ActionWriteMetadata
+	ActionStore         = core.ActionStore
+	ActionShare         = core.ActionShare
+	ActionDerive        = core.ActionDerive
+	ActionDelete        = core.ActionDelete
+	ActionErase         = core.ActionErase
+	ActionRestore       = core.ActionRestore
+	ActionConsent       = core.ActionConsent
+	ActionSanitize      = core.ActionSanitize
+)
+
+// Erasure interpretations in increasing strictness (§3.1).
+const (
+	EraseReversiblyInaccessible = core.EraseReversiblyInaccessible
+	EraseDelete                 = core.EraseDelete
+	EraseStrongDelete           = core.EraseStrongDelete
+	ErasePermanentDelete        = core.ErasePermanentDelete
+)
+
+// Regulation-defined purposes.
+const (
+	PurposeComplianceErase = core.PurposeComplianceErase
+	PurposeRetention       = core.PurposeRetention
+	PurposeAudit           = core.PurposeAudit
+)
+
+// Sentinel times.
+const (
+	TimeZero = core.TimeZero
+	TimeMax  = core.TimeMax
+)
+
+// Model constructors.
+var (
+	// NewDatabase returns an empty model database.
+	NewDatabase = core.NewDatabase
+	// NewHistory returns an empty action-history.
+	NewHistory = core.NewHistory
+	// NewDataUnit constructs a base or metadata unit.
+	NewDataUnit = core.NewDataUnit
+	// NewDerivedUnit constructs a derived unit from sources.
+	NewDerivedUnit = core.NewDerivedUnit
+	// NewPolicySet returns an empty policy set.
+	NewPolicySet = core.NewPolicySet
+	// NewEntityRegistry returns an empty entity directory.
+	NewEntityRegistry = core.NewEntityRegistry
+	// NewPurposeRegistry returns the default grounded purposes.
+	NewPurposeRegistry = core.NewPurposeRegistry
+	// NewGroundingRegistry returns an empty grounding registry.
+	NewGroundingRegistry = core.NewGroundingRegistry
+	// DeclareErasureInterpretations declares the four §3.1 readings.
+	DeclareErasureInterpretations = core.DeclareErasureInterpretations
+	// GDPR returns the Figure-1 article taxonomy.
+	GDPR = core.GDPR
+	// CCPA, VDPA and PIPEDA are the other implemented taxonomies
+	// (multinational scenarios, §4.3).
+	CCPA   = core.CCPA
+	VDPA   = core.VDPA
+	PIPEDA = core.PIPEDA
+	// Regulations returns every implemented taxonomy.
+	Regulations = core.Regulations
+	// NewBreachNotificationInvariant is G33/G34 (category VIII).
+	NewBreachNotificationInvariant = core.NewBreachNotificationInvariant
+	// Categories returns the Figure-1 categories.
+	Categories = core.Categories
+	// ErasureInterpretations returns the four readings in order.
+	ErasureInterpretations = core.ErasureInterpretations
+	// CharacteristicsOf returns Table 1's declared properties.
+	CharacteristicsOf = core.CharacteristicsOf
+	// PSQLSystemActions returns Table 1's system-action column.
+	PSQLSystemActions = core.PSQLSystemActions
+	// PolicyConsistent implements §2.1's lawfulness predicate.
+	PolicyConsistent = core.PolicyConsistent
+	// AuditUnit checks H(X) for policy consistency.
+	AuditUnit = core.AuditUnit
+	// AuditAll checks the whole history.
+	AuditAll = core.AuditAll
+	// DefaultGDPRInvariants returns G6, G17 and the Figure-1 set.
+	DefaultGDPRInvariants = core.DefaultGDPRInvariants
+	// NewInvariantSet builds an invariant set.
+	NewInvariantSet = core.NewInvariantSet
+	// NewLawfulProcessingInvariant is G6.
+	NewLawfulProcessingInvariant = core.NewLawfulProcessingInvariant
+	// NewErasureDeadlineInvariant is G17.
+	NewErasureDeadlineInvariant = core.NewErasureDeadlineInvariant
+)
+
+// ---- Compliance profiles and the DB facade (§4.2) ----
+
+type (
+	// Profile is a grounded interpretation of GDPR compliance.
+	Profile = compliance.Profile
+	// DB is a deployment of a profile over the storage stack.
+	DB = compliance.DB
+	// ComplianceReport is the outcome of an invariant audit.
+	ComplianceReport = compliance.Report
+	// SpaceReport is a Table-2 row.
+	SpaceReport = compliance.SpaceReport
+	// Metadata is the GDPR metadata block of a record.
+	Metadata = compliance.Metadata
+	// Record is a GDPRBench record.
+	Record = gdprbench.Record
+)
+
+// Deployment entities and purposes.
+const (
+	EntityController = compliance.EntityController
+	EntityProcessor  = compliance.EntityProcessor
+	EntitySubjectSvc = compliance.EntitySubjectSvc
+	EntitySystem     = compliance.EntitySystem
+
+	PurposeService       = compliance.PurposeService
+	PurposeProcessing    = compliance.PurposeProcessing
+	PurposeSubjectAccess = compliance.PurposeSubjectAccess
+)
+
+// Profile constructors and the DB opener.
+var (
+	// PBase is the least restrictive grounding (RBAC, CSV logs,
+	// AES-256, DELETE+VACUUM).
+	PBase = compliance.PBase
+	// PGBench stores policies in a separate joined table, logs all
+	// queries, encrypts at block level and deletes without vacuum.
+	PGBench = compliance.PGBench
+	// PSYS is the most restrictive grounding (Sieve-style FGAC,
+	// AES-128, encrypted logs with policy snapshots, DELETE+VACUUM FULL
+	// plus log erasure).
+	PSYS = compliance.PSYS
+	// Profiles returns the three paper profiles.
+	Profiles = compliance.Profiles
+	// OpenProfile builds a DB for a profile.
+	OpenProfile = compliance.Open
+	// ErrNotFound / ErrDenied are the DB's operation errors.
+	ErrNotFound = compliance.ErrNotFound
+	ErrDenied   = compliance.ErrDenied
+)
+
+// ---- Erasure engine (§3.1 grounding, Figure 3, Table 1) ----
+
+type (
+	// ErasureEngine executes grounded erasures.
+	ErasureEngine = erasure.Engine
+	// ErasureTarget bundles the stores an erasure touches.
+	ErasureTarget = erasure.Target
+	// ErasureReport describes an executed erasure.
+	ErasureReport = erasure.Report
+	// ErasureScheduler drives Figure-3 timelines.
+	ErasureScheduler = erasure.Scheduler
+	// Table1Row is a measured Table-1 row.
+	Table1Row = erasure.Table1Row
+)
+
+var (
+	// NewErasureEngine validates a target and returns an engine.
+	NewErasureEngine = erasure.NewEngine
+	// NewErasureScheduler binds a scheduler to an engine.
+	NewErasureScheduler = erasure.NewScheduler
+)
+
+// ---- Experiments (§4; Figures 3, 4(a)-(c); Tables 1-2) ----
+
+type (
+	// Scale sizes an experiment run.
+	Scale = benchx.Scale
+	// Figure is a rendered experiment result.
+	Figure = benchx.Figure
+	// RunResult is one workload execution result.
+	RunResult = benchx.RunResult
+	// EraseStrategy is a Figure-4(a) storage-level strategy.
+	EraseStrategy = benchx.EraseStrategy
+	// GDPRWorkload names a GDPRBench workload.
+	GDPRWorkload = gdprbench.WorkloadName
+	// YCSBWorkload names a YCSB workload.
+	YCSBWorkload = ycsb.WorkloadName
+)
+
+// Workload names.
+const (
+	WCon  = gdprbench.Controller
+	WPro  = gdprbench.Processor
+	WCus  = gdprbench.Customer
+	YCSBA = ycsb.WorkloadA
+	YCSBB = ycsb.WorkloadB
+	YCSBC = ycsb.WorkloadC
+)
+
+// Experiment entry points.
+var (
+	// DefaultScale is the quick-run configuration.
+	DefaultScale = benchx.DefaultScale
+	// PaperScale matches the paper's record/txn counts.
+	PaperScale = benchx.PaperScale
+	// Table1 regenerates Table 1 on a live system.
+	Table1 = benchx.Table1
+	// RenderTable1 renders Table 1.
+	RenderTable1 = benchx.RenderTable1
+	// Fig3Timeline walks a unit through the Figure-3 timeline.
+	Fig3Timeline = benchx.Fig3Timeline
+	// Fig4a regenerates Figure 4(a).
+	Fig4a = benchx.Fig4a
+	// Fig4b regenerates Figure 4(b).
+	Fig4b = benchx.Fig4b
+	// Fig4bWorkloads labels Figure 4(b)'s x-axis.
+	Fig4bWorkloads = benchx.Fig4bWorkloads
+	// Fig4c regenerates Figure 4(c).
+	Fig4c = benchx.Fig4c
+	// Table2 regenerates Table 2.
+	Table2 = benchx.Table2
+	// RenderFigure renders a figure as a fixed-width table.
+	RenderFigure = benchx.Render
+	// RenderFigureCSV renders a figure as CSV.
+	RenderFigureCSV = benchx.RenderCSV
+	// RunGDPRBench runs one profile × GDPRBench workload.
+	RunGDPRBench = benchx.RunGDPRBench
+	// RunYCSB runs one profile × YCSB workload.
+	RunYCSB = benchx.RunYCSB
+	// RunEraseStrategy runs one Figure-4(a) strategy.
+	RunEraseStrategy = benchx.RunEraseStrategy
+	// RunDeleteOnlyWorkload runs the paper's delete-only footnote case.
+	RunDeleteOnlyWorkload = benchx.RunDeleteOnlyWorkload
+	// EraseStrategies lists the Figure-4(a) strategies.
+	EraseStrategies = benchx.EraseStrategies
+)
+
+// Figure-4(a) strategies.
+const (
+	StratDelete     = benchx.StratDelete
+	StratVacuum     = benchx.StratVacuum
+	StratVacuumFull = benchx.StratVacuumFull
+	StratTombstone  = benchx.StratTombstone
+)

@@ -1,0 +1,196 @@
+// End-to-end tests of the public API surface: everything a downstream
+// user of the library touches, exercised through the facade only.
+package datacase_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/datacase/datacase"
+)
+
+func apiRecord(key, subject string) datacase.Record {
+	return datacase.Record{
+		Key: key, Subject: subject,
+		Payload:    []byte("obs|" + subject),
+		Purposes:   []string{"billing", "analytics"},
+		TTL:        1 << 40,
+		Processors: []string{"processor-a"},
+	}
+}
+
+func TestFacadeModelRoundTrip(t *testing.T) {
+	var clock datacase.Clock
+	db := datacase.NewDatabase()
+	unit := datacase.NewDataUnit("cc-1", datacase.KindBase, "alice", "signup")
+	now := clock.Tick()
+	unit.SetValue([]byte("secret"), now)
+	if err := unit.Grant(datacase.Policy{
+		Purpose: "billing", Entity: "acme", Begin: now, End: 100,
+	}, now); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add(unit); err != nil {
+		t.Fatal(err)
+	}
+	history := datacase.NewHistory()
+	history.MustAppend(datacase.HistoryTuple{
+		Unit: "cc-1", Purpose: "billing", Entity: "acme",
+		Action: datacase.Action{Kind: datacase.ActionRead}, At: clock.Tick(),
+	})
+	// The base definition of policy consistency (nil purposes registry).
+	tuple := history.Of("cc-1")[0]
+	if !datacase.PolicyConsistent(unit, tuple, nil) {
+		t.Fatal("consistent read judged inconsistent")
+	}
+	// G6 over the whole database with grounded purposes (billing is not
+	// grounded -> violation under the refined definition).
+	violations := datacase.DefaultGDPRInvariants().CheckAll(&datacase.CheckContext{
+		DB: db, History: history, Purposes: datacase.NewPurposeRegistry(), Now: clock.Now(),
+	})
+	if len(violations) == 0 {
+		t.Fatal("expected violations (ungrounded purpose, missing compliance-erase policy)")
+	}
+}
+
+func TestFacadeProfileLifecycle(t *testing.T) {
+	profile := datacase.PSYS()
+	profile.TrackModel = true
+	db, err := datacase.OpenProfile(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := apiRecord("user1", "alice")
+	if err := db.Create(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.ReadData(datacase.EntityController, datacase.PurposeService, "user1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, rec.Payload) {
+		t.Fatalf("read = %q", got)
+	}
+	// Derived record + strong-delete cascade through the facade.
+	err = db.Derive(datacase.EntityController, datacase.PurposeService, "derived1",
+		[]string{"user1"}, func(parents [][]byte) []byte { return parents[0] }, true, "copy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DeleteData(datacase.EntitySubjectSvc, "user1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ReadData(datacase.EntityController, datacase.PurposeService, "derived1"); !errors.Is(err, datacase.ErrNotFound) {
+		t.Fatalf("cascade missing: %v", err)
+	}
+	report, err := db.Audit(datacase.DefaultGDPRInvariants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Compliant() {
+		t.Fatalf("lifecycle broke compliance:\n%s", report)
+	}
+}
+
+func TestFacadeSubjectRights(t *testing.T) {
+	db, err := datacase.OpenProfile(datacase.PGBench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Create(apiRecord("user1", "alice")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Create(apiRecord("user2", "alice")); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := db.SubjectAccess("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("SAR = %d records", len(recs))
+	}
+	export, err := db.ExportPortable("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(export, []byte(`"subject": "alice"`)) {
+		t.Fatalf("export = %s", export)
+	}
+	if err := db.Object("user1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ReadData(datacase.EntityProcessor, datacase.PurposeProcessing, "user1"); !errors.Is(err, datacase.ErrDenied) {
+		t.Fatalf("objection not enforced: %v", err)
+	}
+}
+
+func TestFacadeErasureLattice(t *testing.T) {
+	interps := datacase.ErasureInterpretations()
+	if len(interps) != 4 {
+		t.Fatalf("interpretations = %v", interps)
+	}
+	if !datacase.ErasePermanentDelete.Implies(datacase.EraseDelete) {
+		t.Fatal("lattice broken")
+	}
+	props := datacase.CharacteristicsOf(datacase.EraseStrongDelete)
+	if props.IllegalInference || props.Invertible {
+		t.Fatalf("strong delete characteristics = %+v", props)
+	}
+	if datacase.PSQLSystemActions(datacase.ErasePermanentDelete) != "Not supported" {
+		t.Fatal("Table-1 action column wrong")
+	}
+}
+
+func TestFacadeRegulationTaxonomy(t *testing.T) {
+	g := datacase.GDPR()
+	a, ok := g.Article(17)
+	if !ok || a.Category.Numeral() != "V" {
+		t.Fatalf("Art. 17 = %+v, %v", a, ok)
+	}
+	if len(datacase.Categories()) != 9 {
+		t.Fatal("Figure-1 categories wrong")
+	}
+}
+
+func TestFacadeExperimentsSmall(t *testing.T) {
+	rows, err := datacase.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.Conforms {
+			t.Fatalf("%v does not conform", r.Interpretation)
+		}
+	}
+	res, err := datacase.RunGDPRBench(datacase.PBase(), datacase.WCus, 500, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no elapsed time")
+	}
+	if _, err := datacase.RunEraseStrategy(datacase.StratTombstone, 500, 300, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeGroundingRegistry(t *testing.T) {
+	reg := datacase.NewGroundingRegistry("test")
+	if err := datacase.DeclareErasureInterpretations(reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Choose("erasure", "delete",
+		datacase.SystemAction{System: "heap", Operation: "DELETE+VACUUM", Supported: true}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := reg.FullyGrounded(); !ok {
+		t.Fatal("not fully grounded")
+	}
+	for _, p := range datacase.Profiles() {
+		if _, ok := p.Groundings().Chosen("erasure"); !ok {
+			t.Fatalf("%s missing erasure grounding", p.Name)
+		}
+	}
+}

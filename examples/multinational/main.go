@@ -1,0 +1,107 @@
+// Multinational organizations (§4.3 of the paper): an organization
+// subject to several regulations grounds the same concept differently
+// per jurisdiction, and uses Data-CASE to make the mapping transparent —
+// which interpretation each region runs, with which system-actions, and
+// what that implies for data geo-location.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/datacase/datacase"
+)
+
+// jurisdiction describes one regional deployment.
+type jurisdiction struct {
+	name       string
+	regulation string
+	// strictest erasure interpretation the regulation demands.
+	erasure datacase.ErasureInterpretation
+	// retention horizon the regulation allows (logical ticks).
+	retention datacase.Time
+}
+
+func main() {
+	regions := []jurisdiction{
+		{"EU", "GDPR", datacase.EraseStrongDelete, 1000},
+		{"California", "CCPA", datacase.EraseDelete, 2000},
+		{"Virginia", "VDPA", datacase.EraseDelete, 2500},
+		{"Canada", "PIPEDA", datacase.EraseReversiblyInaccessible, 3000},
+	}
+
+	fmt.Println("per-jurisdiction groundings of the erasure concept:")
+	registries := make(map[string]*datacase.GroundingRegistry)
+	for _, r := range regions {
+		reg := datacase.NewGroundingRegistry(r.name + " deployment (" + r.regulation + ")")
+		if err := datacase.DeclareErasureInterpretations(reg); err != nil {
+			log.Fatal(err)
+		}
+		actions := systemActionsFor(r.erasure)
+		if err := reg.Choose("erasure", r.erasure.String(), actions...); err != nil {
+			log.Fatal(err)
+		}
+		registries[r.name] = reg
+		g, _ := reg.Chosen("erasure")
+		fmt.Printf("  %-11s %-7s erasure=%-26s actions=%v\n",
+			r.name, r.regulation, g.Interpretation.Name, g.Actions)
+	}
+
+	// Strictness reasoning: a single global deployment must satisfy the
+	// strictest jurisdiction it serves — or geo-partition the data.
+	strictest := regions[0]
+	for _, r := range regions[1:] {
+		if r.erasure.StricterThan(strictest.erasure) {
+			strictest = r
+		}
+	}
+	fmt.Printf("\na single global store must run %q erasure (%s's requirement),\n",
+		strictest.erasure, strictest.name)
+	fmt.Println("because achieving a stricter interpretation achieves all weaker ones:")
+	for _, r := range regions {
+		fmt.Printf("  %s-compliant via %s? %v\n",
+			r.regulation, strictest.erasure, strictest.erasure.Implies(r.erasure))
+	}
+
+	// Cost consequence of the decision (the paper: "help make decisions
+	// such as data geo-location ... and the consequences on services").
+	fmt.Println("\ncost of running every region at the strictest grounding vs geo-partitioned:")
+	strictRun, err := datacase.RunEraseStrategy(datacase.StratVacuumFull, 4000, 2000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	relaxedRun, err := datacase.RunEraseStrategy(datacase.StratVacuum, 4000, 2000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  global strictest (%s): %v\n", datacase.StratVacuumFull, strictRun.Elapsed)
+	fmt.Printf("  geo-partitioned EU-only strict, rest relaxed (%s): %v\n",
+		datacase.StratVacuum, relaxedRun.Elapsed)
+
+	// Retention: the earliest deadline wins globally.
+	earliest := regions[0]
+	for _, r := range regions[1:] {
+		if r.retention < earliest.retention {
+			earliest = r
+		}
+	}
+	fmt.Printf("\nglobal retention deadline: %s (%s), the earliest across jurisdictions\n",
+		earliest.retention, earliest.name)
+}
+
+func systemActionsFor(e datacase.ErasureInterpretation) []datacase.SystemAction {
+	switch e {
+	case datacase.EraseReversiblyInaccessible:
+		return []datacase.SystemAction{{System: "psql-like-heap", Operation: "Add new attribute", Supported: true}}
+	case datacase.EraseDelete:
+		return []datacase.SystemAction{{System: "psql-like-heap", Operation: "DELETE+VACUUM", Supported: true}}
+	case datacase.EraseStrongDelete:
+		return []datacase.SystemAction{
+			{System: "psql-like-heap", Operation: "DELETE+VACUUM FULL", Supported: true},
+			{System: "audit", Operation: "erase unit log entries", Supported: true},
+			{System: "provenance", Operation: "delete identifiable dependents", Supported: true},
+		}
+	default:
+		return []datacase.SystemAction{{System: "psql-like-heap", Operation: "sanitize", Supported: false}}
+	}
+}

@@ -1,0 +1,123 @@
+// Privacy Impact Assessment (§4.4 of the paper): GDPR Art. 35 requires
+// controllers to assess risks before processing. Data-CASE supports the
+// assessment by exposing, for each step of the processing pipeline, the
+// grounded concept, the system-actions implementing it, and their
+// properties — so risks (illegal reads, illegal inference, invertible
+// transformations, unsupported groundings) are identified before
+// deployment, and mitigations are concrete (choose a stricter
+// interpretation, retrofit a system-action).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/datacase/datacase"
+)
+
+// pipelineStep is one stage of the planned processing pipeline.
+type pipelineStep struct {
+	name    string
+	concept datacase.Concept
+	chosen  string
+	actions []datacase.SystemAction
+}
+
+func main() {
+	fmt.Println("Privacy Impact Assessment for: MetaSpace smart-space analytics")
+	fmt.Println("(planned processing: collect device observations, derive movement")
+	fmt.Println(" profiles, serve ads; erase on request)")
+	fmt.Println()
+
+	// Step 1: enumerate the pipeline with the proposed groundings.
+	steps := []pipelineStep{
+		{
+			name: "collection+consent", concept: "consent", chosen: "policy-grant",
+			actions: []datacase.SystemAction{{System: "policy-engine", Operation: "attach ⟨purpose,entity,window⟩", Supported: true}},
+		},
+		{
+			name: "storage", concept: "policy", chosen: "fgac",
+			actions: []datacase.SystemAction{{System: "sieve", Operation: "guarded per-unit policies", Supported: true}},
+		},
+		{
+			name: "derivation", concept: "history", chosen: "query-log",
+			actions: []datacase.SystemAction{{System: "audit", Operation: "log derive + provenance edge", Supported: true}},
+		},
+		{
+			name: "erasure", concept: "erasure", chosen: "delete",
+			actions: []datacase.SystemAction{{System: "psql-like-heap", Operation: "DELETE+VACUUM", Supported: true}},
+		},
+	}
+	reg := datacase.NewGroundingRegistry("PIA: proposed deployment")
+	if err := datacase.DeclareErasureInterpretations(reg); err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range steps {
+		if s.concept == "erasure" {
+			continue // declared above with the full lattice
+		}
+		if err := reg.Declare(datacase.Interpretation{Concept: s.concept, Name: s.chosen}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, s := range steps {
+		if err := reg.Choose(s.concept, s.chosen, s.actions...); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  step %-20s concept=%-8s grounding=%-12s actions=%v\n",
+			s.name, s.concept, s.chosen, s.actions)
+	}
+
+	// Step 2: risk identification — measure the proposed erasure
+	// grounding's properties on a live scenario (Table 1 machinery).
+	fmt.Println("\nrisk assessment of the proposed erasure grounding (\"delete\"):")
+	rows, err := datacase.Table1()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var deleteRow, strongRow datacase.Table1Row
+	for _, r := range rows {
+		switch r.Interpretation {
+		case datacase.EraseDelete:
+			deleteRow = r
+		case datacase.EraseStrongDelete:
+			strongRow = r
+		}
+	}
+	fmt.Printf("  measured: IR=%v II=%v Inv=%v\n",
+		deleteRow.Measured.IllegalReads,
+		deleteRow.Measured.IllegalInference,
+		deleteRow.Measured.Invertible)
+	if deleteRow.Measured.IllegalInference {
+		fmt.Println("  RISK: derived movement profiles survive erasure — the subject")
+		fmt.Println("        remains identifiable via invertible derivations (II=✓).")
+		fmt.Println("        Evidence:")
+		for _, e := range deleteRow.Measured.Evidence {
+			fmt.Printf("          - %s\n", e)
+		}
+	}
+
+	// Step 3: mitigation — re-ground erasure strictly enough to remove
+	// the identified risk, and show the residual properties.
+	fmt.Println("\nmitigation: re-ground erasure as \"strong-delete\":")
+	fmt.Printf("  measured after strong delete: IR=%v II=%v Inv=%v (conforms=%v)\n",
+		strongRow.Measured.IllegalReads,
+		strongRow.Measured.IllegalInference,
+		strongRow.Measured.Invertible,
+		strongRow.Conforms)
+	if err := reg.Choose("erasure", datacase.EraseStrongDelete.String(),
+		datacase.SystemAction{System: "psql-like-heap", Operation: "DELETE+VACUUM FULL", Supported: true},
+		datacase.SystemAction{System: "provenance", Operation: "delete identifiable dependents", Supported: true},
+		datacase.SystemAction{System: "audit", Operation: "erase unit log entries", Supported: true},
+	); err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 4: sign-off — the deployment is fully grounded, so the PIA
+	// can state exactly which interpretation of the regulation it meets.
+	if ok, missing := reg.FullyGrounded(); ok {
+		fmt.Println("\nPIA conclusion: deployment fully grounded; residual risk documented.")
+	} else {
+		fmt.Printf("\nPIA conclusion: NOT deployable; ungrounded concepts: %v\n", missing)
+	}
+}

@@ -1,0 +1,89 @@
+// Quickstart: the Data-CASE model end to end — entities, a data unit
+// with policies (the paper's Netflix credit-card running example),
+// actions recorded as an action-history, policy-consistency auditing,
+// and the G6/G17 invariants.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/datacase/datacase"
+)
+
+func main() {
+	var clock datacase.Clock
+
+	// Entities: user 1234 (data subject), Netflix (controller), AWS
+	// (processor), and the erasure executor.
+	entities := datacase.NewEntityRegistry()
+	for _, e := range []datacase.Entity{
+		{ID: "user-1234", Role: datacase.RoleDataSubject, Jurisdiction: "EU"},
+		{ID: "netflix", Role: datacase.RoleController, Jurisdiction: "EU"},
+		{ID: "aws", Role: datacase.RoleProcessor, Jurisdiction: "EU"},
+		{ID: "system", Role: datacase.RoleAuditor},
+	} {
+		if err := entities.Register(e); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The data unit X = (S, O, V, P): the user's credit card.
+	db := datacase.NewDatabase()
+	cc := datacase.NewDataUnit("cc-1234", datacase.KindBase, "user-1234", "signup-form")
+	now := clock.Tick()
+	cc.SetValue([]byte("4111-1111-1111-1111"), now)
+	// π1: Netflix may bill until t=1000. π2: AWS may retain until t=1000.
+	// And the regulation requires erasure by t=1000.
+	for _, p := range []datacase.Policy{
+		{Purpose: "billing", Entity: "netflix", Begin: now, End: 1000},
+		{Purpose: datacase.PurposeRetention, Entity: "aws", Begin: now, End: 1000},
+		{Purpose: datacase.PurposeComplianceErase, Entity: "system", Begin: now, End: 1000},
+	} {
+		if err := cc.Grant(p, now); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := db.Add(cc); err != nil {
+		log.Fatal(err)
+	}
+
+	// Actions become action-history tuples (X, p, e, τ(X), t).
+	history := datacase.NewHistory()
+	history.MustAppend(datacase.HistoryTuple{
+		Unit: "cc-1234", Purpose: "billing", Entity: "netflix",
+		Action: datacase.Action{Kind: datacase.ActionRead, SystemAction: "SELECT"},
+		At:     clock.Tick(),
+	})
+	// An advertiser reads the card without any policy — unlawful.
+	history.MustAppend(datacase.HistoryTuple{
+		Unit: "cc-1234", Purpose: "ads", Entity: "broker",
+		Action: datacase.Action{Kind: datacase.ActionRead, SystemAction: "SELECT"},
+		At:     clock.Tick(),
+	})
+
+	// Policy-consistency audit (the model of GDPR Art. 6).
+	fmt.Println("policy-consistency audit of H(cc-1234):")
+	for _, inc := range datacase.AuditUnit(cc, history, datacase.NewPurposeRegistry()) {
+		fmt.Printf("  VIOLATION %s\n", inc)
+	}
+
+	// Invariant checking: G6 + G17 + the Figure-1 categories.
+	ctx := &datacase.CheckContext{
+		DB: db, History: history,
+		Purposes: datacase.NewPurposeRegistry(), Now: clock.Now(),
+	}
+	fmt.Println("\ninvariant check (G6, G17, ...):")
+	for _, v := range datacase.DefaultGDPRInvariants().CheckAll(ctx) {
+		fmt.Printf("  %s\n", v)
+	}
+
+	// Erasure interpretations and their Table-1 characteristics.
+	fmt.Println("\nerasure interpretations (Table 1, declared):")
+	for _, interp := range datacase.ErasureInterpretations() {
+		c := datacase.CharacteristicsOf(interp)
+		fmt.Printf("  %-26s IR=%-5v II=%-5v Inv=%-5v via %s\n",
+			interp, c.IllegalReads, c.IllegalInference, c.Invertible,
+			datacase.PSQLSystemActions(interp))
+	}
+}

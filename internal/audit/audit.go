@@ -1,0 +1,59 @@
+// Package audit implements the action-history persistence layer: the
+// "histories" concept of Data-CASE grounded three different ways, one
+// per compliance profile (§4.2 of the paper):
+//
+//   - CSVLogger (P_Base): PostgreSQL-style native CSV logging with
+//     row-level records of query responses.
+//   - QueryLogger (P_GBench): logs all queries and responses as
+//     structured records (no CSV).
+//   - EncryptedLogger (P_SYS): AES-sealed log entries including policy
+//     snapshots, with support for erasing the entries of a data unit
+//     (strong/permanent erasure must scrub logs too, §3.2).
+//
+// Every logger can reconstruct a core.History, which is what the
+// compliance checker audits.
+package audit
+
+import (
+	"errors"
+
+	"github.com/datacase/datacase/internal/core"
+)
+
+// Entry is one audit record: the action-history tuple plus whatever the
+// grounding says must be recorded with it.
+type Entry struct {
+	Tuple core.HistoryTuple
+	// Query is the operation text (engines fill it; may be empty).
+	Query string
+	// Response is the operation's result payload, when the grounding
+	// logs responses.
+	Response []byte
+	// PolicySnapshot serializes the policies in force at the time of the
+	// action, when the grounding demands demonstrable accountability.
+	PolicySnapshot []byte
+}
+
+// ErrEraseUnsupported is returned by loggers that cannot erase a unit's
+// entries (a grounding gap the profile must account for).
+var ErrEraseUnsupported = errors.New("audit: logger cannot erase per-unit entries")
+
+// Logger persists audit entries. Implementations are safe for
+// concurrent use.
+type Logger interface {
+	// Name identifies the grounding ("csv", "query", "encrypted").
+	Name() string
+	// Log appends an entry.
+	Log(e Entry) error
+	// Count returns the number of live entries.
+	Count() int
+	// SizeBytes is the log's storage footprint (Table 2 metadata).
+	SizeBytes() int64
+	// ContainsUnit reports whether live entries reference the unit.
+	ContainsUnit(unit core.UnitID) bool
+	// EraseUnit removes the unit's entries, returning how many were
+	// removed, or ErrEraseUnsupported.
+	EraseUnit(unit core.UnitID) (int, error)
+	// ReconstructHistory rebuilds the action-history from the log.
+	ReconstructHistory() (*core.History, error)
+}

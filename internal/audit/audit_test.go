@@ -1,0 +1,332 @@
+package audit
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/datacase/datacase/internal/core"
+	"github.com/datacase/datacase/internal/cryptox"
+)
+
+func entry(unit core.UnitID, kind core.ActionKind, at core.Time) Entry {
+	return Entry{
+		Tuple: core.HistoryTuple{
+			Unit:    unit,
+			Purpose: "billing",
+			Entity:  "netflix",
+			Action:  core.Action{Kind: kind, SystemAction: "SELECT"},
+			At:      at,
+		},
+		Query:    "SELECT * FROM data WHERE key = ?",
+		Response: []byte("row-payload"),
+	}
+}
+
+func encLogger(t *testing.T) *EncryptedLogger {
+	t.Helper()
+	key, err := cryptox.GenerateKey(cryptox.AES128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cryptox.NewAESGCM(key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEncryptedLogger(s)
+}
+
+// loggerContract runs the behaviour shared by all three groundings.
+func loggerContract(t *testing.T, mk func(t *testing.T) Logger) {
+	t.Helper()
+
+	t.Run("log_and_count", func(t *testing.T) {
+		l := mk(t)
+		for i := 0; i < 10; i++ {
+			if err := l.Log(entry("u1", core.ActionRead, core.Time(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if l.Count() != 10 {
+			t.Fatalf("Count = %d", l.Count())
+		}
+		if l.SizeBytes() <= 0 {
+			t.Fatal("SizeBytes not tracked")
+		}
+	})
+
+	t.Run("contains_unit", func(t *testing.T) {
+		l := mk(t)
+		if err := l.Log(entry("u1", core.ActionRead, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if !l.ContainsUnit("u1") {
+			t.Fatal("ContainsUnit(u1) = false")
+		}
+		if l.ContainsUnit("ghost") {
+			t.Fatal("ContainsUnit(ghost) = true")
+		}
+	})
+
+	t.Run("reconstruct_history", func(t *testing.T) {
+		l := mk(t)
+		for i := 0; i < 5; i++ {
+			if err := l.Log(entry("u1", core.ActionRead, core.Time(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Log(entry("u2", core.ActionDelete, 9)); err != nil {
+			t.Fatal(err)
+		}
+		h, err := l.ReconstructHistory()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Len() != 6 {
+			t.Fatalf("history len = %d", h.Len())
+		}
+		hu1 := h.Of("u1")
+		if len(hu1) != 5 {
+			t.Fatalf("H(u1) = %d tuples", len(hu1))
+		}
+		for i, tu := range hu1 {
+			if tu.At != core.Time(i) || tu.Action.Kind != core.ActionRead {
+				t.Fatalf("tuple %d = %v", i, tu)
+			}
+		}
+		last, ok := h.Last("u2")
+		if !ok || last.Action.Kind != core.ActionDelete {
+			t.Fatalf("Last(u2) = %v, %v", last, ok)
+		}
+	})
+
+	t.Run("erase_unit", func(t *testing.T) {
+		l := mk(t)
+		for i := 0; i < 4; i++ {
+			if err := l.Log(entry("victim", core.ActionRead, core.Time(i))); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Log(entry("bystander", core.ActionRead, core.Time(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before := l.SizeBytes()
+		n, err := l.EraseUnit("victim")
+		if errors.Is(err, ErrEraseUnsupported) {
+			t.Skip("logger does not support per-unit erasure")
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 4 {
+			t.Fatalf("erased %d entries, want 4", n)
+		}
+		if l.ContainsUnit("victim") {
+			t.Fatal("victim entries survive erasure")
+		}
+		if !l.ContainsUnit("bystander") {
+			t.Fatal("bystander entries damaged")
+		}
+		if l.SizeBytes() >= before {
+			t.Fatal("size did not shrink")
+		}
+		h, err := l.ReconstructHistory()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(h.Of("victim")) != 0 || len(h.Of("bystander")) != 4 {
+			t.Fatalf("post-erase history wrong: victim=%d bystander=%d",
+				len(h.Of("victim")), len(h.Of("bystander")))
+		}
+	})
+}
+
+func TestCSVLoggerContract(t *testing.T) {
+	loggerContract(t, func(t *testing.T) Logger { return NewCSVLogger(true) })
+}
+
+func TestQueryLoggerContract(t *testing.T) {
+	loggerContract(t, func(t *testing.T) Logger { return NewQueryLogger() })
+}
+
+func TestEncryptedLoggerContract(t *testing.T) {
+	loggerContract(t, func(t *testing.T) Logger { return encLogger(t) })
+}
+
+func TestCSVRoundTripPreservesActionDetails(t *testing.T) {
+	l := NewCSVLogger(true)
+	e := entry("u,with,commas", core.ActionErase, 42)
+	e.Tuple.Action.RequiredByRegulation = true
+	e.Tuple.Action.SystemAction = "DELETE+VACUUM"
+	if err := l.Log(e); err != nil {
+		t.Fatal(err)
+	}
+	h, err := l.ReconstructHistory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, ok := h.Last("u,with,commas")
+	if !ok {
+		t.Fatal("tuple lost")
+	}
+	if tu.Action.Kind != core.ActionErase || !tu.Action.RequiredByRegulation ||
+		tu.Action.SystemAction != "DELETE+VACUUM" || tu.At != 42 {
+		t.Fatalf("tuple = %+v", tu)
+	}
+}
+
+func TestCSVResponseLoggingToggle(t *testing.T) {
+	noResp := NewCSVLogger(false)
+	withResp := NewCSVLogger(true)
+	e := entry("u", core.ActionRead, 1)
+	e.Response = make([]byte, 1024)
+	if err := noResp.Log(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := withResp.Log(e); err != nil {
+		t.Fatal(err)
+	}
+	if noResp.SizeBytes() >= withResp.SizeBytes() {
+		t.Fatal("response logging should cost space")
+	}
+}
+
+func TestQueryLoggerDeepCopies(t *testing.T) {
+	l := NewQueryLogger()
+	resp := []byte("original")
+	e := entry("u", core.ActionRead, 1)
+	e.Response = resp
+	if err := l.Log(e); err != nil {
+		t.Fatal(err)
+	}
+	resp[0] = 'X'
+	if string(l.Entries()[0].Response) != "original" {
+		t.Fatal("logger aliased caller's response buffer")
+	}
+}
+
+func TestEncryptedLoggerCiphertextAtRest(t *testing.T) {
+	l := encLogger(t)
+	e := entry("u", core.ActionRead, 1)
+	e.Response = []byte("VERY-SECRET-RESPONSE")
+	if err := l.Log(e); err != nil {
+		t.Fatal(err)
+	}
+	// The sealed blobs must not contain the plaintext.
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for _, group := range l.sealed {
+		for _, ct := range group {
+			if containsBytes(ct, []byte("VERY-SECRET-RESPONSE")) {
+				t.Fatal("plaintext at rest in encrypted log")
+			}
+		}
+	}
+}
+
+func containsBytes(h, n []byte) bool {
+	if len(n) == 0 || len(h) < len(n) {
+		return false
+	}
+outer:
+	for i := 0; i+len(n) <= len(h); i++ {
+		for j := range n {
+			if h[i+j] != n[j] {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func TestEncryptedLoggerPolicySnapshotRoundTrip(t *testing.T) {
+	l := encLogger(t)
+	e := entry("u", core.ActionWrite, 5)
+	e.PolicySnapshot = []byte(`[{"purpose":"billing"}]`)
+	if err := l.Log(e); err != nil {
+		t.Fatal(err)
+	}
+	h, err := l.ReconstructHistory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 1 {
+		t.Fatalf("history len = %d", h.Len())
+	}
+}
+
+func TestMarshalEntryRoundTrip(t *testing.T) {
+	e := entry("unit-x", core.ActionShare, 123456)
+	e.Tuple.Action.RequiredByRegulation = true
+	e.PolicySnapshot = []byte("snap")
+	got, err := unmarshalEntry(marshalEntry(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tuple != e.Tuple || got.Query != e.Query ||
+		string(got.Response) != string(e.Response) ||
+		string(got.PolicySnapshot) != string(e.PolicySnapshot) {
+		t.Fatalf("round trip = %+v, want %+v", got, e)
+	}
+	if _, err := unmarshalEntry([]byte{1, 2}); err == nil {
+		t.Fatal("truncated entry unmarshalled")
+	}
+}
+
+func TestSizeOrdering(t *testing.T) {
+	// For identical entries: CSV (no responses) < query logger (full
+	// responses) < encrypted logger with snapshots (cipher overhead).
+	csv := NewCSVLogger(false)
+	q := NewQueryLogger()
+	enc := encLogger(t)
+	for i := 0; i < 100; i++ {
+		e := entry(core.UnitID(fmt.Sprintf("u%d", i)), core.ActionRead, core.Time(i))
+		e.PolicySnapshot = []byte("policy-snapshot-blob-for-accountability")
+		if err := csv.Log(Entry{Tuple: e.Tuple, Query: e.Query}); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Log(Entry{Tuple: e.Tuple, Query: e.Query, Response: e.Response}); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Log(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !(csv.SizeBytes() < q.SizeBytes()) {
+		t.Fatalf("csv (%d) should be smaller than query log (%d)", csv.SizeBytes(), q.SizeBytes())
+	}
+	if !(q.SizeBytes() < enc.SizeBytes()) {
+		t.Fatalf("query log (%d) should be smaller than encrypted log (%d)", q.SizeBytes(), enc.SizeBytes())
+	}
+}
+
+func BenchmarkLogCSV(b *testing.B) {
+	l := NewCSVLogger(true)
+	e := entry("u", core.ActionRead, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = l.Log(e)
+	}
+}
+
+func BenchmarkLogQuery(b *testing.B) {
+	l := NewQueryLogger()
+	e := entry("u", core.ActionRead, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = l.Log(e)
+	}
+}
+
+func BenchmarkLogEncrypted(b *testing.B) {
+	key, _ := cryptox.GenerateKey(cryptox.AES128)
+	s, _ := cryptox.NewAESGCM(key, nil)
+	l := NewEncryptedLogger(s)
+	e := entry("u", core.ActionRead, 1)
+	e.PolicySnapshot = []byte("policy-snapshot")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = l.Log(e)
+	}
+}

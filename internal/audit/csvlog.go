@@ -1,0 +1,200 @@
+package audit
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"github.com/datacase/datacase/internal/core"
+)
+
+// CSVLogger is the P_Base grounding of histories: native CSV logging
+// with a security policy recording query responses at row level. Entries
+// are CSV lines in an append-only buffer — cheap to write, awkward to
+// erase (erasure rewrites the whole buffer).
+type CSVLogger struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+	// w is a persistent writer over buf (a real CSV log keeps one open
+	// file handle, not one writer per record).
+	w *csv.Writer
+	n int
+	// logResponses controls whether response payloads are recorded.
+	logResponses bool
+}
+
+// NewCSVLogger returns an empty CSV logger. logResponses enables
+// row-level response recording.
+func NewCSVLogger(logResponses bool) *CSVLogger {
+	l := &CSVLogger{logResponses: logResponses}
+	l.w = csv.NewWriter(&l.buf)
+	return l
+}
+
+// Name implements Logger.
+func (l *CSVLogger) Name() string { return "csv" }
+
+// Log implements Logger.
+func (l *CSVLogger) Log(e Entry) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	w := l.w
+	resp := ""
+	if l.logResponses {
+		resp = string(e.Response)
+	}
+	record := []string{
+		string(e.Tuple.Unit),
+		string(e.Tuple.Purpose),
+		string(e.Tuple.Entity),
+		e.Tuple.Action.Kind.String(),
+		e.Tuple.Action.SystemAction,
+		strconv.FormatBool(e.Tuple.Action.RequiredByRegulation),
+		strconv.FormatInt(int64(e.Tuple.At), 10),
+		e.Query,
+		resp,
+	}
+	if err := w.Write(record); err != nil {
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	l.n++
+	return nil
+}
+
+// Count implements Logger.
+func (l *CSVLogger) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// SizeBytes implements Logger.
+func (l *CSVLogger) SizeBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int64(l.buf.Len())
+}
+
+// ContainsUnit implements Logger.
+func (l *CSVLogger) ContainsUnit(unit core.UnitID) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	records, err := l.parseLocked()
+	if err != nil {
+		return false
+	}
+	for _, r := range records {
+		if r[0] == string(unit) {
+			return true
+		}
+	}
+	return false
+}
+
+// EraseUnit implements Logger: it rewrites the CSV buffer without the
+// unit's lines — possible but costly, which is faithful to retrofitting
+// erasure onto flat log files.
+func (l *CSVLogger) EraseUnit(unit core.UnitID) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	records, err := l.parseLocked()
+	if err != nil {
+		return 0, err
+	}
+	var out bytes.Buffer
+	w := csv.NewWriter(&out)
+	removed := 0
+	kept := 0
+	for _, r := range records {
+		if r[0] == string(unit) {
+			removed++
+			continue
+		}
+		if err := w.Write(r); err != nil {
+			return 0, err
+		}
+		kept++
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return 0, err
+	}
+	l.buf = out
+	l.w = csv.NewWriter(&l.buf)
+	l.n = kept
+	return removed, nil
+}
+
+// ReconstructHistory implements Logger.
+func (l *CSVLogger) ReconstructHistory() (*core.History, error) {
+	l.mu.Lock()
+	records, err := l.parseLocked()
+	l.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	h := core.NewHistory()
+	for _, r := range records {
+		t, err := tupleFromFields(r)
+		if err != nil {
+			return nil, err
+		}
+		if err := h.Append(t); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+func (l *CSVLogger) parseLocked() ([][]string, error) {
+	rd := csv.NewReader(bytes.NewReader(l.buf.Bytes()))
+	rd.FieldsPerRecord = 9
+	return rd.ReadAll()
+}
+
+func tupleFromFields(r []string) (core.HistoryTuple, error) {
+	if len(r) < 7 {
+		return core.HistoryTuple{}, fmt.Errorf("audit: short CSV record (%d fields)", len(r))
+	}
+	kind, err := actionKindFromName(r[3])
+	if err != nil {
+		return core.HistoryTuple{}, err
+	}
+	required, err := strconv.ParseBool(r[5])
+	if err != nil {
+		return core.HistoryTuple{}, fmt.Errorf("audit: bad required flag %q", r[5])
+	}
+	at, err := strconv.ParseInt(r[6], 10, 64)
+	if err != nil {
+		return core.HistoryTuple{}, fmt.Errorf("audit: bad timestamp %q", r[6])
+	}
+	return core.HistoryTuple{
+		Unit:    core.UnitID(r[0]),
+		Purpose: core.Purpose(r[1]),
+		Entity:  core.EntityID(r[2]),
+		Action: core.Action{
+			Kind:                 kind,
+			SystemAction:         r[4],
+			RequiredByRegulation: required,
+		},
+		At: core.Time(at),
+	}, nil
+}
+
+// actionKindFromName reverses core.ActionKind.String.
+func actionKindFromName(name string) (core.ActionKind, error) {
+	for k := core.ActionKind(0); ; k++ {
+		if !k.Valid() {
+			return 0, fmt.Errorf("audit: unknown action kind %q", name)
+		}
+		if k.String() == name {
+			return k, nil
+		}
+	}
+}

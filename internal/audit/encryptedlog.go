@@ -1,0 +1,206 @@
+package audit
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"github.com/datacase/datacase/internal/core"
+	"github.com/datacase/datacase/internal/cryptox"
+)
+
+// EncryptedLogger is the P_SYS grounding of histories: entries —
+// including policy snapshots for demonstrable accountability — are
+// serialized and AES-sealed before storage, grouped per unit so the
+// erasure grounding can delete "logs of the data units being deleted"
+// (§4.2). Every append pays the cipher cost.
+type EncryptedLogger struct {
+	sealer cryptox.Sealer
+
+	mu     sync.RWMutex
+	sealed map[core.UnitID][][]byte
+	order  []core.UnitID // unit of each append, for stable reconstruction
+	bytes  int64
+	n      int
+}
+
+// NewEncryptedLogger returns a logger sealing with the given sealer
+// (P_SYS uses AES-128, §4.2).
+func NewEncryptedLogger(sealer cryptox.Sealer) *EncryptedLogger {
+	return &EncryptedLogger{
+		sealer: sealer,
+		sealed: make(map[core.UnitID][][]byte),
+	}
+}
+
+// Name implements Logger.
+func (l *EncryptedLogger) Name() string { return "encrypted" }
+
+// Log implements Logger.
+func (l *EncryptedLogger) Log(e Entry) error {
+	plain := marshalEntry(e)
+	ct, err := l.sealer.Seal(plain)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sealed[e.Tuple.Unit] = append(l.sealed[e.Tuple.Unit], ct)
+	l.order = append(l.order, e.Tuple.Unit)
+	l.bytes += int64(len(ct))
+	l.n++
+	return nil
+}
+
+// Count implements Logger.
+func (l *EncryptedLogger) Count() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.n
+}
+
+// SizeBytes implements Logger.
+func (l *EncryptedLogger) SizeBytes() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.bytes
+}
+
+// ContainsUnit implements Logger.
+func (l *EncryptedLogger) ContainsUnit(unit core.UnitID) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.sealed[unit]) > 0
+}
+
+// EraseUnit implements Logger: drops the unit's sealed group outright.
+func (l *EncryptedLogger) EraseUnit(unit core.UnitID) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	group := l.sealed[unit]
+	if len(group) == 0 {
+		return 0, nil
+	}
+	for _, ct := range group {
+		l.bytes -= int64(len(ct))
+	}
+	delete(l.sealed, unit)
+	removed := len(group)
+	l.n -= removed
+	// Scrub the order list so reconstruction skips them.
+	for i, u := range l.order {
+		if u == unit {
+			l.order[i] = ""
+		}
+	}
+	return removed, nil
+}
+
+// ReconstructHistory implements Logger: decrypts every entry, in append
+// order.
+func (l *EncryptedLogger) ReconstructHistory() (*core.History, error) {
+	l.mu.RLock()
+	// Snapshot per-unit cursors to replay the interleaving.
+	cursor := make(map[core.UnitID]int)
+	order := append([]core.UnitID(nil), l.order...)
+	groups := make(map[core.UnitID][][]byte, len(l.sealed))
+	for u, g := range l.sealed {
+		groups[u] = g
+	}
+	l.mu.RUnlock()
+
+	h := core.NewHistory()
+	for _, u := range order {
+		if u == "" {
+			continue
+		}
+		g := groups[u]
+		i := cursor[u]
+		if i >= len(g) {
+			continue
+		}
+		cursor[u] = i + 1
+		plain, err := l.sealer.Open(g[i])
+		if err != nil {
+			return nil, fmt.Errorf("audit: decrypt log entry: %w", err)
+		}
+		e, err := unmarshalEntry(plain)
+		if err != nil {
+			return nil, err
+		}
+		if err := h.Append(e.Tuple); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// marshalEntry serializes an entry:
+//
+//	unit purpose entity sysaction query response snapshot (len-prefixed)
+//	kind(1) required(1) at(8)
+func marshalEntry(e Entry) []byte {
+	var buf []byte
+	app := func(b []byte) {
+		var l4 [4]byte
+		binary.BigEndian.PutUint32(l4[:], uint32(len(b)))
+		buf = append(buf, l4[:]...)
+		buf = append(buf, b...)
+	}
+	app([]byte(e.Tuple.Unit))
+	app([]byte(e.Tuple.Purpose))
+	app([]byte(e.Tuple.Entity))
+	app([]byte(e.Tuple.Action.SystemAction))
+	app([]byte(e.Query))
+	app(e.Response)
+	app(e.PolicySnapshot)
+	buf = append(buf, byte(e.Tuple.Action.Kind))
+	if e.Tuple.Action.RequiredByRegulation {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	var t8 [8]byte
+	binary.BigEndian.PutUint64(t8[:], uint64(e.Tuple.At))
+	buf = append(buf, t8[:]...)
+	return buf
+}
+
+func unmarshalEntry(buf []byte) (Entry, error) {
+	var e Entry
+	take := func() ([]byte, error) {
+		if len(buf) < 4 {
+			return nil, fmt.Errorf("audit: truncated entry")
+		}
+		n := int(binary.BigEndian.Uint32(buf[:4]))
+		buf = buf[4:]
+		if len(buf) < n {
+			return nil, fmt.Errorf("audit: truncated entry field")
+		}
+		b := buf[:n]
+		buf = buf[n:]
+		return b, nil
+	}
+	fields := make([][]byte, 7)
+	for i := range fields {
+		b, err := take()
+		if err != nil {
+			return e, err
+		}
+		fields[i] = b
+	}
+	if len(buf) != 10 {
+		return e, fmt.Errorf("audit: bad entry tail (%d bytes)", len(buf))
+	}
+	e.Tuple.Unit = core.UnitID(fields[0])
+	e.Tuple.Purpose = core.Purpose(fields[1])
+	e.Tuple.Entity = core.EntityID(fields[2])
+	e.Tuple.Action.SystemAction = string(fields[3])
+	e.Query = string(fields[4])
+	e.Response = append([]byte(nil), fields[5]...)
+	e.PolicySnapshot = append([]byte(nil), fields[6]...)
+	e.Tuple.Action.Kind = core.ActionKind(buf[0])
+	e.Tuple.Action.RequiredByRegulation = buf[1] == 1
+	e.Tuple.At = core.Time(binary.BigEndian.Uint64(buf[2:10]))
+	return e, nil
+}

@@ -1,0 +1,127 @@
+package audit
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/datacase/datacase/internal/core"
+)
+
+// QueryLogger is the P_GBench grounding of histories: every query and
+// its response is logged (no CSV), each entry rendered to a log line —
+// "a slight increase in the information being logged" relative to
+// P_Base's CSV rows (§4.2). Entries also stay structured so per-unit
+// filtering and erasure are cheap.
+type QueryLogger struct {
+	mu      sync.RWMutex
+	entries []Entry
+	lines   [][]byte
+	byUnit  map[core.UnitID][]int
+	bytes   int64
+}
+
+// NewQueryLogger returns an empty query logger.
+func NewQueryLogger() *QueryLogger {
+	return &QueryLogger{byUnit: make(map[core.UnitID][]int)}
+}
+
+// Name implements Logger.
+func (l *QueryLogger) Name() string { return "query" }
+
+// Log implements Logger.
+func (l *QueryLogger) Log(e Entry) error {
+	// Deep-copy payloads: callers may reuse buffers.
+	e.Response = append([]byte(nil), e.Response...)
+	e.PolicySnapshot = append([]byte(nil), e.PolicySnapshot...)
+	// Render the full log line (query + response + action context), as
+	// a statement-logging database would.
+	line := fmt.Sprintf("%d unit=%s entity=%s purpose=%s action=%s query=%q response=%q",
+		e.Tuple.At, e.Tuple.Unit, e.Tuple.Entity, e.Tuple.Purpose,
+		e.Tuple.Action.Kind, e.Query, e.Response)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.byUnit[e.Tuple.Unit] = append(l.byUnit[e.Tuple.Unit], len(l.entries))
+	l.entries = append(l.entries, e)
+	l.lines = append(l.lines, []byte(line))
+	// The log's on-disk form is the rendered line; the structured entry
+	// is an in-memory index over it (counted as small per-line overhead).
+	l.bytes += int64(len(line)) + 16
+	return nil
+}
+
+// Count implements Logger.
+func (l *QueryLogger) Count() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	n := 0
+	for _, e := range l.entries {
+		if e.Tuple.Unit != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// SizeBytes implements Logger.
+func (l *QueryLogger) SizeBytes() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.bytes
+}
+
+// ContainsUnit implements Logger.
+func (l *QueryLogger) ContainsUnit(unit core.UnitID) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.byUnit[unit]) > 0
+}
+
+// EraseUnit implements Logger: entries are blanked in place (indices of
+// other units remain valid).
+func (l *QueryLogger) EraseUnit(unit core.UnitID) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	idx := l.byUnit[unit]
+	for _, i := range idx {
+		l.bytes -= int64(len(l.lines[i])) + 16
+		l.entries[i] = Entry{}
+		l.lines[i] = nil
+	}
+	delete(l.byUnit, unit)
+	return len(idx), nil
+}
+
+// ReconstructHistory implements Logger.
+func (l *QueryLogger) ReconstructHistory() (*core.History, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	h := core.NewHistory()
+	for _, e := range l.entries {
+		if e.Tuple.Unit == "" {
+			continue // erased entry
+		}
+		if err := h.Append(e.Tuple); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// Entries returns a snapshot of live entries (tests and reports).
+func (l *QueryLogger) Entries() []Entry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]Entry, 0, len(l.entries))
+	for _, e := range l.entries {
+		if e.Tuple.Unit != "" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func entrySize(e Entry) int64 {
+	return int64(len(e.Tuple.Unit) + len(e.Tuple.Purpose) + len(e.Tuple.Entity) +
+		len(e.Tuple.Action.SystemAction) + len(e.Query) + len(e.Response) +
+		len(e.PolicySnapshot) + 32)
+}

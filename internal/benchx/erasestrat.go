@@ -1,0 +1,225 @@
+package benchx
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"github.com/datacase/datacase/internal/gdprbench"
+	"github.com/datacase/datacase/internal/storage/heap"
+	"github.com/datacase/datacase/internal/storage/lsm"
+)
+
+// EraseStrategy is one of Figure 4(a)'s four erasure implementations,
+// exercised at the storage level (Case Study 1: MetaSpace evaluates raw
+// engine groundings before choosing one).
+type EraseStrategy string
+
+// The four strategies of Figure 4(a).
+const (
+	StratDelete     EraseStrategy = "DELETE"
+	StratVacuum     EraseStrategy = "DELETE+VACUUM"
+	StratVacuumFull EraseStrategy = "DELETE+VACUUM FULL"
+	StratTombstone  EraseStrategy = "Tombstones (Indexing)"
+)
+
+// EraseStrategies returns the four strategies in the paper's legend
+// order.
+func EraseStrategies() []EraseStrategy {
+	return []EraseStrategy{StratVacuumFull, StratTombstone, StratDelete, StratVacuum}
+}
+
+// storageTarget abstracts the two engines behind the strategies.
+type storageTarget interface {
+	get(key []byte) bool
+	put(key, value []byte)
+	del(key []byte)
+	// scanFor looks a key up by scanning (a metadata query on a
+	// non-indexed attribute).
+	scanFor(key []byte) bool
+	maintain()
+}
+
+// vacuumBatch is how many deletions a lazy VACUUM pass amortizes over
+// (the autovacuum-naptime analogue: reclamation promptly follows
+// deletions without running per statement).
+const vacuumBatch = 8
+
+// vacuumFullBatch is how many deletions a VACUUM FULL reorganization
+// amortizes over: rewriting the whole relation per deletion would be
+// pathological even for the strictest grounding, so the strategy batches
+// like a periodic REINDEX/CLUSTER job.
+const vacuumFullBatch = 16
+
+// heapTarget runs DELETE / DELETE+VACUUM / DELETE+VACUUM FULL.
+type heapTarget struct {
+	t       *heap.Table
+	style   EraseStrategy
+	deleted bool
+	pending int
+}
+
+func (h *heapTarget) get(key []byte) bool {
+	_, ok := h.t.Get(key)
+	return ok
+}
+
+func (h *heapTarget) put(key, value []byte) {
+	// Upsert only fails on races absent here.
+	_, _ = h.t.Upsert(key, value)
+}
+
+func (h *heapTarget) del(key []byte) {
+	if err := h.t.Delete(key); err != nil {
+		return // missing key: nothing was deleted, nothing to reclaim
+	}
+	h.deleted = true
+}
+
+func (h *heapTarget) scanFor(key []byte) bool {
+	found := false
+	h.t.SeqScan(func(k, _ []byte) bool {
+		if bytes.Equal(k, key) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// maintain runs the vacuum half of the compound system-action after a
+// delete: the grounding says DELETE *and* VACUUM (or VACUUM FULL) — the
+// erasure is only achieved once the reclamation ran. Lazy VACUUM is
+// cheap enough to run per deletion (it visits only dirty pages); VACUUM
+// FULL batches its full-table rewrite.
+func (h *heapTarget) maintain() {
+	if h.style == StratDelete || !h.deleted {
+		return
+	}
+	h.deleted = false
+	h.pending++
+	switch h.style {
+	case StratVacuum:
+		if h.pending >= vacuumBatch {
+			h.pending = 0
+			h.t.Vacuum()
+		}
+	case StratVacuumFull:
+		if h.pending >= vacuumFullBatch {
+			h.pending = 0
+			h.t.VacuumFull()
+		}
+	}
+}
+
+// lsmTarget runs the tombstone strategy.
+type lsmTarget struct {
+	s *lsm.Store
+}
+
+func (l *lsmTarget) get(key []byte) bool   { return l.s.Has(key) }
+func (l *lsmTarget) put(key, value []byte) { l.s.Put(key, value) }
+func (l *lsmTarget) del(key []byte)        { l.s.Delete(key) }
+func (l *lsmTarget) maintain()             {}
+func (l *lsmTarget) scanFor(key []byte) bool {
+	found := false
+	l.s.Scan(func(k, _ []byte) bool {
+		if bytes.Equal(k, key) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func newStorageTarget(s EraseStrategy) (storageTarget, error) {
+	switch s {
+	case StratDelete, StratVacuum, StratVacuumFull:
+		return &heapTarget{t: heap.NewTable("fig4a", nil), style: s}, nil
+	case StratTombstone:
+		return &lsmTarget{s: lsm.New(lsm.Options{
+			MemtableFlushEntries: 2048,
+			CompactionFanIn:      6,
+			// Long GC grace: tombstoned data stays resident, as the
+			// paper's hazard discussion assumes.
+			GCGraceSeqs: 1 << 40,
+		})}, nil
+	default:
+		return nil, fmt.Errorf("benchx: unknown erase strategy %q", s)
+	}
+}
+
+// RunEraseStrategy executes the WCus mix (the paper's "customer
+// workload: 20% deletes on data, rest are reads") at the storage level
+// with the given erasure strategy and returns its completion time.
+func RunEraseStrategy(s EraseStrategy, records, txns int, seed int64) (RunResult, error) {
+	target, err := newStorageTarget(s)
+	if err != nil {
+		return RunResult{}, err
+	}
+	gen, err := gdprbench.NewGenerator(gdprbench.Customer, records, seed)
+	if err != nil {
+		return RunResult{}, err
+	}
+	res := RunResult{Label: string(s), Workload: "WCus", Records: records, Txns: txns}
+
+	loadStart := time.Now()
+	for _, rec := range gen.Load(1<<40, 1<<41) {
+		target.put([]byte(rec.Key), rec.Payload)
+	}
+	res.LoadTime = time.Since(loadStart)
+
+	ops := gen.Ops(txns)
+	start := time.Now()
+	for _, op := range ops {
+		key := []byte(op.Key)
+		switch op.Kind {
+		case gdprbench.OpReadData:
+			target.get(key)
+		case gdprbench.OpUpdateData:
+			target.put(key, op.Payload)
+		case gdprbench.OpDeleteData:
+			target.del(key)
+			target.maintain()
+		case gdprbench.OpReadMeta:
+			// Metadata query on a non-indexed attribute: a scan.
+			target.scanFor(key)
+		case gdprbench.OpUpdateMeta:
+			// Metadata update rewrites the row.
+			if target.get(key) {
+				target.put(key, op.Payload)
+			}
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// RunDeleteOnlyWorkload measures a 100%-delete op stream — the paper's
+// footnote: "the expected performance is observed for a workload
+// composed only of deletions", where plain DELETE beats DELETE+VACUUM.
+func RunDeleteOnlyWorkload(s EraseStrategy, records int, seed int64) (RunResult, error) {
+	target, err := newStorageTarget(s)
+	if err != nil {
+		return RunResult{}, err
+	}
+	gen, err := gdprbench.NewGenerator(gdprbench.Customer, records, seed)
+	if err != nil {
+		return RunResult{}, err
+	}
+	res := RunResult{Label: string(s), Workload: "delete-only", Records: records, Txns: records}
+	loadStart := time.Now()
+	for _, rec := range gen.Load(1<<40, 1<<41) {
+		target.put([]byte(rec.Key), rec.Payload)
+	}
+	res.LoadTime = time.Since(loadStart)
+	start := time.Now()
+	for i := 0; i < records; i++ {
+		target.del([]byte(gdprbench.KeyFor(i)))
+		target.maintain()
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

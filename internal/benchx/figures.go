@@ -1,0 +1,236 @@
+package benchx
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/datacase/datacase/internal/compliance"
+	"github.com/datacase/datacase/internal/gdprbench"
+	"github.com/datacase/datacase/internal/ycsb"
+)
+
+// Scale configures experiment sizes. The paper ran 100k records and 10k
+// transactions on PostgreSQL; the simulator defaults to the same
+// transaction count with a smaller record count so the full suite runs
+// in seconds. Pass PaperScale() for the original parameters.
+type Scale struct {
+	Records int
+	Txns    int
+	Seed    int64
+}
+
+// DefaultScale returns the quick-run parameters.
+func DefaultScale() Scale { return Scale{Records: 20000, Txns: 10000, Seed: 1} }
+
+// PaperScale returns the paper's parameters (slower).
+func PaperScale() Scale { return Scale{Records: 100000, Txns: 10000, Seed: 1} }
+
+// Series is one labelled line/bar group of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Point is one measurement.
+type Point struct {
+	X float64 // the swept parameter (txns, records, …)
+	Y time.Duration
+}
+
+// Figure is a collection of series plus labelling.
+type Figure struct {
+	Title  string
+	XLabel string
+	Series []Series
+}
+
+// Fig4a reproduces Figure 4(a): completion time of the four erasure
+// strategies on the WCus workload as the transaction count grows. The
+// paper sweeps 10K-70K transactions; the sweep here is proportional to
+// the configured Txns (s.Txns == 10000 gives 10K/30K/50K/70K ÷ factor).
+func Fig4a(s Scale, factor int) (Figure, error) {
+	if factor <= 0 {
+		factor = 1
+	}
+	fig := Figure{
+		Title:  "Fig 4(a): Interpretations of Data Erasure on WCus",
+		XLabel: "transactions",
+	}
+	sweep := []int{10000 / factor, 30000 / factor, 50000 / factor, 70000 / factor}
+	for _, strat := range EraseStrategies() {
+		series := Series{Label: string(strat)}
+		for _, txns := range sweep {
+			r, err := RunEraseStrategy(strat, s.Records, txns, s.Seed)
+			if err != nil {
+				return fig, err
+			}
+			series.Points = append(series.Points, Point{X: float64(txns), Y: r.Elapsed})
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// Fig4b reproduces Figure 4(b): completion time of P_Base / P_GBench /
+// P_SYS across WPro, WCon, WCus and YCSB-C.
+func Fig4b(s Scale) (Figure, error) {
+	fig := Figure{
+		Title:  "Fig 4(b): Completion time per workload and profile",
+		XLabel: "workload (0=WPro 1=WCon 2=WCus 3=YCSB-C)",
+	}
+	workloads := []gdprbench.WorkloadName{gdprbench.Processor, gdprbench.Controller, gdprbench.Customer}
+	for _, p := range compliance.Profiles() {
+		series := Series{Label: p.Name}
+		for i, w := range workloads {
+			r, err := RunGDPRBench(p, w, s.Records, s.Txns, s.Seed)
+			if err != nil {
+				return fig, err
+			}
+			series.Points = append(series.Points, Point{X: float64(i), Y: r.Elapsed})
+		}
+		r, err := RunYCSB(p, ycsb.WorkloadC, s.Records, s.Txns, s.Seed)
+		if err != nil {
+			return fig, err
+		}
+		series.Points = append(series.Points, Point{X: 3, Y: r.Elapsed})
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// Fig4bWorkloads returns the X-axis labels of Fig4b in order.
+func Fig4bWorkloads() []string { return []string{"WPro", "WCon", "WCus", "YCSB-C"} }
+
+// Fig4c reproduces Figure 4(c): scalability — completion time of the
+// three profiles on WCus (lines) and YCSB-C (bars) as the record count
+// grows, transaction count fixed. The paper sweeps 100k-500k records;
+// the sweep here is 1x..5x the configured Records.
+func Fig4c(s Scale) (linesWCus, barsYCSB Figure, err error) {
+	linesWCus = Figure{
+		Title:  "Fig 4(c): WCus completion time vs records",
+		XLabel: "records",
+	}
+	barsYCSB = Figure{
+		Title:  "Fig 4(c): YCSB-C completion time vs records",
+		XLabel: "records",
+	}
+	var sweep []int
+	for i := 1; i <= 5; i++ {
+		sweep = append(sweep, s.Records*i)
+	}
+	for _, p := range compliance.Profiles() {
+		wcus := Series{Label: p.Name}
+		ys := Series{Label: p.Name}
+		for _, records := range sweep {
+			r, err := RunGDPRBench(p, gdprbench.Customer, records, s.Txns, s.Seed)
+			if err != nil {
+				return linesWCus, barsYCSB, err
+			}
+			wcus.Points = append(wcus.Points, Point{X: float64(records), Y: r.Elapsed})
+			ry, err := RunYCSB(p, ycsb.WorkloadC, records, s.Txns, s.Seed)
+			if err != nil {
+				return linesWCus, barsYCSB, err
+			}
+			ys.Points = append(ys.Points, Point{X: float64(records), Y: ry.Elapsed})
+		}
+		linesWCus.Series = append(linesWCus.Series, wcus)
+		barsYCSB.Series = append(barsYCSB.Series, ys)
+	}
+	return linesWCus, barsYCSB, nil
+}
+
+// Table2 reproduces the storage-space-overhead table after a Fig 4(b)
+// style WCus run for each profile.
+func Table2(s Scale) ([]compliance.SpaceReport, error) {
+	var out []compliance.SpaceReport
+	for _, p := range compliance.Profiles() {
+		rep, err := SpaceAfterRun(p, gdprbench.Customer, s.Records, s.Txns, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// Render renders a figure as a fixed-width table: one row per X value,
+// one column per series.
+func Render(fig Figure, xnames []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", fig.Title)
+	// Collect the X axis.
+	xs := map[float64]bool{}
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	axis := make([]float64, 0, len(xs))
+	for x := range xs {
+		axis = append(axis, x)
+	}
+	sort.Float64s(axis)
+
+	fmt.Fprintf(&b, "%-14s", fig.XLabel)
+	for _, s := range fig.Series {
+		fmt.Fprintf(&b, " %22s", s.Label)
+	}
+	fmt.Fprintln(&b)
+	for i, x := range axis {
+		name := fmt.Sprintf("%.0f", x)
+		if xnames != nil && i < len(xnames) {
+			name = xnames[i]
+		}
+		fmt.Fprintf(&b, "%-14s", name)
+		for _, s := range fig.Series {
+			var cell string
+			for _, p := range s.Points {
+				if p.X == x {
+					cell = p.Y.Round(time.Millisecond).String()
+					break
+				}
+			}
+			fmt.Fprintf(&b, " %22s", cell)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// RenderCSV renders a figure as CSV (x, series1, series2, ...).
+func RenderCSV(fig Figure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "x")
+	for _, s := range fig.Series {
+		fmt.Fprintf(&b, ",%s", s.Label)
+	}
+	fmt.Fprintln(&b)
+	xs := map[float64]bool{}
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	axis := make([]float64, 0, len(xs))
+	for x := range xs {
+		axis = append(axis, x)
+	}
+	sort.Float64s(axis)
+	for _, x := range axis {
+		fmt.Fprintf(&b, "%.0f", x)
+		for _, s := range fig.Series {
+			var v float64
+			for _, p := range s.Points {
+				if p.X == x {
+					v = p.Y.Seconds()
+					break
+				}
+			}
+			fmt.Fprintf(&b, ",%.6f", v)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

@@ -1,0 +1,159 @@
+package benchx
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/datacase/datacase/internal/audit"
+	"github.com/datacase/datacase/internal/core"
+	"github.com/datacase/datacase/internal/cryptox"
+	"github.com/datacase/datacase/internal/erasure"
+	"github.com/datacase/datacase/internal/policy"
+	"github.com/datacase/datacase/internal/provenance"
+	"github.com/datacase/datacase/internal/storage/heap"
+	"github.com/datacase/datacase/internal/wal"
+)
+
+// table1Secret is the plaintext whose fate each grounding is judged on.
+const table1Secret = "CC-4111-1111-1111-1111"
+
+// buildTable1Scenario constructs a fresh credit-card scenario: a base
+// unit with an invertible derived unit, policies, audit entries and a
+// WAL record — everything the IR/II/Inv probes exercise.
+func buildTable1Scenario() (*erasure.Engine, error) {
+	db := core.NewDatabase()
+	hist := core.NewHistory()
+	table := heap.NewTable("table1", nil)
+	keys, err := cryptox.NewKeyring(cryptox.AES256)
+	if err != nil {
+		return nil, err
+	}
+	pols := policy.NewSieve()
+	logger := audit.NewQueryLogger()
+	log := wal.New()
+	prov := provenance.NewGraph()
+	clock := &core.Clock{}
+
+	base := core.NewDataUnit("cc-1234", core.KindBase, "user-1234", "signup")
+	base.SetValue([]byte(table1Secret), clock.Tick())
+	if err := base.Grant(core.Policy{Purpose: "billing", Entity: "netflix", Begin: 0, End: core.TimeMax}, clock.Now()); err != nil {
+		return nil, err
+	}
+	if err := db.Add(base); err != nil {
+		return nil, err
+	}
+	if _, err := table.Insert([]byte("cc-1234"), []byte(table1Secret)); err != nil {
+		return nil, err
+	}
+	if err := pols.AttachPolicy("cc-1234", "user-1234",
+		core.Policy{Purpose: "billing", Entity: "netflix", Begin: 0, End: core.TimeMax}); err != nil {
+		return nil, err
+	}
+	derived := core.NewDerivedUnit("cc-last4", clock.Tick(), base)
+	derived.SetValue([]byte("1111"), clock.Now())
+	if err := db.Add(derived); err != nil {
+		return nil, err
+	}
+	if _, err := table.Insert([]byte("cc-last4"), []byte("1111")); err != nil {
+		return nil, err
+	}
+	if err := prov.AddDerivation(provenance.Derivation{
+		Child: "cc-last4", Parents: []core.UnitID{"cc-1234"},
+		Invertible: true, Description: "card-number projection",
+	}); err != nil {
+		return nil, err
+	}
+	if err := logger.Log(audit.Entry{Tuple: core.HistoryTuple{
+		Unit: "cc-1234", Purpose: "billing", Entity: "netflix",
+		Action: core.Action{Kind: core.ActionRead}, At: clock.Tick(),
+	}}); err != nil {
+		return nil, err
+	}
+	log.Append(wal.RecInsert, []byte("cc-1234"), []byte(table1Secret))
+
+	return erasure.NewEngine(erasure.Target{
+		DB: db, History: hist, Data: table, Keys: keys, Policies: pols,
+		Log: logger, WAL: log, Prov: prov, Clock: clock, Executor: "system",
+	})
+}
+
+// Table1 regenerates the paper's Table 1 by actually erasing a unit
+// under each interpretation on a fresh system and measuring IR, II and
+// Inv — then checking conformance against the declared characteristics.
+func Table1() ([]erasure.Table1Row, error) {
+	var rows []erasure.Table1Row
+	for _, interp := range core.ErasureInterpretations() {
+		eng, err := buildTable1Scenario()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := eng.Erase("cc-1234", interp); err != nil {
+			return nil, err
+		}
+		props := eng.VerifyErased("cc-1234", []byte(table1Secret))
+		rows = append(rows, erasure.ConformanceCheck(interp, props))
+	}
+	return rows, nil
+}
+
+// RenderTable1 renders the rows like the paper's Table 1 (✓ = the
+// hazard/property holds, × = it does not).
+func RenderTable1(rows []erasure.Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table 1: Interpretations of erasure and their measured characteristics")
+	fmt.Fprintf(&b, "%-26s %-4s %-4s %-5s %-22s %s\n", "Erasure", "IR", "II", "Inv", "PSQL System-Action(s)", "Conforms")
+	mark := func(v bool) string {
+		if v {
+			return "✓"
+		}
+		return "×"
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-26s %-4s %-4s %-5s %-22s %v\n",
+			r.Interpretation,
+			mark(r.Measured.IllegalReads),
+			mark(r.Measured.IllegalInference),
+			mark(r.Measured.Invertible),
+			r.SystemActions,
+			r.Conforms)
+	}
+	return b.String()
+}
+
+// Fig3Timeline runs a unit through the Figure-3 erasure timeline with
+// the scheduler and returns the observed (time, stage) sequence.
+func Fig3Timeline() ([]string, error) {
+	eng, err := buildTable1Scenario()
+	if err != nil {
+		return nil, err
+	}
+	sched := erasure.NewScheduler(eng)
+	tl := core.ErasureTimeline{
+		Collected: 0, TTLive: 100, TTDelete: 200, TTStrongDelete: 300, TTPermanent: 400,
+	}
+	if err := sched.Register("cc-1234", tl); err != nil {
+		return nil, err
+	}
+	var out []string
+	out = append(out, "t=0    collected (live)")
+	for _, now := range []core.Time{50, 150, 250, 350, 450} {
+		trs := sched.Advance(now)
+		if len(trs) == 0 {
+			stage, applied := sched.Stage("cc-1234")
+			state := "live"
+			if applied {
+				state = stage.String()
+			}
+			out = append(out, fmt.Sprintf("t=%-4d %s (no transition)", now, state))
+			continue
+		}
+		for _, tr := range trs {
+			if tr.Err != nil {
+				return nil, tr.Err
+			}
+			out = append(out, fmt.Sprintf("t=%-4d -> %s (%s)", now, tr.Stage,
+				strings.Join(tr.Report.SystemActions, "; ")))
+		}
+	}
+	return out, nil
+}

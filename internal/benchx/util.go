@@ -1,0 +1,17 @@
+package benchx
+
+import (
+	"errors"
+
+	"github.com/datacase/datacase/internal/core"
+)
+
+// errorsIs wraps errors.Is (kept in one place so runner.go stays free of
+// the import alias dance).
+func errorsIs(err, target error) bool { return errors.Is(err, target) }
+
+// entityID converts a string to the core entity type.
+func entityID(s string) core.EntityID { return core.EntityID(s) }
+
+// purposeID converts a string to the core purpose type.
+func purposeID(s string) core.Purpose { return core.Purpose(s) }

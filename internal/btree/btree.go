@@ -1,0 +1,469 @@
+// Package btree implements an in-memory B+tree mapping byte-string keys
+// to 64-bit values. Heap tables use it as their primary-key index (keys
+// map to tuple IDs), and the LSM engine's "Tombstones (Indexing)" erasure
+// variant uses it to locate tombstoned keys.
+//
+// The tree stores one value per key (upserts overwrite). Leaves are
+// chained for ordered range scans. The zero value is not usable;
+// construct with New.
+package btree
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// degree is the maximum number of children of an internal node. Leaves
+// hold at most degree-1 keys. 64 keeps nodes around a cache-line-friendly
+// size for short keys while keeping the tree shallow.
+const degree = 64
+
+const (
+	maxKeys = degree - 1
+	minKeys = maxKeys / 2
+)
+
+// Tree is a B+tree from []byte keys to uint64 values.
+// It is not safe for concurrent mutation; callers serialize access.
+type Tree struct {
+	root node
+	size int
+}
+
+type node interface {
+	// find returns the index of the first key >= k (leaf) or the child
+	// index to descend into (internal).
+	isLeaf() bool
+}
+
+type leafNode struct {
+	keys [][]byte
+	vals []uint64
+	next *leafNode
+	prev *leafNode
+}
+
+type innerNode struct {
+	// keys[i] is the smallest key reachable under children[i+1].
+	keys     [][]byte
+	children []node
+}
+
+func (*leafNode) isLeaf() bool  { return true }
+func (*innerNode) isLeaf() bool { return false }
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &leafNode{}}
+}
+
+// Len returns the number of keys in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key []byte) (uint64, bool) {
+	n := t.root
+	for !n.isLeaf() {
+		in := n.(*innerNode)
+		n = in.children[childIndex(in.keys, key)]
+	}
+	lf := n.(*leafNode)
+	i := lowerBound(lf.keys, key)
+	if i < len(lf.keys) && bytes.Equal(lf.keys[i], key) {
+		return lf.vals[i], true
+	}
+	return 0, false
+}
+
+// Has reports whether key is present.
+func (t *Tree) Has(key []byte) bool {
+	_, ok := t.Get(key)
+	return ok
+}
+
+// Put inserts or overwrites key with value. It reports whether the key
+// was newly inserted (false means overwrite).
+func (t *Tree) Put(key []byte, val uint64) bool {
+	k := make([]byte, len(key))
+	copy(k, key)
+	newChild, splitKey, inserted := t.insert(t.root, k, val)
+	if newChild != nil {
+		t.root = &innerNode{
+			keys:     [][]byte{splitKey},
+			children: []node{t.root, newChild},
+		}
+	}
+	if inserted {
+		t.size++
+	}
+	return inserted
+}
+
+// insert descends, inserts, and propagates splits. It returns a non-nil
+// newChild (with its separator key) when n split.
+func (t *Tree) insert(n node, key []byte, val uint64) (newChild node, splitKey []byte, inserted bool) {
+	if n.isLeaf() {
+		lf := n.(*leafNode)
+		i := lowerBound(lf.keys, key)
+		if i < len(lf.keys) && bytes.Equal(lf.keys[i], key) {
+			lf.vals[i] = val
+			return nil, nil, false
+		}
+		lf.keys = insertBytes(lf.keys, i, key)
+		lf.vals = insertU64(lf.vals, i, val)
+		if len(lf.keys) <= maxKeys {
+			return nil, nil, true
+		}
+		// Split the leaf.
+		mid := len(lf.keys) / 2
+		right := &leafNode{
+			keys: append([][]byte(nil), lf.keys[mid:]...),
+			vals: append([]uint64(nil), lf.vals[mid:]...),
+			next: lf.next,
+			prev: lf,
+		}
+		if lf.next != nil {
+			lf.next.prev = right
+		}
+		lf.keys = lf.keys[:mid:mid]
+		lf.vals = lf.vals[:mid:mid]
+		lf.next = right
+		return right, right.keys[0], true
+	}
+
+	in := n.(*innerNode)
+	ci := childIndex(in.keys, key)
+	child, sep, ins := t.insert(in.children[ci], key, val)
+	if child == nil {
+		return nil, nil, ins
+	}
+	in.keys = insertBytes(in.keys, ci, sep)
+	in.children = insertNode(in.children, ci+1, child)
+	if len(in.keys) <= maxKeys {
+		return nil, nil, ins
+	}
+	// Split the internal node; the middle key moves up.
+	mid := len(in.keys) / 2
+	up := in.keys[mid]
+	right := &innerNode{
+		keys:     append([][]byte(nil), in.keys[mid+1:]...),
+		children: append([]node(nil), in.children[mid+1:]...),
+	}
+	in.keys = in.keys[:mid:mid]
+	in.children = in.children[: mid+1 : mid+1]
+	return right, up, ins
+}
+
+// Delete removes key and reports whether it was present.
+func (t *Tree) Delete(key []byte) bool {
+	deleted := t.remove(t.root, key)
+	if deleted {
+		t.size--
+	}
+	// Collapse a root that lost all separators.
+	if in, ok := t.root.(*innerNode); ok && len(in.children) == 1 {
+		t.root = in.children[0]
+	}
+	return deleted
+}
+
+// remove deletes key under n, rebalancing children as it unwinds.
+func (t *Tree) remove(n node, key []byte) bool {
+	if n.isLeaf() {
+		lf := n.(*leafNode)
+		i := lowerBound(lf.keys, key)
+		if i >= len(lf.keys) || !bytes.Equal(lf.keys[i], key) {
+			return false
+		}
+		lf.keys = append(lf.keys[:i], lf.keys[i+1:]...)
+		lf.vals = append(lf.vals[:i], lf.vals[i+1:]...)
+		return true
+	}
+	in := n.(*innerNode)
+	ci := childIndex(in.keys, key)
+	if !t.remove(in.children[ci], key) {
+		return false
+	}
+	t.rebalance(in, ci)
+	return true
+}
+
+// rebalance fixes an underflowing child ci of in by borrowing from or
+// merging with a sibling.
+func (t *Tree) rebalance(in *innerNode, ci int) {
+	child := in.children[ci]
+	if !underflow(child) {
+		return
+	}
+	// Prefer borrowing from the left sibling, then right; merge otherwise.
+	if ci > 0 && canLend(in.children[ci-1]) {
+		borrowFromLeft(in, ci)
+		return
+	}
+	if ci < len(in.children)-1 && canLend(in.children[ci+1]) {
+		borrowFromRight(in, ci)
+		return
+	}
+	if ci > 0 {
+		mergeChildren(in, ci-1)
+	} else {
+		mergeChildren(in, ci)
+	}
+}
+
+func keyCount(n node) int {
+	if n.isLeaf() {
+		return len(n.(*leafNode).keys)
+	}
+	return len(n.(*innerNode).keys)
+}
+
+func underflow(n node) bool { return keyCount(n) < minKeys }
+func canLend(n node) bool   { return keyCount(n) > minKeys }
+
+func borrowFromLeft(in *innerNode, ci int) {
+	if in.children[ci].isLeaf() {
+		l, r := in.children[ci-1].(*leafNode), in.children[ci].(*leafNode)
+		last := len(l.keys) - 1
+		r.keys = insertBytes(r.keys, 0, l.keys[last])
+		r.vals = insertU64(r.vals, 0, l.vals[last])
+		l.keys = l.keys[:last]
+		l.vals = l.vals[:last]
+		in.keys[ci-1] = r.keys[0]
+		return
+	}
+	l, r := in.children[ci-1].(*innerNode), in.children[ci].(*innerNode)
+	last := len(l.keys) - 1
+	r.keys = insertBytes(r.keys, 0, in.keys[ci-1])
+	in.keys[ci-1] = l.keys[last]
+	r.children = insertNode(r.children, 0, l.children[last+1])
+	l.keys = l.keys[:last]
+	l.children = l.children[:last+1]
+}
+
+func borrowFromRight(in *innerNode, ci int) {
+	if in.children[ci].isLeaf() {
+		l, r := in.children[ci].(*leafNode), in.children[ci+1].(*leafNode)
+		l.keys = append(l.keys, r.keys[0])
+		l.vals = append(l.vals, r.vals[0])
+		r.keys = append(r.keys[:0], r.keys[1:]...)
+		r.vals = append(r.vals[:0], r.vals[1:]...)
+		in.keys[ci] = r.keys[0]
+		return
+	}
+	l, r := in.children[ci].(*innerNode), in.children[ci+1].(*innerNode)
+	l.keys = append(l.keys, in.keys[ci])
+	in.keys[ci] = r.keys[0]
+	l.children = append(l.children, r.children[0])
+	r.keys = append(r.keys[:0], r.keys[1:]...)
+	r.children = append(r.children[:0], r.children[1:]...)
+}
+
+// mergeChildren merges child i+1 into child i of in.
+func mergeChildren(in *innerNode, i int) {
+	if in.children[i].isLeaf() {
+		l, r := in.children[i].(*leafNode), in.children[i+1].(*leafNode)
+		l.keys = append(l.keys, r.keys...)
+		l.vals = append(l.vals, r.vals...)
+		l.next = r.next
+		if r.next != nil {
+			r.next.prev = l
+		}
+	} else {
+		l, r := in.children[i].(*innerNode), in.children[i+1].(*innerNode)
+		l.keys = append(l.keys, in.keys[i])
+		l.keys = append(l.keys, r.keys...)
+		l.children = append(l.children, r.children...)
+	}
+	in.keys = append(in.keys[:i], in.keys[i+1:]...)
+	in.children = append(in.children[:i+1], in.children[i+2:]...)
+}
+
+// Min returns the smallest key, or ok=false on an empty tree.
+func (t *Tree) Min() (key []byte, val uint64, ok bool) {
+	lf := t.firstLeaf()
+	if len(lf.keys) == 0 {
+		return nil, 0, false
+	}
+	return lf.keys[0], lf.vals[0], true
+}
+
+// Max returns the largest key, or ok=false on an empty tree.
+func (t *Tree) Max() (key []byte, val uint64, ok bool) {
+	n := t.root
+	for !n.isLeaf() {
+		in := n.(*innerNode)
+		n = in.children[len(in.children)-1]
+	}
+	lf := n.(*leafNode)
+	if len(lf.keys) == 0 {
+		return nil, 0, false
+	}
+	i := len(lf.keys) - 1
+	return lf.keys[i], lf.vals[i], true
+}
+
+func (t *Tree) firstLeaf() *leafNode {
+	n := t.root
+	for !n.isLeaf() {
+		n = n.(*innerNode).children[0]
+	}
+	return n.(*leafNode)
+}
+
+// Ascend visits every (key, value) in ascending key order until fn
+// returns false.
+func (t *Tree) Ascend(fn func(key []byte, val uint64) bool) {
+	for lf := t.firstLeaf(); lf != nil; lf = lf.next {
+		for i, k := range lf.keys {
+			if !fn(k, lf.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// AscendRange visits keys k with lo <= k < hi in ascending order until fn
+// returns false. A nil hi means "to the end".
+func (t *Tree) AscendRange(lo, hi []byte, fn func(key []byte, val uint64) bool) {
+	n := t.root
+	for !n.isLeaf() {
+		in := n.(*innerNode)
+		n = in.children[childIndex(in.keys, lo)]
+	}
+	lf := n.(*leafNode)
+	i := lowerBound(lf.keys, lo)
+	for lf != nil {
+		for ; i < len(lf.keys); i++ {
+			if hi != nil && bytes.Compare(lf.keys[i], hi) >= 0 {
+				return
+			}
+			if !fn(lf.keys[i], lf.vals[i]) {
+				return
+			}
+		}
+		lf = lf.next
+		i = 0
+	}
+}
+
+// CheckInvariants validates structural invariants (sorted keys, fanout
+// bounds, uniform depth, leaf chain consistency). Tests use it; it
+// returns a descriptive error on the first violation found.
+func (t *Tree) CheckInvariants() error {
+	depth := -1
+	var walk func(n node, d int, min, max []byte) error
+	walk = func(n node, d int, min, max []byte) error {
+		if n.isLeaf() {
+			if depth == -1 {
+				depth = d
+			} else if d != depth {
+				return fmt.Errorf("btree: leaves at depths %d and %d", depth, d)
+			}
+			lf := n.(*leafNode)
+			if len(lf.keys) != len(lf.vals) {
+				return fmt.Errorf("btree: leaf keys/vals length mismatch")
+			}
+			for i := range lf.keys {
+				if i > 0 && bytes.Compare(lf.keys[i-1], lf.keys[i]) >= 0 {
+					return fmt.Errorf("btree: leaf keys out of order")
+				}
+				if min != nil && bytes.Compare(lf.keys[i], min) < 0 {
+					return fmt.Errorf("btree: leaf key below separator")
+				}
+				if max != nil && bytes.Compare(lf.keys[i], max) >= 0 {
+					return fmt.Errorf("btree: leaf key at/above separator")
+				}
+			}
+			return nil
+		}
+		in := n.(*innerNode)
+		if len(in.children) != len(in.keys)+1 {
+			return fmt.Errorf("btree: inner fanout mismatch: %d keys, %d children",
+				len(in.keys), len(in.children))
+		}
+		for i := range in.keys {
+			if i > 0 && bytes.Compare(in.keys[i-1], in.keys[i]) >= 0 {
+				return fmt.Errorf("btree: inner keys out of order")
+			}
+		}
+		for i, c := range in.children {
+			cmin, cmax := min, max
+			if i > 0 {
+				cmin = in.keys[i-1]
+			}
+			if i < len(in.keys) {
+				cmax = in.keys[i]
+			}
+			if err := walk(c, d+1, cmin, cmax); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0, nil, nil); err != nil {
+		return err
+	}
+	// Leaf chain must enumerate exactly size keys in ascending order.
+	count := 0
+	var prev []byte
+	for lf := t.firstLeaf(); lf != nil; lf = lf.next {
+		for _, k := range lf.keys {
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				return fmt.Errorf("btree: leaf chain out of order")
+			}
+			prev = k
+			count++
+		}
+	}
+	if count != t.size {
+		return fmt.Errorf("btree: size %d but leaf chain has %d keys", t.size, count)
+	}
+	return nil
+}
+
+// childIndex returns the child to descend into for key among separators.
+func childIndex(keys [][]byte, key []byte) int {
+	i := lowerBound(keys, key)
+	// Separator keys[i] is the smallest key of child i+1, so equal keys
+	// descend right.
+	if i < len(keys) && bytes.Equal(keys[i], key) {
+		return i + 1
+	}
+	return i
+}
+
+// lowerBound returns the first index i with keys[i] >= key.
+func lowerBound(keys [][]byte, key []byte) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func insertBytes(s [][]byte, i int, v []byte) [][]byte {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func insertU64(s []uint64, i int, v uint64) []uint64 {
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func insertNode(s []node, i int, v node) []node {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}

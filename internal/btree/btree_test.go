@@ -1,0 +1,318 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%08d", i)) }
+
+func TestPutGet(t *testing.T) {
+	tr := New()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if !tr.Put(key(i), uint64(i)) {
+			t.Fatalf("Put(%d) reported overwrite", i)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := tr.Get(key(i))
+		if !ok || v != uint64(i) {
+			t.Fatalf("Get(%d) = %d, %v", i, v, ok)
+		}
+	}
+	if _, ok := tr.Get([]byte("absent")); ok {
+		t.Fatal("Get on absent key reported ok")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutOverwrite(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("k"), 1)
+	if tr.Put([]byte("k"), 2) {
+		t.Fatal("overwrite reported as insert")
+	}
+	if v, _ := tr.Get([]byte("k")); v != 2 {
+		t.Fatalf("value = %d, want 2", v)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestPutCopiesKey(t *testing.T) {
+	tr := New()
+	k := []byte("mutable")
+	tr.Put(k, 7)
+	k[0] = 'X'
+	if _, ok := tr.Get([]byte("mutable")); !ok {
+		t.Fatal("tree aliased caller's key slice")
+	}
+}
+
+func TestDeleteAscendingAndDescending(t *testing.T) {
+	for name, order := range map[string]func(n int) []int{
+		"ascending":  func(n int) []int { s := seq(n); return s },
+		"descending": func(n int) []int { s := seq(n); reverse(s); return s },
+		"shuffled": func(n int) []int {
+			s := seq(n)
+			r := rand.New(rand.NewSource(42))
+			r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+			return s
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			const n = 3000
+			tr := New()
+			for i := 0; i < n; i++ {
+				tr.Put(key(i), uint64(i))
+			}
+			for _, i := range order(n) {
+				if !tr.Delete(key(i)) {
+					t.Fatalf("Delete(%d) = false", i)
+				}
+				if tr.Has(key(i)) {
+					t.Fatalf("key %d present after delete", i)
+				}
+			}
+			if tr.Len() != 0 {
+				t.Fatalf("Len = %d after deleting all", tr.Len())
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestDeleteAbsent(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("a"), 1)
+	if tr.Delete([]byte("b")) {
+		t.Fatal("Delete of absent key reported true")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestAscendOrder(t *testing.T) {
+	tr := New()
+	const n = 2000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		tr.Put(key(i), uint64(i))
+	}
+	var got [][]byte
+	tr.Ascend(func(k []byte, v uint64) bool {
+		got = append(got, append([]byte(nil), k...))
+		return true
+	})
+	if len(got) != n {
+		t.Fatalf("Ascend visited %d keys, want %d", len(got), n)
+	}
+	for i := 1; i < len(got); i++ {
+		if bytes.Compare(got[i-1], got[i]) >= 0 {
+			t.Fatal("Ascend out of order")
+		}
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Put(key(i), uint64(i))
+	}
+	count := 0
+	tr.Ascend(func(k []byte, v uint64) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("visited %d, want 10", count)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Put(key(i), uint64(i))
+	}
+	var got []uint64
+	tr.AscendRange(key(100), key(110), func(k []byte, v uint64) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 10 || got[0] != 100 || got[9] != 109 {
+		t.Fatalf("range scan = %v", got)
+	}
+	// nil hi scans to the end.
+	count := 0
+	tr.AscendRange(key(990), nil, func(k []byte, v uint64) bool {
+		count++
+		return true
+	})
+	if count != 10 {
+		t.Fatalf("open-ended range = %d, want 10", count)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New()
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty tree")
+	}
+	for i := 50; i < 150; i++ {
+		tr.Put(key(i), uint64(i))
+	}
+	if k, v, ok := tr.Min(); !ok || !bytes.Equal(k, key(50)) || v != 50 {
+		t.Fatalf("Min = %q, %d, %v", k, v, ok)
+	}
+	if k, v, ok := tr.Max(); !ok || !bytes.Equal(k, key(149)) || v != 149 {
+		t.Fatalf("Max = %q, %d, %v", k, v, ok)
+	}
+}
+
+func TestMixedWorkloadAgainstReference(t *testing.T) {
+	tr := New()
+	ref := make(map[string]uint64)
+	r := rand.New(rand.NewSource(7))
+	for op := 0; op < 50000; op++ {
+		k := key(r.Intn(2000))
+		switch r.Intn(3) {
+		case 0, 1:
+			v := uint64(r.Intn(1 << 30))
+			tr.Put(k, v)
+			ref[string(k)] = v
+		case 2:
+			got := tr.Delete(k)
+			_, want := ref[string(k)]
+			if got != want {
+				t.Fatalf("Delete(%q) = %v, ref says %v", k, got, want)
+			}
+			delete(ref, string(k))
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, ref = %d", tr.Len(), len(ref))
+	}
+	for k, want := range ref {
+		got, ok := tr.Get([]byte(k))
+		if !ok || got != want {
+			t.Fatalf("Get(%q) = %d, %v; want %d", k, got, ok, want)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after any sequence of puts, ascending iteration yields the
+// reference map's keys in sorted order.
+func TestAscendMatchesSortedReferenceProperty(t *testing.T) {
+	f := func(keys [][]byte) bool {
+		tr := New()
+		ref := make(map[string]uint64)
+		for i, k := range keys {
+			tr.Put(k, uint64(i))
+			ref[string(k)] = uint64(i)
+		}
+		want := make([]string, 0, len(ref))
+		for k := range ref {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		var got []string
+		tr.Ascend(func(k []byte, v uint64) bool {
+			got = append(got, string(k))
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return tr.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: deletion of a random subset leaves exactly the complement.
+func TestDeleteSubsetProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		total := int(n)%200 + 50
+		tr := New()
+		for i := 0; i < total; i++ {
+			tr.Put(key(i), uint64(i))
+		}
+		deleted := make(map[int]bool)
+		for i := 0; i < total/2; i++ {
+			d := r.Intn(total)
+			tr.Delete(key(d))
+			deleted[d] = true
+		}
+		for i := 0; i < total; i++ {
+			if tr.Has(key(i)) == deleted[i] {
+				return false
+			}
+		}
+		return tr.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func seq(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+func reverse(s []int) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	tr := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Put(key(i), uint64(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		tr.Put(key(i), uint64(i))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Get(key(i % n))
+	}
+}

@@ -1,0 +1,90 @@
+package compliance
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/datacase/datacase/internal/core"
+)
+
+// Breach handling (GDPR Arts. 33-34): detections and notifications are
+// recorded as history tuples under a breach pseudo-unit, so the
+// notification deadline is checked by the same invariant machinery as
+// everything else.
+
+// BreachNotificationWindow is the notification deadline in logical time
+// units (the 72-hour analogue).
+const BreachNotificationWindow core.Time = 72
+
+// RecordBreach records the detection of a personal data breach
+// affecting the given records.
+func (db *DB) RecordBreach(id string, affectedKeys []string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if id == "" {
+		return fmt.Errorf("compliance: breach needs an id")
+	}
+	now := db.clock.Tick()
+	unit := core.BreachUnitID(id)
+	tuple := core.HistoryTuple{
+		Unit: unit, Purpose: core.PurposeLegalObligation, Entity: EntitySystem,
+		Action: core.Action{
+			Kind:                 core.ActionWriteMetadata,
+			SystemAction:         core.BreachDetectedAction,
+			RequiredByRegulation: true,
+		},
+		At: now,
+	}
+	db.logOp(tuple, "BREACH DETECTED", []byte(strings.Join(affectedKeys, ",")), "")
+	if db.history != nil {
+		db.history.MustAppend(tuple)
+	}
+	return nil
+}
+
+// NotifyBreach records that the supervisory authority and affected data
+// subjects were notified of the breach.
+func (db *DB) NotifyBreach(id string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if id == "" {
+		return fmt.Errorf("compliance: breach needs an id")
+	}
+	now := db.clock.Tick()
+	unit := core.BreachUnitID(id)
+	tuple := core.HistoryTuple{
+		Unit: unit, Purpose: core.PurposeLegalObligation, Entity: EntitySystem,
+		Action: core.Action{
+			Kind:                 core.ActionWriteMetadata,
+			SystemAction:         core.BreachNotifiedAction,
+			RequiredByRegulation: true,
+		},
+		At: now,
+	}
+	db.logOp(tuple, "BREACH NOTIFIED", nil, "")
+	if db.history != nil {
+		db.history.MustAppend(tuple)
+	}
+	return nil
+}
+
+// AuditWithBreaches evaluates the default invariant set plus the breach
+// notification invariant.
+func (db *DB) AuditWithBreaches(invs *core.InvariantSet) (Report, error) {
+	full, err := core.NewInvariantSet()
+	if err != nil {
+		return Report{}, err
+	}
+	if invs != nil {
+		for _, id := range invs.IDs() {
+			inv, _ := invs.Lookup(id)
+			if err := full.Add(inv); err != nil {
+				return Report{}, err
+			}
+		}
+	}
+	if err := full.Add(core.NewBreachNotificationInvariant(BreachNotificationWindow)); err != nil {
+		return Report{}, err
+	}
+	return db.Audit(full)
+}

@@ -1,0 +1,108 @@
+package compliance
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/datacase/datacase/internal/core"
+)
+
+// Report is the outcome of a compliance audit: the invariant violations
+// found, plus the grounding inventory that makes the result
+// interpretable (which readings of the regulation the deployment chose).
+type Report struct {
+	Profile    string
+	Now        core.Time
+	Checked    []string
+	Violations []core.Violation
+	Groundings *core.GroundingRegistry
+}
+
+// Compliant reports whether no violations were found.
+func (r Report) Compliant() bool { return len(r.Violations) == 0 }
+
+// String renders a human-readable report.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "compliance report for %s at %s\n", r.Profile, r.Now)
+	fmt.Fprintf(&b, "  invariants checked: %s\n", strings.Join(r.Checked, ", "))
+	if grounded, missing := r.Groundings.FullyGrounded(); grounded {
+		fmt.Fprintf(&b, "  groundings: fully grounded\n")
+	} else {
+		fmt.Fprintf(&b, "  groundings: NOT fully grounded (missing/unsupported: %v)\n", missing)
+	}
+	if r.Compliant() {
+		fmt.Fprintf(&b, "  result: COMPLIANT (no violations)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  result: %d violation(s)\n", len(r.Violations))
+	max := len(r.Violations)
+	if max > 20 {
+		max = 20
+	}
+	for _, v := range r.Violations[:max] {
+		fmt.Fprintf(&b, "    %s\n", v)
+	}
+	if len(r.Violations) > max {
+		fmt.Fprintf(&b, "    ... and %d more\n", len(r.Violations)-max)
+	}
+	return b.String()
+}
+
+// Audit evaluates the invariant set against the DB's model mirror. The
+// DB must have been opened with TrackModel; otherwise an error Report
+// explains the gap (a deployment that keeps no model view cannot
+// demonstrate compliance).
+func (db *DB) Audit(invs *core.InvariantSet) (Report, error) {
+	modelDB, history := db.Model()
+	rep := Report{
+		Profile:    db.profile.Name,
+		Groundings: db.profile.Groundings(),
+	}
+	if modelDB == nil {
+		return rep, fmt.Errorf("compliance: profile %s was opened without TrackModel; "+
+			"no model view to audit", db.profile.Name)
+	}
+	db.mu.Lock()
+	now := db.clock.Now()
+	db.mu.Unlock()
+	rep.Now = now
+	rep.Checked = invs.IDs()
+	ctx := &core.CheckContext{
+		DB:       modelDB,
+		History:  history,
+		Purposes: deploymentPurposes(),
+		Now:      now,
+	}
+	rep.Violations = invs.CheckAll(ctx)
+	return rep, nil
+}
+
+// deploymentPurposes grounds the purposes this deployment uses.
+func deploymentPurposes() *core.PurposeRegistry {
+	reg := core.NewPurposeRegistry()
+	read := map[core.ActionKind]bool{core.ActionRead: true, core.ActionReadMetadata: true}
+	readWrite := map[core.ActionKind]bool{
+		core.ActionRead: true, core.ActionWrite: true,
+		core.ActionReadMetadata: true, core.ActionWriteMetadata: true,
+		core.ActionCreate: true, core.ActionDerive: true,
+	}
+	specs := []core.PurposeSpec{
+		{Purpose: PurposeService, Description: "operate the service", Allowed: readWrite},
+		{Purpose: PurposeProcessing, Description: "processor analytics", Allowed: read},
+		{Purpose: PurposeSubjectAccess, Description: "data subject rights", Allowed: readWrite},
+		{Purpose: "consent", Description: "consent collection", Allowed: map[core.ActionKind]bool{core.ActionConsent: true}},
+	}
+	for _, name := range []string{"billing", "analytics", "advertising", "service", "research"} {
+		specs = append(specs, core.PurposeSpec{
+			Purpose:     core.Purpose(name),
+			Description: "record purpose " + name,
+			Allowed:     readWrite,
+		})
+	}
+	for _, s := range specs {
+		// Define only fails on empty purpose names.
+		_ = reg.Define(s)
+	}
+	return reg
+}

@@ -1,0 +1,627 @@
+package compliance
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/datacase/datacase/internal/audit"
+	"github.com/datacase/datacase/internal/core"
+	"github.com/datacase/datacase/internal/cryptox"
+	"github.com/datacase/datacase/internal/gdprbench"
+	"github.com/datacase/datacase/internal/policy"
+	"github.com/datacase/datacase/internal/provenance"
+	"github.com/datacase/datacase/internal/storage/heap"
+	"github.com/datacase/datacase/internal/wal"
+)
+
+// Well-known entities of a deployment.
+const (
+	EntityController core.EntityID = "controller"
+	EntityProcessor  core.EntityID = "processor"
+	EntitySubjectSvc core.EntityID = "subject-svc"
+	EntitySystem     core.EntityID = "system"
+)
+
+// Purposes the deployment grounds beyond the record's own.
+const (
+	PurposeService       core.Purpose = "service"
+	PurposeProcessing    core.Purpose = "processing"
+	PurposeSubjectAccess core.Purpose = "subject-access"
+)
+
+// Operation errors.
+var (
+	// ErrNotFound: the record does not exist (or was erased).
+	ErrNotFound = errors.New("compliance: record not found")
+	// ErrDenied: the policy engine rejected the access.
+	ErrDenied = errors.New("compliance: access denied")
+)
+
+// Counters tally DB-level work.
+type Counters struct {
+	Creates     uint64
+	DataReads   uint64
+	DataUpdates uint64
+	Deletes     uint64
+	MetaReads   uint64
+	MetaUpdates uint64
+	MetaScans   uint64
+	Denials     uint64
+	NotFound    uint64
+	Vacuums     uint64
+	VacuumFulls uint64
+	// CascadeDeletes counts derived records strong-deleted because
+	// their subject was identifiable after a parent's erasure.
+	CascadeDeletes uint64
+}
+
+// DB is one grounded deployment: a heap table of GDPR records plus the
+// profile's policy engine, audit logger and at-rest protection. All
+// operations are policy-checked and logged per the profile's grounding.
+// DB serializes operations with a single mutex (the harness measures
+// completion time of a serial stream, like the paper's workloads).
+type DB struct {
+	profile Profile
+
+	mu       sync.Mutex
+	clock    core.Clock
+	data     *heap.Table
+	policies policy.Engine
+	logger   audit.Logger
+	sealer   cryptox.Sealer
+	blockdev *cryptox.BlockDev
+	prov     *provenance.Graph
+
+	nextSector int
+
+	// plaintext personal-data accounting for Table 2.
+	personalBytes int64
+	metaBytes     int64
+
+	// model mirror (TrackModel).
+	modelDB *core.Database
+	history *core.History
+
+	mutationsSinceCheck int
+	counters            Counters
+}
+
+// Open builds a DB for the profile.
+func Open(p Profile) (*DB, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	logger, err := p.NewLogger()
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{
+		profile:  p,
+		data:     heap.NewTable(p.Name+":data", wal.New()),
+		policies: p.NewPolicyEngine(),
+		logger:   logger,
+		prov:     provenance.NewGraph(),
+	}
+	if p.UseBlockDev {
+		// 96-byte sectors: enough for the mall payloads without the
+		// device dominating the space accounting.
+		dev, err := cryptox.NewBlockDev([]byte(p.Name+"-disk-passphrase"), 96)
+		if err != nil {
+			return nil, err
+		}
+		db.blockdev = dev
+	} else {
+		key, err := cryptox.GenerateKey(p.PayloadCipher)
+		if err != nil {
+			return nil, err
+		}
+		sealer, err := cryptox.NewAESGCM(key, nil)
+		if err != nil {
+			return nil, err
+		}
+		db.sealer = sealer
+	}
+	if p.TrackModel {
+		db.modelDB = core.NewDatabase()
+		db.history = core.NewHistory()
+	}
+	return db, nil
+}
+
+// Profile returns the profile the DB was opened with.
+func (db *DB) Profile() Profile { return db.profile }
+
+// Counters returns a snapshot of the op counters.
+func (db *DB) Counters() Counters {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.counters
+}
+
+// Len returns the number of live records.
+func (db *DB) Len() int { return db.data.Len() }
+
+// Model returns the model mirror (nil unless TrackModel).
+func (db *DB) Model() (*core.Database, *core.History) { return db.modelDB, db.history }
+
+// Logger exposes the audit logger (reports, tests).
+func (db *DB) Logger() audit.Logger { return db.logger }
+
+// PolicyEngine exposes the policy engine (reports, tests).
+func (db *DB) PolicyEngine() policy.Engine { return db.policies }
+
+// protect converts a plaintext payload into the stored blob.
+func (db *DB) protect(payload []byte) ([]byte, error) {
+	if db.blockdev != nil {
+		sector := db.nextSector
+		db.nextSector++
+		if err := db.blockdev.WriteSector(sector, payload); err != nil {
+			return nil, err
+		}
+		blob := make([]byte, 8)
+		binary.BigEndian.PutUint32(blob[:4], uint32(sector))
+		binary.BigEndian.PutUint32(blob[4:], uint32(len(payload)))
+		return blob, nil
+	}
+	return db.sealer.Seal(payload)
+}
+
+// unprotect recovers the plaintext payload from a stored blob.
+func (db *DB) unprotect(blob []byte) ([]byte, error) {
+	if db.blockdev != nil {
+		if len(blob) != 8 {
+			return nil, fmt.Errorf("compliance: bad sector reference")
+		}
+		sector := int(binary.BigEndian.Uint32(blob[:4]))
+		n := int(binary.BigEndian.Uint32(blob[4:]))
+		buf, err := db.blockdev.ReadSector(sector)
+		if err != nil {
+			return nil, err
+		}
+		if n > len(buf) {
+			return nil, fmt.Errorf("compliance: sector shorter than payload")
+		}
+		return buf[:n], nil
+	}
+	return db.sealer.Open(blob)
+}
+
+// Create collects a new record with consent: stores it protected,
+// attaches the consented policies, and logs the collection.
+func (db *DB) Create(rec gdprbench.Record) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	now := db.clock.Tick()
+	meta := Metadata{
+		Subject:    rec.Subject,
+		Purposes:   rec.Purposes,
+		TTL:        rec.TTL,
+		Processors: rec.Processors,
+		Objected:   rec.Objected,
+		CreatedAt:  int64(now),
+	}
+	blob, err := db.protect(rec.Payload)
+	if err != nil {
+		return err
+	}
+	row := encodeRecord(storedRecord{Meta: meta, Blob: blob})
+	if _, err := db.data.Insert([]byte(rec.Key), row); err != nil {
+		return err
+	}
+	db.personalBytes += int64(len(rec.Payload))
+	db.metaBytes += int64(len(row) - len(blob))
+	unit := core.UnitID(rec.Key)
+	subject := core.EntityID(rec.Subject)
+	deadline := core.Time(int64(now) + rec.TTL)
+	pols := recordPolicies(rec, now, deadline)
+	if err := db.policies.AttachPolicies(unit, subject, pols); err != nil {
+		return err
+	}
+	db.logOp(core.HistoryTuple{
+		Unit: unit, Purpose: PurposeService, Entity: EntityController,
+		Action: core.Action{Kind: core.ActionCreate, SystemAction: "INSERT"}, At: now,
+	}, "INSERT INTO data", row, unit)
+	if db.modelDB != nil {
+		u := core.NewDataUnit(unit, core.KindBase, subject, "collection")
+		u.SetValue(rec.Payload, now)
+		for _, p := range pols {
+			// Grant only fails on malformed policies; ours are built here.
+			_ = u.Grant(p, now)
+		}
+		// Duplicate keys were rejected by Insert above.
+		_ = db.modelDB.Add(u)
+		db.history.MustAppend(core.HistoryTuple{
+			Unit: unit, Purpose: "consent", Entity: subject,
+			Action: core.Action{Kind: core.ActionConsent, RequiredByRegulation: true}, At: now,
+		})
+		db.history.MustAppend(core.HistoryTuple{
+			Unit: unit, Purpose: PurposeService, Entity: EntityController,
+			Action: core.Action{Kind: core.ActionCreate, SystemAction: "INSERT"}, At: now,
+		})
+	}
+	db.counters.Creates++
+	return nil
+}
+
+// recordPolicies derives the consented policy set of a record: the
+// controller operates the service, the processor processes, the
+// subject-access path serves data-subject rights, and the system must
+// erase by the TTL deadline. The record's own purposes stay in its
+// metadata (they drive metadata queries); consent to them is subsumed
+// under the service policy, as GDPRBench's schema does.
+func recordPolicies(rec gdprbench.Record, now, deadline core.Time) []core.Policy {
+	return []core.Policy{
+		{Purpose: PurposeService, Entity: EntityController, Begin: now, End: deadline},
+		{Purpose: PurposeProcessing, Entity: EntityProcessor, Begin: now, End: deadline},
+		{Purpose: PurposeSubjectAccess, Entity: EntitySubjectSvc, Begin: now, End: deadline},
+		{Purpose: core.PurposeComplianceErase, Entity: EntitySystem, Begin: now, End: deadline},
+	}
+}
+
+// ReadData reads a record's personal data by key.
+func (db *DB) ReadData(entity core.EntityID, purpose core.Purpose, key string) ([]byte, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	now := db.clock.Tick()
+	row, ok := db.data.Get([]byte(key))
+	if !ok {
+		db.counters.NotFound++
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	unit := core.UnitID(key)
+	d := db.policies.Allow(policy.Request{
+		Unit: unit, Subject: core.EntityID(metaSubject(row)),
+		Entity: entity, Purpose: purpose, Action: core.ActionRead, At: now,
+	})
+	if !d.Allowed {
+		db.counters.Denials++
+		return nil, fmt.Errorf("%w: %s", ErrDenied, d.Reason)
+	}
+	rec, err := decodeRecord(row)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := db.unprotect(rec.Blob)
+	if err != nil {
+		return nil, err
+	}
+	tuple := core.HistoryTuple{
+		Unit: unit, Purpose: purpose, Entity: entity,
+		Action: core.Action{Kind: core.ActionRead, SystemAction: "SELECT"}, At: now,
+	}
+	db.logOp(tuple, "SELECT data", payload, unit)
+	if db.history != nil {
+		db.history.MustAppend(tuple)
+	}
+	db.counters.DataReads++
+	return payload, nil
+}
+
+// UpdateData overwrites a record's personal data.
+func (db *DB) UpdateData(entity core.EntityID, purpose core.Purpose, key string, payload []byte) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	now := db.clock.Tick()
+	row, ok := db.data.Get([]byte(key))
+	if !ok {
+		db.counters.NotFound++
+		return fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	unit := core.UnitID(key)
+	d := db.policies.Allow(policy.Request{
+		Unit: unit, Subject: core.EntityID(metaSubject(row)),
+		Entity: entity, Purpose: purpose, Action: core.ActionWrite, At: now,
+	})
+	if !d.Allowed {
+		db.counters.Denials++
+		return fmt.Errorf("%w: %s", ErrDenied, d.Reason)
+	}
+	rec, err := decodeRecord(row)
+	if err != nil {
+		return err
+	}
+	oldPayload, err := db.unprotect(rec.Blob)
+	if err != nil {
+		return err
+	}
+	blob, err := db.protect(payload)
+	if err != nil {
+		return err
+	}
+	rec.Blob = blob
+	if _, err := db.data.Update([]byte(key), encodeRecord(rec)); err != nil {
+		return err
+	}
+	db.personalBytes += int64(len(payload)) - int64(len(oldPayload))
+	tuple := core.HistoryTuple{
+		Unit: unit, Purpose: purpose, Entity: entity,
+		Action: core.Action{Kind: core.ActionWrite, SystemAction: "UPDATE"}, At: now,
+	}
+	db.logOp(tuple, "UPDATE data", payload, unit)
+	if db.modelDB != nil {
+		if u, ok := db.modelDB.Lookup(unit); ok {
+			u.SetValue(payload, now)
+		}
+		db.history.MustAppend(tuple)
+	}
+	db.counters.DataUpdates++
+	db.afterMutation()
+	return nil
+}
+
+// DeleteData erases a record per the profile's erasure grounding. The
+// action is required by regulation (right to erasure / retention
+// expiry), so it needs no authorizing policy, but it must be recorded.
+func (db *DB) DeleteData(entity core.EntityID, key string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	now := db.clock.Tick()
+	// The subject is needed for the strong grounding's cascade; read it
+	// before the row disappears.
+	row, ok := db.data.Get([]byte(key))
+	if !ok {
+		db.counters.NotFound++
+		return fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	subject := append([]byte(nil), metaSubject(row)...)
+	if err := db.data.Delete([]byte(key)); err != nil {
+		db.counters.NotFound++
+		return fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	unit := core.UnitID(key)
+	db.policies.RevokePolicies(unit)
+	sysAction := map[VacuumStyle]string{
+		VacuumNone: "DELETE", VacuumLazy: "DELETE+VACUUM", VacuumFull: "DELETE+VACUUM FULL",
+	}[db.profile.Vacuum]
+	if db.profile.EraseLogsOnDelete {
+		// Erase log entries of the unit first, then log the erasure
+		// itself — the surviving record demonstrates compliance.
+		// Loggers used by erase-capable profiles support EraseUnit.
+		_, _ = db.logger.EraseUnit(unit)
+	}
+	tuple := core.HistoryTuple{
+		Unit: unit, Purpose: core.PurposeComplianceErase, Entity: entity,
+		Action: core.Action{Kind: core.ActionErase, SystemAction: sysAction, RequiredByRegulation: true},
+		At:     now,
+	}
+	db.logOp(tuple, "DELETE FROM data", nil, unit)
+	if db.modelDB != nil {
+		if u, ok := db.modelDB.Lookup(unit); ok {
+			u.RevokeAllPolicies(now)
+			u.MarkErased(now)
+		}
+		db.history.MustAppend(tuple)
+	}
+	db.counters.Deletes++
+	// The strong-delete grounding cascades to derived records in which
+	// the subject remains identifiable (§3.1's strong deletion).
+	if db.profile.CascadeDependents {
+		db.cascadeDependents(unit, subject, entity, now)
+	}
+	db.afterMutation()
+	return nil
+}
+
+// ReadMeta answers a keyed metadata query for one record (the customer
+// workload's "reads of metadata": a subject inspecting their own
+// record's policies and TTL).
+func (db *DB) ReadMeta(entity core.EntityID, purpose core.Purpose, key string) (Metadata, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	now := db.clock.Tick()
+	row, ok := db.data.Get([]byte(key))
+	if !ok {
+		db.counters.NotFound++
+		return Metadata{}, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	unit := core.UnitID(key)
+	d := db.policies.Allow(policy.Request{
+		Unit: unit, Subject: core.EntityID(metaSubject(row)),
+		Entity: entity, Purpose: purpose, Action: core.ActionReadMetadata, At: now,
+	})
+	if !d.Allowed {
+		db.counters.Denials++
+		return Metadata{}, fmt.Errorf("%w: %s", ErrDenied, d.Reason)
+	}
+	rec, err := decodeRecord(row)
+	if err != nil {
+		return Metadata{}, err
+	}
+	tuple := core.HistoryTuple{
+		Unit: unit, Purpose: purpose, Entity: entity,
+		Action: core.Action{Kind: core.ActionReadMetadata, SystemAction: "SELECT meta"}, At: now,
+	}
+	db.logOp(tuple, "SELECT meta", encodeMetadata(rec.Meta), unit)
+	if db.history != nil {
+		db.history.MustAppend(tuple)
+	}
+	db.counters.MetaReads++
+	return rec.Meta, nil
+}
+
+// UpdateMeta changes a record's metadata: sets a new TTL and consents to
+// an additional purpose.
+func (db *DB) UpdateMeta(entity core.EntityID, purpose core.Purpose, key, newPurpose string, newTTL int64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	now := db.clock.Tick()
+	row, ok := db.data.Get([]byte(key))
+	if !ok {
+		db.counters.NotFound++
+		return fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	unit := core.UnitID(key)
+	subject := core.EntityID(metaSubject(row))
+	d := db.policies.Allow(policy.Request{
+		Unit: unit, Subject: subject,
+		Entity: entity, Purpose: purpose, Action: core.ActionWriteMetadata, At: now,
+	})
+	if !d.Allowed {
+		db.counters.Denials++
+		return fmt.Errorf("%w: %s", ErrDenied, d.Reason)
+	}
+	rec, err := decodeRecord(row)
+	if err != nil {
+		return err
+	}
+	oldLen := int64(len(row) - len(rec.Blob))
+	rec.Meta.TTL = newTTL
+	if newPurpose != "" && !hasString(rec.Meta.Purposes, newPurpose) {
+		rec.Meta.Purposes = append(rec.Meta.Purposes, newPurpose)
+	}
+	newRow := encodeRecord(rec)
+	if _, err := db.data.Update([]byte(key), newRow); err != nil {
+		return err
+	}
+	db.metaBytes += int64(len(newRow)-len(rec.Blob)) - oldLen
+	if newPurpose != "" {
+		p := core.Policy{
+			Purpose: core.Purpose(newPurpose), Entity: EntityController,
+			Begin: now, End: core.Time(int64(now) + newTTL),
+		}
+		if err := db.policies.AttachPolicy(unit, subject, p); err != nil {
+			return err
+		}
+		if db.modelDB != nil {
+			if u, ok := db.modelDB.Lookup(unit); ok {
+				_ = u.Grant(p, now)
+			}
+		}
+	}
+	tuple := core.HistoryTuple{
+		Unit: unit, Purpose: purpose, Entity: entity,
+		Action: core.Action{Kind: core.ActionWriteMetadata, SystemAction: "UPDATE meta"}, At: now,
+	}
+	db.logOp(tuple, "UPDATE meta", encodeMetadata(rec.Meta), unit)
+	if db.history != nil {
+		db.history.MustAppend(tuple)
+	}
+	db.counters.MetaUpdates++
+	db.afterMutation()
+	return nil
+}
+
+// ReadByMeta reads data using metadata: scan for records collected for
+// the purpose and read up to limit of them (policy-checked and
+// decrypted individually, as FGAC demands).
+func (db *DB) ReadByMeta(entity core.EntityID, purpose core.Purpose, metaPurpose string, limit int) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	now := db.clock.Tick()
+	type match struct {
+		key []byte
+		row []byte
+	}
+	var matches []match
+	db.data.SeqScan(func(k, v []byte) bool {
+		if metaHasPurpose(v, metaPurpose) {
+			matches = append(matches, match{
+				key: append([]byte(nil), k...),
+				row: append([]byte(nil), v...),
+			})
+			if len(matches) >= limit {
+				return false
+			}
+		}
+		return true
+	})
+	read := 0
+	for _, m := range matches {
+		unit := core.UnitID(m.key)
+		d := db.policies.Allow(policy.Request{
+			Unit: unit, Subject: core.EntityID(metaSubject(m.row)),
+			Entity: entity, Purpose: purpose, Action: core.ActionRead, At: now,
+		})
+		if !d.Allowed {
+			db.counters.Denials++
+			continue
+		}
+		rec, err := decodeRecord(m.row)
+		if err != nil {
+			return read, err
+		}
+		if _, err := db.unprotect(rec.Blob); err != nil {
+			return read, err
+		}
+		tuple := core.HistoryTuple{
+			Unit: unit, Purpose: purpose, Entity: entity,
+			Action: core.Action{Kind: core.ActionRead, SystemAction: "SELECT by-meta"}, At: now,
+		}
+		if db.profile.LogPolicySnapshots {
+			// Demonstrable accountability logs every row-level access
+			// with its policy snapshot, not just the query (§4.2: "all
+			// policies are logged at the time of all the operations").
+			db.logOp(tuple, "SELECT by-meta (row)", nil, unit)
+		}
+		if db.history != nil {
+			db.history.MustAppend(tuple)
+		}
+		read++
+	}
+	// One audit entry for the query itself.
+	db.logOp(core.HistoryTuple{
+		Unit: core.UnitID("query:" + metaPurpose), Purpose: purpose, Entity: entity,
+		Action: core.Action{Kind: core.ActionRead, SystemAction: "SELECT by-meta"}, At: now,
+	}, "SELECT data WHERE purpose", []byte(fmt.Sprintf("%d rows", read)), "")
+	db.counters.MetaScans++
+	return read, nil
+}
+
+// logOp writes the audit entry per the profile's logging grounding.
+func (db *DB) logOp(tuple core.HistoryTuple, query string, response []byte, snapshotUnit core.UnitID) {
+	e := audit.Entry{Tuple: tuple, Query: query}
+	if db.profile.LogResponses {
+		e.Response = response
+	}
+	if db.profile.LogPolicySnapshots && snapshotUnit != "" {
+		// Demonstrable accountability: serialize the unit's policies in
+		// force into the entry (P_SYS logs all policies at the time of
+		// all operations).
+		snap := fmt.Sprintf("unit=%s entity=%s purpose=%s at=%d engine=%s",
+			snapshotUnit, tuple.Entity, tuple.Purpose, tuple.At, db.policies.Name())
+		if lister, ok := db.policies.(policy.PolicyLister); ok {
+			for _, p := range lister.PoliciesOf(snapshotUnit) {
+				snap += " " + p.String()
+			}
+		}
+		e.PolicySnapshot = []byte(snap)
+	}
+	// Logger failures are programming errors in this in-memory stack.
+	if err := db.logger.Log(e); err != nil {
+		panic(err)
+	}
+}
+
+// afterMutation runs the autovacuum policy.
+func (db *DB) afterMutation() {
+	db.mutationsSinceCheck++
+	if db.profile.Vacuum == VacuumNone {
+		return
+	}
+	if db.mutationsSinceCheck < db.profile.VacuumCheckEvery {
+		return
+	}
+	db.mutationsSinceCheck = 0
+	if db.data.DeadRatio() < db.profile.VacuumThreshold {
+		return
+	}
+	switch db.profile.Vacuum {
+	case VacuumLazy:
+		db.data.Vacuum()
+		db.counters.Vacuums++
+	case VacuumFull:
+		db.data.VacuumFull()
+		db.counters.VacuumFulls++
+	}
+}
+
+func hasString(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

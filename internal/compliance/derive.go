@@ -1,0 +1,202 @@
+package compliance
+
+import (
+	"fmt"
+
+	"github.com/datacase/datacase/internal/core"
+	"github.com/datacase/datacase/internal/policy"
+	"github.com/datacase/datacase/internal/provenance"
+)
+
+// This file adds derived data to the deployments: records computed from
+// base records, tracked in a provenance graph. Derived data is what
+// separates plain deletion from strong deletion (§3.1): under the
+// strong grounding (P_SYS), erasing a record cascades to every derived
+// record in which the data subject is still identifiable.
+
+// Transform computes a derived payload from parent payloads.
+type Transform func(parents [][]byte) []byte
+
+// Derive creates a derived record from parent records: the entity must
+// be allowed to read every parent for the purpose; the derived record's
+// subject aggregates the parents' subjects, its purposes are the
+// intersection, and its TTL is the minimum — the policy restriction of
+// §2.1. The derivation is recorded in the provenance graph.
+func (db *DB) Derive(entity core.EntityID, purpose core.Purpose, newKey string,
+	parentKeys []string, f Transform, invertible bool, description string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if len(parentKeys) == 0 {
+		return fmt.Errorf("compliance: derivation needs at least one parent")
+	}
+	now := db.clock.Tick()
+
+	payloads := make([][]byte, 0, len(parentKeys))
+	var subject string
+	subjectUniform := true
+	var purposes []string
+	minTTL := int64(1) << 62
+	parents := make([]core.UnitID, 0, len(parentKeys))
+	var modelParents []*core.DataUnit
+	for i, pk := range parentKeys {
+		row, ok := db.data.Get([]byte(pk))
+		if !ok {
+			db.counters.NotFound++
+			return fmt.Errorf("%w: parent %s", ErrNotFound, pk)
+		}
+		unit := core.UnitID(pk)
+		d := db.policies.Allow(policy.Request{
+			Unit: unit, Subject: core.EntityID(metaSubject(row)),
+			Entity: entity, Purpose: purpose, Action: core.ActionRead, At: now,
+		})
+		if !d.Allowed {
+			db.counters.Denials++
+			return fmt.Errorf("%w: parent %s: %s", ErrDenied, pk, d.Reason)
+		}
+		rec, err := decodeRecord(row)
+		if err != nil {
+			return err
+		}
+		payload, err := db.unprotect(rec.Blob)
+		if err != nil {
+			return err
+		}
+		payloads = append(payloads, payload)
+		parents = append(parents, unit)
+		if i == 0 {
+			subject = rec.Meta.Subject
+			purposes = rec.Meta.Purposes
+		} else {
+			if rec.Meta.Subject != subject {
+				subjectUniform = false
+			}
+			purposes = intersectStrings(purposes, rec.Meta.Purposes)
+		}
+		if rec.Meta.TTL < minTTL {
+			minTTL = rec.Meta.TTL
+		}
+		if db.modelDB != nil {
+			if u, ok := db.modelDB.Lookup(unit); ok {
+				modelParents = append(modelParents, u)
+			}
+		}
+	}
+	if !subjectUniform {
+		// Aggregates over several subjects do not identify one person;
+		// strong deletion of a single subject will not cascade to them.
+		subject = "aggregate"
+	}
+
+	derived := f(payloads)
+	meta := Metadata{
+		Subject:  subject,
+		Purposes: purposes,
+		TTL:      minTTL,
+		// Derived data stays in-house unless re-consented.
+		Processors: nil,
+	}
+	blob, err := db.protect(derived)
+	if err != nil {
+		return err
+	}
+	row := encodeRecord(storedRecord{Meta: meta, Blob: blob})
+	if _, err := db.data.Insert([]byte(newKey), row); err != nil {
+		return err
+	}
+	db.personalBytes += int64(len(derived))
+	db.metaBytes += int64(len(row) - len(blob))
+
+	unit := core.UnitID(newKey)
+	deadline := core.Time(int64(now) + minTTL)
+	pols := []core.Policy{
+		{Purpose: PurposeService, Entity: EntityController, Begin: now, End: deadline},
+		{Purpose: PurposeSubjectAccess, Entity: EntitySubjectSvc, Begin: now, End: deadline},
+		{Purpose: core.PurposeComplianceErase, Entity: EntitySystem, Begin: now, End: deadline},
+	}
+	if err := db.policies.AttachPolicies(unit, core.EntityID(subject), pols); err != nil {
+		return err
+	}
+	if err := db.prov.AddDerivation(provenance.Derivation{
+		Child: unit, Parents: parents,
+		Invertible: invertible, Description: description,
+	}); err != nil {
+		return err
+	}
+	tuple := core.HistoryTuple{
+		Unit: unit, Purpose: purpose, Entity: entity,
+		Action: core.Action{Kind: core.ActionDerive, SystemAction: "INSERT derived"}, At: now,
+	}
+	db.logOp(tuple, "DERIVE "+description, nil, unit)
+	if db.modelDB != nil {
+		var u *core.DataUnit
+		if len(modelParents) == len(parentKeys) {
+			u = core.NewDerivedUnit(unit, now, modelParents...)
+		} else {
+			u = core.NewDataUnit(unit, core.KindDerived, core.EntityID(subject), "derivation")
+		}
+		u.SetValue(derived, now)
+		for _, p := range pols {
+			_ = u.Grant(p, now)
+		}
+		_ = db.modelDB.Add(u)
+		db.history.MustAppend(tuple)
+	}
+	db.counters.Creates++
+	return nil
+}
+
+// Provenance exposes the provenance graph (reports, tests).
+func (db *DB) Provenance() *provenance.Graph { return db.prov }
+
+// cascadeDependents strong-deletes every derived record in which the
+// erased subject remains identifiable. Caller holds mu and has already
+// deleted the primary record.
+func (db *DB) cascadeDependents(unit core.UnitID, subject []byte, entity core.EntityID, now core.Time) {
+	for _, dep := range db.prov.Dependents(unit) {
+		row, ok := db.data.Get([]byte(dep))
+		if !ok {
+			continue // already gone
+		}
+		if string(metaSubject(row)) != string(subject) {
+			continue // subject not identifiable in the dependent
+		}
+		if err := db.data.Delete([]byte(dep)); err != nil {
+			continue
+		}
+		db.policies.RevokePolicies(dep)
+		if db.profile.EraseLogsOnDelete {
+			_, _ = db.logger.EraseUnit(dep)
+		}
+		tuple := core.HistoryTuple{
+			Unit: dep, Purpose: core.PurposeComplianceErase, Entity: entity,
+			Action: core.Action{
+				Kind: core.ActionErase, SystemAction: "DELETE (dependent)",
+				RequiredByRegulation: true,
+			},
+			At: now,
+		}
+		db.logOp(tuple, "DELETE dependent", nil, dep)
+		if db.modelDB != nil {
+			if u, ok := db.modelDB.Lookup(dep); ok {
+				u.RevokeAllPolicies(now)
+				u.MarkErased(now)
+			}
+			db.history.MustAppend(tuple)
+		}
+		db.counters.CascadeDeletes++
+	}
+}
+
+func intersectStrings(a, b []string) []string {
+	set := make(map[string]bool, len(b))
+	for _, s := range b {
+		set[s] = true
+	}
+	var out []string
+	for _, s := range a {
+		if set[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

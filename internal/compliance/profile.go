@@ -1,0 +1,255 @@
+// Package compliance composes the substrates into the paper's three
+// GDPR-compliance profiles (§4.2) and exposes the DB facade the
+// benchmark harness drives:
+//
+//   - P_Base: RBAC + native CSV logging (row-level responses) + AES-256
+//     at rest + erasure by DELETE+VACUUM. Least restrictive, cheapest.
+//   - P_GBench: policies in a separate metadata table (every access
+//     joins) + full query/response logging + LUKS-like full-disk
+//     encryption + erasure by plain DELETE.
+//   - P_SYS: Sieve-style FGAC + AES-128 + encrypted logs carrying
+//     policy snapshots at every operation + erasure by DELETE+VACUUM
+//     FULL plus deletion of the erased units' log entries.
+//
+// Each profile also records its groundings in a core.GroundingRegistry,
+// making the interpretation-to-system-action mapping inspectable — the
+// heart of the paper's Figure 2 pipeline.
+package compliance
+
+import (
+	"fmt"
+
+	"github.com/datacase/datacase/internal/audit"
+	"github.com/datacase/datacase/internal/core"
+	"github.com/datacase/datacase/internal/cryptox"
+	"github.com/datacase/datacase/internal/policy"
+)
+
+// VacuumStyle selects the maintenance grounding of a profile.
+type VacuumStyle uint8
+
+// Vacuum styles.
+const (
+	// VacuumNone never reclaims dead tuples (P_GBench's plain DELETE).
+	VacuumNone VacuumStyle = iota
+	// VacuumLazy runs lazy VACUUM when the dead ratio passes the
+	// threshold (P_Base's DELETE+VACUUM).
+	VacuumLazy
+	// VacuumFull rewrites the table when the dead ratio passes the
+	// threshold (P_SYS's DELETE+VACUUM FULL).
+	VacuumFull
+)
+
+// String names the style.
+func (v VacuumStyle) String() string {
+	switch v {
+	case VacuumNone:
+		return "none"
+	case VacuumLazy:
+		return "lazy"
+	case VacuumFull:
+		return "full"
+	default:
+		return fmt.Sprintf("vacuum(%d)", uint8(v))
+	}
+}
+
+// Profile is a complete, grounded interpretation of GDPR compliance.
+type Profile struct {
+	Name        string
+	Description string
+
+	// NewPolicyEngine builds the profile's access-control engine.
+	NewPolicyEngine func() policy.Engine
+	// NewLogger builds the profile's audit logger.
+	NewLogger func() (audit.Logger, error)
+
+	// PayloadCipher is the at-rest key size for sealed payloads; 0 means
+	// the profile uses the LUKS-like block device instead.
+	PayloadCipher cryptox.KeySize
+	// UseBlockDev stores payloads on an encrypted block device.
+	UseBlockDev bool
+
+	// LogResponses records operation responses in the audit log.
+	LogResponses bool
+	// LogPolicySnapshots serializes the policies in force into every
+	// log entry (P_SYS's demonstrable accountability).
+	LogPolicySnapshots bool
+
+	// Vacuum is the maintenance grounding; Threshold is the dead-tuple
+	// ratio that triggers it.
+	Vacuum          VacuumStyle
+	VacuumThreshold float64
+	// VacuumCheckEvery is how many mutating ops pass between dead-ratio
+	// checks (the autovacuum naptime analogue).
+	VacuumCheckEvery int
+
+	// EraseLogsOnDelete removes the audit entries of deleted units
+	// (P_SYS's log deletion).
+	EraseLogsOnDelete bool
+	// CascadeDependents strong-deletes derived records in which the
+	// erased subject remains identifiable (§3.1's strong deletion; the
+	// P_SYS grounding).
+	CascadeDependents bool
+
+	// TrackModel mirrors every record as a core.DataUnit with history,
+	// enabling invariant checking (costs memory; off for large benches).
+	TrackModel bool
+}
+
+// validate rejects incomplete profiles.
+func (p Profile) validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("compliance: profile needs a name")
+	case p.NewPolicyEngine == nil:
+		return fmt.Errorf("compliance: profile %s needs a policy engine", p.Name)
+	case p.NewLogger == nil:
+		return fmt.Errorf("compliance: profile %s needs a logger", p.Name)
+	case !p.UseBlockDev && !p.PayloadCipher.Valid():
+		return fmt.Errorf("compliance: profile %s needs a payload cipher or block device", p.Name)
+	case p.VacuumThreshold < 0 || p.VacuumThreshold > 1:
+		return fmt.Errorf("compliance: profile %s has vacuum threshold %f", p.Name, p.VacuumThreshold)
+	}
+	return nil
+}
+
+// PBase returns the P_Base profile: role-based access control, native
+// CSV logging with row-level responses, AES-256, DELETE+VACUUM.
+func PBase() Profile {
+	return Profile{
+		Name: "P_Base",
+		Description: "RBAC + CSV logs (row-level responses) + AES-256 + " +
+			"DELETE+VACUUM; the least restrictive grounding",
+		NewPolicyEngine: func() policy.Engine { return policy.NewRBAC() },
+		NewLogger: func() (audit.Logger, error) {
+			return audit.NewCSVLogger(true), nil
+		},
+		PayloadCipher:    cryptox.AES256,
+		LogResponses:     true,
+		Vacuum:           VacuumLazy,
+		VacuumThreshold:  0.2,
+		VacuumCheckEvery: 256,
+	}
+}
+
+// PGBench returns the P_GBench profile: policies in a separate metadata
+// table (joins on every access), full query+response logging, LUKS-like
+// block-device encryption, plain DELETE.
+func PGBench() Profile {
+	return Profile{
+		Name: "P_GBench",
+		Description: "separate policy table (joins) + full query logging + " +
+			"LUKS-like block device + plain DELETE",
+		NewPolicyEngine: func() policy.Engine { return policy.NewMetaStore() },
+		NewLogger: func() (audit.Logger, error) {
+			return audit.NewQueryLogger(), nil
+		},
+		UseBlockDev:      true,
+		LogResponses:     true,
+		Vacuum:           VacuumNone,
+		VacuumCheckEvery: 256,
+	}
+}
+
+// PSYS returns the P_SYS profile: Sieve-style fine-grained access
+// control, AES-128, encrypted logs with per-operation policy snapshots,
+// DELETE+VACUUM FULL plus log deletion.
+func PSYS() Profile {
+	return Profile{
+		Name: "P_SYS",
+		Description: "Sieve-style FGAC + AES-128 + encrypted logs with policy " +
+			"snapshots + DELETE+VACUUM FULL + log erasure",
+		NewPolicyEngine: func() policy.Engine {
+			return policy.NewSieve(policy.SubjectConsentGuard())
+		},
+		NewLogger: func() (audit.Logger, error) {
+			key, err := cryptox.GenerateKey(cryptox.AES128)
+			if err != nil {
+				return nil, err
+			}
+			sealer, err := cryptox.NewAESGCM(key, nil)
+			if err != nil {
+				return nil, err
+			}
+			return audit.NewEncryptedLogger(sealer), nil
+		},
+		PayloadCipher:      cryptox.AES128,
+		LogResponses:       true,
+		LogPolicySnapshots: true,
+		Vacuum:             VacuumFull,
+		VacuumThreshold:    0.2,
+		VacuumCheckEvery:   256,
+		EraseLogsOnDelete:  true,
+		CascadeDependents:  true,
+	}
+}
+
+// Profiles returns the three paper profiles in Figure-4 order.
+func Profiles() []Profile {
+	return []Profile{PBase(), PGBench(), PSYS()}
+}
+
+// Groundings records the profile's concept interpretations and their
+// system-action mappings in a registry (Figure 2's pipeline, made
+// inspectable).
+func (p Profile) Groundings() *core.GroundingRegistry {
+	r := core.NewGroundingRegistry(p.Name)
+	// Errors are impossible below: names are distinct literals.
+	_ = core.DeclareErasureInterpretations(r)
+	switch p.Vacuum {
+	case VacuumLazy:
+		_ = r.Choose(core.ConceptErasure, core.EraseDelete.String(),
+			core.SystemAction{System: "psql-like-heap", Operation: "DELETE+VACUUM", Supported: true})
+	case VacuumNone:
+		_ = r.Choose(core.ConceptErasure, core.EraseDelete.String(),
+			core.SystemAction{System: "psql-like-heap", Operation: "DELETE", Supported: true},
+			core.SystemAction{System: "blockdev", Operation: "orphan sector (retained!)", Supported: false})
+	case VacuumFull:
+		_ = r.Choose(core.ConceptErasure, core.EraseStrongDelete.String(),
+			core.SystemAction{System: "psql-like-heap", Operation: "DELETE+VACUUM FULL", Supported: true},
+			core.SystemAction{System: "audit", Operation: "erase unit log entries", Supported: true})
+	}
+	_ = r.Declare(core.Interpretation{
+		Concept: core.ConceptPolicy, Name: "rbac",
+		Description: "role-based, table-level", Strictness: 0,
+	})
+	_ = r.Declare(core.Interpretation{
+		Concept: core.ConceptPolicy, Name: "metadata-join",
+		Description: "per-unit policy rows joined at query time", Strictness: 1,
+	})
+	_ = r.Declare(core.Interpretation{
+		Concept: core.ConceptPolicy, Name: "fgac",
+		Description: "fine-grained guarded policies with a policy index", Strictness: 2,
+	})
+	_ = r.Declare(core.Interpretation{
+		Concept: core.ConceptHistory, Name: "csv-log",
+		Description: "native CSV logging, row-level responses", Strictness: 0,
+	})
+	_ = r.Declare(core.Interpretation{
+		Concept: core.ConceptHistory, Name: "query-log",
+		Description: "all queries and responses, structured", Strictness: 1,
+	})
+	_ = r.Declare(core.Interpretation{
+		Concept: core.ConceptHistory, Name: "encrypted-log",
+		Description: "sealed entries with policy snapshots", Strictness: 2,
+	})
+	switch p.Name {
+	case "P_Base":
+		_ = r.Choose(core.ConceptPolicy, "rbac",
+			core.SystemAction{System: "rbac", Operation: "role attribute check", Supported: true})
+		_ = r.Choose(core.ConceptHistory, "csv-log",
+			core.SystemAction{System: "audit", Operation: "csv append", Supported: true})
+	case "P_GBench":
+		_ = r.Choose(core.ConceptPolicy, "metadata-join",
+			core.SystemAction{System: "metastore", Operation: "index range join", Supported: true})
+		_ = r.Choose(core.ConceptHistory, "query-log",
+			core.SystemAction{System: "audit", Operation: "structured append", Supported: true})
+	case "P_SYS":
+		_ = r.Choose(core.ConceptPolicy, "fgac",
+			core.SystemAction{System: "sieve", Operation: "policy-index probe + guards", Supported: true})
+		_ = r.Choose(core.ConceptHistory, "encrypted-log",
+			core.SystemAction{System: "audit", Operation: "seal + append", Supported: true})
+	}
+	return r
+}

@@ -1,0 +1,176 @@
+package compliance
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// Metadata is the GDPR metadata block of a stored record. It stays
+// queryable (plaintext) in the heap row — metadata must be scannable for
+// subject-access and retention queries — while the personal-data payload
+// is protected per the profile's at-rest grounding.
+type Metadata struct {
+	Subject    string
+	Purposes   []string
+	TTL        int64
+	Processors []string
+	Objected   bool
+	// CreatedAt is the collection time (logical); CreatedAt + TTL is
+	// the retention deadline the sweeper enforces (G17).
+	CreatedAt int64
+}
+
+// storedRecord is the heap row: metadata block + protected payload blob
+// (sealed bytes, or a block-device sector reference).
+type storedRecord struct {
+	Meta Metadata
+	// Blob is the protected payload representation.
+	Blob []byte
+}
+
+// encodeRecord lays out [metaLen u16][meta][blobLen u32][blob].
+func encodeRecord(r storedRecord) []byte {
+	meta := encodeMetadata(r.Meta)
+	buf := make([]byte, 0, 2+len(meta)+4+len(r.Blob))
+	var b4 [4]byte
+	binary.BigEndian.PutUint16(b4[:2], uint16(len(meta)))
+	buf = append(buf, b4[:2]...)
+	buf = append(buf, meta...)
+	binary.BigEndian.PutUint32(b4[:], uint32(len(r.Blob)))
+	buf = append(buf, b4[:]...)
+	buf = append(buf, r.Blob...)
+	return buf
+}
+
+func decodeRecord(buf []byte) (storedRecord, error) {
+	var r storedRecord
+	if len(buf) < 2 {
+		return r, fmt.Errorf("compliance: truncated record")
+	}
+	ml := int(binary.BigEndian.Uint16(buf[:2]))
+	buf = buf[2:]
+	if len(buf) < ml+4 {
+		return r, fmt.Errorf("compliance: truncated metadata")
+	}
+	meta, err := decodeMetadata(buf[:ml])
+	if err != nil {
+		return r, err
+	}
+	r.Meta = meta
+	buf = buf[ml:]
+	bl := int(binary.BigEndian.Uint32(buf[:4]))
+	buf = buf[4:]
+	if len(buf) != bl {
+		return r, fmt.Errorf("compliance: blob length mismatch")
+	}
+	r.Blob = append([]byte(nil), buf...)
+	return r, nil
+}
+
+// encodeMetadata renders a compact, scannable text form:
+// subject|purposes,csv|ttl|processors,csv|objected|createdAt
+func encodeMetadata(m Metadata) []byte {
+	objected := "0"
+	if m.Objected {
+		objected = "1"
+	}
+	return []byte(strings.Join([]string{
+		m.Subject,
+		strings.Join(m.Purposes, ","),
+		fmt.Sprintf("%d", m.TTL),
+		strings.Join(m.Processors, ","),
+		objected,
+		fmt.Sprintf("%d", m.CreatedAt),
+	}, "|"))
+}
+
+func decodeMetadata(buf []byte) (Metadata, error) {
+	parts := strings.Split(string(buf), "|")
+	if len(parts) != 6 {
+		return Metadata{}, fmt.Errorf("compliance: metadata has %d fields", len(parts))
+	}
+	var m Metadata
+	m.Subject = parts[0]
+	if parts[1] != "" {
+		m.Purposes = strings.Split(parts[1], ",")
+	}
+	if _, err := fmt.Sscanf(parts[2], "%d", &m.TTL); err != nil {
+		return Metadata{}, fmt.Errorf("compliance: bad TTL %q", parts[2])
+	}
+	if parts[3] != "" {
+		m.Processors = strings.Split(parts[3], ",")
+	}
+	m.Objected = parts[4] == "1"
+	if _, err := fmt.Sscanf(parts[5], "%d", &m.CreatedAt); err != nil {
+		return Metadata{}, fmt.Errorf("compliance: bad CreatedAt %q", parts[5])
+	}
+	return m, nil
+}
+
+// metaHasPurpose tests the purpose predicate directly on an encoded row
+// without fully decoding it — the cheap scan path.
+func metaHasPurpose(row []byte, purpose string) bool {
+	if len(row) < 2 {
+		return false
+	}
+	ml := int(binary.BigEndian.Uint16(row[:2]))
+	if len(row) < 2+ml {
+		return false
+	}
+	meta := row[2 : 2+ml]
+	// Field 2 (0-indexed 1) is the purposes CSV.
+	first := indexByte(meta, '|')
+	if first < 0 {
+		return false
+	}
+	second := indexByte(meta[first+1:], '|')
+	if second < 0 {
+		return false
+	}
+	purposes := meta[first+1 : first+1+second]
+	return csvContains(purposes, purpose)
+}
+
+// metaSubject extracts the subject field from an encoded row without a
+// full decode.
+func metaSubject(row []byte) []byte {
+	if len(row) < 2 {
+		return nil
+	}
+	ml := int(binary.BigEndian.Uint16(row[:2]))
+	if len(row) < 2+ml {
+		return nil
+	}
+	meta := row[2 : 2+ml]
+	i := indexByte(meta, '|')
+	if i < 0 {
+		return nil
+	}
+	return meta[:i]
+}
+
+func indexByte(b []byte, c byte) int {
+	for i, x := range b {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
+func csvContains(csv []byte, item string) bool {
+	for len(csv) > 0 {
+		i := indexByte(csv, ',')
+		var field []byte
+		if i < 0 {
+			field, csv = csv, nil
+		} else {
+			field, csv = csv[:i], csv[i+1:]
+		}
+		if string(field) == item {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,57 @@
+package compliance
+
+import "fmt"
+
+// SpaceReport is the paper's Table 2 for one profile: the footprint of
+// personal data versus everything the grounding adds around it.
+type SpaceReport struct {
+	Profile string
+	// PersonalBytes is the plaintext size of live personal data —
+	// identical across profiles for the same dataset.
+	PersonalBytes int64
+	// MetadataBytes is the grounding's weight inside the database:
+	// record metadata blocks plus policy storage.
+	MetadataBytes int64
+	// IndexBytes covers primary and policy indices.
+	IndexBytes int64
+	// LogBytes is the audit-log footprint. Like PostgreSQL server logs,
+	// it lives outside the database files, so it is reported separately
+	// and not counted in TotalBytes (the paper's Table 2 measures
+	// database size).
+	LogBytes int64
+	// TotalBytes is the whole database on "disk": heap pages, indices,
+	// policy store, encrypted device.
+	TotalBytes int64
+	// Factor is TotalBytes / PersonalBytes ("space factor", the
+	// metadata-explosion measure of [69]).
+	Factor float64
+}
+
+// String renders one Table 2 row.
+func (r SpaceReport) String() string {
+	return fmt.Sprintf("%-9s personal=%8.2fMB metadata=%8.2fMB total=%8.2fMB factor=%5.1fx (logs %.2fMB)",
+		r.Profile, mb(r.PersonalBytes), mb(r.MetadataBytes), mb(r.TotalBytes), r.Factor, mb(r.LogBytes))
+}
+
+func mb(b int64) float64 { return float64(b) / (1024 * 1024) }
+
+// Space measures the deployment's current footprint.
+func (db *DB) Space() SpaceReport {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	sp := db.data.Space()
+	var rep SpaceReport
+	rep.Profile = db.profile.Name
+	rep.PersonalBytes = db.personalBytes
+	rep.IndexBytes = sp.IndexBytes
+	rep.LogBytes = db.logger.SizeBytes()
+	rep.MetadataBytes = db.metaBytes + db.policies.SpaceBytes()
+	rep.TotalBytes = sp.TotalBytes + sp.IndexBytes + db.policies.SpaceBytes()
+	if db.blockdev != nil {
+		rep.TotalBytes += int64(db.blockdev.Sectors()) * int64(db.blockdev.SectorLen)
+	}
+	if rep.PersonalBytes > 0 {
+		rep.Factor = float64(rep.TotalBytes) / float64(rep.PersonalBytes)
+	}
+	return rep
+}

@@ -1,0 +1,178 @@
+package compliance
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"github.com/datacase/datacase/internal/core"
+	"github.com/datacase/datacase/internal/policy"
+)
+
+// This file implements the data-subject rights of Figure 1's Storage
+// category on top of the profiles: access (G15), portability (G20),
+// consent withdrawal (G7(3)) and objection (G21). Each right is an
+// ordinary policy-checked, logged operation — rights are data
+// processing too.
+
+// SubjectRecord is one record returned by a subject-access request.
+type SubjectRecord struct {
+	Key     string   `json:"key"`
+	Meta    Metadata `json:"metadata"`
+	Payload []byte   `json:"payload"`
+}
+
+// SubjectAccess answers a subject-access request (GDPR Art. 15): every
+// record whose data subject matches, with metadata and (decrypted)
+// payload. The lookup is a table scan — subjects are not the primary
+// key — and each returned record is individually policy-checked.
+func (db *DB) SubjectAccess(subject string) ([]SubjectRecord, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.subjectAccessLocked(subject)
+}
+
+func (db *DB) subjectAccessLocked(subject string) ([]SubjectRecord, error) {
+	now := db.clock.Tick()
+	want := []byte(subject)
+	type hit struct {
+		key []byte
+		row []byte
+	}
+	var hits []hit
+	db.data.SeqScan(func(k, v []byte) bool {
+		if bytes.Equal(metaSubject(v), want) {
+			hits = append(hits, hit{
+				key: append([]byte(nil), k...),
+				row: append([]byte(nil), v...),
+			})
+		}
+		return true
+	})
+	var out []SubjectRecord
+	for _, h := range hits {
+		unit := core.UnitID(h.key)
+		d := db.policies.Allow(policy.Request{
+			Unit: unit, Subject: core.EntityID(subject),
+			Entity: EntitySubjectSvc, Purpose: PurposeSubjectAccess,
+			Action: core.ActionRead, At: now,
+		})
+		if !d.Allowed {
+			db.counters.Denials++
+			continue
+		}
+		rec, err := decodeRecord(h.row)
+		if err != nil {
+			return nil, err
+		}
+		payload, err := db.unprotect(rec.Blob)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SubjectRecord{Key: string(h.key), Meta: rec.Meta, Payload: payload})
+		tuple := core.HistoryTuple{
+			Unit: unit, Purpose: PurposeSubjectAccess, Entity: EntitySubjectSvc,
+			Action: core.Action{Kind: core.ActionRead, SystemAction: "SAR"}, At: now,
+		}
+		if db.history != nil {
+			db.history.MustAppend(tuple)
+		}
+	}
+	db.logOp(core.HistoryTuple{
+		Unit: core.UnitID("sar:" + subject), Purpose: PurposeSubjectAccess,
+		Entity: EntitySubjectSvc,
+		Action: core.Action{Kind: core.ActionRead, SystemAction: "SAR", RequiredByRegulation: true},
+		At:     now,
+	}, "SUBJECT ACCESS REQUEST", []byte(fmt.Sprintf("%d records", len(out))), "")
+	return out, nil
+}
+
+// ExportPortable implements data portability (GDPR Art. 20): the
+// subject's records in a structured, machine-readable format.
+func (db *DB) ExportPortable(subject string) ([]byte, error) {
+	recs, err := db.SubjectAccess(subject)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(struct {
+		Subject string          `json:"subject"`
+		Records []SubjectRecord `json:"records"`
+	}{Subject: subject, Records: recs}, "", "  ")
+}
+
+// RevokeConsent withdraws the subject's consent for one (purpose,
+// entity) pair on a record (GDPR Art. 7(3): withdrawal must be as easy
+// as granting). Later processing under that pair is denied and the
+// withdrawal itself is recorded.
+func (db *DB) RevokeConsent(key string, purpose core.Purpose, entity core.EntityID) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	now := db.clock.Tick()
+	if _, ok := db.data.Get([]byte(key)); !ok {
+		db.counters.NotFound++
+		return fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	unit := core.UnitID(key)
+	removed := db.policies.RevokePolicy(unit, purpose, entity)
+	tuple := core.HistoryTuple{
+		Unit: unit, Purpose: purpose, Entity: EntitySubjectSvc,
+		Action: core.Action{
+			Kind:                 core.ActionConsent,
+			SystemAction:         fmt.Sprintf("REVOKE (%d policies)", removed),
+			RequiredByRegulation: true,
+		},
+		At: now,
+	}
+	db.logOp(tuple, "REVOKE CONSENT", nil, unit)
+	if db.modelDB != nil {
+		if u, ok := db.modelDB.Lookup(unit); ok {
+			u.Revoke(purpose, entity, now)
+		}
+		db.history.MustAppend(tuple)
+	}
+	return nil
+}
+
+// Object records the subject's objection to processing (GDPR Art. 21):
+// the record is flagged and the processor's processing consent is
+// withdrawn, so further processing reads are denied.
+func (db *DB) Object(key string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	now := db.clock.Tick()
+	row, ok := db.data.Get([]byte(key))
+	if !ok {
+		db.counters.NotFound++
+		return fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	rec, err := decodeRecord(row)
+	if err != nil {
+		return err
+	}
+	if !rec.Meta.Objected {
+		rec.Meta.Objected = true
+		if _, err := db.data.Update([]byte(key), encodeRecord(rec)); err != nil {
+			return err
+		}
+	}
+	unit := core.UnitID(key)
+	db.policies.RevokePolicy(unit, PurposeProcessing, EntityProcessor)
+	tuple := core.HistoryTuple{
+		Unit: unit, Purpose: PurposeSubjectAccess, Entity: EntitySubjectSvc,
+		Action: core.Action{
+			Kind: core.ActionWriteMetadata, SystemAction: "OBJECT",
+			RequiredByRegulation: true,
+		},
+		At: now,
+	}
+	db.logOp(tuple, "OBJECT TO PROCESSING", nil, unit)
+	if db.modelDB != nil {
+		if u, ok := db.modelDB.Lookup(unit); ok {
+			u.Revoke(PurposeProcessing, EntityProcessor, now)
+		}
+		db.history.MustAppend(tuple)
+	}
+	db.counters.MetaUpdates++
+	db.afterMutation()
+	return nil
+}

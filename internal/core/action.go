@@ -1,0 +1,107 @@
+package core
+
+import "fmt"
+
+// ActionKind classifies state-changing and state-observing operations on
+// data units (§2.1: "We refer to any operation that changes the state of
+// data units as an action. Actions include the creation and deletion of
+// data units, changes to the value of a data unit, and reads and writes
+// on any aspect of a data unit").
+type ActionKind uint8
+
+// The action vocabulary. Reads are included because regulations restrict
+// observation as much as mutation (illegal reads, §3.1).
+const (
+	// ActionCreate brings a data unit into existence (collection).
+	ActionCreate ActionKind = iota
+	// ActionRead observes the value of a data unit.
+	ActionRead
+	// ActionWrite changes the value of a data unit.
+	ActionWrite
+	// ActionReadMetadata observes policies/subject/origin aspects.
+	ActionReadMetadata
+	// ActionWriteMetadata changes policies/subject/origin aspects.
+	ActionWriteMetadata
+	// ActionStore keeps the unit at rest (used by retention policies).
+	ActionStore
+	// ActionShare discloses the unit to another entity.
+	ActionShare
+	// ActionDerive produces a derived data unit from base units.
+	ActionDerive
+	// ActionDelete removes the unit's value from the primary store.
+	// Whether copies, derived data or physical bytes go too depends on
+	// the grounded erasure interpretation (§3.1).
+	ActionDelete
+	// ActionErase is the regulation-facing erasure action (G17); it maps
+	// to one of the grounded interpretations.
+	ActionErase
+	// ActionRestore reverses a reversible inaccessibility.
+	ActionRestore
+	// ActionConsent records a data subject granting or amending consent
+	// (it creates or updates policies).
+	ActionConsent
+	// ActionSanitize applies advanced physical drive sanitation
+	// (permanent delete's extra step, §3.1).
+	ActionSanitize
+)
+
+var actionKindNames = [...]string{
+	ActionCreate:        "create",
+	ActionRead:          "read",
+	ActionWrite:         "write",
+	ActionReadMetadata:  "read-metadata",
+	ActionWriteMetadata: "write-metadata",
+	ActionStore:         "store",
+	ActionShare:         "share",
+	ActionDerive:        "derive",
+	ActionDelete:        "delete",
+	ActionErase:         "erase",
+	ActionRestore:       "restore",
+	ActionConsent:       "consent",
+	ActionSanitize:      "sanitize",
+}
+
+// String returns the lower-case action name.
+func (k ActionKind) String() string {
+	if int(k) < len(actionKindNames) {
+		return actionKindNames[k]
+	}
+	return fmt.Sprintf("action(%d)", uint8(k))
+}
+
+// Valid reports whether k is one of the declared kinds.
+func (k ActionKind) Valid() bool { return int(k) < len(actionKindNames) }
+
+// Mutates reports whether the action kind changes the state of a data
+// unit (as opposed to merely observing it).
+func (k ActionKind) Mutates() bool {
+	switch k {
+	case ActionRead, ActionReadMetadata, ActionStore:
+		return false
+	default:
+		return true
+	}
+}
+
+// Action is τ in the paper: an operation applied to one or more data
+// units. SystemAction names the concrete operation of the underlying
+// engine that implemented it (e.g. "DELETE+VACUUM" in a PSQL-like store,
+// "tombstone" in an LSM store) — the mapping produced by grounding.
+type Action struct {
+	Kind ActionKind
+	// SystemAction is the engine-level operation that realized the
+	// action, if known (grounding step 3, Figure 2).
+	SystemAction string
+	// RequiredByRegulation marks actions a data regulation itself
+	// mandates; such actions are policy-consistent even without a
+	// matching policy (§2.1's definition of policy-consistent).
+	RequiredByRegulation bool
+}
+
+// String renders the action, including the system-action when present.
+func (a Action) String() string {
+	if a.SystemAction == "" {
+		return a.Kind.String()
+	}
+	return fmt.Sprintf("%s[%s]", a.Kind, a.SystemAction)
+}

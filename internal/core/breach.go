@@ -1,0 +1,78 @@
+package core
+
+import "fmt"
+
+// Breach handling (Figure 1, category VIII: "inform the user of changes
+// and unauthorized access to their data"; GDPR Arts. 33-34). A breach is
+// modelled with the existing machinery — history tuples with
+// distinguished system-actions — so the notification deadline becomes an
+// ordinary checkable invariant:
+//
+//   - detection:     (breach:<id>, …, write-metadata[BREACH-DETECTED], t)
+//   - notification:  (breach:<id>, …, write-metadata[BREACH-NOTIFIED], t')
+//
+// The invariant requires t' ≤ t + window for every detected breach.
+
+// System-action markers for breach tuples.
+const (
+	// BreachDetectedAction marks the detection record of a breach.
+	BreachDetectedAction = "BREACH-DETECTED"
+	// BreachNotifiedAction marks the notification record of a breach.
+	BreachNotifiedAction = "BREACH-NOTIFIED"
+)
+
+// BreachUnitID returns the pseudo-unit under which a breach's tuples are
+// recorded.
+func BreachUnitID(id string) UnitID { return UnitID("breach:" + id) }
+
+// NewBreachNotificationInvariant returns the G33/G34 invariant: every
+// detected breach is notified within the window (GDPR's "without undue
+// delay and, where feasible, not later than 72 hours"; the window is in
+// logical time units here). Breaches whose window has not yet closed are
+// not violations.
+func NewBreachNotificationInvariant(window Time) Invariant {
+	return InvariantFunc{
+		IDv:  "G33",
+		Arts: []string{"GDPR Art. 33", "GDPR Art. 34"},
+		Desc: fmt.Sprintf("every detected breach is notified within %s "+
+			"(breach notification)", window),
+		CheckF: func(ctx *CheckContext) []Violation {
+			var out []Violation
+			detected := ctx.History.Filter(func(t HistoryTuple) bool {
+				return t.Action.SystemAction == BreachDetectedAction
+			})
+			for _, d := range detected {
+				deadline := d.At + window
+				notified := false
+				var notifiedAt Time
+				for _, n := range ctx.History.Of(d.Unit) {
+					if n.Action.SystemAction == BreachNotifiedAction && n.At >= d.At {
+						notified = true
+						notifiedAt = n.At
+						break
+					}
+				}
+				switch {
+				case notified && notifiedAt <= deadline:
+					// compliant
+				case notified:
+					out = append(out, Violation{
+						Invariant: "G33",
+						Unit:      d.Unit,
+						At:        notifiedAt,
+						Detail: fmt.Sprintf("breach notified at %s, after the %s deadline",
+							notifiedAt, deadline),
+					})
+				case ctx.Now > deadline:
+					out = append(out, Violation{
+						Invariant: "G33",
+						Unit:      d.Unit,
+						At:        deadline,
+						Detail:    "breach never notified and the deadline has passed",
+					})
+				}
+			}
+			return out
+		},
+	}
+}

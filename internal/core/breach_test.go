@@ -1,0 +1,68 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func breachCtx(h *History, now Time) *CheckContext {
+	return &CheckContext{DB: NewDatabase(), History: h, Purposes: NewPurposeRegistry(), Now: now}
+}
+
+func breachTuple(id string, action string, at Time) HistoryTuple {
+	return HistoryTuple{
+		Unit: BreachUnitID(id), Purpose: PurposeLegalObligation, Entity: "system",
+		Action: Action{
+			Kind: ActionWriteMetadata, SystemAction: action, RequiredByRegulation: true,
+		},
+		At: at,
+	}
+}
+
+func TestBreachNotifiedInTime(t *testing.T) {
+	h := NewHistory()
+	h.MustAppend(breachTuple("b1", BreachDetectedAction, 10))
+	h.MustAppend(breachTuple("b1", BreachNotifiedAction, 50))
+	inv := NewBreachNotificationInvariant(72)
+	if v := inv.Check(breachCtx(h, 1000)); len(v) != 0 {
+		t.Fatalf("timely notification flagged: %v", v)
+	}
+}
+
+func TestBreachNotifiedLate(t *testing.T) {
+	h := NewHistory()
+	h.MustAppend(breachTuple("b1", BreachDetectedAction, 10))
+	h.MustAppend(breachTuple("b1", BreachNotifiedAction, 200))
+	inv := NewBreachNotificationInvariant(72)
+	v := inv.Check(breachCtx(h, 1000))
+	if len(v) != 1 || !strings.Contains(v[0].Detail, "after the") {
+		t.Fatalf("late notification = %v", v)
+	}
+}
+
+func TestBreachNeverNotified(t *testing.T) {
+	h := NewHistory()
+	h.MustAppend(breachTuple("b1", BreachDetectedAction, 10))
+	inv := NewBreachNotificationInvariant(72)
+	// Deadline not yet passed: no violation.
+	if v := inv.Check(breachCtx(h, 50)); len(v) != 0 {
+		t.Fatalf("premature violation: %v", v)
+	}
+	// Deadline passed: violation.
+	v := inv.Check(breachCtx(h, 100))
+	if len(v) != 1 || !strings.Contains(v[0].Detail, "never notified") {
+		t.Fatalf("missed notification = %v", v)
+	}
+}
+
+func TestMultipleBreachesIndependent(t *testing.T) {
+	h := NewHistory()
+	h.MustAppend(breachTuple("b1", BreachDetectedAction, 10))
+	h.MustAppend(breachTuple("b1", BreachNotifiedAction, 20))
+	h.MustAppend(breachTuple("b2", BreachDetectedAction, 30))
+	inv := NewBreachNotificationInvariant(72)
+	v := inv.Check(breachCtx(h, 500))
+	if len(v) != 1 || v[0].Unit != BreachUnitID("b2") {
+		t.Fatalf("violations = %v", v)
+	}
+}

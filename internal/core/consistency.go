@@ -1,0 +1,100 @@
+package core
+
+import "fmt"
+
+// PolicyConsistent reports whether a single action-history tuple is
+// policy-consistent with respect to the unit's policy state at the tuple's
+// time (§2.1): the tuple (X, p, e, τ(X), t) is policy-consistent iff a
+// policy ⟨p, e, t_b, t_f⟩ exists in P(t), or the action is required by a
+// data regulation.
+//
+// purposes, when non-nil, additionally requires the grounded purpose to
+// authorize the action kind (§3.2: "a purpose typically calls for a set
+// of authorized actions"). A nil registry skips that refinement, giving
+// the paper's base definition.
+func PolicyConsistent(u *DataUnit, t HistoryTuple, purposes *PurposeRegistry) bool {
+	if t.Action.RequiredByRegulation {
+		return true
+	}
+	if u == nil {
+		return false
+	}
+	if !u.PolicyActive(t.Purpose, t.Entity, t.At) {
+		return false
+	}
+	if purposes != nil && !purposes.Authorizes(t.Purpose, t.Action.Kind) {
+		return false
+	}
+	return true
+}
+
+// Inconsistency describes one policy-inconsistent tuple found by audit.
+type Inconsistency struct {
+	Tuple  HistoryTuple
+	Reason string
+}
+
+// String renders the finding.
+func (i Inconsistency) String() string {
+	return fmt.Sprintf("%s: %s", i.Tuple, i.Reason)
+}
+
+// AuditUnit checks every tuple in H(X) for policy consistency and returns
+// the violations ("actions on X are policy-consistent if every
+// action-history tuple in H(X) is policy-consistent", §2.1).
+func AuditUnit(u *DataUnit, h *History, purposes *PurposeRegistry) []Inconsistency {
+	var out []Inconsistency
+	for _, t := range h.Of(u.ID()) {
+		out = append(out, auditTuple(u, t, purposes)...)
+	}
+	return out
+}
+
+// AuditAll checks every tuple in the history against the database and
+// returns all violations. Tuples referencing unknown units are violations
+// too: processing data the database cannot account for is never lawful.
+func AuditAll(db *Database, h *History, purposes *PurposeRegistry) []Inconsistency {
+	var out []Inconsistency
+	_ = h.ForEach(func(t HistoryTuple) error {
+		u, ok := db.Lookup(t.Unit)
+		if !ok {
+			// Creation of a later-removed unit is accounted for by the
+			// erase tuple that removed it; reads of unknown units are not.
+			if t.Action.RequiredByRegulation || t.Action.Kind == ActionErase ||
+				t.Action.Kind == ActionDelete || t.Action.Kind == ActionSanitize {
+				return nil
+			}
+			out = append(out, Inconsistency{
+				Tuple:  t,
+				Reason: "action on a unit the database cannot account for",
+			})
+			return nil
+		}
+		out = append(out, auditTuple(u, t, purposes)...)
+		return nil
+	})
+	return out
+}
+
+func auditTuple(u *DataUnit, t HistoryTuple, purposes *PurposeRegistry) []Inconsistency {
+	if t.Action.RequiredByRegulation {
+		return nil
+	}
+	var out []Inconsistency
+	if !u.PolicyActive(t.Purpose, t.Entity, t.At) {
+		out = append(out, Inconsistency{
+			Tuple: t,
+			Reason: fmt.Sprintf("no policy ⟨%s, %s, ·, ·⟩ in force at %s",
+				t.Purpose, t.Entity, t.At),
+		})
+		return out
+	}
+	if purposes != nil && !purposes.Authorizes(t.Purpose, t.Action.Kind) {
+		out = append(out, Inconsistency{
+			Tuple: t,
+			Reason: fmt.Sprintf("grounded purpose %q does not authorize action %q",
+				t.Purpose, t.Action.Kind),
+		})
+	}
+	return out
+}

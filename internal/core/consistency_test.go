@@ -1,0 +1,136 @@
+package core
+
+import "testing"
+
+// The paper's running example: Netflix collects credit-card info of
+// subscriber 1234 and stores it on AWS, under policies π1 (billing,
+// Netflix, [t1,t100]) and π2 (retention, AWS, [t1,t100]).
+func netflixScenario(t *testing.T) (*Database, *DataUnit, *History, *PurposeRegistry) {
+	t.Helper()
+	db := NewDatabase()
+	u := NewDataUnit("cc-1234", KindBase, "user-1234", "signup")
+	u.SetValue([]byte("4111-1111"), 1)
+	if err := u.Grant(Policy{Purpose: "billing", Entity: "netflix", Begin: 1, End: 100}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Grant(Policy{Purpose: PurposeRetention, Entity: "aws", Begin: 1, End: 100}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add(u); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewPurposeRegistry()
+	if err := reg.Define(PurposeSpec{
+		Purpose:     "billing",
+		Description: "charge the subscriber",
+		Allowed:     map[ActionKind]bool{ActionRead: true, ActionWrite: true},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return db, u, NewHistory(), reg
+}
+
+func TestPolicyConsistentHappyPath(t *testing.T) {
+	_, u, _, reg := netflixScenario(t)
+	tu := HistoryTuple{
+		Unit: "cc-1234", Purpose: "billing", Entity: "netflix",
+		Action: Action{Kind: ActionRead}, At: 50,
+	}
+	if !PolicyConsistent(u, tu, reg) {
+		t.Error("authorized read judged inconsistent")
+	}
+}
+
+func TestPolicyConsistentNoPolicy(t *testing.T) {
+	_, u, _, reg := netflixScenario(t)
+	cases := []HistoryTuple{
+		// Wrong entity.
+		{Unit: "cc-1234", Purpose: "billing", Entity: "advertiser",
+			Action: Action{Kind: ActionRead}, At: 50},
+		// Wrong purpose.
+		{Unit: "cc-1234", Purpose: "ads", Entity: "netflix",
+			Action: Action{Kind: ActionRead}, At: 50},
+		// Expired window.
+		{Unit: "cc-1234", Purpose: "billing", Entity: "netflix",
+			Action: Action{Kind: ActionRead}, At: 200},
+	}
+	for i, tu := range cases {
+		if PolicyConsistent(u, tu, reg) {
+			t.Errorf("case %d: unauthorized action judged consistent: %v", i, tu)
+		}
+	}
+}
+
+func TestPolicyConsistentPurposeGrounding(t *testing.T) {
+	_, u, _, reg := netflixScenario(t)
+	// The retention purpose (default grounding) authorizes only store.
+	ok := HistoryTuple{Unit: "cc-1234", Purpose: PurposeRetention, Entity: "aws",
+		Action: Action{Kind: ActionStore}, At: 50}
+	if !PolicyConsistent(u, ok, reg) {
+		t.Error("store under retention judged inconsistent")
+	}
+	bad := HistoryTuple{Unit: "cc-1234", Purpose: PurposeRetention, Entity: "aws",
+		Action: Action{Kind: ActionRead}, At: 50}
+	if PolicyConsistent(u, bad, reg) {
+		t.Error("read under retention purpose judged consistent — grounding ignored")
+	}
+	// Without a registry, the paper's base definition applies: any action
+	// under a matching policy is consistent.
+	if !PolicyConsistent(u, bad, nil) {
+		t.Error("base definition (nil registry) should accept matching policy")
+	}
+}
+
+func TestPolicyConsistentRequiredByRegulation(t *testing.T) {
+	_, u, _, reg := netflixScenario(t)
+	tu := HistoryTuple{
+		Unit: "cc-1234", Purpose: PurposeComplianceErase, Entity: "system",
+		Action: Action{Kind: ActionErase, RequiredByRegulation: true}, At: 500,
+	}
+	if !PolicyConsistent(u, tu, reg) {
+		t.Error("regulation-required action judged inconsistent")
+	}
+	if !PolicyConsistent(nil, tu, reg) {
+		t.Error("regulation-required action must be consistent even without the unit")
+	}
+}
+
+func TestPolicyConsistentNilUnit(t *testing.T) {
+	tu := HistoryTuple{Unit: "ghost", Purpose: "p", Entity: "e",
+		Action: Action{Kind: ActionRead}, At: 1}
+	if PolicyConsistent(nil, tu, nil) {
+		t.Error("action on unknown unit judged consistent")
+	}
+}
+
+func TestAuditUnit(t *testing.T) {
+	_, u, h, reg := netflixScenario(t)
+	h.MustAppend(HistoryTuple{Unit: "cc-1234", Purpose: "billing", Entity: "netflix",
+		Action: Action{Kind: ActionRead}, At: 10})
+	h.MustAppend(HistoryTuple{Unit: "cc-1234", Purpose: "ads", Entity: "netflix",
+		Action: Action{Kind: ActionRead}, At: 20}) // violation
+	h.MustAppend(HistoryTuple{Unit: "cc-1234", Purpose: "billing", Entity: "netflix",
+		Action: Action{Kind: ActionRead}, At: 150}) // violation: expired
+
+	got := AuditUnit(u, h, reg)
+	if len(got) != 2 {
+		t.Fatalf("AuditUnit found %d violations, want 2: %v", len(got), got)
+	}
+}
+
+func TestAuditAllUnknownUnit(t *testing.T) {
+	db, _, h, reg := netflixScenario(t)
+	h.MustAppend(HistoryTuple{Unit: "ghost", Purpose: "p", Entity: "e",
+		Action: Action{Kind: ActionRead}, At: 5})
+	got := AuditAll(db, h, reg)
+	if len(got) != 1 {
+		t.Fatalf("AuditAll = %v, want 1 unknown-unit violation", got)
+	}
+	// Erase tuples for removed (physically deleted) units are fine.
+	h2 := NewHistory()
+	h2.MustAppend(HistoryTuple{Unit: "ghost", Purpose: PurposeComplianceErase, Entity: "sys",
+		Action: Action{Kind: ActionErase, RequiredByRegulation: true}, At: 5})
+	if got := AuditAll(db, h2, reg); len(got) != 0 {
+		t.Fatalf("erase tuple of removed unit flagged: %v", got)
+	}
+}

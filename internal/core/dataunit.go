@@ -1,0 +1,386 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// UnitID identifies a data unit.
+type UnitID string
+
+// UnitKind classifies data units (§2.1): base data is directly or
+// indirectly collected; derived data is obtained from base data; metadata
+// includes subjects, policies, logs and the like.
+type UnitKind uint8
+
+// The three kinds of data unit.
+const (
+	KindBase UnitKind = iota
+	KindDerived
+	KindMetadata
+)
+
+var unitKindNames = [...]string{
+	KindBase:     "base",
+	KindDerived:  "derived",
+	KindMetadata: "metadata",
+}
+
+// String returns the kind name.
+func (k UnitKind) String() string {
+	if int(k) < len(unitKindNames) {
+		return unitKindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Valid reports whether k is a declared kind.
+func (k UnitKind) Valid() bool { return int(k) < len(unitKindNames) }
+
+// VersionedValue is one (v_i, t_i) element of a data unit's value history V.
+type VersionedValue struct {
+	Value []byte
+	At    Time
+}
+
+// UnitState is X(t): the values of a unit's aspects at one instant
+// (§2.1). It is a read-only snapshot.
+type UnitState struct {
+	ID       UnitID
+	Kind     UnitKind
+	Subjects []EntityID
+	Origins  []string
+	// Value is V(t): the latest value at or before t; nil if the unit
+	// had no value at t (not yet created, or erased).
+	Value []byte
+	// Policies is P(t).
+	Policies []Policy
+	// Erased reports whether the unit had been erased by t.
+	Erased bool
+}
+
+// DataUnit is X = (S, O, V, P): the finest granularity at which
+// Data-CASE refers to data (§2.1). S and O are sets to accommodate
+// derived units whose subjects/origins aggregate over their sources.
+// DataUnit is safe for concurrent use.
+type DataUnit struct {
+	id   UnitID
+	kind UnitKind
+
+	mu       sync.RWMutex
+	subjects []EntityID
+	origins  []string
+	values   []VersionedValue // ascending by At
+	policies *PolicySet
+	// derivedFrom lists the base units a derived unit was produced from.
+	derivedFrom []UnitID
+	// erasedAt is when the unit was erased, or TimeMax if live.
+	erasedAt Time
+}
+
+// NewDataUnit constructs a base or metadata unit.
+func NewDataUnit(id UnitID, kind UnitKind, subject EntityID, origin string) *DataUnit {
+	u := &DataUnit{
+		id:       id,
+		kind:     kind,
+		policies: NewPolicySet(),
+		erasedAt: TimeMax,
+	}
+	if subject != "" {
+		u.subjects = []EntityID{subject}
+	}
+	if origin != "" {
+		u.origins = []string{origin}
+	}
+	return u
+}
+
+// NewDerivedUnit constructs a derived unit whose subjects and origins are
+// the union over the source units and whose policies are the intersection
+// of the sources' policies at time now (§2.1: "S_Y and O_Y as the union of
+// all the data-subjects and origins ... P_Y is generally a restriction").
+func NewDerivedUnit(id UnitID, now Time, sources ...*DataUnit) *DataUnit {
+	u := &DataUnit{
+		id:       id,
+		kind:     KindDerived,
+		policies: NewPolicySet(),
+		erasedAt: TimeMax,
+	}
+	subjectSeen := make(map[EntityID]bool)
+	originSeen := make(map[string]bool)
+	sets := make([]*PolicySet, 0, len(sources))
+	for _, src := range sources {
+		u.derivedFrom = append(u.derivedFrom, src.ID())
+		for _, s := range src.Subjects() {
+			if !subjectSeen[s] {
+				subjectSeen[s] = true
+				u.subjects = append(u.subjects, s)
+			}
+		}
+		for _, o := range src.Origins() {
+			if !originSeen[o] {
+				originSeen[o] = true
+				u.origins = append(u.origins, o)
+			}
+		}
+		sets = append(sets, src.policySet())
+	}
+	for _, p := range IntersectPolicies(now, sets...) {
+		// Error impossible: p came from validated policies.
+		_ = u.policies.Grant(p, now)
+	}
+	return u
+}
+
+// ID returns the unit identifier.
+func (u *DataUnit) ID() UnitID { return u.id }
+
+// Kind returns base/derived/metadata.
+func (u *DataUnit) Kind() UnitKind { return u.kind }
+
+// Subjects returns a copy of the subject set S.
+func (u *DataUnit) Subjects() []EntityID {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	out := make([]EntityID, len(u.subjects))
+	copy(out, u.subjects)
+	return out
+}
+
+// Origins returns a copy of the origin set O.
+func (u *DataUnit) Origins() []string {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	out := make([]string, len(u.origins))
+	copy(out, u.origins)
+	return out
+}
+
+// DerivedFrom returns the IDs of the units this one was derived from
+// (empty for base/metadata units).
+func (u *DataUnit) DerivedFrom() []UnitID {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	out := make([]UnitID, len(u.derivedFrom))
+	copy(out, u.derivedFrom)
+	return out
+}
+
+// SetValue appends (v, t) to the value history V.
+func (u *DataUnit) SetValue(v []byte, t Time) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	cp := make([]byte, len(v))
+	copy(cp, v)
+	u.values = append(u.values, VersionedValue{Value: cp, At: t})
+}
+
+// ValueAt returns V(t): the most recent value at or before t. ok is
+// false if the unit had no value by t or had been erased by t.
+func (u *DataUnit) ValueAt(t Time) (v []byte, ok bool) {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	if u.erasedAt <= t {
+		return nil, false
+	}
+	// values is ascending; find the last entry with At <= t.
+	i := sort.Search(len(u.values), func(i int) bool { return u.values[i].At > t })
+	if i == 0 {
+		return nil, false
+	}
+	val := u.values[i-1].Value
+	out := make([]byte, len(val))
+	copy(out, val)
+	return out, true
+}
+
+// Versions returns the number of recorded value versions.
+func (u *DataUnit) Versions() int {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	return len(u.values)
+}
+
+// Grant attaches a policy at time now.
+func (u *DataUnit) Grant(p Policy, now Time) error { return u.policies.Grant(p, now) }
+
+// Revoke withdraws matching policies at now; returns the revoked count.
+func (u *DataUnit) Revoke(purpose Purpose, entity EntityID, now Time) int {
+	return u.policies.Revoke(purpose, entity, now)
+}
+
+// RevokeAllPolicies withdraws every policy at now; returns the count.
+func (u *DataUnit) RevokeAllPolicies(now Time) int { return u.policies.RevokeAll(now) }
+
+// PoliciesAt returns P(t).
+func (u *DataUnit) PoliciesAt(t Time) []Policy { return u.policies.At(t) }
+
+// PolicyActive reports whether a (purpose, entity) policy is in force at t.
+func (u *DataUnit) PolicyActive(purpose Purpose, entity EntityID, t Time) bool {
+	return u.policies.Active(purpose, entity, t)
+}
+
+// FindPolicy returns the in-force policies with the given purpose at t.
+func (u *DataUnit) FindPolicy(purpose Purpose, t Time) []Policy {
+	return u.policies.FindPurpose(purpose, t)
+}
+
+// PolicyGrants returns every policy ever granted with the given purpose,
+// regardless of validity window or revocation.
+func (u *DataUnit) PolicyGrants(purpose Purpose) []Policy {
+	return u.policies.GrantsOf(purpose)
+}
+
+// MarkErased records that the unit was erased at t. Later ValueAt calls
+// report no value; the policy set is left to the caller (erasure engines
+// typically revoke everything too).
+func (u *DataUnit) MarkErased(t Time) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if t < u.erasedAt {
+		u.erasedAt = t
+	}
+}
+
+// Erased reports whether the unit had been erased by t.
+func (u *DataUnit) Erased(t Time) bool {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	return u.erasedAt <= t
+}
+
+// ErasedAt returns the erasure time, or TimeMax if the unit is live.
+func (u *DataUnit) ErasedAt() Time {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	return u.erasedAt
+}
+
+// State returns the snapshot X(t).
+func (u *DataUnit) State(t Time) UnitState {
+	v, ok := u.ValueAt(t)
+	if !ok {
+		v = nil
+	}
+	return UnitState{
+		ID:       u.id,
+		Kind:     u.kind,
+		Subjects: u.Subjects(),
+		Origins:  u.Origins(),
+		Value:    v,
+		Policies: u.PoliciesAt(t),
+		Erased:   u.Erased(t),
+	}
+}
+
+// policySet exposes the underlying set for intra-package composition.
+func (u *DataUnit) policySet() *PolicySet { return u.policies }
+
+// String renders the unit as "id(kind, subjects=[...])".
+func (u *DataUnit) String() string {
+	return fmt.Sprintf("%s(%s, subjects=%v)", u.id, u.kind, u.Subjects())
+}
+
+// Database is the model-level collection of data units (§2.1: "the state
+// of a database is the collection of the states of all data units in the
+// database"). It is an abstract map; system engines hold the physical
+// bytes and keep a Database view in sync for invariant checking.
+// Database is safe for concurrent use.
+type Database struct {
+	mu    sync.RWMutex
+	units map[UnitID]*DataUnit
+	order []UnitID // insertion order, for deterministic iteration
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{units: make(map[UnitID]*DataUnit)}
+}
+
+// Add inserts a unit; it rejects duplicates.
+func (d *Database) Add(u *DataUnit) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.units[u.ID()]; dup {
+		return fmt.Errorf("core: duplicate data unit %q", u.ID())
+	}
+	d.units[u.ID()] = u
+	d.order = append(d.order, u.ID())
+	return nil
+}
+
+// Lookup returns the unit with the given ID.
+func (d *Database) Lookup(id UnitID) (*DataUnit, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	u, ok := d.units[id]
+	return u, ok
+}
+
+// Remove drops the unit from the collection entirely (physical removal).
+func (d *Database) Remove(id UnitID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.units[id]; !ok {
+		return
+	}
+	delete(d.units, id)
+	for i, v := range d.order {
+		if v == id {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Len returns the number of units.
+func (d *Database) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.units)
+}
+
+// ForEach visits every unit in insertion order; a non-nil error stops the
+// walk and is returned.
+func (d *Database) ForEach(fn func(*DataUnit) error) error {
+	d.mu.RLock()
+	ids := make([]UnitID, len(d.order))
+	copy(ids, d.order)
+	d.mu.RUnlock()
+	for _, id := range ids {
+		d.mu.RLock()
+		u, ok := d.units[id]
+		d.mu.RUnlock()
+		if !ok {
+			continue // removed concurrently
+		}
+		if err := fn(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Units returns the units in insertion order.
+func (d *Database) Units() []*DataUnit {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]*DataUnit, 0, len(d.order))
+	for _, id := range d.order {
+		if u, ok := d.units[id]; ok {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// State returns the database state at t: the states of all units.
+func (d *Database) State(t Time) []UnitState {
+	units := d.Units()
+	out := make([]UnitState, len(units))
+	for i, u := range units {
+		out[i] = u.State(t)
+	}
+	return out
+}

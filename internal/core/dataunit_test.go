@@ -1,0 +1,211 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestDataUnitValueHistory(t *testing.T) {
+	u := NewDataUnit("cc-1234", KindBase, "user-1234", "signup-form")
+	u.SetValue([]byte("v1"), 10)
+	u.SetValue([]byte("v2"), 20)
+
+	if _, ok := u.ValueAt(5); ok {
+		t.Error("value visible before first write")
+	}
+	if v, ok := u.ValueAt(15); !ok || string(v) != "v1" {
+		t.Errorf("ValueAt(15) = %q, %v", v, ok)
+	}
+	if v, ok := u.ValueAt(25); !ok || string(v) != "v2" {
+		t.Errorf("ValueAt(25) = %q, %v", v, ok)
+	}
+	if u.Versions() != 2 {
+		t.Errorf("Versions = %d, want 2", u.Versions())
+	}
+}
+
+func TestDataUnitValueAtReturnsCopy(t *testing.T) {
+	u := NewDataUnit("x", KindBase, "s", "o")
+	u.SetValue([]byte("orig"), 1)
+	v, _ := u.ValueAt(1)
+	v[0] = 'X'
+	v2, _ := u.ValueAt(1)
+	if !bytes.Equal(v2, []byte("orig")) {
+		t.Error("ValueAt aliases internal storage")
+	}
+}
+
+func TestDataUnitErasure(t *testing.T) {
+	u := NewDataUnit("x", KindBase, "s", "o")
+	u.SetValue([]byte("secret"), 1)
+	u.MarkErased(50)
+	if _, ok := u.ValueAt(60); ok {
+		t.Error("value readable after erasure")
+	}
+	if v, ok := u.ValueAt(40); !ok || string(v) != "secret" {
+		t.Errorf("historical value lost: %q, %v", v, ok)
+	}
+	if !u.Erased(50) || u.Erased(49) {
+		t.Error("Erased boundary wrong")
+	}
+	// Earlier erasure wins; later MarkErased must not move it forward.
+	u.MarkErased(70)
+	if u.ErasedAt() != 50 {
+		t.Errorf("ErasedAt = %v, want 50", u.ErasedAt())
+	}
+}
+
+func TestDataUnitState(t *testing.T) {
+	u := NewDataUnit("cc", KindBase, "user-1", "web")
+	u.SetValue([]byte("4111"), 5)
+	if err := u.Grant(Policy{Purpose: "billing", Entity: "netflix", Begin: 1, End: 100}, 1); err != nil {
+		t.Fatal(err)
+	}
+	st := u.State(10)
+	if st.ID != "cc" || st.Kind != KindBase {
+		t.Errorf("state identity wrong: %+v", st)
+	}
+	if string(st.Value) != "4111" {
+		t.Errorf("state value = %q", st.Value)
+	}
+	if len(st.Policies) != 1 || st.Policies[0].Purpose != "billing" {
+		t.Errorf("state policies = %v", st.Policies)
+	}
+	if st.Erased {
+		t.Error("live unit marked erased in state")
+	}
+}
+
+func TestNewDerivedUnitAggregatesAspects(t *testing.T) {
+	a := NewDataUnit("a", KindBase, "alice", "cam-1")
+	b := NewDataUnit("b", KindBase, "bob", "cam-2")
+	for _, u := range []*DataUnit{a, b} {
+		if err := u.Grant(Policy{Purpose: "analytics", Entity: "metaspace", Begin: 0, End: 100}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Grant(Policy{Purpose: "ads", Entity: "metaspace", Begin: 0, End: 100}, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	d := NewDerivedUnit("d", 10, a, b)
+	if d.Kind() != KindDerived {
+		t.Fatalf("kind = %v", d.Kind())
+	}
+	subj := d.Subjects()
+	if len(subj) != 2 {
+		t.Fatalf("subjects = %v, want union {alice,bob}", subj)
+	}
+	if len(d.Origins()) != 2 {
+		t.Fatalf("origins = %v", d.Origins())
+	}
+	if got := d.DerivedFrom(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("derivedFrom = %v", got)
+	}
+	// Policies are the intersection: only analytics survives.
+	pols := d.PoliciesAt(10)
+	if len(pols) != 1 || pols[0].Purpose != "analytics" {
+		t.Fatalf("derived policies = %v, want analytics only", pols)
+	}
+}
+
+func TestNewDerivedUnitDeduplicatesSubjects(t *testing.T) {
+	a := NewDataUnit("a", KindBase, "alice", "cam-1")
+	b := NewDataUnit("b", KindBase, "alice", "cam-1")
+	d := NewDerivedUnit("d", 0, a, b)
+	if len(d.Subjects()) != 1 || len(d.Origins()) != 1 {
+		t.Fatalf("duplicate aspects not merged: %v %v", d.Subjects(), d.Origins())
+	}
+}
+
+func TestDatabaseAddLookupRemove(t *testing.T) {
+	db := NewDatabase()
+	u := NewDataUnit("x", KindBase, "s", "o")
+	if err := db.Add(u); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add(u); err == nil {
+		t.Fatal("duplicate Add accepted")
+	}
+	if got, ok := db.Lookup("x"); !ok || got != u {
+		t.Fatal("Lookup failed")
+	}
+	if db.Len() != 1 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	db.Remove("x")
+	if _, ok := db.Lookup("x"); ok {
+		t.Fatal("unit still present after Remove")
+	}
+	db.Remove("x") // idempotent
+	if db.Len() != 0 {
+		t.Fatalf("Len after remove = %d", db.Len())
+	}
+}
+
+func TestDatabaseIterationOrder(t *testing.T) {
+	db := NewDatabase()
+	ids := []UnitID{"c", "a", "b"}
+	for _, id := range ids {
+		if err := db.Add(NewDataUnit(id, KindBase, "s", "o")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []UnitID
+	if err := db.ForEach(func(u *DataUnit) error {
+		got = append(got, u.ID())
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if got[i] != id {
+			t.Fatalf("iteration order %v, want insertion order %v", got, ids)
+		}
+	}
+}
+
+func TestDatabaseState(t *testing.T) {
+	db := NewDatabase()
+	u := NewDataUnit("x", KindBase, "s", "o")
+	u.SetValue([]byte("v"), 1)
+	if err := db.Add(u); err != nil {
+		t.Fatal(err)
+	}
+	states := db.State(5)
+	if len(states) != 1 || string(states[0].Value) != "v" {
+		t.Fatalf("State = %+v", states)
+	}
+}
+
+// Property: ValueAt returns the version with the greatest At <= t.
+func TestValueAtLatestVersionProperty(t *testing.T) {
+	f := func(times []uint8, probe uint8) bool {
+		u := NewDataUnit("x", KindBase, "s", "o")
+		// Write versions at strictly increasing times derived from input.
+		cur := Time(0)
+		var stamps []Time
+		for i, d := range times {
+			cur += Time(d%16) + 1
+			u.SetValue([]byte{byte(i)}, cur)
+			stamps = append(stamps, cur)
+		}
+		tm := Time(probe)
+		v, ok := u.ValueAt(tm)
+		// Expected: index of last stamp <= tm.
+		want := -1
+		for i, s := range stamps {
+			if s <= tm {
+				want = i
+			}
+		}
+		if want == -1 {
+			return !ok
+		}
+		return ok && len(v) == 1 && v[0] == byte(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

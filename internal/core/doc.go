@@ -1,0 +1,25 @@
+// Package core implements the Data-CASE formal model: the small set of
+// data-processing concepts that the paper (EDBT 2024, arXiv:2308.07501)
+// argues is sufficient to state data regulations such as GDPR as formal,
+// checkable invariants over system behaviour.
+//
+// The package is deliberately dependency-free and system-independent.
+// It models:
+//
+//   - Entities (data subjects, controllers, processors, auditors) — §2.1.
+//   - Data units X = (S, O, V, P): subject(s), origin(s), a timestamped
+//     value history, and a set of policies — §2.1.
+//   - Policies ⟨p, e, t_b, t_f⟩ granting entity e access for purpose p
+//     during [t_b, t_f] — §2.1.
+//   - Actions and action-history tuples (X, p, e, τ(X), t) — §2.1.
+//   - Policy-consistent data processing, the model's abstraction of
+//     "lawful processing" — §2.1.
+//   - Invariants: regulations stated formally over histories and database
+//     states (G6, G17, and the Figure-1 categories) — §2.2.
+//   - Grounding: binding a concept to one unambiguous interpretation and
+//     mapping that interpretation to system-actions — §3.
+//
+// Storage engines, policy engines and loggers elsewhere in this repository
+// implement grounded interpretations against this model; the model itself
+// never references them.
+package core

@@ -1,0 +1,104 @@
+package core
+
+import "fmt"
+
+// EntityID identifies an entity (a person or organization) in the model.
+type EntityID string
+
+// EntityRole classifies the part an entity plays in the data life cycle
+// (§2.1: "these roles are referred to as entities").
+type EntityRole uint8
+
+// Roles recognized by data regulations.
+const (
+	// RoleDataSubject is the person the data identifies (GDPR Art. 4(1)).
+	RoleDataSubject EntityRole = iota
+	// RoleController determines purposes and means of processing (Art. 4(7)).
+	RoleController
+	// RoleProcessor processes data on behalf of a controller (Art. 4(8)).
+	RoleProcessor
+	// RoleAuditor verifies and certifies compliance.
+	RoleAuditor
+	// RoleRegulator is a supervisory authority (e.g. a DPA, Art. 51).
+	RoleRegulator
+)
+
+var entityRoleNames = [...]string{
+	RoleDataSubject: "data-subject",
+	RoleController:  "controller",
+	RoleProcessor:   "processor",
+	RoleAuditor:     "auditor",
+	RoleRegulator:   "regulator",
+}
+
+// String returns the lower-case role name.
+func (r EntityRole) String() string {
+	if int(r) < len(entityRoleNames) {
+		return entityRoleNames[r]
+	}
+	return fmt.Sprintf("role(%d)", uint8(r))
+}
+
+// Valid reports whether r is one of the declared roles.
+func (r EntityRole) Valid() bool { return int(r) < len(entityRoleNames) }
+
+// Entity is a participant in data processing: the data subject whose data
+// is collected, the controller that collects it, processors it is shared
+// with, and auditors/regulators that certify compliance.
+type Entity struct {
+	ID   EntityID
+	Name string
+	Role EntityRole
+	// Jurisdiction is the regulation domain the entity operates under
+	// (e.g. "EU", "California"). Multinational scenarios (§4.3) use it to
+	// select per-region groundings.
+	Jurisdiction string
+}
+
+// String renders the entity as "name(role)".
+func (e Entity) String() string {
+	return fmt.Sprintf("%s(%s)", e.ID, e.Role)
+}
+
+// EntityRegistry is an in-memory directory of known entities.
+// The zero value is not usable; construct with NewEntityRegistry.
+type EntityRegistry struct {
+	byID map[EntityID]Entity
+}
+
+// NewEntityRegistry returns an empty registry.
+func NewEntityRegistry() *EntityRegistry {
+	return &EntityRegistry{byID: make(map[EntityID]Entity)}
+}
+
+// Register adds or replaces an entity. It rejects empty IDs and invalid roles.
+func (r *EntityRegistry) Register(e Entity) error {
+	if e.ID == "" {
+		return fmt.Errorf("core: entity with empty ID")
+	}
+	if !e.Role.Valid() {
+		return fmt.Errorf("core: entity %q has invalid role %d", e.ID, e.Role)
+	}
+	r.byID[e.ID] = e
+	return nil
+}
+
+// Lookup returns the entity with the given ID.
+func (r *EntityRegistry) Lookup(id EntityID) (Entity, bool) {
+	e, ok := r.byID[id]
+	return e, ok
+}
+
+// Len returns the number of registered entities.
+func (r *EntityRegistry) Len() int { return len(r.byID) }
+
+// WithRole returns all entities having the given role, in unspecified order.
+func (r *EntityRegistry) WithRole(role EntityRole) []Entity {
+	var out []Entity
+	for _, e := range r.byID {
+		if e.Role == role {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package core
+
+import "fmt"
+
+// ErasureInterpretation enumerates the four interpretations of "erasure"
+// the paper grounds in §3.1, ordered by increasing restrictiveness:
+// strongly delete implies delete, and so on. The ordering gives rise to
+// the notion of strictness of interpretation of compliance.
+type ErasureInterpretation uint8
+
+// The four interpretations, in increasing strictness.
+const (
+	// EraseReversiblyInaccessible: the data cannot be read by any data
+	// subject in the system but remains accessible to the controller or
+	// processor; a specific action can restore access.
+	EraseReversiblyInaccessible ErasureInterpretation = iota
+	// EraseDelete: the data and all its copies have been physically erased.
+	EraseDelete
+	// EraseStrongDelete: deleted, and all dependent data where the
+	// data subject is identifiable has been deleted too.
+	EraseStrongDelete
+	// ErasePermanentDelete: strongly deleted, and an advanced physical
+	// drive sanitation technique has been applied.
+	ErasePermanentDelete
+)
+
+var erasureNames = [...]string{
+	EraseReversiblyInaccessible: "reversibly-inaccessible",
+	EraseDelete:                 "delete",
+	EraseStrongDelete:           "strong-delete",
+	ErasePermanentDelete:        "permanent-delete",
+}
+
+// String returns the interpretation name.
+func (e ErasureInterpretation) String() string {
+	if int(e) < len(erasureNames) {
+		return erasureNames[e]
+	}
+	return fmt.Sprintf("erasure(%d)", uint8(e))
+}
+
+// Valid reports whether e is a declared interpretation.
+func (e ErasureInterpretation) Valid() bool { return int(e) < len(erasureNames) }
+
+// StricterThan reports whether e is strictly more restrictive than o.
+func (e ErasureInterpretation) StricterThan(o ErasureInterpretation) bool { return e > o }
+
+// Implies reports whether achieving e also achieves o (the lattice of
+// §3.1: "strongly delete implies delete").
+func (e ErasureInterpretation) Implies(o ErasureInterpretation) bool { return e >= o }
+
+// ErasureInterpretations returns all four interpretations in increasing
+// strictness.
+func ErasureInterpretations() []ErasureInterpretation {
+	return []ErasureInterpretation{
+		EraseReversiblyInaccessible, EraseDelete, EraseStrongDelete, ErasePermanentDelete,
+	}
+}
+
+// ErasureProperties are the three properties §3.1 uses to ground the
+// interpretations: whether erasure-inconsistent reads remain possible
+// (IR), whether erasure-inconsistent inference remains possible (II),
+// and whether the transformation applied to the data is invertible (Inv).
+type ErasureProperties struct {
+	// IllegalReads: the unit can still be read although P(t) = ∅.
+	IllegalReads bool
+	// IllegalInference: although erased, the unit can be reconstructed
+	// from dependent/provenance/other data (X = f(Y)).
+	IllegalInference bool
+	// Invertible: the transformation applied (encryption, masking, …)
+	// can be reversed to recover the data.
+	Invertible bool
+	// Sanitized: an advanced physical sanitation step was applied
+	// (distinguishes permanent delete from strong delete, which share
+	// the three properties above).
+	Sanitized bool
+}
+
+// CharacteristicsOf returns Table 1's row for the interpretation: the
+// properties a *correct implementation* of that grounding must exhibit.
+func CharacteristicsOf(e ErasureInterpretation) ErasureProperties {
+	switch e {
+	case EraseReversiblyInaccessible:
+		return ErasureProperties{IllegalReads: false, IllegalInference: true, Invertible: true}
+	case EraseDelete:
+		return ErasureProperties{IllegalReads: false, IllegalInference: true, Invertible: false}
+	case EraseStrongDelete:
+		return ErasureProperties{IllegalReads: false, IllegalInference: false, Invertible: false}
+	case ErasePermanentDelete:
+		return ErasureProperties{IllegalReads: false, IllegalInference: false, Invertible: false, Sanitized: true}
+	default:
+		panic(fmt.Sprintf("core: unknown erasure interpretation %d", e))
+	}
+}
+
+// PSQLSystemActions returns Table 1's "PSQL System-Action(s)" column: the
+// system-actions a PostgreSQL-like engine uses to implement each
+// grounding. Permanent delete is not supported by stock PSQL (it needs a
+// sanitation layer below the engine).
+func PSQLSystemActions(e ErasureInterpretation) string {
+	switch e {
+	case EraseReversiblyInaccessible:
+		return "Add new attribute"
+	case EraseDelete:
+		return "DELETE+VACUUM"
+	case EraseStrongDelete:
+		return "DELETE+VACUUM FULL"
+	case ErasePermanentDelete:
+		return "Not supported"
+	default:
+		return "unknown"
+	}
+}
+
+// ErasureTimeline is Figure 3: the temporal relationship between the
+// interpretations. A unit is live until TTLive, reversibly inaccessible
+// until TTDelete, deleted until TTStrongDelete, strongly deleted until
+// TTPermanentDelete, and permanently deleted afterwards. A stage equal to
+// the previous stage's bound is skipped.
+type ErasureTimeline struct {
+	Collected      Time
+	TTLive         Time
+	TTDelete       Time
+	TTStrongDelete Time
+	TTPermanent    Time
+}
+
+// Validate rejects timelines whose stages are not monotonically ordered.
+func (tl ErasureTimeline) Validate() error {
+	if !(tl.Collected <= tl.TTLive && tl.TTLive <= tl.TTDelete &&
+		tl.TTDelete <= tl.TTStrongDelete && tl.TTStrongDelete <= tl.TTPermanent) {
+		return fmt.Errorf("core: erasure timeline stages out of order: %+v", tl)
+	}
+	return nil
+}
+
+// StageAt returns the interpretation that must hold at time t, and ok =
+// false while the unit is still live (before TTLive).
+func (tl ErasureTimeline) StageAt(t Time) (ErasureInterpretation, bool) {
+	switch {
+	case t < tl.TTLive:
+		return 0, false
+	case t < tl.TTDelete:
+		return EraseReversiblyInaccessible, true
+	case t < tl.TTStrongDelete:
+		return EraseDelete, true
+	case t < tl.TTPermanent:
+		return EraseStrongDelete, true
+	default:
+		return ErasePermanentDelete, true
+	}
+}

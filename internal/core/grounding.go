@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Concept names a Data-CASE concept that regulations reference but leave
+// open to interpretation (§3): erasure, purpose, history, policy, ….
+type Concept string
+
+// The concepts this repository grounds.
+const (
+	ConceptErasure Concept = "erasure"
+	ConceptPurpose Concept = "purpose"
+	ConceptHistory Concept = "history"
+	ConceptPolicy  Concept = "policy"
+	ConceptConsent Concept = "consent"
+)
+
+// Interpretation is one valid reading of a concept, formally described.
+// Grounding picks exactly one interpretation per concept (Figure 2,
+// step 2) and maps it to system-actions (step 3).
+type Interpretation struct {
+	Concept     Concept
+	Name        string
+	Description string
+	// Strictness orders interpretations of the same concept; higher is
+	// more restrictive (cf. the erasure lattice, §3.1).
+	Strictness int
+}
+
+// String renders like "erasure/strong-delete".
+func (i Interpretation) String() string {
+	return fmt.Sprintf("%s/%s", i.Concept, i.Name)
+}
+
+// SystemAction is a concrete operation of a concrete system that an
+// interpretation maps to: DELETE and VACUUM in PSQL, deleteOne and
+// remove in MongoDB, or a user-defined function (§1).
+type SystemAction struct {
+	System    string // e.g. "psql-like-heap", "lsm", "keyring"
+	Operation string // e.g. "DELETE+VACUUM", "tombstone", "shred-key"
+	// Supported is false when the system cannot implement the mapped
+	// interpretation and must be retrofitted (Table 1's "Not supported").
+	Supported bool
+}
+
+// String renders like "psql-like-heap:DELETE+VACUUM".
+func (a SystemAction) String() string {
+	s := fmt.Sprintf("%s:%s", a.System, a.Operation)
+	if !a.Supported {
+		s += " (unsupported)"
+	}
+	return s
+}
+
+// Grounding binds one concept to one chosen interpretation and the
+// system-actions that implement it. It is the paper's central device for
+// removing ambiguity: once grounded, compliance is demonstrable.
+type Grounding struct {
+	Interpretation Interpretation
+	Actions        []SystemAction
+}
+
+// Supported reports whether every mapped system-action is supported. An
+// unsupported grounding means the system must be retrofitted or changed
+// (§1: "the system might need to be retrofitted").
+func (g Grounding) Supported() bool {
+	if len(g.Actions) == 0 {
+		return false
+	}
+	for _, a := range g.Actions {
+		if !a.Supported {
+			return false
+		}
+	}
+	return true
+}
+
+// GroundingRegistry records, per concept, the interpretations a
+// deployment considered and the one it chose. It is safe for concurrent
+// use.
+type GroundingRegistry struct {
+	mu          sync.RWMutex
+	known       map[Concept][]Interpretation
+	chosen      map[Concept]Grounding
+	description string
+}
+
+// NewGroundingRegistry returns an empty registry. description labels the
+// deployment (e.g. "P_SYS on psql-like heap").
+func NewGroundingRegistry(description string) *GroundingRegistry {
+	return &GroundingRegistry{
+		known:       make(map[Concept][]Interpretation),
+		chosen:      make(map[Concept]Grounding),
+		description: description,
+	}
+}
+
+// Description returns the deployment label.
+func (r *GroundingRegistry) Description() string { return r.description }
+
+// Declare registers a candidate interpretation of a concept (Figure 2,
+// step 1: interpretations are formally defined before one is chosen).
+func (r *GroundingRegistry) Declare(i Interpretation) error {
+	if i.Concept == "" || i.Name == "" {
+		return fmt.Errorf("core: interpretation must name a concept and itself")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, k := range r.known[i.Concept] {
+		if k.Name == i.Name {
+			return fmt.Errorf("core: interpretation %s already declared", i)
+		}
+	}
+	r.known[i.Concept] = append(r.known[i.Concept], i)
+	return nil
+}
+
+// Choose grounds a concept: it picks a declared interpretation and maps
+// it to system-actions (Figure 2, steps 2-3). Choosing an undeclared
+// interpretation is an error.
+func (r *GroundingRegistry) Choose(concept Concept, name string, actions ...SystemAction) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, k := range r.known[concept] {
+		if k.Name == name {
+			r.chosen[concept] = Grounding{Interpretation: k, Actions: actions}
+			return nil
+		}
+	}
+	return fmt.Errorf("core: cannot choose undeclared interpretation %s/%s", concept, name)
+}
+
+// Chosen returns the grounding of a concept, if one was chosen.
+func (r *GroundingRegistry) Chosen(concept Concept) (Grounding, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	g, ok := r.chosen[concept]
+	return g, ok
+}
+
+// Declared returns the candidate interpretations of a concept, sorted by
+// ascending strictness.
+func (r *GroundingRegistry) Declared(concept Concept) []Interpretation {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Interpretation, len(r.known[concept]))
+	copy(out, r.known[concept])
+	sort.Slice(out, func(i, j int) bool { return out[i].Strictness < out[j].Strictness })
+	return out
+}
+
+// Concepts returns the concepts with at least one declared
+// interpretation, sorted.
+func (r *GroundingRegistry) Concepts() []Concept {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Concept, 0, len(r.known))
+	for c := range r.known {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FullyGrounded reports whether every declared concept has a chosen,
+// supported grounding. Only a fully grounded deployment can claim
+// demonstrable compliance.
+func (r *GroundingRegistry) FullyGrounded() (bool, []Concept) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var missing []Concept
+	for c := range r.known {
+		g, ok := r.chosen[c]
+		if !ok || !g.Supported() {
+			missing = append(missing, c)
+		}
+	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+	return len(missing) == 0, missing
+}
+
+// DeclareErasureInterpretations declares the four erasure interpretations
+// of §3.1 into the registry, with their strictness ordering.
+func DeclareErasureInterpretations(r *GroundingRegistry) error {
+	for _, e := range ErasureInterpretations() {
+		err := r.Declare(Interpretation{
+			Concept:     ConceptErasure,
+			Name:        e.String(),
+			Description: erasureDescription(e),
+			Strictness:  int(e),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func erasureDescription(e ErasureInterpretation) string {
+	switch e {
+	case EraseReversiblyInaccessible:
+		return "data cannot be read by any data subject but remains accessible " +
+			"to the controller/processor; a specific action can restore it"
+	case EraseDelete:
+		return "the data and all its copies have been physically erased"
+	case EraseStrongDelete:
+		return "deleted, and all dependent data where the data subject is " +
+			"identifiable has been deleted"
+	case ErasePermanentDelete:
+		return "strongly deleted, with advanced physical drive sanitation applied"
+	default:
+		return ""
+	}
+}

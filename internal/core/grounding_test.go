@@ -1,0 +1,135 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGroundingDeclareChoose(t *testing.T) {
+	r := NewGroundingRegistry("test deployment")
+	if err := DeclareErasureInterpretations(r); err != nil {
+		t.Fatal(err)
+	}
+	decls := r.Declared(ConceptErasure)
+	if len(decls) != 4 {
+		t.Fatalf("declared = %v", decls)
+	}
+	// Sorted by strictness.
+	for i := 1; i < len(decls); i++ {
+		if decls[i].Strictness < decls[i-1].Strictness {
+			t.Fatalf("declarations not sorted by strictness: %v", decls)
+		}
+	}
+	err := r.Choose(ConceptErasure, EraseDelete.String(),
+		SystemAction{System: "psql-like-heap", Operation: "DELETE+VACUUM", Supported: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := r.Chosen(ConceptErasure)
+	if !ok || g.Interpretation.Name != "delete" {
+		t.Fatalf("Chosen = %+v, %v", g, ok)
+	}
+	if !g.Supported() {
+		t.Error("supported grounding reported unsupported")
+	}
+}
+
+func TestGroundingChooseUndeclared(t *testing.T) {
+	r := NewGroundingRegistry("x")
+	if err := r.Choose(ConceptErasure, "nuke-from-orbit"); err == nil {
+		t.Fatal("undeclared interpretation chosen")
+	}
+}
+
+func TestGroundingDuplicateDeclare(t *testing.T) {
+	r := NewGroundingRegistry("x")
+	i := Interpretation{Concept: ConceptPolicy, Name: "rbac"}
+	if err := r.Declare(i); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Declare(i); err == nil {
+		t.Fatal("duplicate declaration accepted")
+	}
+	if err := r.Declare(Interpretation{}); err == nil {
+		t.Fatal("empty interpretation accepted")
+	}
+}
+
+func TestGroundingFullyGrounded(t *testing.T) {
+	r := NewGroundingRegistry("x")
+	if err := DeclareErasureInterpretations(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Declare(Interpretation{Concept: ConceptHistory, Name: "csv-log"}); err != nil {
+		t.Fatal(err)
+	}
+	ok, missing := r.FullyGrounded()
+	if ok || len(missing) != 2 {
+		t.Fatalf("FullyGrounded = %v, missing = %v", ok, missing)
+	}
+	if err := r.Choose(ConceptErasure, "delete",
+		SystemAction{System: "heap", Operation: "DELETE+VACUUM", Supported: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Choose(ConceptHistory, "csv-log",
+		SystemAction{System: "audit", Operation: "csv-append", Supported: true}); err != nil {
+		t.Fatal(err)
+	}
+	ok, missing = r.FullyGrounded()
+	if !ok || len(missing) != 0 {
+		t.Fatalf("FullyGrounded = %v, missing = %v", ok, missing)
+	}
+}
+
+func TestGroundingUnsupportedAction(t *testing.T) {
+	r := NewGroundingRegistry("x")
+	if err := DeclareErasureInterpretations(r); err != nil {
+		t.Fatal(err)
+	}
+	// Permanent delete mapped to an unsupported action (Table 1: stock
+	// PSQL cannot implement it) leaves the deployment not fully grounded.
+	if err := r.Choose(ConceptErasure, "permanent-delete",
+		SystemAction{System: "psql-like-heap", Operation: "sanitize", Supported: false}); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := r.Chosen(ConceptErasure)
+	if g.Supported() {
+		t.Error("grounding with unsupported action reported supported")
+	}
+	ok, _ := r.FullyGrounded()
+	if ok {
+		t.Error("deployment with unsupported grounding reported fully grounded")
+	}
+}
+
+func TestGroundingEmptyActions(t *testing.T) {
+	g := Grounding{Interpretation: Interpretation{Concept: ConceptErasure, Name: "delete"}}
+	if g.Supported() {
+		t.Error("grounding with no actions must be unsupported")
+	}
+}
+
+func TestGroundingConcepts(t *testing.T) {
+	r := NewGroundingRegistry("x")
+	if err := r.Declare(Interpretation{Concept: ConceptPolicy, Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Declare(Interpretation{Concept: ConceptConsent, Name: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	got := r.Concepts()
+	if len(got) != 2 || got[0] != ConceptConsent || got[1] != ConceptPolicy {
+		t.Fatalf("Concepts = %v", got)
+	}
+}
+
+func TestSystemActionString(t *testing.T) {
+	a := SystemAction{System: "psql", Operation: "VACUUM", Supported: true}
+	if got := a.String(); got != "psql:VACUUM" {
+		t.Errorf("String = %q", got)
+	}
+	a.Supported = false
+	if got := a.String(); !strings.Contains(got, "unsupported") {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// HistoryTuple is (X, p, e, τ(X), t): entity e performed action τ on unit
+// X for purpose p at time t (§2.1). Data regulations often require
+// monitoring how data is processed; the action-history is that record.
+type HistoryTuple struct {
+	Unit    UnitID
+	Purpose Purpose
+	Entity  EntityID
+	Action  Action
+	At      Time
+}
+
+// String renders the tuple like the paper's examples.
+func (h HistoryTuple) String() string {
+	return fmt.Sprintf("(%s, %s, %s, %s, %s)", h.Unit, h.Purpose, h.Entity, h.Action, h.At)
+}
+
+// History is the append-only collection of action-history tuples, H.
+// H(X) is the subset concerning unit X. History is safe for concurrent
+// use; appends preserve arrival order and per-unit order.
+type History struct {
+	mu     sync.RWMutex
+	tuples []HistoryTuple
+	byUnit map[UnitID][]int // indices into tuples
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History {
+	return &History{byUnit: make(map[UnitID][]int)}
+}
+
+// Append records a tuple. It rejects tuples with an empty unit or entity:
+// an anonymous action cannot be audited.
+func (h *History) Append(t HistoryTuple) error {
+	if t.Unit == "" {
+		return fmt.Errorf("core: history tuple with empty unit")
+	}
+	if t.Entity == "" {
+		return fmt.Errorf("core: history tuple with empty entity")
+	}
+	if !t.Action.Kind.Valid() {
+		return fmt.Errorf("core: history tuple with invalid action kind %d", t.Action.Kind)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.byUnit[t.Unit] = append(h.byUnit[t.Unit], len(h.tuples))
+	h.tuples = append(h.tuples, t)
+	return nil
+}
+
+// MustAppend is Append for callers that construct tuples from trusted
+// code paths; it panics on malformed tuples.
+func (h *History) MustAppend(t HistoryTuple) {
+	if err := h.Append(t); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of recorded tuples.
+func (h *History) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.tuples)
+}
+
+// Of returns H(X): every tuple concerning the unit, in append order.
+func (h *History) Of(id UnitID) []HistoryTuple {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	idx := h.byUnit[id]
+	out := make([]HistoryTuple, len(idx))
+	for i, j := range idx {
+		out[i] = h.tuples[j]
+	}
+	return out
+}
+
+// Last returns the most recent tuple concerning the unit.
+func (h *History) Last(id UnitID) (HistoryTuple, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	idx := h.byUnit[id]
+	if len(idx) == 0 {
+		return HistoryTuple{}, false
+	}
+	return h.tuples[idx[len(idx)-1]], true
+}
+
+// All returns every tuple in append order.
+func (h *History) All() []HistoryTuple {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]HistoryTuple, len(h.tuples))
+	copy(out, h.tuples)
+	return out
+}
+
+// ForEach visits every tuple in append order; a non-nil error stops the
+// walk and is returned.
+func (h *History) ForEach(fn func(HistoryTuple) error) error {
+	h.mu.RLock()
+	snapshot := make([]HistoryTuple, len(h.tuples))
+	copy(snapshot, h.tuples)
+	h.mu.RUnlock()
+	for _, t := range snapshot {
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Units returns the IDs of units that have at least one tuple.
+func (h *History) Units() []UnitID {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]UnitID, 0, len(h.byUnit))
+	for id := range h.byUnit {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Filter returns the tuples satisfying pred, in append order.
+func (h *History) Filter(pred func(HistoryTuple) bool) []HistoryTuple {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	var out []HistoryTuple
+	for _, t := range h.tuples {
+		if pred(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// DropUnit removes every tuple concerning the unit and returns how many
+// were removed. Plain audit trails are immutable, but strong/permanent
+// erasure groundings must scrub logs that would let the unit be inferred
+// (§3.2: "logs directly impact requirements like ... data erasure").
+// Indices of other units are preserved.
+func (h *History) DropUnit(id UnitID) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	idx := h.byUnit[id]
+	if len(idx) == 0 {
+		return 0
+	}
+	drop := make(map[int]bool, len(idx))
+	for _, j := range idx {
+		drop[j] = true
+	}
+	kept := make([]HistoryTuple, 0, len(h.tuples)-len(idx))
+	for j, t := range h.tuples {
+		if !drop[j] {
+			kept = append(kept, t)
+		}
+	}
+	h.tuples = kept
+	h.byUnit = make(map[UnitID][]int, len(h.byUnit))
+	for j, t := range h.tuples {
+		h.byUnit[t.Unit] = append(h.byUnit[t.Unit], j)
+	}
+	return len(idx)
+}

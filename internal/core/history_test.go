@@ -1,0 +1,169 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func mkTuple(unit UnitID, kind ActionKind, at Time) HistoryTuple {
+	return HistoryTuple{
+		Unit:    unit,
+		Purpose: "billing",
+		Entity:  "netflix",
+		Action:  Action{Kind: kind},
+		At:      at,
+	}
+}
+
+func TestHistoryAppendAndOf(t *testing.T) {
+	h := NewHistory()
+	if err := h.Append(mkTuple("x", ActionCreate, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Append(mkTuple("y", ActionCreate, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Append(mkTuple("x", ActionRead, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	hx := h.Of("x")
+	if len(hx) != 2 || hx[0].Action.Kind != ActionCreate || hx[1].Action.Kind != ActionRead {
+		t.Fatalf("Of(x) = %v", hx)
+	}
+	if last, ok := h.Last("x"); !ok || last.At != 3 {
+		t.Fatalf("Last(x) = %v, %v", last, ok)
+	}
+	if _, ok := h.Last("zzz"); ok {
+		t.Fatal("Last on unknown unit reported ok")
+	}
+}
+
+func TestHistoryRejectsMalformed(t *testing.T) {
+	h := NewHistory()
+	if err := h.Append(HistoryTuple{Entity: "e", Action: Action{Kind: ActionRead}}); err == nil {
+		t.Error("empty unit accepted")
+	}
+	if err := h.Append(HistoryTuple{Unit: "x", Action: Action{Kind: ActionRead}}); err == nil {
+		t.Error("empty entity accepted")
+	}
+	if err := h.Append(HistoryTuple{Unit: "x", Entity: "e", Action: Action{Kind: ActionKind(200)}}); err == nil {
+		t.Error("invalid action kind accepted")
+	}
+}
+
+func TestHistoryMustAppendPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAppend did not panic on malformed tuple")
+		}
+	}()
+	NewHistory().MustAppend(HistoryTuple{})
+}
+
+func TestHistoryFilter(t *testing.T) {
+	h := NewHistory()
+	for i := Time(0); i < 10; i++ {
+		kind := ActionRead
+		if i%2 == 0 {
+			kind = ActionWrite
+		}
+		if err := h.Append(mkTuple("x", kind, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writes := h.Filter(func(t HistoryTuple) bool { return t.Action.Kind == ActionWrite })
+	if len(writes) != 5 {
+		t.Fatalf("Filter found %d writes, want 5", len(writes))
+	}
+}
+
+func TestHistoryDropUnit(t *testing.T) {
+	h := NewHistory()
+	for i := Time(0); i < 5; i++ {
+		if err := h.Append(mkTuple("x", ActionRead, i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Append(mkTuple("y", ActionRead, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := h.DropUnit("x"); n != 5 {
+		t.Fatalf("DropUnit = %d, want 5", n)
+	}
+	if len(h.Of("x")) != 0 {
+		t.Error("tuples for x survive DropUnit")
+	}
+	hy := h.Of("y")
+	if len(hy) != 5 {
+		t.Fatalf("y tuples corrupted: %d", len(hy))
+	}
+	for i, tu := range hy {
+		if tu.At != Time(i) {
+			t.Fatalf("y order corrupted: %v", hy)
+		}
+	}
+	if n := h.DropUnit("x"); n != 0 {
+		t.Errorf("second DropUnit = %d, want 0", n)
+	}
+}
+
+func TestHistoryUnits(t *testing.T) {
+	h := NewHistory()
+	if err := h.Append(mkTuple("a", ActionCreate, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Append(mkTuple("b", ActionCreate, 2)); err != nil {
+		t.Fatal(err)
+	}
+	units := h.Units()
+	if len(units) != 2 {
+		t.Fatalf("Units = %v", units)
+	}
+}
+
+func TestHistoryConcurrentAppend(t *testing.T) {
+	h := NewHistory()
+	const goroutines, per = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			unit := UnitID(rune('a' + g))
+			for i := 0; i < per; i++ {
+				if err := h.Append(mkTuple(unit, ActionRead, Time(i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Len() != goroutines*per {
+		t.Fatalf("Len = %d, want %d", h.Len(), goroutines*per)
+	}
+	// Per-unit order must be preserved.
+	for g := 0; g < goroutines; g++ {
+		unit := UnitID(rune('a' + g))
+		tuples := h.Of(unit)
+		if len(tuples) != per {
+			t.Fatalf("unit %s has %d tuples", unit, len(tuples))
+		}
+		for i, tu := range tuples {
+			if tu.At != Time(i) {
+				t.Fatalf("unit %s order violated at %d", unit, i)
+			}
+		}
+	}
+}
+
+func TestHistoryTupleString(t *testing.T) {
+	tu := mkTuple("cc", ActionRead, 7)
+	want := "(cc, billing, netflix, read, t7)"
+	if got := tu.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Violation is one way a system's behaviour failed an invariant.
+type Violation struct {
+	// Invariant is the ID of the violated invariant (e.g. "G6").
+	Invariant string
+	// Unit is the affected data unit, when one is identifiable.
+	Unit UnitID
+	// At is the time of the offending state or action, when identifiable.
+	At Time
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	where := ""
+	if v.Unit != "" {
+		where = fmt.Sprintf(" unit=%s", v.Unit)
+	}
+	return fmt.Sprintf("[%s]%s @%s: %s", v.Invariant, where, v.At, v.Detail)
+}
+
+// CheckContext carries everything an invariant may inspect: the database
+// (current unit states), the action history, the grounded purposes, and
+// the evaluation time. Invariants are pure functions of this context.
+type CheckContext struct {
+	DB       *Database
+	History  *History
+	Purposes *PurposeRegistry
+	Now      Time
+}
+
+// Invariant is a data regulation requirement stated formally over
+// database states and histories (§2.2). Implementations must be
+// side-effect free.
+type Invariant interface {
+	// ID is a short stable identifier ("G6", "G17", ...).
+	ID() string
+	// Articles lists the regulation articles the invariant captures.
+	Articles() []string
+	// Description states the invariant informally.
+	Description() string
+	// Check evaluates the invariant and returns all violations found.
+	Check(ctx *CheckContext) []Violation
+}
+
+// InvariantFunc adapts a function to the Invariant interface.
+type InvariantFunc struct {
+	IDv    string
+	Arts   []string
+	Desc   string
+	CheckF func(ctx *CheckContext) []Violation
+}
+
+// ID implements Invariant.
+func (f InvariantFunc) ID() string { return f.IDv }
+
+// Articles implements Invariant.
+func (f InvariantFunc) Articles() []string { return f.Arts }
+
+// Description implements Invariant.
+func (f InvariantFunc) Description() string { return f.Desc }
+
+// Check implements Invariant.
+func (f InvariantFunc) Check(ctx *CheckContext) []Violation { return f.CheckF(ctx) }
+
+// InvariantSet is an ordered collection of invariants representing the
+// requirements a deployment commits to.
+type InvariantSet struct {
+	invs []Invariant
+	byID map[string]Invariant
+}
+
+// NewInvariantSet builds a set from the given invariants; duplicate IDs
+// are rejected.
+func NewInvariantSet(invs ...Invariant) (*InvariantSet, error) {
+	s := &InvariantSet{byID: make(map[string]Invariant)}
+	for _, inv := range invs {
+		if err := s.Add(inv); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Add appends an invariant; duplicate IDs are rejected.
+func (s *InvariantSet) Add(inv Invariant) error {
+	if inv.ID() == "" {
+		return fmt.Errorf("core: invariant with empty ID")
+	}
+	if _, dup := s.byID[inv.ID()]; dup {
+		return fmt.Errorf("core: duplicate invariant %q", inv.ID())
+	}
+	s.byID[inv.ID()] = inv
+	s.invs = append(s.invs, inv)
+	return nil
+}
+
+// Lookup returns the invariant with the given ID.
+func (s *InvariantSet) Lookup(id string) (Invariant, bool) {
+	inv, ok := s.byID[id]
+	return inv, ok
+}
+
+// IDs returns the invariant IDs in insertion order.
+func (s *InvariantSet) IDs() []string {
+	out := make([]string, len(s.invs))
+	for i, inv := range s.invs {
+		out[i] = inv.ID()
+	}
+	return out
+}
+
+// Len returns the number of invariants.
+func (s *InvariantSet) Len() int { return len(s.invs) }
+
+// CheckAll evaluates every invariant and returns all violations, sorted
+// by (invariant, unit, time) for stable reports.
+func (s *InvariantSet) CheckAll(ctx *CheckContext) []Violation {
+	var out []Violation
+	for _, inv := range s.invs {
+		out = append(out, inv.Check(ctx)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Invariant != out[j].Invariant {
+			return out[i].Invariant < out[j].Invariant
+		}
+		if out[i].Unit != out[j].Unit {
+			return out[i].Unit < out[j].Unit
+		}
+		return out[i].At < out[j].At
+	})
+	return out
+}

@@ -1,0 +1,309 @@
+package core
+
+import "fmt"
+
+// This file states concrete GDPR requirements as Data-CASE invariants.
+// G6 and G17 follow §2.2 of the paper verbatim; the others formalize the
+// Figure-1 categories that are checkable from (DB, History) alone.
+
+// NewLawfulProcessingInvariant returns the G6 invariant: for all data
+// units X and all actions τ on X, τ is policy-consistent (§2.2).
+func NewLawfulProcessingInvariant() Invariant {
+	return InvariantFunc{
+		IDv:  "G6",
+		Arts: []string{"GDPR Art. 6"},
+		Desc: "every action on every data unit is policy-consistent " +
+			"(lawfulness of processing)",
+		CheckF: func(ctx *CheckContext) []Violation {
+			var out []Violation
+			for _, inc := range AuditAll(ctx.DB, ctx.History, ctx.Purposes) {
+				out = append(out, Violation{
+					Invariant: "G6",
+					Unit:      inc.Tuple.Unit,
+					At:        inc.Tuple.At,
+					Detail:    inc.Reason,
+				})
+			}
+			return out
+		},
+	}
+}
+
+// NewErasureDeadlineInvariant returns the G17 invariant (§2.2): every
+// data unit X has a ⟨compliance-erase, e, t_b, t_f⟩ policy, and — once
+// the deadline t_f has passed — the last action on X is erase(X) at a
+// time t ≤ t_f.
+//
+// Units whose deadline lies in the future only need the policy to exist;
+// they are not yet required to have been erased.
+func NewErasureDeadlineInvariant() Invariant {
+	return InvariantFunc{
+		IDv:  "G17",
+		Arts: []string{"GDPR Art. 17"},
+		Desc: "every data unit carries a compliance-erase policy and is " +
+			"erased no later than the policy deadline (right to erasure; " +
+			"storage limitation)",
+		CheckF: func(ctx *CheckContext) []Violation {
+			var out []Violation
+			_ = ctx.DB.ForEach(func(u *DataUnit) error {
+				if u.Kind() == KindMetadata {
+					return nil // the invariant governs personal data
+				}
+				v := checkErasureDeadline(u, ctx)
+				if v != nil {
+					out = append(out, *v)
+				}
+				return nil
+			})
+			return out
+		},
+	}
+}
+
+func checkErasureDeadline(u *DataUnit, ctx *CheckContext) *Violation {
+	// The compliance-erase policy must exist. A policy whose window has
+	// already closed still counts — that is exactly the "deadline
+	// passed" case the invariant judges — so consult the full grant
+	// record rather than P(Now).
+	pols := u.PolicyGrants(PurposeComplianceErase)
+	if len(pols) == 0 {
+		return &Violation{
+			Invariant: "G17",
+			Unit:      u.ID(),
+			At:        ctx.Now,
+			Detail:    "no compliance-erase policy attached",
+		}
+	}
+	// Earliest deadline wins.
+	deadline := TimeMax
+	for _, p := range pols {
+		if p.End < deadline {
+			deadline = p.End
+		}
+	}
+	if ctx.Now <= deadline {
+		return nil // not yet due
+	}
+	last, ok := ctx.History.Last(u.ID())
+	if !ok {
+		return &Violation{
+			Invariant: "G17",
+			Unit:      u.ID(),
+			At:        deadline,
+			Detail:    "erasure deadline passed but no action recorded on the unit",
+		}
+	}
+	if last.Action.Kind != ActionErase && last.Action.Kind != ActionSanitize {
+		return &Violation{
+			Invariant: "G17",
+			Unit:      u.ID(),
+			At:        last.At,
+			Detail: fmt.Sprintf("erasure deadline %s passed but last action is %q",
+				deadline, last.Action),
+		}
+	}
+	if last.At > deadline {
+		return &Violation{
+			Invariant: "G17",
+			Unit:      u.ID(),
+			At:        last.At,
+			Detail: fmt.Sprintf("unit erased at %s, after the deadline %s",
+				last.At, deadline),
+		}
+	}
+	return nil
+}
+
+// NewStorageLimitationInvariant returns an invariant for Figure 1's
+// category V ("Erasure: do not store data eternally"): every base data
+// unit must carry at least one policy with a finite End, i.e. nothing is
+// collected with an unbounded retention horizon (GDPR Art. 5(1)(e)).
+func NewStorageLimitationInvariant() Invariant {
+	return InvariantFunc{
+		IDv:  "G5e",
+		Arts: []string{"GDPR Art. 5(1)(e)"},
+		Desc: "no data unit is stored with an unbounded retention horizon " +
+			"(storage limitation)",
+		CheckF: func(ctx *CheckContext) []Violation {
+			var out []Violation
+			_ = ctx.DB.ForEach(func(u *DataUnit) error {
+				if u.Kind() != KindBase || u.Erased(ctx.Now) {
+					return nil
+				}
+				bounded := false
+				for _, p := range u.PoliciesAt(ctx.Now) {
+					if p.End != TimeMax {
+						bounded = true
+						break
+					}
+				}
+				// A unit with no active policies at all is caught by G6
+				// the moment anything touches it; here we flag only
+				// unbounded retention.
+				if !bounded && len(u.PoliciesAt(ctx.Now)) > 0 {
+					out = append(out, Violation{
+						Invariant: "G5e",
+						Unit:      u.ID(),
+						At:        ctx.Now,
+						Detail:    "every active policy has an unbounded (∞) horizon",
+					})
+				}
+				return nil
+			})
+			return out
+		},
+	}
+}
+
+// NewRecordKeepingInvariant returns an invariant for Figure 1's category
+// VII ("Record keeping: keep records of all data-operations", G30): every
+// live base or derived unit must have a create action in the history, and
+// every erased unit must retain its erase record. A system that processed
+// data it cannot account for cannot demonstrate compliance.
+func NewRecordKeepingInvariant() Invariant {
+	return InvariantFunc{
+		IDv:  "G30",
+		Arts: []string{"GDPR Art. 30"},
+		Desc: "every data unit's creation and erasure are recorded in the " +
+			"action-history (records of processing activities)",
+		CheckF: func(ctx *CheckContext) []Violation {
+			var out []Violation
+			_ = ctx.DB.ForEach(func(u *DataUnit) error {
+				if u.Kind() == KindMetadata {
+					return nil
+				}
+				tuples := ctx.History.Of(u.ID())
+				hasCreate := false
+				for _, t := range tuples {
+					if t.Action.Kind == ActionCreate || t.Action.Kind == ActionDerive {
+						hasCreate = true
+						break
+					}
+				}
+				if !hasCreate {
+					out = append(out, Violation{
+						Invariant: "G30",
+						Unit:      u.ID(),
+						At:        ctx.Now,
+						Detail:    "no create/derive record in the action-history",
+					})
+				}
+				if u.Erased(ctx.Now) {
+					hasErase := false
+					for _, t := range tuples {
+						k := t.Action.Kind
+						if k == ActionErase || k == ActionDelete || k == ActionSanitize {
+							hasErase = true
+							break
+						}
+					}
+					if !hasErase {
+						out = append(out, Violation{
+							Invariant: "G30",
+							Unit:      u.ID(),
+							At:        u.ErasedAt(),
+							Detail:    "unit is erased but no erase record survives",
+						})
+					}
+				}
+				return nil
+			})
+			return out
+		},
+	}
+}
+
+// NewConsentPrecedesProcessingInvariant formalizes Figure 1's category I
+// (Disclosure, G13-14) in checkable form: the first non-required action
+// on a base unit must not precede the first consent/policy grant. Data
+// collected before the subject was informed and consented is unlawful.
+func NewConsentPrecedesProcessingInvariant() Invariant {
+	return InvariantFunc{
+		IDv:  "G13",
+		Arts: []string{"GDPR Art. 13", "GDPR Art. 14"},
+		Desc: "no processing of a base unit precedes its first consent " +
+			"(information and consent precede collection)",
+		CheckF: func(ctx *CheckContext) []Violation {
+			var out []Violation
+			_ = ctx.DB.ForEach(func(u *DataUnit) error {
+				if u.Kind() != KindBase {
+					return nil
+				}
+				tuples := ctx.History.Of(u.ID())
+				var firstConsent Time = TimeMax
+				for _, t := range tuples {
+					if t.Action.Kind == ActionConsent {
+						firstConsent = t.At
+						break
+					}
+				}
+				for _, t := range tuples {
+					if t.Action.Kind == ActionConsent || t.Action.RequiredByRegulation {
+						continue
+					}
+					if t.At < firstConsent {
+						out = append(out, Violation{
+							Invariant: "G13",
+							Unit:      u.ID(),
+							At:        t.At,
+							Detail: fmt.Sprintf("action %q at %s precedes first consent (%s)",
+								t.Action, t.At, firstConsent),
+						})
+					}
+				}
+				return nil
+			})
+			return out
+		},
+	}
+}
+
+// NewSharingRestrictionInvariant formalizes Figure 1's category IV
+// ("Sharing and Processing: do not process data indiscriminately"):
+// every share action's purpose must be grounded as sharing-permitted.
+func NewSharingRestrictionInvariant() Invariant {
+	return InvariantFunc{
+		IDv:  "G44",
+		Arts: []string{"GDPR Art. 44"},
+		Desc: "data is shared only under purposes grounded as " +
+			"sharing-permitted (restricted transfers)",
+		CheckF: func(ctx *CheckContext) []Violation {
+			var out []Violation
+			if ctx.Purposes == nil {
+				return nil
+			}
+			for _, t := range ctx.History.Filter(func(t HistoryTuple) bool {
+				return t.Action.Kind == ActionShare && !t.Action.RequiredByRegulation
+			}) {
+				spec, ok := ctx.Purposes.Lookup(t.Purpose)
+				if !ok || !spec.AllowsSharing {
+					out = append(out, Violation{
+						Invariant: "G44",
+						Unit:      t.Unit,
+						At:        t.At,
+						Detail: fmt.Sprintf("share under purpose %q which is not "+
+							"grounded as sharing-permitted", t.Purpose),
+					})
+				}
+			}
+			return out
+		},
+	}
+}
+
+// DefaultGDPRInvariants returns the invariant set this repository grounds
+// for GDPR: G6, G17 plus the checkable Figure-1 categories.
+func DefaultGDPRInvariants() *InvariantSet {
+	s, err := NewInvariantSet(
+		NewLawfulProcessingInvariant(),
+		NewErasureDeadlineInvariant(),
+		NewStorageLimitationInvariant(),
+		NewRecordKeepingInvariant(),
+		NewConsentPrecedesProcessingInvariant(),
+		NewSharingRestrictionInvariant(),
+	)
+	if err != nil {
+		panic(err) // impossible: IDs are distinct literals
+	}
+	return s
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func checkCtx(db *Database, h *History, now Time) *CheckContext {
+	return &CheckContext{DB: db, History: h, Purposes: NewPurposeRegistry(), Now: now}
+}
+
+func TestG6InvariantCleanHistory(t *testing.T) {
+	db, _, h, _ := netflixScenario(t)
+	h.MustAppend(HistoryTuple{Unit: "cc-1234", Purpose: PurposeRetention, Entity: "aws",
+		Action: Action{Kind: ActionStore}, At: 10})
+	inv := NewLawfulProcessingInvariant()
+	if v := inv.Check(checkCtx(db, h, 20)); len(v) != 0 {
+		t.Fatalf("clean history flagged: %v", v)
+	}
+}
+
+func TestG6InvariantFlagsViolation(t *testing.T) {
+	db, _, h, _ := netflixScenario(t)
+	h.MustAppend(HistoryTuple{Unit: "cc-1234", Purpose: "profiling", Entity: "broker",
+		Action: Action{Kind: ActionRead}, At: 10})
+	inv := NewLawfulProcessingInvariant()
+	v := inv.Check(checkCtx(db, h, 20))
+	if len(v) != 1 || v[0].Invariant != "G6" || v[0].Unit != "cc-1234" {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func addComplianceErase(t *testing.T, u *DataUnit, deadline Time) {
+	t.Helper()
+	err := u.Grant(Policy{
+		Purpose: PurposeComplianceErase, Entity: "system", Begin: 1, End: deadline,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestG17MissingPolicy(t *testing.T) {
+	db, _, h, _ := netflixScenario(t)
+	inv := NewErasureDeadlineInvariant()
+	v := inv.Check(checkCtx(db, h, 10))
+	if len(v) != 1 || !strings.Contains(v[0].Detail, "no compliance-erase policy") {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestG17NotYetDue(t *testing.T) {
+	db, u, h, _ := netflixScenario(t)
+	addComplianceErase(t, u, 100)
+	inv := NewErasureDeadlineInvariant()
+	if v := inv.Check(checkCtx(db, h, 50)); len(v) != 0 {
+		t.Fatalf("future deadline flagged: %v", v)
+	}
+}
+
+func TestG17DeadlinePassedNotErased(t *testing.T) {
+	db, u, h, _ := netflixScenario(t)
+	addComplianceErase(t, u, 100)
+	h.MustAppend(HistoryTuple{Unit: "cc-1234", Purpose: "billing", Entity: "netflix",
+		Action: Action{Kind: ActionRead}, At: 90})
+	inv := NewErasureDeadlineInvariant()
+	v := inv.Check(checkCtx(db, h, 150))
+	if len(v) != 1 || !strings.Contains(v[0].Detail, "last action") {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestG17ErasedInTime(t *testing.T) {
+	db, u, h, _ := netflixScenario(t)
+	addComplianceErase(t, u, 100)
+	u.MarkErased(95)
+	h.MustAppend(HistoryTuple{Unit: "cc-1234", Purpose: PurposeComplianceErase, Entity: "system",
+		Action: Action{Kind: ActionErase, RequiredByRegulation: true}, At: 95})
+	inv := NewErasureDeadlineInvariant()
+	if v := inv.Check(checkCtx(db, h, 150)); len(v) != 0 {
+		t.Fatalf("timely erasure flagged: %v", v)
+	}
+}
+
+func TestG17ErasedLate(t *testing.T) {
+	db, u, h, _ := netflixScenario(t)
+	addComplianceErase(t, u, 100)
+	u.MarkErased(120)
+	h.MustAppend(HistoryTuple{Unit: "cc-1234", Purpose: PurposeComplianceErase, Entity: "system",
+		Action: Action{Kind: ActionErase, RequiredByRegulation: true}, At: 120})
+	inv := NewErasureDeadlineInvariant()
+	v := inv.Check(checkCtx(db, h, 150))
+	if len(v) != 1 || !strings.Contains(v[0].Detail, "after the deadline") {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestG5eStorageLimitation(t *testing.T) {
+	db := NewDatabase()
+	u := NewDataUnit("x", KindBase, "s", "o")
+	if err := u.Grant(Policy{Purpose: "billing", Entity: "e", Begin: 1, End: TimeMax}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add(u); err != nil {
+		t.Fatal(err)
+	}
+	inv := NewStorageLimitationInvariant()
+	v := inv.Check(checkCtx(db, NewHistory(), 10))
+	if len(v) != 1 {
+		t.Fatalf("unbounded retention not flagged: %v", v)
+	}
+	// Adding any bounded policy satisfies the invariant.
+	if err := u.Grant(Policy{Purpose: PurposeComplianceErase, Entity: "sys", Begin: 1, End: 500}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v := inv.Check(checkCtx(db, NewHistory(), 10)); len(v) != 0 {
+		t.Fatalf("bounded unit flagged: %v", v)
+	}
+}
+
+func TestG30RecordKeeping(t *testing.T) {
+	db, u, h, _ := netflixScenario(t)
+	inv := NewRecordKeepingInvariant()
+	v := inv.Check(checkCtx(db, h, 10))
+	if len(v) != 1 || !strings.Contains(v[0].Detail, "no create") {
+		t.Fatalf("missing create not flagged: %v", v)
+	}
+	h.MustAppend(HistoryTuple{Unit: "cc-1234", Purpose: "billing", Entity: "netflix",
+		Action: Action{Kind: ActionCreate}, At: 1})
+	if v := inv.Check(checkCtx(db, h, 10)); len(v) != 0 {
+		t.Fatalf("recorded unit flagged: %v", v)
+	}
+	// Erased unit without an erase record is a violation.
+	u.MarkErased(20)
+	v = inv.Check(checkCtx(db, h, 30))
+	if len(v) != 1 || !strings.Contains(v[0].Detail, "no erase record") {
+		t.Fatalf("missing erase record not flagged: %v", v)
+	}
+}
+
+func TestG13ConsentPrecedesProcessing(t *testing.T) {
+	db, _, h, _ := netflixScenario(t)
+	h.MustAppend(HistoryTuple{Unit: "cc-1234", Purpose: "billing", Entity: "netflix",
+		Action: Action{Kind: ActionRead}, At: 5})
+	h.MustAppend(HistoryTuple{Unit: "cc-1234", Purpose: "comp", Entity: "netflix",
+		Action: Action{Kind: ActionConsent}, At: 10})
+	inv := NewConsentPrecedesProcessingInvariant()
+	v := inv.Check(checkCtx(db, h, 20))
+	if len(v) != 1 || !strings.Contains(v[0].Detail, "precedes first consent") {
+		t.Fatalf("pre-consent read not flagged: %v", v)
+	}
+}
+
+func TestG44SharingRestriction(t *testing.T) {
+	db, _, h, _ := netflixScenario(t)
+	reg := NewPurposeRegistry()
+	if err := reg.Define(PurposeSpec{
+		Purpose: "billing", Allowed: map[ActionKind]bool{ActionShare: true},
+		AllowsSharing: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h.MustAppend(HistoryTuple{Unit: "cc-1234", Purpose: "billing", Entity: "netflix",
+		Action: Action{Kind: ActionShare}, At: 10})
+	h.MustAppend(HistoryTuple{Unit: "cc-1234", Purpose: PurposeRetention, Entity: "aws",
+		Action: Action{Kind: ActionShare}, At: 11}) // retention does not allow sharing
+	inv := NewSharingRestrictionInvariant()
+	ctx := &CheckContext{DB: db, History: h, Purposes: reg, Now: 20}
+	v := inv.Check(ctx)
+	if len(v) != 1 || v[0].At != 11 {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestDefaultGDPRInvariantsSet(t *testing.T) {
+	s := DefaultGDPRInvariants()
+	for _, id := range []string{"G6", "G17", "G5e", "G30", "G13", "G44"} {
+		if _, ok := s.Lookup(id); !ok {
+			t.Errorf("missing invariant %s", id)
+		}
+	}
+	if s.Len() != 6 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestInvariantSetDuplicateRejected(t *testing.T) {
+	s, err := NewInvariantSet(NewLawfulProcessingInvariant())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(NewLawfulProcessingInvariant()); err == nil {
+		t.Fatal("duplicate invariant accepted")
+	}
+}
+
+func TestInvariantSetCheckAllSorted(t *testing.T) {
+	db, u, h, _ := netflixScenario(t)
+	_ = u
+	h.MustAppend(HistoryTuple{Unit: "cc-1234", Purpose: "profiling", Entity: "x",
+		Action: Action{Kind: ActionRead}, At: 10})
+	s := DefaultGDPRInvariants()
+	v := s.CheckAll(checkCtx(db, h, 20))
+	if len(v) < 2 {
+		t.Fatalf("expected multiple violations, got %v", v)
+	}
+	for i := 1; i < len(v); i++ {
+		if v[i].Invariant < v[i-1].Invariant {
+			t.Fatalf("violations not sorted: %v", v)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Policy is the tuple ⟨p, e, t_b, t_f⟩: entity e can access the data unit
+// for purpose p from time t_b to t_f (§2.1). Policies are the mechanism
+// through which consent, contracts and legal grounds are encoded.
+type Policy struct {
+	Purpose Purpose
+	Entity  EntityID
+	Begin   Time
+	End     Time
+}
+
+// ActiveAt reports whether the policy is in force at time t.
+func (p Policy) ActiveAt(t Time) bool { return t.In(p.Begin, p.End) }
+
+// Window returns the validity interval of the policy.
+func (p Policy) Window() Interval { return Interval{Begin: p.Begin, End: p.End} }
+
+// Validate rejects malformed policies (empty fields, inverted windows).
+func (p Policy) Validate() error {
+	switch {
+	case p.Purpose == "":
+		return fmt.Errorf("core: policy with empty purpose")
+	case p.Entity == "":
+		return fmt.Errorf("core: policy with empty entity")
+	case p.End < p.Begin:
+		return fmt.Errorf("core: policy %v has End before Begin", p)
+	}
+	return nil
+}
+
+// String renders the policy like the paper: ⟨billing, Netflix, t1, t2⟩.
+func (p Policy) String() string {
+	return fmt.Sprintf("⟨%s, %s, %s, %s⟩", p.Purpose, p.Entity, p.Begin, p.End)
+}
+
+// PolicySet is the P aspect of a data unit: the set of policies attached
+// to it, with the history of grants and revocations retained so that the
+// model can answer P(t) for any past t (§2.1: "track their evolution over
+// time"). PolicySet is safe for concurrent use.
+type PolicySet struct {
+	mu sync.RWMutex
+	// grants holds every policy ever granted, in grant order.
+	grants []grantedPolicy
+}
+
+type grantedPolicy struct {
+	Policy Policy
+	// GrantedAt is when the policy was attached.
+	GrantedAt Time
+	// RevokedAt is when the policy was revoked, or TimeMax if never.
+	// Revocation models a data subject withdrawing consent (G7(3)).
+	RevokedAt Time
+}
+
+// NewPolicySet returns an empty policy set.
+func NewPolicySet() *PolicySet { return &PolicySet{} }
+
+// Grant attaches a policy at time now.
+func (s *PolicySet) Grant(p Policy, now Time) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.grants = append(s.grants, grantedPolicy{Policy: p, GrantedAt: now, RevokedAt: TimeMax})
+	return nil
+}
+
+// Revoke withdraws every unrevoked policy matching (purpose, entity) at
+// time now and returns how many policies it revoked. Withdrawing consent
+// must be as easy as giving it (G7(3)).
+func (s *PolicySet) Revoke(purpose Purpose, entity EntityID, now Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for i := range s.grants {
+		g := &s.grants[i]
+		if g.RevokedAt == TimeMax && g.Policy.Purpose == purpose && g.Policy.Entity == entity {
+			g.RevokedAt = now
+			n++
+		}
+	}
+	return n
+}
+
+// RevokeAll withdraws every unrevoked policy at time now and returns the
+// count. Used when a subject exercises the right to erasure: no policy
+// survives, so any later read is erasure-inconsistent.
+func (s *PolicySet) RevokeAll(now Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for i := range s.grants {
+		if s.grants[i].RevokedAt == TimeMax {
+			s.grants[i].RevokedAt = now
+			n++
+		}
+	}
+	return n
+}
+
+// At returns P(t): the policies attached and unrevoked at t whose
+// validity window contains t (§2.1's definition of P(t)).
+func (s *PolicySet) At(t Time) []Policy {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Policy
+	for _, g := range s.grants {
+		if g.GrantedAt <= t && t < g.RevokedAt && g.Policy.ActiveAt(t) {
+			out = append(out, g.Policy)
+		}
+	}
+	return out
+}
+
+// Active reports whether any policy matching (purpose, entity) is in
+// force at t.
+func (s *PolicySet) Active(purpose Purpose, entity EntityID, t Time) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, g := range s.grants {
+		p := g.Policy
+		if g.GrantedAt <= t && t < g.RevokedAt &&
+			p.Purpose == purpose && p.Entity == entity && p.ActiveAt(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// FindPurpose returns the in-force policies at t with the given purpose,
+// regardless of entity. G17's invariant uses it to find the
+// compliance-erase policy of a unit.
+func (s *PolicySet) FindPurpose(purpose Purpose, t Time) []Policy {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Policy
+	for _, g := range s.grants {
+		if g.GrantedAt <= t && t < g.RevokedAt &&
+			g.Policy.Purpose == purpose && g.Policy.ActiveAt(t) {
+			out = append(out, g.Policy)
+		}
+	}
+	return out
+}
+
+// GrantsOf returns every policy ever granted with the given purpose,
+// regardless of validity window or revocation. Deadline invariants (G17)
+// need it: a compliance-erase policy whose window has closed is exactly
+// the situation the invariant must judge.
+func (s *PolicySet) GrantsOf(purpose Purpose) []Policy {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Policy
+	for _, g := range s.grants {
+		if g.Policy.Purpose == purpose {
+			out = append(out, g.Policy)
+		}
+	}
+	return out
+}
+
+// Empty reports whether no policy is in force at t. After full revocation
+// (erasure), Empty is true and any read at such t is an illegal read.
+func (s *PolicySet) Empty(t Time) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, g := range s.grants {
+		if g.GrantedAt <= t && t < g.RevokedAt && g.Policy.ActiveAt(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of grants ever made (including revoked ones).
+func (s *PolicySet) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.grants)
+}
+
+// Clone returns a deep copy of the set. Derived data units start from a
+// restriction of their base units' policies (§2.1), which callers build
+// by cloning and filtering.
+func (s *PolicySet) Clone() *PolicySet {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := &PolicySet{grants: make([]grantedPolicy, len(s.grants))}
+	copy(c.grants, s.grants)
+	return c
+}
+
+// Restrict returns a new set containing only the in-force policies at t
+// that satisfy keep. It implements the paper's "P_Y is generally a
+// restriction of the policies of the data units in X̄".
+func (s *PolicySet) Restrict(t Time, keep func(Policy) bool) *PolicySet {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := &PolicySet{}
+	for _, g := range s.grants {
+		if g.GrantedAt <= t && t < g.RevokedAt && g.Policy.ActiveAt(t) && keep(g.Policy) {
+			out.grants = append(out.grants, grantedPolicy{
+				Policy: g.Policy, GrantedAt: t, RevokedAt: TimeMax,
+			})
+		}
+	}
+	return out
+}
+
+// String renders the currently-granted policies sorted for stable output.
+func (s *PolicySet) String() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	items := make([]string, 0, len(s.grants))
+	for _, g := range s.grants {
+		suffix := ""
+		if g.RevokedAt != TimeMax {
+			suffix = fmt.Sprintf(" (revoked @%s)", g.RevokedAt)
+		}
+		items = append(items, g.Policy.String()+suffix)
+	}
+	sort.Strings(items)
+	return "{" + strings.Join(items, ", ") + "}"
+}
+
+// IntersectPolicies returns the policies active at t in every one of the
+// given sets, matching on (purpose, entity) with the narrowest shared
+// window. It is the canonical restriction used when deriving data from
+// several base units: the derived unit may be used only where all its
+// sources allow.
+func IntersectPolicies(t Time, sets ...*PolicySet) []Policy {
+	if len(sets) == 0 {
+		return nil
+	}
+	type key struct {
+		p Purpose
+		e EntityID
+	}
+	acc := make(map[key]Policy)
+	for _, p := range sets[0].At(t) {
+		acc[key{p.Purpose, p.Entity}] = p
+	}
+	for _, s := range sets[1:] {
+		cur := make(map[key]Policy)
+		for _, p := range s.At(t) {
+			k := key{p.Purpose, p.Entity}
+			if prev, ok := acc[k]; ok {
+				// Narrow the shared window.
+				merged := prev
+				if p.Begin > merged.Begin {
+					merged.Begin = p.Begin
+				}
+				if p.End < merged.End {
+					merged.End = p.End
+				}
+				if merged.End >= merged.Begin {
+					cur[k] = merged
+				}
+			}
+		}
+		acc = cur
+	}
+	out := make([]Policy, 0, len(acc))
+	for _, p := range acc {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Purpose != out[j].Purpose {
+			return out[i].Purpose < out[j].Purpose
+		}
+		return out[i].Entity < out[j].Entity
+	})
+	return out
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolicyValidate(t *testing.T) {
+	ok := Policy{Purpose: "billing", Entity: "netflix", Begin: 1, End: 10}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid policy rejected: %v", err)
+	}
+	bad := []Policy{
+		{Entity: "netflix", Begin: 1, End: 10},
+		{Purpose: "billing", Begin: 1, End: 10},
+		{Purpose: "billing", Entity: "netflix", Begin: 10, End: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad policy %d accepted: %v", i, p)
+		}
+	}
+}
+
+func TestPolicySetGrantAndAt(t *testing.T) {
+	s := NewPolicySet()
+	p1 := Policy{Purpose: "billing", Entity: "netflix", Begin: 1, End: 100}
+	p2 := Policy{Purpose: "retention", Entity: "aws", Begin: 1, End: 50}
+	if err := s.Grant(p1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Grant(p2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.At(10)); got != 2 {
+		t.Fatalf("At(10) = %d policies, want 2", got)
+	}
+	if got := len(s.At(75)); got != 1 {
+		t.Fatalf("At(75) = %d policies, want 1 (retention expired)", got)
+	}
+	if !s.Active("billing", "netflix", 99) {
+		t.Error("billing policy should be active at t99")
+	}
+	if s.Active("billing", "netflix", 101) {
+		t.Error("billing policy should be expired at t101")
+	}
+}
+
+func TestPolicySetGrantTimeVisibility(t *testing.T) {
+	// A policy granted at t=50 with window [1,100] is not visible at t=10:
+	// P(t) reflects the policy record as it existed at t.
+	s := NewPolicySet()
+	if err := s.Grant(Policy{Purpose: "billing", Entity: "e", Begin: 1, End: 100}, 50); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.At(10)) != 0 {
+		t.Error("policy visible before it was granted")
+	}
+	if len(s.At(60)) != 1 {
+		t.Error("policy not visible after grant")
+	}
+}
+
+func TestPolicySetRevoke(t *testing.T) {
+	s := NewPolicySet()
+	p := Policy{Purpose: "ads", Entity: "netflix", Begin: 1, End: TimeMax}
+	if err := s.Grant(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Revoke("ads", "netflix", 10); n != 1 {
+		t.Fatalf("Revoke = %d, want 1", n)
+	}
+	if s.Active("ads", "netflix", 11) {
+		t.Error("policy active after revocation")
+	}
+	if !s.Active("ads", "netflix", 5) {
+		t.Error("historical query must still see the policy before revocation")
+	}
+	if n := s.Revoke("ads", "netflix", 20); n != 0 {
+		t.Errorf("double revoke = %d, want 0", n)
+	}
+}
+
+func TestPolicySetRevokeAllAndEmpty(t *testing.T) {
+	s := NewPolicySet()
+	for _, p := range []Policy{
+		{Purpose: "billing", Entity: "a", Begin: 1, End: TimeMax},
+		{Purpose: "ads", Entity: "b", Begin: 1, End: TimeMax},
+	} {
+		if err := s.Grant(p, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Empty(5) {
+		t.Fatal("set with active policies reported Empty")
+	}
+	if n := s.RevokeAll(10); n != 2 {
+		t.Fatalf("RevokeAll = %d, want 2", n)
+	}
+	if !s.Empty(11) {
+		t.Error("set not Empty after RevokeAll")
+	}
+	if s.Empty(5) {
+		t.Error("historical Empty(5) should still see the policies")
+	}
+}
+
+func TestPolicySetFindPurpose(t *testing.T) {
+	s := NewPolicySet()
+	if err := s.Grant(Policy{Purpose: PurposeComplianceErase, Entity: "sys", Begin: 1, End: 30}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Grant(Policy{Purpose: "billing", Entity: "n", Begin: 1, End: 90}, 1); err != nil {
+		t.Fatal(err)
+	}
+	got := s.FindPurpose(PurposeComplianceErase, 10)
+	if len(got) != 1 || got[0].End != 30 {
+		t.Fatalf("FindPurpose = %v", got)
+	}
+}
+
+func TestPolicySetRestrict(t *testing.T) {
+	s := NewPolicySet()
+	if err := s.Grant(Policy{Purpose: "billing", Entity: "n", Begin: 1, End: 90}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Grant(Policy{Purpose: "ads", Entity: "n", Begin: 1, End: 90}, 1); err != nil {
+		t.Fatal(err)
+	}
+	r := s.Restrict(5, func(p Policy) bool { return p.Purpose == "billing" })
+	if got := len(r.At(5)); got != 1 {
+		t.Fatalf("restricted set has %d policies, want 1", got)
+	}
+}
+
+func TestPolicySetClone(t *testing.T) {
+	s := NewPolicySet()
+	if err := s.Grant(Policy{Purpose: "billing", Entity: "n", Begin: 1, End: 90}, 1); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clone()
+	s.RevokeAll(10)
+	if c.Empty(20) {
+		t.Error("clone affected by revocation on original")
+	}
+}
+
+func TestPolicySetString(t *testing.T) {
+	s := NewPolicySet()
+	if err := s.Grant(Policy{Purpose: "billing", Entity: "n", Begin: 1, End: 2}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.String(); !strings.Contains(got, "billing") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestIntersectPolicies(t *testing.T) {
+	a := NewPolicySet()
+	b := NewPolicySet()
+	grant := func(s *PolicySet, p Policy) {
+		t.Helper()
+		if err := s.Grant(p, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grant(a, Policy{Purpose: "billing", Entity: "n", Begin: 0, End: 100})
+	grant(a, Policy{Purpose: "ads", Entity: "n", Begin: 0, End: 100})
+	grant(b, Policy{Purpose: "billing", Entity: "n", Begin: 10, End: 50})
+
+	got := IntersectPolicies(20, a, b)
+	if len(got) != 1 {
+		t.Fatalf("intersection = %v, want single billing policy", got)
+	}
+	if got[0].Purpose != "billing" || got[0].Begin != 10 || got[0].End != 50 {
+		t.Fatalf("intersection narrowed wrong: %v", got[0])
+	}
+}
+
+func TestIntersectPoliciesEmptyOnDisjoint(t *testing.T) {
+	a := NewPolicySet()
+	b := NewPolicySet()
+	if err := a.Grant(Policy{Purpose: "x", Entity: "e", Begin: 0, End: 10}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Grant(Policy{Purpose: "y", Entity: "e", Begin: 0, End: 10}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := IntersectPolicies(5, a, b); len(got) != 0 {
+		t.Fatalf("disjoint purposes intersected: %v", got)
+	}
+	if got := IntersectPolicies(5); got != nil {
+		t.Fatalf("zero-set intersection = %v, want nil", got)
+	}
+}
+
+// Property: the intersection of policy sets is never more permissive than
+// any input set — every (purpose, entity, t) allowed by the intersection
+// is allowed by all inputs.
+func TestIntersectPoliciesNeverWiderProperty(t *testing.T) {
+	f := func(b1, e1, b2, e2 uint8, probe uint8) bool {
+		a := NewPolicySet()
+		b := NewPolicySet()
+		pa := Policy{Purpose: "p", Entity: "e", Begin: Time(b1), End: Time(b1) + Time(e1)}
+		pb := Policy{Purpose: "p", Entity: "e", Begin: Time(b2), End: Time(b2) + Time(e2)}
+		if a.Grant(pa, 0) != nil || b.Grant(pb, 0) != nil {
+			return false
+		}
+		inter := IntersectPolicies(0, a, b)
+		tm := Time(probe)
+		for _, p := range inter {
+			if p.ActiveAt(tm) {
+				if !pa.ActiveAt(tm) || !pb.ActiveAt(tm) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Active(p, e, t) is exactly "∃ policy in At(t) matching (p,e)".
+func TestPolicySetActiveMatchesAtProperty(t *testing.T) {
+	f := func(grants []struct{ B, D uint8 }, probe uint8) bool {
+		s := NewPolicySet()
+		for _, g := range grants {
+			p := Policy{Purpose: "p", Entity: "e", Begin: Time(g.B), End: Time(g.B) + Time(g.D)}
+			if s.Grant(p, 0) != nil {
+				return false
+			}
+		}
+		tm := Time(probe)
+		want := false
+		for _, p := range s.At(tm) {
+			if p.Purpose == "p" && p.Entity == "e" {
+				want = true
+			}
+		}
+		return s.Active("p", "e", tm) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

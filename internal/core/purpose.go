@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Purpose names a task or service for which collected data is used (§2.1:
+// "a task or service, for which collected data is used, identifies its
+// purpose of data processing"). A data unit can serve several purposes.
+type Purpose string
+
+// Purposes with regulation-defined meaning. ComplianceErase is the purpose
+// the paper uses when formalizing G17: every unit must carry a
+// ⟨compliance-erase, e, t_b, t_f⟩ policy.
+const (
+	// PurposeComplianceErase marks processing whose goal is erasing the
+	// data unit to satisfy a regulation (G17).
+	PurposeComplianceErase Purpose = "compliance-erase"
+	// PurposeRetention permits an entity to merely hold the data.
+	PurposeRetention Purpose = "retention"
+	// PurposeAudit permits reading data and histories to certify compliance.
+	PurposeAudit Purpose = "audit"
+	// PurposeLegalObligation marks processing required by law (G6(1)(c)):
+	// such actions are policy-consistent even without an explicit policy.
+	PurposeLegalObligation Purpose = "legal-obligation"
+)
+
+// PurposeSpec grounds a purpose (§3.2: "purposes need to be grounded to
+// specific actions. A purpose typically calls for a set of authorized
+// actions"). It fixes which action kinds the purpose authorizes and
+// whether data processed under it may leave the controller.
+type PurposeSpec struct {
+	Purpose     Purpose
+	Description string
+	// Allowed is the set of action kinds the purpose authorizes. A nil
+	// or empty set authorizes nothing.
+	Allowed map[ActionKind]bool
+	// AllowsSharing reports whether data processed for this purpose may
+	// be disclosed to third parties (e.g. billing may talk to the bank
+	// but not to an advertiser — §3.2's example).
+	AllowsSharing bool
+}
+
+// Authorizes reports whether the grounded purpose authorizes the action kind.
+func (s PurposeSpec) Authorizes(k ActionKind) bool { return s.Allowed[k] }
+
+// PurposeRegistry holds the grounded purposes of a deployment.
+// It is safe for concurrent use.
+type PurposeRegistry struct {
+	mu    sync.RWMutex
+	specs map[Purpose]PurposeSpec
+}
+
+// NewPurposeRegistry returns a registry pre-populated with the
+// regulation-defined purposes (compliance-erase, retention, audit,
+// legal-obligation) under conservative groundings.
+func NewPurposeRegistry() *PurposeRegistry {
+	r := &PurposeRegistry{specs: make(map[Purpose]PurposeSpec)}
+	defaults := []PurposeSpec{
+		{
+			Purpose:     PurposeComplianceErase,
+			Description: "erase the data unit to satisfy a regulation (G17)",
+			Allowed:     map[ActionKind]bool{ActionErase: true, ActionDelete: true},
+		},
+		{
+			Purpose:     PurposeRetention,
+			Description: "hold the data at rest without processing it",
+			Allowed:     map[ActionKind]bool{ActionStore: true},
+		},
+		{
+			Purpose:     PurposeAudit,
+			Description: "read data and histories to certify compliance",
+			Allowed:     map[ActionKind]bool{ActionRead: true, ActionReadMetadata: true},
+		},
+		{
+			Purpose:     PurposeLegalObligation,
+			Description: "processing required by law (always policy-consistent)",
+			Allowed: map[ActionKind]bool{
+				ActionRead: true, ActionWrite: true, ActionDelete: true,
+				ActionErase: true, ActionStore: true, ActionReadMetadata: true,
+				ActionWriteMetadata: true,
+			},
+		},
+	}
+	for _, s := range defaults {
+		r.specs[s.Purpose] = s
+	}
+	return r
+}
+
+// Define registers (or replaces) the grounding of a purpose.
+func (r *PurposeRegistry) Define(s PurposeSpec) error {
+	if s.Purpose == "" {
+		return fmt.Errorf("core: purpose spec with empty purpose name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.specs[s.Purpose] = s
+	return nil
+}
+
+// Lookup returns the grounding of p.
+func (r *PurposeRegistry) Lookup(p Purpose) (PurposeSpec, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.specs[p]
+	return s, ok
+}
+
+// Authorizes reports whether purpose p (as grounded here) authorizes
+// action kind k. Unknown purposes authorize nothing: an ungrounded
+// purpose cannot justify processing.
+func (r *PurposeRegistry) Authorizes(p Purpose, k ActionKind) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.specs[p]
+	return ok && s.Authorizes(k)
+}
+
+// Purposes returns the registered purpose names in sorted order.
+func (r *PurposeRegistry) Purposes() []Purpose {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Purpose, 0, len(r.specs))
+	for p := range r.specs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

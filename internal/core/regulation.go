@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RequirementCategory groups the requirements of a data regulation the
+// way Figure 1 of the paper does: the first five categories follow the
+// data life cycle, the remaining ones are system properties.
+type RequirementCategory uint8
+
+// Figure 1's categories and informal invariants I–IX.
+const (
+	// CatDisclosure — I: keep data subjects informed when collecting data.
+	CatDisclosure RequirementCategory = iota
+	// CatStorage — II: store data such that data subjects can exercise
+	// their rights.
+	CatStorage
+	// CatPreProcessing — III: consult and assess prior to processing data.
+	CatPreProcessing
+	// CatSharingProcessing — IV: do not process data indiscriminately.
+	CatSharingProcessing
+	// CatErasure — V: do not store data eternally.
+	CatErasure
+	// CatDesignSecurity — VI: build and design data-protective systems.
+	CatDesignSecurity
+	// CatRecordKeeping — VII: keep records of all data-operations.
+	CatRecordKeeping
+	// CatObligations — VIII: inform the user of changes and unauthorized
+	// access to their data.
+	CatObligations
+	// CatAccountability — IX: demonstrate compliance.
+	CatAccountability
+)
+
+var categoryInfo = [...]struct {
+	name      string
+	numeral   string
+	invariant string
+}{
+	CatDisclosure:        {"disclosure", "I", "Keep data subjects informed when collecting data."},
+	CatStorage:           {"storage", "II", "Store data such that data subjects can exercise their rights."},
+	CatPreProcessing:     {"pre-processing", "III", "Consult and assess prior to processing data."},
+	CatSharingProcessing: {"sharing-and-processing", "IV", "Do not process data indiscriminately."},
+	CatErasure:           {"erasure", "V", "Do not store data eternally."},
+	CatDesignSecurity:    {"design-and-security", "VI", "Build and design data-protective systems."},
+	CatRecordKeeping:     {"record-keeping", "VII", "Keep records of all data-operations."},
+	CatObligations:       {"obligations", "VIII", "Inform the user of changes and unauthorized access to their data."},
+	CatAccountability:    {"accountability", "IX", "Demonstrate compliance."},
+}
+
+// String returns the category name.
+func (c RequirementCategory) String() string {
+	if int(c) < len(categoryInfo) {
+		return categoryInfo[c].name
+	}
+	return fmt.Sprintf("category(%d)", uint8(c))
+}
+
+// Numeral returns Figure 1's Roman numeral for the informal invariant.
+func (c RequirementCategory) Numeral() string {
+	if int(c) < len(categoryInfo) {
+		return categoryInfo[c].numeral
+	}
+	return "?"
+}
+
+// InformalInvariant returns Figure 1's informal invariant statement.
+func (c RequirementCategory) InformalInvariant() string {
+	if int(c) < len(categoryInfo) {
+		return categoryInfo[c].invariant
+	}
+	return ""
+}
+
+// Valid reports whether c is a declared category.
+func (c RequirementCategory) Valid() bool { return int(c) < len(categoryInfo) }
+
+// Categories returns all categories in Figure-1 order.
+func Categories() []RequirementCategory {
+	out := make([]RequirementCategory, len(categoryInfo))
+	for i := range categoryInfo {
+		out[i] = RequirementCategory(i)
+	}
+	return out
+}
+
+// Article is one article of a data regulation that legislates data
+// processing and impacts system design.
+type Article struct {
+	Regulation string // e.g. "GDPR"
+	Number     int
+	Title      string
+	Category   RequirementCategory
+}
+
+// String renders like "GDPR Art. 17 (Right to erasure)".
+func (a Article) String() string {
+	return fmt.Sprintf("%s Art. %d (%s)", a.Regulation, a.Number, a.Title)
+}
+
+// Regulation is a named data regulation with its system-relevant articles
+// grouped into the Figure-1 categories.
+type Regulation struct {
+	Name     string
+	articles map[int]Article
+}
+
+// NewRegulation returns an empty regulation with the given name.
+func NewRegulation(name string) *Regulation {
+	return &Regulation{Name: name, articles: make(map[int]Article)}
+}
+
+// AddArticle registers an article; duplicates replace.
+func (r *Regulation) AddArticle(a Article) error {
+	if !a.Category.Valid() {
+		return fmt.Errorf("core: article %d has invalid category", a.Number)
+	}
+	a.Regulation = r.Name
+	r.articles[a.Number] = a
+	return nil
+}
+
+// Article returns the article with the given number.
+func (r *Regulation) Article(n int) (Article, bool) {
+	a, ok := r.articles[n]
+	return a, ok
+}
+
+// Articles returns all articles sorted by number.
+func (r *Regulation) Articles() []Article {
+	out := make([]Article, 0, len(r.articles))
+	for _, a := range r.articles {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Number < out[j].Number })
+	return out
+}
+
+// InCategory returns the articles in the given category, sorted by number.
+func (r *Regulation) InCategory(c RequirementCategory) []Article {
+	var out []Article
+	for _, a := range r.articles {
+		if a.Category == c {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Number < out[j].Number })
+	return out
+}
+
+// Len returns the number of registered articles.
+func (r *Regulation) Len() int { return len(r.articles) }
+
+// GDPR returns the GDPR taxonomy of Figure 1: the articles that legislate
+// data processing and impact system design [68], grouped under the nine
+// informal invariants.
+func GDPR() *Regulation {
+	r := NewRegulation("GDPR")
+	add := func(n int, title string, c RequirementCategory) {
+		// Error impossible: categories below are declared constants.
+		_ = r.AddArticle(Article{Number: n, Title: title, Category: c})
+	}
+	// I: Disclosure [13, 14]
+	add(13, "Information to be provided where personal data are collected", CatDisclosure)
+	add(14, "Information to be provided where personal data have not been obtained from the data subject", CatDisclosure)
+	// II: Storage [12, 15-18, 20-21, 23]
+	add(12, "Transparent information, communication and modalities", CatStorage)
+	add(15, "Right of access by the data subject", CatStorage)
+	add(16, "Right to rectification", CatStorage)
+	add(18, "Right to restriction of processing", CatStorage)
+	add(20, "Right to data portability", CatStorage)
+	add(21, "Right to object", CatStorage)
+	add(23, "Restrictions", CatStorage)
+	// III: Pre-processing [35-36]
+	add(35, "Data protection impact assessment", CatPreProcessing)
+	add(36, "Prior consultation", CatPreProcessing)
+	// IV: Sharing and Processing [5-11, 22, 26-29, 44-45]
+	add(5, "Principles relating to processing of personal data", CatSharingProcessing)
+	add(6, "Lawfulness of processing", CatSharingProcessing)
+	add(7, "Conditions for consent", CatSharingProcessing)
+	add(8, "Conditions applicable to child's consent", CatSharingProcessing)
+	add(9, "Processing of special categories of personal data", CatSharingProcessing)
+	add(10, "Processing of personal data relating to criminal convictions", CatSharingProcessing)
+	add(11, "Processing which does not require identification", CatSharingProcessing)
+	add(22, "Automated individual decision-making, including profiling", CatSharingProcessing)
+	add(26, "Joint controllers", CatSharingProcessing)
+	add(27, "Representatives of controllers not established in the Union", CatSharingProcessing)
+	add(28, "Processor", CatSharingProcessing)
+	add(29, "Processing under the authority of the controller or processor", CatSharingProcessing)
+	add(44, "General principle for transfers", CatSharingProcessing)
+	add(45, "Transfers on the basis of an adequacy decision", CatSharingProcessing)
+	// V: Erasure [17]
+	add(17, "Right to erasure ('right to be forgotten')", CatErasure)
+	// VI: Design and Security [25, 32]
+	add(25, "Data protection by design and by default", CatDesignSecurity)
+	add(32, "Security of processing", CatDesignSecurity)
+	// VII: Record keeping [30]
+	add(30, "Records of processing activities", CatRecordKeeping)
+	// VIII: Obligations and Accountability (notify) [19, 33-34]
+	add(19, "Notification obligation regarding rectification or erasure", CatObligations)
+	add(33, "Notification of a personal data breach to the supervisory authority", CatObligations)
+	add(34, "Communication of a personal data breach to the data subject", CatObligations)
+	// IX: Demonstrate compliance [24, 31]
+	add(24, "Responsibility of the controller", CatAccountability)
+	add(31, "Cooperation with the supervisory authority", CatAccountability)
+	return r
+}

@@ -1,0 +1,143 @@
+package core
+
+import "testing"
+
+func TestGDPRTaxonomyFigure1(t *testing.T) {
+	g := GDPR()
+	// Spot-check the Figure-1 grouping.
+	cases := map[int]RequirementCategory{
+		13: CatDisclosure,
+		14: CatDisclosure,
+		15: CatStorage,
+		35: CatPreProcessing,
+		6:  CatSharingProcessing,
+		17: CatErasure,
+		25: CatDesignSecurity,
+		30: CatRecordKeeping,
+		33: CatObligations,
+		24: CatAccountability,
+	}
+	for n, want := range cases {
+		a, ok := g.Article(n)
+		if !ok {
+			t.Errorf("missing article %d", n)
+			continue
+		}
+		if a.Category != want {
+			t.Errorf("article %d in %v, want %v", n, a.Category, want)
+		}
+	}
+	if _, ok := g.Article(99); ok {
+		t.Error("phantom article 99 present")
+	}
+}
+
+func TestGDPRCategoriesNonEmpty(t *testing.T) {
+	g := GDPR()
+	for _, c := range Categories() {
+		if len(g.InCategory(c)) == 0 {
+			t.Errorf("category %v (%s) has no articles", c, c.Numeral())
+		}
+	}
+}
+
+func TestGDPRArticlesSorted(t *testing.T) {
+	g := GDPR()
+	arts := g.Articles()
+	if len(arts) != g.Len() {
+		t.Fatalf("Articles() length mismatch")
+	}
+	for i := 1; i < len(arts); i++ {
+		if arts[i].Number <= arts[i-1].Number {
+			t.Fatalf("articles not sorted: %v then %v", arts[i-1], arts[i])
+		}
+	}
+}
+
+func TestCategoryNumerals(t *testing.T) {
+	want := []string{"I", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX"}
+	cats := Categories()
+	if len(cats) != len(want) {
+		t.Fatalf("Categories = %v", cats)
+	}
+	for i, c := range cats {
+		if c.Numeral() != want[i] {
+			t.Errorf("category %v numeral = %s, want %s", c, c.Numeral(), want[i])
+		}
+		if c.InformalInvariant() == "" {
+			t.Errorf("category %v missing informal invariant", c)
+		}
+	}
+}
+
+func TestRegulationAddArticleValidation(t *testing.T) {
+	r := NewRegulation("X")
+	if err := r.AddArticle(Article{Number: 1, Title: "t", Category: RequirementCategory(99)}); err == nil {
+		t.Fatal("invalid category accepted")
+	}
+}
+
+func TestEntityRegistry(t *testing.T) {
+	r := NewEntityRegistry()
+	if err := r.Register(Entity{ID: "netflix", Name: "Netflix", Role: RoleController, Jurisdiction: "EU"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(Entity{ID: "aws", Role: RoleProcessor}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(Entity{Role: RoleController}); err == nil {
+		t.Fatal("empty ID accepted")
+	}
+	if err := r.Register(Entity{ID: "x", Role: EntityRole(99)}); err == nil {
+		t.Fatal("invalid role accepted")
+	}
+	if e, ok := r.Lookup("netflix"); !ok || e.Role != RoleController {
+		t.Fatalf("Lookup = %+v, %v", e, ok)
+	}
+	if got := r.WithRole(RoleProcessor); len(got) != 1 || got[0].ID != "aws" {
+		t.Fatalf("WithRole = %v", got)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestPurposeRegistryDefaults(t *testing.T) {
+	r := NewPurposeRegistry()
+	if !r.Authorizes(PurposeComplianceErase, ActionErase) {
+		t.Error("compliance-erase must authorize erase")
+	}
+	if r.Authorizes(PurposeRetention, ActionRead) {
+		t.Error("retention must not authorize read")
+	}
+	if r.Authorizes("unknown-purpose", ActionRead) {
+		t.Error("ungrounded purpose must authorize nothing")
+	}
+	if err := r.Define(PurposeSpec{}); err == nil {
+		t.Error("empty purpose spec accepted")
+	}
+	ps := r.Purposes()
+	for i := 1; i < len(ps); i++ {
+		if ps[i] < ps[i-1] {
+			t.Fatalf("Purposes not sorted: %v", ps)
+		}
+	}
+}
+
+func TestActionKindStringAndMutates(t *testing.T) {
+	if ActionRead.Mutates() || ActionReadMetadata.Mutates() || ActionStore.Mutates() {
+		t.Error("observation actions must not mutate")
+	}
+	for _, k := range []ActionKind{ActionCreate, ActionWrite, ActionDelete, ActionErase, ActionSanitize} {
+		if !k.Mutates() {
+			t.Errorf("%v must mutate", k)
+		}
+	}
+	if ActionErase.String() != "erase" {
+		t.Errorf("String = %q", ActionErase.String())
+	}
+	a := Action{Kind: ActionDelete, SystemAction: "DELETE+VACUUM"}
+	if a.String() != "delete[DELETE+VACUUM]" {
+		t.Errorf("Action.String = %q", a.String())
+	}
+}

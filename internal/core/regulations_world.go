@@ -1,0 +1,76 @@
+package core
+
+// This file extends the Figure-1 taxonomy beyond GDPR to the other
+// regulations §1 and §4.3 of the paper name — CCPA, VDPA and PIPEDA —
+// so multinational scenarios can reason about per-jurisdiction
+// requirements with the same category structure. Section numbering
+// follows each statute's own scheme (CCPA civil-code sections are
+// abbreviated to their final fragment, e.g. 1798.105 -> 105).
+
+// CCPA returns the California Consumer Privacy Act taxonomy (the
+// system-relevant sections, grouped into the Figure-1 categories).
+func CCPA() *Regulation {
+	r := NewRegulation("CCPA")
+	add := func(n int, title string, c RequirementCategory) {
+		_ = r.AddArticle(Article{Number: n, Title: title, Category: c})
+	}
+	// Disclosure.
+	add(100, "Right to know what personal information is collected", CatDisclosure)
+	add(110, "Right to know categories and specific pieces collected", CatDisclosure)
+	add(115, "Right to know what is sold or disclosed and to whom", CatDisclosure)
+	// Storage / subject rights.
+	add(106, "Right to correct inaccurate personal information", CatStorage)
+	add(130, "Methods for submitting consumer requests", CatStorage)
+	// Sharing and processing.
+	add(120, "Right to opt out of sale or sharing", CatSharingProcessing)
+	add(121, "Right to limit use of sensitive personal information", CatSharingProcessing)
+	add(125, "Non-discrimination for exercising rights", CatSharingProcessing)
+	// Erasure.
+	add(105, "Right to delete personal information", CatErasure)
+	// Design and security.
+	add(150, "Private right of action for security breaches", CatDesignSecurity)
+	// Record keeping / accountability.
+	add(185, "Regulations and enforcement (CPPA rulemaking)", CatAccountability)
+	return r
+}
+
+// VDPA returns the Virginia (Consumer) Data Protection Act taxonomy.
+func VDPA() *Regulation {
+	r := NewRegulation("VDPA")
+	add := func(n int, title string, c RequirementCategory) {
+		_ = r.AddArticle(Article{Number: n, Title: title, Category: c})
+	}
+	add(577, "Consumer rights: access, correction, deletion, portability, opt-out", CatStorage)
+	add(578, "Processing de-identified and pseudonymous data", CatSharingProcessing)
+	add(579, "Controller responsibilities: purpose limitation, minimization, security", CatDesignSecurity)
+	add(580, "Data protection assessments", CatPreProcessing)
+	add(581, "Processor duties and contracts", CatSharingProcessing)
+	add(584, "Enforcement by the Attorney General", CatAccountability)
+	return r
+}
+
+// PIPEDA returns Canada's Personal Information Protection and Electronic
+// Documents Act taxonomy (the fair-information principles of Schedule 1,
+// numbered 1-10).
+func PIPEDA() *Regulation {
+	r := NewRegulation("PIPEDA")
+	add := func(n int, title string, c RequirementCategory) {
+		_ = r.AddArticle(Article{Number: n, Title: title, Category: c})
+	}
+	add(1, "Accountability", CatAccountability)
+	add(2, "Identifying purposes", CatDisclosure)
+	add(3, "Consent", CatSharingProcessing)
+	add(4, "Limiting collection", CatSharingProcessing)
+	add(5, "Limiting use, disclosure, and retention", CatErasure)
+	add(6, "Accuracy", CatStorage)
+	add(7, "Safeguards", CatDesignSecurity)
+	add(8, "Openness", CatDisclosure)
+	add(9, "Individual access", CatStorage)
+	add(10, "Challenging compliance", CatAccountability)
+	return r
+}
+
+// Regulations returns all implemented taxonomies.
+func Regulations() []*Regulation {
+	return []*Regulation{GDPR(), CCPA(), VDPA(), PIPEDA()}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Time is the logical timestamp used throughout the Data-CASE model.
+//
+// The paper treats time abstractly (policies hold "from t_b to t_f";
+// history tuples carry "at time t"). A monotone integer keeps the model
+// deterministic and testable; engines map wall-clock or transaction time
+// onto it however they like.
+type Time int64
+
+// Sentinel times.
+const (
+	// TimeZero is the origin of logical time.
+	TimeZero Time = 0
+	// TimeMax means "forever": a policy with End == TimeMax never expires.
+	TimeMax Time = 1<<63 - 1
+)
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+// In reports whether t lies in the inclusive interval [begin, end].
+func (t Time) In(begin, end Time) bool { return begin <= t && t <= end }
+
+// String renders the timestamp; TimeMax prints as "∞".
+func (t Time) String() string {
+	if t == TimeMax {
+		return "∞"
+	}
+	return fmt.Sprintf("t%d", int64(t))
+}
+
+// Clock issues strictly monotone logical timestamps. The zero value is
+// ready to use and starts at 1. Clock is safe for concurrent use.
+type Clock struct {
+	now atomic.Int64
+}
+
+// Now returns the current logical time without advancing it.
+func (c *Clock) Now() Time { return Time(c.now.Load()) }
+
+// Tick advances the clock and returns the new timestamp.
+func (c *Clock) Tick() Time { return Time(c.now.Add(1)) }
+
+// Advance moves the clock forward by d ticks (d must be non-negative)
+// and returns the new time.
+func (c *Clock) Advance(d int64) Time {
+	if d < 0 {
+		panic("core: Clock.Advance with negative delta")
+	}
+	return Time(c.now.Add(d))
+}
+
+// SetAtLeast moves the clock to at least t; it never moves backwards.
+func (c *Clock) SetAtLeast(t Time) {
+	for {
+		cur := c.now.Load()
+		if cur >= int64(t) {
+			return
+		}
+		if c.now.CompareAndSwap(cur, int64(t)) {
+			return
+		}
+	}
+}
+
+// Interval is a closed time interval [Begin, End]. It is the validity
+// window of a policy and the lifetime stages of the erasure timeline.
+type Interval struct {
+	Begin Time
+	End   Time
+}
+
+// Contains reports whether t ∈ [Begin, End].
+func (iv Interval) Contains(t Time) bool { return t.In(iv.Begin, iv.End) }
+
+// Empty reports whether the interval contains no instants.
+func (iv Interval) Empty() bool { return iv.End < iv.Begin }
+
+// Overlaps reports whether the two intervals share at least one instant.
+func (iv Interval) Overlaps(other Interval) bool {
+	return !iv.Empty() && !other.Empty() && iv.Begin <= other.End && other.Begin <= iv.End
+}
+
+// String renders the interval like "[t3, ∞]".
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%s, %s]", iv.Begin, iv.End)
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockMonotonic(t *testing.T) {
+	var c Clock
+	prev := c.Now()
+	for i := 0; i < 1000; i++ {
+		next := c.Tick()
+		if next <= prev {
+			t.Fatalf("Tick not monotone: %v then %v", prev, next)
+		}
+		prev = next
+	}
+}
+
+func TestClockConcurrentTicksUnique(t *testing.T) {
+	var c Clock
+	const goroutines, ticks = 8, 500
+	seen := make(chan Time, goroutines*ticks)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < ticks; i++ {
+				seen <- c.Tick()
+			}
+		}()
+	}
+	wg.Wait()
+	close(seen)
+	uniq := make(map[Time]bool)
+	for ts := range seen {
+		if uniq[ts] {
+			t.Fatalf("duplicate timestamp %v", ts)
+		}
+		uniq[ts] = true
+	}
+	if len(uniq) != goroutines*ticks {
+		t.Fatalf("expected %d unique stamps, got %d", goroutines*ticks, len(uniq))
+	}
+}
+
+func TestClockSetAtLeast(t *testing.T) {
+	var c Clock
+	c.SetAtLeast(100)
+	if got := c.Now(); got != 100 {
+		t.Fatalf("Now = %v, want 100", got)
+	}
+	c.SetAtLeast(50) // must not go backwards
+	if got := c.Now(); got != 100 {
+		t.Fatalf("Now after lower SetAtLeast = %v, want 100", got)
+	}
+}
+
+func TestClockAdvancePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative Advance")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}
+
+func TestTimeIn(t *testing.T) {
+	cases := []struct {
+		t, b, e Time
+		want    bool
+	}{
+		{5, 1, 10, true},
+		{1, 1, 10, true},
+		{10, 1, 10, true},
+		{0, 1, 10, false},
+		{11, 1, 10, false},
+		{5, 10, 1, false}, // inverted interval contains nothing
+	}
+	for _, c := range cases {
+		if got := c.t.In(c.b, c.e); got != c.want {
+			t.Errorf("%v.In(%v,%v) = %v, want %v", c.t, c.b, c.e, got, c.want)
+		}
+	}
+}
+
+func TestIntervalOverlaps(t *testing.T) {
+	cases := []struct {
+		a, b Interval
+		want bool
+	}{
+		{Interval{1, 5}, Interval{5, 9}, true},
+		{Interval{1, 5}, Interval{6, 9}, false},
+		{Interval{1, 9}, Interval{3, 4}, true},
+		{Interval{5, 1}, Interval{1, 9}, false}, // empty never overlaps
+	}
+	for _, c := range cases {
+		if got := c.a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(c.a); got != c.want {
+			t.Errorf("overlap not symmetric for %v, %v", c.a, c.b)
+		}
+	}
+}
+
+func TestIntervalOverlapSymmetryProperty(t *testing.T) {
+	f := func(a0, a1, b0, b1 int16) bool {
+		a := Interval{Time(a0), Time(a1)}
+		b := Interval{Time(b0), Time(b1)}
+		return a.Overlaps(b) == b.Overlaps(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if TimeMax.String() != "∞" {
+		t.Errorf("TimeMax.String() = %q, want ∞", TimeMax.String())
+	}
+	if Time(7).String() != "t7" {
+		t.Errorf("Time(7).String() = %q", Time(7).String())
+	}
+}

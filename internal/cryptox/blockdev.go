@@ -1,0 +1,178 @@
+package cryptox
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// BlockDev is a LUKS-like encrypted block container: a master key
+// (wrapped by a passphrase-derived key via SHA-256 KDF) encrypts
+// fixed-size sectors with AES-CTR keyed per sector. P_GBench mounts its
+// whole store inside one, modelling full-disk encryption: every sector
+// read/write pays the cipher cost.
+type BlockDev struct {
+	mu        sync.RWMutex
+	sectors   [][]byte
+	master    []byte
+	block     cipher.Block // cached cipher; destroyed on shred
+	shredded  bool
+	SectorLen int
+}
+
+// BlockDevIterations is the KDF cost for unlocking a container.
+const BlockDevIterations = 1000
+
+// NewBlockDev creates a container with the given sector size, unlocked
+// with the passphrase.
+func NewBlockDev(passphrase []byte, sectorLen int) (*BlockDev, error) {
+	if sectorLen <= 0 {
+		return nil, fmt.Errorf("cryptox: sector length must be positive")
+	}
+	salt := make([]byte, 16)
+	if _, err := io.ReadFull(rand.Reader, salt); err != nil {
+		return nil, err
+	}
+	master, err := DeriveKey(passphrase, salt, BlockDevIterations, AES256)
+	if err != nil {
+		return nil, err
+	}
+	block, err := aes.NewCipher(master)
+	if err != nil {
+		return nil, err
+	}
+	return &BlockDev{master: master, block: block, SectorLen: sectorLen}, nil
+}
+
+// sectorCipher derives the per-sector CTR stream (master key + sector
+// number as IV, like XTS's sector tweak).
+func (d *BlockDev) sectorCipher(sector int) (cipher.Stream, error) {
+	if d.block == nil {
+		return nil, fmt.Errorf("cryptox: block device key has been shredded")
+	}
+	iv := make([]byte, aes.BlockSize)
+	binary.BigEndian.PutUint64(iv[:8], uint64(sector))
+	return cipher.NewCTR(d.block, iv), nil
+}
+
+// WriteSector encrypts and stores data (padded/truncated to SectorLen)
+// at the given sector index, extending the device as needed.
+func (d *BlockDev) WriteSector(sector int, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.shredded {
+		return fmt.Errorf("cryptox: block device key has been shredded")
+	}
+	if sector < 0 {
+		return fmt.Errorf("cryptox: negative sector %d", sector)
+	}
+	buf := make([]byte, d.SectorLen)
+	copy(buf, data)
+	stream, err := d.sectorCipher(sector)
+	if err != nil {
+		return err
+	}
+	stream.XORKeyStream(buf, buf)
+	for len(d.sectors) <= sector {
+		d.sectors = append(d.sectors, nil)
+	}
+	d.sectors[sector] = buf
+	return nil
+}
+
+// ReadSector decrypts the sector; absent sectors read as zeroes.
+func (d *BlockDev) ReadSector(sector int) ([]byte, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.shredded {
+		return nil, fmt.Errorf("cryptox: block device key has been shredded")
+	}
+	if sector < 0 || sector >= len(d.sectors) || d.sectors[sector] == nil {
+		return make([]byte, d.SectorLen), nil
+	}
+	buf := append([]byte(nil), d.sectors[sector]...)
+	stream, err := d.sectorCipher(sector)
+	if err != nil {
+		return nil, err
+	}
+	stream.XORKeyStream(buf, buf)
+	return buf, nil
+}
+
+// Shred destroys the master key (crypto-shredding): every sector becomes
+// unrecoverable ciphertext. This is an accepted grounding for "delete"
+// over encrypted media.
+func (d *BlockDev) Shred() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.master {
+		d.master[i] = 0
+	}
+	d.block = nil
+	d.shredded = true
+}
+
+// Shredded reports whether the key has been destroyed.
+func (d *BlockDev) Shredded() bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.shredded
+}
+
+// Sectors returns the number of allocated sectors.
+func (d *BlockDev) Sectors() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.sectors)
+}
+
+// Fingerprint hashes the raw (encrypted) image — useful to show that
+// plaintext never appears at rest.
+func (d *BlockDev) Fingerprint() [sha256.Size]byte {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	h := sha256.New()
+	for _, s := range d.sectors {
+		h.Write(s)
+	}
+	var out [sha256.Size]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// RawContains reports whether the pattern appears in the raw encrypted
+// image (it should not, for any plaintext pattern).
+func (d *BlockDev) RawContains(pattern []byte) bool {
+	if len(pattern) == 0 {
+		return false
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for _, s := range d.sectors {
+		if containsSub(s, pattern) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsSub(haystack, needle []byte) bool {
+	if len(needle) == 0 || len(haystack) < len(needle) {
+		return false
+	}
+outer:
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		for j := range needle {
+			if haystack[i+j] != needle[j] {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,299 @@
+package cryptox
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestAESGCMRoundTrip(t *testing.T) {
+	for _, size := range []KeySize{AES128, AES256} {
+		key, err := GenerateKey(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewAESGCM(key, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt := []byte("4111-1111-1111-1111")
+		ct, err := s.Seal(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Contains(ct, pt) {
+			t.Fatal("ciphertext contains plaintext")
+		}
+		got, err := s.Open(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, pt) {
+			t.Fatalf("round trip = %q", got)
+		}
+		if len(ct)-len(pt) != s.Overhead() {
+			t.Fatalf("overhead = %d, want %d", len(ct)-len(pt), s.Overhead())
+		}
+	}
+}
+
+func TestAESGCMRejectsTampering(t *testing.T) {
+	key, _ := GenerateKey(AES256)
+	s, _ := NewAESGCM(key, nil)
+	ct, _ := s.Seal([]byte("payload"))
+	ct[len(ct)-1] ^= 1
+	if _, err := s.Open(ct); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("tampered open err = %v", err)
+	}
+	if _, err := s.Open(ct[:4]); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("short open err = %v", err)
+	}
+}
+
+func TestAESGCMWrongKey(t *testing.T) {
+	k1, _ := GenerateKey(AES128)
+	k2, _ := GenerateKey(AES128)
+	s1, _ := NewAESGCM(k1, nil)
+	s2, _ := NewAESGCM(k2, nil)
+	ct, _ := s1.Seal([]byte("x"))
+	if _, err := s2.Open(ct); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("wrong-key open err = %v", err)
+	}
+}
+
+func TestNewAESGCMRejectsBadKey(t *testing.T) {
+	if _, err := NewAESGCM(make([]byte, 15), nil); err == nil {
+		t.Fatal("15-byte key accepted")
+	}
+	if _, err := GenerateKey(KeySize(7)); err == nil {
+		t.Fatal("7-byte size accepted")
+	}
+}
+
+func TestSealRoundTripProperty(t *testing.T) {
+	key, _ := GenerateKey(AES256)
+	s, _ := NewAESGCM(key, nil)
+	f := func(pt []byte) bool {
+		ct, err := s.Seal(pt)
+		if err != nil {
+			return false
+		}
+		got, err := s.Open(ct)
+		return err == nil && bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeriveKeyDeterministic(t *testing.T) {
+	a, err := DeriveKey([]byte("pass"), []byte("salt"), 100, AES256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := DeriveKey([]byte("pass"), []byte("salt"), 100, AES256)
+	if !bytes.Equal(a, b) {
+		t.Fatal("KDF not deterministic")
+	}
+	c, _ := DeriveKey([]byte("pass"), []byte("salt2"), 100, AES256)
+	if bytes.Equal(a, c) {
+		t.Fatal("salt ignored")
+	}
+	d, _ := DeriveKey([]byte("pass"), []byte("salt"), 101, AES256)
+	if bytes.Equal(a, d) {
+		t.Fatal("iteration count ignored")
+	}
+	if _, err := DeriveKey([]byte("p"), []byte("s"), 0, AES256); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+}
+
+func TestBlockDevRoundTrip(t *testing.T) {
+	d, err := NewBlockDev([]byte("passphrase"), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("PERSONAL-DATA-SECTOR")
+	if err := d.WriteSector(3, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadSector(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:len(data)], data) {
+		t.Fatalf("sector = %q", got[:len(data)])
+	}
+	// Absent sectors read as zeroes.
+	z, err := d.ReadSector(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range z {
+		if b != 0 {
+			t.Fatal("absent sector not zero")
+		}
+	}
+	// Plaintext never at rest.
+	if d.RawContains(data) {
+		t.Fatal("plaintext visible in raw image")
+	}
+}
+
+func TestBlockDevShred(t *testing.T) {
+	d, _ := NewBlockDev([]byte("p"), 128)
+	if err := d.WriteSector(0, []byte("secret")); err != nil {
+		t.Fatal(err)
+	}
+	d.Shred()
+	if !d.Shredded() {
+		t.Fatal("not shredded")
+	}
+	if _, err := d.ReadSector(0); err == nil {
+		t.Fatal("read after shred succeeded")
+	}
+	if err := d.WriteSector(1, []byte("x")); err == nil {
+		t.Fatal("write after shred succeeded")
+	}
+}
+
+func TestBlockDevValidation(t *testing.T) {
+	if _, err := NewBlockDev([]byte("p"), 0); err == nil {
+		t.Fatal("zero sector length accepted")
+	}
+	d, _ := NewBlockDev([]byte("p"), 64)
+	if err := d.WriteSector(-1, nil); err == nil {
+		t.Fatal("negative sector accepted")
+	}
+}
+
+func TestKeyringIssueAndShred(t *testing.T) {
+	r, err := NewKeyring(AES256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := r.SealerFor("unit-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, _ := s1.Seal([]byte("cc-4111"))
+	// Same unit gets the same key: a second sealer can open.
+	s1b, _ := r.SealerFor("unit-1")
+	if pt, err := s1b.Open(ct); err != nil || string(pt) != "cc-4111" {
+		t.Fatalf("reopen = %q, %v", pt, err)
+	}
+	// Different unit cannot.
+	s2, _ := r.SealerFor("unit-2")
+	if _, err := s2.Open(ct); err == nil {
+		t.Fatal("cross-unit decryption succeeded")
+	}
+	r.Shred("unit-1")
+	if r.Has("unit-1") {
+		t.Fatal("key survives shred")
+	}
+	// A new sealer gets a fresh key — old ciphertext unrecoverable.
+	s1c, _ := r.SealerFor("unit-1")
+	if _, err := s1c.Open(ct); err == nil {
+		t.Fatal("ciphertext recoverable after crypto-shredding")
+	}
+	_, _, shredded := r.Stats()
+	if shredded != 1 {
+		t.Fatalf("shredded = %d", shredded)
+	}
+}
+
+func TestKeyringLockUnlock(t *testing.T) {
+	r, _ := NewKeyring(AES128)
+	if err := r.Lock("ghost"); err == nil {
+		t.Fatal("locking unknown unit succeeded")
+	}
+	s, _ := r.SealerFor("u")
+	ct, _ := s.Seal([]byte("data"))
+	if err := r.Lock("u"); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Locked("u") || r.Has("u") {
+		t.Fatal("lock state wrong")
+	}
+	if _, err := r.SealerFor("u"); err == nil {
+		t.Fatal("sealer issued for locked key")
+	}
+	if err := r.Unlock("u"); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := r.SealerFor("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt, err := s2.Open(ct); err != nil || string(pt) != "data" {
+		t.Fatalf("after unlock: %q, %v", pt, err)
+	}
+	if err := r.Unlock("u"); err == nil {
+		t.Fatal("double unlock succeeded")
+	}
+	// Shredding a locked key also works.
+	if err := r.Lock("u"); err != nil {
+		t.Fatal(err)
+	}
+	r.Shred("u")
+	if r.Locked("u") {
+		t.Fatal("locked key survives shred")
+	}
+}
+
+type fakeSanitizable struct {
+	buf  []byte
+	live map[int]bool
+}
+
+func (f *fakeSanitizable) SanitizePass(pattern byte) int64 {
+	var n int64
+	for i := range f.buf {
+		if !f.live[i] {
+			f.buf[i] = pattern
+			n++
+		}
+	}
+	return n
+}
+
+func (f *fakeSanitizable) VerifySanitized(pattern byte) bool {
+	for i, b := range f.buf {
+		if !f.live[i] && b != pattern {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSanitize(t *testing.T) {
+	f := &fakeSanitizable{
+		buf:  []byte("LIVE-dead-LIVE-dead"),
+		live: map[int]bool{0: true, 1: true, 2: true, 3: true},
+	}
+	rep, err := Sanitize(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passes != 4 || !rep.Verified {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.BytesWritten != int64(4*(len(f.buf)-4)) {
+		t.Fatalf("BytesWritten = %d", rep.BytesWritten)
+	}
+	for i := 4; i < len(f.buf); i++ {
+		if f.buf[i] != 0 {
+			t.Fatal("free bytes not zeroed after final pass")
+		}
+	}
+	if !bytes.Equal(f.buf[:4], []byte("LIVE")) {
+		t.Fatal("live bytes damaged")
+	}
+}
+
+func TestKeySizeString(t *testing.T) {
+	if AES128.String() != "AES-128" || AES256.String() != "AES-256" {
+		t.Fatal("KeySize names wrong")
+	}
+}

@@ -1,0 +1,123 @@
+package cryptox
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Keyring holds one encryption key per data unit, enabling
+// crypto-shredding: destroying a unit's key renders its ciphertext
+// unrecoverable without touching the stored bytes. The
+// reversibly-inaccessible erasure grounding locks a key (recoverable);
+// stronger groundings shred it.
+type Keyring struct {
+	mu      sync.RWMutex
+	size    KeySize
+	keys    map[string][]byte
+	locked  map[string][]byte // keys made inaccessible but recoverable
+	shredds int
+}
+
+// NewKeyring returns an empty keyring issuing keys of the given size.
+func NewKeyring(size KeySize) (*Keyring, error) {
+	if !size.Valid() {
+		return nil, fmt.Errorf("cryptox: unsupported key size %d", size)
+	}
+	return &Keyring{
+		size:   size,
+		keys:   make(map[string][]byte),
+		locked: make(map[string][]byte),
+	}, nil
+}
+
+// KeySize returns the size of issued keys.
+func (r *Keyring) KeySize() KeySize { return r.size }
+
+// SealerFor returns a Sealer for the named unit, issuing a fresh key on
+// first use. It fails if the key is locked or shredded.
+func (r *Keyring) SealerFor(unit string) (Sealer, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, locked := r.locked[unit]; locked {
+		return nil, fmt.Errorf("cryptox: key for %q is locked", unit)
+	}
+	key, ok := r.keys[unit]
+	if !ok {
+		var err error
+		key, err = GenerateKey(r.size)
+		if err != nil {
+			return nil, err
+		}
+		r.keys[unit] = key
+	}
+	return NewAESGCM(key, nil)
+}
+
+// Lock makes the unit's key inaccessible but recoverable (the
+// reversibly-inaccessible grounding). Locking an unknown unit is an
+// error: there is nothing to make inaccessible.
+func (r *Keyring) Lock(unit string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key, ok := r.keys[unit]
+	if !ok {
+		return fmt.Errorf("cryptox: no key for %q", unit)
+	}
+	delete(r.keys, unit)
+	r.locked[unit] = key
+	return nil
+}
+
+// Unlock restores a locked key (the data subject's "specific action"
+// that reverses inaccessibility).
+func (r *Keyring) Unlock(unit string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key, ok := r.locked[unit]
+	if !ok {
+		return fmt.Errorf("cryptox: no locked key for %q", unit)
+	}
+	delete(r.locked, unit)
+	r.keys[unit] = key
+	return nil
+}
+
+// Shred destroys the unit's key material — zeroed then forgotten —
+// whether live or locked. Shredding an unknown unit is a no-op (the goal
+// state already holds).
+func (r *Keyring) Shred(unit string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range []map[string][]byte{r.keys, r.locked} {
+		if key, ok := m[unit]; ok {
+			for i := range key {
+				key[i] = 0
+			}
+			delete(m, unit)
+			r.shredds++
+		}
+	}
+}
+
+// Has reports whether a live (usable) key exists for the unit.
+func (r *Keyring) Has(unit string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.keys[unit]
+	return ok
+}
+
+// Locked reports whether the unit's key is locked (recoverable).
+func (r *Keyring) Locked(unit string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.locked[unit]
+	return ok
+}
+
+// Stats returns (live, locked, shredded) key counts.
+func (r *Keyring) Stats() (live, locked, shredded int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.keys), len(r.locked), r.shredds
+}

@@ -1,0 +1,339 @@
+// Package erasure implements the four grounded interpretations of data
+// erasure from §3.1 of the paper — reversibly inaccessible, delete,
+// strong delete, permanent delete — as executable strategies over a
+// storage bundle (heap table, keyring, policy engine, audit log, WAL,
+// provenance graph). It also provides the property verifier that
+// regenerates Table 1 and the TTL scheduler that drives the Figure-3
+// erasure timeline.
+package erasure
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/datacase/datacase/internal/audit"
+	"github.com/datacase/datacase/internal/core"
+	"github.com/datacase/datacase/internal/cryptox"
+	"github.com/datacase/datacase/internal/policy"
+	"github.com/datacase/datacase/internal/provenance"
+	"github.com/datacase/datacase/internal/storage/heap"
+	"github.com/datacase/datacase/internal/wal"
+)
+
+// inaccessibleMarker prefixes heap values that have been made reversibly
+// inaccessible ("Add new attribute" in Table 1: the marker plays the
+// role of the added attribute/flag column).
+var inaccessibleMarker = []byte("\x00INACCESSIBLE\x01")
+
+// Target bundles everything an erasure grounding touches. Log and WAL
+// may be nil (not every profile keeps them); everything else is
+// required.
+type Target struct {
+	DB       *core.Database
+	History  *core.History
+	Data     *heap.Table
+	Keys     *cryptox.Keyring
+	Policies policy.Engine
+	Log      audit.Logger
+	WAL      *wal.Log
+	Prov     *provenance.Graph
+	Clock    *core.Clock
+	// Executor is the entity performing regulation-mandated erasures.
+	Executor core.EntityID
+}
+
+func (t Target) validate() error {
+	switch {
+	case t.DB == nil, t.History == nil, t.Data == nil, t.Keys == nil,
+		t.Policies == nil, t.Prov == nil, t.Clock == nil:
+		return errors.New("erasure: target missing a required component")
+	case t.Executor == "":
+		return errors.New("erasure: target needs an executor entity")
+	}
+	return nil
+}
+
+// Report describes what an erasure accomplished.
+type Report struct {
+	Unit           core.UnitID
+	Interpretation core.ErasureInterpretation
+	SystemActions  []string
+	// DependentsErased lists derived units removed by strong/permanent
+	// deletion.
+	DependentsErased []core.UnitID
+	LogEntriesErased int
+	WALScrubbed      int
+	PoliciesRevoked  int
+	Sanitize         cryptox.SanitizeReport
+	// Restorable is true only for the reversible interpretation.
+	Restorable bool
+	At         core.Time
+}
+
+// Engine executes grounded erasures against a target.
+type Engine struct {
+	t Target
+
+	mu           sync.RWMutex
+	inaccessible map[core.UnitID]bool
+}
+
+// NewEngine validates the target and returns an engine.
+func NewEngine(t Target) (*Engine, error) {
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{t: t, inaccessible: make(map[core.UnitID]bool)}, nil
+}
+
+// Inaccessible reports whether the unit is currently reversibly
+// inaccessible. Read paths must consult it.
+func (e *Engine) Inaccessible(unit core.UnitID) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.inaccessible[unit]
+}
+
+// Erase applies the interpretation to the unit. Escalation is allowed
+// (e.g. delete after reversible inaccessibility); re-applying the same
+// or a weaker interpretation after a stronger one is an error.
+func (e *Engine) Erase(unit core.UnitID, interp core.ErasureInterpretation) (Report, error) {
+	if !interp.Valid() {
+		return Report{}, fmt.Errorf("erasure: invalid interpretation %d", interp)
+	}
+	now := e.t.Clock.Tick()
+	rep := Report{Unit: unit, Interpretation: interp, At: now}
+	var err error
+	switch interp {
+	case core.EraseReversiblyInaccessible:
+		err = e.makeInaccessible(unit, &rep)
+	case core.EraseDelete:
+		err = e.delete(unit, &rep, now)
+	case core.EraseStrongDelete:
+		err = e.strongDelete(unit, &rep, now, false)
+	case core.ErasePermanentDelete:
+		err = e.strongDelete(unit, &rep, now, true)
+	}
+	if err != nil {
+		return rep, err
+	}
+	e.recordErase(unit, interp, rep.SystemActions, now)
+	return rep, nil
+}
+
+// recordErase appends the regulation-mandated erase action to the
+// model-level history (the record G17/G30 audits need; system logs are
+// scrubbed separately by the stronger groundings).
+func (e *Engine) recordErase(unit core.UnitID, interp core.ErasureInterpretation, actions []string, now core.Time) {
+	sysAction := ""
+	if len(actions) > 0 {
+		sysAction = actions[0]
+		for _, a := range actions[1:] {
+			sysAction += "; " + a
+		}
+	}
+	kind := core.ActionErase
+	if interp == core.ErasePermanentDelete {
+		kind = core.ActionSanitize
+	}
+	// History.Append only fails on malformed tuples; ours are well-formed.
+	_ = e.t.History.Append(core.HistoryTuple{
+		Unit:    unit,
+		Purpose: core.PurposeComplianceErase,
+		Entity:  e.t.Executor,
+		Action: core.Action{
+			Kind:                 kind,
+			SystemAction:         sysAction,
+			RequiredByRegulation: true,
+		},
+		At: now,
+	})
+}
+
+// makeInaccessible implements the reversibly-inaccessible grounding:
+// the value is sealed under the unit's key, the key is locked, and a
+// marker attribute is added. Data subjects can no longer read it; the
+// controller can restore it with a specific action (Restore).
+func (e *Engine) makeInaccessible(unit core.UnitID, rep *Report) error {
+	key := []byte(unit)
+	value, ok := e.t.Data.Get(key)
+	if !ok {
+		return fmt.Errorf("erasure: unit %q has no stored value", unit)
+	}
+	if bytes.HasPrefix(value, inaccessibleMarker) {
+		return fmt.Errorf("erasure: unit %q is already inaccessible", unit)
+	}
+	sealer, err := e.t.Keys.SealerFor(string(unit))
+	if err != nil {
+		return fmt.Errorf("erasure: %w", err)
+	}
+	sealed, err := sealer.Seal(value)
+	if err != nil {
+		return err
+	}
+	if _, err := e.t.Data.Update(key, append(append([]byte(nil), inaccessibleMarker...), sealed...)); err != nil {
+		return err
+	}
+	if err := e.t.Keys.Lock(string(unit)); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.inaccessible[unit] = true
+	e.mu.Unlock()
+	rep.SystemActions = append(rep.SystemActions, "Add new attribute")
+	rep.Restorable = true
+	return nil
+}
+
+// Restore reverses a reversible inaccessibility (the data subject's or
+// controller's "specific action").
+func (e *Engine) Restore(unit core.UnitID) error {
+	e.mu.Lock()
+	if !e.inaccessible[unit] {
+		e.mu.Unlock()
+		return fmt.Errorf("erasure: unit %q is not reversibly inaccessible", unit)
+	}
+	e.mu.Unlock()
+
+	if err := e.t.Keys.Unlock(string(unit)); err != nil {
+		return err
+	}
+	key := []byte(unit)
+	stored, ok := e.t.Data.Get(key)
+	if !ok || !bytes.HasPrefix(stored, inaccessibleMarker) {
+		return fmt.Errorf("erasure: stored value of %q lost its marker", unit)
+	}
+	sealer, err := e.t.Keys.SealerFor(string(unit))
+	if err != nil {
+		return err
+	}
+	plain, err := sealer.Open(stored[len(inaccessibleMarker):])
+	if err != nil {
+		return err
+	}
+	if _, err := e.t.Data.Update(key, plain); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	delete(e.inaccessible, unit)
+	e.mu.Unlock()
+	now := e.t.Clock.Tick()
+	_ = e.t.History.Append(core.HistoryTuple{
+		Unit:    unit,
+		Purpose: core.PurposeLegalObligation,
+		Entity:  e.t.Executor,
+		Action: core.Action{
+			Kind:                 core.ActionRestore,
+			SystemAction:         "Remove attribute",
+			RequiredByRegulation: true,
+		},
+		At: now,
+	})
+	return nil
+}
+
+// delete implements the "deleted" grounding: the data and all its copies
+// are physically erased — heap row deleted and vacuumed, key shredded,
+// policies revoked. Derived data survives (II remains possible: Table 1).
+func (e *Engine) delete(unit core.UnitID, rep *Report, now core.Time) error {
+	e.eraseOne(unit, rep, now)
+	e.t.Data.Vacuum()
+	rep.SystemActions = append(rep.SystemActions, "DELETE+VACUUM")
+	return nil
+}
+
+// strongDelete implements strong (and, with sanitize, permanent)
+// deletion: the unit plus every dependent unit in which the data subject
+// is identifiable, with a full table rewrite, log scrubbing, and — for
+// permanent deletion — multi-pass physical sanitization.
+func (e *Engine) strongDelete(unit core.UnitID, rep *Report, now core.Time, sanitize bool) error {
+	subjects := make(map[core.EntityID]bool)
+	if u, ok := e.t.DB.Lookup(unit); ok {
+		for _, s := range u.Subjects() {
+			subjects[s] = true
+		}
+	}
+	e.eraseOne(unit, rep, now)
+	// Dependents where the data subject is identifiable.
+	for _, dep := range e.t.Prov.Dependents(unit) {
+		du, ok := e.t.DB.Lookup(dep)
+		if !ok {
+			continue
+		}
+		identifiable := false
+		for _, s := range du.Subjects() {
+			if subjects[s] {
+				identifiable = true
+				break
+			}
+		}
+		if !identifiable || du.Erased(now) {
+			continue
+		}
+		e.eraseOne(dep, rep, now)
+		rep.DependentsErased = append(rep.DependentsErased, dep)
+		e.recordErase(dep, core.EraseStrongDelete, []string{"DELETE (dependent)"}, now)
+	}
+	e.t.Data.VacuumFull()
+	rep.SystemActions = append(rep.SystemActions, "DELETE+VACUUM FULL")
+
+	// Scrub system logs of the erased units (§4.2: P_SYS deletes logs of
+	// the data units being deleted).
+	scrubUnits := append([]core.UnitID{unit}, rep.DependentsErased...)
+	if e.t.Log != nil {
+		for _, u := range scrubUnits {
+			n, err := e.t.Log.EraseUnit(u)
+			if err != nil && !errors.Is(err, audit.ErrEraseUnsupported) {
+				return err
+			}
+			rep.LogEntriesErased += n
+		}
+		rep.SystemActions = append(rep.SystemActions, "erase audit log entries")
+	}
+	if e.t.WAL != nil {
+		rep.WALScrubbed = e.t.WAL.Scrub(func(key []byte) bool {
+			for _, u := range scrubUnits {
+				if bytes.Equal(key, []byte(u)) {
+					return true
+				}
+			}
+			return false
+		})
+		rep.SystemActions = append(rep.SystemActions, "scrub WAL")
+	}
+
+	if sanitize {
+		sr, err := cryptox.Sanitize(e.t.Data)
+		if err != nil {
+			return err
+		}
+		rep.Sanitize = sr
+		// Permanent deletion also forgets the provenance metadata.
+		for _, u := range scrubUnits {
+			e.t.Prov.DropUnit(u)
+		}
+		rep.SystemActions = append(rep.SystemActions, "multi-pass sanitize")
+	}
+	return nil
+}
+
+// eraseOne removes one unit's value, key and policies and marks the
+// model state. Missing heap rows are tolerated (already deleted).
+func (e *Engine) eraseOne(unit core.UnitID, rep *Report, now core.Time) {
+	key := []byte(unit)
+	if err := e.t.Data.Delete(key); err != nil && !errors.Is(err, heap.ErrKeyNotFound) {
+		// Delete only fails on absence; anything else would be a bug.
+		panic(err)
+	}
+	e.t.Keys.Shred(string(unit))
+	rep.PoliciesRevoked += e.t.Policies.RevokePolicies(unit)
+	if u, ok := e.t.DB.Lookup(unit); ok {
+		u.RevokeAllPolicies(now)
+		u.MarkErased(now)
+	}
+	e.mu.Lock()
+	delete(e.inaccessible, unit)
+	e.mu.Unlock()
+}

@@ -1,0 +1,370 @@
+package erasure
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/datacase/datacase/internal/audit"
+	"github.com/datacase/datacase/internal/core"
+	"github.com/datacase/datacase/internal/cryptox"
+	"github.com/datacase/datacase/internal/policy"
+	"github.com/datacase/datacase/internal/provenance"
+	"github.com/datacase/datacase/internal/storage/heap"
+	"github.com/datacase/datacase/internal/wal"
+)
+
+const secret = "CC-4111-1111-1111-1111"
+
+// scenario builds the Netflix running example: a base credit-card unit
+// with an invertible derived unit (a projection) and a lossy aggregate,
+// policies, an audit trail and a WAL entry.
+type scenario struct {
+	engine  *Engine
+	target  Target
+	base    *core.DataUnit
+	derived *core.DataUnit
+	logger  *audit.QueryLogger
+}
+
+func buildScenario(t *testing.T) *scenario {
+	t.Helper()
+	db := core.NewDatabase()
+	hist := core.NewHistory()
+	table := heap.NewTable("personal", nil)
+	keys, err := cryptox.NewKeyring(cryptox.AES256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pols := policy.NewSieve()
+	logger := audit.NewQueryLogger()
+	log := wal.New()
+	prov := provenance.NewGraph()
+	clock := &core.Clock{}
+
+	base := core.NewDataUnit("cc-1234", core.KindBase, "user-1234", "signup")
+	base.SetValue([]byte(secret), clock.Tick())
+	if err := base.Grant(core.Policy{Purpose: "billing", Entity: "netflix", Begin: 0, End: core.TimeMax}, clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add(base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := table.Insert([]byte("cc-1234"), []byte(secret)); err != nil {
+		t.Fatal(err)
+	}
+	if err := pols.AttachPolicy("cc-1234", "user-1234",
+		core.Policy{Purpose: "billing", Entity: "netflix", Begin: 0, End: core.TimeMax}); err != nil {
+		t.Fatal(err)
+	}
+
+	derived := core.NewDerivedUnit("cc-last4", clock.Tick(), base)
+	derived.SetValue([]byte("1111"), clock.Now())
+	if err := db.Add(derived); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := table.Insert([]byte("cc-last4"), []byte("1111")); err != nil {
+		t.Fatal(err)
+	}
+	if err := prov.AddDerivation(provenance.Derivation{
+		Child: "cc-last4", Parents: []core.UnitID{"cc-1234"},
+		Invertible: true, Description: "card-number projection",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A lossy aggregate over a different subject mix should NOT be
+	// strong-deleted when it does not identify the subject.
+	agg := core.NewDataUnit("spend-agg", core.KindDerived, "", "analytics")
+	agg.SetValue([]byte("aggregate"), clock.Now())
+	if err := db.Add(agg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := table.Insert([]byte("spend-agg"), []byte("aggregate")); err != nil {
+		t.Fatal(err)
+	}
+	if err := prov.AddDerivation(provenance.Derivation{
+		Child: "spend-agg", Parents: []core.UnitID{"cc-1234"},
+		Invertible: false, Description: "cohort aggregate",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 3; i++ {
+		if err := logger.Log(audit.Entry{Tuple: core.HistoryTuple{
+			Unit: "cc-1234", Purpose: "billing", Entity: "netflix",
+			Action: core.Action{Kind: core.ActionRead}, At: clock.Tick(),
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log.Append(wal.RecInsert, []byte("cc-1234"), []byte(secret))
+
+	target := Target{
+		DB: db, History: hist, Data: table, Keys: keys, Policies: pols,
+		Log: logger, WAL: log, Prov: prov, Clock: clock, Executor: "system",
+	}
+	eng, err := NewEngine(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &scenario{engine: eng, target: target, base: base, derived: derived, logger: logger}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := NewEngine(Target{}); err == nil {
+		t.Fatal("empty target accepted")
+	}
+}
+
+func TestReversiblyInaccessible(t *testing.T) {
+	s := buildScenario(t)
+	rep, err := s.engine.Erase("cc-1234", core.EraseReversiblyInaccessible)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Restorable {
+		t.Fatal("report not restorable")
+	}
+	if !s.engine.Inaccessible("cc-1234") {
+		t.Fatal("unit not marked inaccessible")
+	}
+	// Plaintext must not be readable through the data path.
+	if v, ok := s.target.Data.Get([]byte("cc-1234")); ok && bytes.Equal(v, []byte(secret)) {
+		t.Fatal("plaintext readable while inaccessible")
+	}
+	// Double-application is an error.
+	if _, err := s.engine.Erase("cc-1234", core.EraseReversiblyInaccessible); err == nil {
+		t.Fatal("second reversible erase accepted")
+	}
+	// Restore brings the plaintext back.
+	if err := s.engine.Restore("cc-1234"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s.target.Data.Get([]byte("cc-1234"))
+	if !ok || !bytes.Equal(v, []byte(secret)) {
+		t.Fatalf("restore lost the value: %q %v", v, ok)
+	}
+	if s.engine.Inaccessible("cc-1234") {
+		t.Fatal("unit still inaccessible after restore")
+	}
+	// History records both actions.
+	tuples := s.target.History.Of("cc-1234")
+	if len(tuples) != 2 || tuples[0].Action.Kind != core.ActionErase ||
+		tuples[1].Action.Kind != core.ActionRestore {
+		t.Fatalf("history = %v", tuples)
+	}
+}
+
+func TestRestoreRequiresInaccessible(t *testing.T) {
+	s := buildScenario(t)
+	if err := s.engine.Restore("cc-1234"); err == nil {
+		t.Fatal("restore of accessible unit accepted")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := buildScenario(t)
+	rep, err := s.engine.Erase("cc-1234", core.EraseDelete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.target.Data.Get([]byte("cc-1234")); ok {
+		t.Fatal("value readable after delete")
+	}
+	// Physically erased: vacuum removed the bytes.
+	if s.target.Data.ForensicScan([]byte(secret)) {
+		t.Fatal("forensic remnants after DELETE+VACUUM")
+	}
+	// Derived data survives (delete is not strong delete).
+	if _, ok := s.target.Data.Get([]byte("cc-last4")); !ok {
+		t.Fatal("derived unit damaged by plain delete")
+	}
+	if rep.PoliciesRevoked == 0 {
+		t.Fatal("policies not revoked")
+	}
+	if !s.base.Erased(s.target.Clock.Now()) {
+		t.Fatal("model unit not marked erased")
+	}
+	// Audit log untouched by plain delete.
+	if !s.logger.ContainsUnit("cc-1234") {
+		t.Fatal("plain delete should not scrub the audit log")
+	}
+}
+
+func TestStrongDelete(t *testing.T) {
+	s := buildScenario(t)
+	rep, err := s.engine.Erase("cc-1234", core.EraseStrongDelete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The identifiable dependent went too.
+	if len(rep.DependentsErased) != 1 || rep.DependentsErased[0] != "cc-last4" {
+		t.Fatalf("DependentsErased = %v", rep.DependentsErased)
+	}
+	if _, ok := s.target.Data.Get([]byte("cc-last4")); ok {
+		t.Fatal("identifiable dependent survives strong delete")
+	}
+	// The non-identifying aggregate survives.
+	if _, ok := s.target.Data.Get([]byte("spend-agg")); !ok {
+		t.Fatal("non-identifying aggregate wrongly deleted")
+	}
+	// Logs scrubbed, WAL scrubbed.
+	if s.logger.ContainsUnit("cc-1234") {
+		t.Fatal("audit entries survive strong delete")
+	}
+	if rep.LogEntriesErased != 3 {
+		t.Fatalf("LogEntriesErased = %d", rep.LogEntriesErased)
+	}
+	if rep.WALScrubbed != 1 {
+		t.Fatalf("WALScrubbed = %d", rep.WALScrubbed)
+	}
+	if s.target.WAL.ContainsKey(func(k []byte) bool { return bytes.Equal(k, []byte("cc-1234")) }) {
+		t.Fatal("WAL still references the unit")
+	}
+	if s.target.Data.ForensicScan([]byte(secret)) {
+		t.Fatal("forensic remnants after strong delete")
+	}
+}
+
+func TestPermanentDelete(t *testing.T) {
+	s := buildScenario(t)
+	rep, err := s.engine.Erase("cc-1234", core.ErasePermanentDelete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Sanitize.Verified || rep.Sanitize.Passes < 3 {
+		t.Fatalf("sanitize report = %+v", rep.Sanitize)
+	}
+	if !s.target.Data.VerifySanitized(0x00) {
+		t.Fatal("pages not sanitized")
+	}
+	// Provenance metadata gone too.
+	if _, ok := s.target.Prov.DerivationOf("cc-last4"); ok {
+		t.Fatal("provenance survives permanent delete")
+	}
+	// History records a sanitize action.
+	last, ok := s.target.History.Last("cc-1234")
+	if !ok || last.Action.Kind != core.ActionSanitize {
+		t.Fatalf("last action = %v, %v", last, ok)
+	}
+}
+
+func TestVerifyMatchesTable1ForAllInterpretations(t *testing.T) {
+	for _, interp := range core.ErasureInterpretations() {
+		t.Run(interp.String(), func(t *testing.T) {
+			s := buildScenario(t)
+			if _, err := s.engine.Erase("cc-1234", interp); err != nil {
+				t.Fatal(err)
+			}
+			props := s.engine.VerifyErased("cc-1234", []byte(secret))
+			row := ConformanceCheck(interp, props)
+			if !row.Conforms {
+				t.Fatalf("measured properties %+v do not conform to %v (want %+v)\nevidence: %v",
+					props.ErasureProperties, interp, row.Expected, props.Evidence)
+			}
+		})
+	}
+}
+
+func TestEraseInvalidInterpretation(t *testing.T) {
+	s := buildScenario(t)
+	if _, err := s.engine.Erase("cc-1234", core.ErasureInterpretation(99)); err == nil {
+		t.Fatal("invalid interpretation accepted")
+	}
+}
+
+func TestSchedulerWalksTimeline(t *testing.T) {
+	s := buildScenario(t)
+	sched := NewScheduler(s.engine)
+	tl := core.ErasureTimeline{
+		Collected: 0, TTLive: 100, TTDelete: 200, TTStrongDelete: 300, TTPermanent: 400,
+	}
+	if err := sched.Register("cc-1234", tl); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Register("cc-1234", tl); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+
+	// Before TT-Live: nothing happens.
+	if trs := sched.Advance(50); len(trs) != 0 {
+		t.Fatalf("transitions before TT-Live: %v", trs)
+	}
+	// At TT-Live: reversibly inaccessible.
+	trs := sched.Advance(150)
+	if len(trs) != 1 || trs[0].Stage != core.EraseReversiblyInaccessible || trs[0].Err != nil {
+		t.Fatalf("transitions = %+v", trs)
+	}
+	if st, ok := sched.Stage("cc-1234"); !ok || st != core.EraseReversiblyInaccessible {
+		t.Fatalf("stage = %v, %v", st, ok)
+	}
+	// Advance twice at the same logical stage: idempotent.
+	if trs := sched.Advance(160); len(trs) != 0 {
+		t.Fatalf("re-advance produced transitions: %v", trs)
+	}
+	// At TT-Delete: escalate to delete.
+	trs = sched.Advance(250)
+	if len(trs) != 1 || trs[0].Stage != core.EraseDelete || trs[0].Err != nil {
+		t.Fatalf("transitions = %+v", trs)
+	}
+	// Jump straight past TT-Permanent: walks strong then permanent.
+	trs = sched.Advance(450)
+	if len(trs) != 2 || trs[0].Stage != core.EraseStrongDelete || trs[1].Stage != core.ErasePermanentDelete {
+		t.Fatalf("transitions = %+v", trs)
+	}
+	if sched.Pending() != 0 {
+		t.Fatalf("Pending = %d", sched.Pending())
+	}
+	// Fully done: further advances are no-ops.
+	if trs := sched.Advance(999); len(trs) != 0 {
+		t.Fatalf("post-done transitions: %v", trs)
+	}
+}
+
+func TestSchedulerRejectsBadTimeline(t *testing.T) {
+	s := buildScenario(t)
+	sched := NewScheduler(s.engine)
+	bad := core.ErasureTimeline{TTLive: 10, TTDelete: 5, TTStrongDelete: 30, TTPermanent: 40}
+	if err := sched.Register("cc-1234", bad); err == nil {
+		t.Fatal("invalid timeline accepted")
+	}
+}
+
+func TestG17SatisfiedAfterScheduledErasure(t *testing.T) {
+	// End-to-end: a unit with a compliance-erase deadline, erased by the
+	// scheduler before the deadline, satisfies the G17 invariant.
+	s := buildScenario(t)
+	deadline := core.Time(1000)
+	if err := s.base.Grant(core.Policy{
+		Purpose: core.PurposeComplianceErase, Entity: "system", Begin: 0, End: deadline,
+	}, s.target.Clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.derived.Grant(core.Policy{
+		Purpose: core.PurposeComplianceErase, Entity: "system", Begin: 0, End: deadline,
+	}, s.target.Clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+
+	sched := NewScheduler(s.engine)
+	if err := sched.Register("cc-1234", core.ErasureTimeline{
+		Collected: 0, TTLive: 500, TTDelete: 600, TTStrongDelete: 700, TTPermanent: 800,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.target.Clock.SetAtLeast(700)
+	sched.Advance(700) // reaches strong delete (erases derived too)
+
+	inv := core.NewErasureDeadlineInvariant()
+	ctx := &core.CheckContext{
+		DB: s.target.DB, History: s.target.History,
+		Purposes: core.NewPurposeRegistry(), Now: 1500,
+	}
+	viols := inv.Check(ctx)
+	// spend-agg has no compliance-erase policy: exactly one violation
+	// expected, and none for cc-1234/cc-last4.
+	for _, v := range viols {
+		if v.Unit == "cc-1234" || v.Unit == "cc-last4" {
+			t.Fatalf("erased unit still violates G17: %v", v)
+		}
+	}
+}

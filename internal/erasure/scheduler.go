@@ -1,0 +1,148 @@
+package erasure
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/datacase/datacase/internal/core"
+)
+
+// Scheduler drives units along the Figure-3 erasure timeline: collected
+// → live until TT-Live → reversibly inaccessible until TT-Delete →
+// deleted until TT-StrongDelete → strongly deleted until
+// TT-PermanentDelete → permanently deleted. Callers register units with
+// their timelines and call Advance as logical time passes; the scheduler
+// escalates each unit's erasure to the stage its timeline demands.
+type Scheduler struct {
+	engine *Engine
+
+	mu      sync.Mutex
+	items   map[core.UnitID]core.ErasureTimeline
+	applied map[core.UnitID]core.ErasureInterpretation
+	done    map[core.UnitID]bool // reached permanent deletion
+}
+
+// NewScheduler returns a scheduler bound to the engine.
+func NewScheduler(engine *Engine) *Scheduler {
+	return &Scheduler{
+		engine:  engine,
+		items:   make(map[core.UnitID]core.ErasureTimeline),
+		applied: make(map[core.UnitID]core.ErasureInterpretation),
+		done:    make(map[core.UnitID]bool),
+	}
+}
+
+// Register adds a unit with its timeline.
+func (s *Scheduler) Register(unit core.UnitID, tl core.ErasureTimeline) error {
+	if err := tl.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.items[unit]; dup {
+		return fmt.Errorf("erasure: unit %q already scheduled", unit)
+	}
+	s.items[unit] = tl
+	return nil
+}
+
+// Transition records one stage escalation performed by Advance.
+type Transition struct {
+	Unit   core.UnitID
+	Stage  core.ErasureInterpretation
+	Report Report
+	Err    error
+}
+
+// Advance escalates every registered unit to the stage its timeline
+// demands at time now, in unit order. Stages are applied one at a time
+// (a unit far past TT-PermanentDelete still walks through delete and
+// strong delete, matching the timeline's cumulative semantics).
+func (s *Scheduler) Advance(now core.Time) []Transition {
+	s.mu.Lock()
+	units := make([]core.UnitID, 0, len(s.items))
+	for u := range s.items {
+		if !s.done[u] {
+			units = append(units, u)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(units, func(i, j int) bool { return units[i] < units[j] })
+
+	var out []Transition
+	for _, u := range units {
+		s.mu.Lock()
+		tl := s.items[u]
+		s.mu.Unlock()
+		target, due := tl.StageAt(now)
+		if !due {
+			continue
+		}
+		out = append(out, s.escalate(u, target)...)
+	}
+	return out
+}
+
+// escalate applies every stage between the unit's current and target
+// interpretation.
+func (s *Scheduler) escalate(unit core.UnitID, target core.ErasureInterpretation) []Transition {
+	var out []Transition
+	for {
+		s.mu.Lock()
+		cur, started := s.applied[unit]
+		s.mu.Unlock()
+		var next core.ErasureInterpretation
+		switch {
+		case !started:
+			next = core.EraseReversiblyInaccessible
+		case cur >= target:
+			return out
+		default:
+			next = cur + 1
+		}
+		if started && next > target {
+			return out
+		}
+		if !started && next > target {
+			// Cannot happen: reversible is the lowest stage.
+			return out
+		}
+		rep, err := s.engine.Erase(unit, next)
+		out = append(out, Transition{Unit: unit, Stage: next, Report: rep, Err: err})
+		s.mu.Lock()
+		s.applied[unit] = next
+		if next == core.ErasePermanentDelete {
+			s.done[unit] = true
+		}
+		s.mu.Unlock()
+		if err != nil {
+			return out
+		}
+		if next >= target {
+			return out
+		}
+	}
+}
+
+// Stage returns the unit's currently applied interpretation; ok is
+// false while the unit is still live.
+func (s *Scheduler) Stage(unit core.UnitID) (core.ErasureInterpretation, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.applied[unit]
+	return st, ok
+}
+
+// Pending returns the number of units not yet permanently deleted.
+func (s *Scheduler) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for u := range s.items {
+		if !s.done[u] {
+			n++
+		}
+	}
+	return n
+}

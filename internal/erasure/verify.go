@@ -1,0 +1,115 @@
+package erasure
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/datacase/datacase/internal/core"
+)
+
+// Properties is the measured (not asserted) characterization of an
+// erased unit — the verifier probes the system and reports what actually
+// holds, which is then compared against core.CharacteristicsOf to
+// demonstrate that an implementation realizes its claimed grounding
+// (Table 1 of the paper).
+type Properties struct {
+	core.ErasureProperties
+	// Evidence explains each finding for reports.
+	Evidence []string
+}
+
+// VerifyErased probes the target after the unit was erased and measures
+// the three §3.1 properties plus sanitization:
+//
+//   - IR (illegal reads): can the original plaintext still be read
+//     through the normal read path although no policy authorizes it?
+//   - II (illegal inference): does a live, invertible derivation of the
+//     unit remain, so the value can be reconstructed?
+//   - Inv (invertibility): can the controller recover the value — via a
+//     recoverable key, a restore action, or forensic remnants?
+//
+// original is the plaintext the unit held before erasure.
+func (e *Engine) VerifyErased(unit core.UnitID, original []byte) Properties {
+	var p Properties
+
+	// IR: normal read path returns the plaintext?
+	if stored, ok := e.t.Data.Get([]byte(unit)); ok {
+		if bytes.Equal(stored, original) {
+			p.IllegalReads = true
+			p.Evidence = append(p.Evidence, "plaintext readable through the data path")
+		} else {
+			p.Evidence = append(p.Evidence, "stored bytes present but not plaintext (sealed/marked)")
+		}
+	} else {
+		p.Evidence = append(p.Evidence, "no value on the data path")
+	}
+
+	// II: a live invertible derivation reconstructs the unit.
+	now := e.t.Clock.Now()
+	live := func(id core.UnitID) bool {
+		u, ok := e.t.DB.Lookup(id)
+		return ok && !u.Erased(now)
+	}
+	paths := e.t.Prov.InferencePaths(unit, live)
+	if len(paths) > 0 {
+		p.IllegalInference = true
+		for _, ip := range paths {
+			p.Evidence = append(p.Evidence,
+				fmt.Sprintf("reconstructible from live unit %q via %s", ip.Via, ip.Through))
+		}
+	} else {
+		p.Evidence = append(p.Evidence, "no live invertible derivation remains")
+	}
+
+	// Inv: the transformation can be reversed by the controller.
+	switch {
+	case e.Inaccessible(unit) && e.t.Keys.Locked(string(unit)):
+		p.Invertible = true
+		p.Evidence = append(p.Evidence, "locked key can be unlocked; Restore recovers the value")
+	case e.t.Keys.Has(string(unit)):
+		p.Invertible = true
+		p.Evidence = append(p.Evidence, "live key still exists")
+	case len(original) > 0 && e.t.Data.ForensicScan(original):
+		p.Invertible = true
+		p.Evidence = append(p.Evidence, "forensic remnants of the plaintext in page images")
+	default:
+		p.Evidence = append(p.Evidence, "no key, no remnants: transformation not invertible")
+	}
+
+	// Sanitized: every non-live byte verifies as zeroed.
+	if e.t.Data.VerifySanitized(0x00) {
+		p.Sanitized = true
+		p.Evidence = append(p.Evidence, "free space verifies sanitized (0x00)")
+	}
+	return p
+}
+
+// Table1Row is one row of the paper's Table 1, measured on a live system.
+type Table1Row struct {
+	Interpretation core.ErasureInterpretation
+	Measured       Properties
+	Expected       core.ErasureProperties
+	SystemActions  string
+	// Conforms reports whether measured IR/II/Inv match the grounding's
+	// declared characteristics.
+	Conforms bool
+}
+
+// ConformanceCheck compares measured properties against the declared
+// characteristics of the interpretation.
+func ConformanceCheck(interp core.ErasureInterpretation, measured Properties) Table1Row {
+	want := core.CharacteristicsOf(interp)
+	conforms := measured.IllegalReads == want.IllegalReads &&
+		measured.IllegalInference == want.IllegalInference &&
+		measured.Invertible == want.Invertible
+	if interp == core.ErasePermanentDelete {
+		conforms = conforms && measured.Sanitized
+	}
+	return Table1Row{
+		Interpretation: interp,
+		Measured:       measured,
+		Expected:       want,
+		SystemActions:  core.PSQLSystemActions(interp),
+		Conforms:       conforms,
+	}
+}

@@ -1,0 +1,249 @@
+// Package gdprbench reimplements the GDPRBench workload model [68] the
+// paper evaluates with: GDPR-shaped records (personal data enriched with
+// compliance metadata) and the three workloads
+//
+//   - Controller  (WCon): 25% create, 25% delete, 50% metadata updates;
+//   - Processor   (WPro): 80% reads of data by key, 20% reads of data
+//     using metadata (purpose-predicate scans);
+//   - Customer    (WCus): 20% each of data reads, data updates, data
+//     deletes, metadata reads and metadata updates.
+//
+// Records are enriched with Mall-dataset payloads (package mall), as in
+// §4.2 of the paper. Generators are deterministic for a given seed.
+package gdprbench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/datacase/datacase/internal/mall"
+)
+
+// OpKind is a workload operation type.
+type OpKind uint8
+
+// The GDPRBench operation vocabulary.
+const (
+	// OpCreate inserts a new record with fresh metadata.
+	OpCreate OpKind = iota
+	// OpReadData reads a record's personal data by key.
+	OpReadData
+	// OpUpdateData overwrites a record's personal data.
+	OpUpdateData
+	// OpDeleteData exercises the right to erasure on a record.
+	OpDeleteData
+	// OpReadMeta reads a record's compliance metadata (policies, TTL).
+	OpReadMeta
+	// OpUpdateMeta changes a record's metadata (e.g. TTL, consent).
+	OpUpdateMeta
+	// OpReadByMeta reads data using metadata: scan records whose
+	// metadata matches a purpose predicate.
+	OpReadByMeta
+)
+
+var opKindNames = [...]string{
+	OpCreate:     "create",
+	OpReadData:   "read-data",
+	OpUpdateData: "update-data",
+	OpDeleteData: "delete-data",
+	OpReadMeta:   "read-meta",
+	OpUpdateMeta: "update-meta",
+	OpReadByMeta: "read-by-meta",
+}
+
+// String returns the operation name.
+func (k OpKind) String() string {
+	if int(k) < len(opKindNames) {
+		return opKindNames[k]
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// Op is one generated operation.
+type Op struct {
+	Kind OpKind
+	// Key is the record key the op targets (empty for OpReadByMeta).
+	Key string
+	// Payload is the personal data for creates/updates.
+	Payload []byte
+	// Purpose is the predicate purpose for OpReadByMeta and the new
+	// purpose for OpUpdateMeta.
+	Purpose string
+	// NewTTL is the metadata update's new TTL (for OpUpdateMeta).
+	NewTTL int64
+}
+
+// Record is a GDPRBench record: personal data plus GDPR metadata.
+type Record struct {
+	Key string
+	// Subject is the data subject the record identifies.
+	Subject string
+	// Payload is the personal data (a mall observation).
+	Payload []byte
+	// Purposes the data was collected for.
+	Purposes []string
+	// TTL is the retention deadline (logical time units from creation).
+	TTL int64
+	// Processors allowed to access the record.
+	Processors []string
+	// Objected marks a data subject's objection to processing (G21).
+	Objected bool
+}
+
+// Purposes used by the generated records.
+var Purposes = []string{"billing", "analytics", "advertising", "service", "research"}
+
+// Processors used by the generated records.
+var Processors = []string{"processor-a", "processor-b"}
+
+// WorkloadName identifies one of the paper's workload mixes.
+type WorkloadName string
+
+// The three GDPRBench workloads.
+const (
+	Controller WorkloadName = "WCon"
+	Processor  WorkloadName = "WPro"
+	Customer   WorkloadName = "WCus"
+)
+
+// mix returns the cumulative operation distribution of a workload.
+type opWeight struct {
+	kind   OpKind
+	weight int
+}
+
+func mixOf(w WorkloadName) ([]opWeight, error) {
+	switch w {
+	case Controller:
+		return []opWeight{
+			{OpCreate, 25}, {OpDeleteData, 25}, {OpUpdateMeta, 50},
+		}, nil
+	case Processor:
+		return []opWeight{
+			{OpReadData, 80}, {OpReadByMeta, 20},
+		}, nil
+	case Customer:
+		return []opWeight{
+			{OpReadData, 20}, {OpUpdateData, 20}, {OpDeleteData, 20},
+			{OpReadMeta, 20}, {OpUpdateMeta, 20},
+		}, nil
+	default:
+		return nil, fmt.Errorf("gdprbench: unknown workload %q", w)
+	}
+}
+
+// Generator produces the initial dataset and the operation stream for
+// one workload.
+type Generator struct {
+	workload WorkloadName
+	mix      []opWeight
+	rng      *rand.Rand
+	payloads *mall.Generator
+	// records is the number of pre-loaded records; creates extend it.
+	records int
+	nextKey int
+}
+
+// NewGenerator builds a generator for the workload over an initial
+// dataset of `records` records.
+func NewGenerator(w WorkloadName, records int, seed int64) (*Generator, error) {
+	mix, err := mixOf(w)
+	if err != nil {
+		return nil, err
+	}
+	if records <= 0 {
+		return nil, fmt.Errorf("gdprbench: records must be positive")
+	}
+	payloads, err := mall.NewGenerator(seed+1, records, 64)
+	if err != nil {
+		return nil, err
+	}
+	return &Generator{
+		workload: w,
+		mix:      mix,
+		rng:      rand.New(rand.NewSource(seed)),
+		payloads: payloads,
+		records:  records,
+		nextKey:  records,
+	}, nil
+}
+
+// Workload returns the workload name.
+func (g *Generator) Workload() WorkloadName { return g.workload }
+
+// KeyFor renders the record key for an index.
+func KeyFor(i int) string { return fmt.Sprintf("user%08d", i) }
+
+// Load returns the initial dataset: `records` GDPR records with mall
+// payloads, round-robin purposes and processors, and TTLs spread over
+// [ttlMin, ttlMax).
+func (g *Generator) Load(ttlMin, ttlMax int64) []Record {
+	out := make([]Record, g.records)
+	for i := range out {
+		ttl := ttlMin
+		if ttlMax > ttlMin {
+			ttl += g.rng.Int63n(ttlMax - ttlMin)
+		}
+		out[i] = Record{
+			Key:        KeyFor(i),
+			Subject:    fmt.Sprintf("person-%05d", i%100000),
+			Payload:    g.payloads.PayloadFor(i % 100000),
+			Purposes:   []string{Purposes[i%len(Purposes)], Purposes[(i+1)%len(Purposes)]},
+			TTL:        ttl,
+			Processors: []string{Processors[i%len(Processors)]},
+			Objected:   g.rng.Intn(100) == 0,
+		}
+	}
+	return out
+}
+
+// Next generates the next operation.
+func (g *Generator) Next() Op {
+	r := g.rng.Intn(100)
+	acc := 0
+	kind := g.mix[len(g.mix)-1].kind
+	for _, w := range g.mix {
+		acc += w.weight
+		if r < acc {
+			kind = w.kind
+			break
+		}
+	}
+	switch kind {
+	case OpCreate:
+		key := KeyFor(g.nextKey)
+		person := g.nextKey % 100000
+		g.nextKey++
+		return Op{Kind: OpCreate, Key: key, Payload: g.payloads.PayloadFor(person),
+			Purpose: Purposes[g.rng.Intn(len(Purposes))]}
+	case OpReadData, OpReadMeta, OpDeleteData:
+		return Op{Kind: kind, Key: g.randomKey()}
+	case OpUpdateData:
+		k := g.randomKey()
+		return Op{Kind: kind, Key: k, Payload: g.payloads.PayloadFor(g.rng.Intn(100000))}
+	case OpUpdateMeta:
+		return Op{Kind: kind, Key: g.randomKey(),
+			Purpose: Purposes[g.rng.Intn(len(Purposes))],
+			NewTTL:  int64(g.rng.Intn(1 << 20))}
+	case OpReadByMeta:
+		return Op{Kind: kind, Purpose: Purposes[g.rng.Intn(len(Purposes))]}
+	default:
+		panic("gdprbench: unreachable")
+	}
+}
+
+// randomKey picks uniformly over all keys ever created. Keys already
+// deleted may be drawn — the paper's benchmark behaves the same way and
+// systems must pay the lookup cost either way.
+func (g *Generator) randomKey() string {
+	return KeyFor(g.rng.Intn(g.nextKey))
+}
+
+// Ops generates n operations.
+func (g *Generator) Ops(n int) []Op {
+	out := make([]Op, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package gdprbench
+
+import (
+	"testing"
+)
+
+func countKinds(ops []Op) map[OpKind]int {
+	m := make(map[OpKind]int)
+	for _, op := range ops {
+		m[op.Kind]++
+	}
+	return m
+}
+
+func approx(t *testing.T, got, want, n int, label string) {
+	t.Helper()
+	tol := n / 20 // ±5%
+	if got < want-tol || got > want+tol {
+		t.Errorf("%s: got %d ops, want ~%d (±%d)", label, got, want, tol)
+	}
+}
+
+func TestCustomerMix(t *testing.T) {
+	g, err := NewGenerator(Customer, 1000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	kinds := countKinds(g.Ops(n))
+	approx(t, kinds[OpReadData], n/5, n, "read-data")
+	approx(t, kinds[OpUpdateData], n/5, n, "update-data")
+	approx(t, kinds[OpDeleteData], n/5, n, "delete-data")
+	approx(t, kinds[OpReadMeta], n/5, n, "read-meta")
+	approx(t, kinds[OpUpdateMeta], n/5, n, "update-meta")
+	if kinds[OpCreate] != 0 || kinds[OpReadByMeta] != 0 {
+		t.Errorf("unexpected ops in WCus: %v", kinds)
+	}
+}
+
+func TestProcessorMix(t *testing.T) {
+	g, err := NewGenerator(Processor, 1000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	kinds := countKinds(g.Ops(n))
+	approx(t, kinds[OpReadData], n*80/100, n, "read-data")
+	approx(t, kinds[OpReadByMeta], n*20/100, n, "read-by-meta")
+	if kinds[OpDeleteData] != 0 || kinds[OpCreate] != 0 {
+		t.Errorf("unexpected ops in WPro: %v", kinds)
+	}
+}
+
+func TestControllerMix(t *testing.T) {
+	g, err := NewGenerator(Controller, 1000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	kinds := countKinds(g.Ops(n))
+	approx(t, kinds[OpCreate], n/4, n, "create")
+	approx(t, kinds[OpDeleteData], n/4, n, "delete-data")
+	approx(t, kinds[OpUpdateMeta], n/2, n, "update-meta")
+}
+
+func TestLoadDeterministic(t *testing.T) {
+	g1, _ := NewGenerator(Customer, 100, 7)
+	g2, _ := NewGenerator(Customer, 100, 7)
+	l1, l2 := g1.Load(100, 1000), g2.Load(100, 1000)
+	if len(l1) != 100 || len(l2) != 100 {
+		t.Fatalf("load sizes %d %d", len(l1), len(l2))
+	}
+	for i := range l1 {
+		if l1[i].Key != l2[i].Key || string(l1[i].Payload) != string(l2[i].Payload) ||
+			l1[i].TTL != l2[i].TTL {
+			t.Fatalf("load not deterministic at %d", i)
+		}
+	}
+}
+
+func TestLoadRecordsWellFormed(t *testing.T) {
+	g, _ := NewGenerator(Customer, 500, 7)
+	for i, r := range g.Load(10, 20) {
+		if r.Key != KeyFor(i) {
+			t.Fatalf("record %d key = %q", i, r.Key)
+		}
+		if r.Subject == "" || len(r.Payload) == 0 {
+			t.Fatalf("record %d incomplete: %+v", i, r)
+		}
+		if len(r.Purposes) != 2 || r.Purposes[0] == r.Purposes[1] {
+			t.Fatalf("record %d purposes = %v", i, r.Purposes)
+		}
+		if r.TTL < 10 || r.TTL >= 20 {
+			t.Fatalf("record %d TTL = %d", i, r.TTL)
+		}
+		if len(r.Processors) != 1 {
+			t.Fatalf("record %d processors = %v", i, r.Processors)
+		}
+	}
+}
+
+func TestCreateExtendsKeySpace(t *testing.T) {
+	g, _ := NewGenerator(Controller, 100, 7)
+	maxBefore := g.nextKey
+	var sawCreate bool
+	for _, op := range g.Ops(200) {
+		if op.Kind == OpCreate {
+			sawCreate = true
+			if op.Key == "" || len(op.Payload) == 0 {
+				t.Fatalf("create op incomplete: %+v", op)
+			}
+		}
+	}
+	if !sawCreate {
+		t.Fatal("no creates in WCon")
+	}
+	if g.nextKey <= maxBefore {
+		t.Fatal("creates did not extend the key space")
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	if _, err := NewGenerator("bogus", 100, 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := NewGenerator(Customer, 0, 1); err == nil {
+		t.Fatal("zero records accepted")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpCreate.String() != "create" || OpReadByMeta.String() != "read-by-meta" {
+		t.Fatal("op names wrong")
+	}
+}

@@ -1,0 +1,90 @@
+// Package mall generates the synthetic personal-data payloads the paper
+// uses to enrich GDPRBench records: "simulated data generated from
+// personal devices in a shopping complex", each record carrying a
+// personal-data id and a recorded date/time in the style of the
+// SmartBench simulator [35]. The generator is deterministic for a given
+// seed.
+package mall
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Observation is one device sighting in the shopping complex.
+type Observation struct {
+	// DeviceID is the personal device observed (ties to a person).
+	DeviceID string
+	// PersonID is the data subject carrying the device.
+	PersonID string
+	// SensorID is the observing sensor (WiFi AP / camera / beacon).
+	SensorID string
+	// Store is the shop or zone where the observation happened.
+	Store string
+	// At is the observation time (seconds since the epoch of the run).
+	At int64
+	// DwellSeconds is how long the device stayed in range.
+	DwellSeconds int
+}
+
+// Encode renders the observation as a compact record payload.
+func (o Observation) Encode() []byte {
+	return []byte(fmt.Sprintf("%s|%s|%s|%s|%d|%d",
+		o.DeviceID, o.PersonID, o.SensorID, o.Store, o.At, o.DwellSeconds))
+}
+
+var storeNames = []string{
+	"food-court", "electronics", "apparel", "grocery", "pharmacy",
+	"bookstore", "cinema", "parking-a", "parking-b", "atrium",
+}
+
+// Generator produces deterministic observations.
+type Generator struct {
+	rng     *rand.Rand
+	persons int
+	sensors int
+	now     int64
+}
+
+// NewGenerator returns a generator over the given population. persons
+// and sensors must be positive.
+func NewGenerator(seed int64, persons, sensors int) (*Generator, error) {
+	if persons <= 0 || sensors <= 0 {
+		return nil, fmt.Errorf("mall: persons and sensors must be positive")
+	}
+	return &Generator{
+		rng:     rand.New(rand.NewSource(seed)),
+		persons: persons,
+		sensors: sensors,
+	}, nil
+}
+
+// Next returns the next observation. Time advances by 1-30 seconds per
+// observation, so a run covers a realistic visit timeline.
+func (g *Generator) Next() Observation {
+	g.now += int64(g.rng.Intn(30) + 1)
+	person := g.rng.Intn(g.persons)
+	return Observation{
+		DeviceID:     fmt.Sprintf("dev-%05d", person), // one device per person
+		PersonID:     fmt.Sprintf("person-%05d", person),
+		SensorID:     fmt.Sprintf("sensor-%03d", g.rng.Intn(g.sensors)),
+		Store:        storeNames[g.rng.Intn(len(storeNames))],
+		At:           g.now,
+		DwellSeconds: g.rng.Intn(600),
+	}
+}
+
+// PayloadFor returns a deterministic observation payload for a specific
+// person (used when each benchmark record must belong to one subject).
+func (g *Generator) PayloadFor(person int) []byte {
+	g.now += int64(g.rng.Intn(30) + 1)
+	o := Observation{
+		DeviceID:     fmt.Sprintf("dev-%05d", person),
+		PersonID:     fmt.Sprintf("person-%05d", person),
+		SensorID:     fmt.Sprintf("sensor-%03d", g.rng.Intn(g.sensors)),
+		Store:        storeNames[g.rng.Intn(len(storeNames))],
+		At:           g.now,
+		DwellSeconds: g.rng.Intn(600),
+	}
+	return o.Encode()
+}

@@ -1,0 +1,86 @@
+package mall
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(1, 0, 5); err == nil {
+		t.Fatal("zero persons accepted")
+	}
+	if _, err := NewGenerator(1, 5, 0); err == nil {
+		t.Fatal("zero sensors accepted")
+	}
+}
+
+func TestNextAdvancesTime(t *testing.T) {
+	g, err := NewGenerator(42, 100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := int64(-1)
+	for i := 0; i < 1000; i++ {
+		o := g.Next()
+		if o.At <= prev {
+			t.Fatalf("time did not advance: %d then %d", prev, o.At)
+		}
+		prev = o.At
+		if o.DeviceID == "" || o.PersonID == "" || o.SensorID == "" || o.Store == "" {
+			t.Fatalf("incomplete observation: %+v", o)
+		}
+		if o.DwellSeconds < 0 || o.DwellSeconds >= 600 {
+			t.Fatalf("dwell out of range: %d", o.DwellSeconds)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g1, _ := NewGenerator(7, 50, 4)
+	g2, _ := NewGenerator(7, 50, 4)
+	for i := 0; i < 200; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a != b {
+			t.Fatalf("not deterministic at %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestEncodeFields(t *testing.T) {
+	o := Observation{
+		DeviceID: "dev-00001", PersonID: "person-00001",
+		SensorID: "sensor-003", Store: "atrium", At: 99, DwellSeconds: 42,
+	}
+	enc := string(o.Encode())
+	parts := strings.Split(enc, "|")
+	if len(parts) != 6 {
+		t.Fatalf("encoded fields = %d: %q", len(parts), enc)
+	}
+	if parts[0] != "dev-00001" || parts[3] != "atrium" || parts[5] != "42" {
+		t.Fatalf("encoded = %q", enc)
+	}
+}
+
+func TestPayloadForTiesToPerson(t *testing.T) {
+	g, _ := NewGenerator(1, 100, 4)
+	p := g.PayloadFor(7)
+	if !bytes.Contains(p, []byte("person-00007")) || !bytes.Contains(p, []byte("dev-00007")) {
+		t.Fatalf("payload does not identify person 7: %q", p)
+	}
+}
+
+func TestPersonAndSensorRanges(t *testing.T) {
+	g, _ := NewGenerator(3, 10, 2)
+	seenPersons := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		o := g.Next()
+		seenPersons[o.PersonID] = true
+		if !strings.HasPrefix(o.SensorID, "sensor-00") {
+			t.Fatalf("sensor out of range: %s", o.SensorID)
+		}
+	}
+	if len(seenPersons) != 10 {
+		t.Fatalf("saw %d persons, want all 10", len(seenPersons))
+	}
+}

@@ -1,0 +1,99 @@
+// Package policy implements the three access-control engines behind the
+// paper's GDPR-compliance profiles (§4.2):
+//
+//   - RBAC (P_Base): role-based access control with roles, role
+//     attributes and role memberships — coarse, table-level, cheap.
+//   - MetaStore (P_GBench): policies and other metadata live in a table
+//     separate from the personal data, so every access performs a join
+//     against the policy table.
+//   - Sieve (P_SYS): fine-grained access control in the style of the
+//     Sieve middleware [51], with per-unit guarded policies and a policy
+//     index over (purpose, entity) to scale to large policy counts.
+//
+// All three implement Engine; the compliance profiles differ only in
+// which engine (and logger, cipher, erasure grounding) they compose.
+package policy
+
+import (
+	"fmt"
+
+	"github.com/datacase/datacase/internal/core"
+)
+
+// Request is one access to adjudicate: entity wants to perform an action
+// on a unit for a purpose at a time.
+type Request struct {
+	Unit    core.UnitID
+	Subject core.EntityID // the unit's data subject (guards inspect it)
+	Entity  core.EntityID
+	Purpose core.Purpose
+	Action  core.ActionKind
+	At      core.Time
+}
+
+// Decision is the outcome of adjudication.
+type Decision struct {
+	Allowed bool
+	// Reason explains a denial (empty on allow).
+	Reason string
+}
+
+// Allow is the affirmative decision.
+func Allow() Decision { return Decision{Allowed: true} }
+
+// Deny builds a denial with a formatted reason.
+func Deny(format string, args ...any) Decision {
+	return Decision{Reason: fmt.Sprintf(format, args...)}
+}
+
+// Stats count adjudication work.
+type Stats struct {
+	Checks          uint64
+	Allowed         uint64
+	Denied          uint64
+	PoliciesScanned uint64
+	GuardsEvaluated uint64
+	IndexHits       uint64
+}
+
+// Engine adjudicates access requests against stored policies. Engines
+// are safe for concurrent use.
+type Engine interface {
+	// Name identifies the engine ("rbac", "metastore", "sieve").
+	Name() string
+	// AttachPolicy registers a policy for a unit owned by subject.
+	AttachPolicy(unit core.UnitID, subject core.EntityID, p core.Policy) error
+	// AttachPolicies registers several policies at once (the initial
+	// consent bundle at collection time). Engines that store policies
+	// physically batch the write.
+	AttachPolicies(unit core.UnitID, subject core.EntityID, pols []core.Policy) error
+	// RevokePolicies removes every policy of the unit (erasure path);
+	// it returns how many were removed.
+	RevokePolicies(unit core.UnitID) int
+	// RevokePolicy removes the unit's policies matching (purpose,
+	// entity) — consent withdrawal, G7(3) — returning how many were
+	// removed. Engines whose granularity cannot express per-unit
+	// revocation (RBAC) return 0; the imprecision is the grounding's.
+	RevokePolicy(unit core.UnitID, purpose core.Purpose, entity core.EntityID) int
+	// Allow adjudicates a request.
+	Allow(req Request) Decision
+	// SpaceBytes is the engine's metadata footprint (Table 2).
+	SpaceBytes() int64
+	// Stats returns a snapshot of the work counters.
+	Stats() Stats
+}
+
+// PolicyLister is implemented by engines that can enumerate a unit's
+// stored policies (used by groundings that log policy snapshots with
+// every operation, like P_SYS's demonstrable accountability).
+type PolicyLister interface {
+	PoliciesOf(unit core.UnitID) []core.Policy
+}
+
+// encodedPolicySize approximates the serialized size of a policy row:
+// purpose + entity + two timestamps + row overhead. MetaStore stores
+// policies physically, so it measures real bytes; RBAC and Sieve use
+// this for their in-memory structures.
+func encodedPolicySize(p core.Policy) int64 {
+	return int64(len(p.Purpose) + len(p.Entity) + 16 + 8)
+}

@@ -1,0 +1,204 @@
+package policy
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/datacase/datacase/internal/core"
+	"github.com/datacase/datacase/internal/storage/heap"
+)
+
+// MetaStore keeps policies in a heap table separate from the personal
+// data (the P_GBench grounding), one metadata row per unit holding that
+// unit's policy list — the layout GDPRBench uses. Every adjudication
+// performs a join: fetch the unit's metadata row and decode its policies.
+// The policy table plus its index are real, measurable storage, and
+// policy changes rewrite the row (MVCC churn in the metadata table).
+type MetaStore struct {
+	table *heap.Table
+	stats engineStats
+}
+
+// NewMetaStore returns an engine backed by a fresh policy table.
+func NewMetaStore() *MetaStore {
+	return &MetaStore{table: heap.NewTable("policies", nil)}
+}
+
+// Name implements Engine.
+func (m *MetaStore) Name() string { return "metastore" }
+
+// encodePolicy appends one serialized policy to buf:
+// [purposeLen u8][purpose][entityLen u8][entity][begin u64][end u64]
+func encodePolicy(buf []byte, p core.Policy) []byte {
+	buf = append(buf, byte(len(p.Purpose)))
+	buf = append(buf, p.Purpose...)
+	buf = append(buf, byte(len(p.Entity)))
+	buf = append(buf, p.Entity...)
+	var b8 [8]byte
+	binary.BigEndian.PutUint64(b8[:], uint64(p.Begin))
+	buf = append(buf, b8[:]...)
+	binary.BigEndian.PutUint64(b8[:], uint64(p.End))
+	buf = append(buf, b8[:]...)
+	return buf
+}
+
+// decodePolicies walks the policy list in a metadata row, invoking fn
+// for each policy until fn returns false.
+func decodePolicies(buf []byte, fn func(core.Policy) bool) error {
+	for len(buf) > 0 {
+		var p core.Policy
+		n := int(buf[0])
+		buf = buf[1:]
+		if len(buf) < n+1 {
+			return fmt.Errorf("policy: truncated purpose")
+		}
+		p.Purpose = core.Purpose(buf[:n])
+		buf = buf[n:]
+		n = int(buf[0])
+		buf = buf[1:]
+		if len(buf) < n+16 {
+			return fmt.Errorf("policy: truncated entity/timestamps")
+		}
+		p.Entity = core.EntityID(buf[:n])
+		buf = buf[n:]
+		p.Begin = core.Time(binary.BigEndian.Uint64(buf[:8]))
+		p.End = core.Time(binary.BigEndian.Uint64(buf[8:16]))
+		buf = buf[16:]
+		if !fn(p) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// countPolicies returns the number of policies in a row.
+func countPolicies(buf []byte) int {
+	n := 0
+	// Errors are impossible on rows this store wrote.
+	_ = decodePolicies(buf, func(core.Policy) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// AttachPolicy implements Engine: read-modify-write of the unit's
+// metadata row.
+func (m *MetaStore) AttachPolicy(unit core.UnitID, subject core.EntityID, p core.Policy) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	key := []byte(unit)
+	row, ok := m.table.Get(key)
+	row = encodePolicy(row, p)
+	if ok {
+		_, err := m.table.Update(key, row)
+		return err
+	}
+	_, err := m.table.Insert(key, row)
+	return err
+}
+
+// AttachPolicies implements Engine: the whole consent bundle is written
+// as one metadata row (GDPRBench's collection-time layout), avoiding a
+// row rewrite per policy.
+func (m *MetaStore) AttachPolicies(unit core.UnitID, subject core.EntityID, pols []core.Policy) error {
+	var row []byte
+	for _, p := range pols {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		row = encodePolicy(row, p)
+	}
+	key := []byte(unit)
+	if old, ok := m.table.Get(key); ok {
+		_, err := m.table.Update(key, append(old, row...))
+		return err
+	}
+	_, err := m.table.Insert(key, row)
+	return err
+}
+
+// RevokePolicies implements Engine: delete the unit's metadata row.
+func (m *MetaStore) RevokePolicies(unit core.UnitID) int {
+	key := []byte(unit)
+	row, ok := m.table.Get(key)
+	if !ok {
+		return 0
+	}
+	n := countPolicies(row)
+	// Delete only fails on absence, checked above.
+	_ = m.table.Delete(key)
+	return n
+}
+
+// RevokePolicy implements Engine: rewrite the unit's metadata row
+// without the matching policies.
+func (m *MetaStore) RevokePolicy(unit core.UnitID, purpose core.Purpose, entity core.EntityID) int {
+	key := []byte(unit)
+	row, ok := m.table.Get(key)
+	if !ok {
+		return 0
+	}
+	var kept []byte
+	removed := 0
+	// Row was written by this store; decode cannot fail.
+	_ = decodePolicies(row, func(p core.Policy) bool {
+		if p.Purpose == purpose && p.Entity == entity {
+			removed++
+		} else {
+			kept = encodePolicy(kept, p)
+		}
+		return true
+	})
+	if removed == 0 {
+		return 0
+	}
+	if len(kept) == 0 {
+		_ = m.table.Delete(key)
+	} else if _, err := m.table.Update(key, kept); err != nil {
+		return 0
+	}
+	return removed
+}
+
+// Allow implements Engine: the join — fetch the unit's metadata row and
+// scan its policy list.
+func (m *MetaStore) Allow(req Request) Decision {
+	m.stats.checks.Add(1)
+	row, ok := m.table.Get([]byte(req.Unit))
+	if !ok {
+		m.stats.denied.Add(1)
+		return Deny("metastore: no metadata row for %s", req.Unit)
+	}
+	allowed := false
+	// Row was written by this store; decode cannot fail.
+	_ = decodePolicies(row, func(p core.Policy) bool {
+		m.stats.policiesScanned.Add(1)
+		if p.Purpose == req.Purpose && p.Entity == req.Entity && p.ActiveAt(req.At) {
+			allowed = true
+			return false
+		}
+		return true
+	})
+	if allowed {
+		m.stats.allowed.Add(1)
+		return Allow()
+	}
+	m.stats.denied.Add(1)
+	return Deny("metastore: no policy row for (%s, %s, %s) on %s",
+		req.Purpose, req.Entity, req.At, req.Unit)
+}
+
+// SpaceBytes implements Engine: the real footprint of the policy table
+// plus its index.
+func (m *MetaStore) SpaceBytes() int64 {
+	sp := m.table.Space()
+	return sp.TotalBytes + sp.IndexBytes
+}
+
+// Vacuum reclaims dead policy rows (the profile's maintenance hook).
+func (m *MetaStore) Vacuum() { m.table.Vacuum() }
+
+// Stats implements Engine.
+func (m *MetaStore) Stats() Stats { return m.stats.snapshot() }

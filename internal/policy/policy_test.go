@@ -1,0 +1,359 @@
+package policy
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/datacase/datacase/internal/core"
+)
+
+func pol(purpose core.Purpose, entity core.EntityID, b, e core.Time) core.Policy {
+	return core.Policy{Purpose: purpose, Entity: entity, Begin: b, End: e}
+}
+
+func req(unit core.UnitID, entity core.EntityID, purpose core.Purpose, at core.Time) Request {
+	return Request{
+		Unit: unit, Subject: "subject-1", Entity: entity,
+		Purpose: purpose, Action: core.ActionRead, At: at,
+	}
+}
+
+// engineContract exercises behaviour every engine must share.
+func engineContract(t *testing.T, mk func() Engine) {
+	t.Helper()
+
+	t.Run("allow_matching", func(t *testing.T) {
+		e := mk()
+		if err := e.AttachPolicy("u1", "subject-1", pol("billing", "netflix", 1, 100)); err != nil {
+			t.Fatal(err)
+		}
+		d := e.Allow(req("u1", "netflix", "billing", 50))
+		if !d.Allowed {
+			t.Fatalf("denied: %s", d.Reason)
+		}
+	})
+
+	t.Run("deny_wrong_purpose", func(t *testing.T) {
+		e := mk()
+		if err := e.AttachPolicy("u1", "subject-1", pol("billing", "netflix", 1, 100)); err != nil {
+			t.Fatal(err)
+		}
+		if d := e.Allow(req("u1", "netflix", "ads", 50)); d.Allowed {
+			t.Fatal("wrong purpose allowed")
+		}
+	})
+
+	t.Run("deny_wrong_entity", func(t *testing.T) {
+		e := mk()
+		if err := e.AttachPolicy("u1", "subject-1", pol("billing", "netflix", 1, 100)); err != nil {
+			t.Fatal(err)
+		}
+		if d := e.Allow(req("u1", "broker", "billing", 50)); d.Allowed {
+			t.Fatal("wrong entity allowed")
+		}
+	})
+
+	t.Run("deny_expired_window", func(t *testing.T) {
+		e := mk()
+		if err := e.AttachPolicy("u1", "subject-1", pol("billing", "netflix", 1, 100)); err != nil {
+			t.Fatal(err)
+		}
+		if d := e.Allow(req("u1", "netflix", "billing", 200)); d.Allowed {
+			t.Fatal("expired window allowed")
+		}
+	})
+
+	t.Run("deny_no_policies", func(t *testing.T) {
+		e := mk()
+		if d := e.Allow(req("u1", "netflix", "billing", 50)); d.Allowed {
+			t.Fatal("empty engine allowed")
+		}
+	})
+
+	t.Run("reject_invalid_policy", func(t *testing.T) {
+		e := mk()
+		if err := e.AttachPolicy("u1", "s", core.Policy{}); err == nil {
+			t.Fatal("invalid policy accepted")
+		}
+	})
+
+	t.Run("stats_counted", func(t *testing.T) {
+		e := mk()
+		if err := e.AttachPolicy("u1", "subject-1", pol("billing", "netflix", 1, 100)); err != nil {
+			t.Fatal(err)
+		}
+		e.Allow(req("u1", "netflix", "billing", 50))
+		e.Allow(req("u1", "broker", "billing", 50))
+		st := e.Stats()
+		if st.Checks != 2 || st.Allowed != 1 || st.Denied != 1 {
+			t.Fatalf("stats = %+v", st)
+		}
+	})
+}
+
+func TestRBACContract(t *testing.T) {
+	engineContract(t, func() Engine { return NewRBAC() })
+}
+
+func TestMetaStoreContract(t *testing.T) {
+	engineContract(t, func() Engine { return NewMetaStore() })
+}
+
+func TestSieveContract(t *testing.T) {
+	engineContract(t, func() Engine { return NewSieve() })
+}
+
+func TestRBACCoarseness(t *testing.T) {
+	// The defining imprecision of RBAC: a policy attached for one unit
+	// grants the (entity, purpose) pair on *every* unit.
+	e := NewRBAC()
+	if err := e.AttachPolicy("u1", "s1", pol("billing", "netflix", 1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if d := e.Allow(req("u-other", "netflix", "billing", 50)); !d.Allowed {
+		t.Fatal("RBAC should be table-level (coarse)")
+	}
+	// Fine-grained engines must NOT do this.
+	for _, eng := range []Engine{NewMetaStore(), NewSieve()} {
+		if err := eng.AttachPolicy("u1", "s1", pol("billing", "netflix", 1, 100)); err != nil {
+			t.Fatal(err)
+		}
+		if d := eng.Allow(req("u-other", "netflix", "billing", 50)); d.Allowed {
+			t.Fatalf("%s leaked a per-unit policy to another unit", eng.Name())
+		}
+	}
+}
+
+func TestRBACExplicitRoles(t *testing.T) {
+	e := NewRBAC()
+	e.AddRole("alice", "analyst")
+	e.GrantRoleAttribute("analyst", "analytics", core.Interval{Begin: 10, End: 20})
+	if d := e.Allow(req("u", "alice", "analytics", 15)); !d.Allowed {
+		t.Fatalf("role attribute not honoured: %s", d.Reason)
+	}
+	if d := e.Allow(req("u", "alice", "analytics", 25)); d.Allowed {
+		t.Fatal("window ignored")
+	}
+	// Widening via a second grant.
+	e.GrantRoleAttribute("analyst", "analytics", core.Interval{Begin: 5, End: 30})
+	if d := e.Allow(req("u", "alice", "analytics", 25)); !d.Allowed {
+		t.Fatal("widened window not honoured")
+	}
+}
+
+func TestMetaStoreRevoke(t *testing.T) {
+	e := NewMetaStore()
+	for i := 0; i < 3; i++ {
+		if err := e.AttachPolicy("u1", "s1", pol(core.Purpose(fmt.Sprintf("p%d", i)), "netflix", 1, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.AttachPolicy("u2", "s2", pol("billing", "netflix", 1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.RevokePolicies("u1"); n != 3 {
+		t.Fatalf("revoked %d, want 3", n)
+	}
+	if d := e.Allow(req("u1", "netflix", "p0", 50)); d.Allowed {
+		t.Fatal("revoked policy still grants")
+	}
+	if d := e.Allow(req("u2", "netflix", "billing", 50)); !d.Allowed {
+		t.Fatal("unrelated unit damaged by revoke")
+	}
+	if n := e.RevokePolicies("u1"); n != 0 {
+		t.Fatalf("second revoke = %d", n)
+	}
+}
+
+func TestMetaStoreUnitIsolation(t *testing.T) {
+	// Unit IDs where one is a prefix of another must not collide.
+	e := NewMetaStore()
+	if err := e.AttachPolicy("user-1", "s", pol("billing", "n", 1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AttachPolicy("user-11", "s", pol("ads", "n", 1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if d := e.Allow(req("user-1", "n", "ads", 50)); d.Allowed {
+		t.Fatal("prefix collision: user-11's policy leaked to user-1")
+	}
+	if n := e.RevokePolicies("user-1"); n != 1 {
+		t.Fatalf("revoke removed %d policies, want 1", n)
+	}
+	if d := e.Allow(req("user-11", "n", "ads", 50)); !d.Allowed {
+		t.Fatal("user-11 damaged by user-1 revoke")
+	}
+}
+
+func TestMetaStoreRowChurn(t *testing.T) {
+	// Attaching policies rewrites the unit's metadata row (MVCC churn in
+	// the policy table) — the cost P_GBench pays for consent changes.
+	e := NewMetaStore()
+	for i := 0; i < 10; i++ {
+		if err := e.AttachPolicy("u", "s", pol(core.Purpose(fmt.Sprintf("p%d", i)), "n", 1, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if d := e.Allow(req("u", "n", core.Purpose(fmt.Sprintf("p%d", i)), 50)); !d.Allowed {
+			t.Fatalf("policy p%d lost after row rewrites: %s", i, d.Reason)
+		}
+	}
+	if n := e.RevokePolicies("u"); n != 10 {
+		t.Fatalf("revoked %d, want 10", n)
+	}
+}
+
+func TestSieveRevoke(t *testing.T) {
+	e := NewSieve()
+	if err := e.AttachPolicy("u1", "s1", pol("billing", "netflix", 1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AttachPolicy("u2", "s2", pol("billing", "netflix", 1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	before := e.SpaceBytes()
+	if n := e.RevokePolicies("u1"); n != 1 {
+		t.Fatalf("revoked %d", n)
+	}
+	if e.SpaceBytes() >= before {
+		t.Fatal("space accounting did not shrink on revoke")
+	}
+	if d := e.Allow(req("u1", "netflix", "billing", 50)); d.Allowed {
+		t.Fatal("revoked policy still grants")
+	}
+	if d := e.Allow(req("u2", "netflix", "billing", 50)); !d.Allowed {
+		t.Fatal("unrelated unit damaged")
+	}
+	if e.PolicyCount() != 1 {
+		t.Fatalf("PolicyCount = %d", e.PolicyCount())
+	}
+}
+
+func TestSieveGuards(t *testing.T) {
+	denyOdd := Guard{
+		Name:        "even-times-only",
+		Selectivity: 0.5,
+		Eval:        func(r Request) bool { return r.At%2 == 0 },
+	}
+	e := NewSieve()
+	if err := e.AttachGuardedPolicy("u1", "s1", pol("billing", "netflix", 1, 100), denyOdd); err != nil {
+		t.Fatal(err)
+	}
+	if d := e.Allow(req("u1", "netflix", "billing", 50)); !d.Allowed {
+		t.Fatalf("guard denied even time: %s", d.Reason)
+	}
+	if d := e.Allow(req("u1", "netflix", "billing", 51)); d.Allowed {
+		t.Fatal("guard passed odd time")
+	}
+	if e.Stats().GuardsEvaluated == 0 {
+		t.Fatal("guards not counted")
+	}
+}
+
+func TestSieveDefaultGuards(t *testing.T) {
+	e := NewSieve(SubjectConsentGuard())
+	if err := e.AttachPolicy("u1", "subject-1", pol("billing", "netflix", 1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	// The processing path may not impersonate the data subject.
+	r := req("u1", "netflix", "billing", 50)
+	r.Entity = "subject-1"
+	// No policy for entity subject-1 anyway; attach one to isolate the guard.
+	if err := e.AttachPolicy("u1", "subject-1", pol("billing", "subject-1", 1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if d := e.Allow(r); d.Allowed {
+		t.Fatal("subject-consent guard did not fire")
+	}
+}
+
+func TestSpaceOrdering(t *testing.T) {
+	// For the same policy load, Sieve carries the most metadata and RBAC
+	// the least — the Table 2 ordering at engine level.
+	rbac, meta, sieve := NewRBAC(), NewMetaStore(), NewSieve(SubjectConsentGuard())
+	for i := 0; i < 500; i++ {
+		unit := core.UnitID(fmt.Sprintf("u%d", i))
+		p1 := pol("billing", "controller", 1, 1000)
+		p2 := pol(core.PurposeRetention, "processor", 1, 1000)
+		for _, e := range []Engine{rbac, meta, sieve} {
+			if err := e.AttachPolicy(unit, "s", p1); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.AttachPolicy(unit, "s", p2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	rb, mb, sb := rbac.SpaceBytes(), meta.SpaceBytes(), sieve.SpaceBytes()
+	if !(rb < mb) {
+		t.Fatalf("expected RBAC (%d) < MetaStore (%d)", rb, mb)
+	}
+	if !(rb < sb) {
+		t.Fatalf("expected RBAC (%d) < Sieve (%d)", rb, sb)
+	}
+}
+
+func TestMetaStoreVacuum(t *testing.T) {
+	e := NewMetaStore()
+	for i := 0; i < 200; i++ {
+		unit := core.UnitID(fmt.Sprintf("u%d", i))
+		if err := e.AttachPolicy(unit, "s", pol("billing", "n", 1, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		e.RevokePolicies(core.UnitID(fmt.Sprintf("u%d", i)))
+	}
+	e.Vacuum() // must not panic; reclaims dead policy rows
+}
+
+func TestEncodeDecodePolicyRoundTrip(t *testing.T) {
+	var buf []byte
+	want := []core.Policy{
+		pol("billing", "netflix", 7, 1234567),
+		pol("ads", "broker", 1, 2),
+	}
+	for _, p := range want {
+		buf = encodePolicy(buf, p)
+	}
+	var got []core.Policy
+	if err := decodePolicies(buf, func(p core.Policy) bool {
+		got = append(got, p)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("round trip = %v", got)
+	}
+	if countPolicies(buf) != 2 {
+		t.Fatalf("countPolicies = %d", countPolicies(buf))
+	}
+	if err := decodePolicies([]byte{200, 1}, func(core.Policy) bool { return true }); err == nil {
+		t.Fatal("truncated row decoded")
+	}
+}
+
+func BenchmarkAllowRBAC(b *testing.B)      { benchAllow(b, NewRBAC()) }
+func BenchmarkAllowMetaStore(b *testing.B) { benchAllow(b, NewMetaStore()) }
+func BenchmarkAllowSieve(b *testing.B)     { benchAllow(b, NewSieve(SubjectConsentGuard())) }
+
+func benchAllow(b *testing.B, e Engine) {
+	const units = 10000
+	for i := 0; i < units; i++ {
+		unit := core.UnitID(fmt.Sprintf("u%06d", i))
+		if err := e.AttachPolicy(unit, "subject", pol("billing", "controller", 1, 1<<40)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		unit := core.UnitID(fmt.Sprintf("u%06d", i%units))
+		d := e.Allow(req(unit, "controller", "billing", 500))
+		if !d.Allowed {
+			b.Fatalf("denied: %s", d.Reason)
+		}
+	}
+}

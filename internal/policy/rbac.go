@@ -1,0 +1,193 @@
+package policy
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/datacase/datacase/internal/core"
+)
+
+// RBAC is role-based access control: entities hold roles, roles carry
+// attributes (purpose grants with validity windows). Per-unit policies
+// collapse onto their (entity, purpose) role grant — granularity is
+// lost, which is why P_Base is the least restrictive interpretation of
+// compliance.
+type RBAC struct {
+	mu sync.RWMutex
+	// membership: entity -> set of role names.
+	membership map[core.EntityID]map[string]bool
+	// attributes: role -> purpose -> validity window.
+	attributes map[string]map[core.Purpose]core.Interval
+	// unitPolicies counts per-unit grants so RevokePolicies can report,
+	// and remembers which (entity, purpose) each unit contributed.
+	unitGrants map[core.UnitID][]roleGrant
+
+	bytes atomic.Int64
+	stats engineStats
+}
+
+type roleGrant struct {
+	entity  core.EntityID
+	purpose core.Purpose
+}
+
+// NewRBAC returns an empty RBAC engine.
+func NewRBAC() *RBAC {
+	return &RBAC{
+		membership: make(map[core.EntityID]map[string]bool),
+		attributes: make(map[string]map[core.Purpose]core.Interval),
+		unitGrants: make(map[core.UnitID][]roleGrant),
+	}
+}
+
+// Name implements Engine.
+func (r *RBAC) Name() string { return "rbac" }
+
+// roleFor names the implicit role for an entity (one role per entity, as
+// in PSQL's per-login roles; explicit multi-role setups use AddRole).
+func roleFor(e core.EntityID) string { return "role:" + string(e) }
+
+// AddRole assigns an explicit role to an entity.
+func (r *RBAC) AddRole(e core.EntityID, role string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.memberLocked(e)[role] = true
+	r.bytes.Add(int64(len(role) + len(e) + 16))
+}
+
+func (r *RBAC) memberLocked(e core.EntityID) map[string]bool {
+	m, ok := r.membership[e]
+	if !ok {
+		m = make(map[string]bool)
+		r.membership[e] = m
+	}
+	return m
+}
+
+// GrantRoleAttribute lets a role act for a purpose during the window.
+func (r *RBAC) GrantRoleAttribute(role string, purpose core.Purpose, window core.Interval) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	attrs, ok := r.attributes[role]
+	if !ok {
+		attrs = make(map[core.Purpose]core.Interval)
+		r.attributes[role] = attrs
+	}
+	if prev, ok := attrs[purpose]; ok {
+		// Widen the window; RBAC cannot represent per-unit windows.
+		if window.Begin < prev.Begin {
+			prev.Begin = window.Begin
+		}
+		if window.End > prev.End {
+			prev.End = window.End
+		}
+		attrs[purpose] = prev
+		return
+	}
+	attrs[purpose] = window
+	r.bytes.Add(int64(len(role) + len(purpose) + 16))
+}
+
+// AttachPolicy implements Engine: the per-unit policy is flattened into
+// the entity's implicit role attribute.
+func (r *RBAC) AttachPolicy(unit core.UnitID, subject core.EntityID, p core.Policy) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	role := roleFor(p.Entity)
+	r.mu.Lock()
+	r.memberLocked(p.Entity)[role] = true
+	r.mu.Unlock()
+	r.GrantRoleAttribute(role, p.Purpose, p.Window())
+	r.mu.Lock()
+	r.unitGrants[unit] = append(r.unitGrants[unit], roleGrant{p.Entity, p.Purpose})
+	r.mu.Unlock()
+	r.bytes.Add(encodedPolicySize(p) / 2) // role grants are deduplicated
+	return nil
+}
+
+// AttachPolicies implements Engine.
+func (r *RBAC) AttachPolicies(unit core.UnitID, subject core.EntityID, pols []core.Policy) error {
+	for _, p := range pols {
+		if err := r.AttachPolicy(unit, subject, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RevokePolicies implements Engine. RBAC cannot revoke a single unit's
+// share of a role attribute (the grant is table-level), so it only
+// forgets the unit's bookkeeping — a deliberate imprecision of the
+// least-restrictive grounding.
+func (r *RBAC) RevokePolicies(unit core.UnitID) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.unitGrants[unit])
+	delete(r.unitGrants, unit)
+	return n
+}
+
+// RevokePolicy implements Engine. RBAC attributes are role-level, so a
+// single unit's consent withdrawal cannot be expressed: only the unit's
+// bookkeeping is forgotten and 0 is returned — the least-restrictive
+// grounding's documented imprecision.
+func (r *RBAC) RevokePolicy(unit core.UnitID, purpose core.Purpose, entity core.EntityID) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	grants := r.unitGrants[unit]
+	kept := grants[:0]
+	for _, g := range grants {
+		if g.entity == entity && g.purpose == purpose {
+			continue
+		}
+		kept = append(kept, g)
+	}
+	r.unitGrants[unit] = kept
+	return 0
+}
+
+// Allow implements Engine: does any of the entity's roles carry the
+// purpose with a window containing At?
+func (r *RBAC) Allow(req Request) Decision {
+	r.stats.checks.Add(1)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for role := range r.membership[req.Entity] {
+		attrs := r.attributes[role]
+		r.stats.policiesScanned.Add(1)
+		if w, ok := attrs[req.Purpose]; ok && w.Contains(req.At) {
+			r.stats.allowed.Add(1)
+			return Allow()
+		}
+	}
+	r.stats.denied.Add(1)
+	return Deny("rbac: no role of %s grants purpose %q at %s", req.Entity, req.Purpose, req.At)
+}
+
+// SpaceBytes implements Engine.
+func (r *RBAC) SpaceBytes() int64 { return r.bytes.Load() }
+
+// Stats implements Engine.
+func (r *RBAC) Stats() Stats { return r.stats.snapshot() }
+
+// engineStats is the shared atomic counter block.
+type engineStats struct {
+	checks          atomic.Uint64
+	allowed         atomic.Uint64
+	denied          atomic.Uint64
+	policiesScanned atomic.Uint64
+	guardsEvaluated atomic.Uint64
+	indexHits       atomic.Uint64
+}
+
+func (s *engineStats) snapshot() Stats {
+	return Stats{
+		Checks:          s.checks.Load(),
+		Allowed:         s.allowed.Load(),
+		Denied:          s.denied.Load(),
+		PoliciesScanned: s.policiesScanned.Load(),
+		GuardsEvaluated: s.guardsEvaluated.Load(),
+		IndexHits:       s.indexHits.Load(),
+	}
+}

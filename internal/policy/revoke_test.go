@@ -1,0 +1,89 @@
+package policy
+
+import (
+	"testing"
+
+	"github.com/datacase/datacase/internal/core"
+)
+
+func TestRevokePolicyFineGrained(t *testing.T) {
+	for _, e := range []Engine{NewMetaStore(), NewSieve()} {
+		t.Run(e.Name(), func(t *testing.T) {
+			if err := e.AttachPolicies("u1", "s", []core.Policy{
+				pol("billing", "netflix", 1, 100),
+				pol("ads", "netflix", 1, 100),
+				pol("billing", "aws", 1, 100),
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if n := e.RevokePolicy("u1", "billing", "netflix"); n != 1 {
+				t.Fatalf("revoked %d, want 1", n)
+			}
+			if d := e.Allow(req("u1", "netflix", "billing", 50)); d.Allowed {
+				t.Fatal("revoked pair still grants")
+			}
+			if d := e.Allow(req("u1", "netflix", "ads", 50)); !d.Allowed {
+				t.Fatalf("unrelated purpose damaged: %s", d.Reason)
+			}
+			if d := e.Allow(req("u1", "aws", "billing", 50)); !d.Allowed {
+				t.Fatalf("unrelated entity damaged: %s", d.Reason)
+			}
+			if n := e.RevokePolicy("u1", "billing", "netflix"); n != 0 {
+				t.Fatalf("second revoke = %d", n)
+			}
+			if n := e.RevokePolicy("ghost", "billing", "netflix"); n != 0 {
+				t.Fatalf("revoke on unknown unit = %d", n)
+			}
+		})
+	}
+}
+
+func TestRevokePolicyRemovesWholeUnitRow(t *testing.T) {
+	// Revoking the only policy of a unit leaves no metadata row behind.
+	e := NewMetaStore()
+	if err := e.AttachPolicy("u1", "s", pol("billing", "n", 1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.RevokePolicy("u1", "billing", "n"); n != 1 {
+		t.Fatalf("revoked %d", n)
+	}
+	if d := e.Allow(req("u1", "n", "billing", 50)); d.Allowed {
+		t.Fatal("still grants")
+	}
+	if n := e.RevokePolicies("u1"); n != 0 {
+		t.Fatalf("residual policies: %d", n)
+	}
+}
+
+func TestRevokePolicyRBACCoarse(t *testing.T) {
+	// RBAC cannot express per-unit withdrawal: it returns 0 and the
+	// role-level grant remains — the documented imprecision of the
+	// least restrictive grounding.
+	e := NewRBAC()
+	if err := e.AttachPolicy("u1", "s", pol("billing", "netflix", 1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.RevokePolicy("u1", "billing", "netflix"); n != 0 {
+		t.Fatalf("RBAC revoke = %d, want 0 (coarse)", n)
+	}
+	if d := e.Allow(req("u1", "netflix", "billing", 50)); !d.Allowed {
+		t.Fatal("RBAC role-level grant should survive per-unit revocation")
+	}
+}
+
+func TestSievePoliciesOf(t *testing.T) {
+	s := NewSieve()
+	if err := s.AttachPolicies("u1", "subj", []core.Policy{
+		pol("billing", "n", 1, 100),
+		pol("ads", "n", 1, 100),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pols := s.PoliciesOf("u1")
+	if len(pols) != 2 {
+		t.Fatalf("PoliciesOf = %v", pols)
+	}
+	if got := s.PoliciesOf("ghost"); len(got) != 0 {
+		t.Fatalf("PoliciesOf(ghost) = %v", got)
+	}
+}

@@ -1,0 +1,247 @@
+package policy
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/datacase/datacase/internal/core"
+)
+
+// Guard is a Sieve-style policy guard: a predicate over the request,
+// compiled from policy metadata (the paper's Sieve exploits UDFs and
+// index usage hints; here guards are closures plus a selectivity
+// estimate that orders their evaluation).
+type Guard struct {
+	// Name describes the guard for reports.
+	Name string
+	// Selectivity in [0,1]: fraction of requests expected to pass.
+	// Cheaper/more selective guards are evaluated first.
+	Selectivity float64
+	// Eval returns whether the request passes the guard.
+	Eval func(req Request) bool
+}
+
+// storedPolicy is a policy with its guards and bookkeeping metadata.
+// Sieve replicates each policy into its index and keeps per-policy
+// statistics — the metadata weight behind Table 2's 17× space factor.
+type storedPolicy struct {
+	unit    core.UnitID
+	subject core.EntityID
+	policy  core.Policy
+	guards  []Guard
+	// hits counts adjudications satisfied by this policy.
+	hits atomic.Uint64
+}
+
+// Sieve is a fine-grained access-control engine in the style of the
+// Sieve middleware [51]: per-unit policies with guards, indexed by
+// (purpose, entity) so adjudication scales with the number of *matching*
+// policies rather than all policies.
+type Sieve struct {
+	mu sync.RWMutex
+	// byUnit: all policies of a unit (for revocation and unit checks).
+	byUnit map[core.UnitID][]*storedPolicy
+	// index: (purpose, entity) -> unit -> candidate policies. This is
+	// the "policy index" Sieve builds so adjudication touches only the
+	// policies that can match; it replicates policy references and
+	// costs memory.
+	index map[purposeEntity]map[core.UnitID][]*storedPolicy
+	// defaultGuards are attached to every policy (deployment-wide
+	// constraints, e.g. subject-consent checks).
+	defaultGuards []Guard
+
+	bytes atomic.Int64
+	stats engineStats
+}
+
+type purposeEntity struct {
+	p core.Purpose
+	e core.EntityID
+}
+
+// NewSieve returns an empty Sieve engine with the standard guard set:
+// a validity-window guard (always) plus any provided deployment guards.
+func NewSieve(defaultGuards ...Guard) *Sieve {
+	return &Sieve{
+		byUnit:        make(map[core.UnitID][]*storedPolicy),
+		index:         make(map[purposeEntity]map[core.UnitID][]*storedPolicy),
+		defaultGuards: defaultGuards,
+	}
+}
+
+// Name implements Engine.
+func (s *Sieve) Name() string { return "sieve" }
+
+// AttachPolicy implements Engine.
+func (s *Sieve) AttachPolicy(unit core.UnitID, subject core.EntityID, p core.Policy) error {
+	return s.AttachGuardedPolicy(unit, subject, p)
+}
+
+// AttachGuardedPolicy registers a policy with extra guards.
+func (s *Sieve) AttachGuardedPolicy(unit core.UnitID, subject core.EntityID, p core.Policy, guards ...Guard) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	sp := &storedPolicy{unit: unit, subject: subject, policy: p}
+	sp.guards = append(sp.guards, s.defaultGuards...)
+	sp.guards = append(sp.guards, guards...)
+	s.mu.Lock()
+	s.byUnit[unit] = append(s.byUnit[unit], sp)
+	k := purposeEntity{p.Purpose, p.Entity}
+	bucket, ok := s.index[k]
+	if !ok {
+		bucket = make(map[core.UnitID][]*storedPolicy)
+		s.index[k] = bucket
+	}
+	bucket[unit] = append(bucket[unit], sp)
+	s.mu.Unlock()
+	// Sieve metadata weight: the policy row, its index replica, guard
+	// metadata and per-policy statistics.
+	s.bytes.Add(encodedPolicySize(p)*2 + int64(len(sp.guards))*48 + 64)
+	return nil
+}
+
+// AttachPolicies implements Engine.
+func (s *Sieve) AttachPolicies(unit core.UnitID, subject core.EntityID, pols []core.Policy) error {
+	for _, p := range pols {
+		if err := s.AttachGuardedPolicy(unit, subject, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RevokePolicies implements Engine.
+func (s *Sieve) RevokePolicies(unit core.UnitID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pols := s.byUnit[unit]
+	if len(pols) == 0 {
+		return 0
+	}
+	delete(s.byUnit, unit)
+	for _, sp := range pols {
+		k := purposeEntity{sp.policy.Purpose, sp.policy.Entity}
+		if bucket, ok := s.index[k]; ok {
+			delete(bucket, unit)
+			if len(bucket) == 0 {
+				delete(s.index, k)
+			}
+		}
+		s.bytes.Add(-(encodedPolicySize(sp.policy)*2 + int64(len(sp.guards))*48 + 64))
+	}
+	return len(pols)
+}
+
+// RevokePolicy implements Engine: drop the matching stored policies from
+// the unit's list and the policy index.
+func (s *Sieve) RevokePolicy(unit core.UnitID, purpose core.Purpose, entity core.EntityID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pols := s.byUnit[unit]
+	kept := pols[:0]
+	removed := 0
+	for _, sp := range pols {
+		if sp.policy.Purpose == purpose && sp.policy.Entity == entity {
+			removed++
+			s.bytes.Add(-(encodedPolicySize(sp.policy)*2 + int64(len(sp.guards))*48 + 64))
+			continue
+		}
+		kept = append(kept, sp)
+	}
+	if removed == 0 {
+		return 0
+	}
+	if len(kept) == 0 {
+		delete(s.byUnit, unit)
+	} else {
+		s.byUnit[unit] = kept
+	}
+	k := purposeEntity{purpose, entity}
+	if bucket, ok := s.index[k]; ok {
+		delete(bucket, unit)
+		if len(bucket) == 0 {
+			delete(s.index, k)
+		}
+	}
+	return removed
+}
+
+// Allow implements Engine: probe the policy index for candidates, then
+// evaluate window + guards per candidate for the requested unit.
+func (s *Sieve) Allow(req Request) Decision {
+	s.stats.checks.Add(1)
+	s.mu.RLock()
+	var cands []*storedPolicy
+	if bucket, ok := s.index[purposeEntity{req.Purpose, req.Entity}]; ok {
+		cands = bucket[req.Unit]
+	}
+	s.mu.RUnlock()
+	if len(cands) > 0 {
+		s.stats.indexHits.Add(1)
+	}
+	for _, sp := range cands {
+		s.stats.policiesScanned.Add(1)
+		if !sp.policy.ActiveAt(req.At) {
+			continue
+		}
+		pass := true
+		for _, g := range sp.guards {
+			s.stats.guardsEvaluated.Add(1)
+			if !g.Eval(req) {
+				pass = false
+				break
+			}
+		}
+		if pass {
+			sp.hits.Add(1)
+			s.stats.allowed.Add(1)
+			return Allow()
+		}
+	}
+	s.stats.denied.Add(1)
+	return Deny("sieve: no guarded policy admits (%s, %s) on %s at %s",
+		req.Purpose, req.Entity, req.Unit, req.At)
+}
+
+// PoliciesOf implements PolicyLister.
+func (s *Sieve) PoliciesOf(unit core.UnitID) []core.Policy {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pols := s.byUnit[unit]
+	out := make([]core.Policy, len(pols))
+	for i, sp := range pols {
+		out[i] = sp.policy
+	}
+	return out
+}
+
+// PolicyCount returns the number of stored policies.
+func (s *Sieve) PolicyCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, pols := range s.byUnit {
+		n += len(pols)
+	}
+	return n
+}
+
+// SpaceBytes implements Engine.
+func (s *Sieve) SpaceBytes() int64 { return s.bytes.Load() }
+
+// Stats implements Engine.
+func (s *Sieve) Stats() Stats { return s.stats.snapshot() }
+
+// SubjectConsentGuard is the standard deployment guard: the request must
+// not impersonate the data subject (subjects read their own data through
+// the subject-access path, not the processing path).
+func SubjectConsentGuard() Guard {
+	return Guard{
+		Name:        "subject-consent",
+		Selectivity: 0.95,
+		Eval: func(req Request) bool {
+			return req.Entity != "" && req.Entity != req.Subject
+		},
+	}
+}

@@ -1,0 +1,231 @@
+// Package provenance tracks derivation dependencies between data units:
+// which units were produced from which, and whether the derivation is
+// invertible (can be used to reconstruct a source). The strong-delete
+// erasure grounding uses the dependents closure to find "all dependent
+// data where the data-subject is identifiable", and the
+// erasure-inconsistent-inference check (II, §3.1 of the paper) asks
+// whether an erased unit X = f(Y) can still be rebuilt from live data.
+package provenance
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/datacase/datacase/internal/core"
+)
+
+// Derivation is one edge bundle: Child was produced from Parents by a
+// dependency f.
+type Derivation struct {
+	Child   core.UnitID
+	Parents []core.UnitID
+	// Invertible reports whether f can be used to reconstruct a parent
+	// from the child (e.g. an aggregate over one record, a format
+	// conversion, an encryption), as opposed to lossy derivations.
+	Invertible bool
+	// Description labels f for reports.
+	Description string
+}
+
+// Graph is the provenance DAG. It is safe for concurrent use.
+type Graph struct {
+	mu sync.RWMutex
+	// children[p] lists derivations whose parents include p.
+	children map[core.UnitID][]*Derivation
+	// parents[c] is the derivation that produced c (one per child).
+	parents map[core.UnitID]*Derivation
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		children: make(map[core.UnitID][]*Derivation),
+		parents:  make(map[core.UnitID]*Derivation),
+	}
+}
+
+// AddDerivation records that child was produced from parents. A child
+// can be recorded only once (units are immutable provenance-wise), and
+// cycles are rejected.
+func (g *Graph) AddDerivation(d Derivation) error {
+	if d.Child == "" || len(d.Parents) == 0 {
+		return fmt.Errorf("provenance: derivation needs a child and at least one parent")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, dup := g.parents[d.Child]; dup {
+		return fmt.Errorf("provenance: unit %q already has a derivation", d.Child)
+	}
+	for _, p := range d.Parents {
+		if p == d.Child {
+			return fmt.Errorf("provenance: self-derivation of %q", d.Child)
+		}
+		if g.reachableLocked(d.Child, p) {
+			return fmt.Errorf("provenance: derivation %q -> %q creates a cycle", p, d.Child)
+		}
+	}
+	dd := &Derivation{
+		Child:       d.Child,
+		Parents:     append([]core.UnitID(nil), d.Parents...),
+		Invertible:  d.Invertible,
+		Description: d.Description,
+	}
+	g.parents[d.Child] = dd
+	for _, p := range dd.Parents {
+		g.children[p] = append(g.children[p], dd)
+	}
+	return nil
+}
+
+// reachableLocked reports whether `to` is reachable from `from` by
+// following child edges. Caller holds mu.
+func (g *Graph) reachableLocked(from, to core.UnitID) bool {
+	if from == to {
+		return true
+	}
+	seen := map[core.UnitID]bool{from: true}
+	stack := []core.UnitID{from}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, d := range g.children[cur] {
+			if d.Child == to {
+				return true
+			}
+			if !seen[d.Child] {
+				seen[d.Child] = true
+				stack = append(stack, d.Child)
+			}
+		}
+	}
+	return false
+}
+
+// Dependents returns the transitive closure of units derived (directly
+// or indirectly) from the unit, sorted for determinism.
+func (g *Graph) Dependents(id core.UnitID) []core.UnitID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	seen := make(map[core.UnitID]bool)
+	stack := []core.UnitID{id}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, d := range g.children[cur] {
+			if !seen[d.Child] {
+				seen[d.Child] = true
+				stack = append(stack, d.Child)
+			}
+		}
+	}
+	out := make([]core.UnitID, 0, len(seen))
+	for u := range seen {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Sources returns the transitive closure of units the given unit was
+// derived from, sorted.
+func (g *Graph) Sources(id core.UnitID) []core.UnitID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	seen := make(map[core.UnitID]bool)
+	stack := []core.UnitID{id}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if d, ok := g.parents[cur]; ok {
+			for _, p := range d.Parents {
+				if !seen[p] {
+					seen[p] = true
+					stack = append(stack, p)
+				}
+			}
+		}
+	}
+	out := make([]core.UnitID, 0, len(seen))
+	for u := range seen {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DerivationOf returns the derivation that produced the unit, if any.
+func (g *Graph) DerivationOf(id core.UnitID) (Derivation, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	d, ok := g.parents[id]
+	if !ok {
+		return Derivation{}, false
+	}
+	return *d, true
+}
+
+// InferencePath is one way an erased unit can be reconstructed: an
+// invertible derivation whose child is still live.
+type InferencePath struct {
+	Erased  core.UnitID
+	Via     core.UnitID
+	Through string
+}
+
+// InferencePaths returns every invertible derivation from the unit to a
+// child for which live(child) is true. A non-empty result is exactly an
+// erasure-inconsistent inference (II): X was erased, yet X = f⁻¹(Y) for
+// live Y.
+func (g *Graph) InferencePaths(id core.UnitID, live func(core.UnitID) bool) []InferencePath {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []InferencePath
+	for _, d := range g.children[id] {
+		if d.Invertible && live(d.Child) {
+			out = append(out, InferencePath{Erased: id, Via: d.Child, Through: d.Description})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Via < out[j].Via })
+	return out
+}
+
+// DropUnit removes the unit from the graph entirely (after permanent
+// erasure, even the provenance metadata must go). Edges referencing it
+// are removed; derivations of other children survive with the unit
+// removed from their parent lists.
+func (g *Graph) DropUnit(id core.UnitID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.parents, id)
+	delete(g.children, id)
+	for p, ds := range g.children {
+		kept := ds[:0]
+		for _, d := range ds {
+			if d.Child != id {
+				kept = append(kept, d)
+			}
+		}
+		if len(kept) == 0 {
+			delete(g.children, p)
+		} else {
+			g.children[p] = kept
+		}
+	}
+	// Remove the unit from parent lists of surviving derivations.
+	for _, d := range g.parents {
+		for i, p := range d.Parents {
+			if p == id {
+				d.Parents = append(d.Parents[:i], d.Parents[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Len returns the number of recorded derivations.
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.parents)
+}

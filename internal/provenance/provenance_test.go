@@ -1,0 +1,153 @@
+package provenance
+
+import (
+	"testing"
+
+	"github.com/datacase/datacase/internal/core"
+)
+
+func mustAdd(t *testing.T, g *Graph, d Derivation) {
+	t.Helper()
+	if err := g.AddDerivation(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// diamond builds base -> {mid1, mid2} -> top.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph()
+	mustAdd(t, g, Derivation{Child: "mid1", Parents: []core.UnitID{"base"}, Invertible: true, Description: "projection"})
+	mustAdd(t, g, Derivation{Child: "mid2", Parents: []core.UnitID{"base"}, Description: "aggregate"})
+	mustAdd(t, g, Derivation{Child: "top", Parents: []core.UnitID{"mid1", "mid2"}, Description: "join"})
+	return g
+}
+
+func TestDependentsClosure(t *testing.T) {
+	g := diamond(t)
+	deps := g.Dependents("base")
+	want := []core.UnitID{"mid1", "mid2", "top"}
+	if len(deps) != len(want) {
+		t.Fatalf("Dependents = %v", deps)
+	}
+	for i := range want {
+		if deps[i] != want[i] {
+			t.Fatalf("Dependents = %v, want %v", deps, want)
+		}
+	}
+	if len(g.Dependents("top")) != 0 {
+		t.Fatal("leaf has dependents")
+	}
+	if len(g.Dependents("unknown")) != 0 {
+		t.Fatal("unknown unit has dependents")
+	}
+}
+
+func TestSourcesClosure(t *testing.T) {
+	g := diamond(t)
+	srcs := g.Sources("top")
+	want := []core.UnitID{"base", "mid1", "mid2"}
+	if len(srcs) != len(want) {
+		t.Fatalf("Sources = %v", srcs)
+	}
+	for i := range want {
+		if srcs[i] != want[i] {
+			t.Fatalf("Sources = %v, want %v", srcs, want)
+		}
+	}
+}
+
+func TestAddDerivationValidation(t *testing.T) {
+	g := NewGraph()
+	if err := g.AddDerivation(Derivation{Child: "", Parents: []core.UnitID{"a"}}); err == nil {
+		t.Fatal("empty child accepted")
+	}
+	if err := g.AddDerivation(Derivation{Child: "c"}); err == nil {
+		t.Fatal("no parents accepted")
+	}
+	if err := g.AddDerivation(Derivation{Child: "c", Parents: []core.UnitID{"c"}}); err == nil {
+		t.Fatal("self-derivation accepted")
+	}
+	mustAdd(t, g, Derivation{Child: "c", Parents: []core.UnitID{"a"}})
+	if err := g.AddDerivation(Derivation{Child: "c", Parents: []core.UnitID{"b"}}); err == nil {
+		t.Fatal("duplicate child accepted")
+	}
+}
+
+func TestCycleRejected(t *testing.T) {
+	g := NewGraph()
+	mustAdd(t, g, Derivation{Child: "b", Parents: []core.UnitID{"a"}})
+	mustAdd(t, g, Derivation{Child: "c", Parents: []core.UnitID{"b"}})
+	// a <- c would close the cycle a -> b -> c -> a.
+	if err := g.AddDerivation(Derivation{Child: "a", Parents: []core.UnitID{"c"}}); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestInferencePaths(t *testing.T) {
+	g := diamond(t)
+	liveAll := func(core.UnitID) bool { return true }
+	paths := g.InferencePaths("base", liveAll)
+	// Only mid1 is invertible.
+	if len(paths) != 1 || paths[0].Via != "mid1" || paths[0].Through != "projection" {
+		t.Fatalf("paths = %v", paths)
+	}
+	// If mid1 is dead, no inference remains.
+	deadMid1 := func(u core.UnitID) bool { return u != "mid1" }
+	if got := g.InferencePaths("base", deadMid1); len(got) != 0 {
+		t.Fatalf("paths with dead mid1 = %v", got)
+	}
+}
+
+func TestDerivationOf(t *testing.T) {
+	g := diamond(t)
+	d, ok := g.DerivationOf("top")
+	if !ok || len(d.Parents) != 2 {
+		t.Fatalf("DerivationOf(top) = %+v, %v", d, ok)
+	}
+	if _, ok := g.DerivationOf("base"); ok {
+		t.Fatal("base has a derivation")
+	}
+}
+
+func TestDropUnit(t *testing.T) {
+	g := diamond(t)
+	g.DropUnit("mid1")
+	if _, ok := g.DerivationOf("mid1"); ok {
+		t.Fatal("derivation survives drop")
+	}
+	deps := g.Dependents("base")
+	for _, d := range deps {
+		if d == "mid1" {
+			t.Fatal("dropped unit still a dependent")
+		}
+	}
+	// top survives but mid1 is gone from its parents.
+	d, ok := g.DerivationOf("top")
+	if !ok {
+		t.Fatal("top's derivation lost")
+	}
+	if len(d.Parents) != 1 || d.Parents[0] != "mid2" {
+		t.Fatalf("top parents = %v", d.Parents)
+	}
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+}
+
+func TestDeepChainClosure(t *testing.T) {
+	g := NewGraph()
+	prev := core.UnitID("u0")
+	for i := 1; i <= 100; i++ {
+		cur := core.UnitID(rune('u'))
+		cur = core.UnitID("u" + string(rune('0'+i%10)) + string(rune('a'+i/10)))
+		mustAdd(t, g, Derivation{Child: cur, Parents: []core.UnitID{prev}, Invertible: true})
+		prev = cur
+	}
+	if got := len(g.Dependents("u0")); got != 100 {
+		t.Fatalf("chain closure = %d, want 100", got)
+	}
+	if got := len(g.Sources(prev)); got != 100 {
+		t.Fatalf("sources closure = %d, want 100", got)
+	}
+}

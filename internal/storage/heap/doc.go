@@ -1,0 +1,22 @@
+// Package heap implements a PostgreSQL-like heap storage engine over
+// slotted pages, with the exact mechanics the paper's erasure experiments
+// depend on:
+//
+//   - DELETE marks a tuple dead but leaves its bytes in the page (like
+//     setting xmax): the data is logically gone but physically retained.
+//   - UPDATE writes a new tuple version and leaves the old one dead.
+//   - VACUUM (lazy) compacts each page in place: dead tuples' bytes are
+//     removed, freed space becomes reusable through the free-space map,
+//     but the table keeps its pages.
+//   - VACUUM FULL rewrites the whole table into fresh minimal pages and
+//     rebuilds the primary index — expensive, but the table shrinks.
+//   - Sequential scans walk every slot of every page, so dead tuples
+//     slow reads down until a vacuum reclaims them. This asymmetry is
+//     what makes DELETE+VACUUM beat plain DELETE on read-heavy GDPR
+//     workloads (Figure 4(a) of the paper).
+//
+// Raw page bytes are inspectable (ForensicScan) so erasure verification
+// can prove whether deleted data is physically gone, and overwritable
+// (SanitizeFreeSpace) so the permanent-delete grounding can apply
+// multi-pass sanitization.
+package heap

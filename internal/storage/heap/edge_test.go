@@ -1,0 +1,139 @@
+package heap
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestOversizedTuplePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for tuple larger than a page")
+		}
+	}()
+	tb := NewTable("t", nil)
+	// No TOAST here: a tuple that cannot fit one page is a programming
+	// error and must fail loudly.
+	_, _ = tb.Insert([]byte("k"), make([]byte, PageSize))
+}
+
+func TestEmptyValueTuple(t *testing.T) {
+	tb := NewTable("t", nil)
+	if _, err := tb.Insert([]byte("k"), nil); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := tb.Get([]byte("k"))
+	if !ok || len(v) != 0 {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+}
+
+func TestVacuumOnEmptyTable(t *testing.T) {
+	tb := NewTable("t", nil)
+	if vs := tb.Vacuum(); vs.TuplesReclaimed != 0 {
+		t.Fatalf("vacuum on empty table reclaimed %d", vs.TuplesReclaimed)
+	}
+	if vs := tb.VacuumFull(); vs.PagesFreed != 0 {
+		t.Fatalf("vacuum full on empty table freed %d pages", vs.PagesFreed)
+	}
+}
+
+func TestVacuumFullAfterTotalDeletion(t *testing.T) {
+	tb := NewTable("t", nil)
+	for i := 0; i < 500; i++ {
+		if _, err := tb.Insert(k(i), v(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		if err := tb.Delete(k(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vs := tb.VacuumFull()
+	if vs.TuplesReclaimed != 500 {
+		t.Fatalf("reclaimed %d", vs.TuplesReclaimed)
+	}
+	sp := tb.Space()
+	if sp.Pages != 0 || sp.LiveTuples != 0 {
+		t.Fatalf("space after full rewrite of empty table: %+v", sp)
+	}
+	// Table usable again after shrinking to zero pages.
+	if _, err := tb.Insert(k(1), v(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := tb.Get(k(1)); !ok || string(got) != string(v(1)) {
+		t.Fatalf("insert after empty-rewrite: %q %v", got, ok)
+	}
+}
+
+func TestSlotReuseAfterVacuum(t *testing.T) {
+	tb := NewTable("t", nil)
+	for i := 0; i < 100; i++ {
+		if _, err := tb.Insert(k(i), v(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tb.Delete(k(50)); err != nil {
+		t.Fatal(err)
+	}
+	tb.Vacuum()
+	// The reclaimed line pointer should be reused instead of growing
+	// the slot directory.
+	slotsBefore := countSlots(tb)
+	if _, err := tb.Insert([]byte("reuse-me"), []byte("small")); err != nil {
+		t.Fatal(err)
+	}
+	if countSlots(tb) != slotsBefore {
+		t.Fatalf("slot directory grew despite a free line pointer: %d -> %d",
+			slotsBefore, countSlots(tb))
+	}
+}
+
+func countSlots(t *Table) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for _, p := range t.pages {
+		n += len(p.slots)
+	}
+	return n
+}
+
+func TestForensicScanEmptyPattern(t *testing.T) {
+	tb := NewTable("t", nil)
+	if tb.ForensicScan(nil) {
+		t.Fatal("empty pattern matched")
+	}
+}
+
+func TestCountersSnapshot(t *testing.T) {
+	tb := NewTable("t", nil)
+	for i := 0; i < 10; i++ {
+		if _, err := tb.Insert(k(i), v(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tb.Get(k(1))
+	tb.SeqScan(func(_, _ []byte) bool { return true })
+	st := tb.Stats()
+	if st.TuplesInserted != 10 || st.IndexLookups == 0 || st.SeqScans != 1 {
+		t.Fatalf("counters = %+v", st)
+	}
+}
+
+func ExampleTable() {
+	tb := NewTable("people", nil)
+	if _, err := tb.Insert([]byte("alice"), []byte("data")); err != nil {
+		panic(err)
+	}
+	if err := tb.Delete([]byte("alice")); err != nil {
+		panic(err)
+	}
+	fmt.Println("dead before vacuum:", tb.Space().DeadTuples)
+	tb.Vacuum()
+	fmt.Println("dead after vacuum:", tb.Space().DeadTuples)
+	// Output:
+	// dead before vacuum: 1
+	// dead after vacuum: 0
+}

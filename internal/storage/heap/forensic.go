@@ -1,0 +1,84 @@
+package heap
+
+import "bytes"
+
+// This file provides the physical-layer inspection and sanitization
+// hooks erasure groundings need. A logical DELETE leaves tuple bytes in
+// the page — exactly the "illegally, physically retained" hazard the
+// paper cites from the LSM/Lethe line of work — and only VACUUM (zeroing
+// compaction) or explicit sanitization removes them.
+
+// ForensicScan reports whether the byte pattern occurs anywhere in the
+// raw page images, including dead tuples and freed space. Erasure
+// verification uses it to prove (or disprove) that erased data is
+// physically gone.
+func (t *Table) ForensicScan(pattern []byte) bool {
+	if len(pattern) == 0 {
+		return false
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, p := range t.pages {
+		if bytes.Contains(p.buf, pattern) {
+			return true
+		}
+	}
+	return false
+}
+
+// ForensicDeadTuples returns copies of every dead-but-present tuple
+// (key, value). It is what a disk forensics pass would recover after a
+// DELETE without VACUUM.
+func (t *Table) ForensicDeadTuples() (keys, values [][]byte) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, p := range t.pages {
+		for i := range p.slots {
+			k, v, live, ok := p.readAny(i)
+			if ok && !live {
+				keys = append(keys, append([]byte(nil), k...))
+				values = append(values, append([]byte(nil), v...))
+			}
+		}
+	}
+	return keys, values
+}
+
+// SanitizePass overwrites all non-live bytes of every page with the
+// given pattern and returns the number of bytes overwritten. Permanent
+// deletion runs several passes with different patterns (see package
+// cryptox for the policy) — the "advanced physical drive sanitation"
+// step of §3.1.
+func (t *Table) SanitizePass(pattern byte) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n int64
+	for _, p := range t.pages {
+		n += int64(p.overwriteFree(pattern))
+	}
+	return n
+}
+
+// VerifySanitized reports whether every non-live byte of every page
+// equals the given pattern (the verification step of a sanitization
+// procedure).
+func (t *Table) VerifySanitized(pattern byte) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, p := range t.pages {
+		liveBytes := make([]bool, PageSize)
+		for _, s := range p.slots {
+			if s.flag == slotLive {
+				for b := s.off; b < s.off+s.size && b < PageSize; b++ {
+					liveBytes[b] = true
+				}
+			}
+		}
+		for b := 0; b < PageSize; b++ {
+			if !liveBytes[b] && p.buf[b] != pattern {
+				return false
+			}
+		}
+	}
+	return true
+}

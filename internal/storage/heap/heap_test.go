@@ -1,0 +1,540 @@
+package heap
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/datacase/datacase/internal/wal"
+)
+
+func k(i int) []byte { return []byte(fmt.Sprintf("key-%06d", i)) }
+func v(i int) []byte { return []byte(fmt.Sprintf("value-%06d-payload", i)) }
+
+func TestInsertGet(t *testing.T) {
+	tb := NewTable("t", nil)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if _, err := tb.Insert(k(i), v(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tb.Len() != n {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	for i := 0; i < n; i++ {
+		got, ok := tb.Get(k(i))
+		if !ok || !bytes.Equal(got, v(i)) {
+			t.Fatalf("Get(%d) = %q, %v", i, got, ok)
+		}
+	}
+	if _, ok := tb.Get([]byte("missing")); ok {
+		t.Fatal("Get on missing key")
+	}
+}
+
+func TestInsertDuplicate(t *testing.T) {
+	tb := NewTable("t", nil)
+	if _, err := tb.Insert(k(1), v(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Insert(k(1), v(2)); !errors.Is(err, ErrKeyExists) {
+		t.Fatalf("duplicate insert err = %v", err)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	tb := NewTable("t", nil)
+	if _, err := tb.Insert(k(1), v(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Update(k(1), []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := tb.Get(k(1))
+	if string(got) != "new" {
+		t.Fatalf("Get after update = %q", got)
+	}
+	if _, err := tb.Update([]byte("nope"), nil); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("update missing err = %v", err)
+	}
+	// The old version is dead but physically present.
+	sp := tb.Space()
+	if sp.DeadTuples != 1 {
+		t.Fatalf("DeadTuples = %d, want 1", sp.DeadTuples)
+	}
+}
+
+func TestUpsert(t *testing.T) {
+	tb := NewTable("t", nil)
+	if _, err := tb.Upsert(k(1), v(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Upsert(k(1), []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := tb.Get(k(1))
+	if string(got) != "two" {
+		t.Fatalf("Get = %q", got)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+}
+
+func TestDeleteLeavesDeadTuple(t *testing.T) {
+	tb := NewTable("t", nil)
+	if _, err := tb.Insert(k(1), []byte("SENSITIVE-PAYLOAD")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Delete(k(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tb.Get(k(1)); ok {
+		t.Fatal("deleted key still readable")
+	}
+	if err := tb.Delete(k(1)); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("double delete err = %v", err)
+	}
+	// Logically gone, physically retained — the paper's hazard.
+	if !tb.ForensicScan([]byte("SENSITIVE-PAYLOAD")) {
+		t.Fatal("deleted data should be forensically recoverable before vacuum")
+	}
+	keys, vals := tb.ForensicDeadTuples()
+	if len(keys) != 1 || string(vals[0]) != "SENSITIVE-PAYLOAD" {
+		t.Fatalf("forensic dead tuples = %q %q", keys, vals)
+	}
+}
+
+func TestVacuumRemovesDeadBytes(t *testing.T) {
+	tb := NewTable("t", nil)
+	if _, err := tb.Insert(k(1), []byte("SENSITIVE-PAYLOAD")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Insert(k(2), []byte("keep-me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Delete(k(1)); err != nil {
+		t.Fatal(err)
+	}
+	vs := tb.Vacuum()
+	if vs.TuplesReclaimed != 1 {
+		t.Fatalf("TuplesReclaimed = %d", vs.TuplesReclaimed)
+	}
+	if tb.ForensicScan([]byte("SENSITIVE-PAYLOAD")) {
+		t.Fatal("vacuum left dead bytes behind")
+	}
+	if got, ok := tb.Get(k(2)); !ok || string(got) != "keep-me" {
+		t.Fatalf("live tuple damaged by vacuum: %q %v", got, ok)
+	}
+	sp := tb.Space()
+	if sp.DeadTuples != 0 || sp.DeadBytes != 0 {
+		t.Fatalf("space after vacuum: %+v", sp)
+	}
+}
+
+func TestVacuumMakesSpaceReusable(t *testing.T) {
+	tb := NewTable("t", nil)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if _, err := tb.Insert(k(i), v(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pagesBefore := tb.Space().Pages
+	// Delete half, vacuum, re-insert the same volume: the table should
+	// not grow (much), because inserts reuse FSM space.
+	for i := 0; i < n/2; i++ {
+		if err := tb.Delete(k(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tb.Vacuum()
+	for i := n; i < n+n/2; i++ {
+		if _, err := tb.Insert(k(i), v(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pagesAfter := tb.Space().Pages
+	if pagesAfter > pagesBefore+1 {
+		t.Fatalf("pages grew from %d to %d despite vacuum", pagesBefore, pagesAfter)
+	}
+}
+
+func TestNoVacuumTableGrows(t *testing.T) {
+	tb := NewTable("t", nil)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if _, err := tb.Insert(k(i), v(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pagesBefore := tb.Space().Pages
+	// Churn updates without vacuuming: dead versions accumulate and the
+	// relation grows.
+	for round := 0; round < 5; round++ {
+		for i := 0; i < n; i++ {
+			if _, err := tb.Update(k(i), v(i+round)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sp := tb.Space()
+	if sp.Pages <= pagesBefore {
+		t.Fatalf("pages did not grow under churn without vacuum: %d -> %d", pagesBefore, sp.Pages)
+	}
+	if sp.DeadTuples != 5*n {
+		t.Fatalf("DeadTuples = %d, want %d", sp.DeadTuples, 5*n)
+	}
+}
+
+func TestVacuumFullShrinksRelation(t *testing.T) {
+	tb := NewTable("t", nil)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if _, err := tb.Insert(k(i), v(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			if err := tb.Delete(k(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	pagesBefore := tb.Space().Pages
+	vs := tb.VacuumFull()
+	if vs.TuplesReclaimed != n/2 {
+		t.Fatalf("TuplesReclaimed = %d", vs.TuplesReclaimed)
+	}
+	if vs.PagesFreed <= 0 {
+		t.Fatal("VACUUM FULL freed no pages")
+	}
+	sp := tb.Space()
+	if sp.Pages >= pagesBefore {
+		t.Fatalf("relation did not shrink: %d -> %d", pagesBefore, sp.Pages)
+	}
+	// All survivors readable through the rebuilt index.
+	for i := 0; i < n; i++ {
+		got, ok := tb.Get(k(i))
+		if i%2 == 0 {
+			if ok {
+				t.Fatalf("deleted key %d resurrected", i)
+			}
+		} else if !ok || !bytes.Equal(got, v(i)) {
+			t.Fatalf("survivor %d lost: %q %v", i, got, ok)
+		}
+	}
+	if tb.Len() != n/2 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+}
+
+func TestSeqScanSkipsDeadAndCounts(t *testing.T) {
+	tb := NewTable("t", nil)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if _, err := tb.Insert(k(i), v(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i += 2 {
+		if err := tb.Delete(k(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	tb.SeqScan(func(key, value []byte) bool {
+		count++
+		return true
+	})
+	if count != n/2 {
+		t.Fatalf("scan visited %d live tuples, want %d", count, n/2)
+	}
+	st := tb.Stats()
+	if st.DeadSkipped != n/2 {
+		t.Fatalf("DeadSkipped = %d, want %d", st.DeadSkipped, n/2)
+	}
+	// After vacuum the same scan does less work.
+	tb.Vacuum()
+	tb.SeqScan(func(key, value []byte) bool { return true })
+	st2 := tb.Stats()
+	if st2.DeadSkipped != st.DeadSkipped {
+		t.Fatalf("scan after vacuum still skipped dead tuples: %d -> %d",
+			st.DeadSkipped, st2.DeadSkipped)
+	}
+}
+
+func TestSeqScanEarlyStop(t *testing.T) {
+	tb := NewTable("t", nil)
+	for i := 0; i < 100; i++ {
+		if _, err := tb.Insert(k(i), v(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	tb.SeqScan(func(key, value []byte) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("visited %d", count)
+	}
+}
+
+func TestIndexRange(t *testing.T) {
+	tb := NewTable("t", nil)
+	for i := 0; i < 100; i++ {
+		if _, err := tb.Insert(k(i), v(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	tb.IndexRange(k(10), k(15), func(key, value []byte) bool {
+		got = append(got, string(key))
+		return true
+	})
+	if len(got) != 5 || got[0] != string(k(10)) || got[4] != string(k(14)) {
+		t.Fatalf("range = %v", got)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	tb := NewTable("t", nil)
+	if _, err := tb.Insert(k(1), []byte("TOP-SECRET")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Insert(k(2), []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Delete(k(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Single sanitize pass removes remnants even without vacuum.
+	if n := tb.SanitizePass(0x00); n <= 0 {
+		t.Fatal("sanitize overwrote nothing")
+	}
+	if tb.ForensicScan([]byte("TOP-SECRET")) {
+		t.Fatal("remnants survive sanitization")
+	}
+	if !tb.VerifySanitized(0x00) {
+		t.Fatal("VerifySanitized failed after pass")
+	}
+	if got, ok := tb.Get(k(2)); !ok || string(got) != "keep" {
+		t.Fatalf("live data damaged by sanitize: %q %v", got, ok)
+	}
+}
+
+func TestWALIntegration(t *testing.T) {
+	log := wal.New()
+	tb := NewTable("t", log)
+	if _, err := tb.Insert(k(1), v(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Update(k(1), v(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Delete(k(1)); err != nil {
+		t.Fatal(err)
+	}
+	tb.Vacuum()
+	var types []wal.RecordType
+	log.Replay(0, func(r wal.Record) bool {
+		types = append(types, r.Type)
+		return true
+	})
+	want := []wal.RecordType{wal.RecInsert, wal.RecUpdate, wal.RecDelete, wal.RecVacuum}
+	if len(types) != len(want) {
+		t.Fatalf("log types = %v", types)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("log types = %v, want %v", types, want)
+		}
+	}
+}
+
+func TestDeadRatio(t *testing.T) {
+	tb := NewTable("t", nil)
+	if tb.DeadRatio() != 0 {
+		t.Fatal("empty table dead ratio != 0")
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := tb.Insert(k(i), v(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if err := tb.Delete(k(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r := tb.DeadRatio(); r < 0.49 || r > 0.51 {
+		t.Fatalf("DeadRatio = %f, want ~0.5", r)
+	}
+}
+
+func TestTIDPacking(t *testing.T) {
+	cases := []struct{ page, slot int }{{0, 0}, {1, 2}, {70000, 65535}, {1 << 30, 7}}
+	for _, c := range cases {
+		tid := MakeTID(c.page, c.slot)
+		if tid.Page() != c.page || tid.Slot() != c.slot {
+			t.Fatalf("TID round trip (%d,%d) -> (%d,%d)", c.page, c.slot, tid.Page(), tid.Slot())
+		}
+	}
+	if MakeTID(3, 14).String() != "(3,14)" {
+		t.Fatal("TID.String wrong")
+	}
+}
+
+// Property: a random workload against a reference map keeps Get/Len
+// consistent, across interleaved vacuums.
+func TestRandomWorkloadAgainstReferenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tb := NewTable("t", nil)
+		ref := make(map[string]string)
+		for op := 0; op < 3000; op++ {
+			key := fmt.Sprintf("key-%d", r.Intn(300))
+			switch r.Intn(10) {
+			case 0, 1, 2, 3:
+				val := fmt.Sprintf("val-%d", op)
+				if _, err := tb.Upsert([]byte(key), []byte(val)); err != nil {
+					return false
+				}
+				ref[key] = val
+			case 4, 5:
+				err := tb.Delete([]byte(key))
+				_, inRef := ref[key]
+				if (err == nil) != inRef {
+					return false
+				}
+				delete(ref, key)
+			case 6:
+				got, ok := tb.Get([]byte(key))
+				want, inRef := ref[key]
+				if ok != inRef || (ok && string(got) != want) {
+					return false
+				}
+			case 7:
+				if r.Intn(4) == 0 {
+					tb.Vacuum()
+				}
+			case 8:
+				if r.Intn(10) == 0 {
+					tb.VacuumFull()
+				}
+			case 9:
+				count := 0
+				tb.SeqScan(func(_, _ []byte) bool { count++; return true })
+				if count != len(ref) {
+					return false
+				}
+			}
+		}
+		return tb.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: vacuum preserves exactly the live set.
+func TestVacuumPreservesLiveSetProperty(t *testing.T) {
+	f := func(seed int64, full bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		tb := NewTable("t", nil)
+		live := make(map[string]bool)
+		for i := 0; i < 500; i++ {
+			key := fmt.Sprintf("k%d", i)
+			if _, err := tb.Insert([]byte(key), v(i)); err != nil {
+				return false
+			}
+			live[key] = true
+		}
+		for key := range live {
+			if r.Intn(2) == 0 {
+				if tb.Delete([]byte(key)) != nil {
+					return false
+				}
+				delete(live, key)
+			}
+		}
+		if full {
+			tb.VacuumFull()
+		} else {
+			tb.Vacuum()
+		}
+		if tb.Len() != len(live) {
+			return false
+		}
+		seen := 0
+		okAll := true
+		tb.SeqScan(func(key, _ []byte) bool {
+			if !live[string(key)] {
+				okAll = false
+				return false
+			}
+			seen++
+			return true
+		})
+		return okAll && seen == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tb := NewTable("b", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = tb.Insert(k(i), v(i))
+	}
+}
+
+func BenchmarkGetAfterChurnNoVacuum(b *testing.B) {
+	tb := churnedTable(20000, 5, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Get(k(i % 20000))
+	}
+}
+
+func BenchmarkSeqScanNoVacuum(b *testing.B) {
+	tb := churnedTable(5000, 5, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.SeqScan(func(_, _ []byte) bool { return true })
+	}
+}
+
+func BenchmarkSeqScanWithVacuum(b *testing.B) {
+	tb := churnedTable(5000, 5, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.SeqScan(func(_, _ []byte) bool { return true })
+	}
+}
+
+// churnedTable builds a table of n rows and churns every row `rounds`
+// times, optionally vacuuming between rounds.
+func churnedTable(n, rounds int, vacuum bool) *Table {
+	tb := NewTable("b", nil)
+	for i := 0; i < n; i++ {
+		_, _ = tb.Insert(k(i), v(i))
+	}
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < n; i++ {
+			_, _ = tb.Update(k(i), v(i+round))
+		}
+		if vacuum {
+			tb.Vacuum()
+		}
+	}
+	return tb
+}

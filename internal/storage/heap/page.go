@@ -1,0 +1,242 @@
+package heap
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the size of a heap page's data area in bytes, matching
+// PostgreSQL's default block size.
+const PageSize = 8192
+
+// tupleOverhead approximates the per-tuple header cost (PostgreSQL's
+// HeapTupleHeaderData is 23 bytes; we store keyLen(2)+valLen(4) inline
+// and count the rest as header).
+const tupleOverhead = 2 + 4
+
+// slotOverhead is the per-slot line-pointer cost counted against the
+// page's free space (PostgreSQL's ItemIdData is 4 bytes).
+const slotOverhead = 4
+
+// slotFlags describe the state of a line pointer.
+type slotFlag uint8
+
+const (
+	// slotLive points at a visible tuple.
+	slotLive slotFlag = iota
+	// slotDead points at a deleted/superseded tuple whose bytes are
+	// still in the page (awaiting vacuum).
+	slotDead
+	// slotUnused is a reclaimed line pointer; its data range is free.
+	slotUnused
+)
+
+// slot is a line pointer into the page's data area.
+type slot struct {
+	off  int // offset of the tuple in buf
+	size int // encoded tuple size (overhead + key + value)
+	flag slotFlag
+}
+
+// page is one slotted heap page: a raw byte buffer plus a line-pointer
+// directory. Tuple data is bump-allocated from the front; compaction
+// (vacuum) rewrites the data area in place.
+type page struct {
+	buf   []byte
+	slots []slot
+	// used is the bump pointer: bytes [0, used) hold tuple data
+	// (possibly including dead tuples' bytes).
+	used int
+	live int
+	dead int
+}
+
+func newPage() *page {
+	return &page{buf: make([]byte, PageSize)}
+}
+
+// freeBytes returns the space available for one more tuple, accounting
+// for its line pointer.
+func (p *page) freeBytes() int {
+	free := PageSize - p.used - (len(p.slots)+1)*slotOverhead
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// insert writes a tuple and returns its slot number; ok is false when the
+// page lacks space. It reuses an unused slot's line pointer if one fits.
+func (p *page) insert(key, value []byte) (int, bool) {
+	need := tupleOverhead + len(key) + len(value)
+	if need > p.freeBytes() {
+		return 0, false
+	}
+	off := p.used
+	encodeTuple(p.buf[off:], key, value)
+	p.used += need
+	// Reuse an unused line pointer when available.
+	for i := range p.slots {
+		if p.slots[i].flag == slotUnused {
+			p.slots[i] = slot{off: off, size: need, flag: slotLive}
+			p.live++
+			return i, true
+		}
+	}
+	p.slots = append(p.slots, slot{off: off, size: need, flag: slotLive})
+	p.live++
+	return len(p.slots) - 1, true
+}
+
+// read returns the tuple at slot i; ok is false for dead/unused slots.
+func (p *page) read(i int) (key, value []byte, ok bool) {
+	if i < 0 || i >= len(p.slots) || p.slots[i].flag != slotLive {
+		return nil, nil, false
+	}
+	s := p.slots[i]
+	k, v := decodeTuple(p.buf[s.off : s.off+s.size])
+	return k, v, true
+}
+
+// readAny returns the tuple at slot i regardless of liveness (used by
+// forensic scans); ok is false only for unused slots.
+func (p *page) readAny(i int) (key, value []byte, live, ok bool) {
+	if i < 0 || i >= len(p.slots) || p.slots[i].flag == slotUnused {
+		return nil, nil, false, false
+	}
+	s := p.slots[i]
+	k, v := decodeTuple(p.buf[s.off : s.off+s.size])
+	return k, v, s.flag == slotLive, true
+}
+
+// kill marks slot i dead; the tuple bytes stay in the page.
+func (p *page) kill(i int) bool {
+	if i < 0 || i >= len(p.slots) || p.slots[i].flag != slotLive {
+		return false
+	}
+	p.slots[i].flag = slotDead
+	p.live--
+	p.dead++
+	return true
+}
+
+// compact removes dead tuples' bytes by sliding live tuples toward the
+// front of the data area (in place, like PageRepairFragmentation) and
+// zeroing the reclaimed tail. Slot numbers are preserved (dead slots
+// become unused; live slots keep their index but point at new offsets)
+// so index TIDs for live tuples stay valid. It returns the number of
+// dead tuples reclaimed.
+func (p *page) compact() int {
+	if p.dead == 0 {
+		return 0
+	}
+	// Live slots sorted by offset so the in-place slide never overlaps
+	// forward.
+	order := make([]int, 0, len(p.slots))
+	for i := range p.slots {
+		if p.slots[i].flag == slotLive {
+			order = append(order, i)
+		}
+	}
+	sortSlotsByOffset(p.slots, order)
+	used := 0
+	for _, i := range order {
+		s := &p.slots[i]
+		if s.off != used {
+			copy(p.buf[used:used+s.size], p.buf[s.off:s.off+s.size])
+			s.off = used
+		}
+		used += s.size
+	}
+	reclaimed := 0
+	for i := range p.slots {
+		if p.slots[i].flag == slotDead {
+			p.slots[i] = slot{flag: slotUnused}
+			reclaimed++
+		}
+	}
+	// Zero the tail so reclaimed bytes are physically erased.
+	for b := used; b < p.used; b++ {
+		p.buf[b] = 0
+	}
+	p.used = used
+	p.dead = 0
+	return reclaimed
+}
+
+// sortSlotsByOffset insertion-sorts the index list by slot offset (live
+// slots are nearly sorted already, so this is effectively linear).
+func sortSlotsByOffset(slots []slot, order []int) {
+	for i := 1; i < len(order); i++ {
+		j := i
+		for j > 0 && slots[order[j-1]].off > slots[order[j]].off {
+			order[j-1], order[j] = order[j], order[j-1]
+			j--
+		}
+	}
+}
+
+// overwriteFree overwrites every byte outside live tuples' data with the
+// given pattern (one sanitization pass). It returns the number of bytes
+// overwritten.
+func (p *page) overwriteFree(pattern byte) int {
+	liveBytes := make([]bool, PageSize)
+	for _, s := range p.slots {
+		if s.flag == slotLive {
+			for b := s.off; b < s.off+s.size && b < PageSize; b++ {
+				liveBytes[b] = true
+			}
+		}
+	}
+	n := 0
+	for b := 0; b < PageSize; b++ {
+		if !liveBytes[b] {
+			p.buf[b] = pattern
+			n++
+		}
+	}
+	return n
+}
+
+// liveDataBytes returns the bytes occupied by live tuples.
+func (p *page) liveDataBytes() int {
+	n := 0
+	for _, s := range p.slots {
+		if s.flag == slotLive {
+			n += s.size
+		}
+	}
+	return n
+}
+
+// deadDataBytes returns the bytes occupied by dead tuples.
+func (p *page) deadDataBytes() int {
+	n := 0
+	for _, s := range p.slots {
+		if s.flag == slotDead {
+			n += s.size
+		}
+	}
+	return n
+}
+
+// encodeTuple lays out [keyLen u16][valLen u32][key][value] at buf[0:].
+func encodeTuple(buf []byte, key, value []byte) {
+	if len(key) > 0xFFFF {
+		panic(fmt.Sprintf("heap: key too large (%d bytes)", len(key)))
+	}
+	binary.BigEndian.PutUint16(buf[0:2], uint16(len(key)))
+	binary.BigEndian.PutUint32(buf[2:6], uint32(len(value)))
+	copy(buf[6:], key)
+	copy(buf[6+len(key):], value)
+}
+
+// decodeTuple parses a tuple encoded by encodeTuple. The returned slices
+// alias the page buffer; callers must copy before retaining.
+func decodeTuple(buf []byte) (key, value []byte) {
+	kl := int(binary.BigEndian.Uint16(buf[0:2]))
+	vl := int(binary.BigEndian.Uint32(buf[2:6]))
+	key = buf[6 : 6+kl]
+	value = buf[6+kl : 6+kl+vl]
+	return key, value
+}

@@ -1,0 +1,345 @@
+package heap
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/datacase/datacase/internal/btree"
+	"github.com/datacase/datacase/internal/wal"
+)
+
+// Common errors.
+var (
+	// ErrKeyExists is returned by Insert when a live tuple with the key
+	// already exists.
+	ErrKeyExists = errors.New("heap: key already exists")
+	// ErrKeyNotFound is returned by Update/Delete on absent keys.
+	ErrKeyNotFound = errors.New("heap: key not found")
+)
+
+// Counters accumulate the physical work a table has performed. The
+// benchmark harness reads them to explain where time went; tests assert
+// the mechanics (e.g. dead tuples really are skipped by scans).
+type Counters struct {
+	TuplesInserted  uint64
+	TuplesUpdated   uint64
+	TuplesDeleted   uint64
+	PagesAllocated  uint64
+	SeqScans        uint64
+	PagesScanned    uint64
+	TuplesScanned   uint64
+	DeadSkipped     uint64
+	IndexLookups    uint64
+	VacuumRuns      uint64
+	VacuumFullRuns  uint64
+	TuplesReclaimed uint64
+}
+
+// counters is the internal, race-free representation: read paths bump
+// these under RLock, so they must be atomic.
+type counters struct {
+	tuplesInserted  atomic.Uint64
+	tuplesUpdated   atomic.Uint64
+	tuplesDeleted   atomic.Uint64
+	pagesAllocated  atomic.Uint64
+	seqScans        atomic.Uint64
+	pagesScanned    atomic.Uint64
+	tuplesScanned   atomic.Uint64
+	deadSkipped     atomic.Uint64
+	indexLookups    atomic.Uint64
+	vacuumRuns      atomic.Uint64
+	vacuumFullRuns  atomic.Uint64
+	tuplesReclaimed atomic.Uint64
+}
+
+func (c *counters) snapshot() Counters {
+	return Counters{
+		TuplesInserted:  c.tuplesInserted.Load(),
+		TuplesUpdated:   c.tuplesUpdated.Load(),
+		TuplesDeleted:   c.tuplesDeleted.Load(),
+		PagesAllocated:  c.pagesAllocated.Load(),
+		SeqScans:        c.seqScans.Load(),
+		PagesScanned:    c.pagesScanned.Load(),
+		TuplesScanned:   c.tuplesScanned.Load(),
+		DeadSkipped:     c.deadSkipped.Load(),
+		IndexLookups:    c.indexLookups.Load(),
+		VacuumRuns:      c.vacuumRuns.Load(),
+		VacuumFullRuns:  c.vacuumFullRuns.Load(),
+		TuplesReclaimed: c.tuplesReclaimed.Load(),
+	}
+}
+
+// Table is a heap table with a primary B+tree index on the key. It is
+// safe for concurrent use (a single RWMutex serializes writers; reads
+// share).
+type Table struct {
+	name string
+
+	mu    sync.RWMutex
+	pages []*page
+	index *btree.Tree // key -> TID of the latest live version
+	// fsm is the free-space map: pages believed to have reusable space.
+	// Like PostgreSQL's FSM it is populated by vacuum and consulted by
+	// inserts before extending the relation. fsmSet deduplicates.
+	fsm    []int
+	fsmSet map[int]bool
+	// dirty is the visibility-map analogue: pages known to contain dead
+	// tuples, so lazy VACUUM visits only them.
+	dirty map[int]bool
+	// lastPage is the current insertion target for fresh space.
+	lastPage int
+
+	log   *wal.Log // optional; nil disables logging
+	stats counters
+}
+
+// NewTable returns an empty table. A nil log disables write-ahead
+// logging (used by substrates that keep their own logs).
+func NewTable(name string, log *wal.Log) *Table {
+	t := &Table{
+		name:     name,
+		index:    btree.New(),
+		fsmSet:   make(map[int]bool),
+		dirty:    make(map[int]bool),
+		log:      log,
+		lastPage: -1,
+	}
+	return t
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Insert adds a new tuple. It fails with ErrKeyExists if a live tuple
+// with the key exists.
+func (t *Table) Insert(key, value []byte) (TID, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.index.Get(key); ok {
+		return 0, fmt.Errorf("%w: %q", ErrKeyExists, key)
+	}
+	tid := t.place(key, value)
+	t.index.Put(key, uint64(tid))
+	t.stats.tuplesInserted.Add(1)
+	if t.log != nil {
+		t.log.Append(wal.RecInsert, key, value)
+	}
+	return tid, nil
+}
+
+// place writes the tuple into a page with space, preferring FSM pages,
+// then the current tail page, then a fresh page. Caller holds mu.
+func (t *Table) place(key, value []byte) TID {
+	// Try free-space-map pages first (space reclaimed by vacuum).
+	for len(t.fsm) > 0 {
+		pi := t.fsm[len(t.fsm)-1]
+		if s, ok := t.pages[pi].insert(key, value); ok {
+			return MakeTID(pi, s)
+		}
+		// Page full: drop it from the FSM and try the next.
+		t.fsm = t.fsm[:len(t.fsm)-1]
+		delete(t.fsmSet, pi)
+	}
+	if t.lastPage >= 0 {
+		if s, ok := t.pages[t.lastPage].insert(key, value); ok {
+			return MakeTID(t.lastPage, s)
+		}
+	}
+	p := newPage()
+	t.pages = append(t.pages, p)
+	t.lastPage = len(t.pages) - 1
+	t.stats.pagesAllocated.Add(1)
+	s, ok := p.insert(key, value)
+	if !ok {
+		panic(fmt.Sprintf("heap: tuple larger than page (%d+%d bytes)", len(key), len(value)))
+	}
+	return MakeTID(t.lastPage, s)
+}
+
+// Update replaces the value under key MVCC-style: the old version is
+// marked dead in place and a new version is written elsewhere. Without a
+// vacuum the old version's bytes stay in the page.
+func (t *Table) Update(key, value []byte) (TID, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old, ok := t.index.Get(key)
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrKeyNotFound, key)
+	}
+	oldTID := TID(old)
+	t.pages[oldTID.Page()].kill(oldTID.Slot())
+	t.dirty[oldTID.Page()] = true
+	tid := t.place(key, value)
+	t.index.Put(key, uint64(tid))
+	t.stats.tuplesUpdated.Add(1)
+	if t.log != nil {
+		t.log.Append(wal.RecUpdate, key, value)
+	}
+	return tid, nil
+}
+
+// Upsert inserts or updates, returning the new TID.
+func (t *Table) Upsert(key, value []byte) (TID, error) {
+	t.mu.Lock()
+	has := t.index.Has(key)
+	t.mu.Unlock()
+	if has {
+		return t.Update(key, value)
+	}
+	tid, err := t.Insert(key, value)
+	if errors.Is(err, ErrKeyExists) {
+		return t.Update(key, value)
+	}
+	return tid, err
+}
+
+// Delete marks the tuple dead (like setting xmax): the index entry goes
+// away but the tuple bytes remain in the page until a vacuum.
+func (t *Table) Delete(key []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old, ok := t.index.Get(key)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrKeyNotFound, key)
+	}
+	tid := TID(old)
+	t.pages[tid.Page()].kill(tid.Slot())
+	t.dirty[tid.Page()] = true
+	t.index.Delete(key)
+	t.stats.tuplesDeleted.Add(1)
+	if t.log != nil {
+		t.log.Append(wal.RecDelete, key, nil)
+	}
+	return nil
+}
+
+// Get returns a copy of the value under key.
+func (t *Table) Get(key []byte) ([]byte, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.statsIndexLookup()
+	raw, ok := t.index.Get(key)
+	if !ok {
+		return nil, false
+	}
+	tid := TID(raw)
+	_, v, ok := t.pages[tid.Page()].read(tid.Slot())
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// statsIndexLookup bumps the lookup counter atomically so concurrent
+// readers (under RLock) do not race.
+func (t *Table) statsIndexLookup() { t.stats.indexLookups.Add(1) }
+
+// Has reports whether a live tuple with the key exists.
+func (t *Table) Has(key []byte) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.index.Has(key)
+}
+
+// SeqScan visits every live tuple in physical order until fn returns
+// false. Dead tuples are skipped, but skipping them costs work — the
+// mechanics behind Figure 4(a). The key/value slices passed to fn alias
+// page memory and must not be retained.
+func (t *Table) SeqScan(fn func(key, value []byte) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var pages, tuples, dead uint64
+	defer func() {
+		t.stats.seqScans.Add(1)
+		t.stats.pagesScanned.Add(pages)
+		t.stats.tuplesScanned.Add(tuples)
+		t.stats.deadSkipped.Add(dead)
+	}()
+	for _, p := range t.pages {
+		pages++
+		for i := range p.slots {
+			k, v, live, ok := p.readAny(i)
+			if !ok {
+				continue
+			}
+			tuples++
+			if !live {
+				dead++
+				continue
+			}
+			if !fn(k, v) {
+				return
+			}
+		}
+	}
+}
+
+// IndexRange visits live tuples with lo <= key < hi in key order. A nil
+// hi scans to the end.
+func (t *Table) IndexRange(lo, hi []byte, fn func(key, value []byte) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.index.AscendRange(lo, hi, func(k []byte, raw uint64) bool {
+		tid := TID(raw)
+		_, v, ok := t.pages[tid.Page()].read(tid.Slot())
+		if !ok {
+			return true
+		}
+		return fn(k, v)
+	})
+}
+
+// Len returns the number of live tuples.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.index.Len()
+}
+
+// Stats returns a snapshot of the work counters.
+func (t *Table) Stats() Counters { return t.stats.snapshot() }
+
+// SpaceStats describes the physical footprint of the table.
+type SpaceStats struct {
+	Pages      int
+	LiveTuples int
+	DeadTuples int
+	LiveBytes  int64
+	DeadBytes  int64
+	// TotalBytes is pages × PageSize plus line-pointer overhead: the
+	// size of the relation on "disk".
+	TotalBytes int64
+	// IndexBytes approximates the primary index footprint.
+	IndexBytes int64
+}
+
+// Space returns the physical footprint.
+func (t *Table) Space() SpaceStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var s SpaceStats
+	s.Pages = len(t.pages)
+	for _, p := range t.pages {
+		s.LiveTuples += p.live
+		s.DeadTuples += p.dead
+		s.LiveBytes += int64(p.liveDataBytes())
+		s.DeadBytes += int64(p.deadDataBytes())
+	}
+	s.TotalBytes = int64(len(t.pages)) * PageSize
+	// Index: roughly one (key copy + TID + node overhead) per entry.
+	s.IndexBytes = int64(t.index.Len()) * 48
+	return s
+}
+
+// DeadRatio returns dead/(live+dead) tuples, or 0 for an empty table.
+// Autovacuum policies trigger on it.
+func (t *Table) DeadRatio() float64 {
+	sp := t.Space()
+	total := sp.LiveTuples + sp.DeadTuples
+	if total == 0 {
+		return 0
+	}
+	return float64(sp.DeadTuples) / float64(total)
+}

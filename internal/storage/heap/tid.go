@@ -1,0 +1,22 @@
+package heap
+
+import "fmt"
+
+// TID is a tuple identifier: (page number, slot number), packed like
+// PostgreSQL's ctid. Page numbers are limited to 2^48-1 and slots to
+// 2^16-1.
+type TID uint64
+
+// MakeTID packs a page and slot number.
+func MakeTID(page, slot int) TID {
+	return TID(uint64(page)<<16 | uint64(slot)&0xFFFF)
+}
+
+// Page returns the page number.
+func (t TID) Page() int { return int(t >> 16) }
+
+// Slot returns the slot number within the page.
+func (t TID) Slot() int { return int(t & 0xFFFF) }
+
+// String renders like "(3,14)".
+func (t TID) String() string { return fmt.Sprintf("(%d,%d)", t.Page(), t.Slot()) }

@@ -1,0 +1,55 @@
+package lsm
+
+import "hash/fnv"
+
+// bloom is a fixed-size Bloom filter sized for roughly 10 bits per key,
+// giving ~1% false positives with 3 hash functions — enough to keep Get
+// from probing runs that cannot contain the key.
+type bloom struct {
+	bits []uint64
+	k    int
+}
+
+func newBloom(expectedKeys int) *bloom {
+	bits := expectedKeys * 10
+	if bits < 64 {
+		bits = 64
+	}
+	return &bloom{bits: make([]uint64, (bits+63)/64), k: 3}
+}
+
+func (b *bloom) hashes(key []byte) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write(key)
+	h1 := h.Sum64()
+	// Kirsch-Mitzenmacher double hashing: derive h2 from h1.
+	h2 := h1>>33 | h1<<31
+	if h2 == 0 {
+		h2 = 0x9e3779b97f4a7c15
+	}
+	return h1, h2
+}
+
+func (b *bloom) add(key []byte) {
+	h1, h2 := b.hashes(key)
+	n := uint64(len(b.bits) * 64)
+	for i := 0; i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) % n
+		b.bits[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+func (b *bloom) mayContain(key []byte) bool {
+	h1, h2 := b.hashes(key)
+	n := uint64(len(b.bits) * 64)
+	for i := 0; i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) % n
+		if b.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// sizeBytes returns the filter's memory footprint.
+func (b *bloom) sizeBytes() int64 { return int64(len(b.bits) * 8) }

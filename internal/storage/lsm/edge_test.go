@@ -1,0 +1,73 @@
+package lsm
+
+import "testing"
+
+func TestEmptyStoreOperations(t *testing.T) {
+	s := New(Options{})
+	if _, ok := s.Get([]byte("k")); ok {
+		t.Fatal("empty store returned a value")
+	}
+	s.Flush()   // flushing an empty memtable is a no-op
+	s.Compact() // compacting an empty store is a no-op
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	n := 0
+	s.Scan(func(_, _ []byte) bool { n++; return true })
+	if n != 0 {
+		t.Fatalf("scan visited %d", n)
+	}
+}
+
+func TestDeleteOfAbsentKeyIsATombstone(t *testing.T) {
+	// Cassandra semantics: deleting a key that never existed still
+	// writes a tombstone (the coordinator cannot know).
+	s := New(Options{MemtableFlushEntries: 4})
+	s.Delete([]byte("never-existed"))
+	sp := s.Space()
+	if sp.Tombstones != 1 {
+		t.Fatalf("tombstones = %d", sp.Tombstones)
+	}
+	if _, ok := s.Get([]byte("never-existed")); ok {
+		t.Fatal("phantom key readable")
+	}
+}
+
+func TestScanAfterManyFlushes(t *testing.T) {
+	s := New(Options{MemtableFlushEntries: 8, CompactionFanIn: 1000})
+	for i := 0; i < 200; i++ {
+		s.Put(k(i), v(i))
+	}
+	if got := s.Space().Runs; got < 10 {
+		t.Fatalf("expected many runs, got %d", got)
+	}
+	// The streaming merge must still deliver every key exactly once, in
+	// order.
+	var prev []byte
+	n := 0
+	s.Scan(func(key, _ []byte) bool {
+		if prev != nil && string(prev) >= string(key) {
+			t.Fatalf("order violated: %q then %q", prev, key)
+		}
+		prev = append(prev[:0], key...)
+		n++
+		return true
+	})
+	if n != 200 {
+		t.Fatalf("scan visited %d keys", n)
+	}
+}
+
+func TestCompactIdempotent(t *testing.T) {
+	s := New(smallOpts())
+	for i := 0; i < 100; i++ {
+		s.Put(k(i), v(i))
+	}
+	s.Compact()
+	before := s.Space()
+	s.Compact()
+	after := s.Space()
+	if before.LiveEntries != after.LiveEntries || after.Runs > 1 {
+		t.Fatalf("second compact changed state: %+v -> %+v", before, after)
+	}
+}

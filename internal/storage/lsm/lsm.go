@@ -1,0 +1,406 @@
+// Package lsm implements a log-structured merge-tree store with
+// Cassandra-style tombstone deletes: a delete is an O(1) write of a
+// tombstone marker, and the deleted data stays physically resident in
+// older runs until compaction merges past it. This is the efficient but
+// legally hazardous erasure grounding the paper contrasts with
+// PostgreSQL's DELETE/VACUUM family (§1, §3.1; the "Tombstones
+// (Indexing)" series of Figure 4(a)).
+package lsm
+
+import (
+	"bytes"
+	"sync"
+)
+
+// Options tune the store. Zero values select sensible defaults.
+type Options struct {
+	// MemtableFlushEntries flushes the memtable to a run once it holds
+	// this many entries (default 4096).
+	MemtableFlushEntries int
+	// CompactionFanIn triggers a size-tiered compaction once this many
+	// runs accumulate (default 4).
+	CompactionFanIn int
+	// GCGraceSeqs is how many sequence numbers a tombstone must age
+	// before a full compaction may drop it (Cassandra's gc_grace_seconds
+	// in logical time; default 100000). Large values model the paper's
+	// "data illegally physically retained for a long duration".
+	GCGraceSeqs uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MemtableFlushEntries <= 0 {
+		o.MemtableFlushEntries = 4096
+	}
+	if o.CompactionFanIn <= 0 {
+		o.CompactionFanIn = 4
+	}
+	if o.GCGraceSeqs == 0 {
+		o.GCGraceSeqs = 100000
+	}
+	return o
+}
+
+// Counters expose the physical work performed, for tests and benches.
+type Counters struct {
+	Puts            uint64
+	Deletes         uint64
+	Gets            uint64
+	RunsProbed      uint64
+	BloomRejects    uint64
+	MemtableFlushes uint64
+	Compactions     uint64
+	EntriesMerged   uint64
+	TombstonesGCed  uint64
+}
+
+// Store is the LSM store. It is safe for concurrent use.
+type Store struct {
+	opts Options
+
+	mu    sync.RWMutex
+	mem   *memtable
+	runs  []*sstable // newest first
+	seq   uint64
+	stats Counters
+}
+
+// New returns an empty store.
+func New(opts Options) *Store {
+	o := opts.withDefaults()
+	return &Store{opts: o, mem: newMemtable(1)}
+}
+
+// Put inserts or overwrites key.
+func (s *Store) Put(key, value []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	s.mem.put(entry{
+		key:   append([]byte(nil), key...),
+		value: append([]byte(nil), value...),
+		seq:   s.seq,
+	})
+	s.stats.Puts++
+	s.maybeFlushLocked()
+}
+
+// Delete writes a tombstone for key. The tombstone shadows older
+// versions; their bytes stay in older runs until compaction.
+func (s *Store) Delete(key []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	s.mem.put(entry{
+		key:       append([]byte(nil), key...),
+		seq:       s.seq,
+		tombstone: true,
+	})
+	s.stats.Deletes++
+	s.maybeFlushLocked()
+}
+
+// Get returns the value for key, honouring tombstones.
+func (s *Store) Get(key []byte) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Gets++
+	if e, ok := s.mem.get(key); ok {
+		if e.tombstone {
+			return nil, false
+		}
+		return append([]byte(nil), e.value...), true
+	}
+	for _, r := range s.runs {
+		s.stats.RunsProbed++
+		e, ok := r.get(key)
+		if !ok {
+			if r.len() > 0 && bytes.Compare(key, r.minKey) >= 0 &&
+				bytes.Compare(key, r.maxKey) <= 0 && !r.filter.mayContain(key) {
+				s.stats.BloomRejects++
+			}
+			continue
+		}
+		if e.tombstone {
+			return nil, false
+		}
+		return append([]byte(nil), e.value...), true
+	}
+	return nil, false
+}
+
+// Has reports whether key has a live value.
+func (s *Store) Has(key []byte) bool {
+	_, ok := s.Get(key)
+	return ok
+}
+
+// Scan visits live key-value pairs in key order until fn returns false.
+// It streams a k-way merge over the memtable and all runs, honouring
+// tombstones; early termination stops the merge (no materialization).
+func (s *Store) Scan(fn func(key, value []byte) bool) {
+	s.mu.RLock()
+	cursors := make([]*scanCursor, 0, len(s.runs)+1)
+	cursors = append(cursors, &scanCursor{mem: s.mem.head.next[0], age: 0})
+	for i, r := range s.runs {
+		if r.len() > 0 {
+			cursors = append(cursors, &scanCursor{run: r, age: i + 1})
+		}
+	}
+	s.mu.RUnlock()
+
+	// Drop exhausted cursors up front.
+	live := cursors[:0]
+	for _, c := range cursors {
+		if !c.done() {
+			live = append(live, c)
+		}
+	}
+	cursors = live
+
+	for len(cursors) > 0 {
+		// Smallest current key wins; among equals the newest (lowest
+		// age) version is authoritative.
+		best := 0
+		for i := 1; i < len(cursors); i++ {
+			c := bytes.Compare(cursors[i].key(), cursors[best].key())
+			if c < 0 || (c == 0 && cursors[i].age < cursors[best].age) {
+				best = i
+			}
+		}
+		winner := cursors[best].entry()
+		// Advance every cursor positioned at the winning key.
+		key := winner.key
+		for i := 0; i < len(cursors); {
+			if bytes.Equal(cursors[i].key(), key) {
+				cursors[i].advance()
+				if cursors[i].done() {
+					cursors = append(cursors[:i], cursors[i+1:]...)
+					continue
+				}
+			}
+			i++
+		}
+		if winner.tombstone {
+			continue
+		}
+		if !fn(winner.key, winner.value) {
+			return
+		}
+	}
+}
+
+// scanCursor walks either the memtable's bottom level or one run.
+type scanCursor struct {
+	mem *skipNode
+	run *sstable
+	idx int
+	age int
+}
+
+func (c *scanCursor) done() bool {
+	if c.run != nil {
+		return c.idx >= c.run.len()
+	}
+	return c.mem == nil
+}
+
+func (c *scanCursor) key() []byte {
+	if c.run != nil {
+		return c.run.entries[c.idx].key
+	}
+	return c.mem.key
+}
+
+func (c *scanCursor) entry() entry {
+	if c.run != nil {
+		return c.run.entries[c.idx]
+	}
+	return c.mem.entry
+}
+
+func (c *scanCursor) advance() {
+	if c.run != nil {
+		c.idx++
+		return
+	}
+	c.mem = c.mem.next[0]
+}
+
+// Len returns the number of live keys (cost: a full merge; intended for
+// tests and space accounting, not hot paths).
+func (s *Store) Len() int {
+	n := 0
+	s.Scan(func(_, _ []byte) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// maybeFlushLocked flushes the memtable when it is full and compacts
+// when enough runs have piled up. Caller holds mu.
+func (s *Store) maybeFlushLocked() {
+	if s.mem.count < s.opts.MemtableFlushEntries {
+		return
+	}
+	s.flushLocked()
+	if len(s.runs) >= s.opts.CompactionFanIn {
+		s.compactLocked(false)
+	}
+}
+
+// flushLocked turns the memtable into the newest run. Caller holds mu.
+func (s *Store) flushLocked() {
+	if s.mem.count == 0 {
+		return
+	}
+	run := buildSSTable(s.mem.drain())
+	s.runs = append([]*sstable{run}, s.runs...)
+	s.mem = newMemtable(int64(s.seq))
+	s.stats.MemtableFlushes++
+}
+
+// Flush forces the memtable into a run (for tests and shutdown).
+func (s *Store) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+}
+
+// Compact merges all runs into one. A full compaction may garbage-collect
+// tombstones older than the GC grace; minor (automatic) compactions keep
+// them, as Cassandra does.
+func (s *Store) Compact() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+	s.compactLocked(true)
+}
+
+func (s *Store) compactLocked(full bool) {
+	if len(s.runs) <= 1 && !full {
+		return
+	}
+	var dropBelow uint64
+	if full && s.seq > s.opts.GCGraceSeqs {
+		dropBelow = s.seq - s.opts.GCGraceSeqs
+	}
+	before := 0
+	for _, r := range s.runs {
+		before += r.len()
+	}
+	merged := mergeRuns(s.runs, dropBelow)
+	s.stats.Compactions++
+	s.stats.EntriesMerged += uint64(before)
+	if full {
+		tombs := 0
+		for _, e := range merged {
+			if e.tombstone {
+				tombs++
+			}
+		}
+		// Count GC'd tombstones: tombstones that went in minus those left.
+		inTombs := 0
+		for _, r := range s.runs {
+			for _, e := range r.entries {
+				if e.tombstone {
+					inTombs++
+				}
+			}
+		}
+		if inTombs > tombs {
+			s.stats.TombstonesGCed += uint64(inTombs - tombs)
+		}
+	}
+	if len(merged) == 0 {
+		s.runs = nil
+		return
+	}
+	s.runs = []*sstable{buildSSTable(merged)}
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Counters {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
+}
+
+// SpaceStats describe the store's physical footprint.
+type SpaceStats struct {
+	Runs            int
+	MemtableEntries int
+	LiveEntries     int
+	Tombstones      int
+	// ShadowedEntries are physically present entries hidden by newer
+	// versions or tombstones — the data that should be gone but is not.
+	ShadowedEntries int
+	TotalBytes      int64
+	FilterBytes     int64
+}
+
+// Space returns the physical footprint.
+func (s *Store) Space() SpaceStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var sp SpaceStats
+	sp.Runs = len(s.runs)
+	sp.MemtableEntries = s.mem.count
+	sp.TotalBytes = s.mem.bytes
+
+	seen := make(map[string]bool)
+	account := func(e entry) {
+		if seen[string(e.key)] {
+			sp.ShadowedEntries++
+			return
+		}
+		seen[string(e.key)] = true
+		if e.tombstone {
+			sp.Tombstones++
+		} else {
+			sp.LiveEntries++
+		}
+	}
+	s.mem.ascend(func(e entry) bool {
+		account(e)
+		return true
+	})
+	for _, r := range s.runs {
+		sp.TotalBytes += r.bytes
+		sp.FilterBytes += r.filter.sizeBytes()
+		for _, e := range r.entries {
+			account(e)
+		}
+	}
+	return sp
+}
+
+// ForensicScan reports whether the byte pattern is physically present
+// anywhere — including entries shadowed by tombstones. This is how the
+// paper's illegal-retention hazard is made observable.
+func (s *Store) ForensicScan(pattern []byte) bool {
+	if len(pattern) == 0 {
+		return false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	found := false
+	s.mem.ascend(func(e entry) bool {
+		if bytes.Contains(e.value, pattern) || bytes.Contains(e.key, pattern) {
+			found = true
+			return false
+		}
+		return true
+	})
+	if found {
+		return true
+	}
+	for _, r := range s.runs {
+		for _, e := range r.entries {
+			if bytes.Contains(e.value, pattern) || bytes.Contains(e.key, pattern) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,326 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func k(i int) []byte { return []byte(fmt.Sprintf("key-%06d", i)) }
+func v(i int) []byte { return []byte(fmt.Sprintf("value-%06d", i)) }
+
+func smallOpts() Options {
+	return Options{MemtableFlushEntries: 64, CompactionFanIn: 4, GCGraceSeqs: 1}
+}
+
+func TestPutGet(t *testing.T) {
+	s := New(smallOpts())
+	const n = 1000
+	for i := 0; i < n; i++ {
+		s.Put(k(i), v(i))
+	}
+	for i := 0; i < n; i++ {
+		got, ok := s.Get(k(i))
+		if !ok || !bytes.Equal(got, v(i)) {
+			t.Fatalf("Get(%d) = %q, %v", i, got, ok)
+		}
+	}
+	if _, ok := s.Get([]byte("missing")); ok {
+		t.Fatal("missing key found")
+	}
+	if s.Stats().MemtableFlushes == 0 {
+		t.Fatal("expected memtable flushes with small threshold")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	s := New(smallOpts())
+	s.Put(k(1), []byte("a"))
+	s.Put(k(1), []byte("b"))
+	got, _ := s.Get(k(1))
+	if string(got) != "b" {
+		t.Fatalf("Get = %q", got)
+	}
+	// Overwrite across a flush boundary.
+	s.Flush()
+	s.Put(k(1), []byte("c"))
+	got, _ = s.Get(k(1))
+	if string(got) != "c" {
+		t.Fatalf("Get after flush = %q", got)
+	}
+}
+
+func TestDeleteTombstone(t *testing.T) {
+	s := New(smallOpts())
+	s.Put(k(1), []byte("SECRET"))
+	s.Flush() // value now lives in an immutable run
+	s.Delete(k(1))
+	if _, ok := s.Get(k(1)); ok {
+		t.Fatal("tombstoned key readable")
+	}
+	// The hazard: logically deleted, physically present.
+	if !s.ForensicScan([]byte("SECRET")) {
+		t.Fatal("deleted value should be physically resident before compaction")
+	}
+	sp := s.Space()
+	if sp.ShadowedEntries == 0 {
+		t.Fatal("expected shadowed entries")
+	}
+	// Full compaction with tiny GC grace purges it.
+	s.Compact()
+	if s.ForensicScan([]byte("SECRET")) {
+		t.Fatal("full compaction left deleted value behind")
+	}
+	if _, ok := s.Get(k(1)); ok {
+		t.Fatal("key resurrected by compaction")
+	}
+}
+
+func TestTombstoneGCGrace(t *testing.T) {
+	// With a huge GC grace, even full compaction keeps tombstones and
+	// cannot drop them (modelling long illegal retention).
+	s := New(Options{MemtableFlushEntries: 16, CompactionFanIn: 4, GCGraceSeqs: 1 << 40})
+	s.Put(k(1), []byte("SECRET"))
+	s.Flush()
+	s.Delete(k(1))
+	s.Compact()
+	sp := s.Space()
+	if sp.Tombstones != 1 {
+		t.Fatalf("tombstone dropped despite GC grace: %+v", sp)
+	}
+	if _, ok := s.Get(k(1)); ok {
+		t.Fatal("key readable")
+	}
+}
+
+func TestDeleteThenReinsert(t *testing.T) {
+	s := New(smallOpts())
+	s.Put(k(1), []byte("one"))
+	s.Delete(k(1))
+	s.Put(k(1), []byte("two"))
+	got, ok := s.Get(k(1))
+	if !ok || string(got) != "two" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+}
+
+func TestScanMergesAndHonoursTombstones(t *testing.T) {
+	s := New(smallOpts())
+	const n = 300
+	for i := 0; i < n; i++ {
+		s.Put(k(i), v(i))
+	}
+	for i := 0; i < n; i += 3 {
+		s.Delete(k(i))
+	}
+	var keys []string
+	s.Scan(func(key, value []byte) bool {
+		keys = append(keys, string(key))
+		return true
+	})
+	want := n - (n+2)/3
+	if len(keys) != want {
+		t.Fatalf("scan found %d keys, want %d", len(keys), want)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatal("scan out of order")
+		}
+	}
+	if s.Len() != want {
+		t.Fatalf("Len = %d, want %d", s.Len(), want)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	s := New(smallOpts())
+	for i := 0; i < 100; i++ {
+		s.Put(k(i), v(i))
+	}
+	count := 0
+	s.Scan(func(_, _ []byte) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("visited %d", count)
+	}
+}
+
+func TestCompactionReducesRuns(t *testing.T) {
+	s := New(Options{MemtableFlushEntries: 32, CompactionFanIn: 4, GCGraceSeqs: 1})
+	for i := 0; i < 1000; i++ {
+		s.Put(k(i%200), v(i))
+	}
+	sp := s.Space()
+	if sp.Runs >= 8 {
+		t.Fatalf("compaction not keeping up: %d runs", sp.Runs)
+	}
+	if s.Stats().Compactions == 0 {
+		t.Fatal("no compactions ran")
+	}
+	// All latest values visible.
+	for i := 800; i < 1000; i++ {
+		got, ok := s.Get(k(i % 200))
+		_ = got
+		if !ok {
+			t.Fatalf("key %d lost after compaction", i%200)
+		}
+	}
+}
+
+func TestBloomFilterRejects(t *testing.T) {
+	s := New(Options{MemtableFlushEntries: 128, CompactionFanIn: 100, GCGraceSeqs: 1})
+	for i := 0; i < 1000; i++ {
+		s.Put(k(i), v(i))
+	}
+	s.Flush()
+	// Probe keys inside the key range but absent (force bloom consults).
+	for i := 0; i < 500; i++ {
+		s.Get([]byte(fmt.Sprintf("key-%06d-x", i)))
+	}
+	// Within-range absent keys are rejected mostly by the bloom filter;
+	// the counter is best-effort (only counted for in-range misses).
+	if s.Stats().RunsProbed == 0 {
+		t.Fatal("no runs probed")
+	}
+}
+
+func TestForensicScanMemtable(t *testing.T) {
+	s := New(Options{MemtableFlushEntries: 1 << 20})
+	s.Put(k(1), []byte("IN-MEMTABLE"))
+	if !s.ForensicScan([]byte("IN-MEMTABLE")) {
+		t.Fatal("memtable data not forensically visible")
+	}
+	if s.ForensicScan([]byte("ABSENT")) {
+		t.Fatal("phantom pattern found")
+	}
+	if s.ForensicScan(nil) {
+		t.Fatal("empty pattern found")
+	}
+}
+
+func TestSpaceAccounting(t *testing.T) {
+	s := New(smallOpts())
+	for i := 0; i < 200; i++ {
+		s.Put(k(i), v(i))
+	}
+	for i := 0; i < 50; i++ {
+		s.Put(k(i), v(i+1000)) // shadow 50 old versions
+	}
+	sp := s.Space()
+	if sp.LiveEntries != 200 {
+		t.Fatalf("LiveEntries = %d, want 200", sp.LiveEntries)
+	}
+	if sp.TotalBytes <= 0 {
+		t.Fatal("TotalBytes not tracked")
+	}
+}
+
+// Property: the store agrees with a reference map under random workloads
+// with interleaved flushes and compactions.
+func TestRandomWorkloadAgainstReferenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := New(Options{MemtableFlushEntries: 32, CompactionFanIn: 3, GCGraceSeqs: 1})
+		ref := make(map[string]string)
+		for op := 0; op < 2000; op++ {
+			key := fmt.Sprintf("key-%d", r.Intn(150))
+			switch r.Intn(10) {
+			case 0, 1, 2, 3, 4:
+				val := fmt.Sprintf("val-%d", op)
+				s.Put([]byte(key), []byte(val))
+				ref[key] = val
+			case 5, 6:
+				s.Delete([]byte(key))
+				delete(ref, key)
+			case 7, 8:
+				got, ok := s.Get([]byte(key))
+				want, inRef := ref[key]
+				if ok != inRef || (ok && string(got) != want) {
+					return false
+				}
+			case 9:
+				if r.Intn(5) == 0 {
+					s.Compact()
+				}
+			}
+		}
+		if s.Len() != len(ref) {
+			return false
+		}
+		okAll := true
+		s.Scan(func(key, value []byte) bool {
+			want, inRef := ref[string(key)]
+			if !inRef || want != string(value) {
+				okAll = false
+				return false
+			}
+			return true
+		})
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after a full compaction with expired GC grace, no shadowed
+// entries remain and tombstones for keys with no older data are gone.
+func TestCompactionPurgesShadowedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := New(Options{MemtableFlushEntries: 16, CompactionFanIn: 3, GCGraceSeqs: 1})
+		for op := 0; op < 500; op++ {
+			key := fmt.Sprintf("key-%d", r.Intn(60))
+			if r.Intn(3) == 0 {
+				s.Delete([]byte(key))
+			} else {
+				s.Put([]byte(key), v(op))
+			}
+		}
+		// Age every workload tombstone past the GC grace (1 seq) before
+		// the full compaction, so all of them are GC-eligible.
+		s.Put([]byte("zzz-sentinel"), []byte("x"))
+		s.Put([]byte("zzz-sentinel"), []byte("y"))
+		s.Compact()
+		sp := s.Space()
+		return sp.ShadowedEntries == 0 && sp.Tombstones == 0 && sp.Runs <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	s := New(Options{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Put(k(i), v(i))
+	}
+}
+
+func BenchmarkGetMultiRun(b *testing.B) {
+	s := New(Options{MemtableFlushEntries: 1024, CompactionFanIn: 64})
+	const n = 50000
+	for i := 0; i < n; i++ {
+		s.Put(k(i), v(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(k(i % n))
+	}
+}
+
+func BenchmarkDeleteTombstone(b *testing.B) {
+	s := New(Options{})
+	for i := 0; i < 100000; i++ {
+		s.Put(k(i), v(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Delete(k(i % 100000))
+	}
+}

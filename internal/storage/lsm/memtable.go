@@ -1,0 +1,118 @@
+package lsm
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+// entry is one versioned key-value record. A tombstone entry marks the
+// key deleted as of seq; the deleted value is gone from the memtable but
+// older values survive in runs below until compaction.
+type entry struct {
+	key       []byte
+	value     []byte
+	seq       uint64
+	tombstone bool
+}
+
+const maxSkipLevel = 16
+
+// memtable is a skiplist-ordered write buffer, as in Cassandra/LevelDB.
+// Access is serialized by the Store's mutex.
+type memtable struct {
+	head  *skipNode
+	level int
+	rng   *rand.Rand
+	count int
+	bytes int64
+}
+
+type skipNode struct {
+	entry
+	next [maxSkipLevel]*skipNode
+}
+
+func newMemtable(seed int64) *memtable {
+	return &memtable{
+		head:  &skipNode{},
+		level: 1,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (m *memtable) randomLevel() int {
+	lvl := 1
+	for lvl < maxSkipLevel && m.rng.Intn(4) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// put inserts or overwrites the entry for key.
+func (m *memtable) put(e entry) {
+	var update [maxSkipLevel]*skipNode
+	x := m.head
+	for i := m.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, e.key) < 0 {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	x = x.next[0]
+	if x != nil && bytes.Equal(x.key, e.key) {
+		// Overwrite in place; adjust byte accounting.
+		m.bytes += int64(len(e.value)) - int64(len(x.value))
+		x.value = e.value
+		x.seq = e.seq
+		x.tombstone = e.tombstone
+		return
+	}
+	lvl := m.randomLevel()
+	if lvl > m.level {
+		for i := m.level; i < lvl; i++ {
+			update[i] = m.head
+		}
+		m.level = lvl
+	}
+	n := &skipNode{entry: e}
+	for i := 0; i < lvl; i++ {
+		n.next[i] = update[i].next[i]
+		update[i].next[i] = n
+	}
+	m.count++
+	m.bytes += int64(len(e.key) + len(e.value) + 16)
+}
+
+// get returns the entry for key, if buffered.
+func (m *memtable) get(key []byte) (entry, bool) {
+	x := m.head
+	for i := m.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+	}
+	x = x.next[0]
+	if x != nil && bytes.Equal(x.key, key) {
+		return x.entry, true
+	}
+	return entry{}, false
+}
+
+// ascend visits entries in key order until fn returns false.
+func (m *memtable) ascend(fn func(entry) bool) {
+	for x := m.head.next[0]; x != nil; x = x.next[0] {
+		if !fn(x.entry) {
+			return
+		}
+	}
+}
+
+// drain returns all entries in key order.
+func (m *memtable) drain() []entry {
+	out := make([]entry, 0, m.count)
+	m.ascend(func(e entry) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}

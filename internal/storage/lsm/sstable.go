@@ -1,0 +1,115 @@
+package lsm
+
+import (
+	"bytes"
+	"sort"
+)
+
+// sstable is an immutable sorted run. Entries are version-latest within
+// the run; older versions of a key live in older runs until compaction
+// merges them away — which is precisely how logically deleted data stays
+// physically resident (the paper's tombstone-retention hazard, after
+// Lethe [62]).
+type sstable struct {
+	entries []entry
+	filter  *bloom
+	minKey  []byte
+	maxKey  []byte
+	// maxSeq is the newest sequence number in the run; compaction uses
+	// it to decide tombstone GC eligibility.
+	maxSeq uint64
+	bytes  int64
+}
+
+// buildSSTable constructs a run from key-ordered entries.
+func buildSSTable(entries []entry) *sstable {
+	t := &sstable{entries: entries, filter: newBloom(len(entries))}
+	for i := range entries {
+		e := &entries[i]
+		t.filter.add(e.key)
+		if e.seq > t.maxSeq {
+			t.maxSeq = e.seq
+		}
+		t.bytes += int64(len(e.key) + len(e.value) + 16)
+	}
+	if len(entries) > 0 {
+		t.minKey = entries[0].key
+		t.maxKey = entries[len(entries)-1].key
+	}
+	return t
+}
+
+// get returns the entry for key within this run.
+func (t *sstable) get(key []byte) (entry, bool) {
+	if len(t.entries) == 0 ||
+		bytes.Compare(key, t.minKey) < 0 || bytes.Compare(key, t.maxKey) > 0 {
+		return entry{}, false
+	}
+	if !t.filter.mayContain(key) {
+		return entry{}, false
+	}
+	i := sort.Search(len(t.entries), func(i int) bool {
+		return bytes.Compare(t.entries[i].key, key) >= 0
+	})
+	if i < len(t.entries) && bytes.Equal(t.entries[i].key, key) {
+		return t.entries[i], true
+	}
+	return entry{}, false
+}
+
+// len returns the number of entries (including tombstones).
+func (t *sstable) len() int { return len(t.entries) }
+
+// mergeRuns merges runs (newest first) into a single key-ordered entry
+// slice keeping only the newest version of each key. Tombstones are
+// retained unless dropTombstonesBelow > 0 and the tombstone's seq is
+// older than it (GC-grace expired and nothing below can resurrect).
+func mergeRuns(runs []*sstable, dropTombstonesBelow uint64) []entry {
+	// k-way merge by key; on ties the entry from the newest run wins.
+	type cursor struct {
+		run *sstable
+		idx int
+		age int // 0 = newest
+	}
+	var cursors []cursor
+	for age, r := range runs {
+		if r.len() > 0 {
+			cursors = append(cursors, cursor{run: r, age: age})
+		}
+	}
+	var out []entry
+	for len(cursors) > 0 {
+		// Find the smallest current key; among equals the smallest age wins.
+		best := -1
+		for i := range cursors {
+			if best == -1 {
+				best = i
+				continue
+			}
+			c := bytes.Compare(cursors[i].run.entries[cursors[i].idx].key,
+				cursors[best].run.entries[cursors[best].idx].key)
+			if c < 0 || (c == 0 && cursors[i].age < cursors[best].age) {
+				best = i
+			}
+		}
+		winner := cursors[best].run.entries[cursors[best].idx]
+		// Advance every cursor positioned at this key (dropping older
+		// versions).
+		for i := 0; i < len(cursors); {
+			cur := &cursors[i]
+			if bytes.Equal(cur.run.entries[cur.idx].key, winner.key) {
+				cur.idx++
+				if cur.idx >= cur.run.len() {
+					cursors = append(cursors[:i], cursors[i+1:]...)
+					continue
+				}
+			}
+			i++
+		}
+		if winner.tombstone && dropTombstonesBelow > 0 && winner.seq < dropTombstonesBelow {
+			continue // tombstone GC: drop it and the data it shadowed
+		}
+		out = append(out, winner)
+	}
+	return out
+}

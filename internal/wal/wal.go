@@ -1,0 +1,265 @@
+// Package wal implements a write-ahead log: an append-only sequence of
+// typed, checksummed records addressed by log sequence number (LSN).
+//
+// The heap engine logs every mutation before applying it; the audit layer
+// reconstructs action histories from the log; erasure groundings that
+// must scrub history (strong/permanent delete) rewrite the log through
+// Scrub. The log writes to any io.Writer-like backing store; the default
+// is an in-memory buffer so the simulator stays self-contained.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+)
+
+// RecordType tags the payload of a log record.
+type RecordType uint8
+
+// Record types used by the engines in this repository.
+const (
+	// RecInsert logs a tuple insert.
+	RecInsert RecordType = iota + 1
+	// RecUpdate logs a tuple update.
+	RecUpdate
+	// RecDelete logs a tuple delete.
+	RecDelete
+	// RecVacuum logs a vacuum pass.
+	RecVacuum
+	// RecCheckpoint marks a consistent point; replay may start here.
+	RecCheckpoint
+	// RecErase logs a regulation-mandated erasure.
+	RecErase
+	// RecTombstone marks a record scrubbed by an erasure grounding: the
+	// original payload is gone but the fact that *something* was logged
+	// remains, keeping LSNs stable.
+	RecTombstone
+)
+
+var recordTypeNames = [...]string{
+	RecInsert:     "insert",
+	RecUpdate:     "update",
+	RecDelete:     "delete",
+	RecVacuum:     "vacuum",
+	RecCheckpoint: "checkpoint",
+	RecErase:      "erase",
+	RecTombstone:  "tombstone",
+}
+
+// String returns the record type name.
+func (t RecordType) String() string {
+	if int(t) < len(recordTypeNames) && recordTypeNames[t] != "" {
+		return recordTypeNames[t]
+	}
+	return fmt.Sprintf("rectype(%d)", uint8(t))
+}
+
+// LSN is a log sequence number: the position of a record in the log,
+// starting at 1.
+type LSN uint64
+
+// Record is one log entry.
+type Record struct {
+	LSN  LSN
+	Type RecordType
+	// Key identifies the affected object (e.g. a record key); erasure
+	// scrubbing matches on it.
+	Key []byte
+	// Payload is the record body (before/after images, etc.).
+	Payload []byte
+}
+
+// Log is an append-only write-ahead log. It is safe for concurrent use.
+type Log struct {
+	mu      sync.RWMutex
+	records []Record
+	next    LSN
+	// bytes tracks the encoded size of the live log, for space accounting.
+	bytes int64
+	// flushed is the LSN up to which the log is considered durable.
+	flushed LSN
+}
+
+// New returns an empty log.
+func New() *Log {
+	return &Log{next: 1}
+}
+
+// Append adds a record and returns its LSN. Key and payload are copied.
+func (l *Log) Append(t RecordType, key, payload []byte) LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r := Record{
+		LSN:     l.next,
+		Type:    t,
+		Key:     append([]byte(nil), key...),
+		Payload: append([]byte(nil), payload...),
+	}
+	l.records = append(l.records, r)
+	l.next++
+	l.bytes += encodedSize(r)
+	return r.LSN
+}
+
+// Flush marks everything appended so far as durable and returns the
+// flushed horizon. The in-memory backing makes this a bookkeeping step;
+// engines still call it at commit points so the protocol is faithful.
+func (l *Log) Flush() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.records) > 0 {
+		l.flushed = l.records[len(l.records)-1].LSN
+	}
+	return l.flushed
+}
+
+// Durable returns the flushed horizon.
+func (l *Log) Durable() LSN {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.flushed
+}
+
+// Len returns the number of live records.
+func (l *Log) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.records)
+}
+
+// SizeBytes returns the encoded size of the live log.
+func (l *Log) SizeBytes() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.bytes
+}
+
+// Replay visits records with LSN > after, in order, until fn returns
+// false. Recovery replays from a checkpoint; auditors replay from zero.
+func (l *Log) Replay(after LSN, fn func(Record) bool) {
+	l.mu.RLock()
+	snapshot := make([]Record, 0, len(l.records))
+	for _, r := range l.records {
+		if r.LSN > after {
+			snapshot = append(snapshot, r)
+		}
+	}
+	l.mu.RUnlock()
+	for _, r := range snapshot {
+		if !fn(r) {
+			return
+		}
+	}
+}
+
+// Truncate drops records with LSN <= upTo (e.g. after a checkpoint) and
+// returns how many were dropped.
+func (l *Log) Truncate(upTo LSN) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	i := 0
+	for i < len(l.records) && l.records[i].LSN <= upTo {
+		l.bytes -= encodedSize(l.records[i])
+		i++
+	}
+	l.records = l.records[i:]
+	return i
+}
+
+// Scrub replaces the key and payload of every record whose key matches
+// the predicate with a tombstone record, preserving LSNs. It returns the
+// number of scrubbed records. Strong/permanent erasure groundings use it
+// to remove a data unit's traces from recovery logs (§3.2 of the paper:
+// logs may illegally retain erased data).
+func (l *Log) Scrub(match func(key []byte) bool) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for i := range l.records {
+		r := &l.records[i]
+		if r.Type == RecTombstone || !match(r.Key) {
+			continue
+		}
+		l.bytes -= encodedSize(*r)
+		r.Type = RecTombstone
+		r.Key = nil
+		r.Payload = nil
+		l.bytes += encodedSize(*r)
+		n++
+	}
+	return n
+}
+
+// ContainsKey reports whether any live (non-tombstone) record matches the
+// key predicate. Erasure verification uses it to prove a unit's traces
+// are gone.
+func (l *Log) ContainsKey(match func(key []byte) bool) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for _, r := range l.records {
+		if r.Type != RecTombstone && match(r.Key) {
+			return true
+		}
+	}
+	return false
+}
+
+// Encode serializes a record with a CRC32 checksum:
+//
+//	lsn(8) type(1) keyLen(4) key payloadLen(4) payload crc(4)
+func Encode(r Record) []byte {
+	buf := make([]byte, 0, int(encodedSize(r)))
+	var scratch [8]byte
+	binary.BigEndian.PutUint64(scratch[:], uint64(r.LSN))
+	buf = append(buf, scratch[:]...)
+	buf = append(buf, byte(r.Type))
+	binary.BigEndian.PutUint32(scratch[:4], uint32(len(r.Key)))
+	buf = append(buf, scratch[:4]...)
+	buf = append(buf, r.Key...)
+	binary.BigEndian.PutUint32(scratch[:4], uint32(len(r.Payload)))
+	buf = append(buf, scratch[:4]...)
+	buf = append(buf, r.Payload...)
+	crc := crc32.ChecksumIEEE(buf)
+	binary.BigEndian.PutUint32(scratch[:4], crc)
+	buf = append(buf, scratch[:4]...)
+	return buf
+}
+
+// Decode parses a record produced by Encode, verifying the checksum.
+func Decode(buf []byte) (Record, error) {
+	const fixed = 8 + 1 + 4 + 4 + 4
+	if len(buf) < fixed {
+		return Record{}, fmt.Errorf("wal: record too short (%d bytes)", len(buf))
+	}
+	body, sum := buf[:len(buf)-4], binary.BigEndian.Uint32(buf[len(buf)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return Record{}, fmt.Errorf("wal: checksum mismatch")
+	}
+	var r Record
+	r.LSN = LSN(binary.BigEndian.Uint64(body[:8]))
+	r.Type = RecordType(body[8])
+	off := 9
+	kl := int(binary.BigEndian.Uint32(body[off : off+4]))
+	off += 4
+	if off+kl > len(body) {
+		return Record{}, fmt.Errorf("wal: truncated key")
+	}
+	r.Key = append([]byte(nil), body[off:off+kl]...)
+	off += kl
+	if off+4 > len(body) {
+		return Record{}, fmt.Errorf("wal: truncated payload length")
+	}
+	pl := int(binary.BigEndian.Uint32(body[off : off+4]))
+	off += 4
+	if off+pl != len(body) {
+		return Record{}, fmt.Errorf("wal: payload length mismatch")
+	}
+	r.Payload = append([]byte(nil), body[off:off+pl]...)
+	return r, nil
+}
+
+func encodedSize(r Record) int64 {
+	return int64(8 + 1 + 4 + len(r.Key) + 4 + len(r.Payload) + 4)
+}

@@ -1,0 +1,218 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendAssignsSequentialLSNs(t *testing.T) {
+	l := New()
+	for i := 1; i <= 100; i++ {
+		lsn := l.Append(RecInsert, []byte(fmt.Sprintf("k%d", i)), []byte("v"))
+		if lsn != LSN(i) {
+			t.Fatalf("LSN = %d, want %d", lsn, i)
+		}
+	}
+	if l.Len() != 100 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestReplayOrderAndAfter(t *testing.T) {
+	l := New()
+	for i := 0; i < 10; i++ {
+		l.Append(RecInsert, []byte{byte(i)}, nil)
+	}
+	var seen []LSN
+	l.Replay(5, func(r Record) bool {
+		seen = append(seen, r.LSN)
+		return true
+	})
+	if len(seen) != 5 || seen[0] != 6 || seen[4] != 10 {
+		t.Fatalf("Replay(5) = %v", seen)
+	}
+	// Early stop.
+	count := 0
+	l.Replay(0, func(r Record) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestFlushDurable(t *testing.T) {
+	l := New()
+	if l.Durable() != 0 {
+		t.Fatal("fresh log has durable horizon")
+	}
+	l.Append(RecInsert, []byte("k"), nil)
+	l.Append(RecUpdate, []byte("k"), nil)
+	if got := l.Flush(); got != 2 {
+		t.Fatalf("Flush = %d", got)
+	}
+	if l.Durable() != 2 {
+		t.Fatalf("Durable = %d", l.Durable())
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	l := New()
+	for i := 0; i < 10; i++ {
+		l.Append(RecInsert, []byte{byte(i)}, []byte("payload"))
+	}
+	before := l.SizeBytes()
+	if n := l.Truncate(4); n != 4 {
+		t.Fatalf("Truncate = %d", n)
+	}
+	if l.Len() != 6 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if l.SizeBytes() >= before {
+		t.Fatal("Truncate did not shrink the log")
+	}
+	// LSNs of surviving records are unchanged.
+	var first LSN
+	l.Replay(0, func(r Record) bool {
+		first = r.LSN
+		return false
+	})
+	if first != 5 {
+		t.Fatalf("first surviving LSN = %d, want 5", first)
+	}
+}
+
+func TestScrub(t *testing.T) {
+	l := New()
+	l.Append(RecInsert, []byte("user-1/cc"), []byte("4111"))
+	l.Append(RecInsert, []byte("user-2/cc"), []byte("4222"))
+	l.Append(RecUpdate, []byte("user-1/cc"), []byte("4333"))
+
+	match := func(k []byte) bool { return bytes.HasPrefix(k, []byte("user-1/")) }
+	if !l.ContainsKey(match) {
+		t.Fatal("log should contain user-1 records before scrub")
+	}
+	if n := l.Scrub(match); n != 2 {
+		t.Fatalf("Scrub = %d, want 2", n)
+	}
+	if l.ContainsKey(match) {
+		t.Fatal("user-1 records survive scrub")
+	}
+	// LSNs and record count are preserved; scrubbed records are tombstones.
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d after scrub", l.Len())
+	}
+	var types []RecordType
+	l.Replay(0, func(r Record) bool {
+		types = append(types, r.Type)
+		return true
+	})
+	want := []RecordType{RecTombstone, RecInsert, RecTombstone}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("types = %v, want %v", types, want)
+		}
+	}
+	// Scrubbing again finds nothing.
+	if n := l.Scrub(match); n != 0 {
+		t.Fatalf("second Scrub = %d", n)
+	}
+	// user-2 untouched.
+	if !l.ContainsKey(func(k []byte) bool { return bytes.HasPrefix(k, []byte("user-2/")) }) {
+		t.Fatal("scrub damaged unrelated records")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := Record{LSN: 42, Type: RecDelete, Key: []byte("key"), Payload: []byte("payload")}
+	got, err := Decode(Encode(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LSN != r.LSN || got.Type != r.Type ||
+		!bytes.Equal(got.Key, r.Key) || !bytes.Equal(got.Payload, r.Payload) {
+		t.Fatalf("round trip = %+v, want %+v", got, r)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	r := Record{LSN: 1, Type: RecInsert, Key: []byte("k"), Payload: []byte("p")}
+	buf := Encode(r)
+	buf[3] ^= 0xFF
+	if _, err := Decode(buf); err == nil {
+		t.Fatal("corrupted record decoded without error")
+	}
+	if _, err := Decode(buf[:5]); err == nil {
+		t.Fatal("truncated record decoded without error")
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(lsn uint64, typ uint8, key, payload []byte) bool {
+		r := Record{LSN: LSN(lsn), Type: RecordType(typ), Key: key, Payload: payload}
+		got, err := Decode(Encode(r))
+		if err != nil {
+			return false
+		}
+		return got.LSN == r.LSN && got.Type == r.Type &&
+			bytes.Equal(got.Key, key) && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	l := New()
+	const goroutines, per = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Append(RecInsert, []byte("k"), nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != goroutines*per {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	// LSNs must be dense 1..N.
+	seen := make(map[LSN]bool)
+	l.Replay(0, func(r Record) bool {
+		seen[r.LSN] = true
+		return true
+	})
+	for i := 1; i <= goroutines*per; i++ {
+		if !seen[LSN(i)] {
+			t.Fatalf("missing LSN %d", i)
+		}
+	}
+}
+
+func TestSizeBytesTracksAppends(t *testing.T) {
+	l := New()
+	if l.SizeBytes() != 0 {
+		t.Fatal("fresh log has non-zero size")
+	}
+	l.Append(RecInsert, []byte("key"), []byte("0123456789"))
+	want := int64(8 + 1 + 4 + 3 + 4 + 10 + 4)
+	if l.SizeBytes() != want {
+		t.Fatalf("SizeBytes = %d, want %d", l.SizeBytes(), want)
+	}
+}
+
+func TestRecordTypeString(t *testing.T) {
+	if RecInsert.String() != "insert" || RecTombstone.String() != "tombstone" {
+		t.Fatal("record type names wrong")
+	}
+	if RecordType(99).String() == "" {
+		t.Fatal("unknown type renders empty")
+	}
+}

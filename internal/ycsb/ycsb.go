@@ -1,0 +1,167 @@
+// Package ycsb reimplements the YCSB workload generators [20] the paper
+// uses: Workload C (100% reads, the paper's non-GDPR baseline) plus A
+// (50/50 read/update) and B (95/5) for ablations. Keys follow a zipfian
+// popularity distribution, as in the original benchmark.
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// OpKind is a YCSB operation.
+type OpKind uint8
+
+// YCSB operations.
+const (
+	OpRead OpKind = iota
+	OpUpdate
+)
+
+// String returns the op name.
+func (k OpKind) String() string {
+	if k == OpRead {
+		return "read"
+	}
+	return "update"
+}
+
+// Op is one generated operation.
+type Op struct {
+	Kind    OpKind
+	Key     string
+	Payload []byte
+}
+
+// WorkloadName selects the mix.
+type WorkloadName string
+
+// The implemented workloads.
+const (
+	WorkloadA WorkloadName = "YCSB-A" // 50% read, 50% update
+	WorkloadB WorkloadName = "YCSB-B" // 95% read, 5% update
+	WorkloadC WorkloadName = "YCSB-C" // 100% read
+)
+
+// readFraction returns the read share of the workload.
+func readFraction(w WorkloadName) (float64, error) {
+	switch w {
+	case WorkloadA:
+		return 0.50, nil
+	case WorkloadB:
+		return 0.95, nil
+	case WorkloadC:
+		return 1.00, nil
+	default:
+		return 0, fmt.Errorf("ycsb: unknown workload %q", w)
+	}
+}
+
+// Generator produces YCSB operations over a fixed key space.
+type Generator struct {
+	workload WorkloadName
+	reads    float64
+	rng      *rand.Rand
+	zipf     *Zipfian
+	records  int
+	valueLen int
+}
+
+// NewGenerator builds a generator over `records` keys with ~valueLen-byte
+// update payloads.
+func NewGenerator(w WorkloadName, records, valueLen int, seed int64) (*Generator, error) {
+	rf, err := readFraction(w)
+	if err != nil {
+		return nil, err
+	}
+	if records <= 0 || valueLen <= 0 {
+		return nil, fmt.Errorf("ycsb: records and valueLen must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	z, err := NewZipfian(records, 0.99, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Generator{
+		workload: w, reads: rf, rng: rng, zipf: z,
+		records: records, valueLen: valueLen,
+	}, nil
+}
+
+// Workload returns the workload name.
+func (g *Generator) Workload() WorkloadName { return g.workload }
+
+// KeyFor renders the key for an index (shared with the loader).
+func KeyFor(i int) string { return fmt.Sprintf("user%08d", i) }
+
+// Next generates one operation.
+func (g *Generator) Next() Op {
+	key := KeyFor(g.zipf.Next())
+	if g.rng.Float64() < g.reads {
+		return Op{Kind: OpRead, Key: key}
+	}
+	payload := make([]byte, g.valueLen)
+	for i := range payload {
+		payload[i] = byte('a' + g.rng.Intn(26))
+	}
+	return Op{Kind: OpUpdate, Key: key, Payload: payload}
+}
+
+// Ops generates n operations.
+func (g *Generator) Ops(n int) []Op {
+	out := make([]Op, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Zipfian draws integers in [0, n) with a zipfian distribution, using
+// the Gray et al. rejection-inversion method popularized by YCSB's
+// ZipfianGenerator.
+type Zipfian struct {
+	n     int
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	rng   *rand.Rand
+}
+
+// NewZipfian builds a generator over [0, n) with skew theta in (0, 1).
+func NewZipfian(n int, theta float64, rng *rand.Rand) (*Zipfian, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("ycsb: zipfian over empty domain")
+	}
+	if theta <= 0 || theta >= 1 {
+		return nil, fmt.Errorf("ycsb: zipfian theta must be in (0,1), got %f", theta)
+	}
+	z := &Zipfian{n: n, theta: theta, rng: rng}
+	z.zetan = zeta(n, theta)
+	zeta2 := zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - zeta2/z.zetan)
+	return z, nil
+}
+
+func zeta(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next draws the next value.
+func (z *Zipfian) Next() int {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}

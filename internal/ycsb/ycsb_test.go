@@ -1,0 +1,113 @@
+package ycsb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWorkloadCMix(t *testing.T) {
+	g, err := NewGenerator(WorkloadC, 1000, 64, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range g.Ops(5000) {
+		if op.Kind != OpRead {
+			t.Fatalf("YCSB-C generated a %v", op.Kind)
+		}
+		if op.Key == "" {
+			t.Fatal("empty key")
+		}
+	}
+}
+
+func TestWorkloadAMix(t *testing.T) {
+	g, err := NewGenerator(WorkloadA, 1000, 64, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := 0
+	const n = 20000
+	for _, op := range g.Ops(n) {
+		if op.Kind == OpRead {
+			reads++
+		} else if len(op.Payload) != 64 {
+			t.Fatalf("update payload = %d bytes", len(op.Payload))
+		}
+	}
+	if reads < n*45/100 || reads > n*55/100 {
+		t.Fatalf("YCSB-A reads = %d of %d", reads, n)
+	}
+}
+
+func TestWorkloadBMix(t *testing.T) {
+	g, err := NewGenerator(WorkloadB, 1000, 64, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := 0
+	const n = 20000
+	for _, op := range g.Ops(n) {
+		if op.Kind == OpRead {
+			reads++
+		}
+	}
+	if reads < n*93/100 || reads > n*97/100 {
+		t.Fatalf("YCSB-B reads = %d of %d", reads, n)
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z, err := NewZipfian(10000, 0.99, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int]int)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := z.Next()
+		if v < 0 || v >= 10000 {
+			t.Fatalf("out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// The hottest key must be dramatically more popular than the median:
+	// zipfian(0.99) sends a large share of draws to the head.
+	if counts[0] < n/100 {
+		t.Fatalf("head key drew only %d of %d", counts[0], n)
+	}
+	distinct := len(counts)
+	if distinct < 100 {
+		t.Fatalf("only %d distinct keys drawn", distinct)
+	}
+}
+
+func TestZipfianValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewZipfian(0, 0.99, rng); err == nil {
+		t.Fatal("empty domain accepted")
+	}
+	if _, err := NewZipfian(10, 1.5, rng); err == nil {
+		t.Fatal("theta >= 1 accepted")
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator("bogus", 100, 64, 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := NewGenerator(WorkloadC, 0, 64, 1); err == nil {
+		t.Fatal("zero records accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g1, _ := NewGenerator(WorkloadC, 1000, 64, 99)
+	g2, _ := NewGenerator(WorkloadC, 1000, 64, 99)
+	o1, o2 := g1.Ops(100), g2.Ops(100)
+	for i := range o1 {
+		if o1[i].Key != o2[i].Key {
+			t.Fatalf("not deterministic at %d", i)
+		}
+	}
+}
