@@ -129,6 +129,41 @@ func BenchmarkDeleteOnlyFootnote(b *testing.B) {
 	}
 }
 
+// BenchmarkShardScaling measures the subject-sharded engine at growing
+// shard counts: concurrent WCus, batched right-to-be-forgotten erasure,
+// and the global parallel audit. On a multi-core box each workload's
+// time drops monotonically from 1 → 4 → 16 shards; shards-1 is the
+// single-lock baseline.
+func BenchmarkShardScaling(b *testing.B) {
+	clients := 8
+	for _, shards := range datacase.DefaultShardSweep() {
+		b.Run(fmt.Sprintf("WCus/shards-%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := datacase.RunShardedGDPRBench(datacase.PBase(), datacase.WCus,
+					benchRecords, benchTxns, shards, clients, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("EraseBatch/shards-%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := datacase.RunShardedErasureBatch(datacase.PBase(),
+					benchRecords, shards, clients, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Audit/shards-%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := datacase.RunShardedAudit(datacase.PBase(),
+					benchRecords, shards, clients, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // ---- Ablations (DESIGN.md §5) ----
 
 // BenchmarkAblationVacuumThreshold sweeps the autovacuum dead-ratio

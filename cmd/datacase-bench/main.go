@@ -7,13 +7,15 @@
 //	datacase-bench -exp table2 -paper          # paper-scale parameters
 //	datacase-bench -exp fig4b -csv             # CSV series output
 //
-// Experiments: table1, fig3, fig4a, fig4b, fig4c, table2, deleteonly, all.
+// Experiments: table1, fig3, fig4a, fig4b, fig4c, table2, deleteonly,
+// shardscale, all.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"github.com/datacase/datacase"
@@ -21,13 +23,15 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|fig3|fig4a|fig4b|fig4c|table2|deleteonly|all")
+		exp     = flag.String("exp", "all", "experiment: table1|fig3|fig4a|fig4b|fig4c|table2|deleteonly|shardscale|all")
 		records = flag.Int("records", 0, "records (0 = scale default)")
 		txns    = flag.Int("txns", 0, "transactions (0 = scale default)")
 		paper   = flag.Bool("paper", false, "use the paper's scale (100k records; slower)")
 		seed    = flag.Int64("seed", 1, "workload seed")
 		csv     = flag.Bool("csv", false, "emit figures as CSV instead of tables")
 		factor  = flag.Int("fig4a-divisor", 5, "divide fig4a's 10K-70K txn sweep by this (1 = paper sweep)")
+		shards  = flag.String("shards", "1,4,16", "shard-count sweep for -exp shardscale")
+		clients = flag.Int("clients", 8, "concurrent clients for -exp shardscale")
 	)
 	flag.Parse()
 
@@ -106,11 +110,41 @@ func main() {
 		fmt.Println("  (expected: plain DELETE wins on a delete-only workload — the paper's footnote)")
 		fmt.Println()
 	}
+	if run("shardscale") {
+		ran = true
+		sweep, err := parseShards(*shards)
+		fail(err)
+		fmt.Printf("running shardscale (records=%d, txns=%d, shards=%v, clients=%d)...\n",
+			scale.Records, scale.Txns, sweep, *clients)
+		fig, err := datacase.ShardScaling(scale, sweep, *clients)
+		fail(err)
+		render(fig, nil, *csv)
+	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// parseShards parses a comma-separated shard-count sweep like "1,4,16".
+func parseShards(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad shard count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty shard sweep %q", s)
+	}
+	return out, nil
 }
 
 func render(fig datacase.Figure, xnames []string, csv bool) {

@@ -216,6 +216,12 @@ type (
 	Profile = compliance.Profile
 	// DB is a deployment of a profile over the storage stack.
 	DB = compliance.DB
+	// ShardedDB is a subject-sharded deployment: N independent DB
+	// shards routed by a hash of the data subject, with cross-shard
+	// operations fanned out over a bounded worker pool.
+	ShardedDB = compliance.ShardedDB
+	// SweepReport is the outcome of a retention sweep.
+	SweepReport = compliance.SweepReport
 	// ComplianceReport is the outcome of an invariant audit.
 	ComplianceReport = compliance.Report
 	// SpaceReport is a Table-2 row.
@@ -254,9 +260,17 @@ var (
 	Profiles = compliance.Profiles
 	// OpenProfile builds a DB for a profile.
 	OpenProfile = compliance.Open
-	// ErrNotFound / ErrDenied are the DB's operation errors.
+	// OpenSharded builds a subject-sharded deployment of a profile.
+	OpenSharded = compliance.OpenSharded
+	// OpenShardedWorkers is OpenSharded with an explicit fan-out width.
+	OpenShardedWorkers = compliance.OpenShardedWorkers
+	// SubjectShard is the placement function of the sharded engine: the
+	// home shard of a data subject.
+	SubjectShard = compliance.SubjectShard
+	// ErrNotFound / ErrDenied / ErrExists are the DB's operation errors.
 	ErrNotFound = compliance.ErrNotFound
 	ErrDenied   = compliance.ErrDenied
+	ErrExists   = compliance.ErrExists
 )
 
 // ---- Erasure engine (§3.1 grounding, Figure 3, Table 1) ----
@@ -264,6 +278,10 @@ var (
 type (
 	// ErasureEngine executes grounded erasures.
 	ErasureEngine = erasure.Engine
+	// ShardedErasureEngine partitions erasure across per-shard engines.
+	ShardedErasureEngine = erasure.ShardedEngine
+	// Eraser is the erase-executing interface shared by both engines.
+	Eraser = erasure.Eraser
 	// ErasureTarget bundles the stores an erasure touches.
 	ErasureTarget = erasure.Target
 	// ErasureReport describes an executed erasure.
@@ -277,8 +295,15 @@ type (
 var (
 	// NewErasureEngine validates a target and returns an engine.
 	NewErasureEngine = erasure.NewEngine
+	// NewShardedErasureEngine builds an engine over per-shard engines.
+	NewShardedErasureEngine = erasure.NewShardedEngine
 	// NewErasureScheduler binds a scheduler to an engine.
 	NewErasureScheduler = erasure.NewScheduler
+	// NewShardedErasureScheduler binds a scheduler to a sharded engine;
+	// its Advance escalates per-shard batches in parallel.
+	NewShardedErasureScheduler = erasure.NewShardedScheduler
+	// NewShardedErasureSchedulerWorkers bounds the scheduler's fan-out.
+	NewShardedErasureSchedulerWorkers = erasure.NewShardedSchedulerWorkers
 )
 
 // ---- Experiments (§4; Figures 3, 4(a)-(c); Tables 1-2) ----
@@ -344,6 +369,18 @@ var (
 	RunDeleteOnlyWorkload = benchx.RunDeleteOnlyWorkload
 	// EraseStrategies lists the Figure-4(a) strategies.
 	EraseStrategies = benchx.EraseStrategies
+	// RunShardedGDPRBench runs a workload against the sharded engine
+	// with concurrent clients.
+	RunShardedGDPRBench = benchx.RunShardedGDPRBench
+	// RunShardedErasureBatch measures a batched right-to-be-forgotten
+	// stream on the sharded engine.
+	RunShardedErasureBatch = benchx.RunShardedErasureBatch
+	// RunShardedAudit measures a global parallel compliance audit.
+	RunShardedAudit = benchx.RunShardedAudit
+	// ShardScaling sweeps shard counts (the scaling experiment).
+	ShardScaling = benchx.ShardScaling
+	// DefaultShardSweep is the 1/4/16 shard sweep.
+	DefaultShardSweep = benchx.DefaultShardSweep
 )
 
 // Figure-4(a) strategies.

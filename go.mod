@@ -1,0 +1,3 @@
+module github.com/datacase/datacase
+
+go 1.21

@@ -1,0 +1,70 @@
+package benchx
+
+import (
+	"testing"
+
+	"github.com/datacase/datacase/internal/compliance"
+	"github.com/datacase/datacase/internal/gdprbench"
+)
+
+func TestRunShardedGDPRBenchAllWorkloads(t *testing.T) {
+	for _, w := range []gdprbench.WorkloadName{
+		gdprbench.Controller, gdprbench.Processor, gdprbench.Customer,
+	} {
+		r, err := RunShardedGDPRBench(compliance.PBase(), w, 400, 300, 4, 4, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", w, err)
+		}
+		if r.Elapsed <= 0 {
+			t.Fatalf("%s: no elapsed time measured", w)
+		}
+	}
+}
+
+func TestRunShardedGDPRBenchMoreClientsThanWork(t *testing.T) {
+	// Tiny datasets must not panic when the client count exceeds the
+	// record or op count (each extra client just gets an empty chunk).
+	if _, err := RunShardedGDPRBench(compliance.PBase(), gdprbench.Customer, 3, 2, 2, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunShardedErasureBatchErasesEverything(t *testing.T) {
+	r, err := RunShardedErasureBatch(compliance.PBase(), 500, 4, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Txns != 500 {
+		t.Fatalf("expected 500 erasures, recorded %d", r.Txns)
+	}
+}
+
+func TestRunShardedAuditIsCompliant(t *testing.T) {
+	if _, err := RunShardedAudit(compliance.PBase(), 300, 4, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardScalingShape(t *testing.T) {
+	sweep := []int{1, 2}
+	fig, err := ShardScaling(Scale{Records: 300, Txns: 200, Seed: 1}, sweep, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("got %d series, want 3", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != len(sweep) {
+			t.Fatalf("series %s has %d points, want %d", s.Label, len(s.Points), len(sweep))
+		}
+		for i, p := range s.Points {
+			if p.X != float64(sweep[i]) {
+				t.Fatalf("series %s point %d at x=%v, want %d", s.Label, i, p.X, sweep[i])
+			}
+			if p.Y <= 0 {
+				t.Fatalf("series %s point %d has no measurement", s.Label, i)
+			}
+		}
+	}
+}

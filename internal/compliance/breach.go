@@ -68,22 +68,32 @@ func (db *DB) NotifyBreach(id string) error {
 	return nil
 }
 
-// AuditWithBreaches evaluates the default invariant set plus the breach
-// notification invariant.
-func (db *DB) AuditWithBreaches(invs *core.InvariantSet) (Report, error) {
+// withBreachInvariant extends the invariant set with the breach
+// notification invariant (shared by the single and sharded audits).
+func withBreachInvariant(invs *core.InvariantSet) (*core.InvariantSet, error) {
 	full, err := core.NewInvariantSet()
 	if err != nil {
-		return Report{}, err
+		return nil, err
 	}
 	if invs != nil {
 		for _, id := range invs.IDs() {
 			inv, _ := invs.Lookup(id)
 			if err := full.Add(inv); err != nil {
-				return Report{}, err
+				return nil, err
 			}
 		}
 	}
 	if err := full.Add(core.NewBreachNotificationInvariant(BreachNotificationWindow)); err != nil {
+		return nil, err
+	}
+	return full, nil
+}
+
+// AuditWithBreaches evaluates the default invariant set plus the breach
+// notification invariant.
+func (db *DB) AuditWithBreaches(invs *core.InvariantSet) (Report, error) {
+	full, err := withBreachInvariant(invs)
+	if err != nil {
 		return Report{}, err
 	}
 	return db.Audit(full)

@@ -63,9 +63,12 @@ func (db *DB) Audit(invs *core.InvariantSet) (Report, error) {
 		return rep, fmt.Errorf("compliance: profile %s was opened without TrackModel; "+
 			"no model view to audit", db.profile.Name)
 	}
+	// Hold the DB lock for the whole evaluation: the invariants walk the
+	// model mirror and history, which every mutating operation appends to
+	// under the same lock. Auditing a moving target would tear reads.
 	db.mu.Lock()
+	defer db.mu.Unlock()
 	now := db.clock.Now()
-	db.mu.Unlock()
 	rep.Now = now
 	rep.Checked = invs.IDs()
 	ctx := &core.CheckContext{

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/datacase/datacase/internal/audit"
 	"github.com/datacase/datacase/internal/core"
@@ -65,8 +66,12 @@ type Counters struct {
 type DB struct {
 	profile Profile
 
-	mu       sync.Mutex
-	clock    core.Clock
+	mu sync.Mutex
+	// clock is the deployment's logical clock; in a sharded deployment
+	// every shard shares one clock, so deadline invariants (retention,
+	// breach notification) advance with traffic anywhere, not just on
+	// the shard holding the deadline.
+	clock    *core.Clock
 	data     *heap.Table
 	policies policy.Engine
 	logger   audit.Logger
@@ -86,10 +91,23 @@ type DB struct {
 
 	mutationsSinceCheck int
 	counters            Counters
+
+	// onDelete, when set, is invoked (with mu held) for every record
+	// physically removed from this DB, including dependent cascades. The
+	// sharded facade uses it to keep its key directory exact.
+	onDelete func(key string)
 }
 
 // Open builds a DB for the profile.
 func Open(p Profile) (*DB, error) {
+	return openNamed(p, p.Name+":data", &core.Clock{})
+}
+
+// openNamed builds a DB whose heap table (and therefore WAL segment)
+// carries the given name, ticking the given clock. OpenSharded uses it
+// to give every shard its own named table and log segment while all
+// shards share one clock.
+func openNamed(p Profile, tableName string, clock *core.Clock) (*DB, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
@@ -99,7 +117,8 @@ func Open(p Profile) (*DB, error) {
 	}
 	db := &DB{
 		profile:  p,
-		data:     heap.NewTable(p.Name+":data", wal.New()),
+		clock:    clock,
+		data:     heap.NewTable(tableName, wal.New()),
 		policies: p.NewPolicyEngine(),
 		logger:   logger,
 		prov:     provenance.NewGraph(),
@@ -357,6 +376,12 @@ func (db *DB) UpdateData(entity core.EntityID, purpose core.Purpose, key string,
 func (db *DB) DeleteData(entity core.EntityID, key string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.deleteDataLocked(entity, key)
+}
+
+// deleteDataLocked is DeleteData's body; caller holds mu (EraseSubject
+// erases a whole subject under one lock acquisition).
+func (db *DB) deleteDataLocked(entity core.EntityID, key string) error {
 	now := db.clock.Tick()
 	// The subject is needed for the strong grounding's cascade; read it
 	// before the row disappears.
@@ -369,6 +394,9 @@ func (db *DB) DeleteData(entity core.EntityID, key string) error {
 	if err := db.data.Delete([]byte(key)); err != nil {
 		db.counters.NotFound++
 		return fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	if db.onDelete != nil {
+		db.onDelete(key)
 	}
 	unit := core.UnitID(key)
 	db.policies.RevokePolicies(unit)
@@ -507,6 +535,17 @@ func (db *DB) UpdateMeta(entity core.EntityID, purpose core.Purpose, key, newPur
 // the purpose and read up to limit of them (policy-checked and
 // decrypted individually, as FGAC demands).
 func (db *DB) ReadByMeta(entity core.EntityID, purpose core.Purpose, metaPurpose string, limit int) (int, error) {
+	var budget atomic.Int64
+	budget.Store(int64(limit))
+	return db.readByMetaBudget(entity, purpose, metaPurpose, &budget)
+}
+
+// readByMetaBudget is ReadByMeta drawing match slots from a shared
+// budget, so the sharded fan-out can bound its merged result at the
+// caller's limit. A slot is consumed when a row matches the metadata
+// predicate (denied rows keep their slot, as in the unsharded path:
+// the limit bounds the scan, not the successful reads).
+func (db *DB) readByMetaBudget(entity core.EntityID, purpose core.Purpose, metaPurpose string, budget *atomic.Int64) (int, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	now := db.clock.Tick()
@@ -517,13 +556,18 @@ func (db *DB) ReadByMeta(entity core.EntityID, purpose core.Purpose, metaPurpose
 	var matches []match
 	db.data.SeqScan(func(k, v []byte) bool {
 		if metaHasPurpose(v, metaPurpose) {
+			left := budget.Add(-1)
+			if left < 0 {
+				budget.Add(1)
+				return false
+			}
 			matches = append(matches, match{
 				key: append([]byte(nil), k...),
 				row: append([]byte(nil), v...),
 			})
-			if len(matches) >= limit {
-				return false
-			}
+			// Stop as soon as the last slot is taken — don't walk the
+			// rest of the table hunting for a match we couldn't keep.
+			return left > 0
 		}
 		return true
 	})

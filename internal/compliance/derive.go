@@ -17,77 +17,87 @@ import (
 // Transform computes a derived payload from parent payloads.
 type Transform func(parents [][]byte) []byte
 
-// Derive creates a derived record from parent records: the entity must
-// be allowed to read every parent for the purpose; the derived record's
-// subject aggregates the parents' subjects, its purposes are the
-// intersection, and its TTL is the minimum — the policy restriction of
-// §2.1. The derivation is recorded in the provenance graph.
-func (db *DB) Derive(entity core.EntityID, purpose core.Purpose, newKey string,
-	parentKeys []string, f Transform, invertible bool, description string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if len(parentKeys) == 0 {
-		return fmt.Errorf("compliance: derivation needs at least one parent")
-	}
-	now := db.clock.Tick()
+// derivedParent is one policy-checked, decoded derivation input.
+type derivedParent struct {
+	unit    core.UnitID
+	payload []byte
+	meta    Metadata
+	// model is the parent's model-mirror unit; nil when the DB does not
+	// track the model, the unit is unknown, or the parent lives on
+	// another shard (cross-shard derivations must not read a foreign
+	// shard's model units without its lock).
+	model *core.DataUnit
+}
 
-	payloads := make([][]byte, 0, len(parentKeys))
-	var subject string
-	subjectUniform := true
-	var purposes []string
-	minTTL := int64(1) << 62
-	parents := make([]core.UnitID, 0, len(parentKeys))
-	var modelParents []*core.DataUnit
-	for i, pk := range parentKeys {
-		row, ok := db.data.Get([]byte(pk))
-		if !ok {
-			db.counters.NotFound++
-			return fmt.Errorf("%w: parent %s", ErrNotFound, pk)
-		}
-		unit := core.UnitID(pk)
-		d := db.policies.Allow(policy.Request{
-			Unit: unit, Subject: core.EntityID(metaSubject(row)),
-			Entity: entity, Purpose: purpose, Action: core.ActionRead, At: now,
-		})
-		if !d.Allowed {
-			db.counters.Denials++
-			return fmt.Errorf("%w: parent %s: %s", ErrDenied, pk, d.Reason)
-		}
-		rec, err := decodeRecord(row)
-		if err != nil {
-			return err
-		}
-		payload, err := db.unprotect(rec.Blob)
-		if err != nil {
-			return err
-		}
-		payloads = append(payloads, payload)
-		parents = append(parents, unit)
-		if i == 0 {
-			subject = rec.Meta.Subject
-			purposes = rec.Meta.Purposes
-		} else {
-			if rec.Meta.Subject != subject {
-				subjectUniform = false
-			}
-			purposes = intersectStrings(purposes, rec.Meta.Purposes)
-		}
-		if rec.Meta.TTL < minTTL {
-			minTTL = rec.Meta.TTL
-		}
-		if db.modelDB != nil {
-			if u, ok := db.modelDB.Lookup(unit); ok {
-				modelParents = append(modelParents, u)
-			}
+// fetchParentLocked policy-checks and decodes one derivation parent.
+// Caller holds mu.
+func (db *DB) fetchParentLocked(entity core.EntityID, purpose core.Purpose, key string, now core.Time) (derivedParent, error) {
+	row, ok := db.data.Get([]byte(key))
+	if !ok {
+		db.counters.NotFound++
+		return derivedParent{}, fmt.Errorf("%w: parent %s", ErrNotFound, key)
+	}
+	unit := core.UnitID(key)
+	d := db.policies.Allow(policy.Request{
+		Unit: unit, Subject: core.EntityID(metaSubject(row)),
+		Entity: entity, Purpose: purpose, Action: core.ActionRead, At: now,
+	})
+	if !d.Allowed {
+		db.counters.Denials++
+		return derivedParent{}, fmt.Errorf("%w: parent %s: %s", ErrDenied, key, d.Reason)
+	}
+	rec, err := decodeRecord(row)
+	if err != nil {
+		return derivedParent{}, err
+	}
+	payload, err := db.unprotect(rec.Blob)
+	if err != nil {
+		return derivedParent{}, err
+	}
+	p := derivedParent{unit: unit, payload: payload, meta: rec.Meta}
+	if db.modelDB != nil {
+		if u, ok := db.modelDB.Lookup(unit); ok {
+			p.model = u
 		}
 	}
-	if !subjectUniform {
-		// Aggregates over several subjects do not identify one person;
-		// strong deletion of a single subject will not cascade to them.
+	return p, nil
+}
+
+// combineParents computes the derived record's restricted metadata
+// (§2.1): the purposes are the intersection, the TTL the minimum, and
+// the subject is the parents' common subject — or "aggregate" when they
+// differ (aggregates over several subjects do not identify one person;
+// strong deletion of a single subject will not cascade to them).
+func combineParents(parents []derivedParent) (subject string, purposes []string, minTTL int64) {
+	subject = parents[0].meta.Subject
+	purposes = parents[0].meta.Purposes
+	minTTL = int64(1) << 62
+	uniform := true
+	for i, p := range parents {
+		if i > 0 {
+			if p.meta.Subject != parents[0].meta.Subject {
+				uniform = false
+			}
+			purposes = intersectStrings(purposes, p.meta.Purposes)
+		}
+		if p.meta.TTL < minTTL {
+			minTTL = p.meta.TTL
+		}
+	}
+	if !uniform {
 		subject = "aggregate"
 	}
+	return subject, purposes, minTTL
+}
 
-	derived := f(payloads)
+// insertDerivedLocked stores the derived record, attaches its restricted
+// policies, records the provenance edge and logs the derivation. Caller
+// holds mu. The model unit is built from the parents' units only when
+// every parent carries one (same-shard derivations); otherwise it stands
+// alone as a KindDerived unit.
+func (db *DB) insertDerivedLocked(entity core.EntityID, purpose core.Purpose, newKey string,
+	parents []derivedParent, subject string, purposes []string, minTTL int64,
+	derived []byte, invertible bool, description string, now core.Time) error {
 	meta := Metadata{
 		Subject:  subject,
 		Purposes: purposes,
@@ -116,8 +126,16 @@ func (db *DB) Derive(entity core.EntityID, purpose core.Purpose, newKey string,
 	if err := db.policies.AttachPolicies(unit, core.EntityID(subject), pols); err != nil {
 		return err
 	}
+	parentUnits := make([]core.UnitID, 0, len(parents))
+	modelParents := make([]*core.DataUnit, 0, len(parents))
+	for _, p := range parents {
+		parentUnits = append(parentUnits, p.unit)
+		if p.model != nil {
+			modelParents = append(modelParents, p.model)
+		}
+	}
 	if err := db.prov.AddDerivation(provenance.Derivation{
-		Child: unit, Parents: parents,
+		Child: unit, Parents: parentUnits,
 		Invertible: invertible, Description: description,
 	}); err != nil {
 		return err
@@ -129,7 +147,7 @@ func (db *DB) Derive(entity core.EntityID, purpose core.Purpose, newKey string,
 	db.logOp(tuple, "DERIVE "+description, nil, unit)
 	if db.modelDB != nil {
 		var u *core.DataUnit
-		if len(modelParents) == len(parentKeys) {
+		if len(modelParents) == len(parents) {
 			u = core.NewDerivedUnit(unit, now, modelParents...)
 		} else {
 			u = core.NewDataUnit(unit, core.KindDerived, core.EntityID(subject), "derivation")
@@ -143,6 +161,36 @@ func (db *DB) Derive(entity core.EntityID, purpose core.Purpose, newKey string,
 	}
 	db.counters.Creates++
 	return nil
+}
+
+// Derive creates a derived record from parent records: the entity must
+// be allowed to read every parent for the purpose; the derived record's
+// subject aggregates the parents' subjects, its purposes are the
+// intersection, and its TTL is the minimum — the policy restriction of
+// §2.1. The derivation is recorded in the provenance graph.
+func (db *DB) Derive(entity core.EntityID, purpose core.Purpose, newKey string,
+	parentKeys []string, f Transform, invertible bool, description string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if len(parentKeys) == 0 {
+		return fmt.Errorf("compliance: derivation needs at least one parent")
+	}
+	now := db.clock.Tick()
+
+	parents := make([]derivedParent, 0, len(parentKeys))
+	payloads := make([][]byte, 0, len(parentKeys))
+	for _, pk := range parentKeys {
+		p, err := db.fetchParentLocked(entity, purpose, pk, now)
+		if err != nil {
+			return err
+		}
+		parents = append(parents, p)
+		payloads = append(payloads, p.payload)
+	}
+	subject, purposes, minTTL := combineParents(parents)
+	derived := f(payloads)
+	return db.insertDerivedLocked(entity, purpose, newKey, parents,
+		subject, purposes, minTTL, derived, invertible, description, now)
 }
 
 // Provenance exposes the provenance graph (reports, tests).
@@ -162,6 +210,9 @@ func (db *DB) cascadeDependents(unit core.UnitID, subject []byte, entity core.En
 		}
 		if err := db.data.Delete([]byte(dep)); err != nil {
 			continue
+		}
+		if db.onDelete != nil {
+			db.onDelete(string(dep))
 		}
 		db.policies.RevokePolicies(dep)
 		if db.profile.EraseLogsOnDelete {

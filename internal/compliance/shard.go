@@ -1,0 +1,543 @@
+package compliance
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/datacase/datacase/internal/core"
+	"github.com/datacase/datacase/internal/fanout"
+	"github.com/datacase/datacase/internal/gdprbench"
+)
+
+// ErrExists is returned when a record key is already taken somewhere in
+// a sharded deployment.
+var ErrExists = errors.New("compliance: key already exists")
+
+// SubjectShard returns the home shard of a data subject: an FNV-1a hash
+// of the subject identifier modulo the shard count. The placement is the
+// load-bearing invariant of the sharded engine — every record of a
+// subject, and every cascade-relevant derived record (which by §3.1
+// carries the same subject), lives on one shard, so subject-scoped
+// operations (subject access, portability, right to erasure, dependent
+// cascades) touch exactly one lock.
+func SubjectShard(subject string, shards int) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(subject))
+	return int(h.Sum32() % uint32(shards))
+}
+
+// ShardedDB is a subject-sharded deployment of a compliance profile: N
+// independent DB shards, each with its own mutex, heap table, WAL
+// segment, policy engine, audit logger, provenance graph and model
+// mirror. Records are placed on the home shard of their data subject
+// (SubjectShard), a directory maps record keys to shards, and
+// cross-shard operations — global audits, breach-aware audits,
+// metadata scans, retention sweeps, batched erasures — fan out over a
+// bounded worker pool and merge their results.
+//
+// Lock ordering: the directory lock is never held while a shard's
+// mutex is acquired; shards call back into the directory (onDelete)
+// while holding their own mutex, which is safe under that rule.
+type ShardedDB struct {
+	profile Profile
+	shards  []*DB
+	workers int
+
+	dirMu sync.RWMutex
+	dir   map[string]uint32 // record key -> shard index
+}
+
+// OpenSharded builds a sharded deployment with the given shard count.
+// The fan-out width for cross-shard operations defaults to the number
+// of schedulable CPUs.
+func OpenSharded(p Profile, shards int) (*ShardedDB, error) {
+	return OpenShardedWorkers(p, shards, 0)
+}
+
+// OpenShardedWorkers is OpenSharded with an explicit fan-out width
+// (workers <= 0 selects the default).
+func OpenShardedWorkers(p Profile, shards, workers int) (*ShardedDB, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("compliance: shard count must be positive, got %d", shards)
+	}
+	s := &ShardedDB{
+		profile: p,
+		shards:  make([]*DB, shards),
+		workers: workers,
+		dir:     make(map[string]uint32),
+	}
+	// One logical clock for the whole deployment: deadline invariants
+	// (retention, breach notification) must advance with traffic on any
+	// shard, or an idle shard would never see its deadlines pass.
+	clock := &core.Clock{}
+	for i := range s.shards {
+		db, err := openNamed(p, fmt.Sprintf("%s:data/shard-%02d", p.Name, i), clock)
+		if err != nil {
+			return nil, err
+		}
+		db.onDelete = s.forget
+		s.shards[i] = db
+	}
+	return s, nil
+}
+
+// Profile returns the profile the deployment was opened with.
+func (s *ShardedDB) Profile() Profile { return s.profile }
+
+// NumShards returns the shard count.
+func (s *ShardedDB) NumShards() int { return len(s.shards) }
+
+// Shard exposes one shard (reports, tests).
+func (s *ShardedDB) Shard(i int) *DB { return s.shards[i] }
+
+// ShardIndexOf returns the shard currently holding the key; ok is false
+// when the key is unknown.
+func (s *ShardedDB) ShardIndexOf(key string) (int, bool) {
+	s.dirMu.RLock()
+	idx, ok := s.dir[key]
+	s.dirMu.RUnlock()
+	return int(idx), ok
+}
+
+// homeOf returns the home shard index of a subject.
+func (s *ShardedDB) homeOf(subject string) uint32 {
+	return uint32(SubjectShard(subject, len(s.shards)))
+}
+
+// reserve claims a key for a shard before the record is inserted, so
+// two creates racing on the same key cannot land on different shards.
+func (s *ShardedDB) reserve(key string, idx uint32) error {
+	s.dirMu.Lock()
+	defer s.dirMu.Unlock()
+	if _, dup := s.dir[key]; dup {
+		return fmt.Errorf("%w: %s", ErrExists, key)
+	}
+	s.dir[key] = idx
+	return nil
+}
+
+// forget drops a key from the directory (failed creates, deletions and
+// cascades; shards invoke it through onDelete).
+func (s *ShardedDB) forget(key string) {
+	s.dirMu.Lock()
+	delete(s.dir, key)
+	s.dirMu.Unlock()
+}
+
+// route resolves the shard holding the key.
+func (s *ShardedDB) route(key string) (*DB, error) {
+	s.dirMu.RLock()
+	idx, ok := s.dir[key]
+	s.dirMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return s.shards[idx], nil
+}
+
+// Create collects a new record on the home shard of its subject.
+func (s *ShardedDB) Create(rec gdprbench.Record) error {
+	idx := s.homeOf(rec.Subject)
+	if err := s.reserve(rec.Key, idx); err != nil {
+		return err
+	}
+	if err := s.shards[idx].Create(rec); err != nil {
+		s.forget(rec.Key)
+		return err
+	}
+	return nil
+}
+
+// ReadData reads a record's personal data by key.
+func (s *ShardedDB) ReadData(entity core.EntityID, purpose core.Purpose, key string) ([]byte, error) {
+	db, err := s.route(key)
+	if err != nil {
+		return nil, err
+	}
+	return db.ReadData(entity, purpose, key)
+}
+
+// UpdateData overwrites a record's personal data.
+func (s *ShardedDB) UpdateData(entity core.EntityID, purpose core.Purpose, key string, payload []byte) error {
+	db, err := s.route(key)
+	if err != nil {
+		return err
+	}
+	return db.UpdateData(entity, purpose, key, payload)
+}
+
+// DeleteData erases a record per the profile's erasure grounding.
+func (s *ShardedDB) DeleteData(entity core.EntityID, key string) error {
+	db, err := s.route(key)
+	if err != nil {
+		return err
+	}
+	return db.DeleteData(entity, key)
+}
+
+// ReadMeta answers a keyed metadata query.
+func (s *ShardedDB) ReadMeta(entity core.EntityID, purpose core.Purpose, key string) (Metadata, error) {
+	db, err := s.route(key)
+	if err != nil {
+		return Metadata{}, err
+	}
+	return db.ReadMeta(entity, purpose, key)
+}
+
+// UpdateMeta changes a record's metadata.
+func (s *ShardedDB) UpdateMeta(entity core.EntityID, purpose core.Purpose, key, newPurpose string, newTTL int64) error {
+	db, err := s.route(key)
+	if err != nil {
+		return err
+	}
+	return db.UpdateMeta(entity, purpose, key, newPurpose, newTTL)
+}
+
+// RevokeConsent withdraws consent for one (purpose, entity) pair.
+func (s *ShardedDB) RevokeConsent(key string, purpose core.Purpose, entity core.EntityID) error {
+	db, err := s.route(key)
+	if err != nil {
+		return err
+	}
+	return db.RevokeConsent(key, purpose, entity)
+}
+
+// Object records the subject's objection to processing.
+func (s *ShardedDB) Object(key string) error {
+	db, err := s.route(key)
+	if err != nil {
+		return err
+	}
+	return db.Object(key)
+}
+
+// SubjectAccess answers a subject-access request. The subject's records
+// all live on one shard, so the request takes exactly one lock.
+func (s *ShardedDB) SubjectAccess(subject string) ([]SubjectRecord, error) {
+	return s.shards[s.homeOf(subject)].SubjectAccess(subject)
+}
+
+// ExportPortable implements data portability for one subject.
+func (s *ShardedDB) ExportPortable(subject string) ([]byte, error) {
+	return s.shards[s.homeOf(subject)].ExportPortable(subject)
+}
+
+// EraseSubject erases every record of the subject (right to erasure at
+// account granularity) on the subject's home shard.
+func (s *ShardedDB) EraseSubject(entity core.EntityID, subject string) (int, error) {
+	return s.shards[s.homeOf(subject)].EraseSubject(entity, subject)
+}
+
+// EraseBatch erases many records at once: the keys are grouped by shard
+// and the per-shard batches execute in parallel over the worker pool,
+// so right-to-be-forgotten throughput scales with cores. Keys that are
+// already gone are tolerated; the count of records actually erased is
+// returned alongside the first hard error.
+func (s *ShardedDB) EraseBatch(entity core.EntityID, keys []string) (int, error) {
+	batches := make([][]string, len(s.shards))
+	s.dirMu.RLock()
+	for _, k := range keys {
+		if idx, ok := s.dir[k]; ok {
+			batches[idx] = append(batches[idx], k)
+		}
+	}
+	s.dirMu.RUnlock()
+	erased := make([]int, len(s.shards))
+	err := fanout.Run(s.workers, len(s.shards), func(i int) error {
+		for _, k := range batches[i] {
+			if err := s.shards[i].DeleteData(entity, k); err != nil {
+				if errors.Is(err, ErrNotFound) {
+					continue // erased concurrently (cascade, sweep, racer)
+				}
+				return err
+			}
+			erased[i]++
+		}
+		return nil
+	})
+	total := 0
+	for _, n := range erased {
+		total += n
+	}
+	return total, err
+}
+
+// ReadByMeta scans for records collected for the purpose and reads up
+// to limit of them in total: the shards scan in parallel over the pool
+// and draw match slots from one shared budget, so the merged count
+// never exceeds the caller's limit (which shard's matches win under
+// contention is scheduling-dependent, as with any partitioned scan).
+func (s *ShardedDB) ReadByMeta(entity core.EntityID, purpose core.Purpose, metaPurpose string, limit int) (int, error) {
+	var budget atomic.Int64
+	budget.Store(int64(limit))
+	counts := make([]int, len(s.shards))
+	errs := make([]error, len(s.shards))
+	_ = fanout.Run(s.workers, len(s.shards), func(i int) error {
+		counts[i], errs[i] = s.shards[i].readByMetaBudget(entity, purpose, metaPurpose, &budget)
+		return errs[i]
+	})
+	total := 0
+	for i := range counts {
+		if errs[i] != nil {
+			return total, errs[i]
+		}
+		total += counts[i]
+	}
+	return total, nil
+}
+
+// Derive creates a derived record from parent records, which may live
+// on different shards. Parents sharing a shard and a subject are
+// derived under that shard's single lock, exactly as an unsharded
+// deployment would, and the derived record stays on that subject's
+// home shard. Cross-subject derivations carry the subject "aggregate"
+// (no single person is identifiable) and are placed by record key;
+// the §3.1 cascade — which only follows same-subject dependents —
+// never needs to cross a shard boundary either way.
+func (s *ShardedDB) Derive(entity core.EntityID, purpose core.Purpose, newKey string,
+	parentKeys []string, f Transform, invertible bool, description string) error {
+	if len(parentKeys) == 0 {
+		return fmt.Errorf("compliance: derivation needs at least one parent")
+	}
+	idxs := make([]uint32, len(parentKeys))
+	colocated := true
+	s.dirMu.RLock()
+	for i, pk := range parentKeys {
+		idx, ok := s.dir[pk]
+		if !ok {
+			s.dirMu.RUnlock()
+			return fmt.Errorf("%w: parent %s", ErrNotFound, pk)
+		}
+		idxs[i] = idx
+		if idx != idxs[0] {
+			colocated = false
+		}
+	}
+	s.dirMu.RUnlock()
+
+	// Colocated parents with distinct subjects (a hash collision) still
+	// produce an "aggregate" record, which is placed by key like every
+	// other aggregate — peek the subjects and fall through to the
+	// cross-shard path when they differ. The peek holds
+	// the shard's lock: Get returns slices aliasing page memory that a
+	// concurrent lazy vacuum (always run under the shard lock) compacts
+	// in place. A delete racing the later delegate just surfaces as
+	// ErrNotFound there.
+	if colocated && len(parentKeys) > 1 {
+		first := s.shards[idxs[0]]
+		first.mu.Lock()
+		var firstSubject []byte
+		for i, pk := range parentKeys {
+			row, ok := first.data.Get([]byte(pk))
+			if !ok {
+				break // let the delegate report the missing parent
+			}
+			if i == 0 {
+				firstSubject = append([]byte(nil), metaSubject(row)...)
+			} else if !bytes.Equal(metaSubject(row), firstSubject) {
+				colocated = false
+				break
+			}
+		}
+		first.mu.Unlock()
+	}
+
+	if colocated {
+		if err := s.reserve(newKey, idxs[0]); err != nil {
+			return err
+		}
+		if err := s.shards[idxs[0]].Derive(entity, purpose, newKey, parentKeys, f, invertible, description); err != nil {
+			s.forget(newKey)
+			return err
+		}
+		return nil
+	}
+
+	// Cross-shard: parents on different shards necessarily carry
+	// different subjects (same-subject records are always co-located),
+	// so the derived subject is "aggregate". Aggregates are not a real
+	// data subject — no subject-scoped right legitimately targets them —
+	// so they are placed by record key instead of subject, spreading
+	// derivation-heavy workloads over all shards rather than funneling
+	// every aggregate onto one. Lock every involved shard in index
+	// order — parents' plus the target — for the whole
+	// fetch/combine/insert, so the derivation is atomic against
+	// concurrent erasure of a parent, as in the single-lock engine. The
+	// parents' model units stay owned by their shards, so the derived
+	// model unit is built standalone (model == nil).
+	target := uint32(SubjectShard(newKey, len(s.shards)))
+	if err := s.reserve(newKey, target); err != nil {
+		return err
+	}
+	lockSet := map[uint32]bool{target: true}
+	for _, idx := range idxs {
+		lockSet[idx] = true
+	}
+	locked := make([]uint32, 0, len(lockSet))
+	for idx := range lockSet {
+		locked = append(locked, idx)
+	}
+	sort.Slice(locked, func(i, j int) bool { return locked[i] < locked[j] })
+	for _, idx := range locked {
+		s.shards[idx].mu.Lock()
+	}
+	unlock := func() {
+		for _, idx := range locked {
+			s.shards[idx].mu.Unlock()
+		}
+	}
+
+	parents := make([]derivedParent, 0, len(parentKeys))
+	payloads := make([][]byte, 0, len(parentKeys))
+	for i, pk := range parentKeys {
+		sh := s.shards[idxs[i]]
+		p, err := sh.fetchParentLocked(entity, purpose, pk, sh.clock.Tick())
+		if err != nil {
+			unlock()
+			s.forget(newKey)
+			return err
+		}
+		p.model = nil
+		parents = append(parents, p)
+		payloads = append(payloads, p.payload)
+	}
+	subject, purposes, minTTL := combineParents(parents)
+	derived := f(payloads)
+	sh := s.shards[target]
+	err := sh.insertDerivedLocked(entity, purpose, newKey, parents,
+		subject, purposes, minTTL, derived, invertible, description, sh.clock.Tick())
+	unlock()
+	if err != nil {
+		s.forget(newKey)
+	}
+	return err
+}
+
+// SweepExpired runs the retention sweeper on every shard in parallel —
+// each shard drains its own retention queue — and merges the reports.
+func (s *ShardedDB) SweepExpired() (SweepReport, error) {
+	reps := make([]SweepReport, len(s.shards))
+	errs := make([]error, len(s.shards))
+	_ = fanout.Run(s.workers, len(s.shards), func(i int) error {
+		reps[i], errs[i] = s.shards[i].SweepExpired()
+		return errs[i]
+	})
+	var merged SweepReport
+	for i := range reps {
+		if errs[i] != nil {
+			return merged, errs[i]
+		}
+		merged.Scanned += reps[i].Scanned
+		merged.Erased += reps[i].Erased
+		merged.Cascaded += reps[i].Cascaded
+	}
+	return merged, nil
+}
+
+// RecordBreach records a breach detection. Breach pseudo-units are
+// placed like subjects, keyed by breach id, so the detection and its
+// notification land on the same shard and the notification-deadline
+// invariant sees both tuples in one history.
+func (s *ShardedDB) RecordBreach(id string, affectedKeys []string) error {
+	return s.shards[s.homeOf(id)].RecordBreach(id, affectedKeys)
+}
+
+// NotifyBreach records that authority and subjects were notified.
+func (s *ShardedDB) NotifyBreach(id string) error {
+	return s.shards[s.homeOf(id)].NotifyBreach(id)
+}
+
+// Audit evaluates the invariant set against every shard's model mirror
+// in parallel and merges the violations (the global audit of the
+// deployment). Each shard is checked under its own lock, so the merged
+// report is a union of per-shard consistent snapshots.
+func (s *ShardedDB) Audit(invs *core.InvariantSet) (Report, error) {
+	reps := make([]Report, len(s.shards))
+	errs := make([]error, len(s.shards))
+	_ = fanout.Run(s.workers, len(s.shards), func(i int) error {
+		reps[i], errs[i] = s.shards[i].Audit(invs)
+		return errs[i]
+	})
+	merged := Report{
+		Profile:    s.profile.Name,
+		Checked:    invs.IDs(),
+		Groundings: s.profile.Groundings(),
+	}
+	for i := range reps {
+		if errs[i] != nil {
+			return merged, errs[i]
+		}
+		if reps[i].Now > merged.Now {
+			merged.Now = reps[i].Now
+		}
+		merged.Violations = append(merged.Violations, reps[i].Violations...)
+	}
+	return merged, nil
+}
+
+// AuditWithBreaches is Audit plus the breach notification invariant
+// (the global breach scan).
+func (s *ShardedDB) AuditWithBreaches(invs *core.InvariantSet) (Report, error) {
+	full, err := withBreachInvariant(invs)
+	if err != nil {
+		return Report{}, err
+	}
+	return s.Audit(full)
+}
+
+// Counters merges the op counters of every shard.
+func (s *ShardedDB) Counters() Counters {
+	var out Counters
+	for _, db := range s.shards {
+		c := db.Counters()
+		out.Creates += c.Creates
+		out.DataReads += c.DataReads
+		out.DataUpdates += c.DataUpdates
+		out.Deletes += c.Deletes
+		out.MetaReads += c.MetaReads
+		out.MetaUpdates += c.MetaUpdates
+		out.MetaScans += c.MetaScans
+		out.Denials += c.Denials
+		out.NotFound += c.NotFound
+		out.Vacuums += c.Vacuums
+		out.VacuumFulls += c.VacuumFulls
+		out.CascadeDeletes += c.CascadeDeletes
+	}
+	return out
+}
+
+// Space merges the Table-2 space report across shards.
+func (s *ShardedDB) Space() SpaceReport {
+	merged := SpaceReport{Profile: s.profile.Name}
+	for _, db := range s.shards {
+		r := db.Space()
+		merged.PersonalBytes += r.PersonalBytes
+		merged.MetadataBytes += r.MetadataBytes
+		merged.IndexBytes += r.IndexBytes
+		merged.LogBytes += r.LogBytes
+		merged.TotalBytes += r.TotalBytes
+	}
+	if merged.PersonalBytes > 0 {
+		merged.Factor = float64(merged.TotalBytes) / float64(merged.PersonalBytes)
+	}
+	return merged
+}
+
+// Len returns the number of live records across all shards.
+func (s *ShardedDB) Len() int {
+	n := 0
+	for _, db := range s.shards {
+		n += db.Len()
+	}
+	return n
+}
+
+// AdvanceClock moves the deployment's shared logical clock forward.
+func (s *ShardedDB) AdvanceClock(d int64) core.Time {
+	return s.shards[0].AdvanceClock(d)
+}

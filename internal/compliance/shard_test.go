@@ -1,0 +1,486 @@
+package compliance
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/datacase/datacase/internal/core"
+	"github.com/datacase/datacase/internal/gdprbench"
+)
+
+func shardedForTest(t *testing.T, shards int) *ShardedDB {
+	t.Helper()
+	p := PBase()
+	p.TrackModel = true
+	s, err := OpenShardedWorkers(p, shards, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mkRecord(key, subject string, ttl int64) gdprbench.Record {
+	return gdprbench.Record{
+		Key:        key,
+		Subject:    subject,
+		Payload:    []byte("payload-" + key),
+		Purposes:   []string{"billing"},
+		TTL:        ttl,
+		Processors: []string{"processor-a"},
+	}
+}
+
+func TestShardedPlacementFollowsSubject(t *testing.T) {
+	s := shardedForTest(t, 8)
+	for i := 0; i < 64; i++ {
+		subject := fmt.Sprintf("person-%03d", i%16)
+		key := fmt.Sprintf("rec-%03d", i)
+		if err := s.Create(mkRecord(key, subject, 1<<40)); err != nil {
+			t.Fatal(err)
+		}
+		idx, ok := s.ShardIndexOf(key)
+		if !ok {
+			t.Fatalf("%s not in directory", key)
+		}
+		if want := SubjectShard(subject, s.NumShards()); idx != want {
+			t.Fatalf("%s placed on shard %d, want %d", key, idx, want)
+		}
+	}
+	// Every record of a subject is served by one shard.
+	recs, err := s.SubjectAccess("person-003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("subject access returned %d records, want 4", len(recs))
+	}
+	// Keyed operations route through the directory.
+	payload, err := s.ReadData(EntityController, PurposeService, "rec-007")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload, []byte("payload-rec-007")) {
+		t.Fatalf("read wrong payload %q", payload)
+	}
+	if _, err := s.ReadData(EntityController, PurposeService, "missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key returned %v", err)
+	}
+}
+
+func TestShardedDuplicateKeyRejectedAcrossShards(t *testing.T) {
+	s := shardedForTest(t, 8)
+	if err := s.Create(mkRecord("dup", "alice", 1<<40)); err != nil {
+		t.Fatal(err)
+	}
+	// Same key under a different subject would land on another shard;
+	// the directory must still reject it.
+	err := s.Create(mkRecord("dup", "bob", 1<<40))
+	if !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create returned %v, want ErrExists", err)
+	}
+	// After erasure the key is free again, on any shard.
+	if err := s.DeleteData(EntitySystem, "dup"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create(mkRecord("dup", "bob", 1<<40)); err != nil {
+		t.Fatalf("re-create after erasure: %v", err)
+	}
+}
+
+func TestShardedDeriveColocatedAndCrossShard(t *testing.T) {
+	s := shardedForTest(t, 8)
+	// Same-subject parents are co-located: the derivation stays on one
+	// shard and the cascade-relevant provenance edge is local.
+	for _, k := range []string{"a-1", "a-2"} {
+		if err := s.Create(mkRecord(k, "alice", 1<<40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	concat := func(parents [][]byte) []byte { return bytes.Join(parents, []byte("+")) }
+	if err := s.Derive(EntityController, PurposeService, "a-sum", []string{"a-1", "a-2"}, concat, false, "sum"); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := s.ReadMeta(EntitySubjectSvc, PurposeSubjectAccess, "a-sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Subject != "alice" {
+		t.Fatalf("co-located derivation has subject %q", meta.Subject)
+	}
+	idx, _ := s.ShardIndexOf("a-sum")
+	if want, _ := s.ShardIndexOf("a-1"); idx != want {
+		t.Fatalf("derived record on shard %d, parents on %d", idx, want)
+	}
+
+	// Cross-shard parents: find two subjects with different home shards.
+	other := ""
+	for i := 0; ; i++ {
+		cand := fmt.Sprintf("person-%03d", i)
+		if SubjectShard(cand, s.NumShards()) != SubjectShard("alice", s.NumShards()) {
+			other = cand
+			break
+		}
+	}
+	if err := s.Create(mkRecord("b-1", other, 1<<40)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Derive(EntityController, PurposeService, "x-sum", []string{"a-1", "b-1"}, concat, false, "cross"); err != nil {
+		t.Fatal(err)
+	}
+	meta, err = s.ReadMeta(EntitySubjectSvc, PurposeSubjectAccess, "x-sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Subject != "aggregate" {
+		t.Fatalf("cross-subject derivation has subject %q, want aggregate", meta.Subject)
+	}
+	if idx, _ := s.ShardIndexOf("x-sum"); idx != SubjectShard("x-sum", s.NumShards()) {
+		t.Fatalf("cross-shard derivation not placed by its key")
+	}
+	payload, err := s.ReadData(EntityController, PurposeService, "x-sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []byte("payload-a-1+payload-b-1"); !bytes.Equal(payload, want) {
+		t.Fatalf("derived payload %q, want %q", payload, want)
+	}
+}
+
+func TestShardedReadByMetaHonorsTotalLimit(t *testing.T) {
+	s := shardedForTest(t, 8)
+	for i := 0; i < 60; i++ {
+		if err := s.Create(mkRecord(fmt.Sprintf("m-%02d", i), fmt.Sprintf("person-%03d", i), 1<<40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The limit bounds the merged result, not each shard's.
+	n, err := s.ReadByMeta(EntityController, PurposeService, "billing", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("read %d records, want exactly the limit 10", n)
+	}
+	// A generous limit reads everything once.
+	n, err = s.ReadByMeta(EntityController, PurposeService, "billing", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 60 {
+		t.Fatalf("read %d records, want all 60", n)
+	}
+}
+
+func TestShardedColocatedAggregatePlacedByKey(t *testing.T) {
+	s := shardedForTest(t, 8)
+	// Find two distinct subjects that collide on one home shard.
+	var subA, subB string
+	seen := make(map[int]string)
+	for i := 0; subB == ""; i++ {
+		cand := fmt.Sprintf("s-%d", i)
+		home := SubjectShard(cand, s.NumShards())
+		if prev, ok := seen[home]; ok {
+			subA, subB = prev, cand
+			break
+		}
+		seen[home] = cand
+	}
+	if err := s.Create(mkRecord("p-a", subA, 1<<40)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create(mkRecord("p-b", subB, 1<<40)); err != nil {
+		t.Fatal(err)
+	}
+	concat := func(parents [][]byte) []byte { return bytes.Join(parents, []byte("+")) }
+	if err := s.Derive(EntityController, PurposeService, "agg-1", []string{"p-a", "p-b"}, concat, false, "colliding subjects"); err != nil {
+		t.Fatal(err)
+	}
+	// Even though the parents share a shard, the cross-subject record
+	// is an aggregate and is placed by key like every other aggregate.
+	idx, ok := s.ShardIndexOf("agg-1")
+	if !ok {
+		t.Fatal("derived record not in directory")
+	}
+	if idx != SubjectShard("agg-1", s.NumShards()) {
+		t.Fatalf("aggregate on shard %d, want key placement %d", idx, SubjectShard("agg-1", s.NumShards()))
+	}
+	meta, err := s.ReadMeta(EntitySubjectSvc, PurposeSubjectAccess, "agg-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Subject != "aggregate" {
+		t.Fatalf("derived subject %q, want aggregate", meta.Subject)
+	}
+}
+
+func TestShardedSweepMergesShardQueues(t *testing.T) {
+	s := shardedForTest(t, 4)
+	for i := 0; i < 40; i++ {
+		ttl := int64(1 << 40)
+		if i%2 == 0 {
+			ttl = 5 // expires almost immediately
+		}
+		if err := s.Create(mkRecord(fmt.Sprintf("r-%02d", i), fmt.Sprintf("person-%03d", i), ttl)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.AdvanceClock(1000)
+	rep, err := s.SweepExpired()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Erased != 20 {
+		t.Fatalf("sweep erased %d, want 20", rep.Erased)
+	}
+	if s.Len() != 20 {
+		t.Fatalf("%d records live after sweep, want 20", s.Len())
+	}
+	// The merged audit records the expirations as (late) erasures — the
+	// sweep ran after the deadline — and leaves the survivors unflagged.
+	audit, err := s.Audit(core.DefaultGDPRInvariants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range audit.Violations {
+		if v.Invariant != "G17" {
+			t.Fatalf("unexpected violation %v", v)
+		}
+		var n int
+		if _, err := fmt.Sscanf(string(v.Unit), "r-%d", &n); err != nil || n%2 != 0 {
+			t.Fatalf("violation on surviving record: %v", v)
+		}
+	}
+}
+
+func TestShardedBreachAuditSeesBothTuples(t *testing.T) {
+	s := shardedForTest(t, 8)
+	if err := s.Create(mkRecord("k-1", "alice", 1<<40)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordBreach("breach-1", []string{"k-1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.NotifyBreach("breach-1"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.AuditWithBreaches(core.DefaultGDPRInvariants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Compliant() {
+		t.Fatalf("notified breach should be compliant:\n%s", rep)
+	}
+	// An unnotified breach surfaces in the merged report once overdue.
+	if err := s.RecordBreach("breach-2", []string{"k-1"}); err != nil {
+		t.Fatal(err)
+	}
+	s.AdvanceClock(int64(BreachNotificationWindow) + 10)
+	rep, err = s.AuditWithBreaches(core.DefaultGDPRInvariants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Compliant() {
+		t.Fatal("overdue unnotified breach not flagged by the merged audit")
+	}
+}
+
+func TestShardedClockSharedAcrossShards(t *testing.T) {
+	s := shardedForTest(t, 8)
+	if err := s.Create(mkRecord("k-0", "alice", 1<<40)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordBreach("breach-x", []string{"k-0"}); err != nil {
+		t.Fatal(err)
+	}
+	// Generate traffic only on shards OTHER than the breach's: with
+	// per-shard clocks the breach shard would stay frozen in time and
+	// the overdue notification would never surface.
+	breachShard := SubjectShard("breach-x", s.NumShards())
+	n := 0
+	for i := 0; n < int(BreachNotificationWindow)+20; i++ {
+		subject := fmt.Sprintf("other-%04d", i)
+		if SubjectShard(subject, s.NumShards()) == breachShard {
+			continue
+		}
+		if err := s.Create(mkRecord(fmt.Sprintf("t-%04d", i), subject, 1<<40)); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	rep, err := s.AuditWithBreaches(core.DefaultGDPRInvariants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Compliant() {
+		t.Fatal("overdue breach not flagged: idle shard's deadlines must advance with deployment-wide traffic")
+	}
+}
+
+// TestShardedDBConcurrentHammer drives a sharded deployment with
+// concurrent creators, readers, metadata/policy updaters, erasers,
+// batched erasures, retention sweeps, subject-access requests and full
+// audits at once (run under -race). Afterwards it asserts the audit is
+// consistent: no operation tore, every successful erasure stuck, and
+// the record count adds up exactly.
+func TestShardedDBConcurrentHammer(t *testing.T) {
+	const (
+		shards   = 8
+		subjects = 32
+		preload  = 320
+	)
+	s := shardedForTest(t, shards)
+	subjectOf := func(i int) string { return fmt.Sprintf("person-%03d", i%subjects) }
+	keyOf := func(i int) string { return fmt.Sprintf("pre-%04d", i) }
+	for i := 0; i < preload; i++ {
+		if err := s.Create(mkRecord(keyOf(i), subjectOf(i), 1<<40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var (
+		wg        sync.WaitGroup
+		created   atomic.Int64
+		erased    atomic.Int64
+		fatalOnce sync.Once
+		fatalErr  error
+	)
+	fail := func(err error) {
+		fatalOnce.Do(func() { fatalErr = err })
+	}
+	tolerated := func(err error) bool {
+		return err == nil || errors.Is(err, ErrNotFound) || errors.Is(err, ErrDenied)
+	}
+
+	// Creators add fresh records.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				key := fmt.Sprintf("new-%d-%04d", g, i)
+				if err := s.Create(mkRecord(key, subjectOf(g*150+i), 1<<40)); err != nil {
+					fail(fmt.Errorf("create %s: %w", key, err))
+					return
+				}
+				created.Add(1)
+			}
+		}(g)
+	}
+	// Readers hit data, metadata and subject-access paths.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				if _, err := s.ReadData(EntityController, PurposeService, keyOf((g*131+i)%preload)); !tolerated(err) {
+					fail(fmt.Errorf("read: %w", err))
+					return
+				}
+				if i%16 == 0 {
+					if _, err := s.SubjectAccess(subjectOf(i)); err != nil {
+						fail(fmt.Errorf("subject access: %w", err))
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	// Metadata and policy updates (consent changes, objections).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			key := keyOf((i * 7) % preload)
+			if err := s.UpdateMeta(EntityController, PurposeService, key, "analytics", 1<<40); !tolerated(err) {
+				fail(fmt.Errorf("update meta: %w", err))
+				return
+			}
+			if i%10 == 0 {
+				if err := s.Object(keyOf((i * 13) % preload)); !tolerated(err) {
+					fail(fmt.Errorf("object: %w", err))
+					return
+				}
+			}
+		}
+	}()
+	// Erasers exercise the right to be forgotten on disjoint key ranges:
+	// every erasure must succeed exactly once and stay erased.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g * 60; i < (g+1)*60; i++ {
+				if err := s.DeleteData(EntitySystem, keyOf(i)); err != nil {
+					fail(fmt.Errorf("erase %s: %w", keyOf(i), err))
+					return
+				}
+				erased.Add(1)
+			}
+		}(g)
+	}
+	// A batched erasure over another disjoint range.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		keys := make([]string, 0, 40)
+		for i := 120; i < 160; i++ {
+			keys = append(keys, keyOf(i))
+		}
+		n, err := s.EraseBatch(EntitySystem, keys)
+		if err != nil {
+			fail(fmt.Errorf("erase batch: %w", err))
+			return
+		}
+		erased.Add(int64(n))
+		if n != len(keys) {
+			fail(fmt.Errorf("erase batch erased %d of %d", n, len(keys)))
+		}
+	}()
+	// Retention sweeps and full audits run against the moving deployment.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if _, err := s.SweepExpired(); err != nil {
+				fail(fmt.Errorf("sweep: %w", err))
+				return
+			}
+			if _, err := s.Audit(core.DefaultGDPRInvariants()); err != nil {
+				fail(fmt.Errorf("audit: %w", err))
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if fatalErr != nil {
+		t.Fatal(fatalErr)
+	}
+
+	// No lost erasures: every erased key is gone for good.
+	for i := 0; i < 160; i++ {
+		if _, err := s.ReadData(EntityController, PurposeService, keyOf(i)); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("erased key %s still readable (err=%v)", keyOf(i), err)
+		}
+	}
+	// The books balance exactly: preload + creates - erasures.
+	want := preload + int(created.Load()) - int(erased.Load())
+	if got := s.Len(); got != want {
+		t.Fatalf("%d records live, want %d", got, want)
+	}
+	c := s.Counters()
+	if int(c.Deletes) != int(erased.Load()) {
+		t.Fatalf("counters saw %d deletes, erasers performed %d", c.Deletes, erased.Load())
+	}
+	// And the final audit is consistent and clean.
+	rep, err := s.Audit(core.DefaultGDPRInvariants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Compliant() {
+		t.Fatalf("final audit not compliant:\n%s", rep)
+	}
+}

@@ -3,6 +3,7 @@ package compliance
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"github.com/datacase/datacase/internal/core"
@@ -98,6 +99,38 @@ func (db *DB) ExportPortable(subject string) ([]byte, error) {
 		Subject string          `json:"subject"`
 		Records []SubjectRecord `json:"records"`
 	}{Subject: subject, Records: recs}, "", "  ")
+}
+
+// EraseSubject exercises the right to erasure at subject granularity
+// (GDPR Art. 17 for a whole account): every record whose data subject
+// matches is erased under the profile's grounding, atomically — the
+// scan and the erasures happen under one lock acquisition, so a record
+// collected concurrently either predates the request (and is erased)
+// or postdates it entirely. It returns how many records were erased
+// directly (cascaded dependents are counted in
+// Counters().CascadeDeletes, as elsewhere).
+func (db *DB) EraseSubject(entity core.EntityID, subject string) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	want := []byte(subject)
+	var keys []string
+	db.data.SeqScan(func(k, v []byte) bool {
+		if bytes.Equal(metaSubject(v), want) {
+			keys = append(keys, string(k))
+		}
+		return true
+	})
+	erased := 0
+	for _, k := range keys {
+		if err := db.deleteDataLocked(entity, k); err != nil {
+			if errors.Is(err, ErrNotFound) {
+				continue // removed by a cascade earlier in this request
+			}
+			return erased, err
+		}
+		erased++
+	}
+	return erased, nil
 }
 
 // RevokeConsent withdraws the subject's consent for one (purpose,

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"github.com/datacase/datacase/internal/core"
+	"github.com/datacase/datacase/internal/fanout"
 )
 
 // Scheduler drives units along the Figure-3 erasure timeline: collected
@@ -14,8 +15,15 @@ import (
 // TT-PermanentDelete → permanently deleted. Callers register units with
 // their timelines and call Advance as logical time passes; the scheduler
 // escalates each unit's erasure to the stage its timeline demands.
+//
+// Bound to a ShardedEngine, Advance batches due units per shard and
+// executes the shard batches in parallel (each shard's storage bundle is
+// independent); bound to a single Engine, it runs serially as before.
 type Scheduler struct {
-	engine *Engine
+	eraser Eraser
+	// workers bounds the per-Advance shard fan-out (<= 0 means the
+	// fanout package default, GOMAXPROCS).
+	workers int
 
 	mu      sync.Mutex
 	items   map[core.UnitID]core.ErasureTimeline
@@ -23,10 +31,25 @@ type Scheduler struct {
 	done    map[core.UnitID]bool // reached permanent deletion
 }
 
-// NewScheduler returns a scheduler bound to the engine.
-func NewScheduler(engine *Engine) *Scheduler {
+// NewScheduler returns a scheduler bound to one engine.
+func NewScheduler(engine *Engine) *Scheduler { return newScheduler(engine, 1) }
+
+// NewShardedScheduler returns a scheduler bound to a sharded engine;
+// its Advance escalates the shards' batches in parallel, at most
+// GOMAXPROCS at a time.
+func NewShardedScheduler(engine *ShardedEngine) *Scheduler { return newScheduler(engine, 0) }
+
+// NewShardedSchedulerWorkers is NewShardedScheduler with an explicit
+// fan-out width, mirroring the compliance side's OpenShardedWorkers
+// (deployments that bound cross-shard parallelism bound erasure too).
+func NewShardedSchedulerWorkers(engine *ShardedEngine, workers int) *Scheduler {
+	return newScheduler(engine, workers)
+}
+
+func newScheduler(e Eraser, workers int) *Scheduler {
 	return &Scheduler{
-		engine:  engine,
+		eraser:  e,
+		workers: workers,
 		items:   make(map[core.UnitID]core.ErasureTimeline),
 		applied: make(map[core.UnitID]core.ErasureInterpretation),
 		done:    make(map[core.UnitID]bool),
@@ -55,32 +78,77 @@ type Transition struct {
 	Err    error
 }
 
+// sharder is implemented by engines that partition units (ShardedEngine).
+type sharder interface {
+	NumShards() int
+	ShardOf(unit core.UnitID) int
+}
+
 // Advance escalates every registered unit to the stage its timeline
-// demands at time now, in unit order. Stages are applied one at a time
-// (a unit far past TT-PermanentDelete still walks through delete and
-// strong delete, matching the timeline's cumulative semantics).
+// demands at time now. Stages are applied one at a time (a unit far past
+// TT-PermanentDelete still walks through delete and strong delete,
+// matching the timeline's cumulative semantics). Due units are batched
+// per shard; each batch runs in unit order, and with a sharded engine
+// the batches run concurrently. The returned transitions are sorted by
+// unit, with a unit's stages in escalation order.
 func (s *Scheduler) Advance(now core.Time) []Transition {
+	// Snapshot the live units with their timelines under one lock
+	// acquisition, then compute the due set lock-free.
+	type dueUnit struct {
+		unit   core.UnitID
+		target core.ErasureInterpretation
+	}
+	type liveUnit struct {
+		unit core.UnitID
+		tl   core.ErasureTimeline
+	}
 	s.mu.Lock()
-	units := make([]core.UnitID, 0, len(s.items))
-	for u := range s.items {
+	live := make([]liveUnit, 0, len(s.items))
+	for u, tl := range s.items {
 		if !s.done[u] {
-			units = append(units, u)
+			live = append(live, liveUnit{unit: u, tl: tl})
 		}
 	}
 	s.mu.Unlock()
-	sort.Slice(units, func(i, j int) bool { return units[i] < units[j] })
+	sort.Slice(live, func(i, j int) bool { return live[i].unit < live[j].unit })
 
-	var out []Transition
-	for _, u := range units {
-		s.mu.Lock()
-		tl := s.items[u]
-		s.mu.Unlock()
-		target, due := tl.StageAt(now)
-		if !due {
+	var due []dueUnit
+	for _, lu := range live {
+		target, isDue := lu.tl.StageAt(now)
+		if !isDue {
 			continue
 		}
-		out = append(out, s.escalate(u, target)...)
+		due = append(due, dueUnit{unit: lu.unit, target: target})
 	}
+	if len(due) == 0 {
+		return nil
+	}
+
+	// Batch per shard. A single engine is one batch (serial, as before).
+	shards := 1
+	shardOf := func(core.UnitID) int { return 0 }
+	if sh, ok := s.eraser.(sharder); ok && sh.NumShards() > 1 {
+		shards = sh.NumShards()
+		shardOf = sh.ShardOf
+	}
+	batches := make([][]dueUnit, shards)
+	for _, d := range due {
+		i := shardOf(d.unit)
+		batches[i] = append(batches[i], d)
+	}
+	results := make([][]Transition, shards)
+	_ = fanout.Run(s.workers, shards, func(i int) error {
+		for _, d := range batches[i] {
+			results[i] = append(results[i], s.escalate(d.unit, d.target)...)
+		}
+		return nil
+	})
+
+	var out []Transition
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Unit < out[j].Unit })
 	return out
 }
 
@@ -108,7 +176,7 @@ func (s *Scheduler) escalate(unit core.UnitID, target core.ErasureInterpretation
 			// Cannot happen: reversible is the lowest stage.
 			return out
 		}
-		rep, err := s.engine.Erase(unit, next)
+		rep, err := s.eraser.Erase(unit, next)
 		out = append(out, Transition{Unit: unit, Stage: next, Report: rep, Err: err})
 		s.mu.Lock()
 		s.applied[unit] = next

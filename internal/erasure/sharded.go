@@ -1,0 +1,84 @@
+package erasure
+
+import (
+	"fmt"
+
+	"github.com/datacase/datacase/internal/core"
+)
+
+// Eraser executes grounded erasures; Engine implements it for one
+// storage bundle and ShardedEngine for a partitioned deployment. The
+// scheduler drives timelines through this interface.
+type Eraser interface {
+	Erase(unit core.UnitID, interp core.ErasureInterpretation) (Report, error)
+	Inaccessible(unit core.UnitID) bool
+	Restore(unit core.UnitID) error
+}
+
+var (
+	_ Eraser = (*Engine)(nil)
+	_ Eraser = (*ShardedEngine)(nil)
+)
+
+// ShardedEngine partitions erasure across N engines, one per storage
+// shard, routed by a unit-to-shard function (a sharded compliance
+// deployment passes the same subject-hash placement its DB uses).
+// Units of different shards touch disjoint storage bundles, so the
+// scheduler batches per shard and executes shards in parallel;
+// right-to-be-forgotten throughput then scales with cores.
+type ShardedEngine struct {
+	shards []*Engine
+	route  func(core.UnitID) int
+}
+
+// NewShardedEngine builds a sharded engine over per-shard engines. The
+// route function must return a stable index in [0, len(shards)) for
+// every unit.
+func NewShardedEngine(shards []*Engine, route func(core.UnitID) int) (*ShardedEngine, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("erasure: sharded engine needs at least one shard")
+	}
+	for i, e := range shards {
+		if e == nil {
+			return nil, fmt.Errorf("erasure: shard %d is nil", i)
+		}
+	}
+	if route == nil {
+		return nil, fmt.Errorf("erasure: sharded engine needs a route function")
+	}
+	return &ShardedEngine{shards: shards, route: route}, nil
+}
+
+// NumShards returns the shard count.
+func (e *ShardedEngine) NumShards() int { return len(e.shards) }
+
+// ShardOf returns the shard index responsible for the unit. The
+// scheduler uses it to batch due units per shard. A route result
+// outside [0, NumShards) is a misconfigured partitioning — silently
+// redirecting the erasure to another shard would report data as erased
+// while it persists, so it panics at the first call instead.
+func (e *ShardedEngine) ShardOf(unit core.UnitID) int {
+	i := e.route(unit)
+	if i < 0 || i >= len(e.shards) {
+		panic(fmt.Sprintf("erasure: route(%q) = %d, outside [0, %d)", unit, i, len(e.shards)))
+	}
+	return i
+}
+
+// Shard exposes one shard's engine (verification, tests).
+func (e *ShardedEngine) Shard(i int) *Engine { return e.shards[i] }
+
+// Erase applies the interpretation to the unit on its shard.
+func (e *ShardedEngine) Erase(unit core.UnitID, interp core.ErasureInterpretation) (Report, error) {
+	return e.shards[e.ShardOf(unit)].Erase(unit, interp)
+}
+
+// Inaccessible reports whether the unit is reversibly inaccessible.
+func (e *ShardedEngine) Inaccessible(unit core.UnitID) bool {
+	return e.shards[e.ShardOf(unit)].Inaccessible(unit)
+}
+
+// Restore reverses a reversible inaccessibility on the unit's shard.
+func (e *ShardedEngine) Restore(unit core.UnitID) error {
+	return e.shards[e.ShardOf(unit)].Restore(unit)
+}

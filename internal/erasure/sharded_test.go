@@ -1,0 +1,183 @@
+package erasure
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"testing"
+
+	"github.com/datacase/datacase/internal/audit"
+	"github.com/datacase/datacase/internal/core"
+	"github.com/datacase/datacase/internal/cryptox"
+	"github.com/datacase/datacase/internal/policy"
+	"github.com/datacase/datacase/internal/provenance"
+	"github.com/datacase/datacase/internal/storage/heap"
+	"github.com/datacase/datacase/internal/wal"
+)
+
+// buildShardTarget makes one independent storage bundle holding the
+// given units.
+func buildShardTarget(t *testing.T, shard int, units []core.UnitID) *Engine {
+	t.Helper()
+	db := core.NewDatabase()
+	hist := core.NewHistory()
+	table := heap.NewTable(fmt.Sprintf("personal/shard-%d", shard), nil)
+	keys, err := cryptox.NewKeyring(cryptox.AES256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pols := policy.NewSieve()
+	clock := &core.Clock{}
+	for _, u := range units {
+		unit := core.NewDataUnit(u, core.KindBase, core.EntityID("subject-"+string(u)), "signup")
+		unit.SetValue([]byte("payload-"+string(u)), clock.Tick())
+		if err := db.Add(unit); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := table.Insert([]byte(u), []byte("payload-"+string(u))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng, err := NewEngine(Target{
+		DB: db, History: hist, Data: table, Keys: keys, Policies: pols,
+		Log: audit.NewQueryLogger(), WAL: wal.New(), Prov: provenance.NewGraph(),
+		Clock: clock, Executor: "system",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func hashRoute(shards int) func(core.UnitID) int {
+	return func(u core.UnitID) int {
+		h := fnv.New32a()
+		_, _ = h.Write([]byte(u))
+		return int(h.Sum32() % uint32(shards))
+	}
+}
+
+// shardedFixture partitions nUnits units across nShards engines with
+// the same hash route the engine is built with.
+func shardedFixture(t *testing.T, nShards, nUnits int) (*ShardedEngine, []core.UnitID) {
+	t.Helper()
+	route := hashRoute(nShards)
+	perShard := make([][]core.UnitID, nShards)
+	var all []core.UnitID
+	for i := 0; i < nUnits; i++ {
+		u := core.UnitID(fmt.Sprintf("unit-%03d", i))
+		all = append(all, u)
+		perShard[route(u)] = append(perShard[route(u)], u)
+	}
+	engines := make([]*Engine, nShards)
+	for i := range engines {
+		engines[i] = buildShardTarget(t, i, perShard[i])
+	}
+	se, err := NewShardedEngine(engines, route)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return se, all
+}
+
+func TestShardedEngineRoutesErasures(t *testing.T) {
+	se, units := shardedFixture(t, 4, 32)
+	for _, u := range units {
+		rep, err := se.Erase(u, core.EraseDelete)
+		if err != nil {
+			t.Fatalf("erase %s: %v", u, err)
+		}
+		if rep.Unit != u {
+			t.Fatalf("report for %s names %s", u, rep.Unit)
+		}
+	}
+	// Every shard's table must be empty and every unit marked erased on
+	// its own shard.
+	for i := 0; i < se.NumShards(); i++ {
+		if n := se.Shard(i).t.Data.Len(); n != 0 {
+			t.Fatalf("shard %d still holds %d rows", i, n)
+		}
+	}
+}
+
+func TestShardedEngineReversibleRoundTrip(t *testing.T) {
+	se, units := shardedFixture(t, 3, 9)
+	u := units[0]
+	if _, err := se.Erase(u, core.EraseReversiblyInaccessible); err != nil {
+		t.Fatal(err)
+	}
+	if !se.Inaccessible(u) {
+		t.Fatalf("%s should be inaccessible", u)
+	}
+	if err := se.Restore(u); err != nil {
+		t.Fatal(err)
+	}
+	if se.Inaccessible(u) {
+		t.Fatalf("%s should be accessible after restore", u)
+	}
+}
+
+func TestShardedSchedulerAdvancesBatchesInParallel(t *testing.T) {
+	const nShards, nUnits = 4, 24
+	se, units := shardedFixture(t, nShards, nUnits)
+	sched := NewShardedScheduler(se)
+	tl := core.ErasureTimeline{
+		TTLive: 10, TTDelete: 20, TTStrongDelete: 30, TTPermanent: 40,
+	}
+	for _, u := range units {
+		if err := sched.Register(u, tl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if trs := sched.Advance(5); len(trs) != 0 {
+		t.Fatalf("nothing is due at t=5, got %d transitions", len(trs))
+	}
+
+	// Jump past every stage at once: each unit must walk the full
+	// timeline, whatever shard it lives on.
+	trs := sched.Advance(50)
+	if want := nUnits * 4; len(trs) != want {
+		t.Fatalf("got %d transitions, want %d", len(trs), want)
+	}
+	if !sort.SliceIsSorted(trs, func(i, j int) bool { return trs[i].Unit < trs[j].Unit }) {
+		t.Fatal("transitions are not sorted by unit")
+	}
+	perUnit := make(map[core.UnitID][]core.ErasureInterpretation)
+	for _, tr := range trs {
+		if tr.Err != nil {
+			t.Fatalf("transition %s→%v failed: %v", tr.Unit, tr.Stage, tr.Err)
+		}
+		perUnit[tr.Unit] = append(perUnit[tr.Unit], tr.Stage)
+	}
+	for _, u := range units {
+		stages := perUnit[u]
+		want := []core.ErasureInterpretation{
+			core.EraseReversiblyInaccessible, core.EraseDelete,
+			core.EraseStrongDelete, core.ErasePermanentDelete,
+		}
+		if len(stages) != len(want) {
+			t.Fatalf("%s walked %v", u, stages)
+		}
+		for i := range want {
+			if stages[i] != want[i] {
+				t.Fatalf("%s walked %v, want %v", u, stages, want)
+			}
+		}
+	}
+	if sched.Pending() != 0 {
+		t.Fatalf("%d units still pending", sched.Pending())
+	}
+}
+
+func TestNewShardedEngineRejectsBadInput(t *testing.T) {
+	if _, err := NewShardedEngine(nil, hashRoute(1)); err == nil {
+		t.Fatal("empty shard list accepted")
+	}
+	eng := buildShardTarget(t, 0, nil)
+	if _, err := NewShardedEngine([]*Engine{eng}, nil); err == nil {
+		t.Fatal("nil route accepted")
+	}
+	if _, err := NewShardedEngine([]*Engine{eng, nil}, hashRoute(2)); err == nil {
+		t.Fatal("nil shard accepted")
+	}
+}

@@ -1,0 +1,67 @@
+// Package fanout is the bounded worker pool behind every cross-shard
+// operation in this repository: global audits, breach scans, retention
+// sweeps, metadata scans and batched erasures all split their work per
+// shard and run the pieces through Run. Bounding the worker count keeps
+// a fan-out from oversubscribing the machine when many clients fan out
+// at once.
+package fanout
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the default fan-out width: the number of CPUs
+// the runtime will actually schedule.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Run invokes fn(i) for every i in [0, n), using at most workers
+// concurrent goroutines (workers <= 0 means DefaultWorkers). Every index
+// is visited even if some calls fail; the first error observed (in
+// completion order) is returned. fn must be safe to call concurrently
+// for distinct indices.
+func Run(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

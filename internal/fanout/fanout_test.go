@@ -1,0 +1,71 @@
+package fanout
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunVisitsEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		var visited [100]atomic.Bool
+		if err := Run(workers, len(visited), func(i int) error {
+			if visited[i].Swap(true) {
+				t.Errorf("workers=%d: index %d visited twice", workers, i)
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range visited {
+			if !visited[i].Load() {
+				t.Fatalf("workers=%d: index %d not visited", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if err := Run(4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReportsErrorButFinishes(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	err := Run(4, 50, func(i int) error {
+		calls.Add(1)
+		if i%10 == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+	if got := calls.Load(); got != 50 {
+		t.Fatalf("fn called %d times, want 50 (errors must not stop the fan-out)", got)
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	if err := Run(workers, 200, func(int) error {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		inFlight.Add(-1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent calls, want <= %d", p, workers)
+	}
+}
