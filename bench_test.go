@@ -6,12 +6,14 @@ package datacase_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"github.com/datacase/datacase"
 	"github.com/datacase/datacase/internal/compliance"
 	"github.com/datacase/datacase/internal/gdprbench"
 	"github.com/datacase/datacase/internal/storage/lsm"
+	"github.com/datacase/datacase/internal/wal"
 )
 
 // benchScale keeps one iteration around tens of milliseconds.
@@ -161,6 +163,100 @@ func BenchmarkShardScaling(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkLoadgen runs the closed-loop driver at 1/4/16 concurrent
+// clients against a 16-shard deployment on the controller workload (the
+// write-heaviest mix, where WAL commit cost shows). On a multi-core box
+// ops/sec (reported as the ops/s metric) rises with the client count.
+func BenchmarkLoadgen(b *testing.B) {
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("WCon/clients-%d", clients), func(b *testing.B) {
+			var opsPerSec float64
+			for i := 0; i < b.N; i++ {
+				res, err := datacase.RunLoadgen(datacase.LoadgenConfig{
+					Workload: datacase.WCon,
+					Records:  benchRecords,
+					Ops:      benchTxns,
+					Clients:  clients,
+					Shards:   16,
+					Seed:     1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := res.Validate(); err != nil {
+					b.Fatal(err)
+				}
+				opsPerSec = res.OpsPerSec
+			}
+			b.ReportMetric(opsPerSec, "ops/s")
+		})
+	}
+}
+
+// walWConStream derives the WAL append traffic a controller-workload
+// run generates: creates log inserts, erasures log deletes, metadata
+// updates log updates. The stream is deterministic for the seed.
+func walWConStream(n int) []wal.Record {
+	gen, err := gdprbench.NewGenerator(gdprbench.Controller, 1000, 1)
+	if err != nil {
+		panic(err)
+	}
+	out := make([]wal.Record, 0, n)
+	for _, op := range gen.Ops(n) {
+		switch op.Kind {
+		case gdprbench.OpCreate:
+			out = append(out, wal.Record{Type: wal.RecInsert, Key: []byte(op.Key), Payload: op.Payload})
+		case gdprbench.OpDeleteData:
+			out = append(out, wal.Record{Type: wal.RecDelete, Key: []byte(op.Key)})
+		default: // OpUpdateMeta
+			out = append(out, wal.Record{Type: wal.RecUpdate, Key: []byte(op.Key), Payload: []byte("meta")})
+		}
+	}
+	return out
+}
+
+// BenchmarkWALCommitProtocol replays the WCon-derived WAL append stream
+// with 16 concurrent appenders through both commit protocols. Group
+// commit amortizes lock acquisitions and syncs across batches, so at 16
+// clients it beats per-append locking; at 1 client the two converge.
+func BenchmarkWALCommitProtocol(b *testing.B) {
+	const streamLen = 4096
+	stream := walWConStream(streamLen)
+	for _, mode := range []struct {
+		name string
+		mk   func() *wal.Log
+	}{
+		{"group-commit", wal.New},
+		{"per-append-lock", wal.NewSerial},
+	} {
+		for _, clients := range []int{1, 16} {
+			b.Run(fmt.Sprintf("%s/clients-%d", mode.name, clients), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					l := mode.mk()
+					chunk := (streamLen + clients - 1) / clients
+					var wg sync.WaitGroup
+					for c := 0; c < clients; c++ {
+						lo := min(c*chunk, streamLen)
+						hi := min(lo+chunk, streamLen)
+						wg.Add(1)
+						go func(recs []wal.Record) {
+							defer wg.Done()
+							for _, r := range recs {
+								l.Append(r.Type, r.Key, r.Payload)
+							}
+						}(stream[lo:hi])
+					}
+					wg.Wait()
+					if l.Len() != streamLen {
+						b.Fatalf("Len = %d", l.Len())
+					}
+				}
+				b.ReportMetric(float64(streamLen*b.N)/b.Elapsed().Seconds(), "appends/s")
+			})
+		}
 	}
 }
 

@@ -1,4 +1,5 @@
-// Command datacase-bench regenerates the paper's tables and figures.
+// Command datacase-bench regenerates the paper's tables and figures and
+// runs the repo's scaling experiments.
 //
 // Usage:
 //
@@ -6,9 +7,13 @@
 //	datacase-bench -exp fig4a -records 100000  # one experiment, custom scale
 //	datacase-bench -exp table2 -paper          # paper-scale parameters
 //	datacase-bench -exp fig4b -csv             # CSV series output
+//	datacase-bench -exp loadgen -workload wcon -clients 16
+//	                                           # closed-loop driver sweep;
+//	                                           # writes BENCH_loadgen.json
 //
 // Experiments: table1, fig3, fig4a, fig4b, fig4c, table2, deleteonly,
-// shardscale, all.
+// shardscale, loadgen, all. An unknown -exp value exits with status 2
+// and a usage message.
 package main
 
 import (
@@ -21,19 +26,49 @@ import (
 	"github.com/datacase/datacase"
 )
 
+// experiments is the closed set of -exp values ("all" runs each).
+var experiments = []string{
+	"table1", "fig3", "fig4a", "fig4b", "fig4c", "table2", "deleteonly",
+	"shardscale", "loadgen",
+}
+
+func knownExperiment(name string) bool {
+	if name == "all" {
+		return true
+	}
+	for _, e := range experiments {
+		if e == name {
+			return true
+		}
+	}
+	return false
+}
+
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|fig3|fig4a|fig4b|fig4c|table2|deleteonly|shardscale|all")
-		records = flag.Int("records", 0, "records (0 = scale default)")
-		txns    = flag.Int("txns", 0, "transactions (0 = scale default)")
-		paper   = flag.Bool("paper", false, "use the paper's scale (100k records; slower)")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		csv     = flag.Bool("csv", false, "emit figures as CSV instead of tables")
-		factor  = flag.Int("fig4a-divisor", 5, "divide fig4a's 10K-70K txn sweep by this (1 = paper sweep)")
-		shards  = flag.String("shards", "1,4,16", "shard-count sweep for -exp shardscale")
-		clients = flag.Int("clients", 8, "concurrent clients for -exp shardscale")
+		exp = flag.String("exp", "all",
+			"experiment: "+strings.Join(experiments, "|")+"|all")
+		records  = flag.Int("records", 0, "records (0 = scale default)")
+		txns     = flag.Int("txns", 0, "transactions (0 = scale default)")
+		paper    = flag.Bool("paper", false, "use the paper's scale (100k records; slower)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		csv      = flag.Bool("csv", false, "emit figures as CSV instead of tables")
+		factor   = flag.Int("fig4a-divisor", 5, "divide fig4a's 10K-70K txn sweep by this (1 = paper sweep)")
+		shards   = flag.String("shards", "1,4,16", "shard-count sweep for -exp shardscale")
+		clients  = flag.Int("clients", 8, "concurrent clients (shardscale; max of the loadgen sweep)")
+		workload = flag.String("workload", "wcon", "GDPRBench workload for -exp loadgen: wcon|wpro|wcus|all")
+		shardN   = flag.Int("loadgen-shards", 16, "shard count for -exp loadgen")
+		out      = flag.String("out", "BENCH_loadgen.json", "JSON output path for -exp loadgen")
+		walcmp   = flag.Bool("wal-compare", false, "loadgen: also run the per-append-locking WAL baseline")
 	)
 	flag.Parse()
+
+	if !knownExperiment(*exp) {
+		fmt.Fprintf(os.Stderr, "datacase-bench: unknown experiment %q (want %s or all)\n",
+			*exp, strings.Join(experiments, ", "))
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	scale := datacase.DefaultScale()
 	if *paper {
@@ -48,17 +83,22 @@ func main() {
 	}
 	scale.Seed = *seed
 
-	run := func(name string) bool { return *exp == "all" || *exp == name }
+	// ran guards against the experiments list and the dispatch blocks
+	// drifting apart: a name that validates but matches no block would
+	// otherwise silently do nothing.
 	ran := false
+	run := func(name string) bool {
+		hit := *exp == "all" || *exp == name
+		ran = ran || hit
+		return hit
+	}
 
 	if run("table1") {
-		ran = true
 		rows, err := datacase.Table1()
 		fail(err)
 		fmt.Println(datacase.RenderTable1(rows))
 	}
 	if run("fig3") {
-		ran = true
 		lines, err := datacase.Fig3Timeline()
 		fail(err)
 		fmt.Println("Figure 3: data erasure timeline (scheduler-driven)")
@@ -66,21 +106,18 @@ func main() {
 		fmt.Println()
 	}
 	if run("fig4a") {
-		ran = true
 		fmt.Printf("running fig4a (records=%d, txn sweep 10K-70K ÷%d)...\n", scale.Records, *factor)
 		fig, err := datacase.Fig4a(scale, *factor)
 		fail(err)
 		render(fig, nil, *csv)
 	}
 	if run("fig4b") {
-		ran = true
 		fmt.Printf("running fig4b (records=%d, txns=%d)...\n", scale.Records, scale.Txns)
 		fig, err := datacase.Fig4b(scale)
 		fail(err)
 		render(fig, datacase.Fig4bWorkloads(), *csv)
 	}
 	if run("fig4c") {
-		ran = true
 		fmt.Printf("running fig4c (records sweep %d-%d, txns=%d)...\n",
 			scale.Records, scale.Records*5, scale.Txns)
 		lines, bars, err := datacase.Fig4c(scale)
@@ -89,7 +126,6 @@ func main() {
 		render(bars, nil, *csv)
 	}
 	if run("table2") {
-		ran = true
 		fmt.Printf("running table2 (records=%d, txns=%d, WCus)...\n", scale.Records, scale.Txns)
 		reports, err := datacase.Table2(scale)
 		fail(err)
@@ -100,7 +136,6 @@ func main() {
 		fmt.Println()
 	}
 	if run("deleteonly") {
-		ran = true
 		fmt.Printf("running delete-only footnote (records=%d)...\n", scale.Records)
 		for _, s := range []datacase.EraseStrategy{datacase.StratDelete, datacase.StratVacuum} {
 			r, err := datacase.RunDeleteOnlyWorkload(s, scale.Records, scale.Seed)
@@ -111,7 +146,6 @@ func main() {
 		fmt.Println()
 	}
 	if run("shardscale") {
-		ran = true
 		sweep, err := parseShards(*shards)
 		fail(err)
 		fmt.Printf("running shardscale (records=%d, txns=%d, shards=%v, clients=%d)...\n",
@@ -120,11 +154,65 @@ func main() {
 		fail(err)
 		render(fig, nil, *csv)
 	}
+	if run("loadgen") {
+		runLoadgen(scale, *workload, *clients, *shardN, *out, *walcmp, *csv)
+	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		flag.Usage()
+		fmt.Fprintf(os.Stderr,
+			"datacase-bench: experiment %q validated but matched no dispatch block (list/dispatch drift)\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// runLoadgen drives the closed-loop driver over a client sweep for the
+// selected workload(s), renders the completion-time figure and writes
+// the machine-readable BENCH_loadgen.json report.
+func runLoadgen(scale datacase.Scale, workload string, clients, shards int, out string, walcmp, csv bool) {
+	var workloads []datacase.GDPRWorkload
+	if strings.EqualFold(strings.TrimSpace(workload), "all") {
+		workloads = datacase.GDPRWorkloads()
+	} else {
+		w, err := datacase.ParseWorkload(workload)
+		fail(err)
+		workloads = []datacase.GDPRWorkload{w}
+	}
+	sweep := datacase.ClientSweepUpTo(clients)
+	// The serial-WAL baseline pairs with the sweep's top client count,
+	// whatever -clients resolved to.
+	topClients := sweep[len(sweep)-1]
+	fmt.Printf("running loadgen (records=%d, ops=%d, shards=%d, clients=%v, workloads=%v)...\n",
+		scale.Records, scale.Txns, shards, sweep, workloads)
+
+	var results []datacase.LoadgenResult
+	for _, w := range workloads {
+		rs, err := datacase.LoadgenSweep(datacase.PBase(), w, scale, shards, sweep)
+		fail(err)
+		results = append(results, rs...)
+		if walcmp {
+			// The per-append-locking baseline at the highest client
+			// count, isolating the WAL commit protocol.
+			profile := datacase.PBase()
+			profile.SerialWAL = true
+			serial, err := datacase.RunLoadgen(datacase.LoadgenConfig{
+				Profile:  profile,
+				Workload: w,
+				Records:  scale.Records,
+				Ops:      scale.Txns,
+				Clients:  topClients,
+				Shards:   shards,
+				Seed:     scale.Seed,
+			})
+			fail(err)
+			results = append(results, serial)
+		}
+	}
+	for _, r := range results {
+		fail(r.Validate())
+		fmt.Printf("  %s\n", r)
+	}
+	render(datacase.LoadgenFigure(results), nil, csv)
+	fail(datacase.WriteLoadgenJSON(out, results))
+	fmt.Printf("wrote %s (%d results)\n", out, len(results))
 }
 
 // parseShards parses a comma-separated shard-count sweep like "1,4,16".

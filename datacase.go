@@ -23,6 +23,8 @@ import (
 	"github.com/datacase/datacase/internal/core"
 	"github.com/datacase/datacase/internal/erasure"
 	"github.com/datacase/datacase/internal/gdprbench"
+	"github.com/datacase/datacase/internal/loadgen"
+	"github.com/datacase/datacase/internal/wal"
 	"github.com/datacase/datacase/internal/ycsb"
 )
 
@@ -389,4 +391,47 @@ const (
 	StratVacuum     = benchx.StratVacuum
 	StratVacuumFull = benchx.StratVacuumFull
 	StratTombstone  = benchx.StratTombstone
+)
+
+// ---- Closed-loop load driver (loadgen) and the group-commit WAL ----
+
+type (
+	// LoadgenConfig sizes one closed-loop loadgen run.
+	LoadgenConfig = loadgen.Config
+	// LoadgenResult is the machine-readable outcome of one run (the
+	// BENCH_loadgen.json row schema).
+	LoadgenResult = loadgen.Result
+	// LoadgenReport is the BENCH_loadgen.json document envelope.
+	LoadgenReport = loadgen.Report
+	// LatencyHistogram is the driver's lock-free HDR-style histogram.
+	LatencyHistogram = loadgen.Histogram
+	// WALStats describes a log's commit work (appends vs syncs; fewer
+	// syncs than appends means group commit amortized durability).
+	WALStats = wal.Stats
+)
+
+var (
+	// RunLoadgen executes one closed-loop measurement: P concurrent
+	// clients replaying deterministic slices of a GDPRBench workload
+	// against a subject-sharded deployment.
+	RunLoadgen = loadgen.Run
+	// LoadgenWALComparison pairs a group-commit run with a
+	// per-append-locking run of the same configuration.
+	LoadgenWALComparison = loadgen.WALComparison
+	// WriteLoadgenJSON writes results as a BENCH_loadgen.json document.
+	WriteLoadgenJSON = loadgen.WriteJSON
+	// ReadLoadgenJSON parses and validates a BENCH_loadgen.json file.
+	ReadLoadgenJSON = loadgen.ReadJSON
+	// LoadgenSweep runs the driver at each client count.
+	LoadgenSweep = benchx.LoadgenSweep
+	// LoadgenFigure renders sweep results as a figure.
+	LoadgenFigure = benchx.LoadgenFigure
+	// DefaultClientSweep is the 1/4/16 client sweep.
+	DefaultClientSweep = benchx.DefaultClientSweep
+	// ClientSweepUpTo truncates the default sweep at a client count.
+	ClientSweepUpTo = benchx.ClientSweepUpTo
+	// ParseWorkload maps CLI spellings (wcon/wpro/wcus) to workloads.
+	ParseWorkload = gdprbench.ParseWorkload
+	// GDPRWorkloads lists the three GDPRBench workloads.
+	GDPRWorkloads = gdprbench.Workloads
 )

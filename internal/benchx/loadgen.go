@@ -1,0 +1,90 @@
+package benchx
+
+import (
+	"time"
+
+	"github.com/datacase/datacase/internal/compliance"
+	"github.com/datacase/datacase/internal/gdprbench"
+	"github.com/datacase/datacase/internal/loadgen"
+)
+
+// This file bridges the closed-loop load driver into the experiment
+// harness: a client-count sweep whose JSON results feed the repo's
+// BENCH_loadgen.json trajectory, rendered alongside the paper figures.
+
+// DefaultClientSweep is the client-count sweep of the loadgen
+// experiment, mirroring the shard sweep.
+func DefaultClientSweep() []int { return []int{1, 4, 16} }
+
+// ClientSweepUpTo returns the default sweep truncated at maxClients,
+// always including maxClients itself (e.g. 8 -> [1 4 8]).
+func ClientSweepUpTo(maxClients int) []int {
+	if maxClients <= 0 {
+		return DefaultClientSweep()
+	}
+	var out []int
+	for _, c := range DefaultClientSweep() {
+		if c < maxClients {
+			out = append(out, c)
+		}
+	}
+	return append(out, maxClients)
+}
+
+// LoadgenSweep runs the closed-loop driver at each client count against
+// a sharded deployment and collects the per-run results.
+func LoadgenSweep(profile compliance.Profile, w gdprbench.WorkloadName,
+	s Scale, shards int, clientCounts []int) ([]loadgen.Result, error) {
+	if len(clientCounts) == 0 {
+		clientCounts = DefaultClientSweep()
+	}
+	results := make([]loadgen.Result, 0, len(clientCounts))
+	for _, clients := range clientCounts {
+		res, err := loadgen.Run(loadgen.Config{
+			Profile:  profile,
+			Workload: w,
+			Records:  s.Records,
+			Ops:      s.Txns,
+			Clients:  clients,
+			Shards:   shards,
+			Seed:     s.Seed,
+		})
+		if err != nil {
+			return results, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// LoadgenFigure renders sweep results as a completion-time-vs-clients
+// figure (the repo's figures plot durations; throughput and latency
+// quantiles live in the JSON report).
+func LoadgenFigure(results []loadgen.Result) Figure {
+	fig := Figure{
+		Title:  "Loadgen: closed-loop completion time vs concurrent clients",
+		XLabel: "clients",
+	}
+	series := map[string]*Series{}
+	var order []string
+	for _, r := range results {
+		label := r.Workload + "/" + r.Profile
+		if r.SerialWAL {
+			label += "/serial-wal"
+		}
+		s, ok := series[label]
+		if !ok {
+			s = &Series{Label: label}
+			series[label] = s
+			order = append(order, label)
+		}
+		s.Points = append(s.Points, Point{
+			X: float64(r.Clients),
+			Y: time.Duration(r.ElapsedSeconds * float64(time.Second)),
+		})
+	}
+	for _, label := range order {
+		fig.Series = append(fig.Series, *series[label])
+	}
+	return fig
+}

@@ -115,10 +115,14 @@ func openNamed(p Profile, tableName string, clock *core.Clock) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	log := wal.New()
+	if p.SerialWAL {
+		log = wal.NewSerial()
+	}
 	db := &DB{
 		profile:  p,
 		clock:    clock,
-		data:     heap.NewTable(tableName, wal.New()),
+		data:     heap.NewTable(tableName, log),
 		policies: p.NewPolicyEngine(),
 		logger:   logger,
 		prov:     provenance.NewGraph(),
@@ -161,6 +165,10 @@ func (db *DB) Counters() Counters {
 
 // Len returns the number of live records.
 func (db *DB) Len() int { return db.data.Len() }
+
+// WALStats returns the commit-work counters of the deployment's
+// write-ahead log.
+func (db *DB) WALStats() wal.Stats { return db.data.Log().Stats() }
 
 // Model returns the model mirror (nil unless TrackModel).
 func (db *DB) Model() (*core.Database, *core.History) { return db.modelDB, db.history }

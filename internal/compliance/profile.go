@@ -95,6 +95,12 @@ type Profile struct {
 	// TrackModel mirrors every record as a core.DataUnit with history,
 	// enabling invariant checking (costs memory; off for large benches).
 	TrackModel bool
+
+	// SerialWAL commits the write-ahead log with per-append locking
+	// instead of group commit. The default (false) is group commit; the
+	// serial mode exists as the benchmark baseline the group-commit
+	// experiments compare against.
+	SerialWAL bool
 }
 
 // validate rejects incomplete profiles.

@@ -12,6 +12,7 @@ import (
 	"github.com/datacase/datacase/internal/core"
 	"github.com/datacase/datacase/internal/fanout"
 	"github.com/datacase/datacase/internal/gdprbench"
+	"github.com/datacase/datacase/internal/wal"
 )
 
 // ErrExists is returned when a record key is already taken somewhere in
@@ -526,6 +527,25 @@ func (s *ShardedDB) Space() SpaceReport {
 		merged.Factor = float64(merged.TotalBytes) / float64(merged.PersonalBytes)
 	}
 	return merged
+}
+
+// WALStats merges the commit-work counters of every shard's WAL
+// segment: appends and syncs sum, MaxBatch is the largest batch any
+// segment committed, and GroupCommit reflects the shared protocol.
+func (s *ShardedDB) WALStats() wal.Stats {
+	var out wal.Stats
+	for i, db := range s.shards {
+		st := db.WALStats()
+		out.Appends += st.Appends
+		out.Syncs += st.Syncs
+		if st.MaxBatch > out.MaxBatch {
+			out.MaxBatch = st.MaxBatch
+		}
+		if i == 0 {
+			out.GroupCommit = st.GroupCommit
+		}
+	}
+	return out
 }
 
 // Len returns the number of live records across all shards.

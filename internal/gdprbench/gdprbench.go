@@ -15,6 +15,7 @@ package gdprbench
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"github.com/datacase/datacase/internal/mall"
 )
@@ -105,6 +106,27 @@ const (
 	Processor  WorkloadName = "WPro"
 	Customer   WorkloadName = "WCus"
 )
+
+// Workloads returns the three workloads in the paper's order.
+func Workloads() []WorkloadName {
+	return []WorkloadName{Controller, Processor, Customer}
+}
+
+// ParseWorkload maps a command-line spelling to a workload name. It
+// accepts the canonical names (WCon/WPro/WCus) and the short forms
+// (wcon/wpro/wcus, controller/processor/customer), case-insensitively.
+func ParseWorkload(s string) (WorkloadName, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "wcon", "controller":
+		return Controller, nil
+	case "wpro", "processor":
+		return Processor, nil
+	case "wcus", "customer":
+		return Customer, nil
+	default:
+		return "", fmt.Errorf("gdprbench: unknown workload %q (want wcon, wpro or wcus)", s)
+	}
+}
 
 // mix returns the cumulative operation distribution of a workload.
 type opWeight struct {

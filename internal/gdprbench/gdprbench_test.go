@@ -133,3 +133,32 @@ func TestOpKindString(t *testing.T) {
 		t.Fatal("op names wrong")
 	}
 }
+
+func TestParseWorkload(t *testing.T) {
+	cases := map[string]WorkloadName{
+		"wcon": Controller, "WCon": Controller, "controller": Controller,
+		"wpro": Processor, "WPRO": Processor, "processor": Processor,
+		"wcus": Customer, " wcus ": Customer, "customer": Customer,
+	}
+	for in, want := range cases {
+		got, err := ParseWorkload(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseWorkload(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseWorkload("ycsb-a"); err == nil {
+		t.Fatal("bogus workload accepted")
+	}
+}
+
+func TestWorkloads(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 3 || ws[0] != Controller || ws[1] != Processor || ws[2] != Customer {
+		t.Fatalf("Workloads() = %v", ws)
+	}
+	for _, w := range ws {
+		if _, err := mixOf(w); err != nil {
+			t.Fatalf("workload %v has no mix: %v", w, err)
+		}
+	}
+}

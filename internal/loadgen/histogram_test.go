@@ -1,0 +1,140 @@
+package loadgen
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestBucketIndexExactBelow32(t *testing.T) {
+	for v := uint64(0); v < subBucketCount; v++ {
+		if got := bucketIndex(v); got != int(v) {
+			t.Fatalf("bucketIndex(%d) = %d", v, got)
+		}
+		if got := bucketValue(int(v)); got != v {
+			t.Fatalf("bucketValue(%d) = %d", v, got)
+		}
+	}
+}
+
+func TestBucketIndexMonotonicAndBounded(t *testing.T) {
+	prev := -1
+	for _, v := range []uint64{0, 1, 31, 32, 33, 63, 64, 100, 1000, 1 << 20, 1 << 40, 1<<63 + 1, math.MaxUint64} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex(%d) = %d < previous %d (not monotone)", v, idx, prev)
+		}
+		if idx < 0 || idx >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, idx)
+		}
+		prev = idx
+	}
+	if got := bucketIndex(math.MaxUint64); got != numBuckets-1 {
+		t.Fatalf("max value lands in bucket %d, want %d", got, numBuckets-1)
+	}
+}
+
+func TestBucketRelativeError(t *testing.T) {
+	for _, v := range []uint64{100, 999, 12345, 1 << 20, 987654321} {
+		rep := bucketValue(bucketIndex(v))
+		err := math.Abs(float64(rep)-float64(v)) / float64(v)
+		if err > 1.0/subBucketCount {
+			t.Fatalf("value %d represented as %d: relative error %f too large", v, rep, err)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	// 1..1000: quantiles are predictable within bucket resolution.
+	for v := uint64(1); v <= 1000; v++ {
+		h.Record(v)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+	if mean := h.Mean(); math.Abs(mean-500.5) > 0.01 {
+		t.Fatalf("Mean = %f", mean)
+	}
+	checks := map[float64]uint64{0.5: 500, 0.95: 950, 0.99: 990}
+	for q, want := range checks {
+		got := h.Quantile(q)
+		if math.Abs(float64(got)-float64(want))/float64(want) > 2.0/subBucketCount {
+			t.Fatalf("Quantile(%f) = %d, want ~%d", q, got, want)
+		}
+	}
+	if h.Quantile(1) != 1000 {
+		t.Fatalf("Quantile(1) = %d, want exact max", h.Quantile(1))
+	}
+	if h.Quantile(0) == 0 {
+		t.Fatal("Quantile(0) should be the smallest recorded value bucket, not 0")
+	}
+	// Out-of-range quantiles clamp.
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Fatal("quantile clamping broken")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := &Histogram{}
+	if h.Count() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+	if h.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := &Histogram{}
+	const goroutines, per = 16, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(uint64(g*per + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Fatalf("Count = %d, want %d", h.Count(), goroutines*per)
+	}
+	if h.Max() != goroutines*per-1 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+	if h.Quantile(0.5) == 0 {
+		t.Fatal("median of concurrent load is zero")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := &Histogram{}, &Histogram{}
+	for v := uint64(1); v <= 100; v++ {
+		a.Record(v)
+		b.Record(v + 100)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged Count = %d", a.Count())
+	}
+	if a.Max() != 200 {
+		t.Fatalf("merged Max = %d", a.Max())
+	}
+	if mean := a.Mean(); math.Abs(mean-100.5) > 0.01 {
+		t.Fatalf("merged Mean = %f", mean)
+	}
+}
+
+func TestRecordDurationNegativeClamps(t *testing.T) {
+	h := &Histogram{}
+	h.RecordDuration(-5)
+	if h.Count() != 1 || h.Max() != 0 {
+		t.Fatal("negative duration not clamped to zero")
+	}
+}

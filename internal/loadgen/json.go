@@ -1,0 +1,106 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"github.com/datacase/datacase/internal/wal"
+)
+
+// errorsIs keeps the driver file free of the errors import dance.
+func errorsIs(err, target error) bool { return errors.Is(err, target) }
+
+// Report is the top-level BENCH_loadgen.json document.
+type Report struct {
+	Benchmark string   `json:"benchmark"`
+	Schema    int      `json:"schema"`
+	Results   []Result `json:"results"`
+}
+
+// SchemaVersion is bumped when Result's JSON shape changes.
+const SchemaVersion = 1
+
+// NewReport wraps results in the benchmark envelope.
+func NewReport(results []Result) Report {
+	return Report{Benchmark: "loadgen", Schema: SchemaVersion, Results: results}
+}
+
+// EncodeReport serializes results as indented JSON.
+func EncodeReport(results []Result) ([]byte, error) {
+	buf, err := json.MarshalIndent(NewReport(results), "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: encode report: %w", err)
+	}
+	return append(buf, '\n'), nil
+}
+
+// WriteJSON writes the BENCH_loadgen.json document to path.
+func WriteJSON(path string, results []Result) error {
+	buf, err := EncodeReport(results)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return fmt.Errorf("loadgen: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadJSON parses a BENCH_loadgen.json document (the CI smoke job and
+// tests use it to validate driver output).
+func ReadJSON(path string) (Report, error) {
+	var rep Report
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return rep, fmt.Errorf("loadgen: read %s: %w", path, err)
+	}
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return rep, fmt.Errorf("loadgen: parse %s: %w", path, err)
+	}
+	if rep.Benchmark != "loadgen" {
+		return rep, fmt.Errorf("loadgen: %s is not a loadgen report (benchmark=%q)", path, rep.Benchmark)
+	}
+	if len(rep.Results) == 0 {
+		return rep, fmt.Errorf("loadgen: %s has no results", path)
+	}
+	for i, r := range rep.Results {
+		if err := r.Validate(); err != nil {
+			return rep, fmt.Errorf("loadgen: %s result %d: %w", path, i, err)
+		}
+	}
+	return rep, nil
+}
+
+// Validate sanity-checks one result: counts consistent, quantiles
+// ordered, throughput positive. The CI smoke job fails on the first
+// violation.
+func (r Result) Validate() error {
+	switch {
+	case r.Ops <= 0:
+		return fmt.Errorf("loadgen: result has no ops")
+	case r.OpsPerSec <= 0:
+		return fmt.Errorf("loadgen: non-positive throughput %f", r.OpsPerSec)
+	case r.ElapsedSeconds <= 0:
+		return fmt.Errorf("loadgen: non-positive elapsed %f", r.ElapsedSeconds)
+	case r.P50Micros > r.P95Micros || r.P95Micros > r.P99Micros || r.P99Micros > r.MaxMicros:
+		return fmt.Errorf("loadgen: quantiles out of order: p50=%f p95=%f p99=%f max=%f",
+			r.P50Micros, r.P95Micros, r.P99Micros, r.MaxMicros)
+	case r.Clients <= 0 || r.Shards <= 0:
+		return fmt.Errorf("loadgen: bad topology clients=%d shards=%d", r.Clients, r.Shards)
+	case r.WALSyncs > r.WALAppends:
+		return fmt.Errorf("loadgen: more WAL syncs (%d) than appends (%d)", r.WALSyncs, r.WALAppends)
+	}
+	return nil
+}
+
+// StatsOf is a convenience view of a result's WAL counters.
+func (r Result) StatsOf() wal.Stats {
+	return wal.Stats{
+		Appends:     r.WALAppends,
+		Syncs:       r.WALSyncs,
+		MaxBatch:    r.WALMaxBatch,
+		GroupCommit: !r.SerialWAL,
+	}
+}

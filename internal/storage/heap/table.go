@@ -112,6 +112,10 @@ func NewTable(name string, log *wal.Log) *Table {
 // Name returns the table name.
 func (t *Table) Name() string { return t.name }
 
+// Log returns the table's write-ahead log (nil when logging is
+// disabled). The compliance layer reads commit statistics off it.
+func (t *Table) Log() *wal.Log { return t.log }
+
 // Insert adds a new tuple. It fails with ErrKeyExists if a live tuple
 // with the key exists.
 func (t *Table) Insert(key, value []byte) (TID, error) {

@@ -1,0 +1,112 @@
+package wal
+
+import "sync"
+
+// Group commit. Concurrent Append callers enqueue their record into a
+// shared batch instead of each taking the log lock. The first enqueuer
+// to find no leader becomes the leader: it repeatedly cuts the queue,
+// commits the whole cut under a single log-lock acquisition (assigning
+// dense LSNs in queue order, checksumming every record, paying one
+// sync for the batch) and hands each waiter its LSN, until it finds the
+// queue empty and retires. Followers just block until their LSN comes
+// back, so under contention N appends cost one lock acquisition and one
+// sync instead of N of each.
+//
+// Lock hierarchy: the queue lock (committer.mu) is leaf-level on the
+// enqueue side — Append holds it only to push a request or take
+// leadership. The leader acquires Log.mu only while holding *no* other
+// lock, and never calls out of the package while committing, so group
+// commit adds no ordering edges against the heap table or shard locks
+// above it.
+
+// appendReq is one queued append. The done channel has capacity 1 so
+// the leader's LSN handoff never blocks.
+type appendReq struct {
+	typ     RecordType
+	key     []byte
+	payload []byte
+	lsn     LSN
+	done    chan LSN
+}
+
+// reqPool recycles appendReqs (and their channels) across appends so
+// the group path stays allocation-free in steady state.
+var reqPool = sync.Pool{
+	New: func() any { return &appendReq{done: make(chan LSN, 1)} },
+}
+
+// committer is the group-commit queue of one log.
+type committer struct {
+	mu sync.Mutex
+	// queue holds requests not yet cut into a batch.
+	queue []*appendReq
+	// leading is true while some appender is committing batches.
+	leading bool
+}
+
+// appendGroup is Append's group-commit path.
+func (l *Log) appendGroup(t RecordType, key, payload []byte) LSN {
+	req := reqPool.Get().(*appendReq)
+	req.typ, req.key, req.payload = t, key, payload
+
+	c := &l.committer
+	c.mu.Lock()
+	c.queue = append(c.queue, req)
+	if c.leading {
+		// A leader is committing; it will cut this request into a later
+		// batch and hand the LSN back. The caller's key/payload stay
+		// alive until then because we block here.
+		c.mu.Unlock()
+		lsn := <-req.done
+		releaseReq(req)
+		return lsn
+	}
+	c.leading = true
+	c.mu.Unlock()
+
+	lsn := l.lead(req)
+	releaseReq(req)
+	return lsn
+}
+
+// lead runs the leader loop: cut the queue, commit the cut, signal the
+// waiters, repeat until the queue is empty, then retire. Returns the
+// LSN assigned to the leader's own request (own is always in the first
+// cut, since it was enqueued before leadership was taken).
+func (l *Log) lead(own *appendReq) LSN {
+	c := &l.committer
+	var ownLSN LSN
+	for {
+		c.mu.Lock()
+		batch := c.queue
+		c.queue = nil
+		if len(batch) == 0 {
+			c.leading = false
+			c.mu.Unlock()
+			return ownLSN
+		}
+		c.mu.Unlock()
+
+		l.mu.Lock()
+		for _, r := range batch {
+			r.lsn = l.appendLocked(r.typ, r.key, r.payload)
+		}
+		l.syncLocked(len(batch))
+		l.mu.Unlock()
+
+		for _, r := range batch {
+			if r == own {
+				ownLSN = r.lsn
+			} else {
+				r.done <- r.lsn
+			}
+		}
+	}
+}
+
+// releaseReq drops payload references and returns the request to the
+// pool.
+func releaseReq(r *appendReq) {
+	r.key, r.payload = nil, nil
+	reqPool.Put(r)
+}

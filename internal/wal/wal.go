@@ -6,6 +6,14 @@
 // must scrub history (strong/permanent delete) rewrite the log through
 // Scrub. The log writes to any io.Writer-like backing store; the default
 // is an in-memory buffer so the simulator stays self-contained.
+//
+// Commit protocol: a record is durable by the time Append returns. The
+// default log (New) commits with group commit — concurrent appenders
+// enqueue into a batch and one leader commits the whole batch under a
+// single lock acquisition, paying one sync for all of them (see
+// groupcommit.go). NewSerial returns the per-append-locking baseline,
+// where every Append acquires the log lock and pays its own sync; the
+// benchmarks compare the two under the GDPRBench controller workload.
 package wal
 
 import (
@@ -71,6 +79,30 @@ type Record struct {
 	Payload []byte
 }
 
+// Stats describes the commit work a log has performed. Syncs < Appends
+// means group commit amortized durability across batches.
+type Stats struct {
+	// Appends is the number of records committed.
+	Appends uint64
+	// Syncs is the number of durability events (lock acquisitions that
+	// advanced the flushed horizon). Per-append locking pays one per
+	// record; group commit pays one per batch.
+	Syncs uint64
+	// MaxBatch is the largest batch committed in one sync.
+	MaxBatch uint64
+	// GroupCommit reports the commit protocol in use.
+	GroupCommit bool
+}
+
+// crcTable is the polynomial shared by record checksums and the commit
+// block.
+var crcTable = crc32.MakeTable(crc32.IEEE)
+
+// commitBlock models the page-sized write barrier a real WAL pays on
+// every fsync: each sync checksums one such block, so durability has a
+// fixed per-sync cost that group commit amortizes across a batch.
+var commitBlock = make([]byte, 4096)
+
 // Log is an append-only write-ahead log. It is safe for concurrent use.
 type Log struct {
 	mu      sync.RWMutex
@@ -80,17 +112,51 @@ type Log struct {
 	bytes int64
 	// flushed is the LSN up to which the log is considered durable.
 	flushed LSN
+	// durableCRC is a running checksum over the committed stream: every
+	// record's encoding plus one commit block per sync. It is the
+	// simulator's "bytes hit the device" work.
+	durableCRC uint32
+	// commit-work accounting (guarded by mu).
+	appends  uint64
+	syncs    uint64
+	maxBatch uint64
+
+	// serial selects per-append locking instead of group commit.
+	serial bool
+	// committer is the group-commit queue (unused when serial).
+	committer committer
 }
 
-// New returns an empty log.
+// New returns an empty log committing with group commit (the default
+// protocol; see the package comment).
 func New() *Log {
 	return &Log{next: 1}
 }
 
+// NewSerial returns an empty log committing with per-append locking:
+// every Append acquires the log lock, appends one record and pays one
+// sync. It is the baseline the group-commit benchmarks compare against.
+func NewSerial() *Log {
+	return &Log{next: 1, serial: true}
+}
+
 // Append adds a record and returns its LSN. Key and payload are copied.
+// The record is durable (Durable() >= returned LSN) by the time Append
+// returns, under either commit protocol.
 func (l *Log) Append(t RecordType, key, payload []byte) LSN {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	if l.serial {
+		l.mu.Lock()
+		lsn := l.appendLocked(t, key, payload)
+		l.syncLocked(1)
+		l.mu.Unlock()
+		return lsn
+	}
+	return l.appendGroup(t, key, payload)
+}
+
+// appendLocked assigns the next LSN, copies the record in and checksums
+// its encoding into the durable stream. Caller holds mu.
+func (l *Log) appendLocked(t RecordType, key, payload []byte) LSN {
 	r := Record{
 		LSN:     l.next,
 		Type:    t,
@@ -100,12 +166,26 @@ func (l *Log) Append(t RecordType, key, payload []byte) LSN {
 	l.records = append(l.records, r)
 	l.next++
 	l.bytes += encodedSize(r)
+	l.durableCRC = crc32.Update(l.durableCRC, crcTable, Encode(r))
+	l.appends++
 	return r.LSN
 }
 
+// syncLocked advances the durable horizon to everything appended so far
+// and charges the fixed per-sync cost. batch is the number of records
+// this sync covers. Caller holds mu.
+func (l *Log) syncLocked(batch int) {
+	l.flushed = l.next - 1
+	l.durableCRC = crc32.Update(l.durableCRC, crcTable, commitBlock)
+	l.syncs++
+	if uint64(batch) > l.maxBatch {
+		l.maxBatch = uint64(batch)
+	}
+}
+
 // Flush marks everything appended so far as durable and returns the
-// flushed horizon. The in-memory backing makes this a bookkeeping step;
-// engines still call it at commit points so the protocol is faithful.
+// flushed horizon. Commits already sync on append, so this is a
+// bookkeeping read kept for engines that mark explicit commit points.
 func (l *Log) Flush() LSN {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -120,6 +200,28 @@ func (l *Log) Durable() LSN {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	return l.flushed
+}
+
+// Stats returns a snapshot of the commit-work counters.
+func (l *Log) Stats() Stats {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return Stats{
+		Appends:     l.appends,
+		Syncs:       l.syncs,
+		MaxBatch:    l.maxBatch,
+		GroupCommit: !l.serial,
+	}
+}
+
+// DurableChecksum returns the running checksum of the committed stream.
+// Identical append sequences produce identical checksums whichever
+// commit protocol ran them serially; tests use it to prove the group
+// path writes the same bytes as the serial one.
+func (l *Log) DurableChecksum() uint32 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.durableCRC
 }
 
 // Len returns the number of live records.
@@ -173,6 +275,10 @@ func (l *Log) Truncate(upTo LSN) int {
 // number of scrubbed records. Strong/permanent erasure groundings use it
 // to remove a data unit's traces from recovery logs (§3.2 of the paper:
 // logs may illegally retain erased data).
+//
+// Scrub holds the log lock for the whole pass, so it serializes against
+// in-flight commit batches: every record whose Append has returned is
+// visible to the scrub, and records committed after it are untouched.
 func (l *Log) Scrub(match func(key []byte) bool) int {
 	l.mu.Lock()
 	defer l.mu.Unlock()

@@ -46,17 +46,32 @@ func TestReplayOrderAndAfter(t *testing.T) {
 }
 
 func TestFlushDurable(t *testing.T) {
-	l := New()
-	if l.Durable() != 0 {
-		t.Fatal("fresh log has durable horizon")
-	}
-	l.Append(RecInsert, []byte("k"), nil)
-	l.Append(RecUpdate, []byte("k"), nil)
-	if got := l.Flush(); got != 2 {
-		t.Fatalf("Flush = %d", got)
-	}
-	if l.Durable() != 2 {
-		t.Fatalf("Durable = %d", l.Durable())
+	for _, tc := range []struct {
+		name string
+		l    *Log
+	}{
+		{"group", New()},
+		{"serial", NewSerial()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			l := tc.l
+			if l.Durable() != 0 {
+				t.Fatal("fresh log has durable horizon")
+			}
+			l.Append(RecInsert, []byte("k"), nil)
+			// Commits sync on append: the record is durable as soon as
+			// Append returns, under either protocol.
+			if l.Durable() != 1 {
+				t.Fatalf("Durable after first append = %d", l.Durable())
+			}
+			l.Append(RecUpdate, []byte("k"), nil)
+			if got := l.Flush(); got != 2 {
+				t.Fatalf("Flush = %d", got)
+			}
+			if l.Durable() != 2 {
+				t.Fatalf("Durable = %d", l.Durable())
+			}
+		})
 	}
 }
 
