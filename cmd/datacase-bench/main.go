@@ -10,10 +10,14 @@
 //	datacase-bench -exp loadgen -workload wcon -clients 16
 //	                                           # closed-loop driver sweep;
 //	                                           # writes BENCH_loadgen.json
+//	datacase-bench -exp recovery -recovery-ops 20000,100000
+//	                                           # crash-recovery sweep: full
+//	                                           # replay vs checkpointed;
+//	                                           # writes BENCH_recovery.json
 //
 // Experiments: table1, fig3, fig4a, fig4b, fig4c, table2, deleteonly,
-// shardscale, loadgen, all. An unknown -exp value exits with status 2
-// and a usage message.
+// shardscale, loadgen, recovery, all. An unknown -exp value exits with
+// status 2 and a usage message.
 package main
 
 import (
@@ -29,7 +33,7 @@ import (
 // experiments is the closed set of -exp values ("all" runs each).
 var experiments = []string{
 	"table1", "fig3", "fig4a", "fig4b", "fig4c", "table2", "deleteonly",
-	"shardscale", "loadgen",
+	"shardscale", "loadgen", "recovery",
 }
 
 func knownExperiment(name string) bool {
@@ -60,6 +64,12 @@ func main() {
 		shardN   = flag.Int("loadgen-shards", 16, "shard count for -exp loadgen")
 		out      = flag.String("out", "BENCH_loadgen.json", "JSON output path for -exp loadgen")
 		walcmp   = flag.Bool("wal-compare", false, "loadgen: also run the per-append-locking WAL baseline")
+
+		recOps    = flag.String("recovery-ops", "20000,100000", "ops sweep for -exp recovery (WAL lengths)")
+		recRecs   = flag.Int("recovery-records", 5000, "preloaded records for -exp recovery")
+		recShards = flag.Int("recovery-shards", 8, "shard count for -exp recovery")
+		recEvery  = flag.Int("recovery-checkpoint-every", 2000, "per-shard checkpoint interval (ops) for -exp recovery")
+		recOut    = flag.String("recovery-out", "BENCH_recovery.json", "JSON output path for -exp recovery")
 	)
 	flag.Parse()
 
@@ -157,6 +167,9 @@ func main() {
 	if run("loadgen") {
 		runLoadgen(scale, *workload, *clients, *shardN, *out, *walcmp, *csv)
 	}
+	if run("recovery") {
+		runRecovery(scale, *recOps, *recRecs, *recShards, *recEvery, *recOut, *csv)
+	}
 	if !ran {
 		fmt.Fprintf(os.Stderr,
 			"datacase-bench: experiment %q validated but matched no dispatch block (list/dispatch drift)\n", *exp)
@@ -212,6 +225,35 @@ func runLoadgen(scale datacase.Scale, workload string, clients, shards int, out 
 	}
 	render(datacase.LoadgenFigure(results), nil, csv)
 	fail(datacase.WriteLoadgenJSON(out, results))
+	fmt.Printf("wrote %s (%d results)\n", out, len(results))
+}
+
+// runRecovery sweeps WAL lengths, recovering each crashed deployment
+// twice — full-log replay vs checkpointed — and writes the
+// machine-readable BENCH_recovery.json report.
+func runRecovery(scale datacase.Scale, opsCSV string, records, shards, every int, out string, csv bool) {
+	sweep, err := parseShards(opsCSV) // same "positive ints, comma-separated" grammar
+	fail(err)
+	fmt.Printf("running recovery (records=%d, shards=%d, ops sweep=%v, checkpoint every %d ops/shard)...\n",
+		records, shards, sweep, every)
+	results, err := datacase.RecoverySweep(datacase.PBase(), sweep, records, shards, every, scale.Seed)
+	fail(err)
+	for _, r := range results {
+		fail(r.Validate())
+		fmt.Printf("  %s\n", r)
+	}
+	// Pairs are (full, checkpointed) per sweep point; report the speedup.
+	for i := 0; i+1 < len(results); i += 2 {
+		full, ckpt := results[i], results[i+1]
+		verdict := "FASTER"
+		if ckpt.RecoverSeconds >= full.RecoverSeconds {
+			verdict = "NOT faster (increase the sweep: checkpoint wins grow with WAL length)"
+		}
+		fmt.Printf("  ops=%d: checkpointed recovery %.2fx of full replay — %s\n",
+			full.Ops, ckpt.RecoverSeconds/full.RecoverSeconds, verdict)
+	}
+	render(datacase.RecoveryFigure(results), nil, csv)
+	fail(datacase.WriteRecoveryJSON(out, results))
 	fmt.Printf("wrote %s (%d results)\n", out, len(results))
 }
 

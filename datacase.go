@@ -232,6 +232,9 @@ type (
 	Metadata = compliance.Metadata
 	// Record is a GDPRBench record.
 	Record = gdprbench.Record
+	// RecoveryStats describes a crash-recovery pass (records replayed,
+	// checkpoint rows loaded, tail bytes discarded, wall time).
+	RecoveryStats = compliance.RecoveryStats
 )
 
 // Deployment entities and purposes.
@@ -269,6 +272,15 @@ var (
 	// SubjectShard is the placement function of the sharded engine: the
 	// home shard of a data subject.
 	SubjectShard = compliance.SubjectShard
+	// RecoverDB rebuilds a deployment from the durable image of its WAL
+	// segment (crash recovery).
+	RecoverDB = compliance.RecoverDB
+	// RecoverSharded rebuilds a sharded deployment from per-shard WAL
+	// images, replaying the shards in parallel.
+	RecoverSharded = compliance.RecoverSharded
+	// RecoverShardedWorkers is RecoverSharded with an explicit fan-out
+	// width.
+	RecoverShardedWorkers = compliance.RecoverShardedWorkers
 	// ErrNotFound / ErrDenied / ErrExists are the DB's operation errors.
 	ErrNotFound = compliance.ErrNotFound
 	ErrDenied   = compliance.ErrDenied
@@ -434,4 +446,28 @@ var (
 	ParseWorkload = gdprbench.ParseWorkload
 	// GDPRWorkloads lists the three GDPRBench workloads.
 	GDPRWorkloads = gdprbench.Workloads
+)
+
+// ---- Crash-recovery experiment (-exp recovery) ----
+
+type (
+	// RecoveryResult is one BENCH_recovery.json row: recovery time and
+	// replay work for one crashed-and-rebuilt deployment.
+	RecoveryResult = benchx.RecoveryResult
+	// RecoveryReport is the BENCH_recovery.json document envelope.
+	RecoveryReport = benchx.RecoveryReport
+)
+
+var (
+	// RunRecovery runs one crash-and-rebuild measurement.
+	RunRecovery = benchx.RunRecovery
+	// RecoverySweep pairs full-replay and checkpointed recoveries at
+	// each WAL length.
+	RecoverySweep = benchx.RecoverySweep
+	// RecoveryFigure renders sweep results as time-vs-WAL-length.
+	RecoveryFigure = benchx.RecoveryFigure
+	// WriteRecoveryJSON writes results as a BENCH_recovery.json document.
+	WriteRecoveryJSON = benchx.WriteRecoveryJSON
+	// ReadRecoveryJSON parses and validates a BENCH_recovery.json file.
+	ReadRecoveryJSON = benchx.ReadRecoveryJSON
 )

@@ -56,6 +56,9 @@ type Counters struct {
 	// CascadeDeletes counts derived records strong-deleted because
 	// their subject was identifiable after a parent's erasure.
 	CascadeDeletes uint64
+	// Checkpoints counts durable WAL checkpoints taken (periodic
+	// checkpointer plus explicit Checkpoint calls).
+	Checkpoints uint64
 }
 
 // DB is one grounded deployment: a heap table of GDPR records plus the
@@ -92,15 +95,51 @@ type DB struct {
 	mutationsSinceCheck int
 	counters            Counters
 
+	// checkpointer state (guarded by mu): mutations and WAL growth since
+	// the last durable checkpoint, for the ops-/bytes-triggered policy.
+	opsSinceCheckpoint   int
+	walBytesAtCheckpoint int64
+	// suppressCheckpoints defers the periodic checkpointer while a
+	// compound operation (EraseSubject's intent + delete loop) is in
+	// flight: a snapshot taken mid-compound would capture a half-erased
+	// subject and truncate the erase intent, so a crash right after it
+	// would partially resurrect the subject.
+	suppressCheckpoints bool
+	// mutationsSinceClockNote schedules the periodic RecClock notes.
+	mutationsSinceClockNote int
+
 	// onDelete, when set, is invoked (with mu held) for every record
 	// physically removed from this DB, including dependent cascades. The
 	// sharded facade uses it to keep its key directory exact.
 	onDelete func(key string)
 }
 
-// Open builds a DB for the profile.
+// Open builds a DB for the profile. A nil Profile.PayloadKey is
+// materialized with a fresh random key first (the KMS issuing the
+// deployment its at-rest secret); read it back via Profile() — crash
+// recovery needs it.
 func Open(p Profile) (*DB, error) {
+	if err := materializePayloadKey(&p); err != nil {
+		return nil, err
+	}
 	return openNamed(p, p.Name+":data", &core.Clock{})
+}
+
+// materializePayloadKey draws the at-rest key for profiles that seal
+// payloads and did not bring one.
+func materializePayloadKey(p *Profile) error {
+	if p.UseBlockDev || len(p.PayloadKey) > 0 {
+		return nil
+	}
+	if err := p.validate(); err != nil {
+		return err
+	}
+	key, err := cryptox.GenerateKey(p.PayloadCipher)
+	if err != nil {
+		return err
+	}
+	p.PayloadKey = key
+	return nil
 }
 
 // openNamed builds a DB whose heap table (and therefore WAL segment)
@@ -136,11 +175,17 @@ func openNamed(p Profile, tableName string, clock *core.Clock) (*DB, error) {
 		}
 		db.blockdev = dev
 	} else {
-		key, err := cryptox.GenerateKey(p.PayloadCipher)
-		if err != nil {
-			return nil, err
+		// The at-rest key is the profile's KMS-held secret
+		// (Profile.PayloadKey, materialized by Open/OpenSharded): it
+		// survives a crash while process memory does not, so recovery —
+		// given the crashed deployment's materialized profile — builds
+		// the same sealer and the blobs replayed from the WAL stay
+		// readable. It is never derivable from public profile data; a
+		// stolen segment image alone stays ciphertext.
+		if len(p.PayloadKey) == 0 {
+			return nil, fmt.Errorf("compliance: profile %s has no materialized payload key", p.Name)
 		}
-		sealer, err := cryptox.NewAESGCM(key, nil)
+		sealer, err := cryptox.NewAESGCM(p.PayloadKey, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -169,6 +214,89 @@ func (db *DB) Len() int { return db.data.Len() }
 // WALStats returns the commit-work counters of the deployment's
 // write-ahead log.
 func (db *DB) WALStats() wal.Stats { return db.data.Log().Stats() }
+
+// SegmentImage returns the durable byte image of the deployment's WAL
+// segment — what a crash would leave on disk. RecoverDB rebuilds a
+// deployment from it.
+func (db *DB) SegmentImage() []byte { return db.data.Log().SegmentBytes() }
+
+// WALLen returns the number of live records in the deployment's WAL
+// segment (benchmarks report it as the log length at crash time).
+func (db *DB) WALLen() int { return db.data.Log().Len() }
+
+// Checkpoint takes a durable WAL checkpoint now: the full consistent
+// state is snapshotted into a RecCheckpoint record and the log is
+// truncated up to it, bounding both recovery time and log growth. The
+// periodic checkpointer calls the same path on the profile's ops/bytes
+// triggers.
+func (db *DB) Checkpoint() wal.LSN {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.checkpointLocked()
+}
+
+// maybeCheckpointLocked runs the profile's checkpoint policy after a
+// mutation. Caller holds mu.
+func (db *DB) maybeCheckpointLocked() {
+	if db.profile.CheckpointEveryOps <= 0 && db.profile.CheckpointEveryBytes <= 0 {
+		return
+	}
+	db.opsSinceCheckpoint++
+	db.checkpointIfDueLocked()
+}
+
+// checkpointIfDueLocked takes a checkpoint when a trigger has fired and
+// no compound operation is suppressing it. Caller holds mu.
+func (db *DB) checkpointIfDueLocked() {
+	if db.suppressCheckpoints {
+		return
+	}
+	everyOps, everyBytes := db.profile.CheckpointEveryOps, db.profile.CheckpointEveryBytes
+	if everyOps <= 0 && everyBytes <= 0 {
+		return
+	}
+	trigger := everyOps > 0 && db.opsSinceCheckpoint >= everyOps
+	if !trigger && everyBytes > 0 {
+		trigger = db.data.Log().SizeBytes()-db.walBytesAtCheckpoint >= everyBytes
+	}
+	if trigger {
+		db.checkpointLocked()
+	}
+}
+
+// checkpointLocked snapshots the DB state into the WAL and truncates
+// the log up to the new checkpoint. Caller holds mu.
+func (db *DB) checkpointLocked() wal.LSN {
+	log := db.data.Log()
+	lsn := log.Checkpoint(encodeCheckpointState(db))
+	log.Truncate(lsn - 1)
+	db.counters.Checkpoints++
+	db.opsSinceCheckpoint = 0
+	db.mutationsSinceClockNote = 0 // the snapshot carries the clock
+	db.walBytesAtCheckpoint = log.SizeBytes()
+	return lsn
+}
+
+// clockNoteEvery bounds how far the logical clock can regress across a
+// crash on a mutation-heavy stream: at most this many ticks pass
+// between durable RecClock notes. (A read-only window before a crash
+// can still lose its ticks — reads write nothing — which recovery
+// documents as its residual clock exposure.)
+const clockNoteEvery = 64
+
+// noteClockLocked appends a RecClock record carrying the clock's
+// current value, every clockNoteEvery mutations — or immediately when
+// forced, which the compliance-critical mutations (deletes, erasures,
+// consent withdrawals) do so that the tick that made them lawful can
+// never be lost. Caller holds mu.
+func (db *DB) noteClockLocked(force bool) {
+	db.mutationsSinceClockNote++
+	if !force && db.mutationsSinceClockNote < clockNoteEvery {
+		return
+	}
+	db.mutationsSinceClockNote = 0
+	db.data.Log().Append(wal.RecClock, nil, encodeClockNote(db.clock.Now()))
+}
 
 // Model returns the model mirror (nil unless TrackModel).
 func (db *DB) Model() (*core.Database, *core.History) { return db.modelDB, db.history }
@@ -228,6 +356,7 @@ func (db *DB) Create(rec gdprbench.Record) error {
 		Processors: rec.Processors,
 		Objected:   rec.Objected,
 		CreatedAt:  int64(now),
+		BaseTTL:    rec.TTL,
 	}
 	blob, err := db.protect(rec.Payload)
 	if err != nil {
@@ -269,6 +398,8 @@ func (db *DB) Create(rec gdprbench.Record) error {
 		})
 	}
 	db.counters.Creates++
+	db.noteClockLocked(false)
+	db.maybeCheckpointLocked()
 	return nil
 }
 
@@ -399,6 +530,17 @@ func (db *DB) deleteDataLocked(entity core.EntityID, key string) error {
 		return fmt.Errorf("%w: %s", ErrNotFound, key)
 	}
 	subject := append([]byte(nil), metaSubject(row)...)
+	if db.profile.CascadeDependents {
+		// A strong delete with dependents is a multi-record compound:
+		// log the full key set as a durable erase intent before the
+		// first physical delete, so a crash between the parent's and a
+		// dependent's delete frames recovers to the finished cascade
+		// instead of leaving identifiable derived records alive.
+		if deps := db.cascadeTargets(core.UnitID(key), subject); len(deps) > 0 {
+			db.data.Log().Append(wal.RecErase, subject,
+				encodeEraseIntent(append([]string{key}, deps...)))
+		}
+	}
 	if err := db.data.Delete([]byte(key)); err != nil {
 		db.counters.NotFound++
 		return fmt.Errorf("%w: %s", ErrNotFound, key)
@@ -435,6 +577,14 @@ func (db *DB) deleteDataLocked(entity core.EntityID, key string) error {
 	// the subject remains identifiable (§3.1's strong deletion).
 	if db.profile.CascadeDependents {
 		db.cascadeDependents(unit, subject, entity, now)
+	}
+	// Forced clock note: the tick that made this erasure due (e.g. a
+	// passed retention deadline) must survive the crash with it. Inside
+	// an EraseSubject compound the note is deferred to the compound's
+	// end (suppressCheckpoints doubles as the in-compound marker), so a
+	// K-record erasure pays one note, not K.
+	if !db.suppressCheckpoints {
+		db.noteClockLocked(true)
 	}
 	db.afterMutation()
 	return nil
@@ -506,6 +656,13 @@ func (db *DB) UpdateMeta(entity core.EntityID, purpose core.Purpose, key, newPur
 	rec.Meta.TTL = newTTL
 	if newPurpose != "" && !hasString(rec.Meta.Purposes, newPurpose) {
 		rec.Meta.Purposes = append(rec.Meta.Purposes, newPurpose)
+	}
+	if newPurpose != "" && !hasString(rec.Meta.Consented, newPurpose) {
+		// Recorded in the row so crash recovery can re-grant exactly the
+		// post-collection consents (the policy attached below would
+		// otherwise exist only in engine memory for engines that cannot
+		// enumerate their policies).
+		rec.Meta.Consented = append(rec.Meta.Consented, newPurpose)
 	}
 	newRow := encodeRecord(rec)
 	if _, err := db.data.Update([]byte(key), newRow); err != nil {
@@ -646,8 +803,11 @@ func (db *DB) logOp(tuple core.HistoryTuple, query string, response []byte, snap
 	}
 }
 
-// afterMutation runs the autovacuum policy.
+// afterMutation runs the autovacuum policy, the clock-note schedule and
+// the checkpointer.
 func (db *DB) afterMutation() {
+	db.noteClockLocked(false)
+	db.maybeCheckpointLocked()
 	db.mutationsSinceCheck++
 	if db.profile.Vacuum == VacuumNone {
 		return

@@ -102,6 +102,7 @@ func (db *DB) insertDerivedLocked(entity core.EntityID, purpose core.Purpose, ne
 		Subject:  subject,
 		Purposes: purposes,
 		TTL:      minTTL,
+		BaseTTL:  minTTL,
 		// Derived data stays in-house unless re-consented.
 		Processors: nil,
 	}
@@ -195,6 +196,21 @@ func (db *DB) Derive(entity core.EntityID, purpose core.Purpose, newKey string,
 
 // Provenance exposes the provenance graph (reports, tests).
 func (db *DB) Provenance() *provenance.Graph { return db.prov }
+
+// cascadeTargets lists the live same-subject dependents that a strong
+// delete of the unit will cascade to — the key set a durable cascade
+// intent must cover before the first physical delete. Caller holds mu.
+func (db *DB) cascadeTargets(unit core.UnitID, subject []byte) []string {
+	var out []string
+	for _, dep := range db.prov.Dependents(unit) {
+		row, ok := db.data.Get([]byte(dep))
+		if !ok || string(metaSubject(row)) != string(subject) {
+			continue
+		}
+		out = append(out, string(dep))
+	}
+	return out
+}
 
 // cascadeDependents strong-deletes every derived record in which the
 // erased subject remains identifiable. Caller holds mu and has already

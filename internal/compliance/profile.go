@@ -67,6 +67,14 @@ type Profile struct {
 	// PayloadCipher is the at-rest key size for sealed payloads; 0 means
 	// the profile uses the LUKS-like block device instead.
 	PayloadCipher cryptox.KeySize
+	// PayloadKey is the at-rest key itself — the secret a real
+	// deployment fetches from its KMS at boot, which survives a crash
+	// while process memory does not. Leave it nil and Open/OpenSharded
+	// draw a fresh random key, materializing it into the deployment's
+	// profile: recover with Profile() of the crashed instance, never
+	// with a freshly constructed one. It must be PayloadCipher bytes
+	// long when set.
+	PayloadKey []byte
 	// UseBlockDev stores payloads on an encrypted block device.
 	UseBlockDev bool
 
@@ -101,6 +109,16 @@ type Profile struct {
 	// serial mode exists as the benchmark baseline the group-commit
 	// experiments compare against.
 	SerialWAL bool
+
+	// CheckpointEveryOps, when positive, makes each deployment (each
+	// shard, in a sharded deployment) take a durable WAL checkpoint
+	// every N mutating operations, truncating the log up to it. 0
+	// disables the ops trigger.
+	CheckpointEveryOps int
+	// CheckpointEveryBytes, when positive, triggers a checkpoint once
+	// the WAL has grown that many bytes since the last one. 0 disables
+	// the bytes trigger. Either trigger firing takes the checkpoint.
+	CheckpointEveryBytes int64
 }
 
 // validate rejects incomplete profiles.
@@ -114,6 +132,9 @@ func (p Profile) validate() error {
 		return fmt.Errorf("compliance: profile %s needs a logger", p.Name)
 	case !p.UseBlockDev && !p.PayloadCipher.Valid():
 		return fmt.Errorf("compliance: profile %s needs a payload cipher or block device", p.Name)
+	case len(p.PayloadKey) > 0 && cryptox.KeySize(len(p.PayloadKey)) != p.PayloadCipher:
+		return fmt.Errorf("compliance: profile %s payload key is %d bytes, cipher wants %d",
+			p.Name, len(p.PayloadKey), int(p.PayloadCipher))
 	case p.VacuumThreshold < 0 || p.VacuumThreshold > 1:
 		return fmt.Errorf("compliance: profile %s has vacuum threshold %f", p.Name, p.VacuumThreshold)
 	}

@@ -19,6 +19,18 @@ type Metadata struct {
 	// CreatedAt is the collection time (logical); CreatedAt + TTL is
 	// the retention deadline the sweeper enforces (G17).
 	CreatedAt int64
+	// Consented lists purposes granted after collection (UpdateMeta),
+	// each backed by a controller policy. Kept separate from Purposes
+	// (which also holds the collection-time purposes that carry no
+	// per-purpose policy) so crash recovery can re-grant exactly these
+	// and nothing more.
+	Consented []string
+	// BaseTTL is the TTL at collection time. UpdateMeta overwrites TTL
+	// (moving the retention deadline) but never extends the standard
+	// consent bundle, whose windows end at CreatedAt+BaseTTL — recovery
+	// rebuilds them from this, so a TTL extension cannot reopen an
+	// already-expired consent window.
+	BaseTTL int64
 }
 
 // storedRecord is the heap row: metadata block + protected payload blob
@@ -69,7 +81,7 @@ func decodeRecord(buf []byte) (storedRecord, error) {
 }
 
 // encodeMetadata renders a compact, scannable text form:
-// subject|purposes,csv|ttl|processors,csv|objected|createdAt
+// subject|purposes,csv|ttl|processors,csv|objected|createdAt|consented,csv|baseTTL
 func encodeMetadata(m Metadata) []byte {
 	objected := "0"
 	if m.Objected {
@@ -82,12 +94,16 @@ func encodeMetadata(m Metadata) []byte {
 		strings.Join(m.Processors, ","),
 		objected,
 		fmt.Sprintf("%d", m.CreatedAt),
+		strings.Join(m.Consented, ","),
+		fmt.Sprintf("%d", m.BaseTTL),
 	}, "|"))
 }
 
 func decodeMetadata(buf []byte) (Metadata, error) {
 	parts := strings.Split(string(buf), "|")
-	if len(parts) != 6 {
+	// 6 fields is the original layout (no post-collection grants, no
+	// collection-time TTL).
+	if len(parts) != 6 && len(parts) != 8 {
 		return Metadata{}, fmt.Errorf("compliance: metadata has %d fields", len(parts))
 	}
 	var m Metadata
@@ -104,6 +120,16 @@ func decodeMetadata(buf []byte) (Metadata, error) {
 	m.Objected = parts[4] == "1"
 	if _, err := fmt.Sscanf(parts[5], "%d", &m.CreatedAt); err != nil {
 		return Metadata{}, fmt.Errorf("compliance: bad CreatedAt %q", parts[5])
+	}
+	if len(parts) == 8 {
+		if parts[6] != "" {
+			m.Consented = strings.Split(parts[6], ",")
+		}
+		if _, err := fmt.Sscanf(parts[7], "%d", &m.BaseTTL); err != nil {
+			return Metadata{}, fmt.Errorf("compliance: bad BaseTTL %q", parts[7])
+		}
+	} else {
+		m.BaseTTL = m.TTL
 	}
 	return m, nil
 }

@@ -94,9 +94,13 @@ func metaDeadline(row []byte) (int64, bool) {
 }
 
 // AdvanceClock moves the DB's logical clock forward (tests and retention
-// demos; real deployments tick through operations).
+// demos; real deployments tick through operations). The jump is noted
+// in the WAL so a crash cannot rewind it and reopen the deadlines it
+// made pass.
 func (db *DB) AdvanceClock(d int64) core.Time {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.clock.Advance(d)
+	now := db.clock.Advance(d)
+	db.noteClockLocked(true)
+	return now
 }

@@ -66,6 +66,12 @@ func OpenShardedWorkers(p Profile, shards, workers int) (*ShardedDB, error) {
 	if shards <= 0 {
 		return nil, fmt.Errorf("compliance: shard count must be positive, got %d", shards)
 	}
+	// One at-rest key for the whole deployment, drawn here when the
+	// profile did not bring one: every shard must seal with the same
+	// KMS-held secret or recovery could not reopen their blobs.
+	if err := materializePayloadKey(&p); err != nil {
+		return nil, err
+	}
 	s := &ShardedDB{
 		profile: p,
 		shards:  make([]*DB, shards),
@@ -508,6 +514,7 @@ func (s *ShardedDB) Counters() Counters {
 		out.Vacuums += c.Vacuums
 		out.VacuumFulls += c.VacuumFulls
 		out.CascadeDeletes += c.CascadeDeletes
+		out.Checkpoints += c.Checkpoints
 	}
 	return out
 }

@@ -8,6 +8,7 @@ import (
 
 	"github.com/datacase/datacase/internal/core"
 	"github.com/datacase/datacase/internal/policy"
+	"github.com/datacase/datacase/internal/wal"
 )
 
 // This file implements the data-subject rights of Figure 1's Storage
@@ -120,6 +121,25 @@ func (db *DB) EraseSubject(entity core.EntityID, subject string) (int, error) {
 		}
 		return true
 	})
+	if len(keys) > 0 {
+		// Durable erase intent, logged before the first physical delete:
+		// if a crash interrupts the loop below, recovery replays this
+		// record and finishes the erasure idempotently instead of
+		// resurrecting the subject's remaining records (§3.2: "deleted
+		// means deleted" must survive failure).
+		db.data.Log().Append(wal.RecErase, want, encodeEraseIntent(keys))
+	}
+	// The periodic checkpointer must not fire between these deletes: a
+	// snapshot of a half-erased subject would truncate the intent above,
+	// and a crash right after it would resurrect the remaining records.
+	// Defer the checkpoint (and the deletes' forced clock note) until
+	// the cascade is complete.
+	db.suppressCheckpoints = true
+	defer func() {
+		db.suppressCheckpoints = false
+		db.noteClockLocked(true)
+		db.checkpointIfDueLocked()
+	}()
 	erased := 0
 	for _, k := range keys {
 		if err := db.deleteDataLocked(entity, k); err != nil {
@@ -147,6 +167,11 @@ func (db *DB) RevokeConsent(key string, purpose core.Purpose, entity core.Entity
 	}
 	unit := core.UnitID(key)
 	removed := db.policies.RevokePolicy(unit, purpose, entity)
+	// Consent changes mutate no heap row, so they get their own logical
+	// WAL record; without it a crash would resurrect the revoked grant
+	// when recovery re-derives the unit's policies.
+	db.data.Log().Append(wal.RecConsent, []byte(key), encodeConsentRevocation(purpose, entity))
+	db.noteClockLocked(true)
 	tuple := core.HistoryTuple{
 		Unit: unit, Purpose: purpose, Entity: EntitySubjectSvc,
 		Action: core.Action{

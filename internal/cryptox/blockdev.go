@@ -104,6 +104,28 @@ func (d *BlockDev) ReadSector(sector int) ([]byte, error) {
 	return buf, nil
 }
 
+// Snapshot returns an independent copy of the device — the disk image
+// as of now. Crash recovery rebuilds against a snapshot so the crashed
+// instance and the recovered one can never write through to each
+// other's sectors.
+func (d *BlockDev) Snapshot() *BlockDev {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := &BlockDev{
+		master:    append([]byte(nil), d.master...),
+		block:     d.block,
+		shredded:  d.shredded,
+		SectorLen: d.SectorLen,
+		sectors:   make([][]byte, len(d.sectors)),
+	}
+	for i, s := range d.sectors {
+		if s != nil {
+			out.sectors[i] = append([]byte(nil), s...)
+		}
+	}
+	return out
+}
+
 // Shred destroys the master key (crypto-shredding): every sector becomes
 // unrecoverable ciphertext. This is an accepted grounding for "delete"
 // over encrypted media.

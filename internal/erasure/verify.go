@@ -5,7 +5,46 @@ import (
 	"fmt"
 
 	"github.com/datacase/datacase/internal/core"
+	"github.com/datacase/datacase/internal/storage/heap"
+	"github.com/datacase/datacase/internal/wal"
 )
+
+// Verify checks that an erased unit left no zombie records on the
+// operational path: no live heap tuple under the key, and no
+// value-bearing WAL record (insert/update) that a replay could use to
+// resurrect it after the record's delete was lost. Crash-recovery tests
+// call it after replaying a crash cut mid-erasure — "deleted means
+// deleted" must hold on the recovered state too. A nil log skips the
+// WAL check. Delete records and tombstones carrying the key are not
+// zombies: they are the durable evidence of the erasure itself, and the
+// heap check above proves the replayed log nets out to "gone".
+func Verify(data *heap.Table, log *wal.Log, key []byte) error {
+	if data.Has(key) {
+		return fmt.Errorf("erasure: zombie heap tuple for %q", key)
+	}
+	if log == nil {
+		return nil
+	}
+	// A value record is only a zombie when no later delete supersedes
+	// it; walking in LSN order leaves `live` true exactly in that case.
+	live := false
+	log.Replay(0, func(r wal.Record) bool {
+		if !bytes.Equal(r.Key, key) {
+			return true
+		}
+		switch r.Type {
+		case wal.RecInsert, wal.RecUpdate:
+			live = true
+		case wal.RecDelete:
+			live = false
+		}
+		return true
+	})
+	if live {
+		return fmt.Errorf("erasure: zombie WAL record for %q", key)
+	}
+	return nil
+}
 
 // Properties is the measured (not asserted) characterization of an
 // erased unit — the verifier probes the system and reports what actually

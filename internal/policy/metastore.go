@@ -162,6 +162,23 @@ func (m *MetaStore) RevokePolicy(unit core.UnitID, purpose core.Purpose, entity 
 	return removed
 }
 
+// PoliciesOf implements PolicyLister: the unit's decoded policy row.
+// Checkpoint snapshots use it to carry exact per-unit policy state
+// (including prior revocations) across a crash.
+func (m *MetaStore) PoliciesOf(unit core.UnitID) []core.Policy {
+	row, ok := m.table.Get([]byte(unit))
+	if !ok {
+		return nil
+	}
+	var pols []core.Policy
+	// Row was written by this store; decode cannot fail.
+	_ = decodePolicies(row, func(p core.Policy) bool {
+		pols = append(pols, p)
+		return true
+	})
+	return pols
+}
+
 // Allow implements Engine: the join — fetch the unit's metadata row and
 // scan its policy list.
 func (m *MetaStore) Allow(req Request) Decision {

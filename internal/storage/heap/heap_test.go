@@ -538,3 +538,67 @@ func churnedTable(n, rounds int, vacuum bool) *Table {
 	}
 	return tb
 }
+
+func TestBulkLoad(t *testing.T) {
+	tb := NewTable("bulk", wal.New())
+	const n = 500
+	i := 0
+	loaded, err := tb.BulkLoad(func() ([]byte, []byte, bool) {
+		if i >= n {
+			return nil, nil, false
+		}
+		key, val := k(i), v(i)
+		i++
+		return key, val, true
+	})
+	if err != nil || loaded != n {
+		t.Fatalf("BulkLoad = %d, %v", loaded, err)
+	}
+	if tb.Len() != n {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	// Rows are indexed and readable like ordinary inserts...
+	for _, probe := range []int{0, 1, 250, n - 1} {
+		got, ok := tb.Get(k(probe))
+		if !ok || !bytes.Equal(got, v(probe)) {
+			t.Fatalf("Get(%d) = %q, %v", probe, got, ok)
+		}
+	}
+	// ...but no per-row WAL records were written: the recovery path
+	// re-checkpoints instead of re-logging a restored snapshot.
+	if tb.Log().Len() != 0 {
+		t.Fatalf("BulkLoad logged %d records", tb.Log().Len())
+	}
+	// Subsequent ordinary mutations log as usual.
+	if _, err := tb.Insert(k(n), v(n)); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Log().Len() != 1 {
+		t.Fatalf("post-load insert logged %d records", tb.Log().Len())
+	}
+}
+
+func TestBulkLoadRejectsNonEmptyAndDuplicates(t *testing.T) {
+	tb := NewTable("bulk", nil)
+	if _, err := tb.Insert(k(0), v(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.BulkLoad(func() ([]byte, []byte, bool) { return nil, nil, false }); err == nil {
+		t.Fatal("BulkLoad into a non-empty table succeeded")
+	}
+
+	dup := NewTable("dup", nil)
+	seq := [][]byte{k(1), k(2), k(1)}
+	i := 0
+	_, err := dup.BulkLoad(func() ([]byte, []byte, bool) {
+		if i >= len(seq) {
+			return nil, nil, false
+		}
+		key := seq[i]
+		i++
+		return key, v(0), true
+	})
+	if !errors.Is(err, ErrKeyExists) {
+		t.Fatalf("duplicate key: err = %v", err)
+	}
+}

@@ -162,6 +162,34 @@ func (t *Table) place(key, value []byte) TID {
 	return MakeTID(t.lastPage, s)
 }
 
+// BulkLoad fills an empty table from an iterator of key/value pairs
+// without writing per-row WAL records: the recovery path restores a
+// checkpoint image through it and then re-checkpoints the log, so the
+// rows stay recoverable without being re-logged one by one. It returns
+// the number of rows loaded and fails if the table already holds tuples
+// or a key repeats.
+func (t *Table) BulkLoad(next func() (key, value []byte, ok bool)) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.index.Len() > 0 {
+		return 0, fmt.Errorf("heap: BulkLoad into non-empty table %q", t.name)
+	}
+	n := 0
+	for {
+		k, v, ok := next()
+		if !ok {
+			return n, nil
+		}
+		if _, dup := t.index.Get(k); dup {
+			return n, fmt.Errorf("%w: %q", ErrKeyExists, k)
+		}
+		tid := t.place(k, v)
+		t.index.Put(k, uint64(tid))
+		t.stats.tuplesInserted.Add(1)
+		n++
+	}
+}
+
 // Update replaces the value under key MVCC-style: the old version is
 // marked dead in place and a new version is written elsewhere. Without a
 // vacuum the old version's bytes stay in the page.

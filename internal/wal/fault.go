@@ -1,0 +1,87 @@
+package wal
+
+import "sync"
+
+// Fault injection for crash-recovery tests. The simulator's crash model
+// is byte-precise: a crash preserves a prefix of the durable segment
+// image and loses everything after it — including, when the cut lands
+// inside a frame, the torn half of the record that was being written.
+// An optional bit flip inside the surviving prefix models media
+// corruption discovered at recovery time. Recover (segment.go) must
+// absorb both without panicking and without replaying damaged records.
+
+// CrashPoint selects where a simulated crash cuts a segment image.
+type CrashPoint struct {
+	// Bytes is how many leading bytes of the image survive; the rest is
+	// the lost, un-synced tail. Values past the image length keep the
+	// whole image.
+	Bytes int
+	// FlipBit, when > 0, inverts one bit of the surviving prefix at
+	// that byte offset (corruption rather than clean truncation). Zero
+	// and negative values flip nothing, so the zero CrashPoint is a
+	// clean cut at offset 0 — never silent corruption. (Byte 0 itself
+	// cannot be flipped; a frame damaged at its very first byte is
+	// indistinguishable from one damaged a few bytes in.)
+	FlipBit int
+}
+
+// Apply returns the surviving image for a crash at this point. The
+// input is not modified.
+func (cp CrashPoint) Apply(image []byte) []byte {
+	n := cp.Bytes
+	if n < 0 {
+		n = 0
+	}
+	if n > len(image) {
+		n = len(image)
+	}
+	out := append([]byte(nil), image[:n]...)
+	if cp.FlipBit > 0 && cp.FlipBit < len(out) {
+		out[cp.FlipBit] ^= 0x40
+	}
+	return out
+}
+
+// Crashable wraps a Log for fault-injection tests: the workload marks
+// the durable byte offset after every operation, and Crash produces the
+// surviving image for a cut at any chosen point — dropping the
+// un-synced tail bytes exactly as a power loss would.
+//
+// Marks are byte offsets into the image at the time they were taken;
+// they stay valid while the log only appends. Scrub and Truncate
+// rewrite the image, invalidating earlier marks.
+type Crashable struct {
+	*Log
+
+	mu    sync.Mutex
+	marks []int
+}
+
+// NewCrashable returns a Crashable wrapping a fresh group-commit log.
+func NewCrashable() *Crashable { return &Crashable{Log: New()} }
+
+// WrapCrashable wraps an existing log.
+func WrapCrashable(l *Log) *Crashable { return &Crashable{Log: l} }
+
+// Mark records the current durable byte offset as a crash-point
+// candidate and returns it.
+func (c *Crashable) Mark() int {
+	off := int(c.SegmentSize())
+	c.mu.Lock()
+	c.marks = append(c.marks, off)
+	c.mu.Unlock()
+	return off
+}
+
+// Marks returns the recorded crash-point offsets, in order.
+func (c *Crashable) Marks() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]int(nil), c.marks...)
+}
+
+// Crash simulates a crash at the given point: the current image with
+// its un-synced tail dropped (and optionally one bit flipped).
+func (c *Crashable) Crash(cp CrashPoint) []byte {
+	return cp.Apply(c.SegmentBytes())
+}

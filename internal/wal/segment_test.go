@@ -1,0 +1,135 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// fill appends n inserts with deterministic keys/payloads.
+func fill(l *Log, n int) {
+	for i := 0; i < n; i++ {
+		l.Append(RecInsert, []byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%03d", i)))
+	}
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	l := New()
+	fill(l, 20)
+	image := l.SegmentBytes()
+	if int64(len(image)) != l.SegmentSize() {
+		t.Fatalf("SegmentSize = %d, image = %d bytes", l.SegmentSize(), len(image))
+	}
+	var got []Record
+	info := Recover(image, 0, func(r Record) bool {
+		got = append(got, r)
+		return true
+	})
+	if info.Replayed != 20 || info.TornTail || info.TailBytesDiscarded != 0 {
+		t.Fatalf("clean image recovery: %+v", info)
+	}
+	if got[0].LSN != 1 || got[19].LSN != 20 || !bytes.Equal(got[7].Key, []byte("k007")) {
+		t.Fatalf("recovered records wrong: first=%+v", got[0])
+	}
+	// The after parameter skips the prefix.
+	info = Recover(image, 15, func(r Record) bool { return true })
+	if info.Replayed != 5 || info.LastLSN != 20 {
+		t.Fatalf("Recover(after=15): %+v", info)
+	}
+}
+
+func TestRecoverStopsAtTornTail(t *testing.T) {
+	l := New()
+	fill(l, 10)
+	image := l.SegmentBytes()
+	// Cut mid-way through the last record.
+	cut := len(image) - 3
+	torn := CrashPoint{Bytes: cut, FlipBit: -1}.Apply(image)
+	info := Recover(torn, 0, func(r Record) bool { return true })
+	if info.Replayed != 9 || !info.TornTail {
+		t.Fatalf("torn tail: %+v", info)
+	}
+	if info.TailBytesDiscarded == 0 {
+		t.Fatal("torn tail reported no discarded bytes")
+	}
+}
+
+func TestRecoverStopsAtBitFlip(t *testing.T) {
+	l := New()
+	fill(l, 10)
+	image := l.SegmentBytes()
+	// Flip a bit inside the 4th record's body: recovery must keep the
+	// first three and stop at the checksum mismatch.
+	off := 0
+	for i := 0; i < 3; i++ {
+		n := int(uint32(image[off])<<24 | uint32(image[off+1])<<16 | uint32(image[off+2])<<8 | uint32(image[off+3]))
+		off += frameOverhead + n
+	}
+	flipped := CrashPoint{Bytes: len(image), FlipBit: off + 10}.Apply(image)
+	info := Recover(flipped, 0, func(r Record) bool { return true })
+	if info.Replayed != 3 || !info.TornTail {
+		t.Fatalf("bit flip: %+v", info)
+	}
+}
+
+func TestScanSegmentFindsLastCheckpoint(t *testing.T) {
+	l := New()
+	fill(l, 5)
+	l.Checkpoint([]byte("A"))
+	fill(l, 3)
+	l.Checkpoint([]byte("B"))
+	fill(l, 2)
+	scan := ScanSegment(l.SegmentBytes())
+	if len(scan.Records) != 12 {
+		t.Fatalf("records = %d", len(scan.Records))
+	}
+	ck := scan.Records[scan.LastCheckpoint]
+	if ck.Type != RecCheckpoint || string(ck.Payload) != "B" {
+		t.Fatalf("last checkpoint = %+v", ck)
+	}
+	if tail := scan.Records[scan.LastCheckpoint+1:]; len(tail) != 2 {
+		t.Fatalf("tail after checkpoint = %d records", len(tail))
+	}
+}
+
+func TestCrashableMarksAndCrash(t *testing.T) {
+	c := NewCrashable()
+	var marks []int
+	for i := 0; i < 6; i++ {
+		c.Append(RecInsert, []byte{byte(i)}, []byte("payload"))
+		marks = append(marks, c.Mark())
+	}
+	if got := c.Marks(); len(got) != 6 || got[5] != int(c.SegmentSize()) {
+		t.Fatalf("marks = %v, size = %d", got, c.SegmentSize())
+	}
+	// A crash at mark i preserves exactly i+1 records.
+	for i, m := range marks {
+		img := c.Crash(CrashPoint{Bytes: m, FlipBit: -1})
+		info := Recover(img, 0, func(Record) bool { return true })
+		if info.Replayed != i+1 || info.TornTail {
+			t.Fatalf("crash at mark %d: %+v", i, info)
+		}
+	}
+	// A crash between marks drops the torn record.
+	img := c.Crash(CrashPoint{Bytes: marks[2] + 5, FlipBit: -1})
+	info := Recover(img, 0, func(Record) bool { return true })
+	if info.Replayed != 3 || !info.TornTail {
+		t.Fatalf("mid-record crash: %+v", info)
+	}
+}
+
+func TestRecoverEarlyStop(t *testing.T) {
+	l := New()
+	fill(l, 10)
+	count := 0
+	info := l.Recover(0, func(Record) bool {
+		count++
+		return count < 4
+	})
+	if !info.Stopped || info.Replayed != 4 {
+		t.Fatalf("early stop: count=%d info=%+v", count, info)
+	}
+	if info.TornTail {
+		t.Fatal("early stop misreported a torn tail")
+	}
+}

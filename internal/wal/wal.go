@@ -44,6 +44,15 @@ const (
 	// original payload is gone but the fact that *something* was logged
 	// remains, keeping LSNs stable.
 	RecTombstone
+	// RecConsent logs a consent change (a revocation) that mutates no
+	// heap row but must survive a crash: recovery replays it against the
+	// rebuilt policy engine.
+	RecConsent
+	// RecClock notes the logical clock's current value. Recovery
+	// restores the clock to at least the last durable note, so expired
+	// policy windows and passed retention deadlines cannot reopen when
+	// the deployment comes back.
+	RecClock
 )
 
 var recordTypeNames = [...]string{
@@ -54,6 +63,8 @@ var recordTypeNames = [...]string{
 	RecCheckpoint: "checkpoint",
 	RecErase:      "erase",
 	RecTombstone:  "tombstone",
+	RecConsent:    "consent",
+	RecClock:      "clock",
 }
 
 // String returns the record type name.
@@ -121,6 +132,11 @@ type Log struct {
 	syncs    uint64
 	maxBatch uint64
 
+	// lastCheckpoint is the LSN of the most recent durable checkpoint
+	// record (0 when none has been taken). Truncate refuses to drop it
+	// or anything after it.
+	lastCheckpoint LSN
+
 	// serial selects per-append locking instead of group commit.
 	serial bool
 	// committer is the group-commit queue (unused when serial).
@@ -181,6 +197,29 @@ func (l *Log) syncLocked(batch int) {
 	if uint64(batch) > l.maxBatch {
 		l.maxBatch = uint64(batch)
 	}
+}
+
+// Checkpoint appends a RecCheckpoint record carrying a state snapshot,
+// syncs it, and returns its LSN. Recovery loads the last durable
+// checkpoint's state and replays only the records after it; Truncate
+// may then drop everything before the checkpoint. Checkpoints take the
+// log lock directly (they are rare and must not ride in a group batch
+// whose LSN order the caller cannot observe).
+func (l *Log) Checkpoint(state []byte) LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lsn := l.appendLocked(RecCheckpoint, nil, state)
+	l.syncLocked(1)
+	l.lastCheckpoint = lsn
+	return lsn
+}
+
+// LastCheckpoint returns the LSN of the most recent durable checkpoint;
+// ok is false when no checkpoint has been taken.
+func (l *Log) LastCheckpoint() (LSN, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.lastCheckpoint, l.lastCheckpoint != 0
 }
 
 // Flush marks everything appended so far as durable and returns the
@@ -258,9 +297,22 @@ func (l *Log) Replay(after LSN, fn func(Record) bool) {
 
 // Truncate drops records with LSN <= upTo (e.g. after a checkpoint) and
 // returns how many were dropped.
+//
+// Truncation never outruns durability of state: records at or after the
+// last durable checkpoint are the only copy of the mutations they
+// describe, so upTo is clamped to just before that checkpoint, and a log
+// that has never checkpointed drops nothing. (Before this rule, a
+// Truncate racing a checkpoint could discard records newer than the
+// snapshot recovery would load, silently losing committed writes.)
 func (l *Log) Truncate(upTo LSN) int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.lastCheckpoint == 0 {
+		return 0
+	}
+	if upTo >= l.lastCheckpoint {
+		upTo = l.lastCheckpoint - 1
+	}
 	i := 0
 	for i < len(l.records) && l.records[i].LSN <= upTo {
 		l.bytes -= encodedSize(l.records[i])
@@ -347,9 +399,12 @@ func Decode(buf []byte) (Record, error) {
 	r.LSN = LSN(binary.BigEndian.Uint64(body[:8]))
 	r.Type = RecordType(body[8])
 	off := 9
+	// Length fields are compared against the remaining bytes (never
+	// added to the offset first): on 32-bit platforms a crafted length
+	// near 2^31 would wrap the sum negative and slip past the check.
 	kl := int(binary.BigEndian.Uint32(body[off : off+4]))
 	off += 4
-	if off+kl > len(body) {
+	if kl < 0 || kl > len(body)-off {
 		return Record{}, fmt.Errorf("wal: truncated key")
 	}
 	r.Key = append([]byte(nil), body[off:off+kl]...)
@@ -359,7 +414,7 @@ func Decode(buf []byte) (Record, error) {
 	}
 	pl := int(binary.BigEndian.Uint32(body[off : off+4]))
 	off += 4
-	if off+pl != len(body) {
+	if pl != len(body)-off {
 		return Record{}, fmt.Errorf("wal: payload length mismatch")
 	}
 	r.Payload = append([]byte(nil), body[off:off+pl]...)

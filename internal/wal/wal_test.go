@@ -80,11 +80,12 @@ func TestTruncate(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		l.Append(RecInsert, []byte{byte(i)}, []byte("payload"))
 	}
+	l.Checkpoint([]byte("state")) // LSN 11: records 1..10 become droppable
 	before := l.SizeBytes()
 	if n := l.Truncate(4); n != 4 {
 		t.Fatalf("Truncate = %d", n)
 	}
-	if l.Len() != 6 {
+	if l.Len() != 7 { // 6 surviving inserts + the checkpoint
 		t.Fatalf("Len = %d", l.Len())
 	}
 	if l.SizeBytes() >= before {
@@ -98,6 +99,49 @@ func TestTruncate(t *testing.T) {
 	})
 	if first != 5 {
 		t.Fatalf("first surviving LSN = %d, want 5", first)
+	}
+}
+
+// Regression: Truncate used to honor any upTo, so a caller could drop
+// records newer than the last durable checkpoint — the only copy of
+// those mutations — and recovery would silently lose committed writes.
+// Truncation must clamp at the checkpoint (and drop nothing when no
+// checkpoint exists).
+func TestTruncateRefusesToOutrunCheckpoint(t *testing.T) {
+	l := New()
+	for i := 0; i < 5; i++ {
+		l.Append(RecInsert, []byte{byte(i)}, nil)
+	}
+	// No checkpoint yet: nothing is safely droppable.
+	if n := l.Truncate(5); n != 0 {
+		t.Fatalf("Truncate without checkpoint dropped %d records", n)
+	}
+	ck := l.Checkpoint([]byte("state")) // LSN 6
+	for i := 0; i < 4; i++ {
+		l.Append(RecUpdate, []byte{byte(i)}, nil) // LSNs 7..10
+	}
+	// Asking to drop past the checkpoint clamps to just before it: the
+	// checkpoint record and the tail behind it survive.
+	if n := l.Truncate(100); n != 5 {
+		t.Fatalf("Truncate(100) = %d, want 5", n)
+	}
+	if got, ok := l.LastCheckpoint(); !ok || got != ck {
+		t.Fatalf("LastCheckpoint = %d,%v, want %d,true", got, ok, ck)
+	}
+	var kept []LSN
+	l.Replay(0, func(r Record) bool {
+		kept = append(kept, r.LSN)
+		return true
+	})
+	if len(kept) != 5 || kept[0] != ck || kept[4] != 10 {
+		t.Fatalf("surviving LSNs = %v, want [%d..10]", kept, ck)
+	}
+	// The recovered state is still reconstructible: scan finds the
+	// checkpoint and the full tail.
+	scan := ScanSegment(l.SegmentBytes())
+	if scan.LastCheckpoint != 0 || len(scan.Records) != 5 {
+		t.Fatalf("ScanSegment after truncate: ckpt=%d records=%d",
+			scan.LastCheckpoint, len(scan.Records))
 	}
 }
 
