@@ -284,7 +284,7 @@ func BenchmarkAblationVacuumThreshold(b *testing.B) {
 // shadowed data resident and reads slower — the paper's illegal-retention
 // hazard has a performance face too.
 func BenchmarkAblationGCGrace(b *testing.B) {
-	build := func(grace uint64) *lsm.Store {
+	build := func(grace int64) *lsm.Store {
 		s := lsm.New(lsm.Options{
 			MemtableFlushEntries: 512,
 			CompactionFanIn:      4,
@@ -301,7 +301,7 @@ func BenchmarkAblationGCGrace(b *testing.B) {
 	}
 	for _, cfg := range []struct {
 		name  string
-		grace uint64
+		grace int64
 	}{{"grace-1", 1}, {"grace-inf", 1 << 62}} {
 		b.Run(cfg.name, func(b *testing.B) {
 			s := build(cfg.grace)

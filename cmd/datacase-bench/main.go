@@ -14,10 +14,16 @@
 //	                                           # crash-recovery sweep: full
 //	                                           # replay vs checkpointed;
 //	                                           # writes BENCH_recovery.json
+//	datacase-bench -exp backend                # heap vs LSM on the full
+//	                                           # compliance stack; writes
+//	                                           # BENCH_backend.json
+//	datacase-bench -list                       # print the experiment
+//	                                           # registry and exit
 //
 // Experiments: table1, fig3, fig4a, fig4b, fig4c, table2, deleteonly,
-// shardscale, loadgen, recovery, all. An unknown -exp value exits with
-// status 2 and a usage message.
+// shardscale, loadgen, recovery, backend, all. An unknown -exp value
+// exits with status 2 and a usage message; -list prints the registry
+// with one-line descriptions and exits 0.
 package main
 
 import (
@@ -30,18 +36,39 @@ import (
 	"github.com/datacase/datacase"
 )
 
-// experiments is the closed set of -exp values ("all" runs each).
-var experiments = []string{
-	"table1", "fig3", "fig4a", "fig4b", "fig4c", "table2", "deleteonly",
-	"shardscale", "loadgen", "recovery",
+// experimentInfo is the closed registry of -exp values ("all" runs
+// each), with the one-line descriptions -list prints.
+var experimentInfo = []struct {
+	name, desc string
+}{
+	{"table1", "Table 1: erasure interpretations and their measured IR/II/Inv characteristics"},
+	{"fig3", "Figure 3: scheduler-driven data-erasure timeline"},
+	{"fig4a", "Figure 4(a): completion time of the four erasure strategies on WCus (storage level)"},
+	{"fig4b", "Figure 4(b): completion time of the three profiles across WPro/WCon/WCus/YCSB-C"},
+	{"fig4c", "Figure 4(c): profile completion time as the record count grows"},
+	{"table2", "Table 2: storage-space overhead per profile after a WCus run"},
+	{"deleteonly", "footnote: plain DELETE beats DELETE+VACUUM on a delete-only stream"},
+	{"shardscale", "shard-count sweep of the subject-sharded engine under concurrent clients"},
+	{"loadgen", "closed-loop concurrent load driver; writes BENCH_loadgen.json"},
+	{"recovery", "crash-recovery sweep, full replay vs checkpointed; writes BENCH_recovery.json"},
+	{"backend", "heap vs LSM compliance backends: Fig 4(a) series, Table 1 conformance and erase checks; writes BENCH_backend.json"},
+}
+
+// experimentNames returns the registry names in order.
+func experimentNames() []string {
+	names := make([]string, len(experimentInfo))
+	for i, e := range experimentInfo {
+		names[i] = e.name
+	}
+	return names
 }
 
 func knownExperiment(name string) bool {
 	if name == "all" {
 		return true
 	}
-	for _, e := range experiments {
-		if e == name {
+	for _, e := range experimentInfo {
+		if e.name == name {
 			return true
 		}
 	}
@@ -50,8 +77,10 @@ func knownExperiment(name string) bool {
 
 func main() {
 	var (
+		list = flag.Bool("list", false,
+			"print the experiment registry with descriptions and exit")
 		exp = flag.String("exp", "all",
-			"experiment: "+strings.Join(experiments, "|")+"|all")
+			"experiment: "+strings.Join(experimentNames(), "|")+"|all")
 		records  = flag.Int("records", 0, "records (0 = scale default)")
 		txns     = flag.Int("txns", 0, "transactions (0 = scale default)")
 		paper    = flag.Bool("paper", false, "use the paper's scale (100k records; slower)")
@@ -70,12 +99,22 @@ func main() {
 		recShards = flag.Int("recovery-shards", 8, "shard count for -exp recovery")
 		recEvery  = flag.Int("recovery-checkpoint-every", 2000, "per-shard checkpoint interval (ops) for -exp recovery")
 		recOut    = flag.String("recovery-out", "BENCH_recovery.json", "JSON output path for -exp recovery")
+
+		backendOut = flag.String("backend-out", "BENCH_backend.json", "JSON output path for -exp backend")
 	)
 	flag.Parse()
 
+	if *list {
+		fmt.Println("experiments (-exp <name>, or all):")
+		for _, e := range experimentInfo {
+			fmt.Printf("  %-12s %s\n", e.name, e.desc)
+		}
+		return
+	}
+
 	if !knownExperiment(*exp) {
 		fmt.Fprintf(os.Stderr, "datacase-bench: unknown experiment %q (want %s or all)\n",
-			*exp, strings.Join(experiments, ", "))
+			*exp, strings.Join(experimentNames(), ", "))
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -170,6 +209,9 @@ func main() {
 	if run("recovery") {
 		runRecovery(scale, *recOps, *recRecs, *recShards, *recEvery, *recOut, *csv)
 	}
+	if run("backend") {
+		runBackend(scale, *factor, *backendOut, *csv)
+	}
 	if !ran {
 		fmt.Fprintf(os.Stderr,
 			"datacase-bench: experiment %q validated but matched no dispatch block (list/dispatch drift)\n", *exp)
@@ -255,6 +297,32 @@ func runRecovery(scale datacase.Scale, opsCSV string, records, shards, every int
 	render(datacase.RecoveryFigure(results), nil, csv)
 	fail(datacase.WriteRecoveryJSON(out, results))
 	fmt.Printf("wrote %s (%d results)\n", out, len(results))
+}
+
+// runBackend runs the heap-vs-LSM comparison on the full compliance
+// stack, renders the completion-time figure and the conformance rows,
+// and writes the machine-readable BENCH_backend.json report.
+func runBackend(scale datacase.Scale, factor int, out string, csv bool) {
+	fmt.Printf("running backend comparison (records=%d, txn sweep 10K-70K ÷%d, backends=%v)...\n",
+		scale.Records, factor, datacase.Backends())
+	rep, err := datacase.RunBackendComparison(scale, factor)
+	fail(err)
+	for _, r := range rep.Results {
+		fail(r.Validate())
+		fmt.Printf("  %s\n", r)
+	}
+	fmt.Println("Table 1 conformance per backend:")
+	for _, row := range rep.Table1 {
+		fmt.Printf("  %-4s %-26s conforms=%v\n", row.Backend, row.Interpretation, row.Conforms)
+	}
+	for _, c := range rep.EraseChecks {
+		fail(c.Validate())
+		fmt.Printf("  %s\n", c)
+	}
+	render(datacase.BackendFigure(rep.Results), nil, csv)
+	fail(datacase.WriteBackendJSON(out, rep))
+	fmt.Printf("wrote %s (%d results, %d table1 rows, %d erase checks)\n",
+		out, len(rep.Results), len(rep.Table1), len(rep.EraseChecks))
 }
 
 // parseShards parses a comma-separated shard-count sweep like "1,4,16".

@@ -24,6 +24,7 @@ import (
 	"github.com/datacase/datacase/internal/erasure"
 	"github.com/datacase/datacase/internal/gdprbench"
 	"github.com/datacase/datacase/internal/loadgen"
+	"github.com/datacase/datacase/internal/storage"
 	"github.com/datacase/datacase/internal/wal"
 	"github.com/datacase/datacase/internal/ycsb"
 )
@@ -249,6 +250,40 @@ const (
 	PurposeSubjectAccess = compliance.PurposeSubjectAccess
 )
 
+// Storage backends for Profile.Backend: the heap engine grounds
+// deletion in DELETE+VACUUM mechanics; the LSM engine grounds it in
+// tombstones with erase-aware compaction (§3.1's contrast, pluggable).
+const (
+	BackendHeap = compliance.BackendHeap
+	BackendLSM  = compliance.BackendLSM
+)
+
+// ---- Pluggable storage engines ----
+
+type (
+	// StorageEngine is the storage contract a compliance deployment's
+	// data table runs on (heap or LSM).
+	StorageEngine = storage.Engine
+	// StorageStats is the backend-neutral work-counter snapshot.
+	StorageStats = storage.Stats
+	// StorageSpaceStats is the backend-neutral footprint report.
+	StorageSpaceStats = storage.SpaceStats
+	// Vacuumer is the heap's reclamation capability.
+	Vacuumer = storage.Vacuumer
+	// Purger is the LSM's erase-aware-compaction capability.
+	Purger = storage.Purger
+)
+
+var (
+	// NewHeapEngine builds a heap-backed storage engine.
+	NewHeapEngine = storage.NewHeap
+	// NewLSMEngine builds an LSM-backed storage engine.
+	NewLSMEngine = storage.NewLSM
+	// ErrKeyExists / ErrKeyNotFound are the engine-level sentinels.
+	ErrKeyExists   = storage.ErrKeyExists
+	ErrKeyNotFound = storage.ErrKeyNotFound
+)
+
 // Profile constructors and the DB opener.
 var (
 	// PBase is the least restrictive grounding (RBAC, CSV logs,
@@ -456,6 +491,36 @@ type (
 	RecoveryResult = benchx.RecoveryResult
 	// RecoveryReport is the BENCH_recovery.json document envelope.
 	RecoveryReport = benchx.RecoveryReport
+)
+
+// ---- Backend-comparison experiment (-exp backend) ----
+
+type (
+	// BackendReport is the BENCH_backend.json document envelope.
+	BackendReport = benchx.BackendReport
+	// BackendResult is one (backend, txns) sweep point.
+	BackendResult = benchx.BackendResult
+	// BackendEraseCheck is the per-backend erase-physicality evidence.
+	BackendEraseCheck = benchx.BackendEraseCheck
+)
+
+var (
+	// Backends lists the storage backends in figure order.
+	Backends = benchx.Backends
+	// RunBackendComparison runs the heap-vs-LSM experiment: the Figure
+	// 4(a) series on the full compliance stack, Table 1 conformance on
+	// both backends and the erase-physicality checks.
+	RunBackendComparison = benchx.RunBackendComparison
+	// RunBackendEraseCheck runs one backend's erase-physicality check.
+	RunBackendEraseCheck = benchx.RunBackendEraseCheck
+	// Table1On measures Table 1 on a specific storage backend.
+	Table1On = benchx.Table1On
+	// BackendFigure renders the sweep as a completion-time figure.
+	BackendFigure = benchx.BackendFigure
+	// WriteBackendJSON writes results as a BENCH_backend.json document.
+	WriteBackendJSON = benchx.WriteBackendJSON
+	// ReadBackendJSON parses and validates a BENCH_backend.json file.
+	ReadBackendJSON = benchx.ReadBackendJSON
 )
 
 var (

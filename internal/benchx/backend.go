@@ -1,0 +1,359 @@
+package benchx
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/datacase/datacase/internal/compliance"
+	"github.com/datacase/datacase/internal/erasure"
+	"github.com/datacase/datacase/internal/gdprbench"
+)
+
+// The backend experiment: the paper's Figure 4(a) contrast — heap
+// DELETE+VACUUM vs LSM tombstones — run on the full compliance stack
+// instead of raw storage targets, now that Profile.Backend makes the
+// engine pluggable. Three parts, all emitted as BENCH_backend.json:
+//
+//  1. WCus completion time per backend over a transaction sweep (the
+//     Figure 4(a) series shape, policy checks, sealing and audit
+//     logging included).
+//  2. Table 1 conformance rows measured on each backend: the grounded
+//     erasure interpretations must exhibit their declared IR/II/Inv
+//     characteristics whatever the engine.
+//  3. An erase-physicality check per backend: after EraseSubject and a
+//     bounded operation window, a forensic scan of the subject's bytes
+//     must come back clean (vacuum mechanics on the heap, purge
+//     obligations on the LSM) and erasure.Verify must pass for every
+//     erased key.
+
+// BackendResult is one (backend, txns) point of the WCus sweep.
+type BackendResult struct {
+	Backend string `json:"backend"`
+	Profile string `json:"profile"`
+	Records int    `json:"records"`
+	Txns    int    `json:"txns"`
+	// CompletionSeconds / LoadSeconds are the paper's metric split.
+	CompletionSeconds float64 `json:"completion_seconds"`
+	LoadSeconds       float64 `json:"load_seconds"`
+}
+
+func (r BackendResult) String() string {
+	return fmt.Sprintf("backend %-4s %s: records=%d txns=%d completion=%.4fs",
+		r.Backend, r.Profile, r.Records, r.Txns, r.CompletionSeconds)
+}
+
+// Validate sanity-checks one sweep point.
+func (r BackendResult) Validate() error {
+	switch {
+	case r.Backend != compliance.BackendHeap && r.Backend != compliance.BackendLSM:
+		return fmt.Errorf("backend: unknown backend %q", r.Backend)
+	case r.Records <= 0 || r.Txns <= 0:
+		return fmt.Errorf("backend: empty run (records=%d txns=%d)", r.Records, r.Txns)
+	case r.CompletionSeconds <= 0:
+		return fmt.Errorf("backend: non-positive completion time %f", r.CompletionSeconds)
+	}
+	return nil
+}
+
+// BackendTable1Row is one measured Table-1 conformance row on one
+// backend.
+type BackendTable1Row struct {
+	Backend        string `json:"backend"`
+	Interpretation string `json:"interpretation"`
+	IllegalReads   bool   `json:"illegal_reads"`
+	IllegalInfer   bool   `json:"illegal_inference"`
+	Invertible     bool   `json:"invertible"`
+	Sanitized      bool   `json:"sanitized"`
+	Conforms       bool   `json:"conforms"`
+}
+
+// BackendEraseCheck is the erase-physicality evidence for one backend.
+type BackendEraseCheck struct {
+	Backend string `json:"backend"`
+	// SubjectRecords is how many records the erased subject owned.
+	SubjectRecords int `json:"subject_records"`
+	// OpsToClean is how many operations ran after the erasure before
+	// the forensic scan came back clean (the observed purge window).
+	OpsToClean int `json:"ops_to_clean"`
+	// ForensicClean: no subject bytes anywhere in the engine
+	// (memtable, runs, pages — shadowed versions included).
+	ForensicClean bool `json:"forensic_clean"`
+	// VerifyOK: erasure.Verify passed for every erased key (no zombie
+	// record, no resurrectable WAL tail).
+	VerifyOK bool `json:"verify_ok"`
+	// PurgesRegistered / PurgesDischarged are the engine's obligation
+	// counters (zero on the heap).
+	PurgesRegistered uint64 `json:"purges_registered"`
+	PurgesDischarged uint64 `json:"purges_discharged"`
+}
+
+func (c BackendEraseCheck) String() string {
+	return fmt.Sprintf("erase-check %-4s: %d records erased, clean after %d ops (forensic=%v verify=%v purges=%d/%d)",
+		c.Backend, c.SubjectRecords, c.OpsToClean, c.ForensicClean, c.VerifyOK,
+		c.PurgesDischarged, c.PurgesRegistered)
+}
+
+// Validate fails unless the erasure is physically demonstrated.
+func (c BackendEraseCheck) Validate() error {
+	switch {
+	case c.SubjectRecords <= 0:
+		return fmt.Errorf("backend: erase check erased nothing")
+	case !c.ForensicClean:
+		return fmt.Errorf("backend: %s still holds subject bytes after the purge window", c.Backend)
+	case !c.VerifyOK:
+		return fmt.Errorf("backend: %s failed erasure.Verify", c.Backend)
+	case c.Backend == compliance.BackendLSM && c.PurgesDischarged == 0:
+		return fmt.Errorf("backend: lsm discharged no purge obligations")
+	}
+	return nil
+}
+
+// BackendReport is the BENCH_backend.json document.
+type BackendReport struct {
+	Benchmark   string              `json:"benchmark"`
+	Schema      int                 `json:"schema"`
+	Results     []BackendResult     `json:"results"`
+	Table1      []BackendTable1Row  `json:"table1"`
+	EraseChecks []BackendEraseCheck `json:"erase_checks"`
+}
+
+// backendSchemaVersion is bumped when the report shape changes.
+const backendSchemaVersion = 1
+
+// Backends returns the two storage backends in figure order.
+func Backends() []string {
+	return []string{compliance.BackendHeap, compliance.BackendLSM}
+}
+
+// backendProfile grounds P_Base on the given backend. The erasure
+// grounding differs by construction: DELETE+VACUUM on the heap,
+// tombstones with erase-aware compaction on the LSM.
+func backendProfile(backend string) compliance.Profile {
+	p := compliance.PBase()
+	p.Backend = backend
+	return p
+}
+
+// RunBackendComparison runs all three parts at the given scale and
+// sweep divisor (the Fig4a 10K-70K transaction sweep ÷ factor).
+func RunBackendComparison(s Scale, factor int) (BackendReport, error) {
+	rep := BackendReport{Benchmark: "backend", Schema: backendSchemaVersion}
+	if factor <= 0 {
+		factor = 1
+	}
+	sweep := []int{10000 / factor, 30000 / factor, 50000 / factor, 70000 / factor}
+	for _, backend := range Backends() {
+		p := backendProfile(backend)
+		for _, txns := range sweep {
+			r, err := RunGDPRBench(p, gdprbench.Customer, s.Records, txns, s.Seed)
+			if err != nil {
+				return rep, fmt.Errorf("backend %s txns=%d: %w", backend, txns, err)
+			}
+			rep.Results = append(rep.Results, BackendResult{
+				Backend: backend, Profile: p.Name, Records: s.Records, Txns: txns,
+				CompletionSeconds: r.Elapsed.Seconds(),
+				LoadSeconds:       r.LoadTime.Seconds(),
+			})
+		}
+		rows, err := Table1On(backend)
+		if err != nil {
+			return rep, fmt.Errorf("backend %s table1: %w", backend, err)
+		}
+		for _, row := range rows {
+			rep.Table1 = append(rep.Table1, BackendTable1Row{
+				Backend:        backend,
+				Interpretation: row.Interpretation.String(),
+				IllegalReads:   row.Measured.IllegalReads,
+				IllegalInfer:   row.Measured.IllegalInference,
+				Invertible:     row.Measured.Invertible,
+				Sanitized:      row.Measured.Sanitized,
+				Conforms:       row.Conforms,
+			})
+		}
+		check, err := RunBackendEraseCheck(backend, s.Seed)
+		if err != nil {
+			return rep, fmt.Errorf("backend %s erase check: %w", backend, err)
+		}
+		rep.EraseChecks = append(rep.EraseChecks, check)
+	}
+	return rep, nil
+}
+
+// eraseCheckPurgeWindow is the LSM purge bound the erase check runs
+// under; the check drives a few multiples of it and reports when the
+// engine actually came clean.
+const eraseCheckPurgeWindow = 64
+
+// RunBackendEraseCheck erases one subject on a sharded deployment of
+// the backend, then drives bounded traffic on other subjects until the
+// subject's bytes are forensically gone — measuring, not assuming, the
+// purge window — and verifies every erased key with erasure.Verify.
+func RunBackendEraseCheck(backend string, seed int64) (BackendEraseCheck, error) {
+	check := BackendEraseCheck{Backend: backend}
+	p := backendProfile(backend)
+	p.PurgeWithinOps = eraseCheckPurgeWindow
+	// A small memtable so the subject's rows actually reach sstable
+	// runs — with the default the whole dataset sits in the memtable,
+	// where tombstones overwrite values in place and the retention
+	// hazard never forms.
+	p.LSMFlushEntries = 8
+	// Aggressive vacuum so the heap's reclamation runs inside the same
+	// bounded window the LSM's purge obligations get.
+	p.VacuumCheckEvery = 16
+	p.VacuumThreshold = 0.01
+	s, err := compliance.OpenSharded(p, 2)
+	if err != nil {
+		return check, err
+	}
+	const victim = "victim-subject-xq7"
+	var victimKeys, otherKeys []string
+	for i := 0; i < 64; i++ {
+		rec := gdprbench.Record{
+			Key:        fmt.Sprintf("erasecheck-%03d", i),
+			Payload:    []byte(fmt.Sprintf("payload-%03d", i)),
+			Purposes:   []string{"analytics"},
+			TTL:        1 << 40,
+			Processors: []string{"processor-a"},
+		}
+		if i%4 == 0 {
+			rec.Subject = victim
+			victimKeys = append(victimKeys, rec.Key)
+		} else {
+			rec.Subject = fmt.Sprintf("bystander-%d", i%7)
+			otherKeys = append(otherKeys, rec.Key)
+		}
+		if err := s.Create(rec); err != nil {
+			return check, err
+		}
+	}
+	home := compliance.SubjectShard(victim, s.NumShards())
+	engine := s.Shard(home).Engine()
+	// The purge window is per engine (per shard): the post-erasure
+	// traffic must land on the victim's home shard to advance it, so
+	// keep only the bystander keys co-located with it.
+	tickKeys := otherKeys[:0]
+	for _, k := range otherKeys {
+		if idx, ok := s.ShardIndexOf(k); ok && idx == home {
+			tickKeys = append(tickKeys, k)
+		}
+	}
+	if len(tickKeys) == 0 {
+		return check, fmt.Errorf("backend: no bystander record on the victim's home shard")
+	}
+
+	erased, err := s.EraseSubject(compliance.EntitySystem, victim)
+	if err != nil {
+		return check, err
+	}
+	check.SubjectRecords = erased
+
+	// Drive ordinary traffic until the subject is forensically gone,
+	// up to a few purge windows — the bounded-residency guarantee. The
+	// scan runs before each update and once after the last, so a store
+	// that comes clean on the final driven op is still observed.
+	for ops := 0; ops <= 4*eraseCheckPurgeWindow; ops++ {
+		if !engine.ForensicScan([]byte(victim)) {
+			check.ForensicClean = true
+			check.OpsToClean = ops
+			break
+		}
+		if ops == 4*eraseCheckPurgeWindow {
+			break // budget exhausted; the scan above was the final check
+		}
+		key := tickKeys[ops%len(tickKeys)]
+		err := s.UpdateData(compliance.EntityController, compliance.PurposeService,
+			key, []byte(fmt.Sprintf("tick-%d-%d", seed, ops)))
+		if err != nil {
+			return check, err
+		}
+	}
+	check.VerifyOK = true
+	for _, k := range victimKeys {
+		if err := erasure.Verify(engine, engine.Log(), []byte(k)); err != nil {
+			check.VerifyOK = false
+			break
+		}
+	}
+	st := engine.Stats()
+	check.PurgesRegistered = st.PurgesRegistered
+	check.PurgesDischarged = st.PurgesDischarged
+	return check, nil
+}
+
+// BackendFigure renders the sweep as the Figure 4(a)-shaped
+// completion-time series.
+func BackendFigure(results []BackendResult) Figure {
+	fig := Figure{
+		Title:  "Backend comparison: WCus completion time, heap (DELETE+VACUUM) vs lsm (tombstones + erase-aware compaction)",
+		XLabel: "transactions",
+	}
+	series := map[string]*Series{}
+	var order []string
+	for _, r := range results {
+		sr, ok := series[r.Backend]
+		if !ok {
+			sr = &Series{Label: r.Backend}
+			series[r.Backend] = sr
+			order = append(order, r.Backend)
+		}
+		sr.Points = append(sr.Points, Point{
+			X: float64(r.Txns),
+			Y: time.Duration(r.CompletionSeconds * float64(time.Second)),
+		})
+	}
+	for _, label := range order {
+		fig.Series = append(fig.Series, *series[label])
+	}
+	return fig
+}
+
+// WriteBackendJSON writes the BENCH_backend.json document to path.
+func WriteBackendJSON(path string, rep BackendReport) error {
+	rep.Benchmark = "backend"
+	rep.Schema = backendSchemaVersion
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("backend: encode report: %w", err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return fmt.Errorf("backend: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadBackendJSON parses and validates a BENCH_backend.json file.
+func ReadBackendJSON(path string) (BackendReport, error) {
+	var rep BackendReport
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return rep, fmt.Errorf("backend: read %s: %w", path, err)
+	}
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return rep, fmt.Errorf("backend: parse %s: %w", path, err)
+	}
+	if rep.Benchmark != "backend" {
+		return rep, fmt.Errorf("backend: %s is not a backend report (benchmark=%q)", path, rep.Benchmark)
+	}
+	if len(rep.Results) == 0 || len(rep.Table1) == 0 || len(rep.EraseChecks) == 0 {
+		return rep, fmt.Errorf("backend: %s is missing a section", path)
+	}
+	for i, r := range rep.Results {
+		if err := r.Validate(); err != nil {
+			return rep, fmt.Errorf("backend: %s result %d: %w", path, i, err)
+		}
+	}
+	for i, c := range rep.EraseChecks {
+		if err := c.Validate(); err != nil {
+			return rep, fmt.Errorf("backend: %s erase check %d: %w", path, i, err)
+		}
+	}
+	for _, row := range rep.Table1 {
+		if !row.Conforms {
+			return rep, fmt.Errorf("backend: %s: %s on %s does not conform to its declared characteristics",
+				path, row.Interpretation, row.Backend)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,105 @@
+package benchx
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/datacase/datacase/internal/compliance"
+)
+
+// TestBackendComparisonEndToEnd runs the full experiment at a tiny
+// scale, writes the JSON document and reads it back through the
+// validator — what the CI bench-smoke job drives with bigger numbers.
+func TestBackendComparisonEndToEnd(t *testing.T) {
+	rep, err := RunBackendComparison(Scale{Records: 300, Txns: 500, Seed: 1}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 8 { // 2 backends × 4 sweep points
+		t.Fatalf("got %d sweep results, want 8", len(rep.Results))
+	}
+	if len(rep.Table1) != 8 { // 2 backends × 4 interpretations
+		t.Fatalf("got %d table1 rows, want 8", len(rep.Table1))
+	}
+	if len(rep.EraseChecks) != 2 {
+		t.Fatalf("got %d erase checks, want 2", len(rep.EraseChecks))
+	}
+	for _, row := range rep.Table1 {
+		if !row.Conforms {
+			t.Errorf("%s on %s does not conform", row.Interpretation, row.Backend)
+		}
+	}
+	for _, c := range rep.EraseChecks {
+		if err := c.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+	fig := BackendFigure(rep.Results)
+	if len(fig.Series) != 2 || len(fig.Series[0].Points) != 4 {
+		t.Fatalf("figure shape: %d series", len(fig.Series))
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_backend.json")
+	if err := WriteBackendJSON(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBackendJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != len(rep.Results) || back.Schema != backendSchemaVersion {
+		t.Fatalf("round trip lost results (%d) or schema (%d)", len(back.Results), back.Schema)
+	}
+}
+
+// TestReadBackendJSONRejectsBadDocuments covers the validator paths the
+// CI job relies on.
+func TestReadBackendJSONRejectsBadDocuments(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := ReadBackendJSON(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := ReadBackendJSON(write("garbage.json", "{")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadBackendJSON(write("wrong.json", `{"benchmark":"loadgen"}`)); err == nil {
+		t.Fatal("wrong benchmark accepted")
+	}
+	if _, err := ReadBackendJSON(write("empty.json", `{"benchmark":"backend","results":[]}`)); err == nil {
+		t.Fatal("empty sections accepted")
+	}
+	bad := `{"benchmark":"backend",
+	  "results":[{"backend":"heap","profile":"P_Base","records":1,"txns":1,"completion_seconds":0.1}],
+	  "table1":[{"backend":"lsm","interpretation":"delete","conforms":false}],
+	  "erase_checks":[{"backend":"heap","subject_records":1,"forensic_clean":true,"verify_ok":true}]}`
+	if _, err := ReadBackendJSON(write("noconform.json", bad)); err == nil {
+		t.Fatal("non-conforming table1 row accepted")
+	}
+}
+
+// TestBackendEraseCheckBothBackends is the acceptance pin: on both
+// backends, EraseSubject plus the bounded window leaves zero subject
+// bytes (memtable and sstable runs included on the LSM) and
+// erasure.Verify passes; the LSM discharges its purge obligations.
+func TestBackendEraseCheckBothBackends(t *testing.T) {
+	for _, b := range Backends() {
+		c, err := RunBackendEraseCheck(b, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		if c.Backend == compliance.BackendLSM && c.PurgesRegistered == 0 {
+			t.Fatal("lsm registered no purge obligations")
+		}
+	}
+}

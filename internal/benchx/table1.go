@@ -5,25 +5,49 @@ import (
 	"strings"
 
 	"github.com/datacase/datacase/internal/audit"
+	"github.com/datacase/datacase/internal/compliance"
 	"github.com/datacase/datacase/internal/core"
 	"github.com/datacase/datacase/internal/cryptox"
 	"github.com/datacase/datacase/internal/erasure"
 	"github.com/datacase/datacase/internal/policy"
 	"github.com/datacase/datacase/internal/provenance"
-	"github.com/datacase/datacase/internal/storage/heap"
+	"github.com/datacase/datacase/internal/storage"
+	"github.com/datacase/datacase/internal/storage/lsm"
 	"github.com/datacase/datacase/internal/wal"
 )
 
 // table1Secret is the plaintext whose fate each grounding is judged on.
 const table1Secret = "CC-4111-1111-1111-1111"
 
-// buildTable1Scenario constructs a fresh credit-card scenario: a base
-// unit with an invertible derived unit, policies, audit entries and a
-// WAL record — everything the IR/II/Inv probes exercise.
-func buildTable1Scenario() (*erasure.Engine, error) {
+// newTable1Store builds the storage engine a Table-1 scenario runs on.
+func newTable1Store(backend string) (storage.Engine, error) {
+	switch backend {
+	case "", compliance.BackendHeap:
+		return storage.NewHeap("table1", nil), nil
+	case compliance.BackendLSM:
+		// A tiny memtable so the scenario's versions actually reach
+		// runs, and a huge grace so only the erase-aware machinery can
+		// remove them — the hazard configuration.
+		return storage.NewLSM("table1", nil, lsm.Options{
+			MemtableFlushEntries: 2,
+			GCGraceSeqs:          1 << 40,
+		}), nil
+	default:
+		return nil, fmt.Errorf("benchx: unknown storage backend %q", backend)
+	}
+}
+
+// buildTable1Scenario constructs a fresh credit-card scenario on the
+// given storage backend: a base unit with an invertible derived unit,
+// policies, audit entries and a WAL record — everything the IR/II/Inv
+// probes exercise.
+func buildTable1Scenario(backend string) (*erasure.Engine, error) {
 	db := core.NewDatabase()
 	hist := core.NewHistory()
-	table := heap.NewTable("table1", nil)
+	table, err := newTable1Store(backend)
+	if err != nil {
+		return nil, err
+	}
 	keys, err := cryptox.NewKeyring(cryptox.AES256)
 	if err != nil {
 		return nil, err
@@ -42,7 +66,7 @@ func buildTable1Scenario() (*erasure.Engine, error) {
 	if err := db.Add(base); err != nil {
 		return nil, err
 	}
-	if _, err := table.Insert([]byte("cc-1234"), []byte(table1Secret)); err != nil {
+	if err := table.Insert([]byte("cc-1234"), []byte(table1Secret)); err != nil {
 		return nil, err
 	}
 	if err := pols.AttachPolicy("cc-1234", "user-1234",
@@ -54,7 +78,7 @@ func buildTable1Scenario() (*erasure.Engine, error) {
 	if err := db.Add(derived); err != nil {
 		return nil, err
 	}
-	if _, err := table.Insert([]byte("cc-last4"), []byte("1111")); err != nil {
+	if err := table.Insert([]byte("cc-last4"), []byte("1111")); err != nil {
 		return nil, err
 	}
 	if err := prov.AddDerivation(provenance.Derivation{
@@ -78,12 +102,23 @@ func buildTable1Scenario() (*erasure.Engine, error) {
 }
 
 // Table1 regenerates the paper's Table 1 by actually erasing a unit
-// under each interpretation on a fresh system and measuring IR, II and
-// Inv — then checking conformance against the declared characteristics.
+// under each interpretation on a fresh heap-backed system and measuring
+// IR, II and Inv — then checking conformance against the declared
+// characteristics.
 func Table1() ([]erasure.Table1Row, error) {
+	return Table1On(compliance.BackendHeap)
+}
+
+// Table1On is Table1 on the given storage backend: the same erasures
+// and probes, grounded in vacuum mechanics on the heap and in
+// erase-aware compaction (purge obligations) on the LSM. A conforming
+// row on both backends is the paper's claim that a grounding's
+// IR/II/Inv characteristics are properties of the interpretation, not
+// of one engine.
+func Table1On(backend string) ([]erasure.Table1Row, error) {
 	var rows []erasure.Table1Row
 	for _, interp := range core.ErasureInterpretations() {
-		eng, err := buildTable1Scenario()
+		eng, err := buildTable1Scenario(backend)
 		if err != nil {
 			return nil, err
 		}
@@ -123,7 +158,7 @@ func RenderTable1(rows []erasure.Table1Row) string {
 // Fig3Timeline runs a unit through the Figure-3 erasure timeline with
 // the scheduler and returns the observed (time, stage) sequence.
 func Fig3Timeline() ([]string, error) {
-	eng, err := buildTable1Scenario()
+	eng, err := buildTable1Scenario(compliance.BackendHeap)
 	if err != nil {
 		return nil, err
 	}

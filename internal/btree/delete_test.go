@@ -1,0 +1,256 @@
+package btree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// This file covers the shrink paths of Delete: leaf and inner-node
+// underflow, borrow-from-left/right, sibling merges cascading up
+// through inner nodes, root collapse, deleting down to empty and
+// rebuilding afterwards. The write path is covered elsewhere; these
+// invariant-checked sweeps are the regression net for rebalance bugs.
+
+// checkInvariants walks the whole tree and fails on any structural
+// violation: unequal leaf depths, under/overfull non-root nodes,
+// unsorted keys, separator mismatches, or a broken leaf chain.
+func checkInvariants(t *testing.T, tr *Tree) {
+	t.Helper()
+	leafDepth := -1
+	var walk func(n node, depth int, lo, hi []byte)
+	walk = func(n node, depth int, lo, hi []byte) {
+		if n != tr.root && underflow(n) {
+			t.Fatalf("non-root node underflows at depth %d (%d keys < %d)", depth, keyCount(n), minKeys)
+		}
+		if keyCount(n) > maxKeys {
+			t.Fatalf("node overfull at depth %d (%d keys)", depth, keyCount(n))
+		}
+		if n.isLeaf() {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				t.Fatalf("leaf at depth %d, expected %d", depth, leafDepth)
+			}
+			lf := n.(*leafNode)
+			for i, k := range lf.keys {
+				if i > 0 && bytes.Compare(lf.keys[i-1], k) >= 0 {
+					t.Fatalf("leaf keys out of order at %d", i)
+				}
+				if lo != nil && bytes.Compare(k, lo) < 0 {
+					t.Fatalf("leaf key %q below separator %q", k, lo)
+				}
+				if hi != nil && bytes.Compare(k, hi) >= 0 {
+					t.Fatalf("leaf key %q not below separator %q", k, hi)
+				}
+			}
+			return
+		}
+		in := n.(*innerNode)
+		if len(in.children) != len(in.keys)+1 {
+			t.Fatalf("inner node has %d children for %d keys", len(in.children), len(in.keys))
+		}
+		for i, k := range in.keys {
+			if i > 0 && bytes.Compare(in.keys[i-1], k) >= 0 {
+				t.Fatalf("inner keys out of order at %d", i)
+			}
+		}
+		for i, c := range in.children {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = in.keys[i-1]
+			}
+			if i < len(in.keys) {
+				chi = in.keys[i]
+			}
+			walk(c, depth+1, clo, chi)
+		}
+	}
+	walk(tr.root, 0, nil, nil)
+
+	// The leaf chain visits every key in order, forward and backward.
+	var fwd [][]byte
+	for lf := tr.firstLeaf(); lf != nil; lf = lf.next {
+		fwd = append(fwd, lf.keys...)
+		if lf.next != nil && lf.next.prev != lf {
+			t.Fatal("broken prev link in leaf chain")
+		}
+	}
+	if len(fwd) != tr.Len() {
+		t.Fatalf("leaf chain has %d keys, Len() says %d", len(fwd), tr.Len())
+	}
+	for i := 1; i < len(fwd); i++ {
+		if bytes.Compare(fwd[i-1], fwd[i]) >= 0 {
+			t.Fatalf("leaf chain out of order at %d", i)
+		}
+	}
+}
+
+// buildTree inserts n sequential keys (deep enough trees exercise
+// inner-node rebalancing: depth 3 needs > degree² keys).
+func buildTree(t *testing.T, n int) *Tree {
+	t.Helper()
+	tr := New()
+	for i := 0; i < n; i++ {
+		tr.Put(key(i), uint64(i))
+	}
+	return tr
+}
+
+// TestDeleteToEmptyAndReinsert drains the tree completely in several
+// orders, checking invariants as it shrinks, then rebuilds on the
+// emptied tree — the collapse-to-leaf-root path must leave a usable
+// tree behind.
+func TestDeleteToEmptyAndReinsert(t *testing.T) {
+	const n = 5000 // depth 3: inner nodes underflow below the root
+	orders := map[string]func([]int){
+		"ascending":  func([]int) {},
+		"descending": reverse,
+		"shuffled": func(s []int) {
+			rand.New(rand.NewSource(42)).Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+		},
+	}
+	for name, shuffle := range orders {
+		t.Run(name, func(t *testing.T) {
+			tr := buildTree(t, n)
+			checkInvariants(t, tr)
+			order := seq(n)
+			shuffle(order)
+			for idx, i := range order {
+				if !tr.Delete(key(i)) {
+					t.Fatalf("key %d not found", i)
+				}
+				if tr.Has(key(i)) {
+					t.Fatalf("key %d still present after delete", i)
+				}
+				// Checking every step is O(n²); sample the shrink.
+				if idx%257 == 0 || tr.Len() < degree*2 {
+					checkInvariants(t, tr)
+				}
+			}
+			if tr.Len() != 0 {
+				t.Fatalf("Len = %d after draining", tr.Len())
+			}
+			if _, _, ok := tr.Min(); ok {
+				t.Fatal("Min on drained tree")
+			}
+			// Reinsert into the drained tree: the collapsed root must
+			// grow back into a valid multi-level tree.
+			for i := 0; i < n; i++ {
+				tr.Put(key(i), uint64(i*3))
+			}
+			checkInvariants(t, tr)
+			if tr.Len() != n {
+				t.Fatalf("Len = %d after rebuild", tr.Len())
+			}
+			for i := 0; i < n; i += 97 {
+				if v, ok := tr.Get(key(i)); !ok || v != uint64(i*3) {
+					t.Fatalf("Get(%d) = %d,%v after rebuild", i, v, ok)
+				}
+			}
+		})
+	}
+}
+
+// TestDeleteBorrowPaths forces both borrow directions on leaves: drain
+// one leaf to underflow while its siblings can lend.
+func TestDeleteBorrowPaths(t *testing.T) {
+	// Two-level tree: root with several leaf children.
+	tr := buildTree(t, 4*degree)
+	checkInvariants(t, tr)
+	root := tr.root.(*innerNode)
+	if root.children[0].isLeaf() != true || len(root.children) < 3 {
+		t.Fatalf("setup: want a two-level tree with >= 3 leaves, got %d children", len(root.children))
+	}
+	// Delete from the leftmost leaf until it underflows: with no left
+	// sibling it must borrow from the right.
+	first := root.children[0].(*leafNode)
+	for i := 0; keyCount(first) >= minKeys && i < maxKeys; i++ {
+		k := append([]byte(nil), first.keys[0]...)
+		if !tr.Delete(k) {
+			t.Fatalf("delete %q", k)
+		}
+	}
+	checkInvariants(t, tr)
+	// Delete from a middle leaf until it underflows: it prefers its
+	// left sibling.
+	root = tr.root.(*innerNode)
+	if len(root.children) >= 3 {
+		mid := root.children[1].(*leafNode)
+		for i := 0; keyCount(mid) >= minKeys && i < maxKeys; i++ {
+			k := append([]byte(nil), mid.keys[0]...)
+			if !tr.Delete(k) {
+				t.Fatalf("delete %q", k)
+			}
+		}
+	}
+	checkInvariants(t, tr)
+}
+
+// TestDeleteMergeCascadesThroughInnerNodes shrinks a three-level tree
+// until inner nodes themselves merge and the root collapses a level.
+func TestDeleteMergeCascadesThroughInnerNodes(t *testing.T) {
+	const n = 8192 // comfortably depth 3 at degree 64
+	tr := buildTree(t, n)
+	if tr.root.isLeaf() {
+		t.Fatal("setup: tree too shallow")
+	}
+	if _, ok := tr.root.(*innerNode).children[0].(*innerNode); !ok {
+		t.Fatal("setup: want inner nodes below the root")
+	}
+	// Delete the middle range: inner nodes in the middle of the tree
+	// lose children, borrow across inner siblings, and merge.
+	for i := n / 4; i < 3*n/4; i++ {
+		if !tr.Delete(key(i)) {
+			t.Fatalf("delete %d", i)
+		}
+		if i%513 == 0 {
+			checkInvariants(t, tr)
+		}
+	}
+	checkInvariants(t, tr)
+	// Drain the rest; the root must collapse back to a single leaf.
+	for i := 0; i < n/4; i++ {
+		tr.Delete(key(i))
+	}
+	for i := 3 * n / 4; i < n; i++ {
+		tr.Delete(key(i))
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if !tr.root.isLeaf() {
+		t.Fatal("root did not collapse to a leaf")
+	}
+	checkInvariants(t, tr)
+}
+
+// TestDeleteRandomizedAgainstReference hammers delete-heavy traffic on
+// a deep tree against a map reference with invariant checks.
+func TestDeleteRandomizedAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New()
+	ref := make(map[string]uint64)
+	for round := 0; round < 30000; round++ {
+		i := rng.Intn(6000)
+		k := key(i)
+		if rng.Intn(3) == 0 {
+			tr.Put(k, uint64(round))
+			ref[string(k)] = uint64(round)
+		} else {
+			deleted := tr.Delete(k)
+			_, want := ref[string(k)]
+			if deleted != want {
+				t.Fatalf("round %d: Delete(%d) = %v, reference %v", round, i, deleted, want)
+			}
+			delete(ref, string(k))
+		}
+		if round%4999 == 0 {
+			checkInvariants(t, tr)
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, reference %d", tr.Len(), len(ref))
+	}
+	checkInvariants(t, tr)
+}

@@ -1,0 +1,254 @@
+package compliance
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/datacase/datacase/internal/erasure"
+	"github.com/datacase/datacase/internal/storage"
+)
+
+// lsmTestProfile grounds P_Base on the LSM backend with a memtable
+// small enough that the test datasets actually reach sstable runs (the
+// tombstone retention hazard needs flushed data to exist) and a tight
+// purge window so the erase-aware compaction runs inside the tests.
+func lsmTestProfile() Profile {
+	p := PBase()
+	p.Backend = BackendLSM
+	p.LSMFlushEntries = 8
+	p.PurgeWithinOps = 32
+	return p
+}
+
+// TestOpenRejectsUnknownBackend pins the Profile.Backend validation.
+func TestOpenRejectsUnknownBackend(t *testing.T) {
+	p := PBase()
+	p.Backend = "rocksdb"
+	if _, err := Open(p); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if _, err := OpenSharded(p, 2); err == nil {
+		t.Fatal("unknown backend accepted by OpenSharded")
+	}
+}
+
+// TestLSMBackendServesWorkload: basic CRUD plus subject rights on an
+// LSM-backed sharded deployment.
+func TestLSMBackendServesWorkload(t *testing.T) {
+	s, err := OpenSharded(lsmTestProfile(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := s.Create(recTestRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.ReadData(EntityController, PurposeService, recTestKey(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UpdateData(EntityController, PurposeService, recTestKey(3), []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteData(EntityController, recTestKey(4)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := s.SubjectAccess(recTestSubject(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("subject access returned nothing")
+	}
+	if got := s.Len(); got != 29 {
+		t.Fatalf("Len = %d, want 29", got)
+	}
+	// The LSM shards run the LSM engine, and deletes registered purge
+	// obligations.
+	var registered uint64
+	for i := 0; i < s.NumShards(); i++ {
+		if _, ok := s.Shard(i).Engine().(*storage.LSM); !ok {
+			t.Fatalf("shard %d engine is %T", i, s.Shard(i).Engine())
+		}
+		registered += s.Shard(i).Engine().Stats().PurgesRegistered
+	}
+	if registered == 0 {
+		t.Fatal("no purge obligation registered for the delete")
+	}
+}
+
+// TestCrashPointMatrixLSM: an LSM-backed ShardedDB passes the existing
+// crash-point matrix unchanged — op-boundary digest equality, erased
+// subjects staying erased, reads after recovery.
+func TestCrashPointMatrixLSM(t *testing.T) {
+	p := lsmTestProfile()
+	p.CheckpointEveryOps = 7
+	runCrashPointMatrix(t, p)
+}
+
+// TestCrashDuringEraseNeverResurrectsLSM: the erase-atomicity property
+// holds on the LSM backend too. Run with -race: writers, erasure and
+// image capture race by design.
+func TestCrashDuringEraseNeverResurrectsLSM(t *testing.T) {
+	runCrashDuringErase(t, lsmTestProfile())
+}
+
+// TestEraseSubjectForensicallyCleanBothBackends is the acceptance pin
+// for erase-aware compaction at the compliance level: after
+// EraseSubject plus the bounded purge window, a forensic scan of the
+// subject's bytes finds nothing — no memtable entry, no sstable run,
+// no heap page — and erasure.Verify passes for every erased key on
+// both backends.
+func TestEraseSubjectForensicallyCleanBothBackends(t *testing.T) {
+	profiles := map[string]Profile{BackendHeap: PBase(), BackendLSM: lsmTestProfile()}
+	for name, p := range profiles {
+		t.Run(name, func(t *testing.T) {
+			// Tight vacuum policy so the heap reclaims inside the same
+			// bounded window the LSM purge obligations get.
+			p.VacuumCheckEvery = 8
+			p.VacuumThreshold = 0.01
+			s, err := OpenSharded(p, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const victim = "forensic-victim-zq9"
+			var victimKeys []string
+			for i := 0; i < 48; i++ {
+				rec := recTestRecord(i)
+				if i%3 == 0 {
+					rec.Subject = victim
+					victimKeys = append(victimKeys, rec.Key)
+				}
+				if err := s.Create(rec); err != nil {
+					t.Fatal(err)
+				}
+			}
+			home := SubjectShard(victim, s.NumShards())
+			engine := s.Shard(home).Engine()
+			if !engine.ForensicScan([]byte(victim)) {
+				t.Fatal("setup: subject bytes should be resident before erasure")
+			}
+			// The purge window is per engine, so the post-erasure traffic
+			// must land on the victim's home shard: pick a surviving
+			// bystander key co-located with it.
+			tickKey := ""
+			for i := 0; i < 48; i++ {
+				k := recTestKey(i)
+				if idx, ok := s.ShardIndexOf(k); ok && idx == home && i%3 != 0 {
+					tickKey = k
+					break
+				}
+			}
+			if tickKey == "" {
+				t.Fatal("setup: no bystander record on the victim's home shard")
+			}
+			erased, err := s.EraseSubject(EntitySystem, victim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if erased != len(victimKeys) {
+				t.Fatalf("erased %d of %d records", erased, len(victimKeys))
+			}
+			// Bounded window: ordinary traffic on other subjects. 64
+			// driver ops is several engine-level purge windows; the
+			// scan runs before each update and once after the last.
+			clean := -1
+			for ops := 0; ops <= 64; ops++ {
+				if !engine.ForensicScan([]byte(victim)) {
+					clean = ops
+					break
+				}
+				if ops == 64 {
+					break
+				}
+				err := s.UpdateData(EntityController, PurposeService,
+					tickKey, []byte(fmt.Sprintf("tick-%d", ops)))
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if clean < 0 {
+				t.Fatal("subject bytes still physically resident after the bounded purge window")
+			}
+			for _, k := range victimKeys {
+				if err := erasure.Verify(engine, engine.Log(), []byte(k)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if pg, ok := engine.(storage.Purger); ok {
+				if pg.PendingPurges() != 0 {
+					t.Fatalf("%d purge obligations still pending", pg.PendingPurges())
+				}
+				if engine.Stats().PurgesDischarged == 0 {
+					t.Fatal("no purge obligation was discharged")
+				}
+			}
+		})
+	}
+}
+
+// TestLSMRecoveryReRegistersPurges: a crash between a delete and its
+// purge compaction must not lose the bounded-residency obligation —
+// recovery re-registers it from the replayed delete.
+func TestLSMRecoveryReRegistersPurges(t *testing.T) {
+	p := lsmTestProfile()
+	p.PurgeWithinOps = 1 << 30 // never self-discharge: the obligation must survive as such
+	s, err := OpenSharded(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := s.Create(recTestRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.DeleteData(EntityController, recTestKey(2)); err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := RecoverSharded(s.Profile(), s.SegmentImages())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, ok := r.Shard(0).Engine().(storage.Purger)
+	if !ok {
+		t.Fatalf("recovered engine is %T", r.Shard(0).Engine())
+	}
+	if pg.PendingPurges() == 0 {
+		t.Fatal("recovery dropped the purge obligation of the replayed delete")
+	}
+	if n := pg.ForcePurge(); n == 0 {
+		t.Fatal("recovered obligation does not discharge")
+	}
+	if r.Shard(0).Engine().ForensicScan([]byte(recTestKey(2))) {
+		t.Fatal("deleted key physically resident after recovered purge")
+	}
+}
+
+// TestLSMSpaceReportsShadowedVersions: the Table-2 path works on the
+// LSM backend and its dead entries surface the retention hazard.
+func TestLSMSpaceReportsShadowedVersions(t *testing.T) {
+	p := lsmTestProfile()
+	p.PurgeWithinOps = 1 << 30 // keep the hazard visible
+	db, err := Open(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if err := db.Create(recTestRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if err := db.DeleteData(EntityController, recTestKey(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := db.Space()
+	if rep.TotalBytes <= 0 || rep.PersonalBytes <= 0 {
+		t.Fatalf("space report: %+v", rep)
+	}
+	sp := db.Engine().Space()
+	if sp.DeadEntries == 0 || sp.DeadBytes == 0 {
+		t.Fatalf("no shadowed/tombstoned entries visible: %+v", sp)
+	}
+}

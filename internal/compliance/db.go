@@ -13,7 +13,8 @@ import (
 	"github.com/datacase/datacase/internal/gdprbench"
 	"github.com/datacase/datacase/internal/policy"
 	"github.com/datacase/datacase/internal/provenance"
-	"github.com/datacase/datacase/internal/storage/heap"
+	"github.com/datacase/datacase/internal/storage"
+	"github.com/datacase/datacase/internal/storage/lsm"
 	"github.com/datacase/datacase/internal/wal"
 )
 
@@ -75,7 +76,7 @@ type DB struct {
 	// breach notification) advance with traffic anywhere, not just on
 	// the shard holding the deadline.
 	clock    *core.Clock
-	data     *heap.Table
+	data     storage.Engine
 	policies policy.Engine
 	logger   audit.Logger
 	sealer   cryptox.Sealer
@@ -158,10 +159,14 @@ func openNamed(p Profile, tableName string, clock *core.Clock) (*DB, error) {
 	if p.SerialWAL {
 		log = wal.NewSerial()
 	}
+	data, err := newEngine(p, tableName, log)
+	if err != nil {
+		return nil, err
+	}
 	db := &DB{
 		profile:  p,
 		clock:    clock,
-		data:     heap.NewTable(tableName, log),
+		data:     data,
 		policies: p.NewPolicyEngine(),
 		logger:   logger,
 		prov:     provenance.NewGraph(),
@@ -198,8 +203,29 @@ func openNamed(p Profile, tableName string, clock *core.Clock) (*DB, error) {
 	return db, nil
 }
 
+// newEngine builds the profile's storage backend for one data table.
+func newEngine(p Profile, tableName string, log *wal.Log) (storage.Engine, error) {
+	switch p.Backend {
+	case "", BackendHeap:
+		return storage.NewHeap(tableName, log), nil
+	case BackendLSM:
+		return storage.NewLSM(tableName, log, lsm.Options{
+			PurgeWithinOps:       p.PurgeWithinOps,
+			MemtableFlushEntries: p.LSMFlushEntries,
+		}), nil
+	default:
+		// validate rejects unknown backends before this runs; keep the
+		// error anyway for callers constructing engines directly.
+		return nil, fmt.Errorf("compliance: unknown storage backend %q", p.Backend)
+	}
+}
+
 // Profile returns the profile the DB was opened with.
 func (db *DB) Profile() Profile { return db.profile }
+
+// Engine exposes the deployment's storage engine (tests, reports and
+// backend-specific statistics such as purge-obligation counters).
+func (db *DB) Engine() storage.Engine { return db.data }
 
 // Counters returns a snapshot of the op counters.
 func (db *DB) Counters() Counters {
@@ -363,7 +389,7 @@ func (db *DB) Create(rec gdprbench.Record) error {
 		return err
 	}
 	row := encodeRecord(storedRecord{Meta: meta, Blob: blob})
-	if _, err := db.data.Insert([]byte(rec.Key), row); err != nil {
+	if err := db.data.Insert([]byte(rec.Key), row); err != nil {
 		return err
 	}
 	db.personalBytes += int64(len(rec.Payload))
@@ -489,7 +515,7 @@ func (db *DB) UpdateData(entity core.EntityID, purpose core.Purpose, key string,
 		return err
 	}
 	rec.Blob = blob
-	if _, err := db.data.Update([]byte(key), encodeRecord(rec)); err != nil {
+	if err := db.data.Update([]byte(key), encodeRecord(rec)); err != nil {
 		return err
 	}
 	db.personalBytes += int64(len(payload)) - int64(len(oldPayload))
@@ -545,14 +571,18 @@ func (db *DB) deleteDataLocked(entity core.EntityID, key string) error {
 		db.counters.NotFound++
 		return fmt.Errorf("%w: %s", ErrNotFound, key)
 	}
+	// On purge-capable backends (LSM), a regulation-mandated delete is
+	// not done with the tombstone: register the obligation that bounds
+	// how long the shadowed versions may stay physically resident.
+	if pg, ok := db.data.(storage.Purger); ok {
+		pg.RegisterPurge([]byte(key))
+	}
 	if db.onDelete != nil {
 		db.onDelete(key)
 	}
 	unit := core.UnitID(key)
 	db.policies.RevokePolicies(unit)
-	sysAction := map[VacuumStyle]string{
-		VacuumNone: "DELETE", VacuumLazy: "DELETE+VACUUM", VacuumFull: "DELETE+VACUUM FULL",
-	}[db.profile.Vacuum]
+	sysAction := db.deleteSysAction()
 	if db.profile.EraseLogsOnDelete {
 		// Erase log entries of the unit first, then log the erasure
 		// itself — the surviving record demonstrates compliance.
@@ -665,7 +695,7 @@ func (db *DB) UpdateMeta(entity core.EntityID, purpose core.Purpose, key, newPur
 		rec.Meta.Consented = append(rec.Meta.Consented, newPurpose)
 	}
 	newRow := encodeRecord(rec)
-	if _, err := db.data.Update([]byte(key), newRow); err != nil {
+	if err := db.data.Update([]byte(key), newRow); err != nil {
 		return err
 	}
 	db.metaBytes += int64(len(newRow)-len(rec.Blob)) - oldLen
@@ -803,8 +833,26 @@ func (db *DB) logOp(tuple core.HistoryTuple, query string, response []byte, snap
 	}
 }
 
+// deleteSysAction names the physical grounding a delete actually runs
+// under on this deployment's backend — the audit trail is compliance
+// evidence and must not claim a vacuum that the engine cannot perform.
+func (db *DB) deleteSysAction() string {
+	switch db.data.(type) {
+	case storage.Vacuumer:
+		return map[VacuumStyle]string{
+			VacuumNone: "DELETE", VacuumLazy: "DELETE+VACUUM", VacuumFull: "DELETE+VACUUM FULL",
+		}[db.profile.Vacuum]
+	case storage.Purger:
+		return "DELETE+purge compaction"
+	default:
+		return "DELETE"
+	}
+}
+
 // afterMutation runs the autovacuum policy, the clock-note schedule and
-// the checkpointer.
+// the checkpointer. The vacuum grounding only applies to backends with
+// the Vacuumer capability; on the LSM backend reclamation is driven by
+// the purge obligations the deletes registered.
 func (db *DB) afterMutation() {
 	db.noteClockLocked(false)
 	db.maybeCheckpointLocked()
@@ -816,15 +864,19 @@ func (db *DB) afterMutation() {
 		return
 	}
 	db.mutationsSinceCheck = 0
-	if db.data.DeadRatio() < db.profile.VacuumThreshold {
+	v, ok := db.data.(storage.Vacuumer)
+	if !ok {
+		return
+	}
+	if v.DeadRatio() < db.profile.VacuumThreshold {
 		return
 	}
 	switch db.profile.Vacuum {
 	case VacuumLazy:
-		db.data.Vacuum()
+		v.VacuumLazy()
 		db.counters.Vacuums++
 	case VacuumFull:
-		db.data.VacuumFull()
+		v.VacuumFullRewrite()
 		db.counters.VacuumFulls++
 	}
 }

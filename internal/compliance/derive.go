@@ -6,6 +6,7 @@ import (
 	"github.com/datacase/datacase/internal/core"
 	"github.com/datacase/datacase/internal/policy"
 	"github.com/datacase/datacase/internal/provenance"
+	"github.com/datacase/datacase/internal/storage"
 )
 
 // This file adds derived data to the deployments: records computed from
@@ -111,7 +112,7 @@ func (db *DB) insertDerivedLocked(entity core.EntityID, purpose core.Purpose, ne
 		return err
 	}
 	row := encodeRecord(storedRecord{Meta: meta, Blob: blob})
-	if _, err := db.data.Insert([]byte(newKey), row); err != nil {
+	if err := db.data.Insert([]byte(newKey), row); err != nil {
 		return err
 	}
 	db.personalBytes += int64(len(derived))
@@ -226,6 +227,11 @@ func (db *DB) cascadeDependents(unit core.UnitID, subject []byte, entity core.En
 		}
 		if err := db.data.Delete([]byte(dep)); err != nil {
 			continue
+		}
+		// The cascade is part of the strong delete: its targets get the
+		// same bounded-residency guarantee as the primary record.
+		if pg, ok := db.data.(storage.Purger); ok {
+			pg.RegisterPurge([]byte(dep))
 		}
 		if db.onDelete != nil {
 			db.onDelete(string(dep))

@@ -54,10 +54,41 @@ func (v VacuumStyle) String() string {
 	}
 }
 
+// Storage backends for Profile.Backend.
+const (
+	// BackendHeap is the PostgreSQL-style heap engine: deletes mark
+	// tuples dead in place and the vacuum family physically reclaims
+	// them (the default).
+	BackendHeap = "heap"
+	// BackendLSM is the Cassandra-style LSM engine: deletes write
+	// tombstones and the erased bytes stay physically resident until
+	// compaction — with every regulation-mandated delete registering a
+	// purge obligation that bounds that residency (erase-aware
+	// compaction).
+	BackendLSM = "lsm"
+)
+
 // Profile is a complete, grounded interpretation of GDPR compliance.
 type Profile struct {
 	Name        string
 	Description string
+
+	// Backend selects the storage engine of the data table: BackendHeap
+	// (the default when empty) or BackendLSM. Every shard of a sharded
+	// deployment uses the same backend; crash recovery rebuilds against
+	// the profile's backend, so recover with the crashed deployment's
+	// Profile().
+	Backend string
+	// PurgeWithinOps bounds, for BackendLSM, how many storage
+	// operations a purge obligation (registered by every
+	// regulation-mandated delete) may stay undischarged before the
+	// engine forces the purge compaction. 0 selects the engine default.
+	PurgeWithinOps int
+	// LSMFlushEntries sets, for BackendLSM, the memtable size in
+	// entries before a flush to an sstable run. 0 selects the engine
+	// default; tests and benchmarks shrink it so the tombstone
+	// retention hazard (shadowed versions in runs) actually forms.
+	LSMFlushEntries int
 
 	// NewPolicyEngine builds the profile's access-control engine.
 	NewPolicyEngine func() policy.Engine
@@ -137,6 +168,9 @@ func (p Profile) validate() error {
 			p.Name, len(p.PayloadKey), int(p.PayloadCipher))
 	case p.VacuumThreshold < 0 || p.VacuumThreshold > 1:
 		return fmt.Errorf("compliance: profile %s has vacuum threshold %f", p.Name, p.VacuumThreshold)
+	case p.Backend != "" && p.Backend != BackendHeap && p.Backend != BackendLSM:
+		return fmt.Errorf("compliance: profile %s has unknown storage backend %q (want %q or %q)",
+			p.Name, p.Backend, BackendHeap, BackendLSM)
 	}
 	return nil
 }

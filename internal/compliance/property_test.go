@@ -23,7 +23,15 @@ type refRecord struct {
 // workhorse: it exercises policy engines, loggers, crypto, vacuum paths
 // and erasure cascades together.
 func TestDBAgainstReferenceProperty(t *testing.T) {
+	// The three paper profiles on the heap backend, plus each on the
+	// LSM backend with a small memtable — decision equivalence must
+	// hold whatever the storage engine.
 	profiles := Profiles()
+	for _, p := range Profiles() {
+		p.Backend = BackendLSM
+		p.LSMFlushEntries = 16
+		profiles = append(profiles, p)
+	}
 	f := func(seed int64, profileIdx uint8) bool {
 		p := profiles[int(profileIdx)%len(profiles)]
 		db, err := Open(p)

@@ -10,6 +10,7 @@ import (
 	"github.com/datacase/datacase/internal/fanout"
 	"github.com/datacase/datacase/internal/gdprbench"
 	"github.com/datacase/datacase/internal/policy"
+	"github.com/datacase/datacase/internal/storage"
 	"github.com/datacase/datacase/internal/wal"
 )
 
@@ -351,7 +352,7 @@ func (db *DB) recoverUpsert(key, row []byte, maxTime *int64) error {
 	unit := core.UnitID(key)
 	old, existed := db.data.Get(key)
 	if !existed {
-		if _, err := db.data.Insert(key, row); err != nil {
+		if err := db.data.Insert(key, row); err != nil {
 			return err
 		}
 		db.personalBytes += db.plaintextLen(rec.Blob)
@@ -362,7 +363,7 @@ func (db *DB) recoverUpsert(key, row []byte, maxTime *int64) error {
 	if err != nil {
 		return fmt.Errorf("compliance: recovery: stored row for %q: %w", key, err)
 	}
-	if _, err := db.data.Update(key, row); err != nil {
+	if err := db.data.Update(key, row); err != nil {
 		return err
 	}
 	db.personalBytes += db.plaintextLen(rec.Blob) - db.plaintextLen(oldRec.Blob)
@@ -371,10 +372,15 @@ func (db *DB) recoverUpsert(key, row []byte, maxTime *int64) error {
 }
 
 // recoverDelete redoes a delete; already-gone keys are tolerated (redo
-// is idempotent).
+// is idempotent). On purge-capable backends the redone delete
+// re-registers its purge obligation: the recovered deployment owes the
+// same bounded physical erasure the crashed one did.
 func (db *DB) recoverDelete(key string) {
 	if err := db.data.Delete([]byte(key)); err != nil {
 		return
+	}
+	if pg, ok := db.data.(storage.Purger); ok {
+		pg.RegisterPurge([]byte(key))
 	}
 	unit := core.UnitID(key)
 	db.policies.RevokePolicies(unit)

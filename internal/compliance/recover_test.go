@@ -130,6 +130,14 @@ func matrixScript(s *ShardedDB, batchedErase bool) ([]func() error, int) {
 func TestCrashPointMatrix(t *testing.T) {
 	p := PBase()
 	p.CheckpointEveryOps = 7 // several checkpoints + truncations inside the sweep
+	runCrashPointMatrix(t, p)
+}
+
+// runCrashPointMatrix is the matrix body, shared with the LSM-backed
+// variant in backend_test.go: the crash-consistency guarantee is a
+// property of the WAL protocol, not of one storage engine.
+func runCrashPointMatrix(t *testing.T, p Profile) {
+	t.Helper()
 	s, err := OpenShardedWorkers(p, 4, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -344,8 +352,14 @@ func TestCrashPointMatrixTornTail(t *testing.T) {
 // erasure.Verify must pass for every erased record. Run with -race: the
 // writers, the erasure and the image capture race by design.
 func TestCrashDuringEraseNeverResurrects(t *testing.T) {
+	runCrashDuringErase(t, PBase())
+}
+
+// runCrashDuringErase is the erase-atomicity body, shared with the
+// LSM-backed variant in backend_test.go.
+func runCrashDuringErase(t *testing.T, p Profile) {
+	t.Helper()
 	const subjects = 6
-	p := PBase()
 	s, err := OpenShardedWorkers(p, 4, 4)
 	if err != nil {
 		t.Fatal(err)

@@ -46,7 +46,8 @@ func (db *DB) Space() SpaceReport {
 	rep.IndexBytes = sp.IndexBytes
 	rep.LogBytes = db.logger.SizeBytes()
 	rep.MetadataBytes = db.metaBytes + db.policies.SpaceBytes()
-	rep.TotalBytes = sp.TotalBytes + sp.IndexBytes + db.policies.SpaceBytes()
+	// Engine TotalBytes already includes the index/filter footprint.
+	rep.TotalBytes = sp.TotalBytes + db.policies.SpaceBytes()
 	if db.blockdev != nil {
 		rep.TotalBytes += int64(db.blockdev.Sectors()) * int64(db.blockdev.SectorLen)
 	}

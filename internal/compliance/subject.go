@@ -209,7 +209,7 @@ func (db *DB) Object(key string) error {
 	}
 	if !rec.Meta.Objected {
 		rec.Meta.Objected = true
-		if _, err := db.data.Update([]byte(key), encodeRecord(rec)); err != nil {
+		if err := db.data.Update([]byte(key), encodeRecord(rec)); err != nil {
 			return err
 		}
 	}

@@ -18,7 +18,7 @@ import (
 	"github.com/datacase/datacase/internal/cryptox"
 	"github.com/datacase/datacase/internal/policy"
 	"github.com/datacase/datacase/internal/provenance"
-	"github.com/datacase/datacase/internal/storage/heap"
+	"github.com/datacase/datacase/internal/storage"
 	"github.com/datacase/datacase/internal/wal"
 )
 
@@ -29,11 +29,13 @@ var inaccessibleMarker = []byte("\x00INACCESSIBLE\x01")
 
 // Target bundles everything an erasure grounding touches. Log and WAL
 // may be nil (not every profile keeps them); everything else is
-// required.
+// required. Data is any storage engine: the groundings reclaim through
+// its capability interfaces (storage.Vacuumer on the heap,
+// storage.Purger on the LSM) and sanitize through cryptox.Sanitizable.
 type Target struct {
 	DB       *core.Database
 	History  *core.History
-	Data     *heap.Table
+	Data     storage.Engine
 	Keys     *cryptox.Keyring
 	Policies policy.Engine
 	Log      audit.Logger
@@ -173,7 +175,7 @@ func (e *Engine) makeInaccessible(unit core.UnitID, rep *Report) error {
 	if err != nil {
 		return err
 	}
-	if _, err := e.t.Data.Update(key, append(append([]byte(nil), inaccessibleMarker...), sealed...)); err != nil {
+	if err := e.t.Data.Update(key, append(append([]byte(nil), inaccessibleMarker...), sealed...)); err != nil {
 		return err
 	}
 	if err := e.t.Keys.Lock(string(unit)); err != nil {
@@ -213,7 +215,7 @@ func (e *Engine) Restore(unit core.UnitID) error {
 	if err != nil {
 		return err
 	}
-	if _, err := e.t.Data.Update(key, plain); err != nil {
+	if err := e.t.Data.Update(key, plain); err != nil {
 		return err
 	}
 	e.mu.Lock()
@@ -235,13 +237,33 @@ func (e *Engine) Restore(unit core.UnitID) error {
 }
 
 // delete implements the "deleted" grounding: the data and all its copies
-// are physically erased — heap row deleted and vacuumed, key shredded,
+// are physically erased — record deleted and reclaimed, key shredded,
 // policies revoked. Derived data survives (II remains possible: Table 1).
 func (e *Engine) delete(unit core.UnitID, rep *Report, now core.Time) error {
 	e.eraseOne(unit, rep, now)
-	e.t.Data.Vacuum()
-	rep.SystemActions = append(rep.SystemActions, "DELETE+VACUUM")
+	rep.SystemActions = append(rep.SystemActions, e.reclaim(false))
 	return nil
+}
+
+// reclaim runs the engine-appropriate physical half of a delete
+// grounding and names the system-action taken: the vacuum family on
+// heap backends, a purge compaction (discharging the obligations
+// eraseOne registered) on LSM backends.
+func (e *Engine) reclaim(full bool) string {
+	switch data := e.t.Data.(type) {
+	case storage.Vacuumer:
+		if full {
+			data.VacuumFullRewrite()
+			return "DELETE+VACUUM FULL"
+		}
+		data.VacuumLazy()
+		return "DELETE+VACUUM"
+	case storage.Purger:
+		data.ForcePurge()
+		return "DELETE+purge compaction"
+	default:
+		return "DELETE"
+	}
 }
 
 // strongDelete implements strong (and, with sanitize, permanent)
@@ -276,8 +298,7 @@ func (e *Engine) strongDelete(unit core.UnitID, rep *Report, now core.Time, sani
 		rep.DependentsErased = append(rep.DependentsErased, dep)
 		e.recordErase(dep, core.EraseStrongDelete, []string{"DELETE (dependent)"}, now)
 	}
-	e.t.Data.VacuumFull()
-	rep.SystemActions = append(rep.SystemActions, "DELETE+VACUUM FULL")
+	rep.SystemActions = append(rep.SystemActions, e.reclaim(true))
 
 	// Scrub system logs of the erased units (§4.2: P_SYS deletes logs of
 	// the data units being deleted).
@@ -305,7 +326,11 @@ func (e *Engine) strongDelete(unit core.UnitID, rep *Report, now core.Time, sani
 	}
 
 	if sanitize {
-		sr, err := cryptox.Sanitize(e.t.Data)
+		san, ok := e.t.Data.(cryptox.Sanitizable)
+		if !ok {
+			return fmt.Errorf("erasure: storage engine %T supports no sanitization", e.t.Data)
+		}
+		sr, err := cryptox.Sanitize(san)
 		if err != nil {
 			return err
 		}
@@ -323,9 +348,14 @@ func (e *Engine) strongDelete(unit core.UnitID, rep *Report, now core.Time, sani
 // model state. Missing heap rows are tolerated (already deleted).
 func (e *Engine) eraseOne(unit core.UnitID, rep *Report, now core.Time) {
 	key := []byte(unit)
-	if err := e.t.Data.Delete(key); err != nil && !errors.Is(err, heap.ErrKeyNotFound) {
+	if err := e.t.Data.Delete(key); err != nil && !errors.Is(err, storage.ErrKeyNotFound) {
 		// Delete only fails on absence; anything else would be a bug.
 		panic(err)
+	}
+	// On purge-capable backends the delete's shadowed versions get the
+	// bounded-residency obligation; reclaim discharges it.
+	if pg, ok := e.t.Data.(storage.Purger); ok {
+		pg.RegisterPurge(key)
 	}
 	e.t.Keys.Shred(string(unit))
 	rep.PoliciesRevoked += e.t.Policies.RevokePolicies(unit)

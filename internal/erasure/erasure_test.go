@@ -9,7 +9,7 @@ import (
 	"github.com/datacase/datacase/internal/cryptox"
 	"github.com/datacase/datacase/internal/policy"
 	"github.com/datacase/datacase/internal/provenance"
-	"github.com/datacase/datacase/internal/storage/heap"
+	"github.com/datacase/datacase/internal/storage"
 	"github.com/datacase/datacase/internal/wal"
 )
 
@@ -30,7 +30,7 @@ func buildScenario(t *testing.T) *scenario {
 	t.Helper()
 	db := core.NewDatabase()
 	hist := core.NewHistory()
-	table := heap.NewTable("personal", nil)
+	table := storage.NewHeap("personal", nil)
 	keys, err := cryptox.NewKeyring(cryptox.AES256)
 	if err != nil {
 		t.Fatal(err)
@@ -49,7 +49,7 @@ func buildScenario(t *testing.T) *scenario {
 	if err := db.Add(base); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := table.Insert([]byte("cc-1234"), []byte(secret)); err != nil {
+	if err := table.Insert([]byte("cc-1234"), []byte(secret)); err != nil {
 		t.Fatal(err)
 	}
 	if err := pols.AttachPolicy("cc-1234", "user-1234",
@@ -62,7 +62,7 @@ func buildScenario(t *testing.T) *scenario {
 	if err := db.Add(derived); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := table.Insert([]byte("cc-last4"), []byte("1111")); err != nil {
+	if err := table.Insert([]byte("cc-last4"), []byte("1111")); err != nil {
 		t.Fatal(err)
 	}
 	if err := prov.AddDerivation(provenance.Derivation{
@@ -78,7 +78,7 @@ func buildScenario(t *testing.T) *scenario {
 	if err := db.Add(agg); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := table.Insert([]byte("spend-agg"), []byte("aggregate")); err != nil {
+	if err := table.Insert([]byte("spend-agg"), []byte("aggregate")); err != nil {
 		t.Fatal(err)
 	}
 	if err := prov.AddDerivation(provenance.Derivation{
@@ -234,7 +234,7 @@ func TestPermanentDelete(t *testing.T) {
 	if !rep.Sanitize.Verified || rep.Sanitize.Passes < 3 {
 		t.Fatalf("sanitize report = %+v", rep.Sanitize)
 	}
-	if !s.target.Data.VerifySanitized(0x00) {
+	if !s.target.Data.(cryptox.Sanitizable).VerifySanitized(0x00) {
 		t.Fatal("pages not sanitized")
 	}
 	// Provenance metadata gone too.

@@ -11,7 +11,7 @@ import (
 	"github.com/datacase/datacase/internal/cryptox"
 	"github.com/datacase/datacase/internal/policy"
 	"github.com/datacase/datacase/internal/provenance"
-	"github.com/datacase/datacase/internal/storage/heap"
+	"github.com/datacase/datacase/internal/storage"
 	"github.com/datacase/datacase/internal/wal"
 )
 
@@ -21,7 +21,7 @@ func buildShardTarget(t *testing.T, shard int, units []core.UnitID) *Engine {
 	t.Helper()
 	db := core.NewDatabase()
 	hist := core.NewHistory()
-	table := heap.NewTable(fmt.Sprintf("personal/shard-%d", shard), nil)
+	table := storage.NewHeap(fmt.Sprintf("personal/shard-%d", shard), nil)
 	keys, err := cryptox.NewKeyring(cryptox.AES256)
 	if err != nil {
 		t.Fatal(err)
@@ -34,7 +34,7 @@ func buildShardTarget(t *testing.T, shard int, units []core.UnitID) *Engine {
 		if err := db.Add(unit); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := table.Insert([]byte(u), []byte("payload-"+string(u))); err != nil {
+		if err := table.Insert([]byte(u), []byte("payload-"+string(u))); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -5,22 +5,24 @@ import (
 	"fmt"
 
 	"github.com/datacase/datacase/internal/core"
-	"github.com/datacase/datacase/internal/storage/heap"
+	"github.com/datacase/datacase/internal/cryptox"
+	"github.com/datacase/datacase/internal/storage"
 	"github.com/datacase/datacase/internal/wal"
 )
 
 // Verify checks that an erased unit left no zombie records on the
-// operational path: no live heap tuple under the key, and no
+// operational path of any storage engine: no live record under the key
+// — heap tuple or LSM version, memtable or sstable run — and no
 // value-bearing WAL record (insert/update) that a replay could use to
 // resurrect it after the record's delete was lost. Crash-recovery tests
 // call it after replaying a crash cut mid-erasure — "deleted means
 // deleted" must hold on the recovered state too. A nil log skips the
 // WAL check. Delete records and tombstones carrying the key are not
 // zombies: they are the durable evidence of the erasure itself, and the
-// heap check above proves the replayed log nets out to "gone".
-func Verify(data *heap.Table, log *wal.Log, key []byte) error {
+// liveness check above proves the replayed log nets out to "gone".
+func Verify(data storage.Engine, log *wal.Log, key []byte) error {
 	if data.Has(key) {
-		return fmt.Errorf("erasure: zombie heap tuple for %q", key)
+		return fmt.Errorf("erasure: zombie record for %q", key)
 	}
 	if log == nil {
 		return nil
@@ -115,8 +117,11 @@ func (e *Engine) VerifyErased(unit core.UnitID, original []byte) Properties {
 		p.Evidence = append(p.Evidence, "no key, no remnants: transformation not invertible")
 	}
 
-	// Sanitized: every non-live byte verifies as zeroed.
-	if e.t.Data.VerifySanitized(0x00) {
+	// Sanitized: every non-live byte verifies as removed/zeroed —
+	// zeroed page free space on the heap, no tombstones or shadowed
+	// versions on the LSM. Backends without the capability cannot claim
+	// the property.
+	if san, ok := e.t.Data.(cryptox.Sanitizable); ok && san.VerifySanitized(0x00) {
 		p.Sanitized = true
 		p.Evidence = append(p.Evidence, "free space verifies sanitized (0x00)")
 	}

@@ -1,0 +1,153 @@
+// Package storage defines the pluggable storage-engine contract of the
+// compliance layer. The paper's central contrast (§1, §3.1, Figure
+// 4(a)) is between deletion groundings: a PostgreSQL-style heap where
+// DELETE+VACUUM physically reclaims erased bytes, and a Cassandra-style
+// LSM tree where a delete is a tombstone and the erased bytes stay
+// physically resident until compaction. Engine is the seam that lets a
+// compliance deployment run on either — same WAL, same recovery, same
+// erasure verification — so both sides of the contrast are executable
+// on the full stack, not just in isolated micro-benchmarks.
+//
+// The two implementations are NewHeap (internal/storage/heap) and
+// NewLSM (internal/storage/lsm). Capability sub-interfaces express what
+// only one backend can do: Vacuumer is the heap's reclamation family,
+// Purger is the LSM's erase-aware compaction (purge obligations that
+// override the tombstone GC grace).
+package storage
+
+import (
+	"errors"
+
+	"github.com/datacase/datacase/internal/wal"
+)
+
+// Engine errors. Adapters translate backend-native sentinels into
+// these, so callers switch on one vocabulary.
+var (
+	// ErrKeyExists is returned by Insert (and BulkLoad) when a live
+	// record with the key already exists.
+	ErrKeyExists = errors.New("storage: key already exists")
+	// ErrKeyNotFound is returned by Update and Delete on absent keys.
+	ErrKeyNotFound = errors.New("storage: key not found")
+)
+
+// Engine is the storage contract of a compliance deployment's data
+// table. Implementations are safe for concurrent use; mutations are
+// durably logged to the engine's WAL (Log) when one is attached, with
+// the same record vocabulary (RecInsert/RecUpdate/RecDelete) on every
+// backend, so crash recovery replays identically whatever the engine.
+type Engine interface {
+	// Name returns the table name (it names the WAL segment too).
+	Name() string
+	// Log returns the engine's write-ahead log; nil when logging is
+	// disabled (substrates that keep their own logs).
+	Log() *wal.Log
+	// Insert adds a new record; ErrKeyExists if the key is live.
+	Insert(key, value []byte) error
+	// Update replaces the value under key; ErrKeyNotFound when absent.
+	// The replaced version's bytes remain physically resident until the
+	// engine's reclamation runs (vacuum or compaction).
+	Update(key, value []byte) error
+	// Upsert inserts or updates.
+	Upsert(key, value []byte) error
+	// Delete erases key under the engine's native grounding (dead tuple
+	// or tombstone); ErrKeyNotFound when absent.
+	Delete(key []byte) error
+	// Get returns a copy of the live value under key.
+	Get(key []byte) ([]byte, bool)
+	// Has reports whether a live record with the key exists.
+	Has(key []byte) bool
+	// SeqScan visits every live record until fn returns false. Visit
+	// order is backend-specific (physical order on the heap, key order
+	// on the LSM); callers must not rely on it. The slices passed to fn
+	// may alias engine memory and must not be retained. Both
+	// implementations hold a scan-long read lock, so fn must not call
+	// back into the engine's mutating methods (collect first, mutate
+	// after).
+	SeqScan(fn func(key, value []byte) bool)
+	// BulkLoad fills an empty engine from an iterator without writing
+	// per-record WAL records (checkpoint restore). It returns the
+	// number of records loaded and fails on a non-empty engine or a
+	// repeated key.
+	BulkLoad(next func() (key, value []byte, ok bool)) (int, error)
+	// Len returns the number of live records.
+	Len() int
+	// Stats returns a snapshot of the engine's work counters.
+	Stats() Stats
+	// Space returns the engine's physical footprint.
+	Space() SpaceStats
+	// ForensicScan reports whether the byte pattern is physically
+	// present anywhere — including dead tuples, shadowed versions and
+	// tombstoned data. Erasure verification uses it to prove (or
+	// disprove) that erased data is physically gone.
+	ForensicScan(pattern []byte) bool
+}
+
+// Stats is the backend-neutral work-counter snapshot.
+type Stats struct {
+	Inserts uint64
+	Updates uint64
+	Deletes uint64
+	// Lookups counts keyed reads (index probes / LSM gets).
+	Lookups uint64
+	// Scans counts sequential scans started.
+	Scans uint64
+	// MaintenanceRuns counts reclamation passes: vacuums on the heap,
+	// compactions on the LSM.
+	MaintenanceRuns uint64
+	// EntriesReclaimed counts physical versions removed by maintenance:
+	// dead tuples reclaimed, or tombstones GC'd.
+	EntriesReclaimed uint64
+	// PurgesRegistered / PurgesDischarged count compliance purge
+	// obligations (zero on engines without a Purger).
+	PurgesRegistered uint64
+	PurgesDischarged uint64
+}
+
+// SpaceStats is the backend-neutral footprint report.
+type SpaceStats struct {
+	// LiveEntries / DeadEntries count authoritative records vs
+	// physically present but logically erased ones (dead tuples;
+	// tombstones plus shadowed versions).
+	LiveEntries int
+	DeadEntries int
+	// LiveBytes / DeadBytes split the record bytes the same way.
+	LiveBytes int64
+	DeadBytes int64
+	// IndexBytes approximates the lookup-structure footprint (primary
+	// B+tree index; bloom filters).
+	IndexBytes int64
+	// TotalBytes is the whole engine on "disk".
+	TotalBytes int64
+}
+
+// Vacuumer is the reclamation capability of PostgreSQL-style engines:
+// the compliance layer's vacuum groundings (DELETE+VACUUM,
+// DELETE+VACUUM FULL) require it.
+type Vacuumer interface {
+	// DeadRatio returns dead/(live+dead) entries; autovacuum policies
+	// trigger on it.
+	DeadRatio() float64
+	// VacuumLazy reclaims dead entries in place and returns how many.
+	VacuumLazy() int
+	// VacuumFullRewrite rewrites the store densely and returns how many
+	// entries it reclaimed.
+	VacuumFullRewrite() int
+}
+
+// Purger is the erase-aware-compaction capability of LSM-style
+// engines: deletes leave shadowed versions physically resident, and a
+// purge obligation bounds how long. The compliance layer registers an
+// obligation for every regulation-mandated delete, turning the
+// "legally hazardous" tombstone grounding into a compliance-bounded
+// one.
+type Purger interface {
+	// RegisterPurge records the obligation: every physical version of
+	// key at or below the current sequence must be gone within the
+	// engine's bounded operation window, GC grace notwithstanding.
+	RegisterPurge(key []byte)
+	// PendingPurges reports undischarged obligations.
+	PendingPurges() int
+	// ForcePurge compacts now and returns the obligations discharged.
+	ForcePurge() int
+}

@@ -1,0 +1,308 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"github.com/datacase/datacase/internal/cryptox"
+	"github.com/datacase/datacase/internal/storage/lsm"
+	"github.com/datacase/datacase/internal/wal"
+)
+
+// engines builds one engine per backend, each with its own group-commit
+// WAL, so the contract suite runs identically over both.
+func engines(t *testing.T) map[string]Engine {
+	t.Helper()
+	return map[string]Engine{
+		"heap": NewHeap("contract:data", wal.New()),
+		"lsm": NewLSM("contract:data", wal.New(), lsm.Options{
+			MemtableFlushEntries: 8, // small, so the suite crosses run boundaries
+			PurgeWithinOps:       16,
+		}),
+	}
+}
+
+// TestEngineContract drives the shared CRUD/scan/WAL contract over both
+// backends.
+func TestEngineContract(t *testing.T) {
+	for name, e := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			if e.Name() != "contract:data" {
+				t.Fatalf("Name = %q", e.Name())
+			}
+			if e.Log() == nil {
+				t.Fatal("engine lost its WAL")
+			}
+			// Insert + duplicate rejection.
+			if err := e.Insert([]byte("k1"), []byte("v1")); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Insert([]byte("k1"), []byte("again")); !errors.Is(err, ErrKeyExists) {
+				t.Fatalf("duplicate insert: %v", err)
+			}
+			// Update present/absent.
+			if err := e.Update([]byte("k1"), []byte("v1b")); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Update([]byte("missing"), nil); !errors.Is(err, ErrKeyNotFound) {
+				t.Fatalf("update absent: %v", err)
+			}
+			// Upsert both ways.
+			if err := e.Upsert([]byte("k1"), []byte("v1c")); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Upsert([]byte("k2"), []byte("v2")); err != nil {
+				t.Fatal(err)
+			}
+			if v, ok := e.Get([]byte("k1")); !ok || !bytes.Equal(v, []byte("v1c")) {
+				t.Fatalf("Get(k1) = %q,%v", v, ok)
+			}
+			// Delete present/absent; Has flips.
+			if err := e.Delete([]byte("k2")); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Delete([]byte("k2")); !errors.Is(err, ErrKeyNotFound) {
+				t.Fatalf("delete absent: %v", err)
+			}
+			if e.Has([]byte("k2")) || !e.Has([]byte("k1")) {
+				t.Fatal("Has disagrees with mutations")
+			}
+			// Populate enough to cross flush boundaries on the LSM, then
+			// scan: every live key exactly once.
+			want := map[string]string{"k1": "v1c"}
+			for i := 0; i < 40; i++ {
+				k, v := fmt.Sprintf("bulk-%02d", i), fmt.Sprintf("val-%02d", i)
+				if err := e.Insert([]byte(k), []byte(v)); err != nil {
+					t.Fatal(err)
+				}
+				want[k] = v
+			}
+			got := map[string]string{}
+			e.SeqScan(func(k, v []byte) bool {
+				got[string(k)] = string(v)
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("SeqScan saw %d records, want %d", len(got), len(want))
+			}
+			for k, v := range want {
+				if got[k] != v {
+					t.Fatalf("SeqScan[%q] = %q, want %q", k, got[k], v)
+				}
+			}
+			if e.Len() != len(want) {
+				t.Fatalf("Len = %d, want %d", e.Len(), len(want))
+			}
+			// Early-stop scan.
+			n := 0
+			e.SeqScan(func(_, _ []byte) bool { n++; return n < 3 })
+			if n != 3 {
+				t.Fatalf("early-stop scan visited %d", n)
+			}
+			// Work counters moved.
+			st := e.Stats()
+			if st.Inserts == 0 || st.Updates == 0 || st.Deletes == 0 || st.Scans == 0 {
+				t.Fatalf("counters did not move: %+v", st)
+			}
+			// Space: live entries accounted, total positive.
+			sp := e.Space()
+			if sp.LiveEntries != len(want) || sp.TotalBytes <= 0 {
+				t.Fatalf("space = %+v, want %d live", sp, len(want))
+			}
+			// The WAL saw every mutation in the same vocabulary.
+			var inserts, updates, deletes int
+			e.Log().Replay(0, func(r wal.Record) bool {
+				switch r.Type {
+				case wal.RecInsert:
+					inserts++
+				case wal.RecUpdate:
+					updates++
+				case wal.RecDelete:
+					deletes++
+				}
+				return true
+			})
+			if inserts != 42 || updates != 2 || deletes != 1 {
+				t.Fatalf("WAL saw %d/%d/%d insert/update/delete records", inserts, updates, deletes)
+			}
+		})
+	}
+}
+
+// TestEngineBulkLoad: loads into an empty engine, rejects non-empty
+// targets and duplicate keys, and writes no WAL records.
+func TestEngineBulkLoad(t *testing.T) {
+	for name, e := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			rows := [][2]string{{"a", "1"}, {"b", "2"}, {"c", "3"}}
+			i := 0
+			n, err := e.BulkLoad(func() ([]byte, []byte, bool) {
+				if i >= len(rows) {
+					return nil, nil, false
+				}
+				r := rows[i]
+				i++
+				return []byte(r[0]), []byte(r[1]), true
+			})
+			if err != nil || n != 3 {
+				t.Fatalf("BulkLoad = %d, %v", n, err)
+			}
+			if e.Log().Len() != 0 {
+				t.Fatalf("BulkLoad wrote %d WAL records", e.Log().Len())
+			}
+			if v, ok := e.Get([]byte("b")); !ok || string(v) != "2" {
+				t.Fatalf("Get(b) = %q,%v", v, ok)
+			}
+			if _, err := e.BulkLoad(func() ([]byte, []byte, bool) { return nil, nil, false }); err == nil {
+				t.Fatal("BulkLoad into a non-empty engine succeeded")
+			}
+		})
+	}
+}
+
+// TestEngineForensics: both backends physically retain erased bytes
+// until their reclamation runs — and both reclamations work through
+// the capability interfaces.
+func TestEngineForensics(t *testing.T) {
+	secret := []byte("THE-SECRET-PAYLOAD")
+	for name, e := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := e.Insert([]byte("victim"), secret); err != nil {
+				t.Fatal(err)
+			}
+			if l, ok := e.(*LSM); ok {
+				// Push the value into a run: a tombstone over a
+				// memtable-resident value overwrites it in place, so the
+				// retention hazard only exists for flushed data.
+				l.Store().Flush()
+			}
+			if err := e.Delete([]byte("victim")); err != nil {
+				t.Fatal(err)
+			}
+			if !e.ForensicScan(secret) {
+				t.Fatal("erased bytes should be physically resident before reclamation (the paper's hazard)")
+			}
+			switch eng := e.(type) {
+			case Vacuumer:
+				if eng.DeadRatio() == 0 {
+					t.Fatal("DeadRatio 0 with a dead tuple present")
+				}
+				if n := eng.VacuumLazy(); n != 1 {
+					t.Fatalf("VacuumLazy reclaimed %d", n)
+				}
+			case Purger:
+				eng.RegisterPurge([]byte("victim"))
+				if eng.PendingPurges() != 1 {
+					t.Fatal("obligation not pending")
+				}
+				if n := eng.ForcePurge(); n != 1 {
+					t.Fatalf("ForcePurge discharged %d", n)
+				}
+			default:
+				t.Fatalf("engine %T has no reclamation capability", e)
+			}
+			if e.ForensicScan(secret) {
+				t.Fatal("erased bytes survive reclamation")
+			}
+			// Both backends sanitize (the permanent-delete grounding).
+			san, ok := e.(cryptox.Sanitizable)
+			if !ok {
+				t.Fatalf("engine %T is not sanitizable", e)
+			}
+			san.SanitizePass(0x00)
+			if !san.VerifySanitized(0x00) {
+				t.Fatal("sanitize verification failed")
+			}
+		})
+	}
+}
+
+// TestLSMRegisterPurgeOnLiveKeyLogsDelete: registering a purge for a
+// still-live key tombstones it, and on a WAL-backed engine that
+// implicit delete must reach the log — otherwise replay would
+// resurrect the key from its last value record.
+func TestLSMRegisterPurgeOnLiveKeyLogsDelete(t *testing.T) {
+	e := NewLSM("t", wal.New(), lsm.Options{})
+	if err := e.Insert([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	e.RegisterPurge([]byte("k"))
+	if e.Has([]byte("k")) {
+		t.Fatal("key live after purge registration")
+	}
+	// The log must net out to "gone": last record for k is a delete.
+	live := false
+	e.Log().Replay(0, func(r wal.Record) bool {
+		if string(r.Key) != "k" {
+			return true
+		}
+		switch r.Type {
+		case wal.RecInsert, wal.RecUpdate:
+			live = true
+		case wal.RecDelete:
+			live = false
+		}
+		return true
+	})
+	if live {
+		t.Fatal("WAL still nets out to a live value: replay would resurrect the purged key")
+	}
+	// Registering for an already-deleted key adds no second delete.
+	deletesBefore := e.Stats().Deletes
+	e.RegisterPurge([]byte("k"))
+	if got := e.Stats().Deletes; got != deletesBefore {
+		t.Fatalf("re-registration wrote %d extra deletes", got-deletesBefore)
+	}
+}
+
+// TestHeapVacuumFullThroughCapability covers the full-rewrite path and
+// WrapHeap.
+func TestHeapVacuumFullThroughCapability(t *testing.T) {
+	h := NewHeap("t", nil)
+	for i := 0; i < 10; i++ {
+		if err := h.Insert([]byte(fmt.Sprintf("k%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := h.Delete([]byte(fmt.Sprintf("k%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := h.VacuumFullRewrite(); n != 5 {
+		t.Fatalf("VacuumFullRewrite reclaimed %d", n)
+	}
+	w := WrapHeap(h.Table)
+	if w.Len() != 5 {
+		t.Fatalf("wrapped len = %d", w.Len())
+	}
+	st := h.Stats()
+	if st.MaintenanceRuns != 1 || st.EntriesReclaimed != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestLSMScanOrder: the LSM engine scans in key order (its documented
+// backend-specific order).
+func TestLSMScanOrder(t *testing.T) {
+	e := NewLSM("t", nil, lsm.Options{})
+	for _, k := range []string{"c", "a", "b"} {
+		if err := e.Insert([]byte(k), []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	e.SeqScan(func(k, _ []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if !sort.StringsAreSorted(got) {
+		t.Fatalf("LSM scan order: %v", got)
+	}
+	if e.Store() == nil {
+		t.Fatal("Store accessor lost the backend")
+	}
+}

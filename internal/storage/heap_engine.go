@@ -1,0 +1,103 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/datacase/datacase/internal/storage/heap"
+	"github.com/datacase/datacase/internal/wal"
+)
+
+// Heap adapts heap.Table to the Engine contract: the PostgreSQL-style
+// backend, where deletes mark tuples dead in place and the vacuum
+// family physically reclaims them. It implements Vacuumer and (by
+// promotion) cryptox.Sanitizable.
+type Heap struct {
+	*heap.Table
+}
+
+// NewHeap returns a heap-backed engine. A nil log disables write-ahead
+// logging.
+func NewHeap(name string, log *wal.Log) *Heap {
+	return &Heap{heap.NewTable(name, log)}
+}
+
+// WrapHeap adapts an existing table.
+func WrapHeap(t *heap.Table) *Heap { return &Heap{t} }
+
+// mapHeapErr translates the heap's sentinels into the Engine
+// vocabulary, keeping the native error in the chain.
+func mapHeapErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, heap.ErrKeyExists):
+		return fmt.Errorf("%w: %v", ErrKeyExists, err)
+	case errors.Is(err, heap.ErrKeyNotFound):
+		return fmt.Errorf("%w: %v", ErrKeyNotFound, err)
+	default:
+		return err
+	}
+}
+
+// Insert adds a new tuple.
+func (h *Heap) Insert(key, value []byte) error {
+	_, err := h.Table.Insert(key, value)
+	return mapHeapErr(err)
+}
+
+// Update replaces the value under key MVCC-style.
+func (h *Heap) Update(key, value []byte) error {
+	_, err := h.Table.Update(key, value)
+	return mapHeapErr(err)
+}
+
+// Upsert inserts or updates.
+func (h *Heap) Upsert(key, value []byte) error {
+	_, err := h.Table.Upsert(key, value)
+	return mapHeapErr(err)
+}
+
+// Delete marks the tuple dead.
+func (h *Heap) Delete(key []byte) error {
+	return mapHeapErr(h.Table.Delete(key))
+}
+
+// BulkLoad fills an empty table without per-row logging.
+func (h *Heap) BulkLoad(next func() (key, value []byte, ok bool)) (int, error) {
+	n, err := h.Table.BulkLoad(next)
+	return n, mapHeapErr(err)
+}
+
+// Stats maps the table's counters onto the Engine vocabulary.
+func (h *Heap) Stats() Stats {
+	c := h.Table.Stats()
+	return Stats{
+		Inserts:          c.TuplesInserted,
+		Updates:          c.TuplesUpdated,
+		Deletes:          c.TuplesDeleted,
+		Lookups:          c.IndexLookups,
+		Scans:            c.SeqScans,
+		MaintenanceRuns:  c.VacuumRuns + c.VacuumFullRuns,
+		EntriesReclaimed: c.TuplesReclaimed,
+	}
+}
+
+// Space maps the table's footprint onto the Engine vocabulary.
+func (h *Heap) Space() SpaceStats {
+	sp := h.Table.Space()
+	return SpaceStats{
+		LiveEntries: sp.LiveTuples,
+		DeadEntries: sp.DeadTuples,
+		LiveBytes:   sp.LiveBytes,
+		DeadBytes:   sp.DeadBytes,
+		IndexBytes:  sp.IndexBytes,
+		TotalBytes:  sp.TotalBytes + sp.IndexBytes,
+	}
+}
+
+// VacuumLazy runs the lazy VACUUM and returns the tuples reclaimed.
+func (h *Heap) VacuumLazy() int { return h.Table.Vacuum().TuplesReclaimed }
+
+// VacuumFullRewrite runs VACUUM FULL and returns the tuples reclaimed.
+func (h *Heap) VacuumFullRewrite() int { return h.Table.VacuumFull().TuplesReclaimed }

@@ -1,0 +1,85 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// FuzzLSM drives random Put/Delete/Flush/Compact/RegisterPurge
+// interleavings against a map reference and checks that the store never
+// panics, Get and Scan agree with the reference, and a deleted key
+// never resurrects — including past a zero grace, where full
+// compactions GC its tombstone.
+func FuzzLSM(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x41, 0x02, 0x03})
+	f.Add([]byte{0x10, 0x20, 0x30, 0x40, 0x50, 0x60, 0x70})
+	f.Add(bytes.Repeat([]byte{0x05, 0x81, 0x42}, 40))
+	f.Fuzz(func(t *testing.T, script []byte) {
+		s := New(Options{
+			MemtableFlushEntries: 4,
+			CompactionFanIn:      3,
+			GCGraceSeqs:          NoGrace, // harshest GC: nothing may resurrect
+			PurgeWithinOps:       6,
+		})
+		model := make(map[string]string)
+		keyOf := func(b byte) []byte { return []byte(fmt.Sprintf("key-%02d", b%16)) }
+		for i := 0; i < len(script); i++ {
+			op := script[i] % 5
+			var arg byte
+			if i+1 < len(script) {
+				i++
+				arg = script[i]
+			}
+			k := keyOf(arg)
+			switch op {
+			case 0:
+				v := fmt.Sprintf("val-%d-%d", i, arg)
+				s.Put(k, []byte(v))
+				model[string(k)] = v
+			case 1:
+				s.Delete(k)
+				delete(model, string(k))
+			case 2:
+				s.Flush()
+			case 3:
+				s.Compact()
+			case 4:
+				// A purge registration is a strong delete: a still-live
+				// value is tombstoned at registration.
+				s.RegisterPurge(k)
+				delete(model, string(k))
+			}
+			if got, ok := s.Get(k); ok != (model[string(k)] != "") ||
+				(ok && string(got) != model[string(k)]) {
+				t.Fatalf("op %d: Get(%q) = %q,%v; model %q", i, k, got, ok, model[string(k)])
+			}
+		}
+		// Scan must agree with the model exactly, in key order.
+		var wantKeys []string
+		for k := range model {
+			wantKeys = append(wantKeys, k)
+		}
+		sort.Strings(wantKeys)
+		var gotKeys []string
+		s.Scan(func(k, v []byte) bool {
+			gotKeys = append(gotKeys, string(k))
+			if string(v) != model[string(k)] {
+				t.Fatalf("Scan(%q) = %q, model %q", k, v, model[string(k)])
+			}
+			return true
+		})
+		if len(gotKeys) != len(wantKeys) {
+			t.Fatalf("Scan saw %d keys, model has %d", len(gotKeys), len(wantKeys))
+		}
+		for i := range gotKeys {
+			if gotKeys[i] != wantKeys[i] {
+				t.Fatalf("Scan order: got %q at %d, want %q", gotKeys[i], i, wantKeys[i])
+			}
+		}
+		if n := s.Len(); n != len(model) {
+			t.Fatalf("Len = %d, model %d", n, len(model))
+		}
+	})
+}

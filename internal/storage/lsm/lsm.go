@@ -12,6 +12,12 @@ import (
 	"sync"
 )
 
+// NoGrace configures a GC grace of zero sequence numbers: every
+// tombstone is eligible for garbage collection at the next full
+// compaction. The zero value of Options.GCGraceSeqs selects the default
+// grace, so an immediate-purge grace needs this explicit sentinel.
+const NoGrace int64 = -1
+
 // Options tune the store. Zero values select sensible defaults.
 type Options struct {
 	// MemtableFlushEntries flushes the memtable to a run once it holds
@@ -23,8 +29,15 @@ type Options struct {
 	// GCGraceSeqs is how many sequence numbers a tombstone must age
 	// before a full compaction may drop it (Cassandra's gc_grace_seconds
 	// in logical time; default 100000). Large values model the paper's
-	// "data illegally physically retained for a long duration".
-	GCGraceSeqs uint64
+	// "data illegally physically retained for a long duration"; NoGrace
+	// selects a grace of zero (the zero value means "default", so zero
+	// grace cannot be spelled as 0).
+	GCGraceSeqs int64
+	// PurgeWithinOps bounds how many store operations (puts, deletes,
+	// gets) a registered purge obligation may stay undischarged before
+	// the store forces a purge compaction (default 128). Purge
+	// obligations override GCGraceSeqs for the keys they cover.
+	PurgeWithinOps int
 }
 
 func (o Options) withDefaults() Options {
@@ -37,7 +50,18 @@ func (o Options) withDefaults() Options {
 	if o.GCGraceSeqs == 0 {
 		o.GCGraceSeqs = 100000
 	}
+	if o.PurgeWithinOps <= 0 {
+		o.PurgeWithinOps = 128
+	}
 	return o
+}
+
+// grace returns the effective GC grace in sequence numbers.
+func (o Options) grace() uint64 {
+	if o.GCGraceSeqs < 0 {
+		return 0
+	}
+	return uint64(o.GCGraceSeqs)
 }
 
 // Counters expose the physical work performed, for tests and benches.
@@ -51,6 +75,12 @@ type Counters struct {
 	Compactions     uint64
 	EntriesMerged   uint64
 	TombstonesGCed  uint64
+	// PurgesRegistered / PurgesDischarged count compliance purge
+	// obligations entering and leaving the store; PurgeCompactions
+	// counts the forced compactions that discharged them.
+	PurgesRegistered uint64
+	PurgesDischarged uint64
+	PurgeCompactions uint64
 }
 
 // Store is the LSM store. It is safe for concurrent use.
@@ -62,6 +92,14 @@ type Store struct {
 	runs  []*sstable // newest first
 	seq   uint64
 	stats Counters
+
+	// purges maps keys under a compliance purge obligation to the
+	// sequence number at registration: every physical version of the key
+	// at or below that sequence must be gone within PurgeWithinOps
+	// operations, GCGraceSeqs notwithstanding. opsSincePurge counts
+	// operations since the last purge check while obligations pend.
+	purges        map[string]uint64
+	opsSincePurge int
 }
 
 // New returns an empty store.
@@ -82,6 +120,7 @@ func (s *Store) Put(key, value []byte) {
 	})
 	s.stats.Puts++
 	s.maybeFlushLocked()
+	s.tickPurgeLocked()
 }
 
 // Delete writes a tombstone for key. The tombstone shadows older
@@ -97,6 +136,7 @@ func (s *Store) Delete(key []byte) {
 	})
 	s.stats.Deletes++
 	s.maybeFlushLocked()
+	s.tickPurgeLocked()
 }
 
 // Get returns the value for key, honouring tombstones.
@@ -104,6 +144,7 @@ func (s *Store) Get(key []byte) ([]byte, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.Gets++
+	s.tickPurgeLocked()
 	if e, ok := s.mem.get(key); ok {
 		if e.tombstone {
 			return nil, false
@@ -137,8 +178,13 @@ func (s *Store) Has(key []byte) bool {
 // Scan visits live key-value pairs in key order until fn returns false.
 // It streams a k-way merge over the memtable and all runs, honouring
 // tombstones; early termination stops the merge (no materialization).
+// The read lock is held for the whole merge — the memtable cursor
+// walks live skip-list nodes that concurrent puts splice and overwrite
+// in place — so fn must not call back into the store's mutating
+// methods. (The heap's SeqScan holds its lock scan-long too.)
 func (s *Store) Scan(fn func(key, value []byte) bool) {
 	s.mu.RLock()
+	defer s.mu.RUnlock()
 	cursors := make([]*scanCursor, 0, len(s.runs)+1)
 	cursors = append(cursors, &scanCursor{mem: s.mem.head.next[0], age: 0})
 	for i, r := range s.runs {
@@ -146,7 +192,6 @@ func (s *Store) Scan(fn func(key, value []byte) bool) {
 			cursors = append(cursors, &scanCursor{run: r, age: i + 1})
 		}
 	}
-	s.mu.RUnlock()
 
 	// Drop exhausted cursors up front.
 	live := cursors[:0]
@@ -282,14 +327,19 @@ func (s *Store) compactLocked(full bool) {
 		return
 	}
 	var dropBelow uint64
-	if full && s.seq > s.opts.GCGraceSeqs {
-		dropBelow = s.seq - s.opts.GCGraceSeqs
+	if full {
+		if grace := s.opts.grace(); grace == 0 {
+			// Zero grace (NoGrace): every tombstone is past its grace.
+			dropBelow = s.seq + 1
+		} else if s.seq > grace {
+			dropBelow = s.seq - grace
+		}
 	}
 	before := 0
 	for _, r := range s.runs {
 		before += r.len()
 	}
-	merged := mergeRuns(s.runs, dropBelow)
+	merged := mergeRuns(s.runs, dropBelow, s.purges)
 	s.stats.Compactions++
 	s.stats.EntriesMerged += uint64(before)
 	if full {
@@ -314,9 +364,12 @@ func (s *Store) compactLocked(full bool) {
 	}
 	if len(merged) == 0 {
 		s.runs = nil
-		return
+	} else {
+		s.runs = []*sstable{buildSSTable(merged)}
 	}
-	s.runs = []*sstable{buildSSTable(merged)}
+	if len(s.purges) > 0 {
+		s.dischargeLocked()
+	}
 }
 
 // Stats returns a snapshot of the counters.
@@ -335,8 +388,12 @@ type SpaceStats struct {
 	// ShadowedEntries are physically present entries hidden by newer
 	// versions or tombstones — the data that should be gone but is not.
 	ShadowedEntries int
-	TotalBytes      int64
-	FilterBytes     int64
+	// LiveBytes / DeadBytes split the entry bytes between authoritative
+	// live values and everything else (tombstones, shadowed versions).
+	LiveBytes   int64
+	DeadBytes   int64
+	TotalBytes  int64
+	FilterBytes int64
 }
 
 // Space returns the physical footprint.
@@ -350,15 +407,19 @@ func (s *Store) Space() SpaceStats {
 
 	seen := make(map[string]bool)
 	account := func(e entry) {
+		size := int64(len(e.key) + len(e.value) + 16)
 		if seen[string(e.key)] {
 			sp.ShadowedEntries++
+			sp.DeadBytes += size
 			return
 		}
 		seen[string(e.key)] = true
 		if e.tombstone {
 			sp.Tombstones++
+			sp.DeadBytes += size
 		} else {
 			sp.LiveEntries++
+			sp.LiveBytes += size
 		}
 	}
 	s.mem.ascend(func(e entry) bool {
@@ -373,6 +434,173 @@ func (s *Store) Space() SpaceStats {
 		}
 	}
 	return sp
+}
+
+// RegisterPurge records a compliance purge obligation for key: every
+// physical version of the key at or below the current sequence number —
+// live values, shadowed versions and the tombstone itself — must be
+// physically gone within Options.PurgeWithinOps operations, overriding
+// GCGraceSeqs. This is the erase-aware half of the tombstone grounding:
+// a strong delete registers the obligation, and the store forces a
+// targeted compaction before the bound expires. Versions written after
+// registration (a lawful re-collection under the same key) are not
+// covered. The obligation is discharged only when a physical scan of
+// memtable and runs comes back clean. A key that still has a live value
+// is tombstoned first — a purge is a strong delete, and registration
+// must not leave read visibility dependent on compaction timing.
+func (s *Store) RegisterPurge(key []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.liveLocked(key) {
+		s.seq++
+		s.mem.put(entry{key: append([]byte(nil), key...), seq: s.seq, tombstone: true})
+		s.stats.Deletes++
+	}
+	if s.purges == nil {
+		s.purges = make(map[string]uint64)
+	}
+	s.purges[string(key)] = s.seq
+	s.stats.PurgesRegistered++
+}
+
+// Live reports whether key currently resolves to a live value without
+// copying it, counting the probe, or ticking the purge window — the
+// cheap existence check the engine adapter's mutations use.
+func (s *Store) Live(key []byte) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.liveLocked(key)
+}
+
+// liveLocked reports whether key currently resolves to a live value
+// (the Get path without counter accounting). Caller holds mu.
+func (s *Store) liveLocked(key []byte) bool {
+	if e, ok := s.mem.get(key); ok {
+		return !e.tombstone
+	}
+	for _, r := range s.runs {
+		if e, ok := r.get(key); ok {
+			return !e.tombstone
+		}
+	}
+	return false
+}
+
+// PendingPurges reports how many purge obligations are undischarged.
+func (s *Store) PendingPurges() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.purges)
+}
+
+// ForcePurge runs the purge compaction immediately and returns how many
+// obligations it discharged.
+func (s *Store) ForcePurge() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	before := s.stats.PurgesDischarged
+	s.purgeLocked()
+	return int(s.stats.PurgesDischarged - before)
+}
+
+// tickPurgeLocked advances the bounded purge window: once obligations
+// have pended for PurgeWithinOps operations, the purge compaction runs.
+// Caller holds mu.
+func (s *Store) tickPurgeLocked() {
+	if len(s.purges) == 0 {
+		return
+	}
+	s.opsSincePurge++
+	if s.opsSincePurge >= s.opts.PurgeWithinOps {
+		s.purgeLocked()
+	}
+}
+
+// purgeLocked flushes the memtable and merges all runs with the purge
+// predicate applied, then discharges every obligation whose key
+// verifies physically clean. Caller holds mu.
+func (s *Store) purgeLocked() {
+	if len(s.purges) == 0 {
+		return
+	}
+	s.flushLocked()
+	s.compactLocked(true)
+	s.stats.PurgeCompactions++
+	s.opsSincePurge = 0
+}
+
+// dischargeLocked removes every obligation whose key no longer has a
+// covered physical version — discharge is by evidence, so it runs
+// after any compaction: a minor compaction applies the purge predicate
+// too and may leave the store clean before the forced purge fires.
+// Caller holds mu.
+func (s *Store) dischargeLocked() {
+	for k, reg := range s.purges {
+		if s.physicallyPresentLocked([]byte(k), reg) {
+			continue // not clean: the obligation stays pending
+		}
+		delete(s.purges, k)
+		s.stats.PurgesDischarged++
+	}
+	if len(s.purges) == 0 {
+		s.opsSincePurge = 0
+	}
+}
+
+// physicallyPresentLocked reports whether any physical version of key
+// with sequence <= upto remains in the memtable or any run (the
+// discharge check of a purge obligation). Caller holds mu.
+func (s *Store) physicallyPresentLocked(key []byte, upto uint64) bool {
+	if e, ok := s.mem.get(key); ok && e.seq <= upto {
+		return true
+	}
+	for _, r := range s.runs {
+		if e, ok := r.get(key); ok && e.seq <= upto {
+			return true
+		}
+	}
+	return false
+}
+
+// SanitizePass implements the cryptox.Sanitizable hook for the LSM
+// grounding of physical sanitization: the non-live bytes of an LSM tree
+// are its tombstones and shadowed versions, and a sanitize pass removes
+// them all — a full compaction with zero grace, regardless of
+// GCGraceSeqs. The pattern is ignored (entries are dropped, not
+// overwritten); the return value is the physical bytes reclaimed.
+func (s *Store) SanitizePass(_ byte) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	before := s.physicalBytesLocked()
+	s.flushLocked()
+	if len(s.runs) > 0 {
+		saved := s.opts.GCGraceSeqs
+		s.opts.GCGraceSeqs = NoGrace
+		s.compactLocked(true)
+		s.opts.GCGraceSeqs = saved
+	}
+	reclaimed := before - s.physicalBytesLocked()
+	if reclaimed < 0 {
+		return 0
+	}
+	return reclaimed
+}
+
+// VerifySanitized reports whether no non-live bytes remain: no
+// tombstones and no shadowed versions anywhere in the store.
+func (s *Store) VerifySanitized(_ byte) bool {
+	sp := s.Space()
+	return sp.Tombstones == 0 && sp.ShadowedEntries == 0
+}
+
+// physicalBytesLocked sums the memtable and run footprints. Caller
+// holds mu.
+func (s *Store) physicalBytesLocked() int64 {
+	n := s.mem.bytes
+	for _, r := range s.runs {
+		n += r.bytes
+	}
+	return n
 }
 
 // ForensicScan reports whether the byte pattern is physically present

@@ -1,0 +1,178 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentScanAndMutate pins the store's concurrency contract
+// under -race: scans hold the read lock for the whole merge, so they
+// must never observe torn entries while writers splice and overwrite
+// memtable nodes.
+func TestConcurrentScanAndMutate(t *testing.T) {
+	s := New(Options{MemtableFlushEntries: 16})
+	for i := 0; i < 64; i++ {
+		s.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v"))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := []byte(fmt.Sprintf("k%03d", (w*31+i)%64))
+				if i%5 == 0 {
+					s.Delete(k)
+				} else {
+					s.Put(k, []byte(fmt.Sprintf("w%d-%d", w, i)))
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			s.Scan(func(k, v []byte) bool { return len(k) > 0 && v != nil })
+		}
+	}()
+	wg.Wait()
+}
+
+// TestNoGraceSentinel is the regression test for the GCGraceSeqs
+// zero-value bug: 0 silently meant "default 100000", so an
+// immediate-purge grace was unconfigurable. NoGrace must GC every
+// tombstone at the next full compaction; the zero value must keep the
+// default behaviour (tombstones survive a full compaction well inside
+// the default grace).
+func TestNoGraceSentinel(t *testing.T) {
+	s := New(Options{GCGraceSeqs: NoGrace})
+	s.Put([]byte("k"), []byte("v"))
+	s.Delete([]byte("k"))
+	s.Compact()
+	if sp := s.Space(); sp.Tombstones != 0 {
+		t.Fatalf("NoGrace: %d tombstones survive a full compaction", sp.Tombstones)
+	}
+	if s.Stats().TombstonesGCed == 0 {
+		t.Fatal("NoGrace: no tombstone was GC'd")
+	}
+
+	d := New(Options{}) // zero value: default grace
+	d.Put([]byte("k"), []byte("v"))
+	d.Delete([]byte("k"))
+	d.Compact()
+	if sp := d.Space(); sp.Tombstones != 1 {
+		t.Fatalf("default grace: tombstone count = %d, want 1 (inside the grace)", sp.Tombstones)
+	}
+}
+
+// TestRegisterPurgeOverridesGrace: a purge obligation removes the
+// tombstone and every shadowed version inside the bounded op window,
+// even under the huge grace the hazard scenario models.
+func TestRegisterPurgeOverridesGrace(t *testing.T) {
+	s := New(Options{
+		MemtableFlushEntries: 4,
+		GCGraceSeqs:          1 << 40,
+		PurgeWithinOps:       8,
+	})
+	secret := []byte("SSN-123-45-6789")
+	s.Put([]byte("victim"), secret)
+	// Shadow the value across several runs.
+	for i := 0; i < 12; i++ {
+		s.Put([]byte(fmt.Sprintf("fill-%02d", i)), []byte("x"))
+	}
+	s.Delete([]byte("victim"))
+	if !s.ForensicScan(secret) {
+		t.Fatal("setup: secret should be physically resident after the tombstone delete")
+	}
+	s.RegisterPurge([]byte("victim"))
+	if got := s.PendingPurges(); got != 1 {
+		t.Fatalf("PendingPurges = %d, want 1", got)
+	}
+	// Drive ops up to the bound; the store must purge by itself.
+	for i := 0; i < 8; i++ {
+		s.Get([]byte(fmt.Sprintf("fill-%02d", i)))
+	}
+	if got := s.PendingPurges(); got != 0 {
+		t.Fatalf("obligation undischarged after the bounded window (pending=%d)", got)
+	}
+	if s.ForensicScan(secret) {
+		t.Fatal("secret still physically resident after the purge window")
+	}
+	st := s.Stats()
+	if st.PurgesRegistered != 1 || st.PurgesDischarged != 1 || st.PurgeCompactions == 0 {
+		t.Fatalf("purge counters = %+v", st)
+	}
+	// Unrelated keys keep their data.
+	if !s.Has([]byte("fill-00")) {
+		t.Fatal("purge removed an unrelated key")
+	}
+}
+
+// TestForcePurgeDischargesImmediately covers the explicit purge path
+// the erasure engine's reclamation uses.
+func TestForcePurgeDischargesImmediately(t *testing.T) {
+	s := New(Options{GCGraceSeqs: 1 << 40})
+	s.Put([]byte("a"), []byte("payload-a"))
+	s.Put([]byte("b"), []byte("payload-b"))
+	s.Delete([]byte("a"))
+	s.RegisterPurge([]byte("a"))
+	if n := s.ForcePurge(); n != 1 {
+		t.Fatalf("ForcePurge discharged %d obligations, want 1", n)
+	}
+	if s.ForensicScan([]byte("payload-a")) {
+		t.Fatal("purged payload still resident")
+	}
+	if v, ok := s.Get([]byte("b")); !ok || !bytes.Equal(v, []byte("payload-b")) {
+		t.Fatal("unrelated key lost")
+	}
+}
+
+// TestPurgeSparesNewerVersions: data re-collected under the same key
+// after registration is lawful new data and must survive the purge.
+func TestPurgeSparesNewerVersions(t *testing.T) {
+	s := New(Options{GCGraceSeqs: 1 << 40})
+	s.Put([]byte("k"), []byte("old-payload"))
+	s.Delete([]byte("k"))
+	s.RegisterPurge([]byte("k"))
+	s.Put([]byte("k"), []byte("new-payload")) // re-collection after the erasure
+	s.ForcePurge()
+	if v, ok := s.Get([]byte("k")); !ok || !bytes.Equal(v, []byte("new-payload")) {
+		t.Fatalf("re-collected value lost: %q %v", v, ok)
+	}
+	if s.ForensicScan([]byte("old-payload")) {
+		t.Fatal("pre-erasure version still resident")
+	}
+}
+
+// TestSanitizeLSM drives the cryptox.Sanitizable hooks: a sanitize pass
+// removes all tombstones and shadowed versions and verification then
+// holds.
+func TestSanitizeLSM(t *testing.T) {
+	s := New(Options{MemtableFlushEntries: 4, GCGraceSeqs: 1 << 40})
+	for i := 0; i < 10; i++ {
+		s.Put([]byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("v%02d", i)))
+	}
+	for i := 0; i < 10; i++ { // shadow every value
+		s.Put([]byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("w%02d", i)))
+	}
+	s.Delete([]byte("k00"))
+	if s.VerifySanitized(0x00) {
+		t.Fatal("store with shadowed versions verifies sanitized")
+	}
+	if n := s.SanitizePass(0x00); n <= 0 {
+		t.Fatalf("SanitizePass reclaimed %d bytes", n)
+	}
+	if !s.VerifySanitized(0x00) {
+		t.Fatal("store does not verify sanitized after the pass")
+	}
+	if s.ForensicScan([]byte("v03")) {
+		t.Fatal("shadowed version survives sanitization")
+	}
+	if !s.Has([]byte("k03")) || s.Has([]byte("k00")) {
+		t.Fatal("live set changed by sanitization")
+	}
+}

@@ -64,7 +64,11 @@ func (t *sstable) len() int { return len(t.entries) }
 // slice keeping only the newest version of each key. Tombstones are
 // retained unless dropTombstonesBelow > 0 and the tombstone's seq is
 // older than it (GC-grace expired and nothing below can resurrect).
-func mergeRuns(runs []*sstable, dropTombstonesBelow uint64) []entry {
+// purge, when non-nil, maps keys under a compliance purge obligation to
+// their registration sequence: every version of such a key — value or
+// tombstone — at or below that sequence is dropped regardless of grace
+// (the erase-aware override of GCGraceSeqs).
+func mergeRuns(runs []*sstable, dropTombstonesBelow uint64, purge map[string]uint64) []entry {
 	// k-way merge by key; on ties the entry from the newest run wins.
 	type cursor struct {
 		run *sstable
@@ -108,6 +112,9 @@ func mergeRuns(runs []*sstable, dropTombstonesBelow uint64) []entry {
 		}
 		if winner.tombstone && dropTombstonesBelow > 0 && winner.seq < dropTombstonesBelow {
 			continue // tombstone GC: drop it and the data it shadowed
+		}
+		if reg, ok := purge[string(winner.key)]; ok && winner.seq <= reg {
+			continue // purge obligation: drop every covered version
 		}
 		out = append(out, winner)
 	}

@@ -1,0 +1,226 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/datacase/datacase/internal/storage/lsm"
+	"github.com/datacase/datacase/internal/wal"
+)
+
+// LSM adapts lsm.Store to the Engine contract: the Cassandra-style
+// backend, where a delete is an O(1) tombstone write and the deleted
+// bytes stay physically resident in older runs until compaction — the
+// paper's "legally hazardous" grounding, made compliance-bounded by
+// the store's purge obligations (Purger). It implements Purger and
+// cryptox.Sanitizable by delegation.
+//
+// The adapter gives the store the insert/update/delete vocabulary the
+// compliance layer speaks (the raw store only has Put/Delete) and logs
+// every mutation to the WAL, so an LSM-backed deployment recovers
+// through exactly the same replay as a heap-backed one.
+type LSM struct {
+	name  string
+	store *lsm.Store
+	log   *wal.Log
+
+	// mu serializes the read-modify-write mutations (an Insert is an
+	// existence check plus a put, which the store alone cannot make
+	// atomic). Reads go straight to the store.
+	mu sync.Mutex
+
+	inserts, updates, deletes atomic.Uint64
+	scans                     atomic.Uint64
+}
+
+// NewLSM returns an LSM-backed engine. A nil log disables write-ahead
+// logging.
+func NewLSM(name string, log *wal.Log, opts lsm.Options) *LSM {
+	return &LSM{name: name, store: lsm.New(opts), log: log}
+}
+
+// Name returns the table name.
+func (e *LSM) Name() string { return e.name }
+
+// Log returns the engine's write-ahead log (nil when disabled).
+func (e *LSM) Log() *wal.Log { return e.log }
+
+// Store exposes the underlying LSM store (backend-specific statistics
+// and forensic probes in tests and experiments).
+func (e *LSM) Store() *lsm.Store { return e.store }
+
+// Insert adds a new record; the value lands in the memtable and the
+// mutation is WAL-logged.
+func (e *LSM) Insert(key, value []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.store.Live(key) {
+		return fmt.Errorf("%w: %q", ErrKeyExists, key)
+	}
+	e.store.Put(key, value)
+	e.inserts.Add(1)
+	if e.log != nil {
+		e.log.Append(wal.RecInsert, key, value)
+	}
+	return nil
+}
+
+// Update overwrites the record; the old version stays shadowed in
+// older runs until compaction (the tombstone-retention hazard applies
+// to updates too).
+func (e *LSM) Update(key, value []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.store.Live(key) {
+		return fmt.Errorf("%w: %q", ErrKeyNotFound, key)
+	}
+	e.store.Put(key, value)
+	e.updates.Add(1)
+	if e.log != nil {
+		e.log.Append(wal.RecUpdate, key, value)
+	}
+	return nil
+}
+
+// Upsert inserts or updates.
+func (e *LSM) Upsert(key, value []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rec := wal.RecInsert
+	if e.store.Live(key) {
+		rec = wal.RecUpdate
+		e.updates.Add(1)
+	} else {
+		e.inserts.Add(1)
+	}
+	e.store.Put(key, value)
+	if e.log != nil {
+		e.log.Append(rec, key, value)
+	}
+	return nil
+}
+
+// Delete writes a tombstone; older versions remain physically resident
+// until a compaction (or a purge obligation) removes them.
+func (e *LSM) Delete(key []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.store.Live(key) {
+		return fmt.Errorf("%w: %q", ErrKeyNotFound, key)
+	}
+	e.store.Delete(key)
+	e.deletes.Add(1)
+	if e.log != nil {
+		e.log.Append(wal.RecDelete, key, nil)
+	}
+	return nil
+}
+
+// Get returns the live value under key.
+func (e *LSM) Get(key []byte) ([]byte, bool) { return e.store.Get(key) }
+
+// Has reports whether key has a live value.
+func (e *LSM) Has(key []byte) bool { return e.store.Has(key) }
+
+// SeqScan visits live records in key order.
+func (e *LSM) SeqScan(fn func(key, value []byte) bool) {
+	e.scans.Add(1)
+	e.store.Scan(fn)
+}
+
+// BulkLoad fills an empty store without per-record logging (checkpoint
+// restore).
+func (e *LSM) BulkLoad(next func() (key, value []byte, ok bool)) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if st := e.store.Stats(); st.Puts+st.Deletes > 0 {
+		return 0, fmt.Errorf("storage: BulkLoad into non-empty lsm store %q", e.name)
+	}
+	n := 0
+	for {
+		k, v, ok := next()
+		if !ok {
+			return n, nil
+		}
+		if e.store.Live(k) {
+			return n, fmt.Errorf("%w: %q", ErrKeyExists, k)
+		}
+		e.store.Put(k, v)
+		e.inserts.Add(1)
+		n++
+	}
+}
+
+// Len returns the number of live records.
+func (e *LSM) Len() int { return e.store.Len() }
+
+// Stats combines the adapter's mutation counters with the store's
+// physical-work counters.
+func (e *LSM) Stats() Stats {
+	c := e.store.Stats()
+	return Stats{
+		Inserts:          e.inserts.Load(),
+		Updates:          e.updates.Load(),
+		Deletes:          e.deletes.Load(),
+		Lookups:          c.Gets,
+		Scans:            e.scans.Load(),
+		MaintenanceRuns:  c.Compactions,
+		EntriesReclaimed: c.TombstonesGCed,
+		PurgesRegistered: c.PurgesRegistered,
+		PurgesDischarged: c.PurgesDischarged,
+	}
+}
+
+// Space maps the store's footprint onto the Engine vocabulary: dead
+// entries are tombstones plus shadowed versions — the bytes that
+// should be gone but are not.
+func (e *LSM) Space() SpaceStats {
+	sp := e.store.Space()
+	return SpaceStats{
+		LiveEntries: sp.LiveEntries,
+		DeadEntries: sp.Tombstones + sp.ShadowedEntries,
+		LiveBytes:   sp.LiveBytes,
+		DeadBytes:   sp.DeadBytes,
+		IndexBytes:  sp.FilterBytes,
+		TotalBytes:  sp.TotalBytes + sp.FilterBytes,
+	}
+}
+
+// ForensicScan reports whether the pattern is physically present in
+// the memtable or any run, shadowed versions included.
+func (e *LSM) ForensicScan(pattern []byte) bool { return e.store.ForensicScan(pattern) }
+
+// RegisterPurge records a compliance purge obligation (Purger). A key
+// still live at registration is tombstoned by the store, which on a
+// WAL-backed engine is a mutation like any other: it must be logged as
+// a delete, or crash recovery would replay the key's last value record
+// with nothing superseding it and resurrect the "purged" key. The
+// compliance layer always Deletes first, so the extra record only
+// covers direct Purger use.
+func (e *LSM) RegisterPurge(key []byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	wasLive := e.store.Live(key)
+	e.store.RegisterPurge(key)
+	if wasLive {
+		e.deletes.Add(1)
+		if e.log != nil {
+			e.log.Append(wal.RecDelete, key, nil)
+		}
+	}
+}
+
+// PendingPurges reports undischarged obligations (Purger).
+func (e *LSM) PendingPurges() int { return e.store.PendingPurges() }
+
+// ForcePurge compacts now and discharges obligations (Purger).
+func (e *LSM) ForcePurge() int { return e.store.ForcePurge() }
+
+// SanitizePass removes all tombstones and shadowed versions
+// (cryptox.Sanitizable).
+func (e *LSM) SanitizePass(pattern byte) int64 { return e.store.SanitizePass(pattern) }
+
+// VerifySanitized reports whether no non-live bytes remain
+// (cryptox.Sanitizable).
+func (e *LSM) VerifySanitized(pattern byte) bool { return e.store.VerifySanitized(pattern) }
