@@ -17,13 +17,18 @@
 //	datacase-bench -exp backend                # heap vs LSM on the full
 //	                                           # compliance stack; writes
 //	                                           # BENCH_backend.json
+//	datacase-bench -exp readpath -readpath-readers 1,4,16
+//	                                           # read-scaling sweep: shared
+//	                                           # lock + decision cache vs
+//	                                           # one-big-mutex baseline;
+//	                                           # writes BENCH_readpath.json
 //	datacase-bench -list                       # print the experiment
 //	                                           # registry and exit
 //
 // Experiments: table1, fig3, fig4a, fig4b, fig4c, table2, deleteonly,
-// shardscale, loadgen, recovery, backend, all. An unknown -exp value
-// exits with status 2 and a usage message; -list prints the registry
-// with one-line descriptions and exits 0.
+// shardscale, loadgen, recovery, backend, readpath, all. An unknown
+// -exp value exits with status 2 and a usage message; -list prints the
+// registry with one-line descriptions and exits 0.
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/datacase/datacase"
 )
@@ -52,6 +58,7 @@ var experimentInfo = []struct {
 	{"loadgen", "closed-loop concurrent load driver; writes BENCH_loadgen.json"},
 	{"recovery", "crash-recovery sweep, full replay vs checkpointed; writes BENCH_recovery.json"},
 	{"backend", "heap vs LSM compliance backends: Fig 4(a) series, Table 1 conformance and erase checks; writes BENCH_backend.json"},
+	{"readpath", "read-scaling sweep: shared-lock + decision cache vs one-big-mutex baseline; writes BENCH_readpath.json"},
 }
 
 // experimentNames returns the registry names in order.
@@ -101,6 +108,14 @@ func main() {
 		recOut    = flag.String("recovery-out", "BENCH_recovery.json", "JSON output path for -exp recovery")
 
 		backendOut = flag.String("backend-out", "BENCH_backend.json", "JSON output path for -exp backend")
+
+		rpReaders = flag.String("readpath-readers", "1,4,16", "reader sweep for -exp readpath")
+		rpShards  = flag.Int("readpath-shards", 1, "shard count for -exp readpath (fixed across the sweep)")
+		rpRecords = flag.Int("readpath-records", 500, "preloaded records for -exp readpath")
+		rpOps     = flag.Int("readpath-ops", 4000, "total reads per sweep point for -exp readpath")
+		rpStall   = flag.Int("readpath-stall-micros", 200,
+			"modeled per-payload device latency in µs for -exp readpath (0 disables the model)")
+		rpOut = flag.String("readpath-out", "BENCH_readpath.json", "JSON output path for -exp readpath")
 	)
 	flag.Parse()
 
@@ -211,6 +226,9 @@ func main() {
 	}
 	if run("backend") {
 		runBackend(scale, *factor, *backendOut, *csv)
+	}
+	if run("readpath") {
+		runReadPath(*rpReaders, *rpShards, *rpRecords, *rpOps, *rpStall, *rpOut, *csv)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr,
@@ -323,6 +341,37 @@ func runBackend(scale datacase.Scale, factor int, out string, csv bool) {
 	fail(datacase.WriteBackendJSON(out, rep))
 	fmt.Printf("wrote %s (%d results, %d table1 rows, %d erase checks)\n",
 		out, len(rep.Results), len(rep.Table1), len(rep.EraseChecks))
+}
+
+// runReadPath sweeps reader counts over both backends with the decision
+// cache on and off, plus the exclusive-lock baseline, renders the
+// throughput figure and writes (then re-reads, enforcing the >= 3x
+// read-scaling property) the machine-readable BENCH_readpath.json.
+func runReadPath(readersCSV string, shards, records, ops, stallMicros int, out string, csv bool) {
+	readers, err := parseShards(readersCSV) // same "positive ints" grammar
+	fail(err)
+	stall := time.Duration(stallMicros) * time.Microsecond
+	fmt.Printf("running readpath (records=%d, ops=%d, shards=%d, readers=%v, io-stall=%v, backends=%v)...\n",
+		records, ops, shards, readers, stall, datacase.Backends())
+	results, err := datacase.ReadPathSweep(datacase.Backends(), readers, shards, records, ops, stall, 1)
+	fail(err)
+	for _, r := range results {
+		fail(r.Validate())
+		fmt.Printf("  %s\n", r)
+	}
+	render(datacase.ReadPathFigure(results), nil, csv)
+	fail(datacase.WriteReadPathJSON(out, results))
+	rep, err := datacase.ReadReadPathJSON(out)
+	fail(err)
+	for _, backend := range datacase.Backends() {
+		for _, cache := range []bool{false, true} {
+			if factor, ok := rep.ReadScaling(backend, cache); ok {
+				fmt.Printf("  %s cache=%-5v: widest sweep point delivers %.1fx single-reader throughput\n",
+					backend, cache, factor)
+			}
+		}
+	}
+	fmt.Printf("wrote %s (%d results)\n", out, len(results))
 }
 
 // parseShards parses a comma-separated shard-count sweep like "1,4,16".

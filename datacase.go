@@ -18,12 +18,14 @@
 package datacase
 
 import (
+	"github.com/datacase/datacase/internal/audit"
 	"github.com/datacase/datacase/internal/benchx"
 	"github.com/datacase/datacase/internal/compliance"
 	"github.com/datacase/datacase/internal/core"
 	"github.com/datacase/datacase/internal/erasure"
 	"github.com/datacase/datacase/internal/gdprbench"
 	"github.com/datacase/datacase/internal/loadgen"
+	"github.com/datacase/datacase/internal/policy"
 	"github.com/datacase/datacase/internal/storage"
 	"github.com/datacase/datacase/internal/wal"
 	"github.com/datacase/datacase/internal/ycsb"
@@ -521,6 +523,49 @@ var (
 	WriteBackendJSON = benchx.WriteBackendJSON
 	// ReadBackendJSON parses and validates a BENCH_backend.json file.
 	ReadBackendJSON = benchx.ReadBackendJSON
+)
+
+// ---- Read-path scaling experiment (-exp readpath) ----
+
+type (
+	// ReadPathConfig sizes one read-path measurement.
+	ReadPathConfig = benchx.ReadPathConfig
+	// ReadPathResult is one BENCH_readpath.json row.
+	ReadPathResult = benchx.ReadPathResult
+	// ReadPathReport is the BENCH_readpath.json document envelope.
+	ReadPathReport = benchx.ReadPathReport
+	// PolicyStats snapshots a policy engine's adjudication and
+	// decision-cache work counters.
+	PolicyStats = policy.Stats
+	// PolicyDecision is one adjudication outcome, with its validity
+	// bound and cache provenance.
+	PolicyDecision = policy.Decision
+)
+
+var (
+	// RunReadPath executes one read-path measurement: N closed-loop
+	// readers replaying a deterministic pure-read stream against the
+	// shared-lock read path (or the one-big-mutex baseline).
+	RunReadPath = benchx.RunReadPath
+	// ReadPathSweep runs the full matrix: backends x cache on/off x
+	// reader counts, plus the exclusive-lock baseline.
+	ReadPathSweep = benchx.ReadPathSweep
+	// ReadPathFigure renders sweep results as a figure.
+	ReadPathFigure = benchx.ReadPathFigure
+	// WriteReadPathJSON writes results as a BENCH_readpath.json document.
+	WriteReadPathJSON = benchx.WriteReadPathJSON
+	// ReadReadPathJSON parses and validates a BENCH_readpath.json file,
+	// enforcing the >= 3x read-scaling property.
+	ReadReadPathJSON = benchx.ReadReadPathJSON
+	// DefaultReaderSweep is the 1/4/16 reader sweep.
+	DefaultReaderSweep = benchx.DefaultReaderSweep
+	// NewCachedPolicyEngine wraps a policy engine with the
+	// epoch-invalidated decision cache (profiles do this by default;
+	// see Profile.NoDecisionCache).
+	NewCachedPolicyEngine = policy.NewCached
+	// NewAsyncAuditLogger wraps an audit logger with the bounded async
+	// sink (profiles do this by default; see Profile.SyncAudit).
+	NewAsyncAuditLogger = audit.NewAsync
 )
 
 var (

@@ -1,0 +1,241 @@
+package audit
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/datacase/datacase/internal/core"
+)
+
+// AsyncLogger routes hot-path audit records through a bounded in-memory
+// queue drained by one background goroutine, so the inner logger's
+// mutex (and its rendering/sealing cost) stops serializing concurrent
+// readers. Compliance semantics are preserved by construction:
+//
+//   - Nothing is ever dropped: a full queue blocks the producer
+//     (bounded backpressure), because an audit record that vanishes is
+//     a compliance violation, not a performance optimization.
+//   - Synchronous records (mutations, regulation-required actions) go
+//     through Log, which first waits for every queued record to land —
+//     the inner log is always prefix-consistent at synchronous points.
+//   - Every inspection (Count, SizeBytes, ContainsUnit, EraseUnit,
+//     ReconstructHistory) flushes first, so log erasure on delete
+//     (P_SYS) sees all entries of the erased unit, and audits never
+//     read a log with records still in flight.
+//
+// AsyncLogger implements Logger; the compliance layer decides per
+// record class which path to use (LogAsync for allowed hot-path reads,
+// Log for everything else).
+type AsyncLogger struct {
+	inner Logger
+	depth int
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// queue holds enqueued-but-not-yet-logged entries. enqSeq/drainSeq
+	// are the enqueue and completed-drain generation counters: a flush
+	// waits for drainSeq to reach the enqSeq it observed, i.e. for the
+	// records enqueued BEFORE the flush — not for the queue to run dry,
+	// which sustained concurrent producers could postpone forever.
+	queue    []Entry
+	enqSeq   uint64
+	drainSeq uint64
+	closed   bool
+	// err is the first inner-logger failure, surfaced on the next
+	// synchronous call (the drainer cannot return it to the producer).
+	err error
+
+	flushes  atomic.Uint64
+	maxDepth int
+}
+
+// DefaultAsyncDepth bounds the queue when the caller does not choose.
+const DefaultAsyncDepth = 1024
+
+// AsyncStats snapshots the sink's work counters.
+type AsyncStats struct {
+	// Enqueued counts records routed through the async path.
+	Enqueued uint64
+	// Flushes counts synchronous waits for the queue to drain.
+	Flushes uint64
+	// MaxDepth is the deepest the queue has been.
+	MaxDepth int
+}
+
+// NewAsync wraps inner with a bounded async sink (depth <= 0 selects
+// DefaultAsyncDepth) and starts its drainer.
+func NewAsync(inner Logger, depth int) *AsyncLogger {
+	if depth <= 0 {
+		depth = DefaultAsyncDepth
+	}
+	a := &AsyncLogger{inner: inner, depth: depth, queue: make([]Entry, 0, depth)}
+	a.cond = sync.NewCond(&a.mu)
+	go a.drain()
+	return a
+}
+
+// Inner returns the wrapped logger.
+func (a *AsyncLogger) Inner() Logger { return a.inner }
+
+// Name implements Logger: the grounding is the inner logger's.
+func (a *AsyncLogger) Name() string { return a.inner.Name() }
+
+// drain is the sink's goroutine: dequeue one entry at a time, write it
+// to the inner logger, and advance the drain generation so flushers
+// waiting on it make progress even while producers keep enqueueing.
+func (a *AsyncLogger) drain() {
+	for {
+		a.mu.Lock()
+		for len(a.queue) == 0 && !a.closed {
+			a.cond.Wait()
+		}
+		if len(a.queue) == 0 && a.closed {
+			a.mu.Unlock()
+			return
+		}
+		e := a.queue[0]
+		a.queue = a.queue[1:]
+		if len(a.queue) == 0 {
+			// Recycle the backing array so repeated slicing cannot grow
+			// it without bound across bursts.
+			a.queue = make([]Entry, 0, a.depth)
+		}
+		a.mu.Unlock()
+
+		err := a.inner.Log(e)
+
+		a.mu.Lock()
+		a.drainSeq++
+		if err != nil && a.err == nil {
+			a.err = err
+		}
+		a.cond.Broadcast()
+		a.mu.Unlock()
+	}
+}
+
+// LogAsync enqueues a hot-path record. It blocks only when the queue is
+// at capacity (backpressure) and never drops. The entry's payload
+// slices are copied: the caller may hand the response buffer to its own
+// caller, which must not mutate a record already in the audit pipeline.
+func (a *AsyncLogger) LogAsync(e Entry) {
+	e.Response = append([]byte(nil), e.Response...)
+	e.PolicySnapshot = append([]byte(nil), e.PolicySnapshot...)
+	a.mu.Lock()
+	for len(a.queue) >= a.depth && !a.closed {
+		a.cond.Wait()
+	}
+	if a.closed {
+		// A closed sink degrades to synchronous logging rather than
+		// losing the record.
+		a.mu.Unlock()
+		if err := a.inner.Log(e); err != nil {
+			a.noteErr(err)
+		}
+		return
+	}
+	a.queue = append(a.queue, e)
+	if d := len(a.queue); d > a.maxDepth {
+		a.maxDepth = d
+	}
+	a.enqSeq++
+	a.cond.Broadcast()
+	a.mu.Unlock()
+}
+
+func (a *AsyncLogger) noteErr(err error) {
+	a.mu.Lock()
+	if a.err == nil {
+		a.err = err
+	}
+	a.mu.Unlock()
+}
+
+// Flush blocks until every record enqueued BEFORE the call has landed
+// in the inner logger, and returns the first deferred drain error, if
+// any. Records enqueued by concurrent producers after the flush began
+// are not waited for — a flush under sustained read traffic completes
+// instead of chasing an ever-refilling queue.
+func (a *AsyncLogger) Flush() error {
+	a.flushes.Add(1)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	target := a.enqSeq
+	for a.drainSeq < target {
+		a.cond.Wait()
+	}
+	return a.err
+}
+
+// Close flushes everything and stops the drainer. The logger remains
+// usable: later records are written synchronously.
+func (a *AsyncLogger) Close() error {
+	a.mu.Lock()
+	a.closed = true
+	a.cond.Broadcast()
+	// No producer can enqueue past closed, so waiting for empty
+	// terminates.
+	for a.drainSeq < a.enqSeq {
+		a.cond.Wait()
+	}
+	err := a.err
+	a.mu.Unlock()
+	return err
+}
+
+// Stats snapshots the sink's counters.
+func (a *AsyncLogger) Stats() AsyncStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AsyncStats{
+		Enqueued: a.enqSeq,
+		Flushes:  a.flushes.Load(),
+		MaxDepth: a.maxDepth,
+	}
+}
+
+// Log implements Logger: the synchronous class. The queue drains first,
+// so the inner log is prefix-consistent — a mutation's record never
+// precedes a read record that was enqueued before it.
+func (a *AsyncLogger) Log(e Entry) error {
+	if err := a.Flush(); err != nil {
+		return err
+	}
+	return a.inner.Log(e)
+}
+
+// Count implements Logger (flushes first).
+func (a *AsyncLogger) Count() int {
+	_ = a.Flush()
+	return a.inner.Count()
+}
+
+// SizeBytes implements Logger (flushes first).
+func (a *AsyncLogger) SizeBytes() int64 {
+	_ = a.Flush()
+	return a.inner.SizeBytes()
+}
+
+// ContainsUnit implements Logger (flushes first).
+func (a *AsyncLogger) ContainsUnit(unit core.UnitID) bool {
+	_ = a.Flush()
+	return a.inner.ContainsUnit(unit)
+}
+
+// EraseUnit implements Logger: the flush is load-bearing — erasing a
+// unit's entries while some are still queued would let them land after
+// the erasure and resurrect the erased unit in the log.
+func (a *AsyncLogger) EraseUnit(unit core.UnitID) (int, error) {
+	if err := a.Flush(); err != nil {
+		return 0, err
+	}
+	return a.inner.EraseUnit(unit)
+}
+
+// ReconstructHistory implements Logger (flushes first).
+func (a *AsyncLogger) ReconstructHistory() (*core.History, error) {
+	if err := a.Flush(); err != nil {
+		return nil, err
+	}
+	return a.inner.ReconstructHistory()
+}

@@ -1,0 +1,233 @@
+package audit
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/datacase/datacase/internal/core"
+)
+
+// TestAsyncLoggerContract: the async wrapper must satisfy the same
+// behavioural contract as the loggers it wraps (its accessors flush, so
+// the contract's synchronous expectations hold).
+func TestAsyncLoggerContract(t *testing.T) {
+	loggerContract(t, func(t *testing.T) Logger {
+		t.Helper()
+		a := NewAsync(NewQueryLogger(), 0)
+		t.Cleanup(func() { _ = a.Close() })
+		return a
+	})
+}
+
+// TestAsyncLoggerDeliversAll: every async record lands, none
+// duplicated, whatever the interleaving of producers.
+func TestAsyncLoggerDeliversAll(t *testing.T) {
+	inner := NewQueryLogger()
+	a := NewAsync(inner, 16)
+	defer a.Close()
+	const producers, perProducer = 8, 200
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				a.LogAsync(entry(core.UnitID(fmt.Sprintf("u%d-%d", p, i)), core.ActionRead, core.Time(i)))
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.Count(); got != producers*perProducer {
+		t.Fatalf("inner holds %d entries, want %d", got, producers*perProducer)
+	}
+	st := a.Stats()
+	if st.Enqueued != producers*perProducer {
+		t.Fatalf("enqueued = %d, want %d", st.Enqueued, producers*perProducer)
+	}
+	if st.MaxDepth > 16 {
+		t.Fatalf("queue depth %d exceeded its bound 16", st.MaxDepth)
+	}
+}
+
+// TestAsyncLoggerSyncLogOrdering: a synchronous record must land after
+// every record enqueued before it (prefix consistency at sync points).
+func TestAsyncLoggerSyncLogOrdering(t *testing.T) {
+	inner := NewQueryLogger()
+	a := NewAsync(inner, 64)
+	defer a.Close()
+	for i := 0; i < 32; i++ {
+		a.LogAsync(entry("read-unit", core.ActionRead, core.Time(i)))
+	}
+	if err := a.Log(entry("write-unit", core.ActionWrite, 100)); err != nil {
+		t.Fatal(err)
+	}
+	entries := inner.Entries()
+	if len(entries) != 33 {
+		t.Fatalf("inner holds %d entries, want 33", len(entries))
+	}
+	if last := entries[len(entries)-1]; last.Tuple.Unit != "write-unit" {
+		t.Fatalf("synchronous record is not last (last = %s)", last.Tuple.Unit)
+	}
+}
+
+// TestAsyncLoggerEraseUnitFlushes: log erasure must cover records still
+// in the queue — an entry of the erased unit must never land after the
+// erasure.
+func TestAsyncLoggerEraseUnitFlushes(t *testing.T) {
+	inner := NewQueryLogger()
+	a := NewAsync(inner, 64)
+	defer a.Close()
+	for i := 0; i < 16; i++ {
+		a.LogAsync(entry("victim", core.ActionRead, core.Time(i)))
+	}
+	n, err := a.EraseUnit("victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 16 {
+		t.Fatalf("erased %d entries, want 16 (queued records escaped the erasure)", n)
+	}
+	if a.ContainsUnit("victim") {
+		t.Fatal("victim entries survived erasure")
+	}
+}
+
+// TestAsyncLoggerBackpressure: a queue of depth 1 still delivers
+// everything — producers block rather than drop.
+func TestAsyncLoggerBackpressure(t *testing.T) {
+	inner := NewQueryLogger()
+	a := NewAsync(inner, 1)
+	defer a.Close()
+	for i := 0; i < 100; i++ {
+		a.LogAsync(entry(core.UnitID(fmt.Sprintf("u%d", i)), core.ActionRead, core.Time(i)))
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.Count(); got != 100 {
+		t.Fatalf("inner holds %d entries, want 100", got)
+	}
+}
+
+// TestAsyncLoggerCloseDegradesToSync: after Close the sink keeps
+// working synchronously (no record loss at shutdown).
+func TestAsyncLoggerCloseDegradesToSync(t *testing.T) {
+	inner := NewQueryLogger()
+	a := NewAsync(inner, 8)
+	a.LogAsync(entry("u1", core.ActionRead, 1))
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a.LogAsync(entry("u2", core.ActionRead, 2))
+	if err := a.Log(entry("u3", core.ActionWrite, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.Count(); got != 3 {
+		t.Fatalf("inner holds %d entries, want 3", got)
+	}
+}
+
+// slowLogger delays every Log, so producers can outpace the drainer.
+type slowLogger struct {
+	QueryLogger
+	delay time.Duration
+}
+
+func (s *slowLogger) Log(e Entry) error {
+	time.Sleep(s.delay)
+	return s.QueryLogger.Log(e)
+}
+
+// TestAsyncLoggerFlushCompletesUnderSustainedLoad: Flush waits for the
+// records enqueued before it, not for the queue to run dry — under
+// producers that continuously refill the queue faster than the slow
+// inner logger drains it, a queue-empty flush would block forever
+// (stalling audits and subject-access requests in the DB layer).
+func TestAsyncLoggerFlushCompletesUnderSustainedLoad(t *testing.T) {
+	inner := &slowLogger{delay: 200 * time.Microsecond}
+	inner.byUnit = make(map[core.UnitID][]int)
+	a := NewAsync(inner, 4)
+	defer a.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a.LogAsync(entry(core.UnitID(fmt.Sprintf("u%d-%d", p, i)), core.ActionRead, core.Time(i)))
+			}
+		}(p)
+	}
+	done := make(chan error, 1)
+	go func() { done <- a.Flush() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Error(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Error("Flush blocked behind concurrent producers")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// failingLogger fails every Log after a threshold.
+type failingLogger struct {
+	QueryLogger
+	n, failAfter int
+}
+
+func (f *failingLogger) Log(e Entry) error {
+	f.n++
+	if f.n > f.failAfter {
+		return errors.New("disk full")
+	}
+	return f.QueryLogger.Log(e)
+}
+
+// TestAsyncLoggerErrorSurfaces: a drain-time inner failure must surface
+// on the next synchronous call, not vanish.
+func TestAsyncLoggerErrorSurfaces(t *testing.T) {
+	inner := &failingLogger{failAfter: 1}
+	inner.byUnit = make(map[core.UnitID][]int)
+	a := NewAsync(inner, 8)
+	defer a.Close()
+	a.LogAsync(entry("u1", core.ActionRead, 1))
+	a.LogAsync(entry("u2", core.ActionRead, 2)) // this one fails in the drainer
+	if err := a.Flush(); err == nil {
+		t.Fatal("drain error did not surface on Flush")
+	}
+}
+
+// TestAsyncLoggerDeepCopies: the producer may reuse its response buffer
+// after LogAsync returns; the queued record must not alias it.
+func TestAsyncLoggerDeepCopies(t *testing.T) {
+	inner := NewQueryLogger()
+	a := NewAsync(inner, 8)
+	defer a.Close()
+	buf := []byte("original")
+	e := entry("u1", core.ActionRead, 1)
+	e.Response = buf
+	a.LogAsync(e)
+	copy(buf, "MUTATED!")
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := inner.Entries()[0].Response
+	if string(got) != "original" {
+		t.Fatalf("queued record aliased the caller's buffer: %q", got)
+	}
+}

@@ -127,11 +127,13 @@ func Backends() []string {
 	return []string{compliance.BackendHeap, compliance.BackendLSM}
 }
 
-// backendProfile grounds P_Base on the given backend. The erasure
-// grounding differs by construction: DELETE+VACUUM on the heap,
-// tombstones with erase-aware compaction on the LSM.
+// backendProfile grounds P_Base on the given backend, in the
+// paper-baseline configuration (the sweep reproduces Figure 4(a)'s
+// shape; see paperProfiles). The erasure grounding differs by
+// construction: DELETE+VACUUM on the heap, tombstones with erase-aware
+// compaction on the LSM.
 func backendProfile(backend string) compliance.Profile {
-	p := compliance.PBase()
+	p := compliance.PBase().PaperBaseline()
 	p.Backend = backend
 	return p
 }
@@ -207,6 +209,7 @@ func RunBackendEraseCheck(backend string, seed int64) (BackendEraseCheck, error)
 	if err != nil {
 		return check, err
 	}
+	defer s.Close()
 	const victim = "victim-subject-xq7"
 	var victimKeys, otherKeys []string
 	for i := 0; i < 64; i++ {

@@ -1,0 +1,452 @@
+package benchx
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"github.com/datacase/datacase/internal/compliance"
+	"github.com/datacase/datacase/internal/fanout"
+	"github.com/datacase/datacase/internal/gdprbench"
+	"github.com/datacase/datacase/internal/loadgen"
+	"github.com/datacase/datacase/internal/policy"
+)
+
+// The read-path scaling experiment: GDPRBench workloads are
+// read-dominated, and before this redesign every shard serialized all
+// operations behind one mutex — 16 readers went no faster than one.
+// The experiment drives a pure policy-checked read stream (ReadData +
+// ReadMeta on the strictest grounding, P_SYS) at growing reader counts
+// over a fixed shard count, across the redesign's axes:
+//
+//   - lock: "shared" (the new read path) vs "exclusive" (the old
+//     one-big-mutex baseline, Profile.ExclusiveReads),
+//   - cache: decision cache on vs off,
+//   - backend: heap vs lsm.
+//
+// Every run models the device latency a real deployment pays per
+// payload access (Profile.IOStall): under the exclusive baseline those
+// waits serialize — reader throughput is flat no matter the count —
+// while the shared read path overlaps them, so throughput scales with
+// readers until the CPU binds. That contrast is the point of the
+// figure, and it holds on any core count.
+
+// ReadPathLock names the two locking disciplines.
+const (
+	LockShared    = "shared"
+	LockExclusive = "exclusive"
+)
+
+// ReadPathConfig sizes one read-path measurement.
+type ReadPathConfig struct {
+	// Backend is the storage engine (compliance.BackendHeap/LSM).
+	Backend string
+	// Readers is the closed-loop reader count.
+	Readers int
+	// Shards is the deployment's shard count (the scaling claim is
+	// per-shard: same shard count across the reader sweep).
+	Shards int
+	// Records is the preloaded dataset size.
+	Records int
+	// Ops is the total read count, split across readers.
+	Ops int
+	// Cache enables the decision cache.
+	Cache bool
+	// Exclusive selects the one-big-mutex baseline read path.
+	Exclusive bool
+	// IOStall is the modeled device latency per payload access.
+	IOStall time.Duration
+	// Seed makes the dataset and key stream deterministic.
+	Seed int64
+}
+
+// withDefaults fills zero fields.
+func (c ReadPathConfig) withDefaults() ReadPathConfig {
+	if c.Backend == "" {
+		c.Backend = compliance.BackendHeap
+	}
+	if c.Readers <= 0 {
+		c.Readers = 1
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Records <= 0 {
+		c.Records = 500
+	}
+	if c.Ops <= 0 {
+		c.Ops = 2000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ReadPathResult is one row of BENCH_readpath.json.
+type ReadPathResult struct {
+	Backend       string  `json:"backend"`
+	Lock          string  `json:"lock"`
+	Cache         bool    `json:"cache"`
+	Readers       int     `json:"readers"`
+	Shards        int     `json:"shards"`
+	Records       int     `json:"records"`
+	Ops           int     `json:"ops"`
+	IOStallMicros int64   `json:"io_stall_micros"`
+	ElapsedSecs   float64 `json:"elapsed_seconds"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	P50Micros     float64 `json:"p50_micros"`
+	P95Micros     float64 `json:"p95_micros"`
+	P99Micros     float64 `json:"p99_micros"`
+	// Decision-cache work, summed over shards.
+	CacheHits          uint64 `json:"cache_hits"`
+	CacheMisses        uint64 `json:"cache_misses"`
+	CacheInvalidations uint64 `json:"cache_invalidations"`
+	CacheStaleKills    uint64 `json:"cache_stale_kills"`
+	// Denied / NotFound count tolerated per-op failures (none are
+	// expected on this pure-read stream over live records).
+	Denied   uint64 `json:"denied"`
+	NotFound uint64 `json:"not_found"`
+}
+
+// Lock returns the locking-discipline label of the config.
+func (c ReadPathConfig) lock() string {
+	if c.Exclusive {
+		return LockExclusive
+	}
+	return LockShared
+}
+
+// String renders one result row.
+func (r ReadPathResult) String() string {
+	cache := "cache-off"
+	if r.Cache {
+		cache = "cache-on "
+	}
+	return fmt.Sprintf("readpath %-4s %-9s %s readers=%-3d shards=%d ops=%-6d %9.0f ops/s  "+
+		"p50=%.1fµs p99=%.1fµs hits=%d",
+		r.Backend, r.Lock, cache, r.Readers, r.Shards, r.Ops, r.OpsPerSec,
+		r.P50Micros, r.P99Micros, r.CacheHits)
+}
+
+// Validate sanity-checks one row.
+func (r ReadPathResult) Validate() error {
+	switch {
+	case r.Backend != compliance.BackendHeap && r.Backend != compliance.BackendLSM:
+		return fmt.Errorf("readpath: unknown backend %q", r.Backend)
+	case r.Lock != LockShared && r.Lock != LockExclusive:
+		return fmt.Errorf("readpath: unknown lock discipline %q", r.Lock)
+	case r.Readers <= 0 || r.Ops <= 0 || r.Records <= 0:
+		return fmt.Errorf("readpath: empty run (readers=%d ops=%d records=%d)", r.Readers, r.Ops, r.Records)
+	case r.OpsPerSec <= 0:
+		return fmt.Errorf("readpath: non-positive throughput %f", r.OpsPerSec)
+	case !r.Cache && r.CacheHits > 0:
+		return fmt.Errorf("readpath: cache-off run served %d cache hits", r.CacheHits)
+	case r.NotFound > 0:
+		return fmt.Errorf("readpath: %d reads missed live records", r.NotFound)
+	}
+	return nil
+}
+
+// readPathProfile grounds P_SYS — the strictest, most compliance-taxed
+// profile — on the config's backend and axes.
+func readPathProfile(c ReadPathConfig) compliance.Profile {
+	p := compliance.PSYS()
+	p.Backend = c.Backend
+	p.NoDecisionCache = !c.Cache
+	p.ExclusiveReads = c.Exclusive
+	p.IOStall = c.IOStall
+	return p
+}
+
+// RunReadPath executes one measurement: preload Records, then Readers
+// closed-loop clients replay deterministic slices of a pure read stream
+// (90% ReadData / 10% ReadMeta, uniform over the dataset).
+func RunReadPath(cfg ReadPathConfig) (ReadPathResult, error) {
+	cfg = cfg.withDefaults()
+	res := ReadPathResult{
+		Backend: cfg.Backend, Lock: cfg.lock(), Cache: cfg.Cache,
+		Readers: cfg.Readers, Shards: cfg.Shards,
+		Records: cfg.Records, Ops: cfg.Ops,
+		IOStallMicros: cfg.IOStall.Microseconds(),
+	}
+	db, err := compliance.OpenShardedWorkers(readPathProfile(cfg), cfg.Shards, cfg.Readers)
+	if err != nil {
+		return res, err
+	}
+	defer db.Close()
+	for i := 0; i < cfg.Records; i++ {
+		rec := gdprbench.Record{
+			Key:        gdprbench.KeyFor(i),
+			Subject:    subjectForKey(gdprbench.KeyFor(i)),
+			Payload:    []byte(fmt.Sprintf("payload-%06d-%06d", cfg.Seed, i)),
+			Purposes:   []string{"analytics"},
+			TTL:        1 << 40,
+			Processors: []string{"processor-a"},
+		}
+		if err := db.Create(rec); err != nil {
+			return res, err
+		}
+	}
+
+	// One deterministic key stream per reader.
+	streams := make([][]string, cfg.Readers)
+	perReader := (cfg.Ops + cfg.Readers - 1) / cfg.Readers
+	total := 0
+	for r := range streams {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(r)*7919))
+		n := min(perReader, cfg.Ops-total)
+		total += n
+		streams[r] = make([]string, n)
+		for i := range streams[r] {
+			streams[r][i] = gdprbench.KeyFor(rng.Intn(cfg.Records))
+		}
+	}
+
+	baseline := db.Counters()
+	hist := &loadgen.Histogram{}
+	start := time.Now()
+	err = fanout.Run(cfg.Readers, cfg.Readers, func(r int) error {
+		for i, key := range streams[r] {
+			opStart := time.Now()
+			var err error
+			if i%10 == 9 {
+				_, err = db.ReadMeta(compliance.EntityController, compliance.PurposeService, key)
+			} else {
+				_, err = db.ReadData(compliance.EntityController, compliance.PurposeService, key)
+			}
+			hist.RecordDuration(time.Since(opStart))
+			if err != nil {
+				return fmt.Errorf("readpath: read %q: %w", key, err)
+			}
+		}
+		return nil
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		return res, err
+	}
+
+	c := db.Counters()
+	res.ElapsedSecs = elapsed.Seconds()
+	if s := elapsed.Seconds(); s > 0 {
+		res.OpsPerSec = float64(total) / s
+	}
+	res.P50Micros = float64(hist.Quantile(0.50)) / 1e3
+	res.P95Micros = float64(hist.Quantile(0.95)) / 1e3
+	res.P99Micros = float64(hist.Quantile(0.99)) / 1e3
+	res.Denied = c.Denials - baseline.Denials
+	res.NotFound = c.NotFound - baseline.NotFound
+	st := sumPolicyStats(db)
+	res.CacheHits = st.CacheHits
+	res.CacheMisses = st.CacheMisses
+	res.CacheInvalidations = st.CacheInvalidations
+	res.CacheStaleKills = st.CacheStaleKills
+	return res, nil
+}
+
+// sumPolicyStats merges the per-shard policy-engine counters.
+func sumPolicyStats(db *compliance.ShardedDB) policy.Stats {
+	var out policy.Stats
+	for i := 0; i < db.NumShards(); i++ {
+		st := db.Shard(i).PolicyEngine().Stats()
+		out.Checks += st.Checks
+		out.CacheHits += st.CacheHits
+		out.CacheMisses += st.CacheMisses
+		out.CacheInvalidations += st.CacheInvalidations
+		out.CacheStaleKills += st.CacheStaleKills
+	}
+	return out
+}
+
+// DefaultReaderSweep is the reader-count sweep of the experiment.
+func DefaultReaderSweep() []int { return []int{1, 4, 16} }
+
+// DefaultReadPathStall is the modeled per-payload device latency the
+// experiment runs under (see the package comment: it is what makes
+// lock-granularity effects measurable on any core count).
+const DefaultReadPathStall = 200 * time.Microsecond
+
+// ReadPathSweep runs the full matrix: for each backend, the shared-lock
+// read path with cache on and off across the reader sweep, plus the
+// exclusive-lock baseline (cache off — the seed engine's configuration)
+// at the sweep's endpoints.
+func ReadPathSweep(backends []string, readers []int, shards, records, ops int,
+	stall time.Duration, seed int64) ([]ReadPathResult, error) {
+	if len(backends) == 0 {
+		backends = Backends()
+	}
+	if len(readers) == 0 {
+		readers = DefaultReaderSweep()
+	}
+	var results []ReadPathResult
+	run := func(cfg ReadPathConfig) error {
+		r, err := RunReadPath(cfg)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+		return nil
+	}
+	for _, backend := range backends {
+		for _, cache := range []bool{false, true} {
+			for _, n := range readers {
+				err := run(ReadPathConfig{
+					Backend: backend, Readers: n, Shards: shards,
+					Records: records, Ops: ops, Cache: cache,
+					IOStall: stall, Seed: seed,
+				})
+				if err != nil {
+					return results, err
+				}
+			}
+		}
+		// The one-big-mutex baseline: flat whatever the reader count.
+		// The sweep endpoints suffice (deduplicated, so a single-element
+		// reader sweep measures the baseline once, not twice).
+		baseline := []int{readers[0]}
+		if last := readers[len(readers)-1]; last != readers[0] {
+			baseline = append(baseline, last)
+		}
+		for _, n := range baseline {
+			err := run(ReadPathConfig{
+				Backend: backend, Readers: n, Shards: shards,
+				Records: records, Ops: ops, Exclusive: true,
+				IOStall: stall, Seed: seed,
+			})
+			if err != nil {
+				return results, err
+			}
+		}
+	}
+	return results, nil
+}
+
+// ReadPathFigure renders the sweep as throughput-vs-readers series.
+func ReadPathFigure(results []ReadPathResult) Figure {
+	fig := Figure{
+		Title:  "Read path: completion time vs concurrent readers (shared-lock + decision cache vs one big mutex)",
+		XLabel: "readers",
+	}
+	series := map[string]*Series{}
+	var order []string
+	for _, r := range results {
+		label := fmt.Sprintf("%s/%s", r.Backend, r.Lock)
+		if r.Lock == LockShared {
+			if r.Cache {
+				label += "/cache"
+			} else {
+				label += "/nocache"
+			}
+		}
+		s, ok := series[label]
+		if !ok {
+			s = &Series{Label: label}
+			series[label] = s
+			order = append(order, label)
+		}
+		s.Points = append(s.Points, Point{
+			X: float64(r.Readers),
+			Y: time.Duration(r.ElapsedSecs * float64(time.Second)),
+		})
+	}
+	for _, label := range order {
+		fig.Series = append(fig.Series, *series[label])
+	}
+	return fig
+}
+
+// ReadPathReport is the BENCH_readpath.json document.
+type ReadPathReport struct {
+	Benchmark string           `json:"benchmark"`
+	Schema    int              `json:"schema"`
+	Results   []ReadPathResult `json:"results"`
+}
+
+// readPathSchemaVersion is bumped when the report shape changes.
+const readPathSchemaVersion = 1
+
+// ReadScaling returns the 16-vs-1 reader throughput factor of the
+// shared-lock series for (backend, cache), and whether both endpoints
+// were present.
+func (rep ReadPathReport) ReadScaling(backend string, cache bool) (float64, bool) {
+	var single, widest float64
+	maxReaders := 0
+	for _, r := range rep.Results {
+		if r.Backend != backend || r.Cache != cache || r.Lock != LockShared {
+			continue
+		}
+		if r.Readers == 1 {
+			single = r.OpsPerSec
+		}
+		if r.Readers > maxReaders {
+			maxReaders = r.Readers
+			widest = r.OpsPerSec
+		}
+	}
+	if single <= 0 || maxReaders < 2 {
+		return 0, false
+	}
+	return widest / single, true
+}
+
+// WriteReadPathJSON writes the BENCH_readpath.json document to path.
+func WriteReadPathJSON(path string, results []ReadPathResult) error {
+	rep := ReadPathReport{Benchmark: "readpath", Schema: readPathSchemaVersion, Results: results}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("readpath: encode report: %w", err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return fmt.Errorf("readpath: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadReadPathJSON parses and validates a BENCH_readpath.json file,
+// enforcing the redesign's acceptance property: on every (backend,
+// cache) series of the shared-lock read path, the widest reader count
+// must deliver at least 3x the single-reader throughput on the same
+// shard count.
+func ReadReadPathJSON(path string) (ReadPathReport, error) {
+	var rep ReadPathReport
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return rep, fmt.Errorf("readpath: read %s: %w", path, err)
+	}
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return rep, fmt.Errorf("readpath: parse %s: %w", path, err)
+	}
+	if rep.Benchmark != "readpath" {
+		return rep, fmt.Errorf("readpath: %s is not a readpath report (benchmark=%q)", path, rep.Benchmark)
+	}
+	if len(rep.Results) == 0 {
+		return rep, fmt.Errorf("readpath: %s has no results", path)
+	}
+	shards := rep.Results[0].Shards
+	for i, r := range rep.Results {
+		if err := r.Validate(); err != nil {
+			return rep, fmt.Errorf("readpath: %s result %d: %w", path, i, err)
+		}
+		if r.Shards != shards {
+			return rep, fmt.Errorf("readpath: %s mixes shard counts (%d vs %d) — the scaling claim is per shard count",
+				path, r.Shards, shards)
+		}
+	}
+	for _, backend := range Backends() {
+		for _, cache := range []bool{false, true} {
+			factor, ok := rep.ReadScaling(backend, cache)
+			if !ok {
+				continue // backend not in this run
+			}
+			if factor < 3 {
+				return rep, fmt.Errorf(
+					"readpath: %s: %s cache=%v scales only %.2fx from 1 reader to the widest sweep point (want >= 3x)",
+					path, backend, cache, factor)
+			}
+		}
+	}
+	return rep, nil
+}

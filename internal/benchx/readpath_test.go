@@ -1,0 +1,158 @@
+package benchx
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/datacase/datacase/internal/compliance"
+)
+
+// readPathTestConfig keeps unit-test runs fast: tiny dataset, short op
+// stream, no modeled device latency.
+func readPathTestConfig(backend string, readers int, cache bool) ReadPathConfig {
+	return ReadPathConfig{
+		Backend: backend, Readers: readers, Shards: 1,
+		Records: 100, Ops: 400, Cache: cache, Seed: 1,
+	}
+}
+
+func TestRunReadPathBothBackends(t *testing.T) {
+	for _, backend := range Backends() {
+		for _, cache := range []bool{false, true} {
+			r, err := RunReadPath(readPathTestConfig(backend, 4, cache))
+			if err != nil {
+				t.Fatalf("%s cache=%v: %v", backend, cache, err)
+			}
+			if err := r.Validate(); err != nil {
+				t.Fatalf("%s cache=%v: %v", backend, cache, err)
+			}
+			if r.Denied != 0 || r.NotFound != 0 {
+				t.Fatalf("%s cache=%v: pure-read stream denied=%d notfound=%d",
+					backend, cache, r.Denied, r.NotFound)
+			}
+			if cache && r.CacheHits == 0 {
+				t.Fatalf("%s: cache-on run served no hits over a repeated key stream", backend)
+			}
+		}
+	}
+}
+
+func TestRunReadPathExclusiveBaseline(t *testing.T) {
+	cfg := readPathTestConfig(compliance.BackendHeap, 4, false)
+	cfg.Exclusive = true
+	r, err := RunReadPath(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Lock != LockExclusive {
+		t.Fatalf("lock label = %q, want %q", r.Lock, LockExclusive)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadPathJSONRoundTripAndScalingGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock scaling assertion; skipped under -short")
+	}
+	// A stall that dwarfs per-op CPU (coverage-instrumented runs
+	// included) makes reader overlap dominate the measurement on any
+	// machine, single-core CI runners included: 8 overlapping readers
+	// approach 8x, leaving a wide margin over the 3x gate.
+	results, err := ReadPathSweep([]string{compliance.BackendHeap}, []int{1, 8}, 1,
+		60, 480, time.Millisecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_readpath.json")
+	if err := WriteReadPathJSON(path, results); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadReadPathJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != len(results) {
+		t.Fatalf("round trip lost results: %d vs %d", len(rep.Results), len(results))
+	}
+	factor, ok := rep.ReadScaling(compliance.BackendHeap, true)
+	if !ok {
+		t.Fatal("scaling endpoints missing")
+	}
+	if factor < 3 {
+		t.Fatalf("8-reader throughput only %.2fx single-reader (want >= 3x)", factor)
+	}
+}
+
+func TestReadPathJSONRejectsBadReports(t *testing.T) {
+	dir := t.TempDir()
+
+	// A report whose shared-lock series does not scale must fail the
+	// acceptance validation.
+	flat := []ReadPathResult{
+		{Backend: "heap", Lock: LockShared, Cache: true, Readers: 1, Shards: 1,
+			Records: 10, Ops: 10, OpsPerSec: 1000},
+		{Backend: "heap", Lock: LockShared, Cache: true, Readers: 16, Shards: 1,
+			Records: 10, Ops: 10, OpsPerSec: 1500},
+	}
+	path := filepath.Join(dir, "flat.json")
+	if err := WriteReadPathJSON(path, flat); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReadPathJSON(path); err == nil {
+		t.Fatal("flat scaling accepted")
+	}
+
+	// Mixed shard counts invalidate the per-shard-count claim.
+	mixed := []ReadPathResult{
+		{Backend: "heap", Lock: LockShared, Cache: true, Readers: 1, Shards: 1,
+			Records: 10, Ops: 10, OpsPerSec: 1000},
+		{Backend: "heap", Lock: LockShared, Cache: true, Readers: 16, Shards: 4,
+			Records: 10, Ops: 10, OpsPerSec: 9000},
+	}
+	path = filepath.Join(dir, "mixed.json")
+	if err := WriteReadPathJSON(path, mixed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReadPathJSON(path); err == nil {
+		t.Fatal("mixed shard counts accepted")
+	}
+
+	// A cache-off row reporting cache hits is inconsistent.
+	lying := []ReadPathResult{
+		{Backend: "heap", Lock: LockShared, Cache: false, Readers: 1, Shards: 1,
+			Records: 10, Ops: 10, OpsPerSec: 1000, CacheHits: 5},
+	}
+	path = filepath.Join(dir, "lying.json")
+	if err := WriteReadPathJSON(path, lying); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReadPathJSON(path); err == nil {
+		t.Fatal("cache-off row with cache hits accepted")
+	}
+}
+
+// BenchmarkReadPath measures the pure-CPU read path (no modeled device
+// latency) at growing reader counts on both backends, cache on.
+func BenchmarkReadPath(b *testing.B) {
+	for _, backend := range Backends() {
+		for _, readers := range DefaultReaderSweep() {
+			b.Run(fmt.Sprintf("%s/readers-%d", backend, readers), func(b *testing.B) {
+				var opsPerSec float64
+				for i := 0; i < b.N; i++ {
+					cfg := readPathTestConfig(backend, readers, true)
+					cfg.Records, cfg.Ops = 500, 4000
+					r, err := RunReadPath(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					opsPerSec = r.OpsPerSec
+				}
+				b.ReportMetric(opsPerSec, "ops/s")
+			})
+		}
+	}
+}

@@ -255,6 +255,7 @@ func RunRecovery(profile compliance.Profile, records, ops, shards, checkpointEve
 	if err != nil {
 		return RecoveryResult{}, err
 	}
+	defer db.Close()
 	for i := 0; i < records; i++ {
 		if err := db.Create(recoveryRecord(i)); err != nil {
 			return RecoveryResult{}, err
@@ -283,6 +284,7 @@ func RunRecovery(profile compliance.Profile, records, ops, shards, checkpointEve
 	if err != nil {
 		return RecoveryResult{}, err
 	}
+	defer recovered.Close()
 	res.RecoverSeconds = time.Since(start).Seconds()
 	res.CheckpointRows = stats.CheckpointRows
 	res.RecordsReplayed = stats.RecordsReplayed

@@ -79,6 +79,7 @@ func RunGDPRBench(profile compliance.Profile, w gdprbench.WorkloadName, records,
 	if err != nil {
 		return RunResult{}, err
 	}
+	defer db.Close()
 	loadTime, err := LoadGDPR(db, records, seed)
 	if err != nil {
 		return RunResult{}, err
@@ -150,6 +151,7 @@ func RunYCSB(profile compliance.Profile, w ycsb.WorkloadName, records, txns int,
 	if err != nil {
 		return RunResult{}, err
 	}
+	defer db.Close()
 	loadTime, err := LoadGDPR(db, records, seed)
 	if err != nil {
 		return RunResult{}, err
@@ -194,6 +196,7 @@ func SpaceAfterRun(profile compliance.Profile, w gdprbench.WorkloadName, records
 	if err != nil {
 		return compliance.SpaceReport{}, err
 	}
+	defer db.Close()
 	if _, err := LoadGDPR(db, records, seed); err != nil {
 		return compliance.SpaceReport{}, err
 	}

@@ -76,6 +76,7 @@ func RunShardedGDPRBench(profile compliance.Profile, w gdprbench.WorkloadName,
 	if err != nil {
 		return RunResult{}, err
 	}
+	defer db.Close()
 	loadTime, err := LoadShardedGDPR(db, records, seed, clients)
 	if err != nil {
 		return RunResult{}, err
@@ -152,6 +153,7 @@ func RunShardedErasureBatch(profile compliance.Profile, records, shards, clients
 	if err != nil {
 		return RunResult{}, err
 	}
+	defer db.Close()
 	loadTime, err := LoadShardedGDPR(db, records, seed, clients)
 	if err != nil {
 		return RunResult{}, err
@@ -191,6 +193,7 @@ func RunShardedAudit(profile compliance.Profile, records, shards, workers int, s
 	if err != nil {
 		return RunResult{}, err
 	}
+	defer db.Close()
 	loadTime, err := LoadShardedGDPR(db, records, seed, workers)
 	if err != nil {
 		return RunResult{}, err

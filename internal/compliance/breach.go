@@ -35,7 +35,7 @@ func (db *DB) RecordBreach(id string, affectedKeys []string) error {
 		},
 		At: now,
 	}
-	db.logOp(tuple, "BREACH DETECTED", []byte(strings.Join(affectedKeys, ",")), "")
+	db.logOp(tuple, "BREACH DETECTED", []byte(strings.Join(affectedKeys, ",")), "", nil)
 	if db.history != nil {
 		db.history.MustAppend(tuple)
 	}
@@ -61,7 +61,7 @@ func (db *DB) NotifyBreach(id string) error {
 		},
 		At: now,
 	}
-	db.logOp(tuple, "BREACH NOTIFIED", nil, "")
+	db.logOp(tuple, "BREACH NOTIFIED", nil, "", nil)
 	if db.history != nil {
 		db.history.MustAppend(tuple)
 	}

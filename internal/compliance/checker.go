@@ -63,11 +63,19 @@ func (db *DB) Audit(invs *core.InvariantSet) (Report, error) {
 		return rep, fmt.Errorf("compliance: profile %s was opened without TrackModel; "+
 			"no model view to audit", db.profile.Name)
 	}
-	// Hold the DB lock for the whole evaluation: the invariants walk the
-	// model mirror and history, which every mutating operation appends to
-	// under the same lock. Auditing a moving target would tear reads.
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	// The async audit queue must land before the audit evaluates — an
+	// audit that misses in-flight records is not demonstrable
+	// accountability.
+	db.flushAudit()
+	// Hold the shared lock for the whole evaluation: mutations (which
+	// rewrite the model mirror's units) are excluded, while concurrent
+	// readers may proceed — they only append read tuples to the
+	// internally-locked history, and a read tuple records an access the
+	// policy engine just allowed, which no invariant can count as a
+	// violation. Audits therefore snapshot without stopping the read
+	// traffic they audit.
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	now := db.clock.Now()
 	rep.Now = now
 	rep.Checked = invs.IDs()

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/datacase/datacase/internal/audit"
 	"github.com/datacase/datacase/internal/core"
@@ -41,7 +42,7 @@ var (
 	ErrDenied = errors.New("compliance: access denied")
 )
 
-// Counters tally DB-level work.
+// Counters is a snapshot of the DB-level work tally.
 type Counters struct {
 	Creates     uint64
 	DataReads   uint64
@@ -62,15 +63,65 @@ type Counters struct {
 	Checkpoints uint64
 }
 
+// counterBlock is the live tally. Every field is atomic because the
+// shared-lock read path bumps reads, denials and not-founds while
+// holding mu only in read mode — concurrent readers must count
+// race-free without write access.
+type counterBlock struct {
+	creates        atomic.Uint64
+	dataReads      atomic.Uint64
+	dataUpdates    atomic.Uint64
+	deletes        atomic.Uint64
+	metaReads      atomic.Uint64
+	metaUpdates    atomic.Uint64
+	metaScans      atomic.Uint64
+	denials        atomic.Uint64
+	notFound       atomic.Uint64
+	vacuums        atomic.Uint64
+	vacuumFulls    atomic.Uint64
+	cascadeDeletes atomic.Uint64
+	checkpoints    atomic.Uint64
+}
+
+// snapshot copies the live tally into the exported shape.
+func (c *counterBlock) snapshot() Counters {
+	return Counters{
+		Creates:        c.creates.Load(),
+		DataReads:      c.dataReads.Load(),
+		DataUpdates:    c.dataUpdates.Load(),
+		Deletes:        c.deletes.Load(),
+		MetaReads:      c.metaReads.Load(),
+		MetaUpdates:    c.metaUpdates.Load(),
+		MetaScans:      c.metaScans.Load(),
+		Denials:        c.denials.Load(),
+		NotFound:       c.notFound.Load(),
+		Vacuums:        c.vacuums.Load(),
+		VacuumFulls:    c.vacuumFulls.Load(),
+		CascadeDeletes: c.cascadeDeletes.Load(),
+		Checkpoints:    c.checkpoints.Load(),
+	}
+}
+
 // DB is one grounded deployment: a heap table of GDPR records plus the
 // profile's policy engine, audit logger and at-rest protection. All
 // operations are policy-checked and logged per the profile's grounding.
-// DB serializes operations with a single mutex (the harness measures
-// completion time of a serial stream, like the paper's workloads).
+//
+// Concurrency model (ARCHITECTURE.md §6): mu is a read/write lock.
+// Mutations — creates, updates, deletes, consent changes, erase
+// compounds, checkpointing, recovery replay — take it exclusively.
+// The read path (ReadData, ReadMeta, ReadByMeta, SubjectAccess,
+// Audit, Space) takes it shared, so policy-checked reads scale across
+// cores: the structures a reader touches are each safe under the
+// shared lock — the storage engine and policy engine are internally
+// RWMutex-protected, the logical clock and op counters are atomic,
+// model history appends are internally locked, and hot-path audit
+// records go through the async sink. Readers never write any
+// mu-guarded field. Profile.ExclusiveReads restores the old
+// one-big-mutex behaviour as an experiment baseline.
 type DB struct {
 	profile Profile
 
-	mu sync.Mutex
+	mu sync.RWMutex
 	// clock is the deployment's logical clock; in a sharded deployment
 	// every shard shares one clock, so deadline invariants (retention,
 	// breach notification) advance with traffic anywhere, not just on
@@ -79,6 +130,9 @@ type DB struct {
 	data     storage.Engine
 	policies policy.Engine
 	logger   audit.Logger
+	// asink is the async audit sink behind logger (nil when the profile
+	// chose SyncAudit); hot-path read records enqueue here.
+	asink    *audit.AsyncLogger
 	sealer   cryptox.Sealer
 	blockdev *cryptox.BlockDev
 	prov     *provenance.Graph
@@ -94,7 +148,7 @@ type DB struct {
 	history *core.History
 
 	mutationsSinceCheck int
-	counters            Counters
+	counters            counterBlock
 
 	// checkpointer state (guarded by mu): mutations and WAL growth since
 	// the last durable checkpoint, for the ops-/bytes-triggered policy.
@@ -163,13 +217,21 @@ func openNamed(p Profile, tableName string, clock *core.Clock) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	policies := p.NewPolicyEngine()
+	if !p.NoDecisionCache {
+		policies = policy.NewCached(policies, p.DecisionCacheEntries)
+	}
 	db := &DB{
 		profile:  p,
 		clock:    clock,
 		data:     data,
-		policies: p.NewPolicyEngine(),
+		policies: policies,
 		logger:   logger,
 		prov:     provenance.NewGraph(),
+	}
+	if !p.SyncAudit {
+		db.asink = audit.NewAsync(logger, p.AuditQueueDepth)
+		db.logger = db.asink
 	}
 	if p.UseBlockDev {
 		// 96-byte sectors: enough for the mall payloads without the
@@ -227,11 +289,45 @@ func (db *DB) Profile() Profile { return db.profile }
 // backend-specific statistics such as purge-obligation counters).
 func (db *DB) Engine() storage.Engine { return db.data }
 
-// Counters returns a snapshot of the op counters.
-func (db *DB) Counters() Counters {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.counters
+// Counters returns a snapshot of the op counters. The fields are
+// atomics, so the snapshot needs no lock and never blocks behind the
+// write path.
+func (db *DB) Counters() Counters { return db.counters.snapshot() }
+
+// rlock acquires the read-path lock: shared by default, exclusive when
+// the profile chose the ExclusiveReads baseline. It returns the
+// matching unlock.
+func (db *DB) rlock() func() {
+	if db.profile.ExclusiveReads {
+		db.mu.Lock()
+		return db.mu.Unlock
+	}
+	db.mu.RLock()
+	return db.mu.RUnlock
+}
+
+// flushAudit forces every queued async audit record into the inner
+// logger (no-op for SyncAudit profiles). Called at the points where the
+// log must be complete: audits, checkpoints, close.
+func (db *DB) flushAudit() {
+	if db.asink != nil {
+		// Drain errors are logger failures, which this in-memory stack
+		// treats as programming errors (see logOp).
+		if err := db.asink.Flush(); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// Close flushes the async audit sink and stops its drainer. The DB
+// remains usable — later hot-path records degrade to synchronous
+// logging — so Close is about goroutine hygiene, not lifecycle
+// enforcement.
+func (db *DB) Close() error {
+	if db.asink != nil {
+		return db.asink.Close()
+	}
+	return nil
 }
 
 // Len returns the number of live records.
@@ -291,12 +387,15 @@ func (db *DB) checkpointIfDueLocked() {
 }
 
 // checkpointLocked snapshots the DB state into the WAL and truncates
-// the log up to the new checkpoint. Caller holds mu.
+// the log up to the new checkpoint. Caller holds mu. The async audit
+// queue flushes first, so the log is complete up to every state a
+// checkpoint can be taken at.
 func (db *DB) checkpointLocked() wal.LSN {
+	db.flushAudit()
 	log := db.data.Log()
 	lsn := log.Checkpoint(encodeCheckpointState(db))
 	log.Truncate(lsn - 1)
-	db.counters.Checkpoints++
+	db.counters.checkpoints.Add(1)
 	db.opsSinceCheckpoint = 0
 	db.mutationsSinceClockNote = 0 // the snapshot carries the clock
 	db.walBytesAtCheckpoint = log.SizeBytes()
@@ -333,8 +432,21 @@ func (db *DB) Logger() audit.Logger { return db.logger }
 // PolicyEngine exposes the policy engine (reports, tests).
 func (db *DB) PolicyEngine() policy.Engine { return db.policies }
 
+// ioStall models the device access a real deployment would wait on
+// (Profile.IOStall; 0 disables). It runs on the payload path only —
+// exactly where a disk-backed system would block — so concurrency
+// experiments can observe lock-granularity effects: under the shared
+// read lock the stalls of concurrent readers overlap, under
+// ExclusiveReads they serialize.
+func (db *DB) ioStall() {
+	if db.profile.IOStall > 0 {
+		time.Sleep(db.profile.IOStall)
+	}
+}
+
 // protect converts a plaintext payload into the stored blob.
 func (db *DB) protect(payload []byte) ([]byte, error) {
+	db.ioStall()
 	if db.blockdev != nil {
 		sector := db.nextSector
 		db.nextSector++
@@ -351,6 +463,7 @@ func (db *DB) protect(payload []byte) ([]byte, error) {
 
 // unprotect recovers the plaintext payload from a stored blob.
 func (db *DB) unprotect(blob []byte) ([]byte, error) {
+	db.ioStall()
 	if db.blockdev != nil {
 		if len(blob) != 8 {
 			return nil, fmt.Errorf("compliance: bad sector reference")
@@ -404,7 +517,7 @@ func (db *DB) Create(rec gdprbench.Record) error {
 	db.logOp(core.HistoryTuple{
 		Unit: unit, Purpose: PurposeService, Entity: EntityController,
 		Action: core.Action{Kind: core.ActionCreate, SystemAction: "INSERT"}, At: now,
-	}, "INSERT INTO data", row, unit)
+	}, "INSERT INTO data", row, unit, nil)
 	if db.modelDB != nil {
 		u := core.NewDataUnit(unit, core.KindBase, subject, "collection")
 		u.SetValue(rec.Payload, now)
@@ -423,7 +536,7 @@ func (db *DB) Create(rec gdprbench.Record) error {
 			Action: core.Action{Kind: core.ActionCreate, SystemAction: "INSERT"}, At: now,
 		})
 	}
-	db.counters.Creates++
+	db.counters.creates.Add(1)
 	db.noteClockLocked(false)
 	db.maybeCheckpointLocked()
 	return nil
@@ -444,14 +557,17 @@ func recordPolicies(rec gdprbench.Record, now, deadline core.Time) []core.Policy
 	}
 }
 
-// ReadData reads a record's personal data by key.
+// ReadData reads a record's personal data by key. It runs under the
+// shared lock: the engine Get, the policy check (decision cache
+// included), the decrypt and the audit record are all safe for
+// concurrent readers, so reads scale instead of queueing behind one
+// mutex.
 func (db *DB) ReadData(entity core.EntityID, purpose core.Purpose, key string) ([]byte, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	defer db.rlock()()
 	now := db.clock.Tick()
 	row, ok := db.data.Get([]byte(key))
 	if !ok {
-		db.counters.NotFound++
+		db.counters.notFound.Add(1)
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
 	}
 	unit := core.UnitID(key)
@@ -460,7 +576,7 @@ func (db *DB) ReadData(entity core.EntityID, purpose core.Purpose, key string) (
 		Entity: entity, Purpose: purpose, Action: core.ActionRead, At: now,
 	})
 	if !d.Allowed {
-		db.counters.Denials++
+		db.counters.denials.Add(1)
 		return nil, fmt.Errorf("%w: %s", ErrDenied, d.Reason)
 	}
 	rec, err := decodeRecord(row)
@@ -475,11 +591,11 @@ func (db *DB) ReadData(entity core.EntityID, purpose core.Purpose, key string) (
 		Unit: unit, Purpose: purpose, Entity: entity,
 		Action: core.Action{Kind: core.ActionRead, SystemAction: "SELECT"}, At: now,
 	}
-	db.logOp(tuple, "SELECT data", payload, unit)
+	db.logRead(tuple, "SELECT data", payload, unit, &d)
 	if db.history != nil {
 		db.history.MustAppend(tuple)
 	}
-	db.counters.DataReads++
+	db.counters.dataReads.Add(1)
 	return payload, nil
 }
 
@@ -490,7 +606,7 @@ func (db *DB) UpdateData(entity core.EntityID, purpose core.Purpose, key string,
 	now := db.clock.Tick()
 	row, ok := db.data.Get([]byte(key))
 	if !ok {
-		db.counters.NotFound++
+		db.counters.notFound.Add(1)
 		return fmt.Errorf("%w: %s", ErrNotFound, key)
 	}
 	unit := core.UnitID(key)
@@ -499,7 +615,7 @@ func (db *DB) UpdateData(entity core.EntityID, purpose core.Purpose, key string,
 		Entity: entity, Purpose: purpose, Action: core.ActionWrite, At: now,
 	})
 	if !d.Allowed {
-		db.counters.Denials++
+		db.counters.denials.Add(1)
 		return fmt.Errorf("%w: %s", ErrDenied, d.Reason)
 	}
 	rec, err := decodeRecord(row)
@@ -523,14 +639,14 @@ func (db *DB) UpdateData(entity core.EntityID, purpose core.Purpose, key string,
 		Unit: unit, Purpose: purpose, Entity: entity,
 		Action: core.Action{Kind: core.ActionWrite, SystemAction: "UPDATE"}, At: now,
 	}
-	db.logOp(tuple, "UPDATE data", payload, unit)
+	db.logOp(tuple, "UPDATE data", payload, unit, &d)
 	if db.modelDB != nil {
 		if u, ok := db.modelDB.Lookup(unit); ok {
 			u.SetValue(payload, now)
 		}
 		db.history.MustAppend(tuple)
 	}
-	db.counters.DataUpdates++
+	db.counters.dataUpdates.Add(1)
 	db.afterMutation()
 	return nil
 }
@@ -552,7 +668,7 @@ func (db *DB) deleteDataLocked(entity core.EntityID, key string) error {
 	// before the row disappears.
 	row, ok := db.data.Get([]byte(key))
 	if !ok {
-		db.counters.NotFound++
+		db.counters.notFound.Add(1)
 		return fmt.Errorf("%w: %s", ErrNotFound, key)
 	}
 	subject := append([]byte(nil), metaSubject(row)...)
@@ -568,7 +684,7 @@ func (db *DB) deleteDataLocked(entity core.EntityID, key string) error {
 		}
 	}
 	if err := db.data.Delete([]byte(key)); err != nil {
-		db.counters.NotFound++
+		db.counters.notFound.Add(1)
 		return fmt.Errorf("%w: %s", ErrNotFound, key)
 	}
 	// On purge-capable backends (LSM), a regulation-mandated delete is
@@ -594,7 +710,7 @@ func (db *DB) deleteDataLocked(entity core.EntityID, key string) error {
 		Action: core.Action{Kind: core.ActionErase, SystemAction: sysAction, RequiredByRegulation: true},
 		At:     now,
 	}
-	db.logOp(tuple, "DELETE FROM data", nil, unit)
+	db.logOp(tuple, "DELETE FROM data", nil, unit, nil)
 	if db.modelDB != nil {
 		if u, ok := db.modelDB.Lookup(unit); ok {
 			u.RevokeAllPolicies(now)
@@ -602,7 +718,7 @@ func (db *DB) deleteDataLocked(entity core.EntityID, key string) error {
 		}
 		db.history.MustAppend(tuple)
 	}
-	db.counters.Deletes++
+	db.counters.deletes.Add(1)
 	// The strong-delete grounding cascades to derived records in which
 	// the subject remains identifiable (§3.1's strong deletion).
 	if db.profile.CascadeDependents {
@@ -622,14 +738,13 @@ func (db *DB) deleteDataLocked(entity core.EntityID, key string) error {
 
 // ReadMeta answers a keyed metadata query for one record (the customer
 // workload's "reads of metadata": a subject inspecting their own
-// record's policies and TTL).
+// record's policies and TTL). Shared-lock read path, like ReadData.
 func (db *DB) ReadMeta(entity core.EntityID, purpose core.Purpose, key string) (Metadata, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	defer db.rlock()()
 	now := db.clock.Tick()
 	row, ok := db.data.Get([]byte(key))
 	if !ok {
-		db.counters.NotFound++
+		db.counters.notFound.Add(1)
 		return Metadata{}, fmt.Errorf("%w: %s", ErrNotFound, key)
 	}
 	unit := core.UnitID(key)
@@ -638,7 +753,7 @@ func (db *DB) ReadMeta(entity core.EntityID, purpose core.Purpose, key string) (
 		Entity: entity, Purpose: purpose, Action: core.ActionReadMetadata, At: now,
 	})
 	if !d.Allowed {
-		db.counters.Denials++
+		db.counters.denials.Add(1)
 		return Metadata{}, fmt.Errorf("%w: %s", ErrDenied, d.Reason)
 	}
 	rec, err := decodeRecord(row)
@@ -649,11 +764,11 @@ func (db *DB) ReadMeta(entity core.EntityID, purpose core.Purpose, key string) (
 		Unit: unit, Purpose: purpose, Entity: entity,
 		Action: core.Action{Kind: core.ActionReadMetadata, SystemAction: "SELECT meta"}, At: now,
 	}
-	db.logOp(tuple, "SELECT meta", encodeMetadata(rec.Meta), unit)
+	db.logRead(tuple, "SELECT meta", encodeMetadata(rec.Meta), unit, &d)
 	if db.history != nil {
 		db.history.MustAppend(tuple)
 	}
-	db.counters.MetaReads++
+	db.counters.metaReads.Add(1)
 	return rec.Meta, nil
 }
 
@@ -665,7 +780,7 @@ func (db *DB) UpdateMeta(entity core.EntityID, purpose core.Purpose, key, newPur
 	now := db.clock.Tick()
 	row, ok := db.data.Get([]byte(key))
 	if !ok {
-		db.counters.NotFound++
+		db.counters.notFound.Add(1)
 		return fmt.Errorf("%w: %s", ErrNotFound, key)
 	}
 	unit := core.UnitID(key)
@@ -675,7 +790,7 @@ func (db *DB) UpdateMeta(entity core.EntityID, purpose core.Purpose, key, newPur
 		Entity: entity, Purpose: purpose, Action: core.ActionWriteMetadata, At: now,
 	})
 	if !d.Allowed {
-		db.counters.Denials++
+		db.counters.denials.Add(1)
 		return fmt.Errorf("%w: %s", ErrDenied, d.Reason)
 	}
 	rec, err := decodeRecord(row)
@@ -717,11 +832,11 @@ func (db *DB) UpdateMeta(entity core.EntityID, purpose core.Purpose, key, newPur
 		Unit: unit, Purpose: purpose, Entity: entity,
 		Action: core.Action{Kind: core.ActionWriteMetadata, SystemAction: "UPDATE meta"}, At: now,
 	}
-	db.logOp(tuple, "UPDATE meta", encodeMetadata(rec.Meta), unit)
+	db.logOp(tuple, "UPDATE meta", encodeMetadata(rec.Meta), unit, &d)
 	if db.history != nil {
 		db.history.MustAppend(tuple)
 	}
-	db.counters.MetaUpdates++
+	db.counters.metaUpdates.Add(1)
 	db.afterMutation()
 	return nil
 }
@@ -741,8 +856,7 @@ func (db *DB) ReadByMeta(entity core.EntityID, purpose core.Purpose, metaPurpose
 // predicate (denied rows keep their slot, as in the unsharded path:
 // the limit bounds the scan, not the successful reads).
 func (db *DB) readByMetaBudget(entity core.EntityID, purpose core.Purpose, metaPurpose string, budget *atomic.Int64) (int, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	defer db.rlock()()
 	now := db.clock.Tick()
 	type match struct {
 		key []byte
@@ -774,7 +888,7 @@ func (db *DB) readByMetaBudget(entity core.EntityID, purpose core.Purpose, metaP
 			Entity: entity, Purpose: purpose, Action: core.ActionRead, At: now,
 		})
 		if !d.Allowed {
-			db.counters.Denials++
+			db.counters.denials.Add(1)
 			continue
 		}
 		rec, err := decodeRecord(m.row)
@@ -792,7 +906,7 @@ func (db *DB) readByMetaBudget(entity core.EntityID, purpose core.Purpose, metaP
 			// Demonstrable accountability logs every row-level access
 			// with its policy snapshot, not just the query (§4.2: "all
 			// policies are logged at the time of all the operations").
-			db.logOp(tuple, "SELECT by-meta (row)", nil, unit)
+			db.logRead(tuple, "SELECT by-meta (row)", nil, unit, &d)
 		}
 		if db.history != nil {
 			db.history.MustAppend(tuple)
@@ -800,16 +914,21 @@ func (db *DB) readByMetaBudget(entity core.EntityID, purpose core.Purpose, metaP
 		read++
 	}
 	// One audit entry for the query itself.
-	db.logOp(core.HistoryTuple{
+	db.logRead(core.HistoryTuple{
 		Unit: core.UnitID("query:" + metaPurpose), Purpose: purpose, Entity: entity,
 		Action: core.Action{Kind: core.ActionRead, SystemAction: "SELECT by-meta"}, At: now,
-	}, "SELECT data WHERE purpose", []byte(fmt.Sprintf("%d rows", read)), "")
-	db.counters.MetaScans++
+	}, "SELECT data WHERE purpose", []byte(fmt.Sprintf("%d rows", read)), "", nil)
+	db.counters.metaScans.Add(1)
 	return read, nil
 }
 
-// logOp writes the audit entry per the profile's logging grounding.
-func (db *DB) logOp(tuple core.HistoryTuple, query string, response []byte, snapshotUnit core.UnitID) {
+// buildEntry renders one audit entry per the profile's logging
+// grounding. d, when non-nil, is the adjudication that authorized the
+// operation: cache-served decisions are recorded with their grounding
+// in the policy snapshot — demonstrable accountability must show not
+// just that an access was allowed but how the allow was produced.
+func (db *DB) buildEntry(tuple core.HistoryTuple, query string, response []byte,
+	snapshotUnit core.UnitID, d *policy.Decision) audit.Entry {
 	e := audit.Entry{Tuple: tuple, Query: query}
 	if db.profile.LogResponses {
 		e.Response = response
@@ -820,6 +939,9 @@ func (db *DB) logOp(tuple core.HistoryTuple, query string, response []byte, snap
 		// all operations).
 		snap := fmt.Sprintf("unit=%s entity=%s purpose=%s at=%d engine=%s",
 			snapshotUnit, tuple.Entity, tuple.Purpose, tuple.At, db.policies.Name())
+		if d != nil && d.CacheHit {
+			snap += fmt.Sprintf(" decision=cached(valid-through=%s)", d.ValidThrough)
+		}
 		if lister, ok := db.policies.(policy.PolicyLister); ok {
 			for _, p := range lister.PoliciesOf(snapshotUnit) {
 				snap += " " + p.String()
@@ -827,7 +949,31 @@ func (db *DB) logOp(tuple core.HistoryTuple, query string, response []byte, snap
 		}
 		e.PolicySnapshot = []byte(snap)
 	}
+	return e
+}
+
+// logOp writes a synchronous audit entry: mutations, denials-of-record
+// and regulation-required actions land in the log before the operation
+// returns.
+func (db *DB) logOp(tuple core.HistoryTuple, query string, response []byte,
+	snapshotUnit core.UnitID, d *policy.Decision) {
 	// Logger failures are programming errors in this in-memory stack.
+	if err := db.logger.Log(db.buildEntry(tuple, query, response, snapshotUnit, d)); err != nil {
+		panic(err)
+	}
+}
+
+// logRead records a hot-path read: through the bounded async sink when
+// the profile has one (the default), synchronously otherwise. The sink
+// never drops — a full queue applies backpressure — and flushes at
+// every audit, checkpoint, log inspection, log erasure and close.
+func (db *DB) logRead(tuple core.HistoryTuple, query string, response []byte,
+	snapshotUnit core.UnitID, d *policy.Decision) {
+	e := db.buildEntry(tuple, query, response, snapshotUnit, d)
+	if db.asink != nil {
+		db.asink.LogAsync(e)
+		return
+	}
 	if err := db.logger.Log(e); err != nil {
 		panic(err)
 	}
@@ -874,10 +1020,10 @@ func (db *DB) afterMutation() {
 	switch db.profile.Vacuum {
 	case VacuumLazy:
 		v.VacuumLazy()
-		db.counters.Vacuums++
+		db.counters.vacuums.Add(1)
 	case VacuumFull:
 		v.VacuumFullRewrite()
-		db.counters.VacuumFulls++
+		db.counters.vacuumFulls.Add(1)
 	}
 }
 

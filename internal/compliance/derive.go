@@ -35,7 +35,7 @@ type derivedParent struct {
 func (db *DB) fetchParentLocked(entity core.EntityID, purpose core.Purpose, key string, now core.Time) (derivedParent, error) {
 	row, ok := db.data.Get([]byte(key))
 	if !ok {
-		db.counters.NotFound++
+		db.counters.notFound.Add(1)
 		return derivedParent{}, fmt.Errorf("%w: parent %s", ErrNotFound, key)
 	}
 	unit := core.UnitID(key)
@@ -44,7 +44,7 @@ func (db *DB) fetchParentLocked(entity core.EntityID, purpose core.Purpose, key 
 		Entity: entity, Purpose: purpose, Action: core.ActionRead, At: now,
 	})
 	if !d.Allowed {
-		db.counters.Denials++
+		db.counters.denials.Add(1)
 		return derivedParent{}, fmt.Errorf("%w: parent %s: %s", ErrDenied, key, d.Reason)
 	}
 	rec, err := decodeRecord(row)
@@ -146,7 +146,7 @@ func (db *DB) insertDerivedLocked(entity core.EntityID, purpose core.Purpose, ne
 		Unit: unit, Purpose: purpose, Entity: entity,
 		Action: core.Action{Kind: core.ActionDerive, SystemAction: "INSERT derived"}, At: now,
 	}
-	db.logOp(tuple, "DERIVE "+description, nil, unit)
+	db.logOp(tuple, "DERIVE "+description, nil, unit, nil)
 	if db.modelDB != nil {
 		var u *core.DataUnit
 		if len(modelParents) == len(parents) {
@@ -161,7 +161,7 @@ func (db *DB) insertDerivedLocked(entity core.EntityID, purpose core.Purpose, ne
 		_ = db.modelDB.Add(u)
 		db.history.MustAppend(tuple)
 	}
-	db.counters.Creates++
+	db.counters.creates.Add(1)
 	return nil
 }
 
@@ -248,7 +248,7 @@ func (db *DB) cascadeDependents(unit core.UnitID, subject []byte, entity core.En
 			},
 			At: now,
 		}
-		db.logOp(tuple, "DELETE dependent", nil, dep)
+		db.logOp(tuple, "DELETE dependent", nil, dep, nil)
 		if db.modelDB != nil {
 			if u, ok := db.modelDB.Lookup(dep); ok {
 				u.RevokeAllPolicies(now)
@@ -256,7 +256,7 @@ func (db *DB) cascadeDependents(unit core.UnitID, subject []byte, entity core.En
 			}
 			db.history.MustAppend(tuple)
 		}
-		db.counters.CascadeDeletes++
+		db.counters.cascadeDeletes.Add(1)
 	}
 }
 

@@ -18,6 +18,7 @@ package compliance
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/datacase/datacase/internal/audit"
 	"github.com/datacase/datacase/internal/core"
@@ -141,6 +142,49 @@ type Profile struct {
 	// experiments compare against.
 	SerialWAL bool
 
+	// NoDecisionCache disables the epoch-invalidated policy decision
+	// cache. The default (false) wraps the profile's policy engine in
+	// policy.NewCached: repeated adjudications of the same (unit,
+	// entity, purpose, action) are served from memory, with every
+	// consent-changing mutation bumping the invalidation epoch before it
+	// commits — a cached allow can never outlive the consent that
+	// justified it. The uncached mode is the benchmark baseline and an
+	// escape hatch for engines with At-dependent guards (the standard
+	// engines have none).
+	NoDecisionCache bool
+	// DecisionCacheEntries bounds the decision cache; 0 selects
+	// policy.DefaultCacheEntries.
+	DecisionCacheEntries int
+
+	// SyncAudit writes every audit record synchronously on the
+	// operation's goroutine. The default (false) routes allowed hot-path
+	// read records through a bounded async sink (audit.AsyncLogger) —
+	// denials, mutations and regulation-required records always stay
+	// synchronous, and the sink flushes at every audit, checkpoint, log
+	// inspection, log erasure and close, so nothing observable ever
+	// misses a record. The synchronous mode is the benchmark baseline.
+	SyncAudit bool
+	// AuditQueueDepth bounds the async audit queue; 0 selects
+	// audit.DefaultAsyncDepth. A full queue blocks readers (bounded
+	// backpressure) — records are never dropped.
+	AuditQueueDepth int
+
+	// ExclusiveReads makes the read path take the shard's exclusive
+	// lock, as the pre-concurrent engine did — reads serialize behind
+	// each other and behind writers. It exists as the read-scaling
+	// experiment's baseline ("one big mutex") and is never what a
+	// deployment wants.
+	ExclusiveReads bool
+
+	// IOStall models the storage-device access latency this in-memory
+	// substrate otherwise elides: when positive, every payload
+	// protect/unprotect sleeps this long, the way a real deployment
+	// waits on its disk or KMS. Concurrency experiments set it to make
+	// lock-granularity effects measurable — under the exclusive-lock
+	// baseline stalls serialize, under the shared-lock read path they
+	// overlap. 0 (the default) disables the model entirely.
+	IOStall time.Duration
+
 	// CheckpointEveryOps, when positive, makes each deployment (each
 	// shard, in a sharded deployment) take a durable WAL checkpoint
 	// every N mutating operations, truncating the log up to it. 0
@@ -249,6 +293,20 @@ func PSYS() Profile {
 // Profiles returns the three paper profiles in Figure-4 order.
 func Profiles() []Profile {
 	return []Profile{PBase(), PGBench(), PSYS()}
+}
+
+// PaperBaseline returns the profile with the post-paper accelerators
+// disabled: no decision cache, fully synchronous audit logging. The
+// paper's systems (PostgreSQL, the GDPRBench stores, Sieve) pay their
+// full adjudication and logging tax on every operation — figure
+// reproductions must measure that configuration, or the cache would
+// quietly reorder the groundings' costs (it accelerates the strict
+// profiles most, which is the point of the read-path redesign but not
+// of Figure 4).
+func (p Profile) PaperBaseline() Profile {
+	p.NoDecisionCache = true
+	p.SyncAudit = true
+	return p
 }
 
 // Groundings records the profile's concept interpretations and their

@@ -249,7 +249,7 @@ func recoverNamed(p Profile, tableName string, clock *core.Clock, image []byte, 
 		// rows were not re-logged row by row, so the new log must carry
 		// the checkpoint that makes them recoverable again.
 		db.data.Log().Checkpoint(ck.Payload)
-		db.counters.Checkpoints++
+		db.counters.checkpoints.Add(1)
 		db.walBytesAtCheckpoint = db.data.Log().SizeBytes()
 		tail = scan.Records[scan.LastCheckpoint+1:]
 	}
@@ -283,7 +283,7 @@ func recoverNamed(p Profile, tableName string, clock *core.Clock, image []byte, 
 		Unit: core.UnitID("recovery:" + tableName), Purpose: PurposeService, Entity: EntitySystem,
 		Action: core.Action{Kind: core.ActionRestore, SystemAction: "RECOVER", RequiredByRegulation: true},
 		At:     clock.Tick(),
-	}, "RECOVER", nil, "")
+	}, "RECOVER", nil, "", nil)
 	return db, st, nil
 }
 

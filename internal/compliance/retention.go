@@ -30,7 +30,10 @@ type SweepReport struct {
 // (including log erasure and dependent cascade for P_SYS) and are
 // recorded as regulation-required actions.
 func (db *DB) SweepExpired() (SweepReport, error) {
-	db.mu.Lock()
+	// The deadline scan is a read (shared lock); the erasures below
+	// re-acquire the exclusive lock per record, so concurrent traffic
+	// interleaves with a long sweep instead of stalling behind it.
+	db.mu.RLock()
 	now := db.clock.Tick()
 	var rep SweepReport
 	var expired []string
@@ -41,8 +44,8 @@ func (db *DB) SweepExpired() (SweepReport, error) {
 		}
 		return true
 	})
-	cascadesBefore := db.counters.CascadeDeletes
-	db.mu.Unlock()
+	cascadesBefore := db.counters.cascadeDeletes.Load()
+	db.mu.RUnlock()
 
 	for _, key := range expired {
 		if err := db.DeleteData(EntitySystem, key); err != nil {
@@ -52,9 +55,7 @@ func (db *DB) SweepExpired() (SweepReport, error) {
 		}
 		rep.Erased++
 	}
-	db.mu.Lock()
-	rep.Cascaded = db.counters.CascadeDeletes - cascadesBefore
-	db.mu.Unlock()
+	rep.Cascaded = db.counters.cascadeDeletes.Load() - cascadesBefore
 	return rep, nil
 }
 

@@ -568,3 +568,16 @@ func (s *ShardedDB) Len() int {
 func (s *ShardedDB) AdvanceClock(d int64) core.Time {
 	return s.shards[0].AdvanceClock(d)
 }
+
+// Close flushes every shard's async audit sink and stops its drainer
+// (goroutine hygiene; the deployment stays usable, with hot-path audit
+// records degrading to synchronous logging). The first error wins.
+func (s *ShardedDB) Close() error {
+	var first error
+	for _, db := range s.shards {
+		if err := db.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -35,10 +35,13 @@ func (r SpaceReport) String() string {
 
 func mb(b int64) float64 { return float64(b) / (1024 * 1024) }
 
-// Space measures the deployment's current footprint.
+// Space measures the deployment's current footprint. A read: shared
+// lock (the byte-accounting fields are only written under the
+// exclusive lock, which the shared hold excludes; the logger's
+// SizeBytes flushes the async sink itself).
 func (db *DB) Space() SpaceReport {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	sp := db.data.Space()
 	var rep SpaceReport
 	rep.Profile = db.profile.Name

@@ -29,8 +29,9 @@ type SubjectRecord struct {
 // payload. The lookup is a table scan — subjects are not the primary
 // key — and each returned record is individually policy-checked.
 func (db *DB) SubjectAccess(subject string) ([]SubjectRecord, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	// Subject access is a read: it runs under the shared lock, so a
+	// burst of Art.-15 requests does not serialize the shard.
+	defer db.rlock()()
 	return db.subjectAccessLocked(subject)
 }
 
@@ -60,7 +61,7 @@ func (db *DB) subjectAccessLocked(subject string) ([]SubjectRecord, error) {
 			Action: core.ActionRead, At: now,
 		})
 		if !d.Allowed {
-			db.counters.Denials++
+			db.counters.denials.Add(1)
 			continue
 		}
 		rec, err := decodeRecord(h.row)
@@ -85,7 +86,7 @@ func (db *DB) subjectAccessLocked(subject string) ([]SubjectRecord, error) {
 		Entity: EntitySubjectSvc,
 		Action: core.Action{Kind: core.ActionRead, SystemAction: "SAR", RequiredByRegulation: true},
 		At:     now,
-	}, "SUBJECT ACCESS REQUEST", []byte(fmt.Sprintf("%d records", len(out))), "")
+	}, "SUBJECT ACCESS REQUEST", []byte(fmt.Sprintf("%d records", len(out))), "", nil)
 	return out, nil
 }
 
@@ -162,7 +163,7 @@ func (db *DB) RevokeConsent(key string, purpose core.Purpose, entity core.Entity
 	defer db.mu.Unlock()
 	now := db.clock.Tick()
 	if _, ok := db.data.Get([]byte(key)); !ok {
-		db.counters.NotFound++
+		db.counters.notFound.Add(1)
 		return fmt.Errorf("%w: %s", ErrNotFound, key)
 	}
 	unit := core.UnitID(key)
@@ -181,7 +182,7 @@ func (db *DB) RevokeConsent(key string, purpose core.Purpose, entity core.Entity
 		},
 		At: now,
 	}
-	db.logOp(tuple, "REVOKE CONSENT", nil, unit)
+	db.logOp(tuple, "REVOKE CONSENT", nil, unit, nil)
 	if db.modelDB != nil {
 		if u, ok := db.modelDB.Lookup(unit); ok {
 			u.Revoke(purpose, entity, now)
@@ -200,7 +201,7 @@ func (db *DB) Object(key string) error {
 	now := db.clock.Tick()
 	row, ok := db.data.Get([]byte(key))
 	if !ok {
-		db.counters.NotFound++
+		db.counters.notFound.Add(1)
 		return fmt.Errorf("%w: %s", ErrNotFound, key)
 	}
 	rec, err := decodeRecord(row)
@@ -223,14 +224,14 @@ func (db *DB) Object(key string) error {
 		},
 		At: now,
 	}
-	db.logOp(tuple, "OBJECT TO PROCESSING", nil, unit)
+	db.logOp(tuple, "OBJECT TO PROCESSING", nil, unit, nil)
 	if db.modelDB != nil {
 		if u, ok := db.modelDB.Lookup(unit); ok {
 			u.Revoke(PurposeProcessing, EntityProcessor, now)
 		}
 		db.history.MustAppend(tuple)
 	}
-	db.counters.MetaUpdates++
+	db.counters.metaUpdates.Add(1)
 	db.afterMutation()
 	return nil
 }

@@ -144,6 +144,7 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	defer db.Close()
 
 	gen, err := gdprbench.NewGenerator(cfg.Workload, cfg.Records, cfg.Seed)
 	if err != nil {

@@ -1,0 +1,297 @@
+package policy
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/datacase/datacase/internal/core"
+)
+
+// This file implements the decision cache of the concurrent read path:
+// adjudication is the per-read compliance tax (the Sieve probe, the
+// MetaStore join), and read-dominated GDPR workloads re-ask the same
+// (unit, entity, purpose, action) question millions of times. The cache
+// memoizes decisions under two soundness mechanisms:
+//
+//   - Validity bounds: every cached decision carries the engine's
+//     ValidThrough time (Decision.ValidThrough). A request past the
+//     bound is a stale kill — the window that justified the decision
+//     may have closed (TTL/retention expiry) — and re-adjudicates.
+//   - Epoch invalidation: every policy mutation (attach, revoke, erase
+//     cascade) brackets the inner engine's mutation with epoch bumps —
+//     one BEFORE it starts and one AFTER it commits (see mutate) — so
+//     a cached allow can never outlive the consent that justified it:
+//     once a revocation returns, no later lookup can be served from a
+//     pre-revocation entry. Engines whose per-unit mutations stay
+//     per-unit (Sieve, MetaStore) get per-unit epochs; engines whose
+//     grants are table-level (RBAC, marked by TableScopedPolicies) get
+//     one global epoch.
+//
+// The insert path is race-free without holding any lock across the
+// inner adjudication: the epoch is captured before consulting the inner
+// engine, and the entry is stored only if the epoch is still current —
+// a reader that raced a mutation (in either direction) simply fails
+// to cache, it never caches stale.
+//
+// Cacheability assumes engine decisions are pure functions of the
+// request fields and stored policy state, monotone in At within the
+// validity bound. The three engines satisfy this (Sieve guards must be
+// At-independent, which the standard guard set is). The request Subject
+// is not part of the key: for a given unit the compliance layer always
+// passes the stored record's subject, and a key recycled under a new
+// subject passes through RevokePolicies first, which invalidates.
+
+// TableScopedPolicies marks engines whose policy mutations can affect
+// decisions of units other than the one named in the mutation (RBAC's
+// role-level grants). Cached invalidates globally for such engines.
+type TableScopedPolicies interface {
+	PolicyMutationsAreTableScoped()
+}
+
+// DefaultCacheEntries bounds the decision cache when the caller does
+// not choose a capacity.
+const DefaultCacheEntries = 1 << 16
+
+// cacheKey identifies one adjudication question.
+type cacheKey struct {
+	entity  core.EntityID
+	purpose core.Purpose
+	action  core.ActionKind
+}
+
+// cacheEntry is one memoized decision.
+type cacheEntry struct {
+	// epoch is the unit's (or, for table-scoped engines, the global)
+	// epoch captured before the inner engine was consulted.
+	epoch uint64
+	// at is the adjudicated time; the entry serves requests with
+	// At in [at, validThrough] only (logical time runs forward, but the
+	// cache does not assume it).
+	at           core.Time
+	validThrough core.Time
+	allowed      bool
+	reason       string
+}
+
+// Cached wraps an Engine with the epoch-invalidated decision cache. It
+// implements Engine; construct with NewCached, which preserves the
+// inner engine's PolicyLister capability.
+type Cached struct {
+	inner Engine
+	cap   int
+	// tableScoped: the inner engine's mutations invalidate globally.
+	tableScoped bool
+
+	mu sync.RWMutex
+	// entries is keyed per unit so an invalidation drops the whole unit
+	// in O(1); size tracks the total entry count against cap.
+	entries map[core.UnitID]map[cacheKey]cacheEntry
+	size    int
+	// epochs holds per-unit invalidation epochs. Entries are never
+	// deleted: an epoch must outlive every cache entry tagged with it,
+	// or a reset-to-zero would revalidate pre-revocation entries.
+	epochs map[core.UnitID]uint64
+	// global is the table-scoped epoch (bumped instead of per-unit
+	// epochs when tableScoped).
+	global uint64
+
+	hits, misses, invalidations, staleKills atomic.Uint64
+}
+
+// cachedLister augments Cached with the inner engine's PolicyLister.
+type cachedLister struct {
+	*Cached
+	lister PolicyLister
+}
+
+// PoliciesOf implements PolicyLister by delegation (policy enumeration
+// reads stored state, which the cache never shadows).
+func (c cachedLister) PoliciesOf(unit core.UnitID) []core.Policy {
+	return c.lister.PoliciesOf(unit)
+}
+
+// NewCached wraps inner with a decision cache holding at most capacity
+// entries (capacity <= 0 selects DefaultCacheEntries). When inner
+// implements PolicyLister, the returned engine does too.
+func NewCached(inner Engine, capacity int) Engine {
+	if capacity <= 0 {
+		capacity = DefaultCacheEntries
+	}
+	_, tableScoped := inner.(TableScopedPolicies)
+	c := &Cached{
+		inner:       inner,
+		cap:         capacity,
+		tableScoped: tableScoped,
+		entries:     make(map[core.UnitID]map[cacheKey]cacheEntry),
+		epochs:      make(map[core.UnitID]uint64),
+	}
+	if lister, ok := inner.(PolicyLister); ok {
+		return cachedLister{Cached: c, lister: lister}
+	}
+	return c
+}
+
+// Inner returns the wrapped engine.
+func (c *Cached) Inner() Engine { return c.inner }
+
+// Name implements Engine: the grounding is the inner engine's; the
+// cache is an adjudication accelerator, not a different interpretation.
+func (c *Cached) Name() string { return c.inner.Name() }
+
+// epochLocked returns the epoch governing the unit. Caller holds mu
+// (either mode).
+func (c *Cached) epochLocked(unit core.UnitID) uint64 {
+	if c.tableScoped {
+		return c.global
+	}
+	return c.epochs[unit]
+}
+
+// invalidateLocked bumps the epoch governing the unit and drops its
+// cached entries. Caller holds mu.
+func (c *Cached) invalidateLocked(unit core.UnitID) {
+	if c.tableScoped {
+		c.global++
+		c.size = 0
+		c.entries = make(map[core.UnitID]map[cacheKey]cacheEntry)
+	} else {
+		c.epochs[unit]++
+		if m, ok := c.entries[unit]; ok {
+			c.size -= len(m)
+			delete(c.entries, unit)
+		}
+	}
+}
+
+// mutate runs one inner-engine policy mutation under the invalidation
+// protocol, which brackets it with two epoch bumps:
+//
+//   - The bump BEFORE makes a reader that adjudicated against
+//     pre-mutation state and captured the old epoch fail its insert —
+//     it never caches.
+//   - The bump AFTER closes the remaining window: a reader that
+//     captured the epoch after the first bump but consulted the inner
+//     engine before the mutation landed would otherwise cache a
+//     pre-mutation decision at a current epoch. The second bump
+//     orphans any entry tagged with the in-mutation epoch.
+//
+// Together: once a mutation returns, no lookup can be served from a
+// pre-mutation entry, with or without external locking.
+func (c *Cached) mutate(unit core.UnitID, fn func()) {
+	c.mu.Lock()
+	c.invalidateLocked(unit)
+	c.mu.Unlock()
+	fn()
+	c.mu.Lock()
+	c.invalidateLocked(unit)
+	c.mu.Unlock()
+	c.invalidations.Add(1)
+}
+
+// AttachPolicy implements Engine. Attaching can flip a cached denial
+// (UpdateMeta consenting to a new purpose), so it invalidates too.
+func (c *Cached) AttachPolicy(unit core.UnitID, subject core.EntityID, p core.Policy) error {
+	var err error
+	c.mutate(unit, func() { err = c.inner.AttachPolicy(unit, subject, p) })
+	return err
+}
+
+// AttachPolicies implements Engine.
+func (c *Cached) AttachPolicies(unit core.UnitID, subject core.EntityID, pols []core.Policy) error {
+	var err error
+	c.mutate(unit, func() { err = c.inner.AttachPolicies(unit, subject, pols) })
+	return err
+}
+
+// RevokePolicies implements Engine: the epoch bumps bracket the inner
+// revocation — the "don't use" guarantee of the erase path.
+func (c *Cached) RevokePolicies(unit core.UnitID) int {
+	var n int
+	c.mutate(unit, func() { n = c.inner.RevokePolicies(unit) })
+	return n
+}
+
+// RevokePolicy implements Engine: consent withdrawal, same protocol.
+func (c *Cached) RevokePolicy(unit core.UnitID, purpose core.Purpose, entity core.EntityID) int {
+	var n int
+	c.mutate(unit, func() { n = c.inner.RevokePolicy(unit, purpose, entity) })
+	return n
+}
+
+// Allow implements Engine: serve from the cache when a current-epoch
+// entry covers the request's time, otherwise adjudicate and memoize.
+func (c *Cached) Allow(req Request) Decision {
+	k := cacheKey{req.Entity, req.Purpose, req.Action}
+	c.mu.RLock()
+	epoch := c.epochLocked(req.Unit)
+	e, ok := c.entries[req.Unit][k]
+	c.mu.RUnlock()
+	if ok && e.epoch == epoch {
+		if e.at <= req.At && req.At <= e.validThrough {
+			c.hits.Add(1)
+			return Decision{Allowed: e.allowed, Reason: e.reason,
+				ValidThrough: e.validThrough, CacheHit: true}
+		}
+		// Logical time left the entry's validity window: the policy
+		// window that justified it may have closed (TTL expiry).
+		c.staleKills.Add(1)
+	}
+	c.misses.Add(1)
+	d := c.inner.Allow(req)
+	if d.ValidThrough == core.TimeZero || req.At > d.ValidThrough {
+		return d // engine declared the decision uncacheable
+	}
+	c.mu.Lock()
+	if c.epochLocked(req.Unit) == epoch { // no mutation raced the adjudication
+		if c.size >= c.cap {
+			c.evictLocked()
+		}
+		m, ok := c.entries[req.Unit]
+		if !ok {
+			m = make(map[cacheKey]cacheEntry)
+			c.entries[req.Unit] = m
+		}
+		if _, exists := m[k]; !exists {
+			c.size++
+		}
+		m[k] = cacheEntry{epoch: epoch, at: req.At,
+			validThrough: d.ValidThrough, allowed: d.Allowed, reason: d.Reason}
+	}
+	c.mu.Unlock()
+	return d
+}
+
+// evictLocked drops one arbitrary unit's entries (random-ish via map
+// iteration order; the cache is a performance structure, precision of
+// the eviction policy is not load-bearing). Caller holds mu.
+func (c *Cached) evictLocked() {
+	for unit, m := range c.entries {
+		c.size -= len(m)
+		delete(c.entries, unit)
+		return
+	}
+}
+
+// Len returns the number of cached decisions (tests, reports).
+func (c *Cached) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.size
+}
+
+// SpaceBytes implements Engine: the stored policy metadata is the
+// inner engine's; the cache is transient adjudication state, not
+// policy storage, so it does not count toward Table 2.
+func (c *Cached) SpaceBytes() int64 { return c.inner.SpaceBytes() }
+
+// Stats implements Engine: the inner engine's adjudication work plus
+// the cache counters. Inner Checks equal cache misses by construction;
+// total adjudications are Checks + CacheHits.
+func (c *Cached) Stats() Stats {
+	st := c.inner.Stats()
+	st.CacheHits = c.hits.Load()
+	st.CacheMisses = c.misses.Load()
+	st.CacheInvalidations = c.invalidations.Load()
+	st.CacheStaleKills = c.staleKills.Load()
+	return st
+}

@@ -1,0 +1,338 @@
+package policy
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/datacase/datacase/internal/core"
+)
+
+// cachedEngines builds each engine wrapped in a default-capacity cache,
+// labeled by the inner engine name.
+func cachedEngines() map[string]func() Engine {
+	return map[string]func() Engine{
+		"sieve":     func() Engine { return NewCached(NewSieve(SubjectConsentGuard()), 0) },
+		"metastore": func() Engine { return NewCached(NewMetaStore(), 0) },
+		"rbac":      func() Engine { return NewCached(NewRBAC(), 0) },
+	}
+}
+
+// TestCachedContract: the cache wrapper must pass the same behavioural
+// contract as the engines it wraps.
+func TestCachedContract(t *testing.T) {
+	for name, mk := range cachedEngines() {
+		t.Run(name, func(t *testing.T) { engineContract(t, mk) })
+	}
+}
+
+// TestCachedServesHits: a repeated adjudication is served from the
+// cache (CacheHit set, inner Checks unchanged) with the same outcome.
+func TestCachedServesHits(t *testing.T) {
+	for name, mk := range cachedEngines() {
+		t.Run(name, func(t *testing.T) {
+			e := mk()
+			if err := e.AttachPolicy("u1", "subject-1", pol("billing", "netflix", 1, 100)); err != nil {
+				t.Fatal(err)
+			}
+			d1 := e.Allow(req("u1", "netflix", "billing", 50))
+			if !d1.Allowed || d1.CacheHit {
+				t.Fatalf("first adjudication: allowed=%v cacheHit=%v", d1.Allowed, d1.CacheHit)
+			}
+			d2 := e.Allow(req("u1", "netflix", "billing", 60))
+			if !d2.Allowed || !d2.CacheHit {
+				t.Fatalf("second adjudication: allowed=%v cacheHit=%v", d2.Allowed, d2.CacheHit)
+			}
+			st := e.Stats()
+			if st.CacheHits != 1 || st.CacheMisses != 1 {
+				t.Fatalf("cache stats = hits %d misses %d, want 1/1", st.CacheHits, st.CacheMisses)
+			}
+			// The inner engine adjudicated exactly once.
+			if st.Checks != 1 {
+				t.Fatalf("inner checks = %d, want 1", st.Checks)
+			}
+		})
+	}
+}
+
+// TestCachedDenyHits: denials are cached too, bounded by the earliest
+// future window activation.
+func TestCachedDenyHits(t *testing.T) {
+	for name, mk := range cachedEngines() {
+		t.Run(name, func(t *testing.T) {
+			e := mk()
+			// Window opens at t=80: denied before, allowed after.
+			if err := e.AttachPolicy("u1", "subject-1", pol("billing", "netflix", 80, 100)); err != nil {
+				t.Fatal(err)
+			}
+			if d := e.Allow(req("u1", "netflix", "billing", 10)); d.Allowed {
+				t.Fatal("allowed before window opens")
+			}
+			d := e.Allow(req("u1", "netflix", "billing", 20))
+			if d.Allowed || !d.CacheHit {
+				t.Fatalf("cached denial: allowed=%v cacheHit=%v", d.Allowed, d.CacheHit)
+			}
+			// Once the window opens the cached denial must NOT serve: it
+			// expires at Begin-1 (stale kill), and re-adjudication allows.
+			d = e.Allow(req("u1", "netflix", "billing", 85))
+			if !d.Allowed {
+				t.Fatalf("denied inside the window: %s", d.Reason)
+			}
+			if st := e.Stats(); st.CacheStaleKills == 0 {
+				t.Fatal("window activation did not register a stale kill")
+			}
+		})
+	}
+}
+
+// TestCachedTTLExpiry: a cached allow dies with the policy window — the
+// request past End re-adjudicates and denies (retention/TTL expiry
+// needs no invalidation event, the validity bound covers it).
+func TestCachedTTLExpiry(t *testing.T) {
+	for name, mk := range cachedEngines() {
+		t.Run(name, func(t *testing.T) {
+			e := mk()
+			if err := e.AttachPolicy("u1", "subject-1", pol("billing", "netflix", 1, 100)); err != nil {
+				t.Fatal(err)
+			}
+			if d := e.Allow(req("u1", "netflix", "billing", 50)); !d.Allowed {
+				t.Fatalf("denied in window: %s", d.Reason)
+			}
+			d := e.Allow(req("u1", "netflix", "billing", 101))
+			if d.Allowed {
+				t.Fatal("cached allow outlived the policy window")
+			}
+			if d.CacheHit {
+				t.Fatal("expired entry served from cache")
+			}
+			if st := e.Stats(); st.CacheStaleKills != 1 {
+				t.Fatalf("stale kills = %d, want 1", st.CacheStaleKills)
+			}
+		})
+	}
+}
+
+// TestCachedRevokeInvalidates: a warm cached allow must never be served
+// after RevokePolicies/RevokePolicy returns.
+func TestCachedRevokeInvalidates(t *testing.T) {
+	for name, mk := range cachedEngines() {
+		t.Run(name, func(t *testing.T) {
+			e := mk()
+			if err := e.AttachPolicy("u1", "subject-1", pol("billing", "netflix", 1, 100)); err != nil {
+				t.Fatal(err)
+			}
+			if d := e.Allow(req("u1", "netflix", "billing", 50)); !d.Allowed {
+				t.Fatalf("denied before revocation: %s", d.Reason)
+			}
+			e.RevokePolicies("u1")
+			d := e.Allow(req("u1", "netflix", "billing", 51))
+			if name != "rbac" && d.Allowed {
+				// RBAC cannot express per-unit revocation (the grounding's
+				// documented imprecision); the strict engines must deny.
+				t.Fatal("cached allow survived revocation")
+			}
+			if d.CacheHit {
+				t.Fatal("post-revocation decision served from the pre-revocation cache")
+			}
+			if st := e.Stats(); st.CacheInvalidations == 0 {
+				t.Fatal("revocation bumped no epoch")
+			}
+		})
+	}
+}
+
+// TestCachedAttachInvalidatesDenial: consenting to a new purpose
+// (UpdateMeta) must kill the cached denial for that purpose.
+func TestCachedAttachInvalidatesDenial(t *testing.T) {
+	for name, mk := range cachedEngines() {
+		t.Run(name, func(t *testing.T) {
+			e := mk()
+			if err := e.AttachPolicy("u1", "subject-1", pol("billing", "netflix", 1, 100)); err != nil {
+				t.Fatal(err)
+			}
+			if d := e.Allow(req("u1", "netflix", "ads", 10)); d.Allowed {
+				t.Fatal("unconsented purpose allowed")
+			}
+			// Warm the cached denial.
+			if d := e.Allow(req("u1", "netflix", "ads", 11)); !d.CacheHit {
+				t.Fatal("denial not cached")
+			}
+			if err := e.AttachPolicy("u1", "subject-1", pol("ads", "netflix", 1, 100)); err != nil {
+				t.Fatal(err)
+			}
+			d := e.Allow(req("u1", "netflix", "ads", 12))
+			if !d.Allowed {
+				t.Fatalf("cached denial survived the new consent: %s", d.Reason)
+			}
+		})
+	}
+}
+
+// TestCachedRBACTableScope: RBAC grants are role-level, so attaching a
+// policy for one unit can flip decisions of another — the cache must
+// invalidate globally, not per unit.
+func TestCachedRBACTableScope(t *testing.T) {
+	e := NewCached(NewRBAC(), 0)
+	if err := e.AttachPolicy("u1", "subject-1", pol("billing", "netflix", 50, 100)); err != nil {
+		t.Fatal(err)
+	}
+	// u2 denied at t=10 (role window opens at 50); cache it.
+	if d := e.Allow(req("u2", "netflix", "billing", 10)); d.Allowed {
+		t.Fatal("allowed before the role window")
+	}
+	// Attaching for u3 widens the netflix role window to [1, 100] —
+	// which changes u2's adjudication too.
+	if err := e.AttachPolicy("u3", "subject-3", pol("billing", "netflix", 1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	d := e.Allow(req("u2", "netflix", "billing", 10))
+	if !d.Allowed {
+		t.Fatalf("u2 still denied after the role widened: %s", d.Reason)
+	}
+	if d.CacheHit {
+		t.Fatal("stale u2 denial served from cache after a table-scoped mutation")
+	}
+}
+
+// TestCachedCapacityEviction: the cache stays bounded under a key
+// stream wider than its capacity.
+func TestCachedCapacityEviction(t *testing.T) {
+	inner := NewSieve()
+	e := NewCached(inner, 8).(cachedLister)
+	for i := 0; i < 64; i++ {
+		unit := core.UnitID(fmt.Sprintf("u%02d", i))
+		if err := e.AttachPolicy(unit, "subject-1", pol("billing", "netflix", 1, 100)); err != nil {
+			t.Fatal(err)
+		}
+		if d := e.Allow(req(unit, "netflix", "billing", 50)); !d.Allowed {
+			t.Fatalf("denied: %s", d.Reason)
+		}
+	}
+	if n := e.Cached.Len(); n > 8 {
+		t.Fatalf("cache holds %d entries, capacity 8", n)
+	}
+}
+
+// TestCachedPolicyListerPreserved: wrapping must preserve (and only
+// preserve) the inner engine's enumeration capability — recovery
+// checkpoints depend on the capability check staying truthful.
+func TestCachedPolicyListerPreserved(t *testing.T) {
+	if _, ok := NewCached(NewSieve(), 0).(PolicyLister); !ok {
+		t.Fatal("cached sieve lost PolicyLister")
+	}
+	if _, ok := NewCached(NewMetaStore(), 0).(PolicyLister); !ok {
+		t.Fatal("cached metastore lost PolicyLister")
+	}
+	if _, ok := NewCached(NewRBAC(), 0).(PolicyLister); ok {
+		t.Fatal("cached rbac gained PolicyLister it cannot serve")
+	}
+	lister := NewCached(NewSieve(), 0).(PolicyLister)
+	e := lister.(Engine)
+	if err := e.AttachPolicy("u1", "subject-1", pol("billing", "netflix", 1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if pols := lister.PoliciesOf("u1"); len(pols) != 1 {
+		t.Fatalf("PoliciesOf returned %d policies, want 1", len(pols))
+	}
+}
+
+// hookedEngine lets a test run code at the exact moment between the
+// cache's pre-mutation epoch bump and the inner engine's state change.
+type hookedEngine struct {
+	Engine
+	onRevoke func()
+}
+
+func (h *hookedEngine) RevokePolicies(unit core.UnitID) int {
+	if h.onRevoke != nil {
+		h.onRevoke()
+	}
+	return h.Engine.RevokePolicies(unit)
+}
+
+// TestCachedMidMutationReaderCannotCacheStale pins the bracketing
+// protocol deterministically: a reader that adjudicates INSIDE the
+// revocation window — after the pre-mutation epoch bump, before the
+// inner state changes — sees a pre-revocation allow, but its cache
+// insert must be orphaned by the post-mutation bump. With only the
+// pre-bump, the stale allow would be cached at a current epoch and
+// served forever.
+func TestCachedMidMutationReaderCannotCacheStale(t *testing.T) {
+	hooked := &hookedEngine{Engine: NewSieve()}
+	e := NewCached(hooked, 0)
+	if err := e.AttachPolicy("u1", "subject-1", pol("billing", "netflix", 1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	var midDecision Decision
+	hooked.onRevoke = func() {
+		// Runs between the bumps: the inner engine still holds the
+		// policy, so this adjudication is a pre-revocation allow.
+		midDecision = e.Allow(req("u1", "netflix", "billing", 50))
+	}
+	e.RevokePolicies("u1")
+	if !midDecision.Allowed {
+		t.Fatal("mid-mutation read did not exercise the race (inner state already changed)")
+	}
+	d := e.Allow(req("u1", "netflix", "billing", 51))
+	if d.Allowed {
+		t.Fatal("stale allow cached during the mutation window survived the revocation")
+	}
+	if d.CacheHit {
+		t.Fatal("post-revocation decision served from the mid-mutation cache entry")
+	}
+}
+
+// TestCachedNoStaleAllowUnderRace: the "don't use" property at the
+// policy layer — 32 readers hammer Allow while consent is revoked;
+// once RevokePolicies returns, no reader that starts afterwards may see
+// an allow. Run with -race.
+func TestCachedNoStaleAllowUnderRace(t *testing.T) {
+	for _, name := range []string{"sieve", "metastore"} {
+		t.Run(name, func(t *testing.T) {
+			mk := cachedEngines()[name]
+			e := mk()
+			if err := e.AttachPolicy("u1", "subject-1", pol("billing", "netflix", 1, core.TimeMax-1)); err != nil {
+				t.Fatal(err)
+			}
+			var revoked atomic.Bool
+			var stale atomic.Int64
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for i := 0; i < 32; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for at := core.Time(2); ; at++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						// Capture the flag BEFORE adjudicating: if the
+						// revocation had already returned, an allow is a
+						// compliance violation.
+						wasRevoked := revoked.Load()
+						if d := e.Allow(req("u1", "netflix", "billing", at)); d.Allowed && wasRevoked {
+							stale.Add(1)
+						}
+					}
+				}()
+			}
+			e.RevokePolicies("u1")
+			revoked.Store(true)
+			// Let the readers observe the revoked state for a while.
+			for at := core.Time(1000); at < 2000; at++ {
+				if d := e.Allow(req("u1", "netflix", "billing", at)); d.Allowed {
+					t.Error("revoker's own re-check allowed")
+					break
+				}
+			}
+			close(stop)
+			wg.Wait()
+			if n := stale.Load(); n != 0 {
+				t.Fatalf("%d reads were allowed after the revocation returned", n)
+			}
+		})
+	}
+}

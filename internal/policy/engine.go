@@ -36,14 +36,38 @@ type Decision struct {
 	Allowed bool
 	// Reason explains a denial (empty on allow).
 	Reason string
+	// ValidThrough bounds how long this decision holds absent policy
+	// mutations: for any later request with the same (unit, entity,
+	// purpose, action) and At in [the adjudicated At, ValidThrough], the
+	// engine would decide identically. Allows are bounded by the granting
+	// policy's window end; denials by the earliest future activation of a
+	// candidate policy (a window that has not begun yet). TimeZero means
+	// "not cacheable" — the decision must be re-adjudicated every time.
+	// Decision caches combine this bound with epoch invalidation: the
+	// bound covers the passage of logical time, the epochs cover policy
+	// mutations.
+	ValidThrough core.Time
+	// CacheHit marks a decision served by a decision cache (the audit
+	// trail records cache-served adjudications with their grounding).
+	CacheHit bool
 }
 
 // Allow is the affirmative decision.
 func Allow() Decision { return Decision{Allowed: true} }
 
+// AllowThrough is an affirmative decision valid through t (the granting
+// policy's window end).
+func AllowThrough(t core.Time) Decision { return Decision{Allowed: true, ValidThrough: t} }
+
 // Deny builds a denial with a formatted reason.
 func Deny(format string, args ...any) Decision {
 	return Decision{Reason: fmt.Sprintf(format, args...)}
+}
+
+// DenyThrough builds a denial that holds through t absent policy
+// mutations (no candidate window activates before then).
+func DenyThrough(t core.Time, format string, args ...any) Decision {
+	return Decision{Reason: fmt.Sprintf(format, args...), ValidThrough: t}
 }
 
 // Stats count adjudication work.
@@ -54,6 +78,16 @@ type Stats struct {
 	PoliciesScanned uint64
 	GuardsEvaluated uint64
 	IndexHits       uint64
+
+	// Decision-cache counters (zero on unwrapped engines): hits served
+	// without consulting the inner engine, misses adjudicated by it,
+	// invalidation events (epoch bumps by policy mutations), and stale
+	// kills (cached decisions discarded because logical time passed their
+	// ValidThrough bound — TTL/retention expiry).
+	CacheHits          uint64
+	CacheMisses        uint64
+	CacheInvalidations uint64
+	CacheStaleKills    uint64
 }
 
 // Engine adjudicates access requests against stored policies. Engines

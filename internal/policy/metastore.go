@@ -180,30 +180,41 @@ func (m *MetaStore) PoliciesOf(unit core.UnitID) []core.Policy {
 }
 
 // Allow implements Engine: the join — fetch the unit's metadata row and
-// scan its policy list.
+// scan its policy list. Allows hold through the granting policy's
+// window end; denials until the earliest matching window that has not
+// begun yet. A missing metadata row denies forever absent mutations
+// (attaching the row invalidates cached decisions).
 func (m *MetaStore) Allow(req Request) Decision {
 	m.stats.checks.Add(1)
 	row, ok := m.table.Get([]byte(req.Unit))
 	if !ok {
 		m.stats.denied.Add(1)
-		return Deny("metastore: no metadata row for %s", req.Unit)
+		return DenyThrough(core.TimeMax, "metastore: no metadata row for %s", req.Unit)
 	}
 	allowed := false
+	var allowThrough core.Time
+	denyThrough := core.TimeMax
 	// Row was written by this store; decode cannot fail.
 	_ = decodePolicies(row, func(p core.Policy) bool {
 		m.stats.policiesScanned.Add(1)
-		if p.Purpose == req.Purpose && p.Entity == req.Entity && p.ActiveAt(req.At) {
-			allowed = true
-			return false
+		if p.Purpose == req.Purpose && p.Entity == req.Entity {
+			if p.ActiveAt(req.At) {
+				allowed = true
+				allowThrough = p.End
+				return false
+			}
+			if p.Begin > req.At && p.Begin-1 < denyThrough {
+				denyThrough = p.Begin - 1
+			}
 		}
 		return true
 	})
 	if allowed {
 		m.stats.allowed.Add(1)
-		return Allow()
+		return AllowThrough(allowThrough)
 	}
 	m.stats.denied.Add(1)
-	return Deny("metastore: no policy row for (%s, %s, %s) on %s",
+	return DenyThrough(denyThrough, "metastore: no policy row for (%s, %s, %s) on %s",
 		req.Purpose, req.Entity, req.At, req.Unit)
 }
 

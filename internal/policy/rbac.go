@@ -148,22 +148,37 @@ func (r *RBAC) RevokePolicy(unit core.UnitID, purpose core.Purpose, entity core.
 }
 
 // Allow implements Engine: does any of the entity's roles carry the
-// purpose with a window containing At?
+// purpose with a window containing At? Allows hold through the granting
+// window's end; denials until the earliest role window that has not
+// begun yet.
 func (r *RBAC) Allow(req Request) Decision {
 	r.stats.checks.Add(1)
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	denyThrough := core.TimeMax
 	for role := range r.membership[req.Entity] {
 		attrs := r.attributes[role]
 		r.stats.policiesScanned.Add(1)
-		if w, ok := attrs[req.Purpose]; ok && w.Contains(req.At) {
-			r.stats.allowed.Add(1)
-			return Allow()
+		if w, ok := attrs[req.Purpose]; ok {
+			if w.Contains(req.At) {
+				r.stats.allowed.Add(1)
+				return AllowThrough(w.End)
+			}
+			if w.Begin > req.At && w.Begin-1 < denyThrough {
+				denyThrough = w.Begin - 1
+			}
 		}
 	}
 	r.stats.denied.Add(1)
-	return Deny("rbac: no role of %s grants purpose %q at %s", req.Entity, req.Purpose, req.At)
+	return DenyThrough(denyThrough, "rbac: no role of %s grants purpose %q at %s",
+		req.Entity, req.Purpose, req.At)
 }
+
+// PolicyMutationsAreTableScoped marks RBAC for decision caches: a role
+// grant attached for one unit widens the role's attribute window, which
+// adjudicates every unit — so a policy mutation anywhere must
+// invalidate cached decisions for all units, not just the named one.
+func (r *RBAC) PolicyMutationsAreTableScoped() {}
 
 // SpaceBytes implements Engine.
 func (r *RBAC) SpaceBytes() int64 { return r.bytes.Load() }

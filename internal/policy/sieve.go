@@ -168,7 +168,11 @@ func (s *Sieve) RevokePolicy(unit core.UnitID, purpose core.Purpose, entity core
 }
 
 // Allow implements Engine: probe the policy index for candidates, then
-// evaluate window + guards per candidate for the requested unit.
+// evaluate window + guards per candidate for the requested unit. The
+// decision carries its validity bound: allows hold through the granting
+// policy's window end, denials until the earliest candidate window that
+// has not begun yet (guards are At-independent predicates, so only
+// window crossings can flip a decision as logical time passes).
 func (s *Sieve) Allow(req Request) Decision {
 	s.stats.checks.Add(1)
 	s.mu.RLock()
@@ -180,9 +184,13 @@ func (s *Sieve) Allow(req Request) Decision {
 	if len(cands) > 0 {
 		s.stats.indexHits.Add(1)
 	}
+	denyThrough := core.TimeMax
 	for _, sp := range cands {
 		s.stats.policiesScanned.Add(1)
 		if !sp.policy.ActiveAt(req.At) {
+			if sp.policy.Begin > req.At && sp.policy.Begin-1 < denyThrough {
+				denyThrough = sp.policy.Begin - 1
+			}
 			continue
 		}
 		pass := true
@@ -196,11 +204,11 @@ func (s *Sieve) Allow(req Request) Decision {
 		if pass {
 			sp.hits.Add(1)
 			s.stats.allowed.Add(1)
-			return Allow()
+			return AllowThrough(sp.policy.End)
 		}
 	}
 	s.stats.denied.Add(1)
-	return Deny("sieve: no guarded policy admits (%s, %s) on %s at %s",
+	return DenyThrough(denyThrough, "sieve: no guarded policy admits (%s, %s) on %s at %s",
 		req.Purpose, req.Entity, req.Unit, req.At)
 }
 

@@ -36,6 +36,18 @@ var (
 // durably logged to the engine's WAL (Log) when one is attached, with
 // the same record vocabulary (RecInsert/RecUpdate/RecDelete) on every
 // backend, so crash recovery replays identically whatever the engine.
+//
+// Read-snapshot guarantee: the pure read operations — Get, Has,
+// SeqScan, Len, Stats, Space, ForensicScan — run under shared locks (or
+// equivalent snapshots) and therefore (a) never block each other, so
+// concurrent readers scale instead of serializing, and (b) each observe
+// a state that was current at some instant during the call: a Get never
+// returns a torn value or a half-applied mutation, and a SeqScan visits
+// a single consistent version of the table. Mutations exclude readers
+// for their duration, which is what makes the snapshot trivial; an
+// engine swapping in MVCC reads may weaken the exclusion but must keep
+// the per-call consistency. The compliance layer's shared-lock read
+// path is built on this guarantee.
 type Engine interface {
 	// Name returns the table name (it names the WAL segment too).
 	Name() string

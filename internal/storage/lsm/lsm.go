@@ -10,6 +10,7 @@ package lsm
 import (
 	"bytes"
 	"sync"
+	"sync/atomic"
 )
 
 // NoGrace configures a GC grace of zero sequence numbers: every
@@ -83,7 +84,10 @@ type Counters struct {
 	PurgeCompactions uint64
 }
 
-// Store is the LSM store. It is safe for concurrent use.
+// Store is the LSM store. It is safe for concurrent use; keyed reads
+// (Get, Has, Live) and scans take the read lock and run concurrently
+// with each other, so concurrent readers never serialize — only
+// mutations and compactions take the write lock.
 type Store struct {
 	opts Options
 
@@ -93,13 +97,21 @@ type Store struct {
 	seq   uint64
 	stats Counters
 
+	// Read-path counters are atomics so shared-lock readers can bump
+	// them without write access; Stats() merges them into the snapshot.
+	gets         atomic.Uint64
+	runsProbed   atomic.Uint64
+	bloomRejects atomic.Uint64
+
 	// purges maps keys under a compliance purge obligation to the
 	// sequence number at registration: every physical version of the key
 	// at or below that sequence must be gone within PurgeWithinOps
 	// operations, GCGraceSeqs notwithstanding. opsSincePurge counts
-	// operations since the last purge check while obligations pend.
+	// operations since the last purge check while obligations pend; it
+	// is atomic because shared-lock reads tick it too (the purge window
+	// is bounded in *operations*, reads included).
 	purges        map[string]uint64
-	opsSincePurge int
+	opsSincePurge atomic.Int64
 }
 
 // New returns an empty store.
@@ -141,10 +153,28 @@ func (s *Store) Delete(key []byte) {
 
 // Get returns the value for key, honouring tombstones.
 func (s *Store) Get(key []byte) ([]byte, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.Gets++
-	s.tickPurgeLocked()
+	s.gets.Add(1)
+	s.mu.RLock()
+	val, ok := s.getRLocked(key)
+	purgesPending := len(s.purges) > 0
+	s.mu.RUnlock()
+	// Reads advance the bounded purge window too (it is measured in
+	// store operations). The tick is atomic so concurrent readers never
+	// serialize on it; the reader that crosses the threshold upgrades to
+	// the write lock and runs the purge compaction.
+	if purgesPending && s.opsSincePurge.Add(1) >= int64(s.opts.PurgeWithinOps) {
+		s.mu.Lock()
+		if len(s.purges) > 0 && s.opsSincePurge.Load() >= int64(s.opts.PurgeWithinOps) {
+			s.purgeLocked()
+		}
+		s.mu.Unlock()
+	}
+	return val, ok
+}
+
+// getRLocked resolves key to its live value. Caller holds mu (either
+// mode); the probe mutates nothing but the atomic read counters.
+func (s *Store) getRLocked(key []byte) ([]byte, bool) {
 	if e, ok := s.mem.get(key); ok {
 		if e.tombstone {
 			return nil, false
@@ -152,12 +182,12 @@ func (s *Store) Get(key []byte) ([]byte, bool) {
 		return append([]byte(nil), e.value...), true
 	}
 	for _, r := range s.runs {
-		s.stats.RunsProbed++
+		s.runsProbed.Add(1)
 		e, ok := r.get(key)
 		if !ok {
 			if r.len() > 0 && bytes.Compare(key, r.minKey) >= 0 &&
 				bytes.Compare(key, r.maxKey) <= 0 && !r.filter.mayContain(key) {
-				s.stats.BloomRejects++
+				s.bloomRejects.Add(1)
 			}
 			continue
 		}
@@ -376,7 +406,13 @@ func (s *Store) compactLocked(full bool) {
 func (s *Store) Stats() Counters {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.stats
+	st := s.stats
+	// The read-path counters live outside the mutation-guarded block so
+	// shared-lock readers can bump them concurrently.
+	st.Gets = s.gets.Load()
+	st.RunsProbed = s.runsProbed.Load()
+	st.BloomRejects = s.bloomRejects.Load()
+	return st
 }
 
 // SpaceStats describe the store's physical footprint.
@@ -510,8 +546,7 @@ func (s *Store) tickPurgeLocked() {
 	if len(s.purges) == 0 {
 		return
 	}
-	s.opsSincePurge++
-	if s.opsSincePurge >= s.opts.PurgeWithinOps {
+	if s.opsSincePurge.Add(1) >= int64(s.opts.PurgeWithinOps) {
 		s.purgeLocked()
 	}
 }
@@ -526,7 +561,7 @@ func (s *Store) purgeLocked() {
 	s.flushLocked()
 	s.compactLocked(true)
 	s.stats.PurgeCompactions++
-	s.opsSincePurge = 0
+	s.opsSincePurge.Store(0)
 }
 
 // dischargeLocked removes every obligation whose key no longer has a
@@ -543,7 +578,7 @@ func (s *Store) dischargeLocked() {
 		s.stats.PurgesDischarged++
 	}
 	if len(s.purges) == 0 {
-		s.opsSincePurge = 0
+		s.opsSincePurge.Store(0)
 	}
 }
 

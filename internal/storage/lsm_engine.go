@@ -25,9 +25,12 @@ type LSM struct {
 	store *lsm.Store
 	log   *wal.Log
 
-	// mu serializes the read-modify-write mutations (an Insert is an
-	// existence check plus a put, which the store alone cannot make
-	// atomic). Reads go straight to the store.
+	// mu serializes the read-modify-write mutations only (an Insert is
+	// an existence check plus a put, which the store alone cannot make
+	// atomic). Reads never touch it: Get/Has/SeqScan go straight to the
+	// store, whose internal RWMutex admits concurrent readers — the
+	// contract's read-snapshot guarantee comes from the store, and
+	// concurrent Gets must not serialize on this adapter.
 	mu sync.Mutex
 
 	inserts, updates, deletes atomic.Uint64
