@@ -59,6 +59,7 @@ var experimentInfo = []struct {
 	{"recovery", "crash-recovery sweep, full replay vs checkpointed; writes BENCH_recovery.json"},
 	{"backend", "heap vs LSM compliance backends: Fig 4(a) series, Table 1 conformance and erase checks; writes BENCH_backend.json"},
 	{"readpath", "read-scaling sweep: shared-lock + decision cache vs one-big-mutex baseline; writes BENCH_readpath.json"},
+	{"reshard", "elastic resharding: Zipfian hot shard measured before/after a live rebalancer split; writes BENCH_reshard.json"},
 }
 
 // experimentNames returns the registry names in order.
@@ -116,6 +117,16 @@ func main() {
 		rpStall   = flag.Int("readpath-stall-micros", 200,
 			"modeled per-payload device latency in µs for -exp readpath (0 disables the model)")
 		rpOut = flag.String("readpath-out", "BENCH_readpath.json", "JSON output path for -exp readpath")
+
+		rsShards   = flag.Int("reshard-shards", 3, "opening shard count for -exp reshard (>= 3)")
+		rsSubjects = flag.Int("reshard-subjects", 16, "hot subjects pinned to one shard for -exp reshard")
+		rsRecords  = flag.Int("reshard-records", 256, "preloaded records for -exp reshard")
+		rsClients  = flag.Int("reshard-clients", 8, "closed-loop writer count for -exp reshard")
+		rsOps      = flag.Int("reshard-ops", 4000, "updates per measured phase for -exp reshard")
+		rsZipf     = flag.Float64("reshard-zipf", 0.9, "subject-selection Zipf exponent for -exp reshard")
+		rsStall    = flag.Int("reshard-stall-micros", 150,
+			"modeled per-payload device latency in µs for -exp reshard")
+		rsOut = flag.String("reshard-out", "BENCH_reshard.json", "JSON output path for -exp reshard")
 	)
 	flag.Parse()
 
@@ -229,6 +240,9 @@ func main() {
 	}
 	if run("readpath") {
 		runReadPath(*rpReaders, *rpShards, *rpRecords, *rpOps, *rpStall, *rpOut, *csv)
+	}
+	if run("reshard") {
+		runReshard(*rsShards, *rsSubjects, *rsRecords, *rsClients, *rsOps, *rsZipf, *rsStall, *seed, *rsOut)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr,
@@ -373,6 +387,37 @@ func runReadPath(readersCSV string, shards, records, ops, stallMicros int, out s
 	}
 	fmt.Printf("wrote %s (%d results)\n", out, len(results))
 }
+
+// runReshard runs the elastic-resharding experiment on both backends:
+// a Zipfian hot-subject workload pinned to one shard, measured before
+// and after a live rebalancer-driven split, then writes (and re-reads,
+// enforcing the >= 1.5x post-split speedup floor) BENCH_reshard.json.
+func runReshard(shards, subjects, records, clients, ops int, zipfS float64, stallMicros int, seed int64, out string) {
+	stall := time.Duration(stallMicros) * time.Microsecond
+	fmt.Printf("running reshard (shards=%d, subjects=%d, records=%d, clients=%d, ops/phase=%d, zipf=%.2f, io-stall=%v, backends=%v)...\n",
+		shards, subjects, records, clients, ops, zipfS, stall, datacase.Backends())
+	var results []datacase.ReshardResult
+	for _, backend := range datacase.Backends() {
+		r, err := datacase.RunReshard(datacase.ReshardConfig{
+			Backend: backend, Shards: shards, Subjects: subjects,
+			Records: records, Clients: clients, OpsPerPhase: ops,
+			ZipfS: zipfS, IOStall: stall, Seed: seed,
+		})
+		fail(err)
+		fail(r.Validate())
+		fmt.Printf("  %s\n", r)
+		results = append(results, r)
+	}
+	fail(datacase.WriteReshardJSON(out, results))
+	_, err := datacase.ReadReshardJSON(out)
+	fail(err)
+	fmt.Printf("wrote %s (%d results, all above the %.1fx speedup floor)\n",
+		out, len(results), benchxReshardFloor)
+}
+
+// benchxReshardFloor mirrors the library's acceptance floor for the
+// summary line.
+const benchxReshardFloor = 1.5
 
 // parseShards parses a comma-separated shard-count sweep like "1,4,16".
 func parseShards(s string) ([]int, error) {

@@ -581,3 +581,33 @@ var (
 	// ReadRecoveryJSON parses and validates a BENCH_recovery.json file.
 	ReadRecoveryJSON = benchx.ReadRecoveryJSON
 )
+
+// ---- Elastic resharding experiment (-exp reshard) ----
+
+type (
+	// ReshardConfig sizes one resharding measurement.
+	ReshardConfig = benchx.ReshardConfig
+	// ReshardResult is one BENCH_reshard.json row.
+	ReshardResult = benchx.ReshardResult
+	// ReshardReport is the BENCH_reshard.json document envelope.
+	ReshardReport = benchx.ReshardReport
+	// ShardRebalancer observes per-shard load and proposes live shard
+	// splits and merges.
+	ShardRebalancer = compliance.Rebalancer
+	// ShardRebalancePlan is a rebalancing proposal.
+	ShardRebalancePlan = compliance.Plan
+)
+
+var (
+	// RunReshard executes one resharding measurement: a Zipfian
+	// hot-subject workload pinned to one shard, measured before and
+	// after a live rebalancer-driven split.
+	RunReshard = benchx.RunReshard
+	// WriteReshardJSON writes results as a BENCH_reshard.json document.
+	WriteReshardJSON = benchx.WriteReshardJSON
+	// ReadReshardJSON parses and validates a BENCH_reshard.json file,
+	// enforcing the >= 1.5x post-split speedup floor.
+	ReadReshardJSON = benchx.ReadReshardJSON
+	// NewShardRebalancer builds a rebalancer over a sharded deployment.
+	NewShardRebalancer = compliance.NewRebalancer
+)

@@ -1,0 +1,340 @@
+package benchx
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/datacase/datacase/internal/compliance"
+	"github.com/datacase/datacase/internal/fanout"
+	"github.com/datacase/datacase/internal/gdprbench"
+	"github.com/datacase/datacase/internal/loadgen"
+)
+
+// The elastic-resharding experiment: a Zipfian hot-subject workload is
+// pinned onto one shard (every subject is mined to hash there), driven
+// for a measured baseline phase, then the rebalancer observes the
+// skew, proposes a split of the hot shard, the split runs live, and
+// the same workload is measured again. The figure of merit is the
+// post-split throughput recovery: with the hot shard's subjects cut
+// into two load halves on two shards, a write-heavy stream that was
+// serializing behind one shard mutex (each write paying the modeled
+// device stall) overlaps across two, so throughput should approach 2x
+// and must exceed the 1.5x acceptance floor (ReadReshardJSON enforces
+// it).
+
+// ReshardConfig sizes one resharding measurement.
+type ReshardConfig struct {
+	// Backend is the storage engine (compliance.BackendHeap/LSM).
+	Backend string
+	// Shards is the opening shard count (>= 3, so one pinned-hot shard
+	// clears the rebalancer's 2x-mean split threshold).
+	Shards int
+	// Subjects is how many hot subjects share the pinned shard.
+	Subjects int
+	// Records is the preloaded dataset size, spread over the subjects.
+	Records int
+	// Clients is the closed-loop writer count.
+	Clients int
+	// OpsPerPhase is the update count of each measured phase.
+	OpsPerPhase int
+	// ZipfS is the subject-selection skew exponent.
+	ZipfS float64
+	// IOStall is the modeled device latency per payload access.
+	IOStall time.Duration
+	// Seed makes the dataset and op stream deterministic.
+	Seed int64
+}
+
+// withDefaults fills zero fields.
+func (c ReshardConfig) withDefaults() ReshardConfig {
+	if c.Backend == "" {
+		c.Backend = compliance.BackendHeap
+	}
+	if c.Shards < 3 {
+		c.Shards = 3
+	}
+	if c.Subjects <= 0 {
+		c.Subjects = 16
+	}
+	if c.Records <= 0 {
+		c.Records = 256
+	}
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.OpsPerPhase <= 0 {
+		c.OpsPerPhase = 4000
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 0.9
+	}
+	if c.IOStall == 0 {
+		c.IOStall = 150 * time.Microsecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ReshardPhase is one measured workload phase.
+type ReshardPhase struct {
+	Ops         int     `json:"ops"`
+	ElapsedSecs float64 `json:"elapsed_seconds"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	P50Micros   float64 `json:"p50_micros"`
+	P99Micros   float64 `json:"p99_micros"`
+}
+
+// ReshardResult is one row of BENCH_reshard.json.
+type ReshardResult struct {
+	Backend       string  `json:"backend"`
+	Shards        int     `json:"shards"`
+	Subjects      int     `json:"subjects"`
+	Records       int     `json:"records"`
+	Clients       int     `json:"clients"`
+	ZipfS         float64 `json:"zipf_s"`
+	IOStallMicros int64   `json:"io_stall_micros"`
+	Seed          int64   `json:"seed"`
+
+	// HotShard is the shard every subject was pinned to; the split is
+	// expected to come off it.
+	HotShard int `json:"hot_shard"`
+	// Baseline is the pinned-shard phase; PostSplit the same workload
+	// after the rebalancer's plan was applied live.
+	Baseline  ReshardPhase `json:"baseline"`
+	PostSplit ReshardPhase `json:"post_split"`
+	// SpeedupFactor = PostSplit.OpsPerSec / Baseline.OpsPerSec.
+	SpeedupFactor float64 `json:"speedup_factor"`
+	// P99RecoveryFactor = Baseline.P99 / PostSplit.P99 (>1: tail
+	// latency recovered).
+	P99RecoveryFactor float64 `json:"p99_recovery_factor"`
+
+	// SplitSubjects is how many subjects the plan moved; NewShards the
+	// shard indexes the splits created; EpochAfter the directory epoch
+	// after the plan (>= 1 proves a topology change actually committed).
+	SplitSubjects int    `json:"split_subjects"`
+	NewShards     []int  `json:"new_shards"`
+	EpochAfter    uint64 `json:"epoch_after"`
+}
+
+// String renders one result row.
+func (r ReshardResult) String() string {
+	return fmt.Sprintf("reshard %-4s shards=%d subjects=%d clients=%d  "+
+		"baseline %8.0f ops/s p99=%.0fµs  post-split %8.0f ops/s p99=%.0fµs  speedup=%.2fx (moved %d subjects, epoch %d)",
+		r.Backend, r.Shards, r.Subjects, r.Clients,
+		r.Baseline.OpsPerSec, r.Baseline.P99Micros,
+		r.PostSplit.OpsPerSec, r.PostSplit.P99Micros,
+		r.SpeedupFactor, r.SplitSubjects, r.EpochAfter)
+}
+
+// Validate sanity-checks one row.
+func (r ReshardResult) Validate() error {
+	switch {
+	case r.Backend != compliance.BackendHeap && r.Backend != compliance.BackendLSM:
+		return fmt.Errorf("reshard: unknown backend %q", r.Backend)
+	case r.Baseline.OpsPerSec <= 0 || r.PostSplit.OpsPerSec <= 0:
+		return fmt.Errorf("reshard: non-positive phase throughput (%.1f, %.1f)",
+			r.Baseline.OpsPerSec, r.PostSplit.OpsPerSec)
+	case len(r.NewShards) == 0:
+		return fmt.Errorf("reshard: no split happened")
+	case r.EpochAfter == 0:
+		return fmt.Errorf("reshard: directory epoch never advanced")
+	case r.SplitSubjects <= 0 || r.SplitSubjects >= r.Subjects:
+		return fmt.Errorf("reshard: split moved %d of %d subjects", r.SplitSubjects, r.Subjects)
+	}
+	return nil
+}
+
+// reshardProfile grounds the experiment: strict policy checking, the
+// decision cache on, subject load tracking for the planner, and the
+// modeled device stall that makes shard-mutex serialization measurable.
+func reshardProfile(c ReshardConfig) compliance.Profile {
+	p := compliance.PSYS()
+	p.Backend = c.Backend
+	p.IOStall = c.IOStall
+	p.TrackSubjectLoad = true
+	return p
+}
+
+// hotSubjects mines Subjects subject names that all hash to the same
+// shard of a Shards-wide deployment, returning the names and the shard.
+func hotSubjects(n, shards int) ([]string, int) {
+	subjects := make([]string, 0, n)
+	for i := 0; len(subjects) < n; i++ {
+		name := fmt.Sprintf("hot-subject-%05d", i)
+		if compliance.SubjectShard(name, shards) == 0 {
+			subjects = append(subjects, name)
+		}
+	}
+	return subjects, 0
+}
+
+// RunReshard executes one measurement; see the package comment for the
+// phase structure.
+func RunReshard(cfg ReshardConfig) (ReshardResult, error) {
+	cfg = cfg.withDefaults()
+	res := ReshardResult{
+		Backend: cfg.Backend, Shards: cfg.Shards, Subjects: cfg.Subjects,
+		Records: cfg.Records, Clients: cfg.Clients, ZipfS: cfg.ZipfS,
+		IOStallMicros: cfg.IOStall.Microseconds(), Seed: cfg.Seed,
+	}
+	subjects, hot := hotSubjects(cfg.Subjects, cfg.Shards)
+	res.HotShard = hot
+
+	db, err := compliance.OpenShardedWorkers(reshardProfile(cfg), cfg.Shards, cfg.Clients)
+	if err != nil {
+		return res, err
+	}
+	defer db.Close()
+
+	// Preload: Records spread round-robin over the hot subjects, so
+	// every record lands on the pinned shard.
+	keysBySubject := make(map[string][]string, len(subjects))
+	for i := 0; i < cfg.Records; i++ {
+		sub := subjects[i%len(subjects)]
+		key := fmt.Sprintf("reshard-%s-%04d", sub, i)
+		if err := db.Create(gdprbench.Record{
+			Key: key, Subject: sub,
+			Payload:    []byte(fmt.Sprintf("payload-%06d-%06d", cfg.Seed, i)),
+			Purposes:   []string{"analytics"},
+			TTL:        1 << 40,
+			Processors: []string{"processor-a"},
+		}); err != nil {
+			return res, err
+		}
+		keysBySubject[sub] = append(keysBySubject[sub], key)
+	}
+
+	// The update stream: draw i picks its subject by indexed Zipf rank
+	// (deterministic under any client partition — see loadgen.Zipf) and
+	// a key within the subject by a second mix of the index.
+	zipf, err := loadgen.NewZipf(len(subjects), cfg.ZipfS, cfg.Seed)
+	if err != nil {
+		return res, err
+	}
+	phase := func(phaseSeed uint64) (ReshardPhase, error) {
+		ph := ReshardPhase{Ops: cfg.OpsPerPhase}
+		hist := &loadgen.Histogram{}
+		start := time.Now()
+		err := fanout.Run(cfg.Clients, cfg.Clients, func(c int) error {
+			for i := c; i < cfg.OpsPerPhase; i += cfg.Clients {
+				idx := phaseSeed*uint64(cfg.OpsPerPhase) + uint64(i)
+				sub := subjects[zipf.Rank(idx)]
+				keys := keysBySubject[sub]
+				key := keys[loadgen.Mix64(idx^0xA5A5)%uint64(len(keys))]
+				opStart := time.Now()
+				err := db.UpdateData(compliance.EntityController, compliance.PurposeService,
+					key, []byte(fmt.Sprintf("updated-%d", idx)))
+				hist.RecordDuration(time.Since(opStart))
+				if err != nil {
+					return fmt.Errorf("reshard: update %q: %w", key, err)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return ph, err
+		}
+		elapsed := time.Since(start)
+		ph.ElapsedSecs = elapsed.Seconds()
+		if s := elapsed.Seconds(); s > 0 {
+			ph.OpsPerSec = float64(cfg.OpsPerPhase) / s
+		}
+		ph.P50Micros = float64(hist.Quantile(0.50)) / 1e3
+		ph.P99Micros = float64(hist.Quantile(0.99)) / 1e3
+		return ph, nil
+	}
+
+	// Phase A: the pinned-shard baseline. The rebalancer anchors its
+	// counters first so the phase's ops are exactly what it observes.
+	rb := compliance.NewRebalancer(db)
+	rb.Observe()
+	if res.Baseline, err = phase(1); err != nil {
+		return res, err
+	}
+	rb.Observe()
+
+	// The skew must now be visible: the plan splits the hot shard.
+	plan := rb.Plan()
+	if len(plan.Splits) == 0 {
+		return res, fmt.Errorf("reshard: rebalancer proposed no split (hot shard not hot enough)")
+	}
+	res.SplitSubjects = len(plan.Splits[0].Subjects)
+	created, err := rb.Apply(plan)
+	if err != nil {
+		return res, err
+	}
+	res.NewShards = created
+	res.EpochAfter = db.Epoch()
+
+	// Phase B: the same stream, now spread over the split topology.
+	if res.PostSplit, err = phase(2); err != nil {
+		return res, err
+	}
+	res.SpeedupFactor = res.PostSplit.OpsPerSec / res.Baseline.OpsPerSec
+	if res.PostSplit.P99Micros > 0 {
+		res.P99RecoveryFactor = res.Baseline.P99Micros / res.PostSplit.P99Micros
+	}
+	return res, nil
+}
+
+// ReshardReport is the BENCH_reshard.json document.
+type ReshardReport struct {
+	Benchmark string          `json:"benchmark"`
+	Schema    int             `json:"schema"`
+	Results   []ReshardResult `json:"results"`
+}
+
+// reshardSchemaVersion is bumped when the report shape changes.
+const reshardSchemaVersion = 1
+
+// ReshardSpeedupFloor is the acceptance floor: post-split throughput
+// must reach at least this multiple of the pinned-shard baseline.
+const ReshardSpeedupFloor = 1.5
+
+// WriteReshardJSON writes the BENCH_reshard.json document to path.
+func WriteReshardJSON(path string, results []ReshardResult) error {
+	rep := ReshardReport{Benchmark: "reshard", Schema: reshardSchemaVersion, Results: results}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("reshard: encode report: %w", err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return fmt.Errorf("reshard: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadReshardJSON parses and validates a BENCH_reshard.json file,
+// enforcing the acceptance property: every row's post-split throughput
+// must reach ReshardSpeedupFloor times its pinned baseline.
+func ReadReshardJSON(path string) (ReshardReport, error) {
+	var rep ReshardReport
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return rep, fmt.Errorf("reshard: read %s: %w", path, err)
+	}
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return rep, fmt.Errorf("reshard: parse %s: %w", path, err)
+	}
+	if rep.Benchmark != "reshard" {
+		return rep, fmt.Errorf("reshard: %s is not a reshard report (benchmark=%q)", path, rep.Benchmark)
+	}
+	if len(rep.Results) == 0 {
+		return rep, fmt.Errorf("reshard: %s has no results", path)
+	}
+	for i, r := range rep.Results {
+		if err := r.Validate(); err != nil {
+			return rep, fmt.Errorf("reshard: %s result %d: %w", path, i, err)
+		}
+		if r.SpeedupFactor < ReshardSpeedupFloor {
+			return rep, fmt.Errorf(
+				"reshard: %s result %d (%s): post-split speedup %.2fx under the %.1fx floor",
+				path, i, r.Backend, r.SpeedupFactor, ReshardSpeedupFloor)
+		}
+	}
+	return rep, nil
+}

@@ -21,6 +21,11 @@ const BreachNotificationWindow core.Time = 72
 func (db *DB) RecordBreach(id string, affectedKeys []string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.recordBreachLocked(id, affectedKeys)
+}
+
+// recordBreachLocked is RecordBreach's body; caller holds mu.
+func (db *DB) recordBreachLocked(id string, affectedKeys []string) error {
 	if id == "" {
 		return fmt.Errorf("compliance: breach needs an id")
 	}
@@ -47,6 +52,11 @@ func (db *DB) RecordBreach(id string, affectedKeys []string) error {
 func (db *DB) NotifyBreach(id string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.notifyBreachLocked(id)
+}
+
+// notifyBreachLocked is NotifyBreach's body; caller holds mu.
+func (db *DB) notifyBreachLocked(id string) error {
 	if id == "" {
 		return fmt.Errorf("compliance: breach needs an id")
 	}

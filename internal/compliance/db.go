@@ -167,6 +167,18 @@ type DB struct {
 	// physically removed from this DB, including dependent cascades. The
 	// sharded facade uses it to keep its key directory exact.
 	onDelete func(key string)
+
+	// dirSnapshot, when set, returns the encoded key->shard directory in
+	// force for the deployment this shard belongs to; checkpoints embed
+	// it so recovery can adopt the topology (elastic resharding). Called
+	// with mu held; implementations may take the directory lock (the
+	// shard-then-directory order is the legal one).
+	dirSnapshot func() []byte
+
+	// loads tracks per-subject op counts when the profile enables
+	// TrackSubjectLoad; the Rebalancer's split planner reads it to pick
+	// which subjects to move off a hot shard.
+	loads *loadTracker
 }
 
 // Open builds a DB for the profile. A nil Profile.PayloadKey is
@@ -262,6 +274,9 @@ func openNamed(p Profile, tableName string, clock *core.Clock) (*DB, error) {
 		db.modelDB = core.NewDatabase()
 		db.history = core.NewHistory()
 	}
+	if p.TrackSubjectLoad {
+		db.loads = newLoadTracker()
+	}
 	return db, nil
 }
 
@@ -293,6 +308,15 @@ func (db *DB) Engine() storage.Engine { return db.data }
 // atomics, so the snapshot needs no lock and never blocks behind the
 // write path.
 func (db *DB) Counters() Counters { return db.counters.snapshot() }
+
+// noteSubjectLoad records one op against the subject's load tally
+// (no-op unless the profile enables TrackSubjectLoad). The tracker has
+// its own mutex, so the shared-lock read path may call it too.
+func (db *DB) noteSubjectLoad(subject string) {
+	if db.loads != nil {
+		db.loads.bump(subject)
+	}
+}
 
 // rlock acquires the read-path lock: shared by default, exclusive when
 // the profile chose the ExclusiveReads baseline. It returns the
@@ -487,6 +511,14 @@ func (db *DB) unprotect(blob []byte) ([]byte, error) {
 func (db *DB) Create(rec gdprbench.Record) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.createLocked(rec)
+}
+
+// createLocked is Create's body; caller holds mu. The sharded facade
+// calls it after validating the subject's routing under this shard's
+// lock, so a concurrent split cannot strand the new record on a shard
+// the directory no longer points at.
+func (db *DB) createLocked(rec gdprbench.Record) error {
 	now := db.clock.Tick()
 	meta := Metadata{
 		Subject:    rec.Subject,
@@ -537,6 +569,7 @@ func (db *DB) Create(rec gdprbench.Record) error {
 		})
 	}
 	db.counters.creates.Add(1)
+	db.noteSubjectLoad(rec.Subject)
 	db.noteClockLocked(false)
 	db.maybeCheckpointLocked()
 	return nil
@@ -564,6 +597,11 @@ func recordPolicies(rec gdprbench.Record, now, deadline core.Time) []core.Policy
 // mutex.
 func (db *DB) ReadData(entity core.EntityID, purpose core.Purpose, key string) ([]byte, error) {
 	defer db.rlock()()
+	return db.readDataLocked(entity, purpose, key)
+}
+
+// readDataLocked is ReadData's body; caller holds the read-path lock.
+func (db *DB) readDataLocked(entity core.EntityID, purpose core.Purpose, key string) ([]byte, error) {
 	now := db.clock.Tick()
 	row, ok := db.data.Get([]byte(key))
 	if !ok {
@@ -596,6 +634,7 @@ func (db *DB) ReadData(entity core.EntityID, purpose core.Purpose, key string) (
 		db.history.MustAppend(tuple)
 	}
 	db.counters.dataReads.Add(1)
+	db.noteSubjectLoad(string(metaSubject(row)))
 	return payload, nil
 }
 
@@ -603,6 +642,11 @@ func (db *DB) ReadData(entity core.EntityID, purpose core.Purpose, key string) (
 func (db *DB) UpdateData(entity core.EntityID, purpose core.Purpose, key string, payload []byte) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.updateDataLocked(entity, purpose, key, payload)
+}
+
+// updateDataLocked is UpdateData's body; caller holds mu.
+func (db *DB) updateDataLocked(entity core.EntityID, purpose core.Purpose, key string, payload []byte) error {
 	now := db.clock.Tick()
 	row, ok := db.data.Get([]byte(key))
 	if !ok {
@@ -647,6 +691,7 @@ func (db *DB) UpdateData(entity core.EntityID, purpose core.Purpose, key string,
 		db.history.MustAppend(tuple)
 	}
 	db.counters.dataUpdates.Add(1)
+	db.noteSubjectLoad(string(metaSubject(row)))
 	db.afterMutation()
 	return nil
 }
@@ -719,6 +764,7 @@ func (db *DB) deleteDataLocked(entity core.EntityID, key string) error {
 		db.history.MustAppend(tuple)
 	}
 	db.counters.deletes.Add(1)
+	db.noteSubjectLoad(string(subject))
 	// The strong-delete grounding cascades to derived records in which
 	// the subject remains identifiable (§3.1's strong deletion).
 	if db.profile.CascadeDependents {
@@ -741,6 +787,11 @@ func (db *DB) deleteDataLocked(entity core.EntityID, key string) error {
 // record's policies and TTL). Shared-lock read path, like ReadData.
 func (db *DB) ReadMeta(entity core.EntityID, purpose core.Purpose, key string) (Metadata, error) {
 	defer db.rlock()()
+	return db.readMetaLocked(entity, purpose, key)
+}
+
+// readMetaLocked is ReadMeta's body; caller holds the read-path lock.
+func (db *DB) readMetaLocked(entity core.EntityID, purpose core.Purpose, key string) (Metadata, error) {
 	now := db.clock.Tick()
 	row, ok := db.data.Get([]byte(key))
 	if !ok {
@@ -769,6 +820,7 @@ func (db *DB) ReadMeta(entity core.EntityID, purpose core.Purpose, key string) (
 		db.history.MustAppend(tuple)
 	}
 	db.counters.metaReads.Add(1)
+	db.noteSubjectLoad(rec.Meta.Subject)
 	return rec.Meta, nil
 }
 
@@ -777,6 +829,11 @@ func (db *DB) ReadMeta(entity core.EntityID, purpose core.Purpose, key string) (
 func (db *DB) UpdateMeta(entity core.EntityID, purpose core.Purpose, key, newPurpose string, newTTL int64) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.updateMetaLocked(entity, purpose, key, newPurpose, newTTL)
+}
+
+// updateMetaLocked is UpdateMeta's body; caller holds mu.
+func (db *DB) updateMetaLocked(entity core.EntityID, purpose core.Purpose, key, newPurpose string, newTTL int64) error {
 	now := db.clock.Tick()
 	row, ok := db.data.Get([]byte(key))
 	if !ok {

@@ -86,10 +86,15 @@ func combineParents(parents []derivedParent) (subject string, purposes []string,
 		}
 	}
 	if !uniform {
-		subject = "aggregate"
+		subject = aggregateSubject
 	}
 	return subject, purposes, minTTL
 }
+
+// aggregateSubject marks cross-subject derived records: no single
+// person is identifiable, no subject-scoped right targets them, and
+// the sharded engine places them by record key instead of subject.
+const aggregateSubject = "aggregate"
 
 // insertDerivedLocked stores the derived record, attaches its restricted
 // policies, records the provenance edge and logs the derivation. Caller
@@ -174,6 +179,12 @@ func (db *DB) Derive(entity core.EntityID, purpose core.Purpose, newKey string,
 	parentKeys []string, f Transform, invertible bool, description string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.deriveLocked(entity, purpose, newKey, parentKeys, f, invertible, description)
+}
+
+// deriveLocked is Derive's body; caller holds mu.
+func (db *DB) deriveLocked(entity core.EntityID, purpose core.Purpose, newKey string,
+	parentKeys []string, f Transform, invertible bool, description string) error {
 	if len(parentKeys) == 0 {
 		return fmt.Errorf("compliance: derivation needs at least one parent")
 	}

@@ -1,0 +1,263 @@
+package compliance
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// The key->shard directory of an elastic deployment. The static engine
+// placed every subject at FNV(subject) % shards forever; elastic
+// resharding replaces that with an epoch-versioned directory: the same
+// hash over a fixed base shard count, patched by per-subject overrides
+// (subjects moved by a split) and per-shard redirects (shards retired
+// by a merge). Every topology change clones the directory, bumps the
+// epoch and swaps the pointer under the directory lock, so in-flight
+// requests finish routing against the epoch they started with and
+// revalidate against the new one after they acquire their shard.
+type directory struct {
+	// epoch counts topology changes; recovery adopts the highest epoch
+	// any durable artifact carries.
+	epoch uint64
+	// base is the shard count the hash placement was opened with; it
+	// never changes (splits and merges patch, they do not rehash).
+	base uint32
+	// overrides pins individual subjects to a shard (split migrations).
+	overrides map[string]uint32
+	// redirects forwards a retired shard's hash slot to the shard that
+	// absorbed it (merges). Chains are followed transitively.
+	redirects map[uint32]uint32
+}
+
+// newStaticDirectory is the epoch-0 directory of a freshly opened
+// deployment: pure hash placement over the opening shard count.
+func newStaticDirectory(shards int) *directory {
+	return &directory{base: uint32(shards)}
+}
+
+// route returns the shard index currently responsible for the name
+// (a data subject, or a record key for aggregate placement). The
+// redirect walk is bounded by the redirect count, so a corrupt cyclic
+// directory cannot hang the caller (validate rejects cycles anyway).
+func (d *directory) route(name string) uint32 {
+	idx, ok := d.overrides[name]
+	if !ok {
+		h := fnv.New32a()
+		_, _ = h.Write([]byte(name))
+		idx = h.Sum32() % d.base
+	}
+	for hop := 0; hop <= len(d.redirects); hop++ {
+		next, ok := d.redirects[idx]
+		if !ok {
+			break
+		}
+		idx = next
+	}
+	return idx
+}
+
+// clone deep-copies the directory so a staged topology change never
+// mutates the directory in-flight requests are routing against.
+func (d *directory) clone() *directory {
+	c := &directory{epoch: d.epoch, base: d.base}
+	if len(d.overrides) > 0 {
+		c.overrides = make(map[string]uint32, len(d.overrides))
+		for k, v := range d.overrides {
+			c.overrides[k] = v
+		}
+	}
+	if len(d.redirects) > 0 {
+		c.redirects = make(map[uint32]uint32, len(d.redirects))
+		for k, v := range d.redirects {
+			c.redirects[k] = v
+		}
+	}
+	return c
+}
+
+// validate checks the directory against a shard count: every target
+// must exist, every redirect must terminate, and no redirect may point
+// at itself. Recovery runs it on adopted directories before trusting
+// them to route.
+func (d *directory) validate(shards int) error {
+	if d.base == 0 || int(d.base) > shards {
+		return fmt.Errorf("compliance: directory base %d outside deployment of %d shard(s)", d.base, shards)
+	}
+	for sub, idx := range d.overrides {
+		if int(idx) >= shards {
+			return fmt.Errorf("compliance: directory override %q -> %d outside deployment of %d shard(s)", sub, idx, shards)
+		}
+	}
+	for from, to := range d.redirects {
+		if int(from) >= shards || int(to) >= shards {
+			return fmt.Errorf("compliance: directory redirect %d -> %d outside deployment of %d shard(s)", from, to, shards)
+		}
+	}
+	// Every redirect chain must leave the redirect set within len+1
+	// hops; a cycle never does.
+	for from := range d.redirects {
+		idx, hops := from, 0
+		for {
+			next, ok := d.redirects[idx]
+			if !ok {
+				break
+			}
+			idx = next
+			if hops++; hops > len(d.redirects) {
+				return fmt.Errorf("compliance: directory redirect cycle through shard %d", from)
+			}
+		}
+	}
+	return nil
+}
+
+// retired reports whether a shard index has been merged away (some
+// redirect chain starts at it), meaning route never returns it.
+func (d *directory) retired(idx uint32) bool {
+	_, ok := d.redirects[idx]
+	return ok
+}
+
+// ---- directory codec ----
+
+// directoryCodecVersion tags the encoded directory layout.
+const directoryCodecVersion = 1
+
+// encodeDirectory frames a directory for durable storage (checkpoint
+// payloads, RecShardBirth and RecDirectory records). Maps are emitted
+// in sorted order so the encoding is canonical: equal directories have
+// equal bytes.
+func encodeDirectory(d *directory) []byte {
+	buf := []byte{directoryCodecVersion}
+	buf = appendI64(buf, int64(d.epoch))
+	buf = appendU32(buf, d.base)
+	subs := make([]string, 0, len(d.overrides))
+	for s := range d.overrides {
+		subs = append(subs, s)
+	}
+	sort.Strings(subs)
+	buf = appendU32(buf, uint32(len(subs)))
+	for _, s := range subs {
+		buf = appendBytes(buf, []byte(s))
+		buf = appendU32(buf, d.overrides[s])
+	}
+	froms := make([]int, 0, len(d.redirects))
+	for f := range d.redirects {
+		froms = append(froms, int(f))
+	}
+	sort.Ints(froms)
+	buf = appendU32(buf, uint32(len(froms)))
+	for _, f := range froms {
+		buf = appendU32(buf, uint32(f))
+		buf = appendU32(buf, d.redirects[uint32(f)])
+	}
+	return buf
+}
+
+// decodeDirectory parses an encoded directory. It is hardened like the
+// checkpoint decoder: corrupt counts and lengths fail with an error on
+// the first missing byte, never with an attacker-sized allocation or a
+// panic (FuzzDirectory holds it to that).
+func decodeDirectory(buf []byte) (*directory, error) {
+	r := byteReader{buf: buf}
+	ver, err := r.u8()
+	if err != nil || ver != directoryCodecVersion {
+		return nil, fmt.Errorf("compliance: bad directory version (err=%v ver=%d)", err, ver)
+	}
+	d := &directory{}
+	epoch, err := r.i64()
+	if err != nil {
+		return nil, err
+	}
+	if epoch < 0 {
+		return nil, fmt.Errorf("compliance: negative directory epoch")
+	}
+	d.epoch = uint64(epoch)
+	if d.base, err = r.u32(); err != nil {
+		return nil, err
+	}
+	if d.base == 0 {
+		return nil, fmt.Errorf("compliance: directory base must be positive")
+	}
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	// An override costs >= 8 encoded bytes (length-framed subject +
+	// shard index); cap the pre-allocation by what could possibly fit.
+	if n > 0 {
+		d.overrides = make(map[string]uint32, capCount(n, len(r.buf)-r.off, 8))
+	}
+	for i := uint32(0); i < n; i++ {
+		sub, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		idx, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		d.overrides[string(sub)] = idx
+	}
+	m, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if m > 0 {
+		d.redirects = make(map[uint32]uint32, capCount(m, len(r.buf)-r.off, 8))
+	}
+	for i := uint32(0); i < m; i++ {
+		from, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		to, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		d.redirects[from] = to
+	}
+	if r.off != len(r.buf) {
+		return nil, fmt.Errorf("compliance: %d trailing bytes after directory", len(r.buf)-r.off)
+	}
+	return d, nil
+}
+
+// ---- shard-birth record codec ----
+
+// shardBirth is the decoded payload of a RecShardBirth record: the
+// epoch the split would commit, the source shard it split from, and
+// the directory in force before the split (so recovery can adopt a
+// topology even on checkpoint-free deployments whose only directory
+// carrier is this record).
+type shardBirth struct {
+	epoch  uint64
+	source uint32
+	oldDir []byte
+}
+
+func encodeShardBirth(b shardBirth) []byte {
+	buf := appendI64(nil, int64(b.epoch))
+	buf = appendU32(buf, b.source)
+	return appendBytes(buf, b.oldDir)
+}
+
+func decodeShardBirth(buf []byte) (shardBirth, error) {
+	var b shardBirth
+	r := byteReader{buf: buf}
+	epoch, err := r.i64()
+	if err != nil {
+		return b, fmt.Errorf("compliance: bad shard-birth record: %w", err)
+	}
+	if epoch < 0 {
+		return b, fmt.Errorf("compliance: negative shard-birth epoch")
+	}
+	b.epoch = uint64(epoch)
+	if b.source, err = r.u32(); err != nil {
+		return b, fmt.Errorf("compliance: bad shard-birth record: %w", err)
+	}
+	if b.oldDir, err = r.bytes(); err != nil {
+		return b, fmt.Errorf("compliance: bad shard-birth record: %w", err)
+	}
+	return b, nil
+}

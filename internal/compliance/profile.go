@@ -194,6 +194,12 @@ type Profile struct {
 	// the WAL has grown that many bytes since the last one. 0 disables
 	// the bytes trigger. Either trigger firing takes the checkpoint.
 	CheckpointEveryBytes int64
+
+	// TrackSubjectLoad keeps a per-subject operation counter on each
+	// shard, feeding the rebalancer's split planning (which subjects to
+	// move off a hot shard). One map update per routed op; off by
+	// default so steady-state deployments pay nothing.
+	TrackSubjectLoad bool
 }
 
 // validate rejects incomplete profiles.

@@ -1,0 +1,277 @@
+package compliance
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// This file decides WHEN and WHAT to reshard; reshard.go implements
+// HOW. A Rebalancer observes per-shard operation rates between calls,
+// proposes a split of the hottest shard (moving roughly half its
+// observed subject load to a new shard) or a merge of two cold shards,
+// and applies the plan through SplitShard/MergeShards.
+
+// loadTracker counts routed operations per data subject on one shard.
+// It has its own mutex rather than riding the shard's, because the
+// shared-lock read path bumps it concurrently.
+type loadTracker struct {
+	mu     sync.Mutex
+	counts map[string]uint64
+}
+
+func newLoadTracker() *loadTracker {
+	return &loadTracker{counts: make(map[string]uint64)}
+}
+
+func (t *loadTracker) bump(subject string) {
+	if subject == "" {
+		return
+	}
+	t.mu.Lock()
+	t.counts[subject]++
+	t.mu.Unlock()
+}
+
+func (t *loadTracker) snapshot() map[string]uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]uint64, len(t.counts))
+	for k, v := range t.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// drop forgets subjects that migrated away, so a later split of this
+// shard does not plan around load it no longer serves.
+func (t *loadTracker) drop(subjects []string) {
+	t.mu.Lock()
+	for _, s := range subjects {
+		delete(t.counts, s)
+	}
+	t.mu.Unlock()
+}
+
+// SubjectLoads returns this shard's per-subject operation counts since
+// open (nil when the profile does not set TrackSubjectLoad).
+func (db *DB) SubjectLoads() map[string]uint64 {
+	if db.loads == nil {
+		return nil
+	}
+	return db.loads.snapshot()
+}
+
+// ShardLoad is one shard's observed operation count over an Observe
+// interval.
+type ShardLoad struct {
+	Shard int    `json:"shard"`
+	Ops   uint64 `json:"ops"`
+}
+
+// SplitPlan proposes moving Subjects off Source onto a new shard.
+type SplitPlan struct {
+	Source   int      `json:"source"`
+	Subjects []string `json:"subjects"`
+}
+
+// MergePlan proposes folding shard From into shard To.
+type MergePlan struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+}
+
+// Plan is a rebalancing proposal: at most one split and one merge.
+type Plan struct {
+	Splits []SplitPlan `json:"splits,omitempty"`
+	Merges []MergePlan `json:"merges,omitempty"`
+}
+
+// Empty reports whether the plan proposes nothing.
+func (p Plan) Empty() bool { return len(p.Splits) == 0 && len(p.Merges) == 0 }
+
+// Rebalancer watches a sharded deployment's per-shard operation rates
+// and proposes topology changes.
+type Rebalancer struct {
+	s *ShardedDB
+	// SplitFactor: a shard whose interval ops exceed SplitFactor times
+	// the mean is split. Default 2.
+	SplitFactor float64
+	// MergeFactor: two shards both under MergeFactor times the mean are
+	// merged. Default 0.25.
+	MergeFactor float64
+
+	prev []uint64    // cumulative per-shard op totals at last Observe
+	last []ShardLoad // deltas from the most recent Observe
+}
+
+// NewRebalancer builds a rebalancer with default thresholds.
+func NewRebalancer(s *ShardedDB) *Rebalancer {
+	return &Rebalancer{s: s, SplitFactor: 2, MergeFactor: 0.25}
+}
+
+// shardOpsTotal sums one shard's routed-operation counters.
+func shardOpsTotal(db *DB) uint64 {
+	c := db.Counters()
+	return c.Creates + c.DataReads + c.DataUpdates + c.Deletes +
+		c.MetaReads + c.MetaUpdates
+}
+
+// Observe samples per-shard cumulative op counts and returns the delta
+// since the previous Observe (the whole history, on the first call).
+// Call it once to anchor, run traffic, call it again, then Plan.
+func (r *Rebalancer) Observe() []ShardLoad {
+	shards := r.s.view()
+	cur := make([]uint64, len(shards))
+	for i, db := range shards {
+		cur[i] = shardOpsTotal(db)
+	}
+	loads := make([]ShardLoad, len(shards))
+	for i := range cur {
+		var prev uint64
+		if i < len(r.prev) {
+			prev = r.prev[i]
+		}
+		loads[i] = ShardLoad{Shard: i, Ops: cur[i] - prev}
+	}
+	r.prev = cur
+	r.last = loads
+	return loads
+}
+
+// Plan proposes at most one split (of the hottest shard, when its
+// observed rate exceeds SplitFactor × mean and its load tracker knows
+// enough subjects to cut in two) and at most one merge (of the two
+// coldest shards, when both sit under MergeFactor × mean). Ties break
+// by shard index, so the plan is deterministic for a given observation.
+func (r *Rebalancer) Plan() Plan {
+	var plan Plan
+	loads := r.last
+	if len(loads) < 2 {
+		return plan
+	}
+	var total uint64
+	live := 0
+	r.s.dirMu.RLock()
+	dir := r.s.subjects
+	retired := make([]bool, len(loads))
+	for i := range loads {
+		retired[i] = dir.retired(uint32(i))
+	}
+	r.s.dirMu.RUnlock()
+	for i, l := range loads {
+		if retired[i] {
+			continue
+		}
+		total += l.Ops
+		live++
+	}
+	if live < 1 || total == 0 {
+		return plan
+	}
+	mean := float64(total) / float64(live)
+
+	// Split: hottest live shard above the threshold, with a subject
+	// partition that keeps at least one subject on each side.
+	hot, hotOps := -1, uint64(0)
+	for i, l := range loads {
+		if retired[i] {
+			continue
+		}
+		if l.Ops > hotOps {
+			hot, hotOps = i, l.Ops
+		}
+	}
+	if hot >= 0 && float64(hotOps) > r.SplitFactor*mean {
+		if subjects := r.splitSubjects(hot); len(subjects) > 0 {
+			plan.Splits = append(plan.Splits, SplitPlan{Source: hot, Subjects: subjects})
+		}
+	}
+
+	// Merge: the two coldest live shards (excluding a just-proposed
+	// split source), both under the threshold.
+	cold := make([]int, 0, len(loads))
+	for i := range loads {
+		if retired[i] || i == hot {
+			continue
+		}
+		if float64(loads[i].Ops) < r.MergeFactor*mean {
+			cold = append(cold, i)
+		}
+	}
+	sort.Slice(cold, func(a, b int) bool {
+		if loads[cold[a]].Ops != loads[cold[b]].Ops {
+			return loads[cold[a]].Ops < loads[cold[b]].Ops
+		}
+		return cold[a] < cold[b]
+	})
+	if len(cold) >= 2 {
+		plan.Merges = append(plan.Merges, MergePlan{From: cold[0], To: cold[1]})
+	}
+	return plan
+}
+
+// splitSubjects picks the subjects to move off a hot shard: subjects
+// sorted by observed load descending, assigned greedily to the lighter
+// half, and the half NOT containing the single hottest subject moves
+// (moving less data when the skew is extreme). Both halves keep at
+// least one subject; nil when the tracker is off or knows fewer than
+// two subjects.
+func (r *Rebalancer) splitSubjects(shard int) []string {
+	db := r.s.Shard(shard)
+	counts := db.SubjectLoads()
+	if len(counts) < 2 {
+		return nil
+	}
+	type sl struct {
+		subject string
+		ops     uint64
+	}
+	ranked := make([]sl, 0, len(counts))
+	for s, n := range counts {
+		ranked = append(ranked, sl{s, n})
+	}
+	sort.Slice(ranked, func(a, b int) bool {
+		if ranked[a].ops != ranked[b].ops {
+			return ranked[a].ops > ranked[b].ops
+		}
+		return ranked[a].subject < ranked[b].subject
+	})
+	var keep, move []string
+	var keepOps, moveOps uint64
+	for i, e := range ranked {
+		// Greedy half-load partition; the hottest subject anchors "keep"
+		// so the moving set is the smaller tail.
+		if i == 0 || keepOps <= moveOps {
+			keep = append(keep, e.subject)
+			keepOps += e.ops
+		} else {
+			move = append(move, e.subject)
+			moveOps += e.ops
+		}
+	}
+	if len(move) == 0 || len(keep) == 0 {
+		return nil
+	}
+	sort.Strings(move)
+	return move
+}
+
+// Apply executes a plan: splits first, then merges. It returns the
+// indexes of shards created by splits.
+func (r *Rebalancer) Apply(plan Plan) ([]int, error) {
+	var created []int
+	for _, sp := range plan.Splits {
+		idx, err := r.s.SplitShard(sp.Source, sp.Subjects)
+		if err != nil {
+			return created, fmt.Errorf("rebalance: split shard %d: %w", sp.Source, err)
+		}
+		created = append(created, idx)
+	}
+	for _, mp := range plan.Merges {
+		if err := r.s.MergeShards(mp.From, mp.To); err != nil {
+			return created, fmt.Errorf("rebalance: merge %d into %d: %w", mp.From, mp.To, err)
+		}
+	}
+	return created, nil
+}

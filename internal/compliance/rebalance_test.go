@@ -1,0 +1,131 @@
+package compliance
+
+import (
+	"testing"
+)
+
+// TestRebalancerSplitsHotShard drives a skewed read workload at a
+// load-tracked deployment and requires the rebalancer to (a) observe
+// the skew, (b) propose splitting exactly the hot shard on a subject
+// cut that leaves the hottest subject anchored, (c) propose merging the
+// two idle shards, and (d) apply the whole plan live.
+func TestRebalancerSplitsHotShard(t *testing.T) {
+	p := PBase()
+	p.TrackSubjectLoad = true
+	s, err := OpenShardedWorkers(p, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := s.Create(recTestRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Five subjects over three shards: some shard homes at least two,
+	// which is what a split needs (one stays as the anchor, one moves).
+	byHome := map[int][]string{}
+	for i := 0; i < 5; i++ {
+		name := recTestSubject(i)
+		home := s.SubjectHome(name)
+		byHome[home] = append(byHome[home], name)
+	}
+	hot := -1
+	for home, subs := range byHome {
+		if len(subs) >= 2 && (hot < 0 || home < hot) {
+			hot = home
+		}
+	}
+	if hot < 0 {
+		t.Fatal("no shard homes two subjects")
+	}
+	var hotKeys []string
+	for i := 0; i < 20; i++ {
+		if s.SubjectHome(recTestSubject(i)) == hot {
+			hotKeys = append(hotKeys, recTestKey(i))
+		}
+	}
+
+	rb := NewRebalancer(s)
+	rb.Observe() // anchor: the preload ops are not "observed load"
+	for i := 0; i < 600; i++ {
+		if _, err := s.ReadData(EntityController, PurposeService, hotKeys[i%len(hotKeys)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loads := rb.Observe()
+	if loads[hot].Ops < 600 {
+		t.Fatalf("hot shard observed %d ops, want >= 600", loads[hot].Ops)
+	}
+	if got := s.Shard(hot).SubjectLoads(); len(got) < 2 {
+		t.Fatalf("hot shard tracks %d subjects, want >= 2", len(got))
+	}
+
+	plan := rb.Plan()
+	if plan.Empty() || len(plan.Splits) != 1 {
+		t.Fatalf("plan = %+v, want exactly one split", plan)
+	}
+	sp := plan.Splits[0]
+	if sp.Source != hot {
+		t.Fatalf("split source = %d, want hot shard %d", sp.Source, hot)
+	}
+	if len(sp.Subjects) == 0 || len(sp.Subjects) >= len(byHome[hot]) {
+		t.Fatalf("split moves %d of %d subjects: the hottest must stay anchored",
+			len(sp.Subjects), len(byHome[hot]))
+	}
+	// All load on one shard leaves the other two idle: both fall under
+	// the merge threshold.
+	if len(plan.Merges) != 1 {
+		t.Fatalf("plan = %+v, want the two idle shards merged", plan)
+	}
+
+	created, err := rb.Apply(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(created) != 1 || created[0] != 3 {
+		t.Fatalf("created shards = %v, want [3]", created)
+	}
+	if s.Epoch() != 2 {
+		t.Fatalf("epoch = %d after split+merge, want 2", s.Epoch())
+	}
+	for _, name := range sp.Subjects {
+		if home := s.SubjectHome(name); home != created[0] {
+			t.Fatalf("moved subject %q homes on %d, want %d", name, home, created[0])
+		}
+	}
+	// Every record still readable after the topology change.
+	for i := 0; i < 20; i++ {
+		if _, err := s.ReadData(EntityController, PurposeService, recTestKey(i)); err != nil {
+			t.Fatalf("read %s after rebalance: %v", recTestKey(i), err)
+		}
+	}
+}
+
+// TestSubjectLoadsDisabled: without TrackSubjectLoad the per-shard
+// tracker stays nil and SubjectLoads reports nothing (and a rebalance
+// plan cannot pick subjects to move, so no split is proposed).
+func TestSubjectLoadsDisabled(t *testing.T) {
+	s, err := OpenSharded(PBase(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := s.Create(recTestRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Shard(0).SubjectLoads(); got != nil {
+		t.Fatalf("SubjectLoads = %v on an untracked profile, want nil", got)
+	}
+	rb := NewRebalancer(s)
+	rb.Observe()
+	for i := 0; i < 200; i++ {
+		if _, err := s.ReadData(EntityController, PurposeService, recTestKey(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rb.Observe()
+	if plan := rb.Plan(); len(plan.Splits) != 0 {
+		t.Fatalf("plan proposes a split %+v with no load tracker", plan)
+	}
+}

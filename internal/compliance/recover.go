@@ -42,8 +42,10 @@ import (
 // collection time as the policy window origin — a conservative
 // approximation that can only deny earlier, never allow longer.
 
-// checkpointVersion tags the checkpoint payload encoding.
-const checkpointVersion = 1
+// checkpointVersion tags the checkpoint payload encoding. Version 2
+// appends the shard's view of the key->shard directory (elastic
+// resharding); version 1 payloads (no directory) still decode.
+const checkpointVersion = 2
 
 // RecoveryStats describes one recovery pass.
 type RecoveryStats struct {
@@ -139,11 +141,52 @@ func recoverSharded(p Profile, images [][]byte, devs []*cryptox.BlockDev, worker
 		return nil, RecoveryStats{}, fmt.Errorf(
 			"compliance: profile %s has no payload key; recover with Profile() of the crashed deployment (the key the KMS issued it), not a freshly constructed profile", p.Name)
 	}
+	// Topology adoption: before replaying anything, decide which
+	// key->shard directory the crashed deployment had committed. Every
+	// durable artifact that carries one — a split's birth record, a
+	// merge's RecDirectory, a checkpoint's embedded directory — is a
+	// candidate; the highest epoch wins, because directories are only
+	// ever persisted at or after their commit point.
+	adopted, births, err := adoptDirectory(images)
+	if err != nil {
+		return nil, RecoveryStats{}, err
+	}
+	hasDir := adopted != nil
+	if hasDir {
+		// Split debris: a shard whose birth record promises an epoch the
+		// adopted directory never reached is a destination whose split
+		// never committed — drop it; its rows still live on the source.
+		// Splits append shards, so debris is always a trailing run.
+		kept := len(images)
+		for kept > 0 && births[kept-1] > adopted.epoch {
+			kept--
+		}
+		for i := 0; i < kept; i++ {
+			if births[i] > adopted.epoch {
+				return nil, RecoveryStats{}, fmt.Errorf(
+					"compliance: shard %d is uncommitted split debris (birth epoch %d > adopted %d) but not trailing", i, births[i], adopted.epoch)
+			}
+		}
+		images = images[:kept]
+		if devs != nil {
+			devs = devs[:kept]
+		}
+		if len(images) == 0 {
+			return nil, RecoveryStats{}, fmt.Errorf("compliance: every segment image is uncommitted split debris")
+		}
+	} else {
+		adopted = newStaticDirectory(len(images))
+	}
+	if err := adopted.validate(len(images)); err != nil {
+		return nil, RecoveryStats{}, err
+	}
+
 	s := &ShardedDB{
-		profile: p,
-		shards:  make([]*DB, len(images)),
-		workers: workers,
-		dir:     make(map[string]uint32),
+		profile:  p,
+		shards:   make([]*DB, len(images)),
+		workers:  workers,
+		dir:      make(map[string]uint32),
+		subjects: adopted,
 	}
 	clock := &core.Clock{}
 	perShard := make([]RecoveryStats, len(images))
@@ -154,7 +197,7 @@ func recoverSharded(p Profile, images [][]byte, devs []*cryptox.BlockDev, worker
 			dev = devs[i]
 		}
 		s.shards[i], perShard[i], errs[i] = recoverNamed(
-			p, fmt.Sprintf("%s:data/shard-%02d", p.Name, i), clock, images[i], dev)
+			p, shardTableName(p, i), clock, images[i], dev)
 		return errs[i]
 	})
 	total := RecoveryStats{Shards: len(images)}
@@ -164,8 +207,37 @@ func recoverSharded(p Profile, images [][]byte, devs []*cryptox.BlockDev, worker
 		}
 		total.merge(perShard[i])
 	}
-	// The directory maps every recovered live key to its shard; hooks
-	// go in afterwards so redo deletes above never touched it.
+	if hasDir {
+		// Misroute pass: a crash between a migration's commit and the end
+		// of its source cleanup leaves rows on shards the adopted
+		// directory no longer routes to them — the stale side of the
+		// move. Delete them (idempotent redo; the other side holds the
+		// committed copy). Runs before the key directory is built and
+		// before onDelete is wired, so it cannot disturb either.
+		for i, db := range s.shards {
+			var stale []string
+			db.data.SeqScan(func(k, v []byte) bool {
+				if adopted.route(placementName(k, v)) != uint32(i) {
+					stale = append(stale, string(k))
+				}
+				return true
+			})
+			for _, k := range stale {
+				db.recoverDelete(k)
+				if db.modelDB != nil {
+					db.modelDB.Remove(core.UnitID(k))
+				}
+			}
+		}
+		// Re-persist the adoption: the adopted directory may live only in
+		// a record of the crashed image (a birth record, say) that the
+		// fresh logs do not carry. One RecDirectory on shard 0 makes a
+		// second crash before the next checkpoint adopt the same epoch.
+		s.shards[0].data.Log().Append(wal.RecDirectory, nil, encodeDirectory(adopted))
+	}
+	// The key directory maps every recovered live key to its shard;
+	// hooks and snapshots go in afterwards so redo deletes above never
+	// touched them.
 	for i, db := range s.shards {
 		idx := uint32(i)
 		db.data.SeqScan(func(k, _ []byte) bool {
@@ -173,16 +245,77 @@ func recoverSharded(p Profile, images [][]byte, devs []*cryptox.BlockDev, worker
 			return true
 		})
 		db.onDelete = s.forget
+		db.dirSnapshot = s.dirBlob
 	}
 	total.Elapsed = time.Since(start)
 	return s, total, nil
 }
 
+// adoptDirectory scans every shard image for durable directory
+// artifacts — a birth record's embedded pre-split directory, standalone
+// RecDirectory records, and the directory embedded in the last
+// checkpoint — and returns the highest-epoch directory found (nil when
+// the deployment never resharded and has no version-2 checkpoints),
+// plus each image's birth-record epoch (0: the image does not open
+// with a birth record, so the shard is an ordinary member).
+func adoptDirectory(images [][]byte) (*directory, []uint64, error) {
+	var best *directory
+	births := make([]uint64, len(images))
+	consider := func(blob []byte, shard int, what string) error {
+		d, err := decodeDirectory(blob)
+		if err != nil {
+			return fmt.Errorf("compliance: shard %d %s: %w", shard, what, err)
+		}
+		if best == nil || d.epoch > best.epoch {
+			best = d
+		}
+		return nil
+	}
+	for i, image := range images {
+		scan := wal.ScanSegment(image)
+		for j, r := range scan.Records {
+			switch r.Type {
+			case wal.RecShardBirth:
+				b, err := decodeShardBirth(r.Payload)
+				if err != nil {
+					return nil, nil, fmt.Errorf("compliance: shard %d: %w", i, err)
+				}
+				// Only an opening birth record marks the shard as a split
+				// destination; once a later checkpoint truncates it away,
+				// the shard is an ordinary member.
+				if j == 0 {
+					births[i] = b.epoch
+				}
+				if err := consider(b.oldDir, i, "birth directory"); err != nil {
+					return nil, nil, err
+				}
+			case wal.RecDirectory:
+				if err := consider(r.Payload, i, "directory record"); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		if scan.LastCheckpoint >= 0 {
+			cs, err := decodeCheckpointState(scan.Records[scan.LastCheckpoint].Payload)
+			if err != nil {
+				return nil, nil, fmt.Errorf("compliance: shard %d checkpoint: %w", i, err)
+			}
+			if len(cs.dir) > 0 {
+				if err := consider(cs.dir, i, "checkpoint directory"); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	return best, births, nil
+}
+
 // SegmentImages returns the durable byte image of every shard's WAL
 // segment — what a crash would leave on disk.
 func (s *ShardedDB) SegmentImages() [][]byte {
-	images := make([][]byte, len(s.shards))
-	for i, db := range s.shards {
+	shards := s.view()
+	images := make([][]byte, len(shards))
+	for i, db := range shards {
 		images[i] = db.SegmentImage()
 	}
 	return images
@@ -199,11 +332,17 @@ func (s *ShardedDB) Recover() (*ShardedDB, RecoveryStats, error) {
 	// sector an image references exists in the snapshot; concurrent
 	// writes landing in between only add orphan sectors, which the
 	// allocation-cursor logic already tolerates.
-	images := s.SegmentImages()
+	// One shard-slice snapshot for both loops, so a concurrent split
+	// cannot leave images and devices at different lengths.
+	shards := s.view()
+	images := make([][]byte, len(shards))
+	for i, db := range shards {
+		images[i] = db.SegmentImage()
+	}
 	var devs []*cryptox.BlockDev
 	if s.profile.UseBlockDev {
-		devs = make([]*cryptox.BlockDev, len(s.shards))
-		for i, db := range s.shards {
+		devs = make([]*cryptox.BlockDev, len(shards))
+		for i, db := range shards {
 			// A snapshot, not the live pointer: the receiver keeps
 			// running, and two deployments allocating into one device
 			// would overwrite each other's payloads.
@@ -325,6 +464,9 @@ func (db *DB) applyRecovered(r wal.Record, st *RecoveryStats, maxTime *int64) er
 		// Vacuum state is rebuilt dense by construction; checkpoints
 		// before the last were superseded; tombstones are scrubbed
 		// records that must not reappear.
+	case wal.RecShardBirth, wal.RecDirectory:
+		// Topology records are consumed by the sharded adoption pre-pass
+		// (adoptDirectory); per-shard replay ignores them.
 	}
 	return nil
 }
@@ -516,6 +658,11 @@ type checkpointState struct {
 	personalBytes int64
 	metaBytes     int64
 	rows          []checkpointRow
+	// dir is the encoded key->shard directory in force when the
+	// checkpoint was taken (empty for unsharded deployments and
+	// version-1 payloads). Recovery adopts the highest-epoch directory
+	// any shard's durable state carries.
+	dir []byte
 }
 
 // encodeCheckpointState snapshots the DB into a checkpoint payload.
@@ -551,6 +698,18 @@ func encodeCheckpointState(db *DB) []byte {
 			buf = appendI64(buf, int64(p.End))
 		}
 	}
+	// Sharded deployments embed the current directory so a checkpoint
+	// alone carries the topology it was taken under.
+	var dir []byte
+	if db.dirSnapshot != nil {
+		dir = db.dirSnapshot()
+	}
+	if len(dir) > 0 {
+		buf = append(buf, 1)
+		buf = appendBytes(buf, dir)
+	} else {
+		buf = append(buf, 0)
+	}
 	return buf
 }
 
@@ -559,7 +718,7 @@ func decodeCheckpointState(buf []byte) (checkpointState, error) {
 	var cs checkpointState
 	r := byteReader{buf: buf}
 	ver, err := r.u8()
-	if err != nil || ver != checkpointVersion {
+	if err != nil || ver < 1 || ver > checkpointVersion {
 		return cs, fmt.Errorf("compliance: bad checkpoint version (err=%v ver=%d)", err, ver)
 	}
 	if cs.clock, err = r.i64(); err != nil {
@@ -628,6 +787,19 @@ func decodeCheckpointState(buf []byte) (checkpointState, error) {
 			}
 		}
 		cs.rows = append(cs.rows, row)
+	}
+	if ver >= 2 {
+		flag, err := r.u8()
+		if err != nil {
+			return cs, err
+		}
+		if flag == 1 {
+			dir, err := r.bytes()
+			if err != nil {
+				return cs, err
+			}
+			cs.dir = append([]byte(nil), dir...)
+		}
 	}
 	return cs, nil
 }

@@ -1,0 +1,488 @@
+package compliance
+
+import (
+	"fmt"
+
+	"github.com/datacase/datacase/internal/core"
+	"github.com/datacase/datacase/internal/policy"
+	"github.com/datacase/datacase/internal/storage"
+	"github.com/datacase/datacase/internal/wal"
+)
+
+// Elastic resharding (ARCHITECTURE.md §7): live shard splits and
+// merges. A split freezes one source shard, copies the moving
+// subjects' rows — with their exact policy state, so consent
+// revocations and erasures can never lag the payloads they govern —
+// into a freshly opened destination shard, makes the move durable with
+// a single checkpoint record that embeds the post-split directory, and
+// only then flips the live directory. The commit point is that one
+// checkpoint: recovery classifies a destination segment without it as
+// debris (the split never happened) and one with it as a live member
+// of the post-split topology. A merge is the same protocol against an
+// existing destination segment, with a RecDirectory record standing in
+// for the birth record as the pre-change fallback.
+//
+// Crash windows (each recovers to exactly one topology, never a
+// hybrid):
+//
+//   - Before the commit checkpoint: the destination segment is debris
+//     (split) or its copied rows misroute under the old directory
+//     (merge); recovery rebuilds the pre-change deployment.
+//   - A torn commit checkpoint: the segment scanner discards it, which
+//     is the previous case.
+//   - After the commit, before or during source cleanup: recovery
+//     adopts the new directory (it has the highest epoch) and the
+//     misroute pass deletes the source's stale copies.
+//
+// Erase barrier: the source shard's mutex is held exclusively across
+// the whole migration, so an EraseSubject or RevokeConsent racing the
+// split either completes before the copy begins — and the migration
+// moves the post-erase state — or blocks until the directory flip and
+// then revalidates its routing onto the destination. On neither side
+// can an erased record stay readable, and the policy fence dropped on
+// both engines at the flip keeps the decision cache from serving an
+// allow adjudicated against pre-flip placement.
+
+// reshardHooks are test-only cut points inside a migration. Each hook
+// receives the durable segment images of every shard at that moment —
+// including the unpublished destination's — so the crash matrix can
+// recover "what the disk held" at each stage. Nil hooks (production)
+// cost nothing.
+type reshardHooks struct {
+	afterFreeze func(images [][]byte)
+	afterReplay func(images [][]byte)
+	beforeFlip  func(images [][]byte)
+	afterFlip   func(images [][]byte)
+}
+
+// captureImages snapshots every shard's durable segment image, plus an
+// unpublished extra shard's (the split destination before its flip).
+func (s *ShardedDB) captureImages(extra *DB) [][]byte {
+	shards := s.view()
+	images := make([][]byte, 0, len(shards)+1)
+	for _, db := range shards {
+		images = append(images, db.SegmentImage())
+	}
+	if extra != nil {
+		images = append(images, extra.SegmentImage())
+	}
+	return images
+}
+
+func (s *ShardedDB) fireHook(h func([][]byte), extra *DB) {
+	if h != nil {
+		h(s.captureImages(extra))
+	}
+}
+
+// placementName returns the directory name a row is placed by: its
+// subject, except aggregates (cross-subject derived records), which
+// are placed by record key.
+func placementName(key, row []byte) string {
+	sub := metaSubject(row)
+	if string(sub) == aggregateSubject {
+		return string(key)
+	}
+	return string(sub)
+}
+
+// fencePolicies drops every cached adjudication on the shard's policy
+// engine (no-op for uncached engines).
+func fencePolicies(db *DB) {
+	if f, ok := db.policies.(policy.Fencer); ok {
+		f.Fence()
+	}
+}
+
+// SplitShard moves the given subjects (and aggregate record keys) off
+// shard src onto a freshly opened shard and returns the new shard's
+// index. Every moving name must currently route to src. The source is
+// frozen (its mutex held exclusively) for the whole migration; other
+// shards keep serving throughout, and operations routed at the source
+// block and then revalidate — see the protocol comment above.
+func (s *ShardedDB) SplitShard(src int, moving []string) (int, error) {
+	s.reshardMu.Lock()
+	defer s.reshardMu.Unlock()
+
+	shards := s.view()
+	if src < 0 || src >= len(shards) {
+		return -1, fmt.Errorf("compliance: split: no shard %d", src)
+	}
+	if len(moving) == 0 {
+		return -1, fmt.Errorf("compliance: split: no subjects to move")
+	}
+	source := shards[src]
+
+	// Freeze the source for the whole migration. reshardMu serializes
+	// migrations, so no other split/merge holds shard mutexes; routed
+	// operations hold at most this one shard lock and never block on
+	// another shard while holding it, so the freeze cannot deadlock.
+	source.mu.Lock()
+	defer source.mu.Unlock()
+
+	// Stage the post-split directory.
+	s.dirMu.RLock()
+	cur := s.subjects
+	destIdx := uint32(len(s.shards))
+	movingSet := make(map[string]bool, len(moving))
+	var routeErr error
+	for _, name := range moving {
+		if cur.route(name) != uint32(src) {
+			routeErr = fmt.Errorf("compliance: split: %q does not route to shard %d", name, src)
+			break
+		}
+		movingSet[name] = true
+	}
+	if routeErr != nil {
+		s.dirMu.RUnlock()
+		return -1, routeErr
+	}
+	if cur.retired(uint32(src)) {
+		s.dirMu.RUnlock()
+		return -1, fmt.Errorf("compliance: split: shard %d is retired", src)
+	}
+	next := cur.clone()
+	next.epoch++
+	if next.overrides == nil {
+		next.overrides = make(map[string]uint32, len(moving))
+	}
+	for _, name := range moving {
+		next.overrides[name] = destIdx
+	}
+	curBlob := encodeDirectory(cur)
+	nextBlob := encodeDirectory(next)
+	s.dirMu.RUnlock()
+
+	// Open the destination. Its first WAL record is the birth record:
+	// the split's epoch plus the pre-split directory, so recovery can
+	// classify the segment as debris (no commit checkpoint follows) or
+	// live, and in the debris case still knows the topology to fall
+	// back to even on checkpoint-free profiles.
+	dest, err := openNamed(s.profile, shardTableName(s.profile, int(destIdx)), source.clock)
+	if err != nil {
+		return -1, err
+	}
+	dest.onDelete = s.forget
+	dest.data.Log().Append(wal.RecShardBirth, nil,
+		encodeShardBirth(shardBirth{epoch: next.epoch, source: uint32(src), oldDir: curBlob}))
+	s.fireHook(s.hooks.afterFreeze, dest)
+
+	// Copy the moving rows out of the frozen source, with their exact
+	// policy state when the engine can enumerate it — consent
+	// revocations and erasures migrate with (never behind) the payloads
+	// they govern. Engines that cannot enumerate re-derive the bundle
+	// from row metadata, exactly as crash recovery does.
+	lister, hasLister := source.policies.(policy.PolicyLister)
+	var moved []checkpointRow
+	source.data.SeqScan(func(k, v []byte) bool {
+		if !movingSet[placementName(k, v)] {
+			return true
+		}
+		cr := checkpointRow{
+			key: append([]byte(nil), k...),
+			row: append([]byte(nil), v...),
+		}
+		if hasLister {
+			cr.hasPolicies = true
+			cr.policies = lister.PoliciesOf(core.UnitID(cr.key))
+		}
+		moved = append(moved, cr)
+		return true
+	})
+
+	// Block-device profiles carry sector references into the source's
+	// device; rewrite each payload through the destination's device so
+	// the moved rows reference storage the destination owns.
+	var movedPersonal, movedMeta int64
+	for i := range moved {
+		rec, err := decodeRecord(moved[i].row)
+		if err != nil {
+			return -1, fmt.Errorf("compliance: split: row %q: %w", moved[i].key, err)
+		}
+		movedPersonal += source.plaintextLen(rec.Blob)
+		movedMeta += int64(len(moved[i].row) - len(rec.Blob))
+		if s.profile.UseBlockDev {
+			payload, err := source.unprotect(rec.Blob)
+			if err != nil {
+				return -1, err
+			}
+			blob, err := dest.protect(payload)
+			if err != nil {
+				return -1, err
+			}
+			rec.Blob = blob
+			moved[i].row = encodeRecord(rec)
+		}
+	}
+
+	// Replay the moved half into the destination through the same
+	// bulk-load path recovery uses for checkpoint snapshots.
+	cs := checkpointState{
+		clock:         int64(source.clock.Now()),
+		nextSector:    dest.nextSector,
+		personalBytes: movedPersonal,
+		metaBytes:     movedMeta,
+		rows:          moved,
+	}
+	var st RecoveryStats
+	if err := dest.restoreCheckpoint(cs, &st); err != nil {
+		return -1, err
+	}
+	if dest.modelDB != nil {
+		if err := dest.rebuildModelMirror(); err != nil {
+			return -1, err
+		}
+	}
+	s.fireHook(s.hooks.afterReplay, dest)
+
+	// COMMIT: one durable checkpoint carrying the rows, their policies
+	// and the post-split directory. The birth record is deliberately
+	// not truncated away — a torn checkpoint must leave the segment
+	// classifiable as debris, which needs the birth record intact.
+	dest.dirSnapshot = func() []byte { return nextBlob }
+	dest.flushAudit()
+	dest.data.Log().Checkpoint(encodeCheckpointState(dest))
+	dest.counters.checkpoints.Add(1)
+	dest.walBytesAtCheckpoint = dest.data.Log().SizeBytes()
+	s.fireHook(s.hooks.beforeFlip, dest)
+
+	// FLIP: publish the destination and the new directory atomically.
+	// In-flight operations that resolved their route before this block
+	// hold the source's mutex (we do) or another shard's (unaffected);
+	// everyone who validates after it routes by the new epoch.
+	movedKeys := make([]string, len(moved))
+	for i, cr := range moved {
+		movedKeys[i] = string(cr.key)
+	}
+	s.dirMu.Lock()
+	grown := make([]*DB, len(s.shards)+1)
+	copy(grown, s.shards)
+	grown[destIdx] = dest
+	s.shards = grown
+	s.subjects = next
+	for _, k := range movedKeys {
+		s.dir[k] = destIdx
+	}
+	s.dirMu.Unlock()
+	dest.dirSnapshot = s.dirBlob
+	fencePolicies(source)
+	fencePolicies(dest)
+
+	// Source cleanup, still under the frozen source's mutex: physically
+	// delete the moved rows (raw engine deletes — each logs an
+	// idempotent RecDelete; onDelete must NOT run, the directory
+	// entries now point at the destination), revoke their local policy
+	// state, and drop their model units and load history.
+	for _, cr := range moved {
+		if err := source.data.Delete(cr.key); err != nil {
+			continue
+		}
+		if pg, ok := source.data.(storage.Purger); ok {
+			pg.RegisterPurge(cr.key)
+		}
+		unit := core.UnitID(cr.key)
+		source.policies.RevokePolicies(unit)
+		if source.modelDB != nil {
+			source.modelDB.Remove(unit)
+		}
+	}
+	source.personalBytes -= movedPersonal
+	source.metaBytes -= movedMeta
+	if source.loads != nil {
+		source.loads.drop(moving)
+	}
+	source.noteClockLocked(true)
+	source.logOp(core.HistoryTuple{
+		Unit:    core.UnitID(fmt.Sprintf("reshard:split:%d", src)),
+		Purpose: PurposeService, Entity: EntitySystem,
+		Action: core.Action{Kind: core.ActionWriteMetadata, SystemAction: "SHARD SPLIT"},
+		At:     source.clock.Tick(),
+	}, "SHARD SPLIT",
+		[]byte(fmt.Sprintf("epoch %d: %d names, %d records -> shard %d",
+			next.epoch, len(moving), len(moved), destIdx)), "", nil)
+	s.fireHook(s.hooks.afterFlip, nil)
+	return int(destIdx), nil
+}
+
+// MergeShards folds shard from into shard to: every row (and its
+// policy state) is copied into to, the directory gains a redirect so
+// everything that routed to from routes to to, and from is retired —
+// it stays in the shard slice, empty, and the directory never routes
+// to it again. Both shards are frozen for the duration; the commit
+// point is to's checkpoint embedding the post-merge directory.
+func (s *ShardedDB) MergeShards(from, to int) error {
+	s.reshardMu.Lock()
+	defer s.reshardMu.Unlock()
+
+	shards := s.view()
+	if from < 0 || from >= len(shards) || to < 0 || to >= len(shards) || from == to {
+		return fmt.Errorf("compliance: merge: bad shard pair (%d, %d)", from, to)
+	}
+	fromDB, toDB := shards[from], shards[to]
+
+	// Freeze both, in index order (the global shard-lock order).
+	lo, hi := fromDB, toDB
+	if from > to {
+		lo, hi = toDB, fromDB
+	}
+	lo.mu.Lock()
+	defer lo.mu.Unlock()
+	hi.mu.Lock()
+	defer hi.mu.Unlock()
+
+	s.dirMu.RLock()
+	cur := s.subjects
+	if cur.retired(uint32(from)) || cur.retired(uint32(to)) {
+		s.dirMu.RUnlock()
+		return fmt.Errorf("compliance: merge: shard pair (%d, %d) includes a retired shard", from, to)
+	}
+	curBlob := encodeDirectory(cur)
+	s.dirMu.RUnlock()
+
+	// Durable pre-change directory on the destination segment: if the
+	// merge never commits, recovery falls back to this topology and the
+	// misroute pass removes the copies inserted below.
+	toDB.data.Log().Append(wal.RecDirectory, nil, curBlob)
+	s.fireHook(s.hooks.afterFreeze, nil)
+
+	// Copy every row of from into to, with exact policies where the
+	// engine can enumerate them. The inserts WAL-log individually —
+	// durable but uncommitted until the checkpoint below.
+	lister, hasLister := fromDB.policies.(policy.PolicyLister)
+	var moved []checkpointRow
+	fromDB.data.SeqScan(func(k, v []byte) bool {
+		cr := checkpointRow{
+			key: append([]byte(nil), k...),
+			row: append([]byte(nil), v...),
+		}
+		if hasLister {
+			cr.hasPolicies = true
+			cr.policies = lister.PoliciesOf(core.UnitID(cr.key))
+		}
+		moved = append(moved, cr)
+		return true
+	})
+	var movedPersonal, movedMeta int64
+	movedKeys := make([]string, 0, len(moved))
+	for i := range moved {
+		rec, err := decodeRecord(moved[i].row)
+		if err != nil {
+			return fmt.Errorf("compliance: merge: row %q: %w", moved[i].key, err)
+		}
+		movedPersonal += fromDB.plaintextLen(rec.Blob)
+		movedMeta += int64(len(moved[i].row) - len(rec.Blob))
+		if s.profile.UseBlockDev {
+			payload, err := fromDB.unprotect(rec.Blob)
+			if err != nil {
+				return err
+			}
+			blob, err := toDB.protect(payload)
+			if err != nil {
+				return err
+			}
+			rec.Blob = blob
+			moved[i].row = encodeRecord(rec)
+		}
+		cr := moved[i]
+		if err := toDB.data.Insert(cr.key, cr.row); err != nil {
+			return fmt.Errorf("compliance: merge: insert %q: %w", cr.key, err)
+		}
+		unit := core.UnitID(cr.key)
+		if cr.hasPolicies {
+			subject := core.EntityID(metaSubject(cr.row))
+			if err := toDB.policies.AttachPolicies(unit, subject, cr.policies); err != nil {
+				return err
+			}
+		} else if err := toDB.attachRecoveredPolicies(unit, rec.Meta, nil); err != nil {
+			return err
+		}
+		if toDB.modelDB != nil {
+			payload, err := toDB.unprotect(rec.Blob)
+			if err != nil {
+				return err
+			}
+			created := core.Time(rec.Meta.CreatedAt)
+			u := core.NewDataUnit(unit, core.KindBase, core.EntityID(rec.Meta.Subject), "merged")
+			u.SetValue(payload, created)
+			for _, p := range cr.policies {
+				_ = u.Grant(p, created)
+			}
+			_ = toDB.modelDB.Add(u)
+		}
+		movedKeys = append(movedKeys, string(cr.key))
+	}
+	toDB.personalBytes += movedPersonal
+	toDB.metaBytes += movedMeta
+	s.fireHook(s.hooks.afterReplay, nil)
+
+	// Stage the post-merge directory: redirect from's slot to to, and
+	// repoint any override that named from directly.
+	s.dirMu.RLock()
+	next := s.subjects.clone()
+	s.dirMu.RUnlock()
+	next.epoch++
+	if next.redirects == nil {
+		next.redirects = make(map[uint32]uint32, 1)
+	}
+	next.redirects[uint32(from)] = uint32(to)
+	for name, idx := range next.overrides {
+		if idx == uint32(from) {
+			next.overrides[name] = uint32(to)
+		}
+	}
+	nextBlob := encodeDirectory(next)
+
+	// COMMIT: to's checkpoint embeds the post-merge directory. Not
+	// truncated — the RecDirectory fallback and the copy inserts must
+	// survive a torn checkpoint for recovery to classify the merge as
+	// never-happened.
+	toDB.dirSnapshot = func() []byte { return nextBlob }
+	toDB.flushAudit()
+	toDB.data.Log().Checkpoint(encodeCheckpointState(toDB))
+	toDB.counters.checkpoints.Add(1)
+	toDB.walBytesAtCheckpoint = toDB.data.Log().SizeBytes()
+	s.fireHook(s.hooks.beforeFlip, nil)
+
+	// FLIP.
+	s.dirMu.Lock()
+	s.subjects = next
+	for _, k := range movedKeys {
+		s.dir[k] = uint32(to)
+	}
+	s.dirMu.Unlock()
+	toDB.dirSnapshot = s.dirBlob
+	fencePolicies(fromDB)
+	fencePolicies(toDB)
+
+	// Retire from: physically delete everything (idempotent RecDeletes;
+	// onDelete must not run — the directory entries point at to now).
+	for _, cr := range moved {
+		if err := fromDB.data.Delete(cr.key); err != nil {
+			continue
+		}
+		if pg, ok := fromDB.data.(storage.Purger); ok {
+			pg.RegisterPurge(cr.key)
+		}
+		unit := core.UnitID(cr.key)
+		fromDB.policies.RevokePolicies(unit)
+		if fromDB.modelDB != nil {
+			fromDB.modelDB.Remove(unit)
+		}
+	}
+	fromDB.personalBytes -= movedPersonal
+	fromDB.metaBytes -= movedMeta
+	if fromDB.loads != nil {
+		fromDB.loads = newLoadTracker()
+	}
+	fromDB.noteClockLocked(true)
+	toDB.logOp(core.HistoryTuple{
+		Unit:    core.UnitID(fmt.Sprintf("reshard:merge:%d", to)),
+		Purpose: PurposeService, Entity: EntitySystem,
+		Action: core.Action{Kind: core.ActionWriteMetadata, SystemAction: "SHARD MERGE"},
+		At:     toDB.clock.Tick(),
+	}, "SHARD MERGE",
+		[]byte(fmt.Sprintf("epoch %d: shard %d (%d records) -> shard %d",
+			next.epoch, from, len(moved), to)), "", nil)
+	s.fireHook(s.hooks.afterFlip, nil)
+	return nil
+}

@@ -1,0 +1,656 @@
+package compliance
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/datacase/datacase/internal/gdprbench"
+	"github.com/datacase/datacase/internal/wal"
+)
+
+// reshardPreload populates a deployment with the recovery tests'
+// deterministic mini-dataset plus enough policy churn (re-consents, an
+// objection, a revocation, a delete) that a migration has non-trivial
+// policy state to carry.
+func reshardPreload(t *testing.T, s *ShardedDB) {
+	t.Helper()
+	for i := 0; i < 20; i++ {
+		if err := s.Create(recTestRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if err := s.UpdateData(EntityController, PurposeService, recTestKey(i),
+			[]byte(fmt.Sprintf("updated-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.UpdateMeta(EntityController, PurposeService, recTestKey(3), "marketing", 1<<41); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Object(recTestKey(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RevokeConsent(recTestKey(5), PurposeService, EntityController); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteData(EntityController, recTestKey(6)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// subjectsHomedOn returns the distinct preload subjects the directory
+// currently homes on shard src.
+func subjectsHomedOn(s *ShardedDB, src int) []string {
+	var names []string
+	for i := 0; i < 5; i++ {
+		if name := recTestSubject(i); s.SubjectHome(name) == src {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+// liveKeyOf returns a preload key belonging to subject that is still
+// live after reshardPreload (key 6 is deleted).
+func liveKeyOf(t *testing.T, subject string) string {
+	t.Helper()
+	for i := 0; i < 20; i++ {
+		if i != 6 && recTestSubject(i) == subject {
+			return recTestKey(i)
+		}
+	}
+	t.Fatalf("no live key for subject %q", subject)
+	return ""
+}
+
+// reshardMatrixProfiles are the deployments the migration crash matrix
+// runs against: both storage engines, the checkpoint-free and the
+// checkpointing WAL mode, and both policy-transfer paths (RBAC cannot
+// enumerate policies, so migration re-derives them; Sieve moves them
+// exactly via PolicyLister).
+func reshardMatrixProfiles() []Profile {
+	heapCkpt := PBase()
+	heapCkpt.Name = "P_Base_ckpt"
+	heapCkpt.CheckpointEveryOps = 7
+	lsm := lsmTestProfile()
+	lsm.Name = "P_Base_lsm"
+	return []Profile{PBase(), heapCkpt, lsm, PSYS()}
+}
+
+// TestSplitCrashMatrix drives a live shard split with the test hooks
+// capturing the durable segment images at each stage of the migration
+// (after the freeze, after the copy replay, after the commit checkpoint
+// but before the directory flip, and after the flip), then recovers
+// every capture and requires the rebuilt deployment to be state-equal
+// to exactly one side of the split — the pre-split topology before the
+// commit point, the post-split topology after it, never a hybrid.
+func TestSplitCrashMatrix(t *testing.T) {
+	for _, p := range reshardMatrixProfiles() {
+		t.Run(p.Name, func(t *testing.T) {
+			s, err := OpenShardedWorkers(p, 3, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reshardPreload(t, s)
+			preDigest := stateDigest(t, s)
+
+			src := s.SubjectHome(recTestSubject(0))
+			moving := subjectsHomedOn(s, src)
+			if len(moving) == 0 {
+				t.Fatalf("no subjects homed on shard %d", src)
+			}
+			movedKey := liveKeyOf(t, moving[0])
+
+			caps := map[string][][]byte{}
+			s.hooks = reshardHooks{
+				afterFreeze: func(im [][]byte) { caps["afterFreeze"] = im },
+				afterReplay: func(im [][]byte) { caps["afterReplay"] = im },
+				beforeFlip:  func(im [][]byte) { caps["beforeFlip"] = im },
+				afterFlip:   func(im [][]byte) { caps["afterFlip"] = im },
+			}
+			destIdx, err := s.SplitShard(src, moving)
+			if err != nil {
+				t.Fatal(err)
+			}
+			postDigest := stateDigest(t, s)
+			if postDigest == preDigest {
+				t.Fatal("split moved nothing: pre and post digests are equal")
+			}
+			if s.Epoch() != 1 {
+				t.Fatalf("directory epoch = %d after first split, want 1", s.Epoch())
+			}
+
+			want := map[string]string{
+				"afterFreeze": preDigest,  // dest has only the birth record: debris
+				"afterReplay": preDigest,  // copy is bulk-loaded, still uncommitted
+				"beforeFlip":  postDigest, // commit checkpoint is durable
+				"afterFlip":   postDigest,
+			}
+			for point, images := range caps {
+				r, st, err := RecoverSharded(s.Profile(), images)
+				if err != nil {
+					t.Fatalf("%s: recover: %v", point, err)
+				}
+				got := stateDigest(t, r)
+				if got != want[point] {
+					side := "pre-split"
+					if want[point] == postDigest {
+						side = "post-split"
+					}
+					t.Fatalf("%s: recovered digest != %s reference (hybrid topology?) stats=%v",
+						point, side, st)
+				}
+				idx, ok := r.ShardIndexOf(movedKey)
+				if !ok {
+					t.Fatalf("%s: moved key %q lost", point, movedKey)
+				}
+				if wantIdx := src; want[point] == postDigest {
+					wantIdx = destIdx
+					if idx != wantIdx {
+						t.Fatalf("%s: moved key on shard %d, want %d", point, idx, wantIdx)
+					}
+				} else if idx != src {
+					t.Fatalf("%s: moved key on shard %d, want source %d", point, idx, src)
+				}
+			}
+
+			// Byte-granular sweep over the destination's segment: cut the
+			// beforeFlip capture's destination image at every frame
+			// boundary, mid-frame (torn tail), and with a flipped bit in
+			// the commit checkpoint. Only the full image — commit
+			// checkpoint intact — may recover the post-split topology.
+			images := caps["beforeFlip"]
+			destImg := images[len(images)-1]
+			bounds := frameBoundaries(destImg)
+			if len(bounds) < 2 {
+				t.Fatalf("destination image has %d frames, want >= 2 (birth + commit)", len(bounds))
+			}
+			cuts := []wal.CrashPoint{{Bytes: len(destImg), FlipBit: bounds[len(bounds)-2] + 6}}
+			for i, b := range bounds {
+				cuts = append(cuts, wal.CrashPoint{Bytes: b})
+				if i < len(bounds)-1 {
+					cuts = append(cuts, wal.CrashPoint{Bytes: b + 3}) // torn next frame
+				}
+			}
+			for _, cp := range cuts {
+				cut := make([][]byte, len(images))
+				copy(cut, images)
+				cut[len(cut)-1] = cp.Apply(destImg)
+				r, _, err := RecoverSharded(s.Profile(), cut)
+				if err != nil {
+					t.Fatalf("cut %+v: recover: %v", cp, err)
+				}
+				wantDigest := preDigest
+				if cp.Bytes == len(destImg) && cp.FlipBit == 0 {
+					wantDigest = postDigest
+				}
+				if got := stateDigest(t, r); got != wantDigest {
+					t.Fatalf("cut %+v: recovered digest matches neither side cleanly", cp)
+				}
+			}
+		})
+	}
+}
+
+// TestMergeCrashMatrix is the split matrix's mirror for MergeShards:
+// the pre-change fallback is the RecDirectory record on the surviving
+// shard (plus the misroute pass removing the uncommitted copies), the
+// commit point is the survivor's checkpoint embedding the post-merge
+// directory.
+func TestMergeCrashMatrix(t *testing.T) {
+	lsm := lsmTestProfile()
+	lsm.Name = "P_Base_lsm"
+	for _, p := range []Profile{PBase(), lsm} {
+		t.Run(p.Name, func(t *testing.T) {
+			s, err := OpenShardedWorkers(p, 3, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reshardPreload(t, s)
+			preDigest := stateDigest(t, s)
+
+			// Merge a shard that actually holds rows, so pre and post
+			// digests differ.
+			from := -1
+			for i := 0; i < s.NumShards(); i++ {
+				rows := 0
+				s.Shard(i).data.SeqScan(func(k, v []byte) bool { rows++; return true })
+				if rows > 0 {
+					from = i
+					break
+				}
+			}
+			if from < 0 {
+				t.Fatal("no shard holds rows after preload")
+			}
+			to := (from + 1) % s.NumShards()
+			preToLen := len(s.SegmentImages()[to])
+
+			caps := map[string][][]byte{}
+			s.hooks = reshardHooks{
+				afterFreeze: func(im [][]byte) { caps["afterFreeze"] = im },
+				afterReplay: func(im [][]byte) { caps["afterReplay"] = im },
+				beforeFlip:  func(im [][]byte) { caps["beforeFlip"] = im },
+				afterFlip:   func(im [][]byte) { caps["afterFlip"] = im },
+			}
+			if err := s.MergeShards(from, to); err != nil {
+				t.Fatal(err)
+			}
+			postDigest := stateDigest(t, s)
+			if postDigest == preDigest {
+				t.Fatal("merge moved nothing: pre and post digests are equal")
+			}
+			if s.Epoch() != 1 {
+				t.Fatalf("directory epoch = %d after merge, want 1", s.Epoch())
+			}
+
+			want := map[string]string{
+				"afterFreeze": preDigest, // only the RecDirectory fallback is down
+				"afterReplay": preDigest, // copies durable but uncommitted: misroute removes them
+				"beforeFlip":  postDigest,
+				"afterFlip":   postDigest,
+			}
+			for point, images := range caps {
+				r, st, err := RecoverSharded(s.Profile(), images)
+				if err != nil {
+					t.Fatalf("%s: recover: %v", point, err)
+				}
+				if got := stateDigest(t, r); got != want[point] {
+					side := "pre-merge"
+					if want[point] == postDigest {
+						side = "post-merge"
+					}
+					t.Fatalf("%s: recovered digest != %s reference (hybrid topology?) stats=%v",
+						point, side, st)
+				}
+			}
+
+			// Byte-granular sweep over the surviving shard's segment,
+			// starting at the pre-merge frontier (earlier cuts are crash
+			// states of earlier operations, not of the merge).
+			images := caps["beforeFlip"]
+			toImg := images[to]
+			bounds := frameBoundaries(toImg)
+			var cuts []wal.CrashPoint
+			for i, b := range bounds {
+				if b < preToLen {
+					continue
+				}
+				cuts = append(cuts, wal.CrashPoint{Bytes: b})
+				if i < len(bounds)-1 {
+					cuts = append(cuts, wal.CrashPoint{Bytes: b + 3})
+				}
+			}
+			// Corrupt the commit checkpoint itself: must fall back cleanly.
+			cuts = append(cuts, wal.CrashPoint{Bytes: len(toImg), FlipBit: bounds[len(bounds)-2] + 6})
+			if len(cuts) < 3 {
+				t.Fatalf("merge sweep has only %d cuts", len(cuts))
+			}
+			for _, cp := range cuts {
+				cut := make([][]byte, len(images))
+				copy(cut, images)
+				cut[to] = cp.Apply(toImg)
+				r, _, err := RecoverSharded(s.Profile(), cut)
+				if err != nil {
+					t.Fatalf("cut %+v: recover: %v", cp, err)
+				}
+				wantDigest := preDigest
+				if cp.Bytes == len(toImg) && cp.FlipBit == 0 {
+					wantDigest = postDigest
+				}
+				if got := stateDigest(t, r); got != wantDigest {
+					t.Fatalf("cut %+v: recovered digest matches neither side cleanly", cp)
+				}
+			}
+		})
+	}
+}
+
+// TestEraseDuringSplitLeavesNoZombie races a full right-to-erasure
+// against an in-flight split of the victim's shard. The erase blocks on
+// the frozen source, revalidates its routing after the directory flip,
+// and must land on the destination: afterwards no record of the subject
+// may be readable on either side, live or after recovery.
+func TestEraseDuringSplitLeavesNoZombie(t *testing.T) {
+	s, err := OpenShardedWorkers(PBase(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const victim = "zombie-victim"
+	var victimKeys []string
+	for i := 0; i < 6; i++ {
+		rec := recTestRecord(i)
+		rec.Key = fmt.Sprintf("zombie-%03d", i)
+		rec.Subject = victim
+		if err := s.Create(rec); err != nil {
+			t.Fatal(err)
+		}
+		victimKeys = append(victimKeys, rec.Key)
+	}
+	for i := 10; i < 16; i++ { // bystanders
+		if err := s.Create(recTestRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := s.SubjectHome(victim)
+
+	// Release the eraser mid-migration, after the copy replay: its
+	// route resolves to the frozen source and blocks until the flip.
+	started := make(chan struct{})
+	s.hooks.afterReplay = func([][]byte) {
+		close(started)
+		time.Sleep(2 * time.Millisecond) // let the erase block on the freeze
+	}
+	type eraseResult struct {
+		n   int
+		err error
+	}
+	done := make(chan eraseResult, 1)
+	go func() {
+		<-started
+		n, err := s.EraseSubject(EntitySystem, victim)
+		done <- eraseResult{n, err}
+	}()
+
+	destIdx, err := s.SplitShard(src, []string{victim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("concurrent erase: %v", res.err)
+	}
+	if res.n != len(victimKeys) {
+		t.Fatalf("erase removed %d records, want %d", res.n, len(victimKeys))
+	}
+
+	// Zero zombies, on the facade and per key, on both shards.
+	recs, err := s.SubjectAccess(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("erased subject still has %d readable records", len(recs))
+	}
+	for _, k := range victimKeys {
+		if _, err := s.ReadData(EntitySystem, PurposeService, k); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("erased key %q: err=%v, want ErrNotFound", k, err)
+		}
+	}
+	if destIdx != 2 {
+		t.Fatalf("destination shard index = %d, want 2", destIdx)
+	}
+
+	// The erase is durable: recovery resurrects nothing.
+	r, _, err := RecoverSharded(s.Profile(), s.SegmentImages())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := stateDigest(t, r), stateDigest(t, s); got != want {
+		t.Fatal("recovered deployment diverges from the live one")
+	}
+	recs, err = r.SubjectAccess(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("erased subject resurrected with %d records after recovery", len(recs))
+	}
+}
+
+// TestRevokeDuringSplitNoStaleAllow: 32 readers hammer a consented
+// record while its subject is split to a new shard and the consent is
+// revoked mid-migration. Any read that *starts* after RevokeConsent
+// returned must be denied — the policy fence dropped at the flip and
+// the revalidated routing may never let a cached pre-flip allow leak
+// through. P_SYS (Sieve) adjudicates per unit, so the denial is exact.
+func TestRevokeDuringSplitNoStaleAllow(t *testing.T) {
+	s, err := OpenShardedWorkers(PSYS(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const victim = "revoke-victim"
+	rec := recTestRecord(0)
+	rec.Key = "revoke-key"
+	rec.Subject = victim
+	if err := s.Create(rec); err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 14; i++ {
+		if err := s.Create(recTestRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the decision cache with allows.
+	for i := 0; i < 8; i++ {
+		if _, err := s.ReadData(EntityProcessor, PurposeProcessing, rec.Key); err != nil {
+			t.Fatalf("warmup read: %v", err)
+		}
+	}
+	src := s.SubjectHome(victim)
+
+	var revoked atomic.Bool
+	var staleAllows atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Sample the fence *before* the read: if the revocation
+				// had fully returned by then, an allow is a stale one.
+				wasRevoked := revoked.Load()
+				_, err := s.ReadData(EntityProcessor, PurposeProcessing, rec.Key)
+				if wasRevoked && err == nil {
+					staleAllows.Add(1)
+				}
+			}
+		}()
+	}
+
+	started := make(chan struct{})
+	s.hooks.beforeFlip = func([][]byte) {
+		close(started)
+		time.Sleep(2 * time.Millisecond) // let the revoke block on the freeze
+	}
+	revokeDone := make(chan error, 1)
+	go func() {
+		<-started
+		err := s.RevokeConsent(rec.Key, PurposeProcessing, EntityProcessor)
+		revoked.Store(true)
+		revokeDone <- err
+	}()
+
+	if _, err := s.SplitShard(src, []string{victim}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-revokeDone; err != nil {
+		t.Fatalf("concurrent revoke: %v", err)
+	}
+	if _, err := s.ReadData(EntityProcessor, PurposeProcessing, rec.Key); !errors.Is(err, ErrDenied) {
+		t.Fatalf("post-revoke read: err=%v, want ErrDenied", err)
+	}
+	close(stop)
+	wg.Wait()
+	if n := staleAllows.Load(); n != 0 {
+		t.Fatalf("%d reads were allowed after the revocation returned", n)
+	}
+}
+
+// TestReshardChaosUnderConcurrency keeps 32 goroutines (16 writers
+// collecting, updating and deleting their own records; 16 readers on a
+// stable preload) running across a live split and the merge that folds
+// the new shard back. No operation may fail, no stable record may go
+// missing, and the final deployment must survive recovery bit-exact.
+func TestReshardChaosUnderConcurrency(t *testing.T) {
+	s, err := OpenShardedWorkers(PBase(), 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stable []string
+	for i := 0; i < 24; i++ {
+		rec := recTestRecord(i)
+		if err := s.Create(rec); err != nil {
+			t.Fatal(err)
+		}
+		stable = append(stable, rec.Key)
+	}
+	src := s.SubjectHome(recTestSubject(0))
+	moving := subjectsHomedOn(s, src)
+	if len(moving) == 0 {
+		t.Fatalf("no subjects homed on shard %d", src)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := fmt.Sprintf("chaos-%02d-%05d", w, i)
+				rec := gdprbench.Record{
+					Key: key, Subject: fmt.Sprintf("chaos-subject-%d", w%8),
+					Payload: []byte("chaos"), Purposes: []string{"analytics"},
+					TTL: 1 << 40, Processors: []string{"processor-a"},
+				}
+				if err := s.Create(rec); err != nil {
+					t.Errorf("writer %d: create %q: %v", w, key, err)
+					return
+				}
+				if err := s.UpdateData(EntityController, PurposeService, key, []byte("chaos2")); err != nil {
+					t.Errorf("writer %d: update %q: %v", w, key, err)
+					return
+				}
+				if i%2 == 1 {
+					if err := s.DeleteData(EntityController, key); err != nil {
+						t.Errorf("writer %d: delete %q: %v", w, key, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 16; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := stable[r%len(stable)]
+				if _, err := s.ReadData(EntityController, PurposeService, k); err != nil {
+					t.Errorf("reader %d: stable key %q: %v", r, k, err)
+					return
+				}
+			}
+		}(r)
+	}
+
+	time.Sleep(5 * time.Millisecond)
+	destIdx, err := s.SplitShard(src, moving)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if err := s.MergeShards(destIdx, src); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if s.Epoch() != 2 {
+		t.Fatalf("directory epoch = %d after split+merge, want 2", s.Epoch())
+	}
+	for _, k := range stable {
+		if _, err := s.ReadData(EntityController, PurposeService, k); err != nil {
+			t.Fatalf("stable key %q after reshard: %v", k, err)
+		}
+	}
+	r, _, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := stateDigest(t, r), stateDigest(t, s); got != want {
+		t.Fatal("recovered deployment diverges from the live one after split+merge")
+	}
+}
+
+// TestReshardOnBlockDevProfile: under P_GBench every payload lives in a
+// block device, so a migration must re-encrypt each moved row through
+// the destination's device. Payloads must read back identically after
+// the split, after the merge back, and after a device-backed recovery.
+func TestReshardOnBlockDevProfile(t *testing.T) {
+	s, err := OpenSharded(PGBench(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 12
+	for i := 0; i < n; i++ {
+		if err := s.Create(recTestRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkPayloads := func(d *ShardedDB, stage string) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			got, err := d.ReadData(EntityController, PurposeService, recTestKey(i))
+			if err != nil {
+				t.Fatalf("%s: read %s: %v", stage, recTestKey(i), err)
+			}
+			if want := fmt.Sprintf("payload-%03d", i); string(got) != want {
+				t.Fatalf("%s: key %s payload = %q, want %q", stage, recTestKey(i), got, want)
+			}
+		}
+	}
+
+	src := s.SubjectHome(recTestSubject(0))
+	moving := subjectsHomedOn(s, src)
+	destIdx, err := s.SplitShard(src, moving)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPayloads(s, "post-split")
+	movedSeen := false
+	for i := 0; i < n; i++ {
+		if idx, ok := s.ShardIndexOf(recTestKey(i)); ok && idx == destIdx {
+			movedSeen = true
+		}
+	}
+	if !movedSeen {
+		t.Fatal("no record moved to the destination shard")
+	}
+
+	if err := s.MergeShards(destIdx, src); err != nil {
+		t.Fatal(err)
+	}
+	checkPayloads(s, "post-merge")
+
+	r, _, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPayloads(r, "recovered")
+}

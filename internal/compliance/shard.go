@@ -19,13 +19,15 @@ import (
 // a sharded deployment.
 var ErrExists = errors.New("compliance: key already exists")
 
-// SubjectShard returns the home shard of a data subject: an FNV-1a hash
-// of the subject identifier modulo the shard count. The placement is the
-// load-bearing invariant of the sharded engine — every record of a
-// subject, and every cascade-relevant derived record (which by §3.1
-// carries the same subject), lives on one shard, so subject-scoped
-// operations (subject access, portability, right to erasure, dependent
-// cascades) touch exactly one lock.
+// SubjectShard returns the opening-time home shard of a data subject:
+// an FNV-1a hash of the subject identifier modulo the shard count. The
+// placement is the load-bearing invariant of the sharded engine — every
+// record of a subject, and every cascade-relevant derived record (which
+// by §3.1 carries the same subject), lives on one shard, so
+// subject-scoped operations (subject access, portability, right to
+// erasure, dependent cascades) touch exactly one lock. Elastic
+// deployments refine this hash placement with an epoch-versioned
+// directory (see directory.go); the invariant itself never changes.
 func SubjectShard(subject string, shards int) int {
 	h := fnv.New32a()
 	_, _ = h.Write([]byte(subject))
@@ -36,21 +38,53 @@ func SubjectShard(subject string, shards int) int {
 // independent DB shards, each with its own mutex, heap table, WAL
 // segment, policy engine, audit logger, provenance graph and model
 // mirror. Records are placed on the home shard of their data subject
-// (SubjectShard), a directory maps record keys to shards, and
-// cross-shard operations — global audits, breach-aware audits,
+// per the epoch-versioned directory (static hash placement at open;
+// splits and merges patch it), a directory maps record keys to shards,
+// and cross-shard operations — global audits, breach-aware audits,
 // metadata scans, retention sweeps, batched erasures — fan out over a
 // bounded worker pool and merge their results.
 //
-// Lock ordering: the directory lock is never held while a shard's
-// mutex is acquired; shards call back into the directory (onDelete)
-// while holding their own mutex, which is safe under that rule.
+// Lock ordering: the directory lock is a leaf — it is only ever
+// acquired while holding at most shard mutexes, never the reverse.
+// Shards call back into the directory (onDelete, dirSnapshot) while
+// holding their own mutex, and the routed facade operations revalidate
+// the directory after acquiring their shard, both legal under that
+// rule. Operations that lock several shards (cross-shard derivations,
+// merges) take them in ascending index order.
+//
+// Routing protocol (elastic resharding): every routed operation
+// resolves its shard under the directory lock, acquires that shard's
+// mutex (shared for the read path), then revalidates the routing.
+// A migration holds the source shard's mutex exclusively across the
+// whole move — copy, commit, directory flip, source cleanup — so once
+// an operation has validated its route under the shard lock, no flip
+// can move its key or subject before the operation finishes; if the
+// revalidation sees a changed route, the operation retries against the
+// new home. In-flight requests therefore drain against the epoch they
+// validated, and new requests route to the new epoch.
 type ShardedDB struct {
 	profile Profile
-	shards  []*DB
 	workers int
 
 	dirMu sync.RWMutex
-	dir   map[string]uint32 // record key -> shard index
+	// shards is replaced wholesale (copy-on-grow) under dirMu when a
+	// split publishes its destination; readers snapshot it via view.
+	shards []*DB
+	// dir maps record key -> shard index.
+	dir map[string]uint32
+	// subjects is the epoch-versioned subject placement; swapped
+	// atomically under dirMu at a migration's directory flip.
+	subjects *directory
+
+	// reshardMu serializes migrations: one split or merge at a time.
+	reshardMu sync.Mutex
+	// hooks are test-only migration cut points (reshard_test.go).
+	hooks reshardHooks
+}
+
+// shardTableName names shard i's data table (and WAL segment).
+func shardTableName(p Profile, i int) string {
+	return fmt.Sprintf("%s:data/shard-%02d", p.Name, i)
 }
 
 // OpenSharded builds a sharded deployment with the given shard count.
@@ -73,21 +107,23 @@ func OpenShardedWorkers(p Profile, shards, workers int) (*ShardedDB, error) {
 		return nil, err
 	}
 	s := &ShardedDB{
-		profile: p,
-		shards:  make([]*DB, shards),
-		workers: workers,
-		dir:     make(map[string]uint32),
+		profile:  p,
+		shards:   make([]*DB, shards),
+		workers:  workers,
+		dir:      make(map[string]uint32),
+		subjects: newStaticDirectory(shards),
 	}
 	// One logical clock for the whole deployment: deadline invariants
 	// (retention, breach notification) must advance with traffic on any
 	// shard, or an idle shard would never see its deadlines pass.
 	clock := &core.Clock{}
 	for i := range s.shards {
-		db, err := openNamed(p, fmt.Sprintf("%s:data/shard-%02d", p.Name, i), clock)
+		db, err := openNamed(p, shardTableName(p, i), clock)
 		if err != nil {
 			return nil, err
 		}
 		db.onDelete = s.forget
+		db.dirSnapshot = s.dirBlob
 		s.shards[i] = db
 	}
 	return s, nil
@@ -96,11 +132,30 @@ func OpenShardedWorkers(p Profile, shards, workers int) (*ShardedDB, error) {
 // Profile returns the profile the deployment was opened with.
 func (s *ShardedDB) Profile() Profile { return s.profile }
 
+// view snapshots the shard slice under the directory lock. The slice
+// is replaced, never mutated in place, so holders may iterate it
+// without further locking; a split published after the snapshot is
+// simply not visited (its rows were on a snapshotted shard until the
+// flip, and the flip holds the source exclusively).
+func (s *ShardedDB) view() []*DB {
+	s.dirMu.RLock()
+	v := s.shards
+	s.dirMu.RUnlock()
+	return v
+}
+
 // NumShards returns the shard count.
-func (s *ShardedDB) NumShards() int { return len(s.shards) }
+func (s *ShardedDB) NumShards() int { return len(s.view()) }
 
 // Shard exposes one shard (reports, tests).
-func (s *ShardedDB) Shard(i int) *DB { return s.shards[i] }
+func (s *ShardedDB) Shard(i int) *DB { return s.view()[i] }
+
+// Epoch returns the directory epoch (0 until the first migration).
+func (s *ShardedDB) Epoch() uint64 {
+	s.dirMu.RLock()
+	defer s.dirMu.RUnlock()
+	return s.subjects.epoch
+}
 
 // ShardIndexOf returns the shard currently holding the key; ok is false
 // when the key is unknown.
@@ -111,9 +166,21 @@ func (s *ShardedDB) ShardIndexOf(key string) (int, bool) {
 	return int(idx), ok
 }
 
-// homeOf returns the home shard index of a subject.
-func (s *ShardedDB) homeOf(subject string) uint32 {
-	return uint32(SubjectShard(subject, len(s.shards)))
+// SubjectHome returns the shard index the directory currently routes
+// the subject to.
+func (s *ShardedDB) SubjectHome(subject string) int {
+	s.dirMu.RLock()
+	defer s.dirMu.RUnlock()
+	return int(s.subjects.route(subject))
+}
+
+// dirBlob encodes the directory in force; shards call it (via
+// dirSnapshot, holding their own mutex) to embed the topology in their
+// checkpoints. Shard-then-directory is the legal lock order.
+func (s *ShardedDB) dirBlob() []byte {
+	s.dirMu.RLock()
+	defer s.dirMu.RUnlock()
+	return encodeDirectory(s.subjects)
 }
 
 // reserve claims a key for a shard before the record is inserted, so
@@ -136,128 +203,227 @@ func (s *ShardedDB) forget(key string) {
 	s.dirMu.Unlock()
 }
 
-// route resolves the shard holding the key.
-func (s *ShardedDB) route(key string) (*DB, error) {
-	s.dirMu.RLock()
-	idx, ok := s.dir[key]
-	s.dirMu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+// withKey runs f against the shard holding key, with that shard's lock
+// held (exclusive, or the profile's read-path mode) and the routing
+// revalidated under it. A migration that moved the key between the
+// route and the lock is detected by the revalidation and the operation
+// retries against the new home; a key that vanished entirely returns
+// ErrNotFound.
+func (s *ShardedDB) withKey(key string, exclusive bool, f func(db *DB) error) error {
+	for {
+		s.dirMu.RLock()
+		idx, ok := s.dir[key]
+		var sh *DB
+		if ok {
+			sh = s.shards[idx]
+		}
+		s.dirMu.RUnlock()
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrNotFound, key)
+		}
+		var unlock func()
+		if exclusive {
+			sh.mu.Lock()
+			unlock = sh.mu.Unlock
+		} else {
+			unlock = sh.rlock()
+		}
+		s.dirMu.RLock()
+		idx2, ok2 := s.dir[key]
+		valid := ok2 && s.shards[idx2] == sh
+		s.dirMu.RUnlock()
+		if valid {
+			err := f(sh)
+			unlock()
+			return err
+		}
+		unlock()
+		if !ok2 {
+			return fmt.Errorf("%w: %s", ErrNotFound, key)
+		}
 	}
-	return s.shards[idx], nil
 }
 
-// Create collects a new record on the home shard of its subject.
+// withSubject is withKey for subject-routed operations (subject access,
+// erasure, breach pseudo-units): it validates the directory's subject
+// placement instead of a key entry.
+func (s *ShardedDB) withSubject(name string, exclusive bool, f func(db *DB) error) error {
+	for {
+		s.dirMu.RLock()
+		sh := s.shards[s.subjects.route(name)]
+		s.dirMu.RUnlock()
+		var unlock func()
+		if exclusive {
+			sh.mu.Lock()
+			unlock = sh.mu.Unlock
+		} else {
+			unlock = sh.rlock()
+		}
+		s.dirMu.RLock()
+		valid := s.shards[s.subjects.route(name)] == sh
+		s.dirMu.RUnlock()
+		if valid {
+			err := f(sh)
+			unlock()
+			return err
+		}
+		unlock()
+	}
+}
+
+// Create collects a new record on the home shard of its subject. The
+// shard lock is taken before the key is reserved and the routing is
+// revalidated under it, so a split flipping the subject between the
+// route and the insert cannot strand the record on the old shard.
 func (s *ShardedDB) Create(rec gdprbench.Record) error {
-	idx := s.homeOf(rec.Subject)
-	if err := s.reserve(rec.Key, idx); err != nil {
+	for {
+		s.dirMu.RLock()
+		sh := s.shards[s.subjects.route(rec.Subject)]
+		s.dirMu.RUnlock()
+		sh.mu.Lock()
+		s.dirMu.RLock()
+		idx := s.subjects.route(rec.Subject)
+		valid := s.shards[idx] == sh
+		s.dirMu.RUnlock()
+		if !valid {
+			sh.mu.Unlock()
+			continue
+		}
+		if err := s.reserve(rec.Key, idx); err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+		err := sh.createLocked(rec)
+		if err != nil {
+			s.forget(rec.Key)
+		}
+		sh.mu.Unlock()
 		return err
 	}
-	if err := s.shards[idx].Create(rec); err != nil {
-		s.forget(rec.Key)
-		return err
-	}
-	return nil
 }
 
 // ReadData reads a record's personal data by key.
 func (s *ShardedDB) ReadData(entity core.EntityID, purpose core.Purpose, key string) ([]byte, error) {
-	db, err := s.route(key)
-	if err != nil {
-		return nil, err
-	}
-	return db.ReadData(entity, purpose, key)
+	var out []byte
+	err := s.withKey(key, false, func(db *DB) error {
+		var err error
+		out, err = db.readDataLocked(entity, purpose, key)
+		return err
+	})
+	return out, err
 }
 
 // UpdateData overwrites a record's personal data.
 func (s *ShardedDB) UpdateData(entity core.EntityID, purpose core.Purpose, key string, payload []byte) error {
-	db, err := s.route(key)
-	if err != nil {
-		return err
-	}
-	return db.UpdateData(entity, purpose, key, payload)
+	return s.withKey(key, true, func(db *DB) error {
+		return db.updateDataLocked(entity, purpose, key, payload)
+	})
 }
 
 // DeleteData erases a record per the profile's erasure grounding.
 func (s *ShardedDB) DeleteData(entity core.EntityID, key string) error {
-	db, err := s.route(key)
-	if err != nil {
-		return err
-	}
-	return db.DeleteData(entity, key)
+	return s.withKey(key, true, func(db *DB) error {
+		return db.deleteDataLocked(entity, key)
+	})
 }
 
 // ReadMeta answers a keyed metadata query.
 func (s *ShardedDB) ReadMeta(entity core.EntityID, purpose core.Purpose, key string) (Metadata, error) {
-	db, err := s.route(key)
-	if err != nil {
-		return Metadata{}, err
-	}
-	return db.ReadMeta(entity, purpose, key)
+	var out Metadata
+	err := s.withKey(key, false, func(db *DB) error {
+		var err error
+		out, err = db.readMetaLocked(entity, purpose, key)
+		return err
+	})
+	return out, err
 }
 
 // UpdateMeta changes a record's metadata.
 func (s *ShardedDB) UpdateMeta(entity core.EntityID, purpose core.Purpose, key, newPurpose string, newTTL int64) error {
-	db, err := s.route(key)
-	if err != nil {
-		return err
-	}
-	return db.UpdateMeta(entity, purpose, key, newPurpose, newTTL)
+	return s.withKey(key, true, func(db *DB) error {
+		return db.updateMetaLocked(entity, purpose, key, newPurpose, newTTL)
+	})
 }
 
-// RevokeConsent withdraws consent for one (purpose, entity) pair.
+// RevokeConsent withdraws consent for one (purpose, entity) pair. The
+// route is validated under the shard's exclusive lock, so a revocation
+// racing a split either lands before the subject's state is copied
+// (and migrates with it) or retries against the destination — never
+// against a stale copy the flip abandoned.
 func (s *ShardedDB) RevokeConsent(key string, purpose core.Purpose, entity core.EntityID) error {
-	db, err := s.route(key)
-	if err != nil {
-		return err
-	}
-	return db.RevokeConsent(key, purpose, entity)
+	return s.withKey(key, true, func(db *DB) error {
+		return db.revokeConsentLocked(key, purpose, entity)
+	})
 }
 
 // Object records the subject's objection to processing.
 func (s *ShardedDB) Object(key string) error {
-	db, err := s.route(key)
-	if err != nil {
-		return err
-	}
-	return db.Object(key)
+	return s.withKey(key, true, func(db *DB) error {
+		return db.objectLocked(key)
+	})
 }
 
 // SubjectAccess answers a subject-access request. The subject's records
 // all live on one shard, so the request takes exactly one lock.
 func (s *ShardedDB) SubjectAccess(subject string) ([]SubjectRecord, error) {
-	return s.shards[s.homeOf(subject)].SubjectAccess(subject)
+	var out []SubjectRecord
+	err := s.withSubject(subject, false, func(db *DB) error {
+		var err error
+		out, err = db.subjectAccessLocked(subject)
+		return err
+	})
+	return out, err
 }
 
 // ExportPortable implements data portability for one subject.
 func (s *ShardedDB) ExportPortable(subject string) ([]byte, error) {
-	return s.shards[s.homeOf(subject)].ExportPortable(subject)
+	var out []byte
+	err := s.withSubject(subject, false, func(db *DB) error {
+		var err error
+		out, err = db.exportPortableLocked(subject)
+		return err
+	})
+	return out, err
 }
 
 // EraseSubject erases every record of the subject (right to erasure at
-// account granularity) on the subject's home shard.
+// account granularity) on the subject's home shard. Racing a split of
+// that subject, the erase either runs first (and the migration copies
+// the post-erase state) or revalidates onto the destination after the
+// flip — on neither side can an erased record stay readable.
 func (s *ShardedDB) EraseSubject(entity core.EntityID, subject string) (int, error) {
-	return s.shards[s.homeOf(subject)].EraseSubject(entity, subject)
+	n := 0
+	err := s.withSubject(subject, true, func(db *DB) error {
+		var err error
+		n, err = db.eraseSubjectLocked(entity, subject)
+		return err
+	})
+	return n, err
 }
 
-// EraseBatch erases many records at once: the keys are grouped by shard
-// and the per-shard batches execute in parallel over the worker pool,
-// so right-to-be-forgotten throughput scales with cores. Keys that are
-// already gone are tolerated; the count of records actually erased is
-// returned alongside the first hard error.
+// EraseBatch erases many records at once: the keys are binned by shard
+// and the bins execute in parallel over the worker pool, so
+// right-to-be-forgotten throughput scales with cores. The bins are a
+// scheduling hint only — each delete revalidates its own routing — so
+// keys moved by a concurrent migration are still erased, on whichever
+// shard they ended up. Keys that are already gone are tolerated; the
+// count of records actually erased is returned alongside the first
+// hard error.
 func (s *ShardedDB) EraseBatch(entity core.EntityID, keys []string) (int, error) {
-	batches := make([][]string, len(s.shards))
+	bins := len(s.view())
+	batches := make([][]string, bins)
 	s.dirMu.RLock()
 	for _, k := range keys {
 		if idx, ok := s.dir[k]; ok {
-			batches[idx] = append(batches[idx], k)
+			b := int(idx) % bins
+			batches[b] = append(batches[b], k)
 		}
 	}
 	s.dirMu.RUnlock()
-	erased := make([]int, len(s.shards))
-	err := fanout.Run(s.workers, len(s.shards), func(i int) error {
+	erased := make([]int, bins)
+	err := fanout.Run(s.workers, bins, func(i int) error {
 		for _, k := range batches[i] {
-			if err := s.shards[i].DeleteData(entity, k); err != nil {
+			if err := s.DeleteData(entity, k); err != nil {
 				if errors.Is(err, ErrNotFound) {
 					continue // erased concurrently (cascade, sweep, racer)
 				}
@@ -280,12 +446,13 @@ func (s *ShardedDB) EraseBatch(entity core.EntityID, keys []string) (int, error)
 // never exceeds the caller's limit (which shard's matches win under
 // contention is scheduling-dependent, as with any partitioned scan).
 func (s *ShardedDB) ReadByMeta(entity core.EntityID, purpose core.Purpose, metaPurpose string, limit int) (int, error) {
+	shards := s.view()
 	var budget atomic.Int64
 	budget.Store(int64(limit))
-	counts := make([]int, len(s.shards))
-	errs := make([]error, len(s.shards))
-	_ = fanout.Run(s.workers, len(s.shards), func(i int) error {
-		counts[i], errs[i] = s.shards[i].readByMetaBudget(entity, purpose, metaPurpose, &budget)
+	counts := make([]int, len(shards))
+	errs := make([]error, len(shards))
+	_ = fanout.Run(s.workers, len(shards), func(i int) error {
+		counts[i], errs[i] = shards[i].readByMetaBudget(entity, purpose, metaPurpose, &budget)
 		return errs[i]
 	})
 	total := 0
@@ -305,133 +472,187 @@ func (s *ShardedDB) ReadByMeta(entity core.EntityID, purpose core.Purpose, metaP
 // home shard. Cross-subject derivations carry the subject "aggregate"
 // (no single person is identifiable) and are placed by record key;
 // the §3.1 cascade — which only follows same-subject dependents —
-// never needs to cross a shard boundary either way.
+// never needs to cross a shard boundary either way. Both paths
+// revalidate every parent's routing (and the target placement) after
+// taking their locks and retry if a migration moved any of them.
 func (s *ShardedDB) Derive(entity core.EntityID, purpose core.Purpose, newKey string,
 	parentKeys []string, f Transform, invertible bool, description string) error {
 	if len(parentKeys) == 0 {
 		return fmt.Errorf("compliance: derivation needs at least one parent")
 	}
-	idxs := make([]uint32, len(parentKeys))
-	colocated := true
-	s.dirMu.RLock()
-	for i, pk := range parentKeys {
-		idx, ok := s.dir[pk]
-		if !ok {
-			s.dirMu.RUnlock()
-			return fmt.Errorf("%w: parent %s", ErrNotFound, pk)
-		}
-		idxs[i] = idx
-		if idx != idxs[0] {
-			colocated = false
-		}
-	}
-	s.dirMu.RUnlock()
-
-	// Colocated parents with distinct subjects (a hash collision) still
-	// produce an "aggregate" record, which is placed by key like every
-	// other aggregate — peek the subjects and fall through to the
-	// cross-shard path when they differ. The peek holds
-	// the shard's lock: Get returns slices aliasing page memory that a
-	// concurrent lazy vacuum (always run under the shard lock) compacts
-	// in place. A delete racing the later delegate just surfaces as
-	// ErrNotFound there.
-	if colocated && len(parentKeys) > 1 {
-		first := s.shards[idxs[0]]
-		first.mu.Lock()
-		var firstSubject []byte
+	for {
+		s.dirMu.RLock()
+		shards := s.shards
+		idxs := make([]uint32, len(parentKeys))
+		colocated := true
 		for i, pk := range parentKeys {
-			row, ok := first.data.Get([]byte(pk))
+			idx, ok := s.dir[pk]
 			if !ok {
-				break // let the delegate report the missing parent
+				s.dirMu.RUnlock()
+				return fmt.Errorf("%w: parent %s", ErrNotFound, pk)
 			}
-			if i == 0 {
-				firstSubject = append([]byte(nil), metaSubject(row)...)
-			} else if !bytes.Equal(metaSubject(row), firstSubject) {
+			idxs[i] = idx
+			if idx != idxs[0] {
 				colocated = false
+			}
+		}
+		target := s.subjects.route(newKey)
+		s.dirMu.RUnlock()
+
+		// Colocated parents with distinct subjects (a hash collision)
+		// still produce an "aggregate" record, which is placed by key like
+		// every other aggregate — peek the subjects and fall through to
+		// the cross-shard path when they differ. The peek holds the
+		// shard's lock: Get returns slices aliasing page memory that a
+		// concurrent lazy vacuum (always run under the shard lock)
+		// compacts in place. A delete or migration racing the later
+		// delegate surfaces there as ErrNotFound or a revalidation retry.
+		if colocated && len(parentKeys) > 1 {
+			first := shards[idxs[0]]
+			first.mu.Lock()
+			var firstSubject []byte
+			for i, pk := range parentKeys {
+				row, ok := first.data.Get([]byte(pk))
+				if !ok {
+					break // let the delegate report the missing parent
+				}
+				if i == 0 {
+					firstSubject = append([]byte(nil), metaSubject(row)...)
+				} else if !bytes.Equal(metaSubject(row), firstSubject) {
+					colocated = false
+					break
+				}
+			}
+			first.mu.Unlock()
+		}
+
+		if colocated {
+			sh := shards[idxs[0]]
+			sh.mu.Lock()
+			if !s.parentsStillOn(parentKeys, sh) {
+				sh.mu.Unlock()
+				continue
+			}
+			// The parents' rows are pinned on sh for as long as we hold
+			// its lock, and a same-subject derived record routes with
+			// them, so the parents' validated index is the reservation.
+			idx := idxs[0]
+			if err := s.reserve(newKey, idx); err != nil {
+				sh.mu.Unlock()
+				return err
+			}
+			err := sh.deriveLocked(entity, purpose, newKey, parentKeys, f, invertible, description)
+			sh.mu.Unlock()
+			if err != nil {
+				s.forget(newKey)
+			}
+			return err
+		}
+
+		// Cross-shard: parents on different shards necessarily carry
+		// different subjects (same-subject records are always co-located),
+		// so the derived subject is "aggregate". Aggregates are not a real
+		// data subject — no subject-scoped right legitimately targets
+		// them — so they are placed by record key instead of subject,
+		// spreading derivation-heavy workloads over all shards rather than
+		// funneling every aggregate onto one. Lock every involved shard in
+		// index order — parents' plus the target — for the whole
+		// fetch/combine/insert, so the derivation is atomic against
+		// concurrent erasure of a parent, as in the single-lock engine.
+		// The parents' model units stay owned by their shards, so the
+		// derived model unit is built standalone (model == nil).
+		if err := s.reserve(newKey, target); err != nil {
+			return err
+		}
+		lockSet := map[uint32]bool{target: true}
+		for _, idx := range idxs {
+			lockSet[idx] = true
+		}
+		locked := make([]uint32, 0, len(lockSet))
+		for idx := range lockSet {
+			locked = append(locked, idx)
+		}
+		sort.Slice(locked, func(i, j int) bool { return locked[i] < locked[j] })
+		for _, idx := range locked {
+			shards[idx].mu.Lock()
+		}
+		unlock := func() {
+			for _, idx := range locked {
+				shards[idx].mu.Unlock()
+			}
+		}
+
+		// Revalidate the whole plan under the locks: every parent still
+		// on the shard we locked for it, and the aggregate target
+		// unmoved. A migration that slipped in between re-routes us.
+		s.dirMu.RLock()
+		valid := len(s.shards) >= len(shards) && s.subjects.route(newKey) == target
+		for i, pk := range parentKeys {
+			idx, ok := s.dir[pk]
+			if !ok || idx != idxs[i] {
+				valid = false
 				break
 			}
 		}
-		first.mu.Unlock()
-	}
-
-	if colocated {
-		if err := s.reserve(newKey, idxs[0]); err != nil {
-			return err
-		}
-		if err := s.shards[idxs[0]].Derive(entity, purpose, newKey, parentKeys, f, invertible, description); err != nil {
+		s.dirMu.RUnlock()
+		if !valid {
+			unlock()
 			s.forget(newKey)
-			return err
+			continue
 		}
-		return nil
-	}
 
-	// Cross-shard: parents on different shards necessarily carry
-	// different subjects (same-subject records are always co-located),
-	// so the derived subject is "aggregate". Aggregates are not a real
-	// data subject — no subject-scoped right legitimately targets them —
-	// so they are placed by record key instead of subject, spreading
-	// derivation-heavy workloads over all shards rather than funneling
-	// every aggregate onto one. Lock every involved shard in index
-	// order — parents' plus the target — for the whole
-	// fetch/combine/insert, so the derivation is atomic against
-	// concurrent erasure of a parent, as in the single-lock engine. The
-	// parents' model units stay owned by their shards, so the derived
-	// model unit is built standalone (model == nil).
-	target := uint32(SubjectShard(newKey, len(s.shards)))
-	if err := s.reserve(newKey, target); err != nil {
-		return err
-	}
-	lockSet := map[uint32]bool{target: true}
-	for _, idx := range idxs {
-		lockSet[idx] = true
-	}
-	locked := make([]uint32, 0, len(lockSet))
-	for idx := range lockSet {
-		locked = append(locked, idx)
-	}
-	sort.Slice(locked, func(i, j int) bool { return locked[i] < locked[j] })
-	for _, idx := range locked {
-		s.shards[idx].mu.Lock()
-	}
-	unlock := func() {
-		for _, idx := range locked {
-			s.shards[idx].mu.Unlock()
-		}
-	}
-
-	parents := make([]derivedParent, 0, len(parentKeys))
-	payloads := make([][]byte, 0, len(parentKeys))
-	for i, pk := range parentKeys {
-		sh := s.shards[idxs[i]]
-		p, err := sh.fetchParentLocked(entity, purpose, pk, sh.clock.Tick())
-		if err != nil {
+		parents := make([]derivedParent, 0, len(parentKeys))
+		payloads := make([][]byte, 0, len(parentKeys))
+		abort := func(err error) error {
 			unlock()
 			s.forget(newKey)
 			return err
 		}
-		p.model = nil
-		parents = append(parents, p)
-		payloads = append(payloads, p.payload)
+		for i, pk := range parentKeys {
+			sh := shards[idxs[i]]
+			p, err := sh.fetchParentLocked(entity, purpose, pk, sh.clock.Tick())
+			if err != nil {
+				return abort(err)
+			}
+			p.model = nil
+			parents = append(parents, p)
+			payloads = append(payloads, p.payload)
+		}
+		subject, purposes, minTTL := combineParents(parents)
+		derived := f(payloads)
+		sh := shards[target]
+		err := sh.insertDerivedLocked(entity, purpose, newKey, parents,
+			subject, purposes, minTTL, derived, invertible, description, sh.clock.Tick())
+		unlock()
+		if err != nil {
+			s.forget(newKey)
+		}
+		return err
 	}
-	subject, purposes, minTTL := combineParents(parents)
-	derived := f(payloads)
-	sh := s.shards[target]
-	err := sh.insertDerivedLocked(entity, purpose, newKey, parents,
-		subject, purposes, minTTL, derived, invertible, description, sh.clock.Tick())
-	unlock()
-	if err != nil {
-		s.forget(newKey)
+}
+
+// parentsStillOn reports whether every parent key still routes to sh
+// (caller holds sh's mutex, pinning the answer until release).
+func (s *ShardedDB) parentsStillOn(parentKeys []string, sh *DB) bool {
+	s.dirMu.RLock()
+	defer s.dirMu.RUnlock()
+	for _, pk := range parentKeys {
+		idx, ok := s.dir[pk]
+		if !ok || s.shards[idx] != sh {
+			return false
+		}
 	}
-	return err
+	return true
 }
 
 // SweepExpired runs the retention sweeper on every shard in parallel —
 // each shard drains its own retention queue — and merges the reports.
 func (s *ShardedDB) SweepExpired() (SweepReport, error) {
-	reps := make([]SweepReport, len(s.shards))
-	errs := make([]error, len(s.shards))
-	_ = fanout.Run(s.workers, len(s.shards), func(i int) error {
-		reps[i], errs[i] = s.shards[i].SweepExpired()
+	shards := s.view()
+	reps := make([]SweepReport, len(shards))
+	errs := make([]error, len(shards))
+	_ = fanout.Run(s.workers, len(shards), func(i int) error {
+		reps[i], errs[i] = shards[i].SweepExpired()
 		return errs[i]
 	})
 	var merged SweepReport
@@ -449,14 +670,21 @@ func (s *ShardedDB) SweepExpired() (SweepReport, error) {
 // RecordBreach records a breach detection. Breach pseudo-units are
 // placed like subjects, keyed by breach id, so the detection and its
 // notification land on the same shard and the notification-deadline
-// invariant sees both tuples in one history.
+// invariant sees both tuples in one history. (A merge redirects the
+// id's slot with everything else in it; the detection's history stays
+// on the retired shard, a documented limitation of shard-local
+// histories — see ARCHITECTURE.md §7.)
 func (s *ShardedDB) RecordBreach(id string, affectedKeys []string) error {
-	return s.shards[s.homeOf(id)].RecordBreach(id, affectedKeys)
+	return s.withSubject(id, true, func(db *DB) error {
+		return db.recordBreachLocked(id, affectedKeys)
+	})
 }
 
 // NotifyBreach records that authority and subjects were notified.
 func (s *ShardedDB) NotifyBreach(id string) error {
-	return s.shards[s.homeOf(id)].NotifyBreach(id)
+	return s.withSubject(id, true, func(db *DB) error {
+		return db.notifyBreachLocked(id)
+	})
 }
 
 // Audit evaluates the invariant set against every shard's model mirror
@@ -464,10 +692,11 @@ func (s *ShardedDB) NotifyBreach(id string) error {
 // deployment). Each shard is checked under its own lock, so the merged
 // report is a union of per-shard consistent snapshots.
 func (s *ShardedDB) Audit(invs *core.InvariantSet) (Report, error) {
-	reps := make([]Report, len(s.shards))
-	errs := make([]error, len(s.shards))
-	_ = fanout.Run(s.workers, len(s.shards), func(i int) error {
-		reps[i], errs[i] = s.shards[i].Audit(invs)
+	shards := s.view()
+	reps := make([]Report, len(shards))
+	errs := make([]error, len(shards))
+	_ = fanout.Run(s.workers, len(shards), func(i int) error {
+		reps[i], errs[i] = shards[i].Audit(invs)
 		return errs[i]
 	})
 	merged := Report{
@@ -500,7 +729,7 @@ func (s *ShardedDB) AuditWithBreaches(invs *core.InvariantSet) (Report, error) {
 // Counters merges the op counters of every shard.
 func (s *ShardedDB) Counters() Counters {
 	var out Counters
-	for _, db := range s.shards {
+	for _, db := range s.view() {
 		c := db.Counters()
 		out.Creates += c.Creates
 		out.DataReads += c.DataReads
@@ -522,7 +751,7 @@ func (s *ShardedDB) Counters() Counters {
 // Space merges the Table-2 space report across shards.
 func (s *ShardedDB) Space() SpaceReport {
 	merged := SpaceReport{Profile: s.profile.Name}
-	for _, db := range s.shards {
+	for _, db := range s.view() {
 		r := db.Space()
 		merged.PersonalBytes += r.PersonalBytes
 		merged.MetadataBytes += r.MetadataBytes
@@ -541,7 +770,7 @@ func (s *ShardedDB) Space() SpaceReport {
 // segment committed, and GroupCommit reflects the shared protocol.
 func (s *ShardedDB) WALStats() wal.Stats {
 	var out wal.Stats
-	for i, db := range s.shards {
+	for i, db := range s.view() {
 		st := db.WALStats()
 		out.Appends += st.Appends
 		out.Syncs += st.Syncs
@@ -558,7 +787,7 @@ func (s *ShardedDB) WALStats() wal.Stats {
 // Len returns the number of live records across all shards.
 func (s *ShardedDB) Len() int {
 	n := 0
-	for _, db := range s.shards {
+	for _, db := range s.view() {
 		n += db.Len()
 	}
 	return n
@@ -566,7 +795,7 @@ func (s *ShardedDB) Len() int {
 
 // AdvanceClock moves the deployment's shared logical clock forward.
 func (s *ShardedDB) AdvanceClock(d int64) core.Time {
-	return s.shards[0].AdvanceClock(d)
+	return s.view()[0].AdvanceClock(d)
 }
 
 // Close flushes every shard's async audit sink and stops its drainer
@@ -574,7 +803,7 @@ func (s *ShardedDB) AdvanceClock(d int64) core.Time {
 // records degrading to synchronous logging). The first error wins.
 func (s *ShardedDB) Close() error {
 	var first error
-	for _, db := range s.shards {
+	for _, db := range s.view() {
 		if err := db.Close(); err != nil && first == nil {
 			first = err
 		}

@@ -93,7 +93,14 @@ func (db *DB) subjectAccessLocked(subject string) ([]SubjectRecord, error) {
 // ExportPortable implements data portability (GDPR Art. 20): the
 // subject's records in a structured, machine-readable format.
 func (db *DB) ExportPortable(subject string) ([]byte, error) {
-	recs, err := db.SubjectAccess(subject)
+	defer db.rlock()()
+	return db.exportPortableLocked(subject)
+}
+
+// exportPortableLocked is ExportPortable's body; caller holds the
+// read-path lock.
+func (db *DB) exportPortableLocked(subject string) ([]byte, error) {
+	recs, err := db.subjectAccessLocked(subject)
 	if err != nil {
 		return nil, err
 	}
@@ -114,6 +121,14 @@ func (db *DB) ExportPortable(subject string) ([]byte, error) {
 func (db *DB) EraseSubject(entity core.EntityID, subject string) (int, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.eraseSubjectLocked(entity, subject)
+}
+
+// eraseSubjectLocked is EraseSubject's body; caller holds mu. The
+// sharded facade calls it after validating the subject's routing under
+// this shard's lock, so an erase racing a split always runs against
+// the shard that actually holds the subject's records.
+func (db *DB) eraseSubjectLocked(entity core.EntityID, subject string) (int, error) {
 	want := []byte(subject)
 	var keys []string
 	db.data.SeqScan(func(k, v []byte) bool {
@@ -161,6 +176,11 @@ func (db *DB) EraseSubject(entity core.EntityID, subject string) (int, error) {
 func (db *DB) RevokeConsent(key string, purpose core.Purpose, entity core.EntityID) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.revokeConsentLocked(key, purpose, entity)
+}
+
+// revokeConsentLocked is RevokeConsent's body; caller holds mu.
+func (db *DB) revokeConsentLocked(key string, purpose core.Purpose, entity core.EntityID) error {
 	now := db.clock.Tick()
 	if _, ok := db.data.Get([]byte(key)); !ok {
 		db.counters.notFound.Add(1)
@@ -198,6 +218,11 @@ func (db *DB) RevokeConsent(key string, purpose core.Purpose, entity core.Entity
 func (db *DB) Object(key string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.objectLocked(key)
+}
+
+// objectLocked is Object's body; caller holds mu.
+func (db *DB) objectLocked(key string) error {
 	now := db.clock.Tick()
 	row, ok := db.data.Get([]byte(key))
 	if !ok {

@@ -1,0 +1,76 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Zipfian subject selection for the resharding benchmark: a hot-subject
+// workload is what makes one shard hot enough to split, so the
+// generator must (a) skew hard and (b) be exactly reproducible — the
+// same seed must yield the same draw sequence no matter how the stream
+// is partitioned across client goroutines. Draws are therefore
+// *indexed*, not stateful: draw i is a pure function of (seed, i), so
+// client c of P can consume indexes c, c+P, c+2P, ... and the union
+// over any client count is the same multiset in the same positions.
+
+// Zipf draws ranks in [0, n) with P(rank k) proportional to
+// 1/(k+1)^s. Construct with NewZipf; the zero value is not usable.
+type Zipf struct {
+	seed uint64
+	// cum[k] is the cumulative probability mass of ranks 0..k; draws
+	// binary-search it with a uniform variate.
+	cum []float64
+}
+
+// NewZipf builds an indexed Zipfian generator over n ranks with
+// exponent s (s > 0; larger skews harder; s=1 is classic Zipf).
+func NewZipf(n int, s float64, seed int64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("loadgen: zipf needs n > 0, got %d", n)
+	}
+	if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return nil, fmt.Errorf("loadgen: zipf needs a positive finite exponent, got %v", s)
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for k := 0; k < n; k++ {
+		total += 1 / math.Pow(float64(k+1), s)
+		cum[k] = total
+	}
+	for k := range cum {
+		cum[k] /= total
+	}
+	cum[n-1] = 1 // exact upper bound despite rounding
+	return &Zipf{seed: uint64(seed), cum: cum}, nil
+}
+
+// splitmix64 is the SplitMix64 finalizer: a bijective avalanche mix,
+// the standard seed-expansion step (Steele et al., "Fast Splittable
+// Pseudorandom Number Generators").
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Mix64 exposes the mixer for callers that need auxiliary indexed
+// draws alongside a Zipf stream (key-within-subject selection) with the
+// same partition-invariance property.
+func Mix64(x uint64) uint64 { return splitmix64(x) }
+
+// Rank returns draw i: the Zipf-distributed rank at stream position i.
+// It is a pure function of (seed, i) — no internal state advances — so
+// any partition of the index space across clients replays identically.
+func (z *Zipf) Rank(i uint64) int {
+	// Two mix rounds decorrelate consecutive indexes under any seed.
+	u := splitmix64(z.seed ^ splitmix64(i+1))
+	// 53 high bits -> uniform float in [0, 1).
+	f := float64(u>>11) / (1 << 53)
+	return sort.SearchFloat64s(z.cum, f)
+}
+
+// N returns the rank-space size.
+func (z *Zipf) N() int { return len(z.cum) }

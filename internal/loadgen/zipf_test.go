@@ -1,0 +1,110 @@
+package loadgen
+
+import "testing"
+
+// zipfGolden pins the first 64 draws of NewZipf(16, 1.2, 42). The table
+// is load-bearing: BENCH_reshard.json trajectories are only comparable
+// across runs and machines if the workload's subject sequence never
+// drifts, so any change to the mixing or search logic must show up here
+// as a deliberate table update.
+var zipfGolden = [64]int{
+	1, 0, 0, 2, 5, 0, 1, 5, 0, 0, 0, 0, 0, 0, 0, 2,
+	1, 0, 4, 4, 0, 1, 12, 1, 2, 0, 1, 1, 0, 1, 11, 0,
+	0, 1, 15, 0, 8, 0, 0, 1, 0, 1, 2, 5, 5, 5, 0, 1,
+	1, 8, 15, 14, 9, 5, 0, 2, 3, 2, 0, 1, 2, 11, 3, 3,
+}
+
+func TestZipfGoldenDraws(t *testing.T) {
+	z, err := NewZipf(16, 1.2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range zipfGolden {
+		if got := z.Rank(uint64(i)); got != want {
+			t.Fatalf("draw %d = %d, want %d (indexed generator drifted)", i, got, want)
+		}
+	}
+}
+
+// TestZipfClientPartitionInvariance: the draw at stream position i must
+// not depend on how many clients consume the stream — client c of P
+// reads positions c, c+P, ... and every partitioning must see the same
+// values at the same positions.
+func TestZipfClientPartitionInvariance(t *testing.T) {
+	z, err := NewZipf(64, 1.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 4096
+	reference := make([]int, draws)
+	for i := range reference {
+		reference[i] = z.Rank(uint64(i))
+	}
+	for _, clients := range []int{1, 2, 3, 8, 32} {
+		seen := make([]int, draws)
+		for c := 0; c < clients; c++ {
+			for i := c; i < draws; i += clients {
+				seen[i] = z.Rank(uint64(i))
+			}
+		}
+		for i := range seen {
+			if seen[i] != reference[i] {
+				t.Fatalf("clients=%d: draw %d = %d, want %d", clients, i, seen[i], reference[i])
+			}
+		}
+	}
+}
+
+func TestZipfSeedsDiffer(t *testing.T) {
+	a, _ := NewZipf(1024, 1.2, 1)
+	b, _ := NewZipf(1024, 1.2, 2)
+	same := 0
+	for i := uint64(0); i < 1024; i++ {
+		if a.Rank(i) == b.Rank(i) {
+			same++
+		}
+	}
+	// Skewed distributions collide often by chance; identical streams
+	// would collide everywhere.
+	if same > 900 {
+		t.Fatalf("seeds 1 and 2 agree on %d/1024 draws", same)
+	}
+}
+
+// TestZipfSkew: the head ranks must dominate — that is the property the
+// resharding benchmark relies on to heat exactly one shard — and every
+// rank must stay in range.
+func TestZipfSkew(t *testing.T) {
+	z, err := NewZipf(100, 1.2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 20000
+	counts := make([]int, 100)
+	for i := uint64(0); i < draws; i++ {
+		r := z.Rank(i)
+		if r < 0 || r >= 100 {
+			t.Fatalf("draw %d = rank %d out of range", i, r)
+		}
+		counts[r]++
+	}
+	head := counts[0] + counts[1] + counts[2]
+	if head < draws/3 {
+		t.Fatalf("top-3 ranks drew %d/%d, want at least a third (not Zipfian)", head, draws)
+	}
+	if counts[0] <= counts[99] {
+		t.Fatalf("rank 0 (%d draws) not hotter than rank 99 (%d)", counts[0], counts[99])
+	}
+}
+
+func TestZipfRejectsBadParams(t *testing.T) {
+	if _, err := NewZipf(0, 1.2, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := NewZipf(10, 0, 1); err == nil {
+		t.Fatal("s=0 accepted")
+	}
+	if _, err := NewZipf(10, -1, 1); err == nil {
+		t.Fatal("negative exponent accepted")
+	}
+}

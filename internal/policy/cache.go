@@ -163,6 +163,37 @@ func (c *Cached) invalidateLocked(unit core.UnitID) {
 	}
 }
 
+// Fencer is implemented by engines that can drop every cached
+// adjudication at once. The resharding flip calls it on both sides of
+// a migration: decisions adjudicated against pre-flip placement must
+// not survive the directory change, whichever shard they were cached
+// on.
+type Fencer interface {
+	Fence()
+}
+
+// Fence implements Fencer: every cached decision is dropped and every
+// known epoch bumped, so an in-flight adjudication that captured a
+// pre-fence epoch can never insert a post-fence entry. (A unit never
+// seen before the fence has no pre-fence entry to orphan; its insert
+// races only the ordinary mutate protocol.)
+func (c *Cached) Fence() {
+	c.mu.Lock()
+	c.global++
+	for unit := range c.epochs {
+		c.epochs[unit]++
+	}
+	for unit := range c.entries {
+		if _, ok := c.epochs[unit]; !ok {
+			c.epochs[unit]++
+		}
+	}
+	c.entries = make(map[core.UnitID]map[cacheKey]cacheEntry)
+	c.size = 0
+	c.mu.Unlock()
+	c.invalidations.Add(1)
+}
+
 // mutate runs one inner-engine policy mutation under the invalidation
 // protocol, which brackets it with two epoch bumps:
 //

@@ -114,6 +114,9 @@ type Stats struct {
 	// obligations (zero on engines without a Purger).
 	PurgesRegistered uint64
 	PurgesDischarged uint64
+	// BulkLoads counts BulkLoad calls (checkpoint restores and shard
+	// migrations), which bypass per-row logging and counting.
+	BulkLoads uint64
 }
 
 // SpaceStats is the backend-neutral footprint report.

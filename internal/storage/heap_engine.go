@@ -3,6 +3,7 @@ package storage
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"github.com/datacase/datacase/internal/storage/heap"
 	"github.com/datacase/datacase/internal/wal"
@@ -14,16 +15,17 @@ import (
 // promotion) cryptox.Sanitizable.
 type Heap struct {
 	*heap.Table
+	bulkLoads atomic.Uint64
 }
 
 // NewHeap returns a heap-backed engine. A nil log disables write-ahead
 // logging.
 func NewHeap(name string, log *wal.Log) *Heap {
-	return &Heap{heap.NewTable(name, log)}
+	return &Heap{Table: heap.NewTable(name, log)}
 }
 
 // WrapHeap adapts an existing table.
-func WrapHeap(t *heap.Table) *Heap { return &Heap{t} }
+func WrapHeap(t *heap.Table) *Heap { return &Heap{Table: t} }
 
 // mapHeapErr translates the heap's sentinels into the Engine
 // vocabulary, keeping the native error in the chain.
@@ -66,6 +68,9 @@ func (h *Heap) Delete(key []byte) error {
 // BulkLoad fills an empty table without per-row logging.
 func (h *Heap) BulkLoad(next func() (key, value []byte, ok bool)) (int, error) {
 	n, err := h.Table.BulkLoad(next)
+	if err == nil {
+		h.bulkLoads.Add(1)
+	}
 	return n, mapHeapErr(err)
 }
 
@@ -80,6 +85,7 @@ func (h *Heap) Stats() Stats {
 		Scans:            c.SeqScans,
 		MaintenanceRuns:  c.VacuumRuns + c.VacuumFullRuns,
 		EntriesReclaimed: c.TuplesReclaimed,
+		BulkLoads:        h.bulkLoads.Load(),
 	}
 }
 

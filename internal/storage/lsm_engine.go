@@ -34,7 +34,7 @@ type LSM struct {
 	mu sync.Mutex
 
 	inserts, updates, deletes atomic.Uint64
-	scans                     atomic.Uint64
+	scans, bulkLoads          atomic.Uint64
 }
 
 // NewLSM returns an LSM-backed engine. A nil log disables write-ahead
@@ -144,6 +144,7 @@ func (e *LSM) BulkLoad(next func() (key, value []byte, ok bool)) (int, error) {
 	for {
 		k, v, ok := next()
 		if !ok {
+			e.bulkLoads.Add(1)
 			return n, nil
 		}
 		if e.store.Live(k) {
@@ -172,6 +173,7 @@ func (e *LSM) Stats() Stats {
 		EntriesReclaimed: c.TombstonesGCed,
 		PurgesRegistered: c.PurgesRegistered,
 		PurgesDischarged: c.PurgesDischarged,
+		BulkLoads:        e.bulkLoads.Load(),
 	}
 }
 

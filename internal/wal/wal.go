@@ -53,6 +53,17 @@ const (
 	// policy windows and passed retention deadlines cannot reopen when
 	// the deployment comes back.
 	RecClock
+	// RecShardBirth is the first record of a WAL segment opened for the
+	// destination shard of an elastic split. Its payload carries the
+	// split's directory epoch and the pre-split directory, so recovery
+	// can classify the segment: debris (the split never committed) or a
+	// live member of the post-split topology.
+	RecShardBirth
+	// RecDirectory snapshots the key->shard directory in force before a
+	// topology change that reuses existing segments (a merge), giving
+	// recovery a pre-change directory to fall back to if the change
+	// never commits.
+	RecDirectory
 )
 
 var recordTypeNames = [...]string{
@@ -65,6 +76,8 @@ var recordTypeNames = [...]string{
 	RecTombstone:  "tombstone",
 	RecConsent:    "consent",
 	RecClock:      "clock",
+	RecShardBirth: "shard-birth",
+	RecDirectory:  "directory",
 }
 
 // String returns the record type name.
