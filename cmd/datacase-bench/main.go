@@ -22,11 +22,16 @@
 //	                                           # lock + decision cache vs
 //	                                           # one-big-mutex baseline;
 //	                                           # writes BENCH_readpath.json
+//	datacase-bench -exp network -network-conns 64,256,1024
+//	                                           # wire-connection fleet
+//	                                           # through the gateway;
+//	                                           # writes BENCH_network.json
 //	datacase-bench -list                       # print the experiment
 //	                                           # registry and exit
 //
 // Experiments: table1, fig3, fig4a, fig4b, fig4c, table2, deleteonly,
-// shardscale, loadgen, recovery, backend, readpath, all. An unknown
+// shardscale, loadgen, recovery, backend, readpath, reshard, network,
+// all. An unknown
 // -exp value exits with status 2 and a usage message; -list prints the
 // registry with one-line descriptions and exits 0.
 package main
@@ -60,6 +65,7 @@ var experimentInfo = []struct {
 	{"backend", "heap vs LSM compliance backends: Fig 4(a) series, Table 1 conformance and erase checks; writes BENCH_backend.json"},
 	{"readpath", "read-scaling sweep: shared-lock + decision cache vs one-big-mutex baseline; writes BENCH_readpath.json"},
 	{"reshard", "elastic resharding: Zipfian hot shard measured before/after a live rebalancer split; writes BENCH_reshard.json"},
+	{"network", "end-to-end network soak: a wire-connection fleet through the subject-routing gateway; writes BENCH_network.json"},
 }
 
 // experimentNames returns the registry names in order.
@@ -127,6 +133,15 @@ func main() {
 		rsStall    = flag.Int("reshard-stall-micros", 150,
 			"modeled per-payload device latency in µs for -exp reshard")
 		rsOut = flag.String("reshard-out", "BENCH_reshard.json", "JSON output path for -exp reshard")
+
+		netConns   = flag.String("network-conns", "64,256,1024", "connection-count sweep for -exp network")
+		netRecords = flag.Int("network-records", 2000, "preloaded records for -exp network")
+		netOps     = flag.Int("network-ops", 4000, "total ops per sweep point for -exp network")
+		netServers = flag.Int("network-servers", 2, "self-hosted server count for -exp network")
+		netShards  = flag.Int("network-shards", 4, "shards per server for -exp network")
+		netGateway = flag.String("network-gateway", "",
+			"existing gateway address for -exp network (empty = self-host the topology in-process)")
+		netOut = flag.String("network-out", "BENCH_network.json", "JSON output path for -exp network")
 	)
 	flag.Parse()
 
@@ -243,6 +258,9 @@ func main() {
 	}
 	if run("reshard") {
 		runReshard(*rsShards, *rsSubjects, *rsRecords, *rsClients, *rsOps, *rsZipf, *rsStall, *seed, *rsOut)
+	}
+	if run("network") {
+		runNetwork(*workload, *netConns, *netRecords, *netOps, *netServers, *netShards, *netGateway, *seed, *netOut)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr,
@@ -418,6 +436,37 @@ func runReshard(shards, subjects, records, clients, ops int, zipfS float64, stal
 // benchxReshardFloor mirrors the library's acceptance floor for the
 // summary line.
 const benchxReshardFloor = 1.5
+
+// runNetwork sweeps connection counts through the wire stack — a
+// self-hosted servers+gateway topology by default, or an external
+// gateway via -network-gateway — then writes and re-reads (validating)
+// the machine-readable BENCH_network.json.
+func runNetwork(workload, connsCSV string, records, ops, servers, shards int, gateway string, seed int64, out string) {
+	w, err := datacase.ParseWorkload(workload)
+	fail(err)
+	conns, err := parseShards(connsCSV) // same "positive ints" grammar
+	fail(err)
+	where := fmt.Sprintf("self-hosted %d×%d", servers, shards)
+	if gateway != "" {
+		where = "gateway " + gateway
+	}
+	fmt.Printf("running network (records=%d, ops=%d, conns=%v, %s, workload=%s)...\n",
+		records, ops, conns, where, w)
+	results, err := datacase.NetworkSweep(datacase.NetworkConfig{
+		Workload: w, Records: records, Ops: ops,
+		Servers: servers, ShardsPerServer: shards,
+		GatewayAddr: gateway, Seed: seed,
+	}, conns)
+	fail(err)
+	for _, r := range results {
+		fail(r.Validate())
+		fmt.Printf("  %s\n", r)
+	}
+	fail(datacase.WriteNetworkJSON(out, results))
+	_, err = datacase.ReadNetworkJSON(out)
+	fail(err)
+	fmt.Printf("wrote %s (%d results)\n", out, len(results))
+}
 
 // parseShards parses a comma-separated shard-count sweep like "1,4,16".
 func parseShards(s string) ([]int, error) {

@@ -1,0 +1,95 @@
+// Command datacase-soak measures the serving stack end to end: a fleet
+// of closed-loop wire connections replays a GDPRBench workload through
+// a subject-routing gateway and reports end-to-end latency quantiles
+// (p50/p95/p99) and throughput per connection count, as the
+// machine-readable BENCH_network.json.
+//
+// By default it self-hosts the topology in-process — -servers wire
+// servers of -shards shards each behind one gateway — so a single
+// command produces the full measurement:
+//
+//	datacase-soak -conns 64,256,1024 -records 2000 -ops 20000
+//
+// Point it at a running deployment instead with -gateway:
+//
+//	datacase-soak -gateway 127.0.0.1:7000 -conns 256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/datacase/datacase"
+)
+
+func main() {
+	var (
+		gateway  = flag.String("gateway", "", "gateway address (empty = self-host servers+gateway in-process)")
+		connsCSV = flag.String("conns", "64,256,1024", "comma-separated connection-count sweep")
+		records  = flag.Int("records", 2000, "preloaded records")
+		ops      = flag.Int("ops", 4000, "total operations per sweep point")
+		servers  = flag.Int("servers", 2, "self-hosted server count")
+		shards   = flag.Int("shards", 4, "shards per self-hosted server")
+		workload = flag.String("workload", "wcon", "GDPRBench workload: wcon|wpro|wcus")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		out      = flag.String("out", "BENCH_network.json", "JSON output path")
+	)
+	flag.Parse()
+
+	w, err := datacase.ParseWorkload(*workload)
+	fail(err)
+	conns, err := parseConns(*connsCSV)
+	fail(err)
+
+	where := fmt.Sprintf("self-hosted %d servers × %d shards", *servers, *shards)
+	if *gateway != "" {
+		where = "gateway " + *gateway
+	}
+	fmt.Printf("datacase-soak: %s, workload=%s, records=%d, ops=%d, conns=%v\n",
+		where, w, *records, *ops, conns)
+
+	results, err := datacase.NetworkSweep(datacase.NetworkConfig{
+		Workload: w, Records: *records, Ops: *ops,
+		Servers: *servers, ShardsPerServer: *shards,
+		GatewayAddr: *gateway, Seed: *seed,
+	}, conns)
+	fail(err)
+	for _, r := range results {
+		fail(r.Validate())
+		fmt.Printf("  %s\n", r)
+	}
+	fail(datacase.WriteNetworkJSON(*out, results))
+	if _, err := datacase.ReadNetworkJSON(*out); err != nil {
+		fail(fmt.Errorf("written report failed validation: %w", err))
+	}
+	fmt.Printf("wrote %s (%d results)\n", *out, len(results))
+}
+
+func parseConns(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad connection count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty connection sweep %q", s)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datacase-soak:", err)
+		os.Exit(1)
+	}
+}

@@ -18,6 +18,7 @@
 package datacase
 
 import (
+	"github.com/datacase/datacase/internal/api"
 	"github.com/datacase/datacase/internal/audit"
 	"github.com/datacase/datacase/internal/benchx"
 	"github.com/datacase/datacase/internal/compliance"
@@ -28,6 +29,7 @@ import (
 	"github.com/datacase/datacase/internal/policy"
 	"github.com/datacase/datacase/internal/storage"
 	"github.com/datacase/datacase/internal/wal"
+	"github.com/datacase/datacase/internal/wire"
 	"github.com/datacase/datacase/internal/ycsb"
 )
 
@@ -580,6 +582,96 @@ var (
 	WriteRecoveryJSON = benchx.WriteRecoveryJSON
 	// ReadRecoveryJSON parses and validates a BENCH_recovery.json file.
 	ReadRecoveryJSON = benchx.ReadRecoveryJSON
+)
+
+// ---- Transport-neutral Client API and the wire serving stack ----
+
+type (
+	// Client is the transport-neutral operation surface of a Data-CASE
+	// deployment: every compliance operation as an explicit
+	// request/response pair under a context. A *LocalClient adapts an
+	// in-process ShardedDB; a *RemoteClient speaks the wire protocol to
+	// a datacase-server or datacase-gateway. Code written against
+	// Client cannot tell the difference — the sentinels (ErrDenied,
+	// ErrNotFound, ErrExists) survive the wire.
+	Client = api.Client
+	// LocalClient adapts a ShardedDB to the Client interface.
+	LocalClient = api.Local
+	// RemoteClient is the wire-protocol Client implementation.
+	RemoteClient = wire.RemoteClient
+	// Server hosts a ShardedDB behind the wire protocol.
+	Server = wire.Server
+	// Gateway routes wire requests to a fleet of servers by data
+	// subject, with an epoch-versioned topology.
+	Gateway = wire.Gateway
+	// Router is the gateway's subject-sticky routing state.
+	Router = wire.Router
+
+	// Request/response pairs of the Client surface.
+	CreateRequest         = api.CreateRequest
+	CreateResponse        = api.CreateResponse
+	ReadDataRequest       = api.ReadDataRequest
+	ReadDataResponse      = api.ReadDataResponse
+	UpdateDataRequest     = api.UpdateDataRequest
+	UpdateDataResponse    = api.UpdateDataResponse
+	DeleteDataRequest     = api.DeleteDataRequest
+	DeleteDataResponse    = api.DeleteDataResponse
+	ReadMetaRequest       = api.ReadMetaRequest
+	ReadMetaResponse      = api.ReadMetaResponse
+	UpdateMetaRequest     = api.UpdateMetaRequest
+	UpdateMetaResponse    = api.UpdateMetaResponse
+	ReadByMetaRequest     = api.ReadByMetaRequest
+	ReadByMetaResponse    = api.ReadByMetaResponse
+	SubjectAccessRequest  = api.SubjectAccessRequest
+	SubjectAccessResponse = api.SubjectAccessResponse
+	EraseSubjectRequest   = api.EraseSubjectRequest
+	EraseSubjectResponse  = api.EraseSubjectResponse
+	RevokeRequest         = api.RevokeRequest
+	RevokeResponse        = api.RevokeResponse
+	AuditRequest          = api.AuditRequest
+	AuditResponse         = api.AuditResponse
+)
+
+var (
+	// NewLocalClient adapts an in-process sharded deployment to the
+	// Client interface.
+	NewLocalClient = api.NewLocal
+	// Dial connects a RemoteClient to a server or gateway address.
+	Dial = wire.Dial
+	// NewServer wraps a Client backend in a wire server.
+	NewServer = wire.NewServer
+	// NewGateway builds a subject-routing gateway over server addresses
+	// at a topology epoch.
+	NewGateway = wire.NewGateway
+	// ErrUnavailable is returned for requests refused by a draining
+	// server.
+	ErrUnavailable = wire.ErrUnavailable
+)
+
+// ---- Network soak experiment (-exp network) ----
+
+type (
+	// NetworkConfig sizes one end-to-end network measurement.
+	NetworkConfig = loadgen.NetworkConfig
+	// NetworkResult is one BENCH_network.json row.
+	NetworkResult = loadgen.NetworkResult
+	// NetworkReport is the BENCH_network.json document envelope.
+	NetworkReport = loadgen.NetworkReport
+)
+
+// NetworkSchemaVersion is the BENCH_network.json schema version.
+const NetworkSchemaVersion = loadgen.NetworkSchemaVersion
+
+var (
+	// RunNetwork executes one closed-loop network soak: a fleet of wire
+	// connections replaying a GDPRBench workload through a gateway.
+	RunNetwork = loadgen.RunNetwork
+	// NetworkSweep runs the soak at each connection count.
+	NetworkSweep = loadgen.NetworkSweep
+	// WriteNetworkJSON writes results as a BENCH_network.json document.
+	WriteNetworkJSON = loadgen.WriteNetworkJSON
+	// ReadNetworkJSON parses and validates a BENCH_network.json file.
+	ReadNetworkJSON = loadgen.ReadNetworkJSON
 )
 
 // ---- Elastic resharding experiment (-exp reshard) ----

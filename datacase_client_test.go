@@ -1,0 +1,343 @@
+// Conformance suite of the transport-neutral Client API: every test
+// here runs twice, once against the in-process adapter over a
+// ShardedDB and once against a real client → gateway → server loopback
+// over TCP. A Client user must not be able to tell the transports
+// apart — same results, same sentinels, same invariants.
+package datacase_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/datacase/datacase"
+)
+
+// clientEnv is one deployment reachable through the Client interface.
+// dial opens an additional independent connection to the same
+// deployment (for the wire flavor a fresh TCP connection; for the
+// local flavor the adapter itself, which is already safe for
+// concurrent use).
+type clientEnv struct {
+	c    datacase.Client
+	dial func(t *testing.T) datacase.Client
+}
+
+// clientProfile is the serving profile of the conformance deployments:
+// consent revocation needs the fine-grained policy engine, audits need
+// the model view.
+func clientProfile() datacase.Profile {
+	p := datacase.PSYS()
+	p.TrackModel = true
+	return p
+}
+
+func newLocalEnv(t *testing.T) *clientEnv {
+	t.Helper()
+	db, err := datacase.OpenSharded(clientProfile(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	local := datacase.NewLocalClient(db)
+	return &clientEnv{
+		c:    local,
+		dial: func(*testing.T) datacase.Client { return local },
+	}
+}
+
+func newWireEnv(t *testing.T) *clientEnv {
+	t.Helper()
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		db, err := datacase.OpenSharded(clientProfile(), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := datacase.NewServer(datacase.NewLocalClient(db))
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, srv.Addr())
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+			db.Close()
+		})
+	}
+	gw, err := datacase.NewGateway(1, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		gw.Shutdown(ctx)
+	})
+	dial := func(t *testing.T) datacase.Client {
+		t.Helper()
+		c, err := datacase.Dial(gw.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+	return &clientEnv{c: dial(t), dial: dial}
+}
+
+// clientFlavors enumerates the transports under conformance test.
+var clientFlavors = []struct {
+	name string
+	env  func(t *testing.T) *clientEnv
+}{
+	{"local", newLocalEnv},
+	{"wire", newWireEnv},
+}
+
+func eachClient(t *testing.T, test func(t *testing.T, env *clientEnv)) {
+	for _, flavor := range clientFlavors {
+		t.Run(flavor.name, func(t *testing.T) {
+			test(t, flavor.env(t))
+		})
+	}
+}
+
+func TestClientConformanceOpCycle(t *testing.T) {
+	eachClient(t, func(t *testing.T, env *clientEnv) {
+		ctx := context.Background()
+		rec := apiRecord("cycle1", "alice")
+		if _, err := env.c.Create(ctx, datacase.CreateRequest{Record: rec}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := env.c.Create(ctx, datacase.CreateRequest{Record: rec}); !errors.Is(err, datacase.ErrExists) {
+			t.Fatalf("duplicate create: %v", err)
+		}
+		read, err := env.c.ReadData(ctx, datacase.ReadDataRequest{
+			Key: "cycle1", Entity: datacase.EntityController, Purpose: datacase.PurposeService,
+		})
+		if err != nil || !bytes.Equal(read.Payload, rec.Payload) {
+			t.Fatalf("read = %q, %v", read.Payload, err)
+		}
+		if _, err := env.c.UpdateData(ctx, datacase.UpdateDataRequest{
+			Key: "cycle1", Entity: datacase.EntityController, Purpose: datacase.PurposeService,
+			Payload: []byte("obs|alice|v2"),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		meta, err := env.c.ReadMeta(ctx, datacase.ReadMetaRequest{
+			Key: "cycle1", Entity: datacase.EntityController, Purpose: datacase.PurposeService,
+		})
+		if err != nil || meta.Meta.Subject != "alice" {
+			t.Fatalf("meta = %+v, %v", meta, err)
+		}
+		scan, err := env.c.ReadByMeta(ctx, datacase.ReadByMetaRequest{
+			Entity: datacase.EntityController, Purpose: datacase.PurposeService,
+			MetaPurpose: "billing", Limit: 10,
+		})
+		if err != nil || scan.Matched != 1 {
+			t.Fatalf("scan = %+v, %v", scan, err)
+		}
+		sar, err := env.c.SubjectAccess(ctx, datacase.SubjectAccessRequest{Subject: "alice"})
+		if err != nil || len(sar.Records) != 1 {
+			t.Fatalf("SAR = %d, %v", len(sar.Records), err)
+		}
+		audit, err := env.c.Audit(ctx, datacase.AuditRequest{})
+		if err != nil || audit.Profile != "P_SYS" || !audit.Compliant() {
+			t.Fatalf("audit = %+v, %v", audit, err)
+		}
+		if _, err := env.c.DeleteData(ctx, datacase.DeleteDataRequest{
+			Key: "cycle1", Entity: datacase.EntitySubjectSvc,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := env.c.ReadData(ctx, datacase.ReadDataRequest{
+			Key: "cycle1", Entity: datacase.EntityController, Purpose: datacase.PurposeService,
+		}); !errors.Is(err, datacase.ErrNotFound) {
+			t.Fatalf("read after delete: %v", err)
+		}
+	})
+}
+
+func TestClientConformanceSentinels(t *testing.T) {
+	eachClient(t, func(t *testing.T, env *clientEnv) {
+		ctx := context.Background()
+		if _, err := env.c.ReadData(ctx, datacase.ReadDataRequest{
+			Key: "ghost", Entity: datacase.EntityController, Purpose: datacase.PurposeService,
+		}); !errors.Is(err, datacase.ErrNotFound) {
+			t.Fatalf("ghost read: %v", err)
+		}
+		if _, err := env.c.Create(ctx, datacase.CreateRequest{Record: apiRecord("s1", "bob")}); err != nil {
+			t.Fatal(err)
+		}
+		// A processor outside the record's processor list is denied.
+		if _, err := env.c.ReadData(ctx, datacase.ReadDataRequest{
+			Key: "s1", Entity: "processor-z", Purpose: datacase.PurposeProcessing,
+		}); !errors.Is(err, datacase.ErrDenied) {
+			t.Fatalf("unlisted processor: %v", err)
+		}
+		// A cancelled context is the caller's error, not the transport's.
+		cancelled, cancel := context.WithCancel(ctx)
+		cancel()
+		if _, err := env.c.ReadData(cancelled, datacase.ReadDataRequest{
+			Key: "s1", Entity: datacase.EntityController, Purpose: datacase.PurposeService,
+		}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled read: %v", err)
+		}
+	})
+}
+
+// TestClientConformanceEraseNoZombie is the erasure invariant across
+// transports: while readers hammer a subject's keys over independent
+// connections, the subject is erased; the moment EraseSubject returns,
+// every read of those keys through every connection is not-found.
+func TestClientConformanceEraseNoZombie(t *testing.T) {
+	eachClient(t, func(t *testing.T, env *clientEnv) {
+		ctx := context.Background()
+		const keys = 6
+		for i := 0; i < keys; i++ {
+			rec := apiRecord(fmt.Sprintf("ez-%d", i), "carol")
+			if _, err := env.c.Create(ctx, datacase.CreateRequest{Record: rec}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		readers := []datacase.Client{env.dial(t), env.dial(t), env.dial(t)}
+		stop := make(chan struct{})
+		errs := make(chan error, len(readers))
+		var wg sync.WaitGroup
+		for r, rc := range readers {
+			wg.Add(1)
+			go func(r int, rc datacase.Client) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					_, err := rc.ReadData(ctx, datacase.ReadDataRequest{
+						Key:    fmt.Sprintf("ez-%d", (i+r)%keys),
+						Entity: datacase.EntityController, Purpose: datacase.PurposeService,
+					})
+					// Mid-erase a read may succeed or be not-found;
+					// nothing else is acceptable.
+					if err != nil && !errors.Is(err, datacase.ErrNotFound) {
+						errs <- fmt.Errorf("reader %d: %w", r, err)
+						return
+					}
+				}
+			}(r, rc)
+		}
+		erased, err := env.c.EraseSubject(ctx, datacase.EraseSubjectRequest{
+			Subject: "carol", Entity: datacase.EntitySystem,
+		})
+		if err != nil || erased.Erased != keys {
+			t.Fatalf("erase = %+v, %v", erased, err)
+		}
+		// Acknowledged erase: no zombie reads through any connection.
+		for r, rc := range readers {
+			for i := 0; i < keys; i++ {
+				if _, err := rc.ReadData(ctx, datacase.ReadDataRequest{
+					Key:    fmt.Sprintf("ez-%d", i),
+					Entity: datacase.EntityController, Purpose: datacase.PurposeService,
+				}); !errors.Is(err, datacase.ErrNotFound) {
+					t.Fatalf("conn %d key ez-%d readable after erase: %v", r, i, err)
+				}
+			}
+		}
+		sar, err := env.c.SubjectAccess(ctx, datacase.SubjectAccessRequest{Subject: "carol"})
+		if err != nil || len(sar.Records) != 0 {
+			t.Fatalf("SAR after erase = %d, %v", len(sar.Records), err)
+		}
+		close(stop)
+		wg.Wait()
+		select {
+		case err := <-errs:
+			t.Fatal(err)
+		default:
+		}
+	})
+}
+
+// TestClientConformanceRevokeNoStaleAllow is the consent invariant
+// across transports: once Revoke returns, no read under the revoked
+// (purpose, entity) pair succeeds through any connection — a stale
+// allow on another connection would be a compliance breach.
+func TestClientConformanceRevokeNoStaleAllow(t *testing.T) {
+	eachClient(t, func(t *testing.T, env *clientEnv) {
+		ctx := context.Background()
+		if _, err := env.c.Create(ctx, datacase.CreateRequest{Record: apiRecord("rv-1", "dave")}); err != nil {
+			t.Fatal(err)
+		}
+		readers := []datacase.Client{env.dial(t), env.dial(t), env.dial(t)}
+		stop := make(chan struct{})
+		errs := make(chan error, len(readers))
+		var wg sync.WaitGroup
+		for r, rc := range readers {
+			wg.Add(1)
+			go func(r int, rc datacase.Client) {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					_, err := rc.ReadData(ctx, datacase.ReadDataRequest{
+						Key: "rv-1", Entity: datacase.EntityController, Purpose: datacase.PurposeService,
+					})
+					// Mid-revocation a read may succeed or be denied;
+					// nothing else is acceptable.
+					if err != nil && !errors.Is(err, datacase.ErrDenied) {
+						errs <- fmt.Errorf("reader %d: %w", r, err)
+						return
+					}
+				}
+			}(r, rc)
+		}
+		if _, err := env.c.Revoke(ctx, datacase.RevokeRequest{
+			Key: "rv-1", Purpose: datacase.PurposeService, Entity: datacase.EntityController,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// Acknowledged revocation: denied on every connection, including
+		// ones that were reading successfully a moment ago.
+		for r, rc := range readers {
+			if _, err := rc.ReadData(ctx, datacase.ReadDataRequest{
+				Key: "rv-1", Entity: datacase.EntityController, Purpose: datacase.PurposeService,
+			}); !errors.Is(err, datacase.ErrDenied) {
+				t.Fatalf("conn %d allowed after revoke: %v", r, err)
+			}
+		}
+		close(stop)
+		wg.Wait()
+		select {
+		case err := <-errs:
+			t.Fatal(err)
+		default:
+		}
+	})
+}
+
+// TestClientConformanceDeadline: a deadline set by the caller reaches
+// the far side of the transport and comes back as the caller's own
+// context error, not a transport failure.
+func TestClientConformanceDeadline(t *testing.T) {
+	eachClient(t, func(t *testing.T, env *clientEnv) {
+		expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		defer cancel()
+		if _, err := env.c.ReadData(expired, datacase.ReadDataRequest{
+			Key: "any", Entity: datacase.EntityController, Purpose: datacase.PurposeService,
+		}); !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+			t.Fatalf("expired deadline: %v", err)
+		}
+	})
+}

@@ -1,0 +1,191 @@
+// Package api defines the transport-neutral client surface of a
+// Data-CASE deployment: the Client interface every access path — the
+// in-process adapter over a compliance.ShardedDB, the remote client
+// speaking the internal/wire protocol, and the subject-routing gateway
+// — implements identically.
+//
+// The surface is the compliance API reduced to what crosses a trust
+// boundary: CRUD on records and metadata, the subject rights
+// (SubjectAccess, EraseSubject, Revoke) and the compliance audit.
+// Every method takes a context.Context (deadline and cancellation
+// propagate to the wire and into the server's handler) and explicit
+// request/response structs, so the wire codec and the in-process path
+// marshal exactly the same shapes. Data Capsule's paradigm applies:
+// this boundary — not the Go struct behind it — is where compliance is
+// enforced, so an EraseSubject acknowledged through any Client leaves
+// no readable record through any other, and a Revoke that returned
+// means no later request under the revoked pair is allowed.
+package api
+
+import (
+	"context"
+
+	"github.com/datacase/datacase/internal/compliance"
+	"github.com/datacase/datacase/internal/core"
+	"github.com/datacase/datacase/internal/gdprbench"
+)
+
+// CreateRequest collects a new record.
+type CreateRequest struct {
+	Record gdprbench.Record
+}
+
+// CreateResponse acknowledges a collection.
+type CreateResponse struct{}
+
+// ReadDataRequest reads a record's personal data by key.
+type ReadDataRequest struct {
+	Key     string
+	Entity  core.EntityID
+	Purpose core.Purpose
+}
+
+// ReadDataResponse carries the decrypted payload.
+type ReadDataResponse struct {
+	Payload []byte
+}
+
+// UpdateDataRequest overwrites a record's personal data.
+type UpdateDataRequest struct {
+	Key     string
+	Entity  core.EntityID
+	Purpose core.Purpose
+	Payload []byte
+}
+
+// UpdateDataResponse acknowledges an update.
+type UpdateDataResponse struct{}
+
+// DeleteDataRequest erases one record under the profile's grounding.
+type DeleteDataRequest struct {
+	Key    string
+	Entity core.EntityID
+}
+
+// DeleteDataResponse acknowledges a deletion.
+type DeleteDataResponse struct{}
+
+// ReadMetaRequest reads a record's compliance metadata.
+type ReadMetaRequest struct {
+	Key     string
+	Entity  core.EntityID
+	Purpose core.Purpose
+}
+
+// ReadMetaResponse carries the metadata block.
+type ReadMetaResponse struct {
+	Meta compliance.Metadata
+}
+
+// UpdateMetaRequest changes a record's metadata (purpose grant, TTL).
+type UpdateMetaRequest struct {
+	Key        string
+	Entity     core.EntityID
+	Purpose    core.Purpose
+	NewPurpose string
+	NewTTL     int64
+}
+
+// UpdateMetaResponse acknowledges a metadata update.
+type UpdateMetaResponse struct{}
+
+// ReadByMetaRequest scans for records collected for MetaPurpose and
+// reads up to Limit of them.
+type ReadByMetaRequest struct {
+	Entity      core.EntityID
+	Purpose     core.Purpose
+	MetaPurpose string
+	Limit       int
+}
+
+// ReadByMetaResponse reports how many records the scan read.
+type ReadByMetaResponse struct {
+	Matched int
+}
+
+// SubjectAccessRequest is a GDPR Art. 15 subject-access request.
+type SubjectAccessRequest struct {
+	Subject string
+}
+
+// SubjectAccessResponse carries the subject's records.
+type SubjectAccessResponse struct {
+	Records []compliance.SubjectRecord
+}
+
+// EraseSubjectRequest is the right to erasure at account granularity.
+type EraseSubjectRequest struct {
+	Subject string
+	Entity  core.EntityID
+}
+
+// EraseSubjectResponse reports how many records were erased directly
+// (cascaded dependents excluded, as in ShardedDB.EraseSubject).
+type EraseSubjectResponse struct {
+	Erased int
+}
+
+// RevokeRequest withdraws consent for one (purpose, entity) pair on a
+// record (GDPR Art. 7(3)).
+type RevokeRequest struct {
+	Key     string
+	Purpose core.Purpose
+	Entity  core.EntityID
+}
+
+// RevokeResponse acknowledges a revocation. When it has been received,
+// no later request under the revoked pair is allowed — through any
+// Client of the same deployment.
+type RevokeResponse struct{}
+
+// AuditRequest asks for a compliance audit under the deployment's
+// default invariant set (invariants are closures and do not cross the
+// wire; the server side audits with core.DefaultGDPRInvariants).
+type AuditRequest struct{}
+
+// AuditResponse is the serializable summary of a compliance report.
+type AuditResponse struct {
+	Profile    string
+	Now        int64
+	Checked    []string
+	Violations []string
+}
+
+// Compliant reports whether the audit found no violations.
+func (r AuditResponse) Compliant() bool { return len(r.Violations) == 0 }
+
+// Client is the transport-neutral API of a Data-CASE deployment. The
+// in-process adapter (NewLocal), the remote wire client and the
+// gateway all satisfy it, and one conformance suite must pass against
+// each. Errors compare with errors.Is against compliance.ErrDenied,
+// compliance.ErrNotFound and compliance.ErrExists on every
+// implementation — including errors that crossed the wire — and
+// context cancellation surfaces as ctx.Err().
+type Client interface {
+	Create(ctx context.Context, req CreateRequest) (CreateResponse, error)
+	ReadData(ctx context.Context, req ReadDataRequest) (ReadDataResponse, error)
+	UpdateData(ctx context.Context, req UpdateDataRequest) (UpdateDataResponse, error)
+	DeleteData(ctx context.Context, req DeleteDataRequest) (DeleteDataResponse, error)
+	ReadMeta(ctx context.Context, req ReadMetaRequest) (ReadMetaResponse, error)
+	UpdateMeta(ctx context.Context, req UpdateMetaRequest) (UpdateMetaResponse, error)
+	ReadByMeta(ctx context.Context, req ReadByMetaRequest) (ReadByMetaResponse, error)
+	SubjectAccess(ctx context.Context, req SubjectAccessRequest) (SubjectAccessResponse, error)
+	EraseSubject(ctx context.Context, req EraseSubjectRequest) (EraseSubjectResponse, error)
+	Revoke(ctx context.Context, req RevokeRequest) (RevokeResponse, error)
+	Audit(ctx context.Context, req AuditRequest) (AuditResponse, error)
+	Close() error
+}
+
+// AuditSummary converts a compliance report into the serializable
+// response shape shared by every Client implementation.
+func AuditSummary(rep compliance.Report) AuditResponse {
+	out := AuditResponse{
+		Profile: rep.Profile,
+		Now:     int64(rep.Now),
+		Checked: append([]string(nil), rep.Checked...),
+	}
+	for _, v := range rep.Violations {
+		out.Violations = append(out.Violations, v.String())
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package api
+
+import (
+	"context"
+
+	"github.com/datacase/datacase/internal/compliance"
+	"github.com/datacase/datacase/internal/core"
+)
+
+// Local adapts a compliance.ShardedDB to the transport-neutral Client
+// interface: the in-process deployment seen through exactly the same
+// surface a remote caller gets. Single-shard operations check the
+// context once at entry (the deployment's own lock protocol bounds
+// their latency); the multi-shard fan-outs — ReadByMeta and Audit —
+// iterate the shards and honor cancellation between steps, so a caller
+// whose deadline expires mid-scan stops paying for the remaining
+// shards.
+type Local struct {
+	db *compliance.ShardedDB
+}
+
+// NewLocal wraps a sharded deployment. Close closes the deployment.
+func NewLocal(db *compliance.ShardedDB) *Local { return &Local{db: db} }
+
+// DB exposes the underlying deployment (servers host it; tests
+// inspect it).
+func (l *Local) DB() *compliance.ShardedDB { return l.db }
+
+// Create collects a new record.
+func (l *Local) Create(ctx context.Context, req CreateRequest) (CreateResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return CreateResponse{}, err
+	}
+	return CreateResponse{}, l.db.Create(req.Record)
+}
+
+// ReadData reads a record's personal data by key.
+func (l *Local) ReadData(ctx context.Context, req ReadDataRequest) (ReadDataResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return ReadDataResponse{}, err
+	}
+	payload, err := l.db.ReadData(req.Entity, req.Purpose, req.Key)
+	return ReadDataResponse{Payload: payload}, err
+}
+
+// UpdateData overwrites a record's personal data.
+func (l *Local) UpdateData(ctx context.Context, req UpdateDataRequest) (UpdateDataResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return UpdateDataResponse{}, err
+	}
+	return UpdateDataResponse{}, l.db.UpdateData(req.Entity, req.Purpose, req.Key, req.Payload)
+}
+
+// DeleteData erases one record under the profile's grounding.
+func (l *Local) DeleteData(ctx context.Context, req DeleteDataRequest) (DeleteDataResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return DeleteDataResponse{}, err
+	}
+	return DeleteDataResponse{}, l.db.DeleteData(req.Entity, req.Key)
+}
+
+// ReadMeta reads a record's compliance metadata.
+func (l *Local) ReadMeta(ctx context.Context, req ReadMetaRequest) (ReadMetaResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return ReadMetaResponse{}, err
+	}
+	meta, err := l.db.ReadMeta(req.Entity, req.Purpose, req.Key)
+	return ReadMetaResponse{Meta: meta}, err
+}
+
+// UpdateMeta changes a record's metadata.
+func (l *Local) UpdateMeta(ctx context.Context, req UpdateMetaRequest) (UpdateMetaResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return UpdateMetaResponse{}, err
+	}
+	return UpdateMetaResponse{},
+		l.db.UpdateMeta(req.Entity, req.Purpose, req.Key, req.NewPurpose, req.NewTTL)
+}
+
+// ReadByMeta scans for records collected for the purpose, drawing from
+// one budget across the shards. Unlike ShardedDB.ReadByMeta (which
+// fans out over the worker pool), the adapter walks the shards
+// sequentially and checks the context between them: the scan is the
+// one Client operation whose cost grows with the whole deployment, so
+// it is the one that must stop early when the caller's deadline has
+// already passed. Which shard's matches win under a shared budget is
+// scheduling-dependent either way.
+func (l *Local) ReadByMeta(ctx context.Context, req ReadByMetaRequest) (ReadByMetaResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return ReadByMetaResponse{}, err
+	}
+	total := 0
+	remaining := req.Limit
+	for i := 0; i < l.db.NumShards() && remaining > 0; i++ {
+		if err := ctx.Err(); err != nil {
+			return ReadByMetaResponse{Matched: total}, err
+		}
+		n, err := l.db.Shard(i).ReadByMeta(req.Entity, req.Purpose, req.MetaPurpose, remaining)
+		if err != nil {
+			return ReadByMetaResponse{Matched: total}, err
+		}
+		total += n
+		remaining -= n
+	}
+	return ReadByMetaResponse{Matched: total}, nil
+}
+
+// SubjectAccess answers a subject-access request (single shard: a
+// subject's records all live on its home shard).
+func (l *Local) SubjectAccess(ctx context.Context, req SubjectAccessRequest) (SubjectAccessResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return SubjectAccessResponse{}, err
+	}
+	recs, err := l.db.SubjectAccess(req.Subject)
+	return SubjectAccessResponse{Records: recs}, err
+}
+
+// EraseSubject erases every record of the subject. Cancellation is
+// checked only at entry: once the erase compound starts it runs to
+// completion under the home shard's lock — a half-erased subject must
+// never be observable, deadline or not.
+func (l *Local) EraseSubject(ctx context.Context, req EraseSubjectRequest) (EraseSubjectResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return EraseSubjectResponse{}, err
+	}
+	n, err := l.db.EraseSubject(req.Entity, req.Subject)
+	return EraseSubjectResponse{Erased: n}, err
+}
+
+// Revoke withdraws consent for one (purpose, entity) pair on a record.
+func (l *Local) Revoke(ctx context.Context, req RevokeRequest) (RevokeResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return RevokeResponse{}, err
+	}
+	return RevokeResponse{}, l.db.RevokeConsent(req.Key, req.Purpose, req.Entity)
+}
+
+// Audit runs the default GDPR invariant set shard by shard, honoring
+// cancellation between shards, and merges the per-shard reports
+// exactly as ShardedDB.Audit does (latest clock wins, violations
+// concatenate).
+func (l *Local) Audit(ctx context.Context, _ AuditRequest) (AuditResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return AuditResponse{}, err
+	}
+	invs := core.DefaultGDPRInvariants()
+	merged := compliance.Report{
+		Profile:    l.db.Profile().Name,
+		Checked:    invs.IDs(),
+		Groundings: l.db.Profile().Groundings(),
+	}
+	for i := 0; i < l.db.NumShards(); i++ {
+		if err := ctx.Err(); err != nil {
+			return AuditSummary(merged), err
+		}
+		rep, err := l.db.Shard(i).Audit(invs)
+		if err != nil {
+			return AuditSummary(merged), err
+		}
+		if rep.Now > merged.Now {
+			merged.Now = rep.Now
+		}
+		merged.Violations = append(merged.Violations, rep.Violations...)
+	}
+	return AuditSummary(merged), nil
+}
+
+// Close closes the underlying deployment.
+func (l *Local) Close() error { return l.db.Close() }
+
+// Compile-time conformance.
+var _ Client = (*Local)(nil)

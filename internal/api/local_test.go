@@ -1,0 +1,256 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"github.com/datacase/datacase/internal/compliance"
+	"github.com/datacase/datacase/internal/gdprbench"
+)
+
+func testProfile() compliance.Profile {
+	p := compliance.PSYS()
+	p.TrackModel = true
+	return p
+}
+
+func openLocal(t *testing.T, shards int) *Local {
+	t.Helper()
+	db, err := compliance.OpenSharded(testProfile(), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return NewLocal(db)
+}
+
+func localRecord(key, subject string) gdprbench.Record {
+	return gdprbench.Record{
+		Key: key, Subject: subject,
+		Payload:    []byte("obs|" + subject),
+		Purposes:   []string{"billing", "analytics"},
+		TTL:        1 << 40,
+		Processors: []string{"processor-a"},
+	}
+}
+
+func TestLocalFullOpCycle(t *testing.T) {
+	l := openLocal(t, 4)
+	ctx := context.Background()
+	if l.DB() == nil {
+		t.Fatal("DB accessor lost the deployment")
+	}
+	if _, err := l.Create(ctx, CreateRequest{Record: localRecord("k1", "alice")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Create(ctx, CreateRequest{Record: localRecord("k1", "alice")}); !errors.Is(err, compliance.ErrExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	read, err := l.ReadData(ctx, ReadDataRequest{
+		Key: "k1", Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+	})
+	if err != nil || !bytes.Equal(read.Payload, []byte("obs|alice")) {
+		t.Fatalf("read = %q, %v", read.Payload, err)
+	}
+	if _, err := l.UpdateData(ctx, UpdateDataRequest{
+		Key: "k1", Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+		Payload: []byte("obs|alice|v2"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := l.ReadMeta(ctx, ReadMetaRequest{
+		Key: "k1", Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+	})
+	if err != nil || meta.Meta.Subject != "alice" {
+		t.Fatalf("meta = %+v, %v", meta, err)
+	}
+	if _, err := l.UpdateMeta(ctx, UpdateMetaRequest{
+		Key: "k1", Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+		NewPurpose: "fraud", NewTTL: 1 << 41,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sar, err := l.SubjectAccess(ctx, SubjectAccessRequest{Subject: "alice"})
+	if err != nil || len(sar.Records) != 1 {
+		t.Fatalf("SAR = %d, %v", len(sar.Records), err)
+	}
+	if _, err := l.Revoke(ctx, RevokeRequest{
+		Key: "k1", Purpose: compliance.PurposeService, Entity: compliance.EntityController,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.ReadData(ctx, ReadDataRequest{
+		Key: "k1", Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+	}); !errors.Is(err, compliance.ErrDenied) {
+		t.Fatalf("read after revoke: %v", err)
+	}
+	erased, err := l.EraseSubject(ctx, EraseSubjectRequest{
+		Subject: "alice", Entity: compliance.EntitySystem,
+	})
+	if err != nil || erased.Erased != 1 {
+		t.Fatalf("erase = %+v, %v", erased, err)
+	}
+	if _, err := l.DeleteData(ctx, DeleteDataRequest{
+		Key: "k1", Entity: compliance.EntitySubjectSvc,
+	}); !errors.Is(err, compliance.ErrNotFound) {
+		t.Fatalf("delete after erase: %v", err)
+	}
+}
+
+func TestLocalScanBudgetAcrossShards(t *testing.T) {
+	l := openLocal(t, 4)
+	ctx := context.Background()
+	const total = 10
+	for i := 0; i < total; i++ {
+		rec := localRecord(fmt.Sprintf("scan-%d", i), fmt.Sprintf("subj-%d", i))
+		if _, err := l.Create(ctx, CreateRequest{Record: rec}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scan, err := l.ReadByMeta(ctx, ReadByMetaRequest{
+		Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+		MetaPurpose: "billing", Limit: 100,
+	})
+	if err != nil || scan.Matched != total {
+		t.Fatalf("scan = %+v, %v", scan, err)
+	}
+	capped, err := l.ReadByMeta(ctx, ReadByMetaRequest{
+		Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+		MetaPurpose: "billing", Limit: 3,
+	})
+	if err != nil || capped.Matched != 3 {
+		t.Fatalf("capped scan = %+v, %v", capped, err)
+	}
+}
+
+func TestLocalAuditMergesShards(t *testing.T) {
+	l := openLocal(t, 4)
+	ctx := context.Background()
+	for i := 0; i < 6; i++ {
+		rec := localRecord(fmt.Sprintf("a-%d", i), fmt.Sprintf("as-%d", i))
+		if _, err := l.Create(ctx, CreateRequest{Record: rec}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	audit, err := l.Audit(ctx, AuditRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if audit.Profile != "P_SYS" || len(audit.Checked) == 0 || !audit.Compliant() {
+		t.Fatalf("audit = %+v", audit)
+	}
+	if audit.Now <= 0 {
+		t.Fatalf("merged clock = %d", audit.Now)
+	}
+}
+
+// TestLocalCancellationAtEntry: every operation refuses an
+// already-cancelled context without touching the deployment.
+func TestLocalCancellationAtEntry(t *testing.T) {
+	l := openLocal(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	if _, err := l.Create(ctx, CreateRequest{Record: localRecord("c1", "bob")}); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	calls := map[string]func() error{
+		"Create": func() error {
+			_, err := l.Create(ctx, CreateRequest{Record: localRecord("c2", "bob")})
+			return err
+		},
+		"ReadData": func() error {
+			_, err := l.ReadData(ctx, ReadDataRequest{Key: "c1", Entity: compliance.EntityController, Purpose: compliance.PurposeService})
+			return err
+		},
+		"UpdateData": func() error {
+			_, err := l.UpdateData(ctx, UpdateDataRequest{Key: "c1", Entity: compliance.EntityController, Purpose: compliance.PurposeService, Payload: []byte("x")})
+			return err
+		},
+		"DeleteData": func() error {
+			_, err := l.DeleteData(ctx, DeleteDataRequest{Key: "c1", Entity: compliance.EntitySubjectSvc})
+			return err
+		},
+		"ReadMeta": func() error {
+			_, err := l.ReadMeta(ctx, ReadMetaRequest{Key: "c1", Entity: compliance.EntityController, Purpose: compliance.PurposeService})
+			return err
+		},
+		"UpdateMeta": func() error {
+			_, err := l.UpdateMeta(ctx, UpdateMetaRequest{Key: "c1", Entity: compliance.EntityController, Purpose: compliance.PurposeService})
+			return err
+		},
+		"ReadByMeta": func() error {
+			_, err := l.ReadByMeta(ctx, ReadByMetaRequest{Entity: compliance.EntityController, Purpose: compliance.PurposeService, MetaPurpose: "billing", Limit: 1})
+			return err
+		},
+		"SubjectAccess": func() error {
+			_, err := l.SubjectAccess(ctx, SubjectAccessRequest{Subject: "bob"})
+			return err
+		},
+		"EraseSubject": func() error {
+			_, err := l.EraseSubject(ctx, EraseSubjectRequest{Subject: "bob", Entity: compliance.EntitySystem})
+			return err
+		},
+		"Revoke": func() error {
+			_, err := l.Revoke(ctx, RevokeRequest{Key: "c1", Purpose: compliance.PurposeService, Entity: compliance.EntityController})
+			return err
+		},
+		"Audit": func() error {
+			_, err := l.Audit(ctx, AuditRequest{})
+			return err
+		},
+	}
+	for name, call := range calls {
+		if err := call(); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s with cancelled ctx: %v", name, err)
+		}
+	}
+	// The record survived every cancelled mutation.
+	if _, err := l.ReadData(context.Background(), ReadDataRequest{
+		Key: "c1", Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+	}); err != nil {
+		t.Fatalf("record damaged by cancelled calls: %v", err)
+	}
+}
+
+// trippingCtx reports Canceled only after its Err has been consulted
+// `after` times: it slips past the entry check and trips the next
+// checkpoint, which is exactly the fan-out cancellation contract under
+// test.
+type trippingCtx struct {
+	context.Context
+	calls, after int32
+}
+
+func (c *trippingCtx) Err() error {
+	if atomic.AddInt32(&c.calls, 1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestLocalScanCancellationBetweenShards: a context cancelled while a
+// fan-out walks the shards stops the walk at the next checkpoint
+// instead of paying for the remaining shards.
+func TestLocalScanCancellationBetweenShards(t *testing.T) {
+	l := openLocal(t, 4)
+	bg := context.Background()
+	for i := 0; i < 8; i++ {
+		rec := localRecord(fmt.Sprintf("sc-%d", i), fmt.Sprintf("scs-%d", i))
+		if _, err := l.Create(bg, CreateRequest{Record: rec}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.ReadByMeta(&trippingCtx{Context: bg, after: 1}, ReadByMetaRequest{
+		Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+		MetaPurpose: "billing", Limit: 100,
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-scan cancellation: %v", err)
+	}
+	if _, err := l.Audit(&trippingCtx{Context: bg, after: 1}, AuditRequest{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-audit cancellation: %v", err)
+	}
+}

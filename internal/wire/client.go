@@ -1,0 +1,249 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/datacase/datacase/internal/api"
+)
+
+// RemoteClient speaks the wire protocol to one server or gateway
+// address and implements the transport-neutral api.Client. One request
+// is in flight per connection (the engine's callers are closed-loop);
+// concurrent calls serialize on the client, and a fleet wanting
+// parallelism opens one client per connection. A connection poisoned
+// by a transport error or a cancelled request is closed and redialed
+// on the next call.
+type RemoteClient struct {
+	addr string
+
+	mu     sync.Mutex
+	conn   net.Conn
+	br     *bufio.Reader
+	nextID uint64
+}
+
+// Dial connects to a wire server or gateway.
+func Dial(addr string) (*RemoteClient, error) {
+	c := &RemoteClient{addr: addr}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureConnLocked(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Addr returns the dialed address.
+func (c *RemoteClient) Addr() string { return c.addr }
+
+func (c *RemoteClient) ensureConnLocked() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("wire: dial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.br = bufio.NewReader(conn)
+	return nil
+}
+
+func (c *RemoteClient) dropConnLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.br = nil
+	}
+}
+
+// roundTrip sends one request frame and reads its response frame,
+// propagating the context's deadline onto the wire (both as socket
+// deadlines and as the frame's deadline budget, which the server turns
+// into the handler's context deadline) and honoring cancellation
+// mid-flight by poisoning the socket.
+func (c *RemoteClient) roundTrip(ctx context.Context, op Op, req any) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	payload, err := MarshalRequest(op, req)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureConnLocked(); err != nil {
+		return nil, err
+	}
+	conn := c.conn
+
+	var budget uint32
+	if deadline, ok := ctx.Deadline(); ok {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, context.DeadlineExceeded
+		}
+		if micros := remaining.Microseconds(); micros < int64(^uint32(0)) {
+			budget = uint32(micros)
+		}
+		conn.SetDeadline(deadline)
+	} else {
+		conn.SetDeadline(time.Time{})
+	}
+	// Cancellation without (or before) the deadline: poison the socket
+	// so the blocked read returns, then surface ctx.Err(). The watcher
+	// is joined before roundTrip returns — if it is cancelled and
+	// stopped at the same instant it may still poison the socket, and
+	// an abandoned watcher could land that poison in the middle of the
+	// NEXT request. Joined, the poison lands now and the next request's
+	// SetDeadline wipes it.
+	if done := ctx.Done(); done != nil {
+		stop := make(chan struct{})
+		exited := make(chan struct{})
+		go func() {
+			defer close(exited)
+			select {
+			case <-done:
+				conn.SetDeadline(time.Unix(1, 0))
+			case <-stop:
+			}
+		}()
+		defer func() {
+			close(stop)
+			<-exited
+		}()
+	}
+
+	c.nextID++
+	id := c.nextID
+	f := Frame{Op: op, ID: id, DeadlineMicros: budget, Payload: payload}
+	if err := WriteFrame(conn, f); err != nil {
+		return nil, c.transportErrLocked(ctx, "write", err)
+	}
+	resp, err := ReadFrame(c.br)
+	if err != nil {
+		return nil, c.transportErrLocked(ctx, "read", err)
+	}
+	if resp.Flags&FlagResponse == 0 || resp.Op != op || resp.ID != id {
+		c.dropConnLocked()
+		return nil, fmt.Errorf("wire: response mismatch: op=%s id=%d flags=%02x (sent op=%s id=%d)",
+			resp.Op, resp.ID, resp.Flags, op, id)
+	}
+	if resp.Flags&FlagError != 0 {
+		code, msg, perr := parseErrorPayload(resp.Payload)
+		if perr != nil {
+			c.dropConnLocked()
+			return nil, perr
+		}
+		return nil, DecodeError(code, msg)
+	}
+	return resp.Payload, nil
+}
+
+// transportErrLocked classifies a socket failure: the caller's own
+// cancellation or deadline wins over the I/O error it provoked. The
+// connection is dropped either way — a request died mid-stream, so the
+// framing is unsynchronized.
+func (c *RemoteClient) transportErrLocked(ctx context.Context, phase string, err error) error {
+	c.dropConnLocked()
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	// The socket deadline is set from the context deadline, so the I/O
+	// timeout and the context timer race at the same instant; classify
+	// by the clock, not by which fired first.
+	if deadline, ok := ctx.Deadline(); ok && !time.Now().Before(deadline) {
+		return context.DeadlineExceeded
+	}
+	return fmt.Errorf("wire: %s %s: %w", phase, c.addr, err)
+}
+
+// call performs one typed round trip.
+func call[Resp any](c *RemoteClient, ctx context.Context, op Op, req any) (Resp, error) {
+	var zero Resp
+	payload, err := c.roundTrip(ctx, op, req)
+	if err != nil {
+		return zero, err
+	}
+	resp, err := UnmarshalResponse(op, payload)
+	if err != nil {
+		return zero, err
+	}
+	return resp.(Resp), nil
+}
+
+// Create collects a new record.
+func (c *RemoteClient) Create(ctx context.Context, req api.CreateRequest) (api.CreateResponse, error) {
+	return call[api.CreateResponse](c, ctx, OpCreate, req)
+}
+
+// ReadData reads a record's personal data by key.
+func (c *RemoteClient) ReadData(ctx context.Context, req api.ReadDataRequest) (api.ReadDataResponse, error) {
+	return call[api.ReadDataResponse](c, ctx, OpReadData, req)
+}
+
+// UpdateData overwrites a record's personal data.
+func (c *RemoteClient) UpdateData(ctx context.Context, req api.UpdateDataRequest) (api.UpdateDataResponse, error) {
+	return call[api.UpdateDataResponse](c, ctx, OpUpdateData, req)
+}
+
+// DeleteData erases one record.
+func (c *RemoteClient) DeleteData(ctx context.Context, req api.DeleteDataRequest) (api.DeleteDataResponse, error) {
+	return call[api.DeleteDataResponse](c, ctx, OpDeleteData, req)
+}
+
+// ReadMeta reads a record's compliance metadata.
+func (c *RemoteClient) ReadMeta(ctx context.Context, req api.ReadMetaRequest) (api.ReadMetaResponse, error) {
+	return call[api.ReadMetaResponse](c, ctx, OpReadMeta, req)
+}
+
+// UpdateMeta changes a record's metadata.
+func (c *RemoteClient) UpdateMeta(ctx context.Context, req api.UpdateMetaRequest) (api.UpdateMetaResponse, error) {
+	return call[api.UpdateMetaResponse](c, ctx, OpUpdateMeta, req)
+}
+
+// ReadByMeta scans for records collected for a purpose.
+func (c *RemoteClient) ReadByMeta(ctx context.Context, req api.ReadByMetaRequest) (api.ReadByMetaResponse, error) {
+	return call[api.ReadByMetaResponse](c, ctx, OpReadByMeta, req)
+}
+
+// SubjectAccess answers a subject-access request.
+func (c *RemoteClient) SubjectAccess(ctx context.Context, req api.SubjectAccessRequest) (api.SubjectAccessResponse, error) {
+	return call[api.SubjectAccessResponse](c, ctx, OpSubjectAccess, req)
+}
+
+// EraseSubject erases every record of a subject. When it returns
+// without error, no record of the subject is readable through any
+// connection to the deployment.
+func (c *RemoteClient) EraseSubject(ctx context.Context, req api.EraseSubjectRequest) (api.EraseSubjectResponse, error) {
+	return call[api.EraseSubjectResponse](c, ctx, OpEraseSubject, req)
+}
+
+// Revoke withdraws consent for one (purpose, entity) pair. When it
+// returns without error, no later request under the revoked pair is
+// allowed through any connection.
+func (c *RemoteClient) Revoke(ctx context.Context, req api.RevokeRequest) (api.RevokeResponse, error) {
+	return call[api.RevokeResponse](c, ctx, OpRevoke, req)
+}
+
+// Audit runs the deployment's compliance audit.
+func (c *RemoteClient) Audit(ctx context.Context, req api.AuditRequest) (api.AuditResponse, error) {
+	return call[api.AuditResponse](c, ctx, OpAudit, req)
+}
+
+// Close closes the connection.
+func (c *RemoteClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dropConnLocked()
+	return nil
+}
+
+// Compile-time conformance.
+var _ api.Client = (*RemoteClient)(nil)

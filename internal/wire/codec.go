@@ -1,0 +1,377 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/datacase/datacase/internal/api"
+	"github.com/datacase/datacase/internal/compliance"
+	"github.com/datacase/datacase/internal/core"
+	"github.com/datacase/datacase/internal/gdprbench"
+)
+
+// Message payload layouts, one per op. Field order is part of the
+// protocol; the routing token (the data subject for subject-scoped
+// ops, the record key for keyed ops) always comes first so a router
+// can peek it without decoding the rest.
+
+// ErrBadMessage: a payload did not decode as its op's message shape.
+var ErrBadMessage = errors.New("wire: malformed message")
+
+// enc appends length-prefixed fields to a buffer.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8) { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32) {
+	var w [4]byte
+	binary.BigEndian.PutUint32(w[:], v)
+	e.b = append(e.b, w[:]...)
+}
+func (e *enc) i64(v int64) {
+	var w [8]byte
+	binary.BigEndian.PutUint64(w[:], uint64(v))
+	e.b = append(e.b, w[:]...)
+}
+func (e *enc) bytes(v []byte) {
+	e.u32(uint32(len(v)))
+	e.b = append(e.b, v...)
+}
+func (e *enc) str(v string) { e.bytes([]byte(v)) }
+func (e *enc) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *enc) strs(v []string) {
+	e.u32(uint32(len(v)))
+	for _, s := range v {
+		e.str(s)
+	}
+}
+
+// dec consumes length-prefixed fields, validating every claimed
+// length against the bytes actually remaining (a corrupt length can
+// neither over-allocate nor wrap the bounds check).
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail() { d.err = ErrBadMessage }
+
+func (d *dec) u8() uint8 {
+	if d.err != nil || len(d.b) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil || len(d.b) < 4 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+
+func (d *dec) i64() int64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail()
+		return 0
+	}
+	v := int64(binary.BigEndian.Uint64(d.b))
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *dec) bytes() []byte {
+	n := d.u32()
+	if d.err != nil || uint32(len(d.b)) < n {
+		d.fail()
+		return nil
+	}
+	v := append([]byte(nil), d.b[:n]...)
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) str() string { return string(d.bytes()) }
+
+func (d *dec) bool() bool { return d.u8() != 0 }
+
+func (d *dec) strs() []string {
+	n := d.u32()
+	// Each element costs at least its 4-byte length prefix: a count
+	// the remaining bytes cannot carry is corrupt, not a big alloc.
+	if d.err != nil || uint32(len(d.b))/4 < n {
+		d.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		out = append(out, d.str())
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
+}
+
+// fin fails the decode if anything went wrong or bytes trail the
+// message.
+func (d *dec) fin() error {
+	if d.err == nil && len(d.b) != 0 {
+		d.fail()
+	}
+	return d.err
+}
+
+// appendMeta / readMeta carry a compliance.Metadata block.
+func (e *enc) meta(m compliance.Metadata) {
+	e.str(m.Subject)
+	e.strs(m.Purposes)
+	e.i64(m.TTL)
+	e.strs(m.Processors)
+	e.bool(m.Objected)
+	e.i64(m.CreatedAt)
+	e.strs(m.Consented)
+	e.i64(m.BaseTTL)
+}
+
+func (d *dec) meta() compliance.Metadata {
+	return compliance.Metadata{
+		Subject:    d.str(),
+		Purposes:   d.strs(),
+		TTL:        d.i64(),
+		Processors: d.strs(),
+		Objected:   d.bool(),
+		CreatedAt:  d.i64(),
+		Consented:  d.strs(),
+		BaseTTL:    d.i64(),
+	}
+}
+
+// MarshalRequest encodes a typed request for its op.
+func MarshalRequest(op Op, req any) ([]byte, error) {
+	var e enc
+	switch op {
+	case OpCreate:
+		r := req.(api.CreateRequest)
+		e.str(r.Record.Subject)
+		e.str(r.Record.Key)
+		e.bytes(r.Record.Payload)
+		e.strs(r.Record.Purposes)
+		e.i64(r.Record.TTL)
+		e.strs(r.Record.Processors)
+		e.bool(r.Record.Objected)
+	case OpReadData:
+		r := req.(api.ReadDataRequest)
+		e.str(r.Key)
+		e.str(string(r.Entity))
+		e.str(string(r.Purpose))
+	case OpUpdateData:
+		r := req.(api.UpdateDataRequest)
+		e.str(r.Key)
+		e.str(string(r.Entity))
+		e.str(string(r.Purpose))
+		e.bytes(r.Payload)
+	case OpDeleteData:
+		r := req.(api.DeleteDataRequest)
+		e.str(r.Key)
+		e.str(string(r.Entity))
+	case OpReadMeta:
+		r := req.(api.ReadMetaRequest)
+		e.str(r.Key)
+		e.str(string(r.Entity))
+		e.str(string(r.Purpose))
+	case OpUpdateMeta:
+		r := req.(api.UpdateMetaRequest)
+		e.str(r.Key)
+		e.str(string(r.Entity))
+		e.str(string(r.Purpose))
+		e.str(r.NewPurpose)
+		e.i64(r.NewTTL)
+	case OpReadByMeta:
+		r := req.(api.ReadByMetaRequest)
+		e.str(string(r.Entity))
+		e.str(string(r.Purpose))
+		e.str(r.MetaPurpose)
+		e.u32(uint32(r.Limit))
+	case OpSubjectAccess:
+		r := req.(api.SubjectAccessRequest)
+		e.str(r.Subject)
+	case OpEraseSubject:
+		r := req.(api.EraseSubjectRequest)
+		e.str(r.Subject)
+		e.str(string(r.Entity))
+	case OpRevoke:
+		r := req.(api.RevokeRequest)
+		e.str(r.Key)
+		e.str(string(r.Purpose))
+		e.str(string(r.Entity))
+	case OpAudit:
+		_ = req.(api.AuditRequest)
+	default:
+		return nil, fmt.Errorf("%w: marshal request op %d", ErrBadOp, op)
+	}
+	return e.b, nil
+}
+
+// UnmarshalRequest decodes an op's request payload into its typed
+// struct.
+func UnmarshalRequest(op Op, payload []byte) (any, error) {
+	d := &dec{b: payload}
+	var req any
+	switch op {
+	case OpCreate:
+		req = api.CreateRequest{Record: gdprbench.Record{
+			Subject:    d.str(),
+			Key:        d.str(),
+			Payload:    d.bytes(),
+			Purposes:   d.strs(),
+			TTL:        d.i64(),
+			Processors: d.strs(),
+			Objected:   d.bool(),
+		}}
+	case OpReadData:
+		req = api.ReadDataRequest{
+			Key: d.str(), Entity: core.EntityID(d.str()), Purpose: core.Purpose(d.str()),
+		}
+	case OpUpdateData:
+		req = api.UpdateDataRequest{
+			Key: d.str(), Entity: core.EntityID(d.str()), Purpose: core.Purpose(d.str()),
+			Payload: d.bytes(),
+		}
+	case OpDeleteData:
+		req = api.DeleteDataRequest{Key: d.str(), Entity: core.EntityID(d.str())}
+	case OpReadMeta:
+		req = api.ReadMetaRequest{
+			Key: d.str(), Entity: core.EntityID(d.str()), Purpose: core.Purpose(d.str()),
+		}
+	case OpUpdateMeta:
+		req = api.UpdateMetaRequest{
+			Key: d.str(), Entity: core.EntityID(d.str()), Purpose: core.Purpose(d.str()),
+			NewPurpose: d.str(), NewTTL: d.i64(),
+		}
+	case OpReadByMeta:
+		req = api.ReadByMetaRequest{
+			Entity: core.EntityID(d.str()), Purpose: core.Purpose(d.str()),
+			MetaPurpose: d.str(), Limit: int(d.u32()),
+		}
+	case OpSubjectAccess:
+		req = api.SubjectAccessRequest{Subject: d.str()}
+	case OpEraseSubject:
+		req = api.EraseSubjectRequest{Subject: d.str(), Entity: core.EntityID(d.str())}
+	case OpRevoke:
+		req = api.RevokeRequest{
+			Key: d.str(), Purpose: core.Purpose(d.str()), Entity: core.EntityID(d.str()),
+		}
+	case OpAudit:
+		req = api.AuditRequest{}
+	default:
+		return nil, fmt.Errorf("%w: unmarshal request op %d", ErrBadOp, op)
+	}
+	if err := d.fin(); err != nil {
+		return nil, fmt.Errorf("%w: %s request", err, op)
+	}
+	return req, nil
+}
+
+// MarshalResponse encodes a typed response for its op.
+func MarshalResponse(op Op, resp any) ([]byte, error) {
+	var e enc
+	switch op {
+	case OpCreate, OpUpdateData, OpDeleteData, OpUpdateMeta, OpRevoke:
+		// Bare acknowledgements carry no body.
+	case OpReadData:
+		e.bytes(resp.(api.ReadDataResponse).Payload)
+	case OpReadMeta:
+		e.meta(resp.(api.ReadMetaResponse).Meta)
+	case OpReadByMeta:
+		e.u32(uint32(resp.(api.ReadByMetaResponse).Matched))
+	case OpSubjectAccess:
+		r := resp.(api.SubjectAccessResponse)
+		e.u32(uint32(len(r.Records)))
+		for _, rec := range r.Records {
+			e.str(rec.Key)
+			e.meta(rec.Meta)
+			e.bytes(rec.Payload)
+		}
+	case OpEraseSubject:
+		e.u32(uint32(resp.(api.EraseSubjectResponse).Erased))
+	case OpAudit:
+		r := resp.(api.AuditResponse)
+		e.str(r.Profile)
+		e.i64(r.Now)
+		e.strs(r.Checked)
+		e.strs(r.Violations)
+	default:
+		return nil, fmt.Errorf("%w: marshal response op %d", ErrBadOp, op)
+	}
+	return e.b, nil
+}
+
+// UnmarshalResponse decodes an op's response payload into its typed
+// struct.
+func UnmarshalResponse(op Op, payload []byte) (any, error) {
+	d := &dec{b: payload}
+	var resp any
+	switch op {
+	case OpCreate:
+		resp = api.CreateResponse{}
+	case OpUpdateData:
+		resp = api.UpdateDataResponse{}
+	case OpDeleteData:
+		resp = api.DeleteDataResponse{}
+	case OpUpdateMeta:
+		resp = api.UpdateMetaResponse{}
+	case OpRevoke:
+		resp = api.RevokeResponse{}
+	case OpReadData:
+		resp = api.ReadDataResponse{Payload: d.bytes()}
+	case OpReadMeta:
+		resp = api.ReadMetaResponse{Meta: d.meta()}
+	case OpReadByMeta:
+		resp = api.ReadByMetaResponse{Matched: int(d.u32())}
+	case OpSubjectAccess:
+		n := d.u32()
+		// A record is at least key+meta+payload prefixes; cap the
+		// preallocation by what the bytes can carry.
+		if d.err == nil && uint32(len(d.b))/4 < n {
+			d.fail()
+		}
+		var recs []compliance.SubjectRecord
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			recs = append(recs, compliance.SubjectRecord{
+				Key: d.str(), Meta: d.meta(), Payload: d.bytes(),
+			})
+		}
+		resp = api.SubjectAccessResponse{Records: recs}
+	case OpEraseSubject:
+		resp = api.EraseSubjectResponse{Erased: int(d.u32())}
+	case OpAudit:
+		resp = api.AuditResponse{
+			Profile:    d.str(),
+			Now:        d.i64(),
+			Checked:    d.strs(),
+			Violations: d.strs(),
+		}
+	default:
+		return nil, fmt.Errorf("%w: unmarshal response op %d", ErrBadOp, op)
+	}
+	if err := d.fin(); err != nil {
+		return nil, fmt.Errorf("%w: %s response", err, op)
+	}
+	return resp, nil
+}

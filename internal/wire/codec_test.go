@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/datacase/datacase/internal/api"
+	"github.com/datacase/datacase/internal/compliance"
+	"github.com/datacase/datacase/internal/gdprbench"
+)
+
+// requestCases is one representative request per op, exercising every
+// field kind the codec carries.
+func requestCases() map[Op]any {
+	return map[Op]any{
+		OpCreate: api.CreateRequest{Record: gdprbench.Record{
+			Key: "user42", Subject: "alice", Payload: []byte("obs|alice"),
+			Purposes: []string{"billing", "analytics"}, TTL: 1 << 40,
+			Processors: []string{"processor-a"}, Objected: true,
+		}},
+		OpReadData:      api.ReadDataRequest{Key: "user42", Entity: "controller", Purpose: "service"},
+		OpUpdateData:    api.UpdateDataRequest{Key: "user42", Entity: "controller", Purpose: "service", Payload: []byte("new")},
+		OpDeleteData:    api.DeleteDataRequest{Key: "user42", Entity: "subject-svc"},
+		OpReadMeta:      api.ReadMetaRequest{Key: "user42", Entity: "controller", Purpose: "service"},
+		OpUpdateMeta:    api.UpdateMetaRequest{Key: "user42", Entity: "controller", Purpose: "service", NewPurpose: "research", NewTTL: -7},
+		OpReadByMeta:    api.ReadByMetaRequest{Entity: "processor", Purpose: "processing", MetaPurpose: "billing", Limit: 16},
+		OpSubjectAccess: api.SubjectAccessRequest{Subject: "alice"},
+		OpEraseSubject:  api.EraseSubjectRequest{Subject: "alice", Entity: "subject-svc"},
+		OpRevoke:        api.RevokeRequest{Key: "user42", Purpose: "billing", Entity: "acme"},
+		OpAudit:         api.AuditRequest{},
+	}
+}
+
+// responseCases is one representative response per op.
+func responseCases() map[Op]any {
+	meta := compliance.Metadata{
+		Subject: "alice", Purposes: []string{"billing"}, TTL: 100,
+		Processors: []string{"processor-a", "processor-b"}, Objected: true,
+		CreatedAt: 7, Consented: []string{"research"}, BaseTTL: 90,
+	}
+	return map[Op]any{
+		OpCreate:     api.CreateResponse{},
+		OpReadData:   api.ReadDataResponse{Payload: []byte("obs|alice")},
+		OpUpdateData: api.UpdateDataResponse{},
+		OpDeleteData: api.DeleteDataResponse{},
+		OpReadMeta:   api.ReadMetaResponse{Meta: meta},
+		OpUpdateMeta: api.UpdateMetaResponse{},
+		OpReadByMeta: api.ReadByMetaResponse{Matched: 9},
+		OpSubjectAccess: api.SubjectAccessResponse{Records: []compliance.SubjectRecord{
+			{Key: "user42", Meta: meta, Payload: []byte("obs|alice")},
+			{Key: "user43", Meta: compliance.Metadata{Subject: "alice"}, Payload: nil},
+		}},
+		OpEraseSubject: api.EraseSubjectResponse{Erased: 3},
+		OpRevoke:       api.RevokeResponse{},
+		OpAudit: api.AuditResponse{
+			Profile: "P_BASE", Now: 99, Checked: []string{"G6", "G17"},
+			Violations: []string{"G6 unit=user42: unlawful"},
+		},
+	}
+}
+
+func TestRequestCodecRoundTrip(t *testing.T) {
+	for op, req := range requestCases() {
+		payload, err := MarshalRequest(op, req)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", op, err)
+		}
+		got, err := UnmarshalRequest(op, payload)
+		if err != nil {
+			t.Fatalf("%s: unmarshal: %v", op, err)
+		}
+		if !reflect.DeepEqual(got, req) {
+			t.Fatalf("%s: round trip:\n got %+v\nwant %+v", op, got, req)
+		}
+	}
+}
+
+func TestResponseCodecRoundTrip(t *testing.T) {
+	for op, resp := range responseCases() {
+		payload, err := MarshalResponse(op, resp)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", op, err)
+		}
+		got, err := UnmarshalResponse(op, payload)
+		if err != nil {
+			t.Fatalf("%s: unmarshal: %v", op, err)
+		}
+		if !reflect.DeepEqual(got, resp) {
+			t.Fatalf("%s: round trip:\n got %+v\nwant %+v", op, got, resp)
+		}
+	}
+}
+
+func TestRequestRoutingTokenComesFirst(t *testing.T) {
+	// The protocol promise a router relies on: the first field of every
+	// subject-scoped request is the subject, of every keyed request the
+	// key. Decode just the first string and compare.
+	first := func(payload []byte) string {
+		d := &dec{b: payload}
+		return d.str()
+	}
+	cases := requestCases()
+	for op, want := range map[Op]string{
+		OpCreate: "alice", OpSubjectAccess: "alice", OpEraseSubject: "alice",
+		OpReadData: "user42", OpUpdateData: "user42", OpDeleteData: "user42",
+		OpReadMeta: "user42", OpUpdateMeta: "user42", OpRevoke: "user42",
+	} {
+		payload, err := MarshalRequest(op, cases[op])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := first(payload); got != want {
+			t.Fatalf("%s: leading token = %q, want %q", op, got, want)
+		}
+	}
+}
+
+func TestCodecRejectsCorruptLengths(t *testing.T) {
+	payload, err := MarshalRequest(OpReadData, requestCases()[OpReadData].(api.ReadDataRequest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claim the first string is far longer than the message.
+	corrupt := append([]byte(nil), payload...)
+	corrupt[0], corrupt[1], corrupt[2], corrupt[3] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := UnmarshalRequest(OpReadData, corrupt); err == nil {
+		t.Fatal("corrupt length decoded")
+	}
+	// Trailing garbage is rejected too.
+	if _, err := UnmarshalRequest(OpReadData, append(payload, 0x00)); err == nil {
+		t.Fatal("trailing bytes decoded")
+	}
+	// A string-count field claiming 2^32-1 elements must fail on the
+	// remaining-bytes check, not allocate.
+	var e enc
+	e.str("alice")
+	e.str("user42")
+	e.bytes(nil)
+	e.u32(0xFFFFFFFF) // purposes count
+	if _, err := UnmarshalRequest(OpCreate, e.b); err == nil {
+		t.Fatal("huge element count decoded")
+	}
+}
+
+func TestErrorPayloadRoundTrip(t *testing.T) {
+	buf := appendErrorPayload(nil, CodeDenied, "compliance: access denied: no policy")
+	code, msg, err := parseErrorPayload(buf)
+	if err != nil || code != CodeDenied || msg != "compliance: access denied: no policy" {
+		t.Fatalf("round trip: code=%d msg=%q err=%v", code, msg, err)
+	}
+	if _, _, err := parseErrorPayload(buf[:3]); err == nil {
+		t.Fatal("torn error payload decoded")
+	}
+}

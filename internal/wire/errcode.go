@@ -1,0 +1,121 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/datacase/datacase/internal/compliance"
+)
+
+// ErrCode is a stable wire error code. Like op codes, error codes are
+// part of the protocol: never renumber, only append. The engine's
+// sentinels round-trip — a remote caller's errors.Is against
+// compliance.ErrDenied/ErrNotFound/ErrExists (and context.Canceled /
+// context.DeadlineExceeded) holds exactly when it would have held
+// in-process — and a code this build does not know degrades to a
+// descriptive opaque error that matches no sentinel, never to a
+// misclassification.
+type ErrCode uint16
+
+// The error codes.
+const (
+	CodeDenied      ErrCode = 1
+	CodeNotFound    ErrCode = 2
+	CodeExists      ErrCode = 3
+	CodeBadRequest  ErrCode = 4
+	CodeInternal    ErrCode = 5
+	CodeUnavailable ErrCode = 6
+	CodeCancelled   ErrCode = 7
+	CodeDeadline    ErrCode = 8
+)
+
+// ErrUnavailable: the server is draining and admitted no new request.
+var ErrUnavailable = errors.New("wire: server unavailable (draining)")
+
+// codeSentinels maps each known code to the sentinel a decoded error
+// must match under errors.Is.
+var codeSentinels = map[ErrCode]error{
+	CodeDenied:      compliance.ErrDenied,
+	CodeNotFound:    compliance.ErrNotFound,
+	CodeExists:      compliance.ErrExists,
+	CodeBadRequest:  ErrBadMessage,
+	CodeUnavailable: ErrUnavailable,
+	CodeCancelled:   context.Canceled,
+	CodeDeadline:    context.DeadlineExceeded,
+}
+
+// EncodeError maps a handler error to its wire code. Unclassified
+// errors ship as CodeInternal; the message travels either way.
+func EncodeError(err error) (ErrCode, string) {
+	switch {
+	case errors.Is(err, compliance.ErrDenied):
+		return CodeDenied, err.Error()
+	case errors.Is(err, compliance.ErrNotFound):
+		return CodeNotFound, err.Error()
+	case errors.Is(err, compliance.ErrExists):
+		return CodeExists, err.Error()
+	case errors.Is(err, ErrBadMessage):
+		return CodeBadRequest, err.Error()
+	case errors.Is(err, ErrUnavailable):
+		return CodeUnavailable, err.Error()
+	case errors.Is(err, context.Canceled):
+		return CodeCancelled, err.Error()
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeDeadline, err.Error()
+	default:
+		return CodeInternal, err.Error()
+	}
+}
+
+// remoteError is an error reconstructed from a wire code: it prints
+// the server's message and unwraps to the code's sentinel, so
+// errors.Is behaves as if the error had never left the process. An
+// unknown code leaves sentinel nil — descriptive, matching nothing.
+type remoteError struct {
+	code     ErrCode
+	sentinel error
+	msg      string
+}
+
+func (e *remoteError) Error() string {
+	if e.sentinel == nil {
+		return fmt.Sprintf("wire: remote error with unknown code %d: %s", e.code, e.msg)
+	}
+	return e.msg
+}
+
+func (e *remoteError) Unwrap() error { return e.sentinel }
+
+// Code exposes the wire code (for tests and metrics).
+func (e *remoteError) Code() ErrCode { return e.code }
+
+// DecodeError reconstructs an error from its wire code and message.
+func DecodeError(code ErrCode, msg string) error {
+	if code == CodeInternal {
+		// Internal errors have no sentinel by design: the caller can
+		// only report them.
+		return fmt.Errorf("wire: remote internal error: %s", msg)
+	}
+	return &remoteError{code: code, sentinel: codeSentinels[code], msg: msg}
+}
+
+// appendErrorPayload encodes an error-response body.
+func appendErrorPayload(dst []byte, code ErrCode, msg string) []byte {
+	var e enc
+	e.b = dst
+	e.u32(uint32(code))
+	e.str(msg)
+	return e.b
+}
+
+// parseErrorPayload decodes an error-response body.
+func parseErrorPayload(payload []byte) (ErrCode, string, error) {
+	d := &dec{b: payload}
+	code := ErrCode(d.u32())
+	msg := d.str()
+	if err := d.fin(); err != nil {
+		return 0, "", fmt.Errorf("%w: error payload", err)
+	}
+	return code, msg, nil
+}

@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/datacase/datacase/internal/compliance"
+)
+
+func TestErrorCodeSentinelRoundTrip(t *testing.T) {
+	cases := []struct {
+		err      error
+		code     ErrCode
+		sentinel error
+	}{
+		{fmt.Errorf("%w: no policy for pair", compliance.ErrDenied), CodeDenied, compliance.ErrDenied},
+		{fmt.Errorf("%w: user42", compliance.ErrNotFound), CodeNotFound, compliance.ErrNotFound},
+		{fmt.Errorf("%w: user42", compliance.ErrExists), CodeExists, compliance.ErrExists},
+		{fmt.Errorf("%w: create request", ErrBadMessage), CodeBadRequest, ErrBadMessage},
+		{ErrUnavailable, CodeUnavailable, ErrUnavailable},
+		{context.Canceled, CodeCancelled, context.Canceled},
+		{context.DeadlineExceeded, CodeDeadline, context.DeadlineExceeded},
+	}
+	for _, c := range cases {
+		code, msg := EncodeError(c.err)
+		if code != c.code {
+			t.Fatalf("%v: code = %d, want %d", c.err, code, c.code)
+		}
+		if msg != c.err.Error() {
+			t.Fatalf("%v: msg = %q", c.err, msg)
+		}
+		back := DecodeError(code, msg)
+		if !errors.Is(back, c.sentinel) {
+			t.Fatalf("decoded %v does not match sentinel %v", back, c.sentinel)
+		}
+		if back.Error() != c.err.Error() {
+			t.Fatalf("decoded message %q != original %q", back.Error(), c.err.Error())
+		}
+		// A sentinel must not leak into its neighbors: ErrDenied over the
+		// wire is denied, never not-found.
+		for _, other := range cases {
+			if other.code != c.code && errors.Is(back, other.sentinel) {
+				t.Fatalf("code %d decoded error also matches %v", c.code, other.sentinel)
+			}
+		}
+	}
+}
+
+func TestErrorCodeInternalHasNoSentinel(t *testing.T) {
+	code, msg := EncodeError(errors.New("disk on fire"))
+	if code != CodeInternal {
+		t.Fatalf("code = %d", code)
+	}
+	back := DecodeError(code, msg)
+	for _, sentinel := range []error{
+		compliance.ErrDenied, compliance.ErrNotFound, compliance.ErrExists,
+		ErrBadMessage, ErrUnavailable, context.Canceled, context.DeadlineExceeded,
+	} {
+		if errors.Is(back, sentinel) {
+			t.Fatalf("internal error matches %v", sentinel)
+		}
+	}
+	if !strings.Contains(back.Error(), "disk on fire") {
+		t.Fatalf("message lost: %q", back.Error())
+	}
+}
+
+func TestErrorCodeUnknownDegradesToOpaque(t *testing.T) {
+	// A code from a future protocol revision: descriptive, matches no
+	// sentinel this build knows, and names the code so an operator can
+	// tell what happened.
+	back := DecodeError(ErrCode(9999), "future condition")
+	for _, sentinel := range []error{
+		compliance.ErrDenied, compliance.ErrNotFound, compliance.ErrExists,
+		ErrBadMessage, ErrUnavailable, context.Canceled, context.DeadlineExceeded,
+	} {
+		if errors.Is(back, sentinel) {
+			t.Fatalf("unknown code matches %v", sentinel)
+		}
+	}
+	if !strings.Contains(back.Error(), "9999") || !strings.Contains(back.Error(), "future condition") {
+		t.Fatalf("opaque error not descriptive: %q", back.Error())
+	}
+	var re *remoteError
+	if !errors.As(back, &re) || re.Code() != 9999 {
+		t.Fatalf("code not exposed: %v", back)
+	}
+}

@@ -1,0 +1,169 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame is one protocol message, request or response.
+type Frame struct {
+	Op    Op
+	Flags uint8
+	// ID is the request id; responses echo it verbatim.
+	ID uint64
+	// DeadlineMicros is the caller's remaining deadline budget in
+	// microseconds (0 = none). Meaningful on requests only; the server
+	// derives the handler's context deadline from it.
+	DeadlineMicros uint32
+	Payload        []byte
+}
+
+// Frame flags.
+const (
+	// FlagResponse marks a response frame.
+	FlagResponse = 1 << 0
+	// FlagError marks an error response; the payload is
+	// [code u16][msg len u32][msg].
+	FlagError = 1 << 1
+)
+
+// frameMagic is "DCW1": protocol identity and version in one word.
+const frameMagic = 0x44435731
+
+// headerSize is the fixed prefix before the payload; trailerSize the
+// CRC after it.
+const (
+	headerSize  = 22
+	trailerSize = 4
+)
+
+// Frame decoding errors.
+var (
+	// ErrBadMagic: the stream does not speak this protocol (or this
+	// version of it).
+	ErrBadMagic = errors.New("wire: bad frame magic")
+	// ErrBadOp: the op code is not a known operation.
+	ErrBadOp = errors.New("wire: unknown op code")
+	// ErrFrameTooLarge: the claimed payload exceeds MaxPayload. The
+	// claimed bytes are never allocated.
+	ErrFrameTooLarge = errors.New("wire: frame payload exceeds limit")
+	// ErrChecksum: the CRC over header+payload does not hold.
+	ErrChecksum = errors.New("wire: frame checksum mismatch")
+	// ErrTornFrame: the stream ended mid-frame (short header, short
+	// payload or short trailer). Wraps io.ErrUnexpectedEOF.
+	ErrTornFrame = fmt.Errorf("wire: torn frame: %w", io.ErrUnexpectedEOF)
+)
+
+// AppendFrame appends the encoded frame (header, payload, CRC) to dst.
+func AppendFrame(dst []byte, f Frame) []byte {
+	start := len(dst)
+	var hdr [headerSize]byte
+	binary.BigEndian.PutUint32(hdr[0:4], frameMagic)
+	hdr[4] = byte(f.Op)
+	hdr[5] = f.Flags
+	binary.BigEndian.PutUint64(hdr[6:14], f.ID)
+	binary.BigEndian.PutUint32(hdr[14:18], f.DeadlineMicros)
+	binary.BigEndian.PutUint32(hdr[18:22], uint32(len(f.Payload)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, f.Payload...)
+	crc := crc32.ChecksumIEEE(dst[start:])
+	var tr [trailerSize]byte
+	binary.BigEndian.PutUint32(tr[:], crc)
+	return append(dst, tr[:]...)
+}
+
+// WriteFrame writes one encoded frame to w.
+func WriteFrame(w io.Writer, f Frame) error {
+	buf := AppendFrame(make([]byte, 0, headerSize+len(f.Payload)+trailerSize), f)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads and validates one frame from r. The payload buffer
+// is freshly allocated and owned by the caller. Allocation is bounded
+// by MaxPayload regardless of what the header claims.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF // clean close between frames
+		}
+		return Frame{}, readErr(err)
+	}
+	f, n, err := parseHeader(hdr[:])
+	if err != nil {
+		return Frame{}, err
+	}
+	body := make([]byte, n+trailerSize)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Frame{}, readErr(err)
+	}
+	crc := crc32.ChecksumIEEE(hdr[:])
+	crc = crc32.Update(crc, crc32.IEEETable, body[:n])
+	if crc != binary.BigEndian.Uint32(body[n:]) {
+		return Frame{}, ErrChecksum
+	}
+	f.Payload = body[:n:n]
+	return f, nil
+}
+
+// DecodeFrame decodes one frame from the front of buf, returning the
+// frame and how many bytes it consumed. A buffer ending mid-frame
+// yields ErrTornFrame; nothing beyond the frame is touched. (This is
+// the path the fuzz target drives; ReadFrame shares parseHeader and
+// the CRC walk.)
+func DecodeFrame(buf []byte) (Frame, int, error) {
+	if len(buf) < headerSize {
+		return Frame{}, 0, ErrTornFrame
+	}
+	f, n, err := parseHeader(buf[:headerSize])
+	if err != nil {
+		return Frame{}, 0, err
+	}
+	total := headerSize + n + trailerSize
+	if len(buf) < total {
+		return Frame{}, 0, ErrTornFrame
+	}
+	crc := crc32.ChecksumIEEE(buf[:headerSize+n])
+	if crc != binary.BigEndian.Uint32(buf[headerSize+n:total]) {
+		return Frame{}, 0, ErrChecksum
+	}
+	f.Payload = append([]byte(nil), buf[headerSize:headerSize+n]...)
+	return f, total, nil
+}
+
+// readErr classifies a mid-frame read failure: a stream that ended is
+// a torn frame; any other failure (an i/o timeout, a reset) keeps its
+// own identity so the caller can tell a peer crash from its own
+// expiring deadline.
+func readErr(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return ErrTornFrame
+	}
+	return fmt.Errorf("wire: read frame: %w", err)
+}
+
+// parseHeader validates the fixed header and returns the frame shell
+// plus the payload length. It never allocates.
+func parseHeader(hdr []byte) (Frame, int, error) {
+	if binary.BigEndian.Uint32(hdr[0:4]) != frameMagic {
+		return Frame{}, 0, ErrBadMagic
+	}
+	f := Frame{
+		Op:             Op(hdr[4]),
+		Flags:          hdr[5],
+		ID:             binary.BigEndian.Uint64(hdr[6:14]),
+		DeadlineMicros: binary.BigEndian.Uint32(hdr[14:18]),
+	}
+	if !f.Op.valid() {
+		return Frame{}, 0, fmt.Errorf("%w: %d", ErrBadOp, hdr[4])
+	}
+	n := binary.BigEndian.Uint32(hdr[18:22])
+	if n > MaxPayload {
+		return Frame{}, 0, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	return f, int(n), nil
+}

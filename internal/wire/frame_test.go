@@ -1,0 +1,125 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	in := Frame{
+		Op: OpReadData, Flags: FlagResponse, ID: 42,
+		DeadlineMicros: 1500, Payload: []byte("hello"),
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Op != in.Op || out.Flags != in.Flags || out.ID != in.ID ||
+		out.DeadlineMicros != in.DeadlineMicros || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+	// And the buffer-oriented decoder agrees.
+	raw := AppendFrame(nil, in)
+	dec, n, err := DecodeFrame(raw)
+	if err != nil || n != len(raw) {
+		t.Fatalf("DecodeFrame: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(dec.Payload, in.Payload) {
+		t.Fatal("DecodeFrame payload mismatch")
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	raw := AppendFrame(nil, Frame{Op: OpAudit, ID: 1})
+	f, n, err := DecodeFrame(raw)
+	if err != nil || n != len(raw) || len(f.Payload) != 0 {
+		t.Fatalf("empty payload: f=%+v n=%d err=%v", f, n, err)
+	}
+}
+
+func TestFrameBadMagic(t *testing.T) {
+	raw := AppendFrame(nil, Frame{Op: OpCreate, ID: 1})
+	raw[0] ^= 0xFF
+	if _, _, err := DecodeFrame(raw); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFrameBadOp(t *testing.T) {
+	raw := AppendFrame(nil, Frame{Op: OpCreate, ID: 1})
+	raw[4] = 0xEE
+	if _, _, err := DecodeFrame(raw); !errors.Is(err, ErrBadOp) {
+		t.Fatalf("err = %v", err)
+	}
+	raw[4] = 0 // zero is not a valid op either
+	if _, _, err := DecodeFrame(raw); !errors.Is(err, ErrBadOp) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFrameOversizeLengthRejectedWithoutAllocating(t *testing.T) {
+	raw := AppendFrame(nil, Frame{Op: OpCreate, ID: 1})
+	binary.BigEndian.PutUint32(raw[18:22], MaxPayload+1)
+	if _, _, err := DecodeFrame(raw); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+	// The reader path must reject from the header alone, before trying
+	// to read (or allocate) the claimed 4 GiB.
+	binary.BigEndian.PutUint32(raw[18:22], 0xFFFFFFFF)
+	if _, err := ReadFrame(bytes.NewReader(raw)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFrameChecksumMismatch(t *testing.T) {
+	raw := AppendFrame(nil, Frame{Op: OpCreate, ID: 1, Payload: []byte("abc")})
+	raw[headerSize] ^= 0x01 // flip a payload bit
+	if _, _, err := DecodeFrame(raw); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(raw)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFrameTornAtEveryBoundary(t *testing.T) {
+	raw := AppendFrame(nil, Frame{Op: OpUpdateData, ID: 7, Payload: []byte("payload-bytes")})
+	for cut := 1; cut < len(raw); cut++ {
+		if _, _, err := DecodeFrame(raw[:cut]); !errors.Is(err, ErrTornFrame) {
+			t.Fatalf("cut %d: err = %v", cut, err)
+		}
+		_, err := ReadFrame(bytes.NewReader(raw[:cut]))
+		if !errors.Is(err, ErrTornFrame) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut %d: reader err = %v", cut, err)
+		}
+	}
+	// A fully empty stream is a clean EOF, not a torn frame.
+	if _, err := ReadFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("empty stream: %v", err)
+	}
+}
+
+func TestFrameBackToBackOnOneStream(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 5; i++ {
+		if err := WriteFrame(&buf, Frame{Op: OpReadData, ID: uint64(i), Payload: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		f, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.ID != uint64(i) || f.Payload[0] != byte(i) {
+			t.Fatalf("frame %d: %+v", i, f)
+		}
+	}
+}

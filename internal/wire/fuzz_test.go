@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzWireDecode drives the full inbound parsing surface with
+// arbitrary bytes: frame decoding (both the buffer and the reader
+// path), message decoding for whichever op the frame claims, and
+// error-payload parsing. The properties: no panic ever; allocation
+// bounded by the input (a corrupt length field must be rejected, not
+// believed); a truncated frame is reported torn; and the two frame
+// decoders agree on what parses.
+func FuzzWireDecode(f *testing.F) {
+	// Seed with every op's real request and response framing, plus an
+	// error response and targeted corruptions of a valid frame.
+	for op, req := range requestCases() {
+		payload, err := MarshalRequest(op, req)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(AppendFrame(nil, Frame{Op: op, ID: 1, DeadlineMicros: 500, Payload: payload}))
+	}
+	for op, resp := range responseCases() {
+		payload, err := MarshalResponse(op, resp)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(AppendFrame(nil, Frame{Op: op, ID: 2, Flags: FlagResponse, Payload: payload}))
+	}
+	f.Add(AppendFrame(nil, Frame{
+		Op: OpReadData, ID: 3, Flags: FlagResponse | FlagError,
+		Payload: appendErrorPayload(nil, CodeDenied, "denied"),
+	}))
+	valid := AppendFrame(nil, Frame{Op: OpCreate, ID: 4, Payload: []byte("x")})
+	f.Add(valid[:len(valid)-3])           // torn trailer
+	f.Add(valid[:headerSize-1])           // torn header
+	huge := append([]byte(nil), valid...) // oversize length claim
+	binary.BigEndian.PutUint32(huge[18:22], 0xFFFFFFF0)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := DecodeFrame(data)
+		if err == nil {
+			if n <= 0 || n > len(data) {
+				t.Fatalf("consumed %d of %d bytes", n, len(data))
+			}
+			if len(fr.Payload) > len(data) {
+				t.Fatalf("payload %d bytes from %d input bytes", len(fr.Payload), len(data))
+			}
+			// Whatever framed cleanly must decode (or cleanly refuse to
+			// decode) as every message shape without panicking.
+			if _, uerr := UnmarshalRequest(fr.Op, fr.Payload); uerr != nil &&
+				!errors.Is(uerr, ErrBadMessage) && !errors.Is(uerr, ErrBadOp) {
+				t.Fatalf("unmarshal request: %v", uerr)
+			}
+			if _, uerr := UnmarshalResponse(fr.Op, fr.Payload); uerr != nil &&
+				!errors.Is(uerr, ErrBadMessage) && !errors.Is(uerr, ErrBadOp) {
+				t.Fatalf("unmarshal response: %v", uerr)
+			}
+			if code, msg, perr := parseErrorPayload(fr.Payload); perr == nil {
+				_ = DecodeError(code, msg).Error()
+			}
+		} else if len(data) < headerSize+trailerSize && !errors.Is(err, ErrBadMagic) &&
+			!errors.Is(err, ErrBadOp) && !errors.Is(err, ErrFrameTooLarge) {
+			// Too short to ever be a frame: must be reported torn, never
+			// anything scarier.
+			if !errors.Is(err, ErrTornFrame) {
+				t.Fatalf("short input: %v", err)
+			}
+		}
+
+		// The streaming decoder agrees with the buffer decoder on
+		// whether the prefix parses (modulo its torn/EOF spelling).
+		rf, rerr := ReadFrame(bytes.NewReader(data))
+		if (err == nil) != (rerr == nil) {
+			t.Fatalf("DecodeFrame err=%v, ReadFrame err=%v", err, rerr)
+		}
+		if err == nil {
+			if rf.Op != fr.Op || rf.ID != fr.ID || !bytes.Equal(rf.Payload, fr.Payload) {
+				t.Fatalf("decoders disagree: %+v vs %+v", rf, fr)
+			}
+		} else if rerr != io.EOF && !errors.Is(rerr, ErrTornFrame) &&
+			!errors.Is(rerr, ErrBadMagic) && !errors.Is(rerr, ErrBadOp) &&
+			!errors.Is(rerr, ErrFrameTooLarge) && !errors.Is(rerr, ErrChecksum) {
+			t.Fatalf("unexpected reader error: %v", rerr)
+		}
+	})
+}

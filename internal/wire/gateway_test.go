@@ -1,0 +1,287 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/datacase/datacase/internal/api"
+	"github.com/datacase/datacase/internal/compliance"
+)
+
+// cluster is a two-server deployment behind a gateway: the smallest
+// topology where subject routing matters.
+type cluster struct {
+	dbs   []*compliance.ShardedDB
+	addrs []string
+	gw    *Gateway
+	c     *RemoteClient
+}
+
+func startCluster(t *testing.T, backends int) *cluster {
+	t.Helper()
+	cl := &cluster{}
+	for i := 0; i < backends; i++ {
+		db, err := compliance.OpenSharded(serveProfile(), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServer(api.NewLocal(db))
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		cl.dbs = append(cl.dbs, db)
+		cl.addrs = append(cl.addrs, srv.Addr())
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+			db.Close()
+		})
+	}
+	gw, err := NewGateway(1, cl.addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		gw.Shutdown(ctx)
+	})
+	cl.gw = gw
+	c, err := Dial(gw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	cl.c = c
+	return cl
+}
+
+// homesOf returns how many of subject's records each backend holds.
+func (cl *cluster) homesOf(t *testing.T, subject string) []int {
+	t.Helper()
+	counts := make([]int, len(cl.dbs))
+	for i, db := range cl.dbs {
+		recs, err := db.SubjectAccess(subject)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[i] = len(recs)
+	}
+	return counts
+}
+
+func TestGatewaySubjectStickyPlacement(t *testing.T) {
+	cl := startCluster(t, 2)
+	ctx := context.Background()
+	subjects := 8
+	perSubject := 3
+	for s := 0; s < subjects; s++ {
+		for k := 0; k < perSubject; k++ {
+			rec := wireRecord(fmt.Sprintf("s%d-k%d", s, k), fmt.Sprintf("subject-%d", s))
+			if _, err := cl.c.Create(ctx, api.CreateRequest{Record: rec}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Every subject's records live together on exactly one backend.
+	for s := 0; s < subjects; s++ {
+		counts := cl.homesOf(t, fmt.Sprintf("subject-%d", s))
+		if counts[0]+counts[1] != perSubject || (counts[0] != 0 && counts[1] != 0) {
+			t.Fatalf("subject-%d split across backends: %v", s, counts)
+		}
+	}
+	// Every key is reachable through the gateway regardless of which
+	// backend holds it.
+	for s := 0; s < subjects; s++ {
+		for k := 0; k < perSubject; k++ {
+			read, err := cl.c.ReadData(ctx, api.ReadDataRequest{
+				Key: fmt.Sprintf("s%d-k%d", s, k), Entity: compliance.EntityController,
+				Purpose: compliance.PurposeService,
+			})
+			if err != nil {
+				t.Fatalf("s%d-k%d: %v", s, k, err)
+			}
+			if !bytes.Equal(read.Payload, []byte(fmt.Sprintf("obs|subject-%d", s))) {
+				t.Fatalf("s%d-k%d payload = %q", s, k, read.Payload)
+			}
+		}
+	}
+	// SubjectAccess through the gateway reaches the subject's home.
+	sar, err := cl.c.SubjectAccess(ctx, api.SubjectAccessRequest{Subject: "subject-0"})
+	if err != nil || len(sar.Records) != perSubject {
+		t.Fatalf("SAR = %d records, %v", len(sar.Records), err)
+	}
+}
+
+func TestGatewayEraseLeavesNoZombieAcrossTopologyFlip(t *testing.T) {
+	cl := startCluster(t, 2)
+	ctx := context.Background()
+	if _, err := cl.c.Create(ctx, api.CreateRequest{Record: wireRecord("k1", "alice")}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip the topology: new subjects hash over the reversed address
+	// list, but alice keeps her pinned home.
+	flipped, err := cl.gw.Router.UpdateTopology(2, []string{cl.addrs[1], cl.addrs[0]})
+	if err != nil || !flipped {
+		t.Fatalf("flip: %v %v", flipped, err)
+	}
+	if cl.gw.Router.Epoch() != 2 {
+		t.Fatalf("epoch = %d", cl.gw.Router.Epoch())
+	}
+	// A stale topology announcement (equal or older epoch) is ignored.
+	if flipped, _ := cl.gw.Router.UpdateTopology(2, cl.addrs); flipped {
+		t.Fatal("equal epoch flipped the topology")
+	}
+	if flipped, _ := cl.gw.Router.UpdateTopology(1, cl.addrs); flipped {
+		t.Fatal("older epoch flipped the topology")
+	}
+
+	// A post-flip record of the same subject follows the pin, not the
+	// new hash: both records stay on one backend.
+	if _, err := cl.c.Create(ctx, api.CreateRequest{Record: wireRecord("k2", "alice")}); err != nil {
+		t.Fatal(err)
+	}
+	counts := cl.homesOf(t, "alice")
+	if counts[0]+counts[1] != 2 || (counts[0] != 0 && counts[1] != 0) {
+		t.Fatalf("alice split across backends after flip: %v", counts)
+	}
+
+	// Erase through the gateway: acknowledged means zero readable
+	// records anywhere, through any path.
+	erased, err := cl.c.EraseSubject(ctx, api.EraseSubjectRequest{
+		Subject: "alice", Entity: compliance.EntitySystem,
+	})
+	if err != nil || erased.Erased != 2 {
+		t.Fatalf("erase = %+v, %v", erased, err)
+	}
+	for i := range cl.dbs {
+		if n := cl.homesOf(t, "alice")[i]; n != 0 {
+			t.Fatalf("backend %d still holds %d records of erased subject", i, n)
+		}
+	}
+	for _, key := range []string{"k1", "k2"} {
+		if _, err := cl.c.ReadData(ctx, api.ReadDataRequest{
+			Key: key, Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+		}); !errors.Is(err, compliance.ErrNotFound) {
+			t.Fatalf("%s readable after erase: %v", key, err)
+		}
+	}
+	sar, err := cl.c.SubjectAccess(ctx, api.SubjectAccessRequest{Subject: "alice"})
+	if err != nil || len(sar.Records) != 0 {
+		t.Fatalf("SAR after erase = %d records, %v", len(sar.Records), err)
+	}
+}
+
+func TestGatewayFreshRouterFindsExistingKeys(t *testing.T) {
+	cl := startCluster(t, 2)
+	ctx := context.Background()
+	for s := 0; s < 4; s++ {
+		rec := wireRecord(fmt.Sprintf("key-%d", s), fmt.Sprintf("subject-%d", s))
+		if _, err := cl.c.Create(ctx, api.CreateRequest{Record: rec}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A restarted gateway has an empty directory: keyed requests probe
+	// the backends and re-learn the pins.
+	gw2, err := NewGateway(1, cl.addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gw2.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		gw2.Shutdown(ctx)
+	}()
+	c2, err := Dial(gw2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	for s := 0; s < 4; s++ {
+		read, err := c2.ReadData(ctx, api.ReadDataRequest{
+			Key: fmt.Sprintf("key-%d", s), Entity: compliance.EntityController,
+			Purpose: compliance.PurposeService,
+		})
+		if err != nil {
+			t.Fatalf("key-%d through fresh gateway: %v", s, err)
+		}
+		if !bytes.Equal(read.Payload, []byte(fmt.Sprintf("obs|subject-%d", s))) {
+			t.Fatalf("key-%d payload = %q", s, read.Payload)
+		}
+	}
+	// An absent key is not-found after probing everywhere.
+	if _, err := c2.ReadData(ctx, api.ReadDataRequest{
+		Key: "ghost", Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+	}); !errors.Is(err, compliance.ErrNotFound) {
+		t.Fatalf("ghost: %v", err)
+	}
+
+	// Revoke through the fresh gateway holds on the next read — even a
+	// probed, just-learned placement enforces consent.
+	if _, err := c2.Revoke(ctx, api.RevokeRequest{
+		Key: "key-0", Purpose: compliance.PurposeService, Entity: compliance.EntityController,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.ReadData(ctx, api.ReadDataRequest{
+		Key: "key-0", Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+	}); !errors.Is(err, compliance.ErrDenied) {
+		t.Fatalf("read after revoke via fresh gateway: %v", err)
+	}
+	// And the original gateway (stale directory, same backends) denies
+	// too: the decision lives on the backend, not in a gateway cache.
+	if _, err := cl.c.ReadData(ctx, api.ReadDataRequest{
+		Key: "key-0", Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+	}); !errors.Is(err, compliance.ErrDenied) {
+		t.Fatalf("read after revoke via original gateway: %v", err)
+	}
+}
+
+func TestGatewayScanAndAuditFanOut(t *testing.T) {
+	cl := startCluster(t, 2)
+	ctx := context.Background()
+	total := 6
+	for s := 0; s < total; s++ {
+		rec := wireRecord(fmt.Sprintf("fan-%d", s), fmt.Sprintf("fans-%d", s))
+		if _, err := cl.c.Create(ctx, api.CreateRequest{Record: rec}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The purpose scan draws from one budget across both backends.
+	scan, err := cl.c.ReadByMeta(ctx, api.ReadByMetaRequest{
+		Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+		MetaPurpose: "billing", Limit: 100,
+	})
+	if err != nil || scan.Matched != total {
+		t.Fatalf("scan = %+v, %v", scan, err)
+	}
+	capped, err := cl.c.ReadByMeta(ctx, api.ReadByMetaRequest{
+		Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+		MetaPurpose: "billing", Limit: 2,
+	})
+	if err != nil || capped.Matched != 2 {
+		t.Fatalf("capped scan = %+v, %v", capped, err)
+	}
+	// The audit merges both backends' reports.
+	audit, err := cl.c.Audit(ctx, api.AuditRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if audit.Profile != "P_SYS" || len(audit.Checked) == 0 {
+		t.Fatalf("audit = %+v", audit)
+	}
+}

@@ -1,0 +1,244 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/datacase/datacase/internal/api"
+)
+
+// Server hosts any api.Client backend — the in-process adapter over a
+// compliance.ShardedDB, or a gateway Router — behind the wire
+// protocol: one goroutine per connection, requests on a connection
+// handled in order, and a graceful drain on shutdown (in-flight
+// requests finish; new ones are refused with CodeUnavailable). The
+// server does not own the backend: closing the backend after drain is
+// the host's job, so a deployment can outlive its listener.
+type Server struct {
+	backend api.Client
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	mu       sync.Mutex
+	lis      net.Listener
+	conns    map[net.Conn]struct{}
+	draining atomic.Bool
+	// inflight counts requests currently in a handler; drain waits for
+	// it to reach zero.
+	inflight sync.WaitGroup
+	// loops counts per-connection serve loops.
+	loops sync.WaitGroup
+}
+
+// NewServer wraps a backend.
+func NewServer(backend api.Client) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		backend: backend,
+		baseCtx: ctx,
+		cancel:  cancel,
+		conns:   make(map[net.Conn]struct{}),
+	}
+}
+
+// Backend exposes the hosted backend.
+func (s *Server) Backend() api.Client { return s.backend }
+
+// Listen binds addr (host:port; ":0" picks a free port) and starts
+// serving in the background. Addr reports the bound address.
+func (s *Server) Listen(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("wire: listen %s: %w", addr, err)
+	}
+	// Record the listener before Serve's goroutine runs so Addr is
+	// valid the moment Listen returns.
+	s.mu.Lock()
+	s.lis = lis
+	s.mu.Unlock()
+	go s.Serve(lis)
+	return nil
+}
+
+// Addr returns the listener's address ("" before Listen/Serve).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lis == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// Serve accepts connections on lis until Shutdown closes it. It
+// returns nil on a drain-initiated stop.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return fmt.Errorf("wire: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.draining.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.loops.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn is one connection's request loop.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.loops.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		req, err := ReadFrame(br)
+		if err != nil {
+			// Clean close, peer reset, torn or corrupt frame: this
+			// connection is done either way. A corrupt frame cannot be
+			// answered (the stream is unsynchronized), so it is dropped
+			// rather than guessed at.
+			return
+		}
+		resp := s.handle(req)
+		if err := WriteFrame(bw, resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// handle runs one request through the backend and builds its response
+// frame. The handler context derives from the server's base context
+// (cancelled only by a forced shutdown) plus the frame's deadline
+// budget, so a caller's deadline reaches the compliance engine's
+// fan-out checkpoints.
+func (s *Server) handle(req Frame) Frame {
+	resp := Frame{Op: req.Op, ID: req.ID, Flags: FlagResponse}
+	if s.draining.Load() {
+		resp.Flags |= FlagError
+		resp.Payload = appendErrorPayload(nil, CodeUnavailable, ErrUnavailable.Error())
+		return resp
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+
+	ctx := s.baseCtx
+	if req.DeadlineMicros > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMicros)*time.Microsecond)
+		defer cancel()
+	}
+
+	out, err := s.dispatch(ctx, req.Op, req.Payload)
+	if err != nil {
+		code, msg := EncodeError(err)
+		resp.Flags |= FlagError
+		resp.Payload = appendErrorPayload(nil, code, msg)
+		return resp
+	}
+	resp.Payload = out
+	return resp
+}
+
+// dispatch decodes the request, invokes the backend and encodes the
+// response.
+func (s *Server) dispatch(ctx context.Context, op Op, payload []byte) ([]byte, error) {
+	reqAny, err := UnmarshalRequest(op, payload)
+	if err != nil {
+		return nil, err
+	}
+	var respAny any
+	switch op {
+	case OpCreate:
+		respAny, err = s.backend.Create(ctx, reqAny.(api.CreateRequest))
+	case OpReadData:
+		respAny, err = s.backend.ReadData(ctx, reqAny.(api.ReadDataRequest))
+	case OpUpdateData:
+		respAny, err = s.backend.UpdateData(ctx, reqAny.(api.UpdateDataRequest))
+	case OpDeleteData:
+		respAny, err = s.backend.DeleteData(ctx, reqAny.(api.DeleteDataRequest))
+	case OpReadMeta:
+		respAny, err = s.backend.ReadMeta(ctx, reqAny.(api.ReadMetaRequest))
+	case OpUpdateMeta:
+		respAny, err = s.backend.UpdateMeta(ctx, reqAny.(api.UpdateMetaRequest))
+	case OpReadByMeta:
+		respAny, err = s.backend.ReadByMeta(ctx, reqAny.(api.ReadByMetaRequest))
+	case OpSubjectAccess:
+		respAny, err = s.backend.SubjectAccess(ctx, reqAny.(api.SubjectAccessRequest))
+	case OpEraseSubject:
+		respAny, err = s.backend.EraseSubject(ctx, reqAny.(api.EraseSubjectRequest))
+	case OpRevoke:
+		respAny, err = s.backend.Revoke(ctx, reqAny.(api.RevokeRequest))
+	case OpAudit:
+		respAny, err = s.backend.Audit(ctx, reqAny.(api.AuditRequest))
+	default:
+		return nil, fmt.Errorf("%w: dispatch op %d", ErrBadOp, op)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return MarshalResponse(op, respAny)
+}
+
+// Shutdown drains the server: stop accepting, let in-flight requests
+// finish (refusing new ones with CodeUnavailable), then close every
+// connection. If ctx expires first, outstanding handler contexts are
+// cancelled and connections are closed anyway.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	if s.lis != nil {
+		s.lis.Close()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Forced: cancel handler contexts so fan-out checkpoints bail.
+		s.cancel()
+		err = fmt.Errorf("wire: shutdown forced: %w", ctx.Err())
+		<-done
+	}
+
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.loops.Wait()
+	s.cancel()
+	return err
+}

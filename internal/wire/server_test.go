@@ -1,0 +1,392 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/datacase/datacase/internal/api"
+	"github.com/datacase/datacase/internal/compliance"
+	"github.com/datacase/datacase/internal/gdprbench"
+)
+
+// startServer brings up a wire server over an in-process deployment
+// and returns a connected client. Everything shuts down with the test.
+func startServer(t *testing.T, backend api.Client) *RemoteClient {
+	t.Helper()
+	srv := NewServer(backend)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		backend.Close()
+	})
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// serveProfile is the profile the wire tests deploy: Sieve-style
+// consent enforcement (so revocation denies later reads) with the
+// model view kept for audits.
+func serveProfile() compliance.Profile {
+	p := compliance.PSYS()
+	p.TrackModel = true
+	return p
+}
+
+func localBackend(t *testing.T) *api.Local {
+	t.Helper()
+	db, err := compliance.OpenSharded(serveProfile(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return api.NewLocal(db)
+}
+
+func wireRecord(key, subject string) gdprbench.Record {
+	return gdprbench.Record{
+		Key: key, Subject: subject,
+		Payload:    []byte("obs|" + subject),
+		Purposes:   []string{"billing", "analytics"},
+		TTL:        1 << 40,
+		Processors: []string{"processor-a"},
+	}
+}
+
+func TestServerFullOpCycle(t *testing.T) {
+	c := startServer(t, localBackend(t))
+	ctx := context.Background()
+
+	if _, err := c.Create(ctx, api.CreateRequest{Record: wireRecord("user1", "alice")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Create(ctx, api.CreateRequest{Record: wireRecord("user2", "bob")}); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate keys are refused with the same sentinel as in-process.
+	if _, err := c.Create(ctx, api.CreateRequest{Record: wireRecord("user1", "alice")}); !errors.Is(err, compliance.ErrExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+
+	read, err := c.ReadData(ctx, api.ReadDataRequest{
+		Key: "user1", Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(read.Payload, []byte("obs|alice")) {
+		t.Fatalf("read = %q", read.Payload)
+	}
+
+	if _, err := c.UpdateData(ctx, api.UpdateDataRequest{
+		Key: "user1", Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+		Payload: []byte("obs|alice|v2"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	read, err = c.ReadData(ctx, api.ReadDataRequest{
+		Key: "user1", Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+	})
+	if err != nil || !bytes.Equal(read.Payload, []byte("obs|alice|v2")) {
+		t.Fatalf("read after update: %q, %v", read.Payload, err)
+	}
+
+	meta, err := c.ReadMeta(ctx, api.ReadMetaRequest{
+		Key: "user1", Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+	})
+	if err != nil || meta.Meta.Subject != "alice" {
+		t.Fatalf("meta = %+v, %v", meta.Meta, err)
+	}
+	if _, err := c.UpdateMeta(ctx, api.UpdateMetaRequest{
+		Key: "user1", Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+		NewPurpose: "research", NewTTL: 1 << 41,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	scan, err := c.ReadByMeta(ctx, api.ReadByMetaRequest{
+		Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+		MetaPurpose: "billing", Limit: 10,
+	})
+	if err != nil || scan.Matched < 1 {
+		t.Fatalf("scan = %+v, %v", scan, err)
+	}
+
+	sar, err := c.SubjectAccess(ctx, api.SubjectAccessRequest{Subject: "alice"})
+	if err != nil || len(sar.Records) != 1 || sar.Records[0].Key != "user1" {
+		t.Fatalf("SAR = %+v, %v", sar, err)
+	}
+
+	audit, err := c.Audit(ctx, api.AuditRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if audit.Profile != "P_SYS" || len(audit.Checked) == 0 {
+		t.Fatalf("audit = %+v", audit)
+	}
+
+	// Consent withdrawal crosses the wire: the next read denies.
+	if _, err := c.Revoke(ctx, api.RevokeRequest{
+		Key: "user1", Purpose: compliance.PurposeService, Entity: compliance.EntityController,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadData(ctx, api.ReadDataRequest{
+		Key: "user1", Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+	}); !errors.Is(err, compliance.ErrDenied) {
+		t.Fatalf("post-revoke read: %v", err)
+	}
+
+	erased, err := c.EraseSubject(ctx, api.EraseSubjectRequest{
+		Subject: "alice", Entity: compliance.EntitySystem,
+	})
+	if err != nil || erased.Erased != 1 {
+		t.Fatalf("erase = %+v, %v", erased, err)
+	}
+	if _, err := c.ReadData(ctx, api.ReadDataRequest{
+		Key: "user1", Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+	}); !errors.Is(err, compliance.ErrNotFound) {
+		t.Fatalf("post-erase read: %v", err)
+	}
+
+	if _, err := c.DeleteData(ctx, api.DeleteDataRequest{
+		Key: "user2", Entity: compliance.EntitySubjectSvc,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadData(ctx, api.ReadDataRequest{
+		Key: "ghost", Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+	}); !errors.Is(err, compliance.ErrNotFound) {
+		t.Fatalf("ghost read: %v", err)
+	}
+}
+
+func TestServerSentinelsSurviveManyRequestsOnOneConn(t *testing.T) {
+	c := startServer(t, localBackend(t))
+	ctx := context.Background()
+	// The same connection carries successes and failures back to back;
+	// the framing stays synchronized through error responses.
+	for i := 0; i < 20; i++ {
+		if _, err := c.ReadData(ctx, api.ReadDataRequest{
+			Key: "ghost", Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+		}); !errors.Is(err, compliance.ErrNotFound) {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if _, err := c.Audit(ctx, api.AuditRequest{}); err != nil {
+			t.Fatalf("round %d audit: %v", i, err)
+		}
+	}
+}
+
+// gateBackend wraps a backend, holding ReadData until the gate opens
+// (or the handler context dies). It makes in-flight requests visible
+// to drain tests.
+type gateBackend struct {
+	api.Client
+	gate    chan struct{}
+	entered chan struct{}
+}
+
+func (g *gateBackend) ReadData(ctx context.Context, req api.ReadDataRequest) (api.ReadDataResponse, error) {
+	g.entered <- struct{}{}
+	select {
+	case <-g.gate:
+		return g.Client.ReadData(ctx, req)
+	case <-ctx.Done():
+		return api.ReadDataResponse{}, ctx.Err()
+	}
+}
+
+func TestServerGracefulDrainFinishesInflight(t *testing.T) {
+	backend := &gateBackend{
+		Client:  localBackend(t),
+		gate:    make(chan struct{}),
+		entered: make(chan struct{}, 1),
+	}
+	srv := NewServer(backend)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	defer backend.Close()
+
+	ctx := context.Background()
+	if _, err := c.Create(ctx, api.CreateRequest{Record: wireRecord("user1", "alice")}); err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(chan error, 1)
+	go func() {
+		_, err := c.ReadData(ctx, api.ReadDataRequest{
+			Key: "user1", Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+		})
+		got <- err
+	}()
+	<-backend.entered // the request is in a handler
+
+	drained := make(chan error, 1)
+	go func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- srv.Shutdown(sctx)
+	}()
+
+	// Drain must wait for the in-flight request, not abort it.
+	select {
+	case err := <-drained:
+		t.Fatalf("shutdown returned before in-flight finished: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(backend.gate)
+	if err := <-got; err != nil {
+		t.Fatalf("in-flight request aborted by drain: %v", err)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func TestServerForcedShutdownCancelsHandlers(t *testing.T) {
+	backend := &gateBackend{
+		Client:  localBackend(t),
+		gate:    make(chan struct{}), // never opens
+		entered: make(chan struct{}, 1),
+	}
+	srv := NewServer(backend)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	defer backend.Close()
+
+	got := make(chan error, 1)
+	go func() {
+		_, err := c.ReadData(context.Background(), api.ReadDataRequest{
+			Key: "whatever", Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+		})
+		got <- err
+	}()
+	<-backend.entered
+
+	sctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err == nil {
+		t.Fatal("forced shutdown reported clean drain")
+	}
+	// The handler context was cancelled; the client sees the
+	// cancellation (as a remote code or a dropped connection).
+	if err := <-got; err == nil {
+		t.Fatal("stuck request completed successfully")
+	}
+}
+
+func TestServerDrainingRefusesNewRequests(t *testing.T) {
+	srv := NewServer(localBackend(t))
+	defer srv.Backend().Close()
+	// Drain with no listener and no connections: instant. The handler
+	// must now refuse work with the unavailable code.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp := srv.handle(Frame{Op: OpAudit, ID: 7})
+	if resp.Flags&FlagError == 0 {
+		t.Fatal("draining server accepted a request")
+	}
+	code, msg, err := parseErrorPayload(resp.Payload)
+	if err != nil || code != CodeUnavailable {
+		t.Fatalf("code=%d msg=%q err=%v", code, msg, err)
+	}
+	if !errors.Is(DecodeError(code, msg), ErrUnavailable) {
+		t.Fatal("unavailable sentinel lost")
+	}
+}
+
+func TestServerDeadlinePropagatesToHandler(t *testing.T) {
+	backend := &gateBackend{
+		Client:  localBackend(t),
+		gate:    make(chan struct{}),
+		entered: make(chan struct{}, 1),
+	}
+	defer close(backend.gate)
+	c := startServer(t, backend)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.ReadData(ctx, api.ReadDataRequest{
+			Key: "whatever", Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+		})
+		done <- err
+	}()
+	<-backend.entered
+	select {
+	case err := <-done:
+		// Whether the server's deadline answer or the client's own
+		// socket deadline wins the race, the caller sees the deadline.
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want deadline", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadline never fired")
+	}
+}
+
+func TestServerCancellationMidFlight(t *testing.T) {
+	backend := &gateBackend{
+		Client:  localBackend(t),
+		gate:    make(chan struct{}),
+		entered: make(chan struct{}, 1),
+	}
+	c := startServer(t, backend)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.ReadData(ctx, api.ReadDataRequest{
+			Key: "whatever", Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+		})
+		done <- err
+	}()
+	<-backend.entered
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation never unblocked the call")
+	}
+	// Unblock the stranded handler so cleanup's drain can finish.
+	close(backend.gate)
+
+	// A pre-cancelled context never touches the wire.
+	dead, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := c.Audit(dead, api.AuditRequest{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled call: %v", err)
+	}
+
+	// The poisoned connection redials transparently on the next call.
+	if _, err := c.Audit(context.Background(), api.AuditRequest{}); err != nil {
+		t.Fatalf("call after cancellation: %v", err)
+	}
+}

@@ -1,0 +1,85 @@
+// Package wire is the network serving stack of the Data-CASE engine:
+// a length-framed binary protocol exposing the transport-neutral
+// Client API (internal/api) over TCP, plus the three roles that speak
+// it — the remote client, the server hosting a sharded compliance
+// deployment, and the subject-routing gateway that spreads one logical
+// deployment across N servers.
+//
+// Protocol. Every message is one frame:
+//
+//	offset size  field
+//	0      4     magic "DCW1" (0x44435731; the version is the magic)
+//	4      1     op code (stable; see Op)
+//	5      1     flags (bit0 response, bit1 error)
+//	6      8     request id (echoed verbatim in the response)
+//	14     4     deadline budget in microseconds (requests; 0 = none)
+//	18     4     payload length (<= MaxPayload)
+//	22     n     payload (op-specific body, or [code u16][msg] on error)
+//	22+n   4     CRC-32 (IEEE) over everything before it
+//
+// All integers are big-endian. A frame whose magic, op, length or
+// checksum does not hold is rejected without allocating the claimed
+// length; a short read surfaces as a torn-frame error wrapping
+// io.ErrUnexpectedEOF. Inside payloads every length-prefixed field is
+// validated against the bytes actually remaining, so a corrupt length
+// can neither over-allocate nor wrap a bounds check.
+//
+// Compliance is enforced at this boundary (the Data Capsule stance):
+// the error codes round-trip the engine's sentinels — errors.Is
+// against compliance.ErrDenied/ErrNotFound/ErrExists holds for errors
+// that crossed the wire — an EraseSubject acknowledged over any
+// connection leaves no readable record through any other, and a Revoke
+// that returned to a remote caller means no later request under the
+// revoked pair is allowed.
+package wire
+
+// MaxPayload bounds one frame's payload: large enough for any bench
+// response, small enough that a corrupt length cannot balloon memory.
+const MaxPayload = 1 << 24
+
+// Op is a stable wire operation code. Codes are part of the protocol:
+// never renumber, only append.
+type Op uint8
+
+// The operation codes.
+const (
+	OpCreate        Op = 1
+	OpReadData      Op = 2
+	OpUpdateData    Op = 3
+	OpDeleteData    Op = 4
+	OpReadMeta      Op = 5
+	OpUpdateMeta    Op = 6
+	OpReadByMeta    Op = 7
+	OpSubjectAccess Op = 8
+	OpEraseSubject  Op = 9
+	OpRevoke        Op = 10
+	OpAudit         Op = 11
+
+	// maxOp guards frame decoding; bump when appending codes.
+	maxOp = OpAudit
+)
+
+var opNames = map[Op]string{
+	OpCreate:        "create",
+	OpReadData:      "read-data",
+	OpUpdateData:    "update-data",
+	OpDeleteData:    "delete-data",
+	OpReadMeta:      "read-meta",
+	OpUpdateMeta:    "update-meta",
+	OpReadByMeta:    "read-by-meta",
+	OpSubjectAccess: "subject-access",
+	OpEraseSubject:  "erase-subject",
+	OpRevoke:        "revoke",
+	OpAudit:         "audit",
+}
+
+// String names the op for logs and errors.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return "op?"
+}
+
+// valid reports whether the code is a known operation.
+func (o Op) valid() bool { return o >= OpCreate && o <= maxOp }
