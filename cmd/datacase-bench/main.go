@@ -26,12 +26,17 @@
 //	                                           # wire-connection fleet
 //	                                           # through the gateway;
 //	                                           # writes BENCH_network.json
+//	datacase-bench -exp replication -repl-replicas 2
+//	                                           # WAL-shipping replica set:
+//	                                           # async lag vs barriered
+//	                                           # revocation latency; writes
+//	                                           # BENCH_replication.json
 //	datacase-bench -list                       # print the experiment
 //	                                           # registry and exit
 //
 // Experiments: table1, fig3, fig4a, fig4b, fig4c, table2, deleteonly,
 // shardscale, loadgen, recovery, backend, readpath, reshard, network,
-// all. An unknown
+// replication, all. An unknown
 // -exp value exits with status 2 and a usage message; -list prints the
 // registry with one-line descriptions and exits 0.
 package main
@@ -66,6 +71,7 @@ var experimentInfo = []struct {
 	{"readpath", "read-scaling sweep: shared-lock + decision cache vs one-big-mutex baseline; writes BENCH_readpath.json"},
 	{"reshard", "elastic resharding: Zipfian hot shard measured before/after a live rebalancer split; writes BENCH_reshard.json"},
 	{"network", "end-to-end network soak: a wire-connection fleet through the subject-routing gateway; writes BENCH_network.json"},
+	{"replication", "WAL-shipping replica set: async write lag vs synchronous revocation-barrier latency; writes BENCH_replication.json"},
 }
 
 // experimentNames returns the registry names in order.
@@ -142,6 +148,14 @@ func main() {
 		netGateway = flag.String("network-gateway", "",
 			"existing gateway address for -exp network (empty = self-host the topology in-process)")
 		netOut = flag.String("network-out", "BENCH_network.json", "JSON output path for -exp network")
+
+		replShards   = flag.Int("repl-shards", 2, "primary shard count for -exp replication")
+		replReplicas = flag.Int("repl-replicas", 2, "replica-set size for -exp replication")
+		replRecords  = flag.Int("repl-records", 200, "preloaded records for -exp replication")
+		replWrites   = flag.Int("repl-writes", 200, "lag-sampled async creates for -exp replication")
+		replRevokes  = flag.Int("repl-revokes", 50, "measured revocation barriers for -exp replication")
+		replErases   = flag.Int("repl-erases", 10, "measured erasure barriers for -exp replication")
+		replOut      = flag.String("repl-out", "BENCH_replication.json", "JSON output path for -exp replication")
 	)
 	flag.Parse()
 
@@ -261,6 +275,9 @@ func main() {
 	}
 	if run("network") {
 		runNetwork(*workload, *netConns, *netRecords, *netOps, *netServers, *netShards, *netGateway, *seed, *netOut)
+	}
+	if run("replication") {
+		runReplication(*replShards, *replReplicas, *replRecords, *replWrites, *replRevokes, *replErases, *seed, *replOut)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr,
@@ -466,6 +483,31 @@ func runNetwork(workload, connsCSV string, records, ops, servers, shards int, ga
 	_, err = datacase.ReadNetworkJSON(out)
 	fail(err)
 	fmt.Printf("wrote %s (%d results)\n", out, len(results))
+}
+
+// runReplication measures the WAL-shipping replica set on both
+// backends — async write lag against the synchronous
+// revocation-barrier latency — then writes and re-reads (validating
+// the zero-violation barrier property) BENCH_replication.json.
+func runReplication(shards, replicas, records, writes, revokes, erases int, seed int64, out string) {
+	fmt.Printf("running replication (shards=%d, replicas=%d, records=%d, writes=%d, revokes=%d, erases=%d, backends=%v)...\n",
+		shards, replicas, records, writes, revokes, erases, datacase.Backends())
+	var results []datacase.ReplicationResult
+	for _, backend := range datacase.Backends() {
+		r, err := datacase.RunReplication(datacase.ReplicationConfig{
+			Backend: backend, Shards: shards, Replicas: replicas,
+			Records: records, Writes: writes, Revokes: revokes,
+			Erases: erases, Seed: seed,
+		})
+		fail(err)
+		fail(r.Validate())
+		fmt.Printf("  %s\n", r)
+		results = append(results, r)
+	}
+	fail(datacase.WriteReplicationJSON(out, results))
+	_, err := datacase.ReadReplicationJSON(out)
+	fail(err)
+	fmt.Printf("wrote %s (%d results, zero barrier violations)\n", out, len(results))
 }
 
 // parseShards parses a comma-separated shard-count sweep like "1,4,16".

@@ -9,6 +9,19 @@
 // Usage:
 //
 //	datacase-server -addr 127.0.0.1:7070 -shards 8 -profile P_SYS
+//	datacase-server -addr 127.0.0.1:7070 -repl-addr 127.0.0.1:7071
+//	                                  # primary: also serve the WAL-
+//	                                  # shipping replication protocol
+//	datacase-server -addr 127.0.0.1:7072 -replica-of 127.0.0.1:7071
+//	                                  # read replica: bootstrap from the
+//	                                  # primary and serve reads; every
+//	                                  # mutation answers the read-only
+//	                                  # sentinel
+//
+// A replica follows the primary's shard count (-shards is ignored) and
+// receives the at-rest payload key over the replication handshake.
+// RevokeConsent and EraseSubject on the primary do not return until
+// this replica has acked (or been fenced for lagging).
 //
 // SIGINT/SIGTERM drains gracefully: new requests are refused with
 // "unavailable" while in-flight requests finish (up to -drain), then
@@ -30,9 +43,12 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", "127.0.0.1:7070", "listen address")
-		shards      = flag.Int("shards", 8, "shard count of the deployment")
+		shards      = flag.Int("shards", 8, "shard count of the deployment (ignored with -replica-of)")
 		profileName = flag.String("profile", "P_SYS", "profile: P_Base|P_GBench|P_SYS")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+		replAddr    = flag.String("repl-addr", "", "also serve the replication protocol on this address (primary mode)")
+		replicaOf   = flag.String("replica-of", "", "bootstrap as a read replica of the primary at this replication address")
+		replicaID   = flag.String("replica-id", "", "replica identity for -replica-of (default: a random one)")
 	)
 	flag.Parse()
 
@@ -42,16 +58,51 @@ func main() {
 	// turn OpAudit into a permanent error.
 	profile.TrackModel = true
 
+	if *replicaOf != "" && *replAddr != "" {
+		fail(fmt.Errorf("-replica-of and -repl-addr are mutually exclusive (a replica does not serve replicas)"))
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+
+	if *replicaOf != "" {
+		rep, err := datacase.StartReplica(*replicaOf, profile,
+			datacase.ReplicationReplicaConfig{ID: *replicaID})
+		fail(err)
+		srv := datacase.NewServer(rep.Client())
+		fail(srv.Listen(*addr))
+		fmt.Printf("datacase-server: replica %s of %s, profile=%s, serving reads on %s\n",
+			rep.ID(), *replicaOf, profile.Name, srv.Addr())
+
+		s := <-sig
+		fmt.Printf("datacase-server: %s; draining (budget %v)...\n", s, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "datacase-server: drain:", err)
+		}
+		fail(rep.Close())
+		fmt.Println("datacase-server: stopped")
+		return
+	}
+
 	db, err := datacase.OpenSharded(profile, *shards)
 	fail(err)
+
+	var prim *datacase.ReplicationPrimary
+	if *replAddr != "" {
+		prim, err = datacase.NewReplicationPrimary(db, datacase.ReplicationPrimaryConfig{})
+		fail(err)
+		bound, err := prim.Listen(*replAddr)
+		fail(err)
+		fmt.Printf("datacase-server: replication primary on %s\n", bound)
+	}
 
 	srv := datacase.NewServer(datacase.NewLocalClient(db))
 	fail(srv.Listen(*addr))
 	fmt.Printf("datacase-server: profile=%s shards=%d listening on %s\n",
 		profile.Name, *shards, srv.Addr())
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	s := <-sig
 	fmt.Printf("datacase-server: %s; draining (budget %v)...\n", s, *drain)
 
@@ -59,6 +110,9 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "datacase-server: drain:", err)
+	}
+	if prim != nil {
+		fail(prim.Close())
 	}
 	fail(db.Close())
 	fmt.Println("datacase-server: stopped")

@@ -27,6 +27,7 @@ import (
 	"github.com/datacase/datacase/internal/gdprbench"
 	"github.com/datacase/datacase/internal/loadgen"
 	"github.com/datacase/datacase/internal/policy"
+	"github.com/datacase/datacase/internal/repl"
 	"github.com/datacase/datacase/internal/storage"
 	"github.com/datacase/datacase/internal/wal"
 	"github.com/datacase/datacase/internal/wire"
@@ -702,4 +703,66 @@ var (
 	ReadReshardJSON = benchx.ReadReshardJSON
 	// NewShardRebalancer builds a rebalancer over a sharded deployment.
 	NewShardRebalancer = compliance.NewRebalancer
+)
+
+// ---- WAL-shipping replication (repl) ----
+
+type (
+	// ReplicationPrimary streams committed WAL batches to replicas and
+	// turns RevokeConsent/EraseSubject into synchronous barriers: the
+	// primary call does not return until every live replica acked (or
+	// was fenced out).
+	ReplicationPrimary = repl.Primary
+	// ReplicationPrimaryConfig tunes the primary's barrier timeout,
+	// batch sizing and poll interval.
+	ReplicationPrimaryConfig = repl.PrimaryConfig
+	// ReplicationReplica is a read replica: bootstrapped from the
+	// primary's segment snapshots, kept current by per-shard pulls,
+	// serving reads locally through a read-only Client.
+	ReplicationReplica = repl.Replica
+	// ReplicationReplicaConfig tunes a replica's identity and pacing.
+	ReplicationReplicaConfig = repl.ReplicaConfig
+	// ReplicationApplyStats reports one replicated-batch application.
+	ReplicationApplyStats = compliance.ReplApplyStats
+)
+
+var (
+	// NewReplicationPrimary wraps a sharded deployment with the
+	// replication protocol (call Listen to serve replicas).
+	NewReplicationPrimary = repl.NewPrimary
+	// StartReplica bootstraps a read replica of the primary at an
+	// address and starts its pull loops.
+	StartReplica = repl.StartReplica
+	// MostCaughtUp picks the failover candidate: the replica with the
+	// highest applied position.
+	MostCaughtUp = repl.MostCaughtUp
+	// ReadOnlyClient wraps a Client so mutations fail with
+	// ErrReadOnlyReplica while reads pass through.
+	ReadOnlyClient = repl.ReadOnly
+	// ErrReadOnlyReplica is returned for any mutation sent to a read
+	// replica; it survives the wire.
+	ErrReadOnlyReplica = api.ErrReadOnlyReplica
+)
+
+// ---- Replication experiment (-exp replication) ----
+
+type (
+	// ReplicationConfig sizes one replication measurement.
+	ReplicationConfig = benchx.ReplicationConfig
+	// ReplicationResult is one BENCH_replication.json row.
+	ReplicationResult = benchx.ReplicationResult
+	// ReplicationBenchReport is the BENCH_replication.json envelope.
+	ReplicationBenchReport = benchx.ReplicationReport
+)
+
+var (
+	// RunReplication executes one replication measurement: async-write
+	// lag vs synchronous revocation-barrier latency, with post-return
+	// visibility probes on every replica.
+	RunReplication = benchx.RunReplication
+	// WriteReplicationJSON writes results as BENCH_replication.json.
+	WriteReplicationJSON = benchx.WriteReplicationJSON
+	// ReadReplicationJSON parses and validates a BENCH_replication.json
+	// file, enforcing the zero-violation barrier property.
+	ReadReplicationJSON = benchx.ReadReplicationJSON
 )

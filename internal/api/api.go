@@ -19,11 +19,17 @@ package api
 
 import (
 	"context"
+	"errors"
 
 	"github.com/datacase/datacase/internal/compliance"
 	"github.com/datacase/datacase/internal/core"
 	"github.com/datacase/datacase/internal/gdprbench"
 )
+
+// ErrReadOnlyReplica: the Client serves a read replica; mutations must
+// go to the primary. Like the compliance sentinels it survives the
+// wire: errors.Is holds for a remote caller too.
+var ErrReadOnlyReplica = errors.New("api: read-only replica")
 
 // CreateRequest collects a new record.
 type CreateRequest struct {

@@ -1,0 +1,119 @@
+package compliance
+
+import (
+	"fmt"
+
+	"github.com/datacase/datacase/internal/core"
+	"github.com/datacase/datacase/internal/policy"
+	"github.com/datacase/datacase/internal/wal"
+)
+
+// Replication support: the primary side exposes per-shard WAL batch
+// cursors (internal/repl streams them), the replica side applies
+// shipped batches through the same redo path crash recovery uses
+// (applyRecovered), so a replica is by construction the state a crash
+// restart of the primary would have rebuilt at that LSN.
+
+// ErrReplTopologyChanged: a shipped batch carried a topology record
+// (shard birth or directory flip) — the primary resharded while the
+// replica streamed. Incremental apply cannot follow a topology change;
+// the replica must re-bootstrap from fresh snapshots.
+var ErrReplTopologyChanged = fmt.Errorf("compliance: replication stream crossed a topology change")
+
+// ReplApplyStats describes one applied replication batch.
+type ReplApplyStats struct {
+	// Applied is how many records the walk redid.
+	Applied int
+	// LastLSN is the primary LSN of the last intact record applied;
+	// the replica acks it on its next pull. Zero when nothing applied.
+	LastLSN wal.LSN
+	// Fenced reports that the batch carried a compliance barrier
+	// record (erasure or consent revocation) and the shard's decision
+	// cache was fenced.
+	Fenced bool
+}
+
+// ShardWALBatch frames shard i's committed WAL records after the given
+// cursor for shipping (see wal.Log.BatchAfter for the contract,
+// including the gap signal that demands a snapshot resync).
+func (s *ShardedDB) ShardWALBatch(shard int, after wal.LSN, maxBytes int) (batch []byte, last wal.LSN, n int, gap bool, err error) {
+	v := s.view()
+	if shard < 0 || shard >= len(v) {
+		return nil, 0, 0, false, fmt.Errorf("compliance: replication: no shard %d", shard)
+	}
+	batch, last, n, gap = v[shard].data.Log().BatchAfter(after, maxBytes)
+	return batch, last, n, gap, nil
+}
+
+// ShardDurable returns shard i's durable WAL horizon.
+func (s *ShardedDB) ShardDurable(shard int) (wal.LSN, error) {
+	v := s.view()
+	if shard < 0 || shard >= len(v) {
+		return 0, fmt.Errorf("compliance: replication: no shard %d", shard)
+	}
+	return v[shard].data.Log().Durable(), nil
+}
+
+// ApplyReplicatedBatch redoes one shipped batch against shard i of a
+// replica deployment. The batch decodes with the torn-tail-tolerant
+// recovery walk: a batch cut short in flight applies its intact prefix
+// and reports that prefix's LastLSN, so the replica simply re-pulls
+// from there — a torn batch is lag, not corruption. Records at or
+// below after (overlap from a retried pull) are skipped.
+//
+// Barrier records fence the shard's policy decision cache after the
+// walk, so no cached allow from before the revocation can survive the
+// ack the primary is waiting on.
+func (s *ShardedDB) ApplyReplicatedBatch(shard int, batch []byte, after wal.LSN) (ReplApplyStats, error) {
+	v := s.view()
+	if shard < 0 || shard >= len(v) {
+		return ReplApplyStats{}, fmt.Errorf("compliance: replication: no shard %d", shard)
+	}
+	db := v[shard]
+
+	var st ReplApplyStats
+	var rst RecoveryStats
+	var maxTime int64
+	var applyErr error
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	wal.Recover(batch, after, func(r wal.Record) bool {
+		switch r.Type {
+		case wal.RecShardBirth, wal.RecDirectory:
+			applyErr = ErrReplTopologyChanged
+			return false
+		case wal.RecErase, wal.RecConsent:
+			st.Fenced = true
+		}
+		if err := db.applyRecovered(r, &rst, &maxTime); err != nil {
+			applyErr = err
+			return false
+		}
+		if r.Type == wal.RecInsert || r.Type == wal.RecUpdate {
+			// Keep the sharded directory exact: the redo inserted (or
+			// kept) the key on this shard. Deletes are handled by the
+			// shard's onDelete hook. Shard-then-directory is the legal
+			// lock order.
+			s.dirMu.Lock()
+			s.dir[string(r.Key)] = uint32(shard)
+			s.dirMu.Unlock()
+		}
+		st.Applied++
+		st.LastLSN = r.LSN
+		return true
+	})
+	if maxTime > 0 {
+		db.clock.SetAtLeast(core.Time(maxTime))
+	}
+	if st.Fenced {
+		if f, ok := db.policies.(policy.Fencer); ok {
+			f.Fence()
+		}
+	}
+	if applyErr != nil {
+		return st, applyErr
+	}
+	db.checkpointIfDueLocked()
+	return st, nil
+}

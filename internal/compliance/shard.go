@@ -80,6 +80,16 @@ type ShardedDB struct {
 	reshardMu sync.Mutex
 	// hooks are test-only migration cut points (reshard_test.go).
 	hooks reshardHooks
+
+	// barrierMu guards barrier.
+	barrierMu sync.RWMutex
+	// barrier, when set (SetReplicationBarrier), runs after a
+	// compliance barrier record — a consent revocation or a subject
+	// erasure — has committed on a shard, with that shard's lock
+	// already released so replica pulls against it can drain.
+	// Replication uses it to hold the caller until every live replica
+	// acked the record's LSN or was fenced out.
+	barrier func(shard int, lsn wal.LSN)
 }
 
 // shardTableName names shard i's data table (and WAL segment).
@@ -351,9 +361,48 @@ func (s *ShardedDB) UpdateMeta(entity core.EntityID, purpose core.Purpose, key, 
 // (and migrates with it) or retries against the destination — never
 // against a stale copy the flip abandoned.
 func (s *ShardedDB) RevokeConsent(key string, purpose core.Purpose, entity core.EntityID) error {
-	return s.withKey(key, true, func(db *DB) error {
-		return db.revokeConsentLocked(key, purpose, entity)
+	var bsh *DB
+	var blsn wal.LSN
+	err := s.withKey(key, true, func(db *DB) error {
+		err := db.revokeConsentLocked(key, purpose, entity)
+		if err == nil {
+			bsh, blsn = db, db.data.Log().Durable()
+		}
+		return err
 	})
+	if err == nil {
+		s.barrierWait(bsh, blsn)
+	}
+	return err
+}
+
+// SetReplicationBarrier installs (or, with nil, removes) the hook a
+// replication primary uses to make revocations and erasures
+// synchronous across replicas: after one commits on a shard, the
+// caller does not get its acknowledgement back until the hook returns.
+func (s *ShardedDB) SetReplicationBarrier(fn func(shard int, lsn wal.LSN)) {
+	s.barrierMu.Lock()
+	s.barrier = fn
+	s.barrierMu.Unlock()
+}
+
+// barrierWait runs the replication barrier, if any, for a barrier
+// record committed on shard db at or before lsn. It runs outside the
+// shard's lock — a barrier that blocked the shard would deadlock
+// against the very replica pulls it is waiting on.
+func (s *ShardedDB) barrierWait(db *DB, lsn wal.LSN) {
+	s.barrierMu.RLock()
+	fn := s.barrier
+	s.barrierMu.RUnlock()
+	if fn == nil || db == nil {
+		return
+	}
+	for i, sh := range s.view() {
+		if sh == db {
+			fn(i, lsn)
+			return
+		}
+	}
 }
 
 // Object records the subject's objection to processing.
@@ -393,11 +442,19 @@ func (s *ShardedDB) ExportPortable(subject string) ([]byte, error) {
 // flip — on neither side can an erased record stay readable.
 func (s *ShardedDB) EraseSubject(entity core.EntityID, subject string) (int, error) {
 	n := 0
+	var bsh *DB
+	var blsn wal.LSN
 	err := s.withSubject(subject, true, func(db *DB) error {
 		var err error
 		n, err = db.eraseSubjectLocked(entity, subject)
+		if err == nil {
+			bsh, blsn = db, db.data.Log().Durable()
+		}
 		return err
 	})
+	if err == nil {
+		s.barrierWait(bsh, blsn)
+	}
 	return n, err
 }
 

@@ -1,0 +1,125 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/datacase/datacase/internal/api"
+	"github.com/datacase/datacase/internal/compliance"
+)
+
+// TestBarrierVisibilityUnderConcurrentReads is the revocation-barrier
+// property test: 32 readers hammer a replica while the primary revokes
+// consent and erases a subject. The guarantee under test — proven
+// under -race on both backends — is that any read that STARTS after
+// the primary's call RETURNS sees the compliance action: zero stale
+// allows after Revoke, zero readable records of the subject after
+// EraseSubject.
+func TestBarrierVisibilityUnderConcurrentReads(t *testing.T) {
+	for _, backend := range []string{compliance.BackendHeap, compliance.BackendLSM} {
+		t.Run(backend, func(t *testing.T) {
+			db, _, addr := startPrimary(t, backend, 2, PrimaryConfig{})
+
+			const subjects = 4
+			const perSubject = 8
+			key := func(s, i int) string { return fmt.Sprintf("s%d-k%d", s, i) }
+			for s := 0; s < subjects; s++ {
+				for i := 0; i < perSubject; i++ {
+					if err := db.Create(replRecord(key(s, i), fmt.Sprintf("subj%d", s))); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			rep := startReplica(t, addr, backend, "race-"+backend)
+			c := rep.Client()
+			for s := 0; s < subjects; s++ {
+				for i := 0; i < perSubject; i++ {
+					waitReadable(t, c, key(s, i), nil)
+				}
+			}
+
+			// revokedAt / erasedAt flip the instant the primary's call
+			// returns. A reader snapshots the flag BEFORE issuing its
+			// read: if the flag was already set and the read still saw
+			// the old world, the barrier is broken.
+			var revokedAt, erasedAt atomic.Bool
+			var staleAllows, erasedReads atomic.Int64
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			ctx := context.Background()
+
+			for w := 0; w < 32; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for n := 0; ; n++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						s := n % subjects
+						i := (n + w) % perSubject
+						switch {
+						case s == 0 && i == 0:
+							// The revocation target pair.
+							sawRevoke := revokedAt.Load()
+							_, err := c.ReadData(ctx, api.ReadDataRequest{
+								Key: key(0, 0), Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+							})
+							if sawRevoke && err == nil {
+								staleAllows.Add(1)
+							}
+						case s == 1:
+							// The erasure target subject.
+							sawErase := erasedAt.Load()
+							_, err := c.ReadData(ctx, api.ReadDataRequest{
+								Key: key(1, i), Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+							})
+							if sawErase && !errors.Is(err, compliance.ErrNotFound) {
+								erasedReads.Add(1)
+							}
+						default:
+							// Bystanders must stay readable throughout.
+							if _, err := c.ReadData(ctx, api.ReadDataRequest{
+								Key: key(s, i), Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+							}); err != nil {
+								t.Errorf("bystander %s unreadable: %v", key(s, i), err)
+								return
+							}
+						}
+					}
+				}(w)
+			}
+
+			// Let the readers saturate, then fire both compliance
+			// actions on the primary.
+			time.Sleep(20 * time.Millisecond)
+			if err := db.RevokeConsent(key(0, 0), compliance.PurposeService, compliance.EntityController); err != nil {
+				t.Fatal(err)
+			}
+			revokedAt.Store(true)
+			if _, err := db.EraseSubject(compliance.EntitySystem, "subj1"); err != nil {
+				t.Fatal(err)
+			}
+			erasedAt.Store(true)
+
+			// Keep reading for a while after the calls returned.
+			time.Sleep(50 * time.Millisecond)
+			close(stop)
+			wg.Wait()
+
+			if v := staleAllows.Load(); v != 0 {
+				t.Fatalf("%d stale allows after Revoke returned", v)
+			}
+			if v := erasedReads.Load(); v != 0 {
+				t.Fatalf("%d reads of erased subject after EraseSubject returned", v)
+			}
+		})
+	}
+}

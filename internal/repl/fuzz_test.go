@@ -1,0 +1,63 @@
+package repl
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/datacase/datacase/internal/compliance"
+	"github.com/datacase/datacase/internal/wal"
+)
+
+// fuzzTarget is one replica-side deployment shared across the fuzz
+// corpus; ApplyReplicatedBatch serializes on the shard lock, so
+// feeding it arbitrary batches concurrently is the exact surface a
+// malicious or corrupt primary would hit.
+var (
+	fuzzOnce sync.Once
+	fuzzDB   *compliance.ShardedDB
+)
+
+func fuzzReplica(f *testing.F) *compliance.ShardedDB {
+	fuzzOnce.Do(func() {
+		src, err := compliance.OpenSharded(replProfile(compliance.BackendHeap), 1)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			if err := src.Create(replRecord("seed"+string(rune('a'+i)), "alice")); err != nil {
+				f.Fatal(err)
+			}
+		}
+		dst, _, err := compliance.RecoverSharded(src.Profile(), src.SegmentImages())
+		if err != nil {
+			f.Fatal(err)
+		}
+		// Seed the corpus with a real batch so mutations start from a
+		// well-formed stream.
+		if batch, _, _, _, err := src.ShardWALBatch(0, 0, 0); err == nil {
+			f.Add(batch, int64(0))
+		}
+		src.Close()
+		fuzzDB = dst
+	})
+	return fuzzDB
+}
+
+// FuzzReplStream asserts the replica apply path never panics on
+// arbitrary batch bytes: torn frames, corrupt checksums, replayed
+// prefixes and garbage must all degrade to "applied the intact,
+// in-window prefix" or a clean error.
+func FuzzReplStream(f *testing.F) {
+	f.Add([]byte{}, int64(0))
+	f.Add([]byte{0, 0, 0, 255, 1, 2, 3}, int64(1))
+	db := fuzzReplica(f)
+	f.Fuzz(func(t *testing.T, batch []byte, after int64) {
+		if after < 0 {
+			after = -after
+		}
+		st, err := db.ApplyReplicatedBatch(0, batch, wal.LSN(after))
+		if err == nil && st.Applied < 0 {
+			t.Fatalf("negative applied count %d", st.Applied)
+		}
+	})
+}

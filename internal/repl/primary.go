@@ -1,0 +1,373 @@
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/datacase/datacase/internal/compliance"
+	"github.com/datacase/datacase/internal/wal"
+	"github.com/datacase/datacase/internal/wire"
+)
+
+// PrimaryConfig tunes a replication primary.
+type PrimaryConfig struct {
+	// BarrierTimeout bounds how long a Revoke/EraseSubject caller can
+	// be held waiting for replica acks; replicas still behind when it
+	// expires are fenced out of the live set (they answer no further
+	// pulls until they re-bootstrap). Default 5s.
+	BarrierTimeout time.Duration
+	// MaxBatchBytes bounds one pull response's batch. Default 1 MiB.
+	MaxBatchBytes int
+	// PollInterval is the long-poll re-check cadence. Default 2ms.
+	PollInterval time.Duration
+}
+
+func (c PrimaryConfig) withDefaults() PrimaryConfig {
+	if c.BarrierTimeout <= 0 {
+		c.BarrierTimeout = 5 * time.Second
+	}
+	if c.MaxBatchBytes <= 0 {
+		c.MaxBatchBytes = 1 << 20
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 2 * time.Millisecond
+	}
+	return c
+}
+
+// maxPullWait caps how long one pull may be held open regardless of
+// what the replica asked for.
+const maxPullWait = 10 * time.Second
+
+// replicaState is the primary's book on one replica.
+type replicaState struct {
+	// acked[i] is the highest shard-i LSN the replica has confirmed
+	// applied (the After cursor of its latest pull).
+	acked []wal.LSN
+	// fenced: the replica missed a barrier deadline and is out of the
+	// live set. Its pulls answer Resync until it re-hellos.
+	fenced bool
+}
+
+// Primary serves the replication protocol for one ShardedDB and turns
+// its revocations and erasures into synchronous barriers across the
+// registered replicas.
+type Primary struct {
+	db  *compliance.ShardedDB
+	cfg PrimaryConfig
+
+	// mu guards replicas and closed; cond signals ack progress and
+	// membership changes to waiting barriers.
+	mu       sync.Mutex
+	cond     *sync.Cond
+	replicas map[string]*replicaState
+	closed   bool
+
+	lnMu  sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+}
+
+// NewPrimary wraps the deployment with replication: the returned
+// Primary is registered as the deployment's revocation barrier
+// immediately (a barrier with no replicas costs nothing). Call Listen
+// to start serving replicas.
+func NewPrimary(db *compliance.ShardedDB, cfg PrimaryConfig) (*Primary, error) {
+	if db.Profile().UseBlockDev {
+		return nil, fmt.Errorf("repl: block-device profiles cannot ship segment images")
+	}
+	p := &Primary{
+		db:       db,
+		cfg:      cfg.withDefaults(),
+		replicas: make(map[string]*replicaState),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	db.SetReplicationBarrier(p.barrier)
+	return p, nil
+}
+
+// Listen starts serving the replication protocol on addr (host:port;
+// port 0 picks a free one). The bound address is available via Addr.
+func (p *Primary) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p.lnMu.Lock()
+	p.ln = ln
+	p.lnMu.Unlock()
+	p.wg.Add(1)
+	go p.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+// Addr returns the listener's address (nil before Listen).
+func (p *Primary) Addr() net.Addr {
+	p.lnMu.Lock()
+	defer p.lnMu.Unlock()
+	if p.ln == nil {
+		return nil
+	}
+	return p.ln.Addr()
+}
+
+// Close detaches the barrier, stops the listener and severs every
+// replica connection. Replicas survive and keep retrying; they matter
+// again only to a new primary (promotion).
+func (p *Primary) Close() error {
+	p.db.SetReplicationBarrier(nil)
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.lnMu.Lock()
+	if p.ln != nil {
+		p.ln.Close()
+	}
+	for c := range p.conns {
+		c.Close()
+	}
+	p.lnMu.Unlock()
+	p.wg.Wait()
+	return nil
+}
+
+// Replicas lists the registered replica IDs, fenced ones included,
+// in stable order.
+func (p *Primary) Replicas() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.replicas))
+	for id := range p.replicas {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Fenced lists the replica IDs currently fenced out, in stable order.
+func (p *Primary) Fenced() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []string
+	for id, st := range p.replicas {
+		if st.fenced {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (p *Primary) acceptLoop(ln net.Listener) {
+	defer p.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		p.lnMu.Lock()
+		p.conns[c] = struct{}{}
+		p.lnMu.Unlock()
+		p.wg.Add(1)
+		go p.serveConn(c)
+	}
+}
+
+func (p *Primary) serveConn(c net.Conn) {
+	defer p.wg.Done()
+	defer func() {
+		c.Close()
+		p.lnMu.Lock()
+		delete(p.conns, c)
+		p.lnMu.Unlock()
+	}()
+	br := bufio.NewReader(c)
+	for {
+		f, err := wire.ReadFrame(br)
+		if err != nil {
+			return
+		}
+		if err := wire.WriteFrame(c, p.handle(f)); err != nil {
+			return
+		}
+	}
+}
+
+// handle serves one replication request frame.
+func (p *Primary) handle(f wire.Frame) wire.Frame {
+	req, err := wire.UnmarshalRequest(f.Op, f.Payload)
+	if err != nil {
+		return wire.ErrorFrame(f.Op, f.ID, err)
+	}
+	var resp any
+	switch r := req.(type) {
+	case wire.ReplHelloRequest:
+		resp, err = p.handleHello(r)
+	case wire.ReplSnapshotRequest:
+		resp, err = p.handleSnapshot(r)
+	case wire.ReplPullRequest:
+		resp, err = p.handlePull(r)
+	case wire.ReplByeRequest:
+		resp, err = p.handleBye(r)
+	default:
+		err = fmt.Errorf("%w: %s is not a replication op", wire.ErrBadMessage, f.Op)
+	}
+	if err != nil {
+		return wire.ErrorFrame(f.Op, f.ID, err)
+	}
+	payload, err := wire.MarshalResponse(f.Op, resp)
+	if err != nil {
+		return wire.ErrorFrame(f.Op, f.ID, err)
+	}
+	return wire.Frame{Op: f.Op, Flags: wire.FlagResponse, ID: f.ID, Payload: payload}
+}
+
+// handleHello (re-)registers a replica with a clean slate: acks reset,
+// fence lifted. A fenced replica that re-bootstraps earns its way back
+// into the barrier set — it is about to snapshot state that already
+// contains every barrier record.
+func (p *Primary) handleHello(r wire.ReplHelloRequest) (wire.ReplHelloResponse, error) {
+	if r.ReplicaID == "" {
+		return wire.ReplHelloResponse{}, fmt.Errorf("%w: empty replica id", wire.ErrBadMessage)
+	}
+	p.mu.Lock()
+	p.replicas[r.ReplicaID] = &replicaState{acked: make([]wal.LSN, p.db.NumShards())}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	prof := p.db.Profile()
+	return wire.ReplHelloResponse{
+		Shards:     uint32(p.db.NumShards()),
+		Profile:    prof.Name,
+		PayloadKey: prof.PayloadKey,
+	}, nil
+}
+
+func (p *Primary) handleSnapshot(r wire.ReplSnapshotRequest) (wire.ReplSnapshotResponse, error) {
+	if err := p.known(r.ReplicaID); err != nil {
+		return wire.ReplSnapshotResponse{}, err
+	}
+	if int(r.Shard) >= p.db.NumShards() {
+		return wire.ReplSnapshotResponse{}, fmt.Errorf("%w: no shard %d", wire.ErrBadMessage, r.Shard)
+	}
+	return wire.ReplSnapshotResponse{Image: p.db.Shard(int(r.Shard)).SegmentImage()}, nil
+}
+
+// handlePull records the replica's ack (After is the highest LSN it
+// has applied), wakes any barrier waiting on it, then long-polls the
+// shard's committed WAL for records past the cursor.
+func (p *Primary) handlePull(r wire.ReplPullRequest) (wire.ReplPullResponse, error) {
+	shard := int(r.Shard)
+	if shard >= p.db.NumShards() {
+		return wire.ReplPullResponse{}, fmt.Errorf("%w: no shard %d", wire.ErrBadMessage, r.Shard)
+	}
+	p.mu.Lock()
+	st := p.replicas[r.ReplicaID]
+	if st == nil {
+		p.mu.Unlock()
+		return wire.ReplPullResponse{}, fmt.Errorf("%w: unknown replica %q (hello first)", wire.ErrBadMessage, r.ReplicaID)
+	}
+	if st.fenced {
+		// A fenced replica's cursor position is no longer trusted by
+		// barriers; make it start over so its state is provably
+		// barrier-complete before it rejoins.
+		p.mu.Unlock()
+		return wire.ReplPullResponse{Resync: true}, nil
+	}
+	if shard < len(st.acked) && wal.LSN(r.After) > st.acked[shard] {
+		st.acked[shard] = wal.LSN(r.After)
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+
+	wait := time.Duration(r.WaitMicros) * time.Microsecond
+	if wait > maxPullWait {
+		wait = maxPullWait
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		batch, _, n, gap, err := p.db.ShardWALBatch(shard, wal.LSN(r.After), p.cfg.MaxBatchBytes)
+		if err != nil {
+			return wire.ReplPullResponse{}, err
+		}
+		durable, err := p.db.ShardDurable(shard)
+		if err != nil {
+			return wire.ReplPullResponse{}, err
+		}
+		if gap {
+			return wire.ReplPullResponse{Resync: true, Durable: int64(durable)}, nil
+		}
+		if n > 0 || !time.Now().Before(deadline) || p.isClosed() {
+			return wire.ReplPullResponse{Batch: batch, Durable: int64(durable)}, nil
+		}
+		time.Sleep(p.cfg.PollInterval)
+	}
+}
+
+func (p *Primary) handleBye(r wire.ReplByeRequest) (wire.ReplByeResponse, error) {
+	p.mu.Lock()
+	delete(p.replicas, r.ReplicaID)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	return wire.ReplByeResponse{}, nil
+}
+
+func (p *Primary) known(id string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.replicas[id] == nil {
+		return fmt.Errorf("%w: unknown replica %q (hello first)", wire.ErrBadMessage, id)
+	}
+	return nil
+}
+
+func (p *Primary) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+// barrier holds a Revoke/EraseSubject caller until every live replica
+// has acked shard's WAL up to lsn. Replicas still behind when the
+// timeout expires are fenced: the compliance acknowledgement must not
+// be hostage to a dead peer, and a fenced peer serves no further reads
+// from its stale state (its pulls answer Resync, and promotion
+// prefers caught-up replicas). Runs outside every shard lock — the
+// replica acks it waits on come from pulls against that same shard.
+func (p *Primary) barrier(shard int, lsn wal.LSN) {
+	deadline := time.Now().Add(p.cfg.BarrierTimeout)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for !p.closed {
+		behind := false
+		for _, st := range p.replicas {
+			if !st.fenced && shard < len(st.acked) && st.acked[shard] < lsn {
+				behind = true
+				break
+			}
+		}
+		if !behind {
+			return
+		}
+		if !time.Now().Before(deadline) {
+			for _, st := range p.replicas {
+				if !st.fenced && shard < len(st.acked) && st.acked[shard] < lsn {
+					st.fenced = true
+				}
+			}
+			p.cond.Broadcast()
+			return
+		}
+		// cond has no timed wait; an AfterFunc broadcast bounds how
+		// long a missing ack can keep us parked past the deadline.
+		t := time.AfterFunc(10*time.Millisecond, p.cond.Broadcast)
+		p.cond.Wait()
+		t.Stop()
+	}
+}

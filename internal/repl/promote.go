@@ -1,0 +1,65 @@
+package repl
+
+import (
+	"fmt"
+
+	"github.com/datacase/datacase/internal/compliance"
+)
+
+// Failover: when the primary dies, the most-caught-up replica is
+// promoted. "Caught up" compares applied primary LSNs (Position); the
+// promotion itself rebuilds the replica's state through the same
+// torn-tail-tolerant recovery walk crash recovery uses, so a replica
+// killed mid-apply promotes to exactly its last intact record — the
+// discipline that makes the stream format safe end to end.
+
+// MostCaughtUp picks the replica with the highest Position (nil for
+// an empty candidate set). Fenced replicas are the caller's problem:
+// a fenced replica's Position is honest about how far behind it is.
+func MostCaughtUp(replicas []*Replica) *Replica {
+	var best *Replica
+	for _, r := range replicas {
+		if r == nil {
+			continue
+		}
+		if best == nil || r.Position() > best.Position() {
+			best = r
+		}
+	}
+	return best
+}
+
+// Promote turns this replica into a primary-grade deployment: the
+// pull loops stop, the replica deregisters from the (presumably dead)
+// old primary, and the local state is rebuilt through the recovery
+// walk — per-shard segment images, torn tails discarded, directory
+// re-adopted. The returned deployment accepts writes and can itself
+// be wrapped by NewPrimary to serve the next replica set. The Replica
+// is spent afterwards: its Client keeps serving reads (now against
+// the promoted state), and Close no longer closes the promoted
+// deployment — its lifecycle belongs to the new primary's owner.
+func (r *Replica) Promote() (*compliance.ShardedDB, compliance.RecoveryStats, error) {
+	r.stop()
+	r.bye()
+	r.mu.Lock()
+	if r.promoted {
+		r.mu.Unlock()
+		return nil, compliance.RecoveryStats{}, fmt.Errorf("repl: replica %s already promoted", r.cfg.ID)
+	}
+	db := r.db
+	r.mu.Unlock()
+
+	promoted, st, err := db.Recover()
+	if err != nil {
+		return nil, st, fmt.Errorf("repl: promote %s: %w", r.cfg.ID, err)
+	}
+	// Swap the promoted deployment in before releasing the old one,
+	// so the Replica's Client keeps working — now against the
+	// promoted state.
+	old := r.install(promoted, nil)
+	r.mu.Lock()
+	r.promoted = true
+	r.mu.Unlock()
+	old.Close()
+	return promoted, st, nil
+}

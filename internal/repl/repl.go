@@ -1,0 +1,85 @@
+// Package repl is WAL-shipping replication for a Data-CASE deployment:
+// a Primary streams each shard's committed WAL records over the
+// internal/wire framing to N read replicas, which apply them through
+// the crash-recovery redo path and serve reads through the shared-lock
+// read path behind a read-only api.Client.
+//
+// Ordinary writes ship asynchronously — a replica is allowed to lag an
+// insert. Compliance verdicts are not: RecConsent and RecErase records
+// are synchronous barriers. Revoke and EraseSubject do not return on
+// the primary until every live replica has acked the barrier record's
+// LSN or been fenced out of the live set, and the replica fences its
+// policy decision cache when it applies one — so once the primary has
+// acknowledged a revocation, no replica connection can serve a read
+// the new consent state forbids. A fenced replica is excluded from
+// every later barrier until it re-bootstraps.
+//
+// The stream format is the WAL segment format itself: batches decode
+// with the same torn-tail-tolerant recovery walk that crash recovery
+// uses, so a batch cut short in flight is lag, not corruption. When
+// the primary's checkpointer truncates history past a replica's
+// cursor (or the primary's topology changes under the stream), the
+// pull answers Resync and the replica re-bootstraps from fresh
+// snapshots. Failover promotes the most-caught-up replica through the
+// same recovery walk (Promote).
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/datacase/datacase/internal/wire"
+)
+
+// replConn is one replication connection: requests and responses in
+// lockstep, one in flight (each shard's puller owns its own conn, so
+// a held-open long poll blocks nobody else).
+type replConn struct {
+	c      net.Conn
+	br     *bufio.Reader
+	nextID uint64
+}
+
+func dialConn(addr string, timeout time.Duration) (*replConn, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &replConn{c: c, br: bufio.NewReader(c)}, nil
+}
+
+// call runs one request/response exchange with an absolute timeout
+// covering both directions.
+func (rc *replConn) call(op wire.Op, req any, timeout time.Duration) (any, error) {
+	payload, err := wire.MarshalRequest(op, req)
+	if err != nil {
+		return nil, err
+	}
+	rc.nextID++
+	f := wire.Frame{Op: op, ID: rc.nextID, Payload: payload}
+	if err := rc.c.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	if err := wire.WriteFrame(rc.c, f); err != nil {
+		return nil, err
+	}
+	resp, err := wire.ReadFrame(rc.br)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Flags&wire.FlagResponse == 0 || resp.Op != op || resp.ID != f.ID {
+		return nil, fmt.Errorf("repl: response does not match request (op %v id %d)", resp.Op, resp.ID)
+	}
+	if err := wire.ResponseError(resp); err != nil {
+		return nil, err
+	}
+	return wire.UnmarshalResponse(op, resp.Payload)
+}
+
+func (rc *replConn) close() {
+	if rc != nil && rc.c != nil {
+		rc.c.Close()
+	}
+}

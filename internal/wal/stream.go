@@ -1,0 +1,46 @@
+package wal
+
+// Replication stream support. A primary ships committed WAL records to
+// replicas in batches whose encoding IS the segment format — a batch is
+// a contiguous slice of the log's durable image ([frameLen u32][record]
+// per entry, see segment.go) — so the replica-side decoder is the same
+// torn-tail-tolerant Recover walk crash recovery uses: a batch cut
+// short in flight applies its intact prefix and the replica simply
+// re-pulls from the last intact LSN.
+
+// BatchAfter frames the committed records with LSN > after into a
+// replication batch, up to roughly maxBytes (at least one record is
+// always included when any qualifies; maxBytes <= 0 means unbounded).
+// Only records at or below the durable horizon ship — a group-commit
+// batch mid-flight is not yet committed. It returns the framed batch,
+// the LSN of the last record included, the record count, and gap: true
+// when the log's retained prefix no longer reaches after+1 (a
+// checkpoint truncated records the cursor never saw), in which case the
+// caller must resynchronize from a full segment image instead.
+func (l *Log) BatchAfter(after LSN, maxBytes int) (batch []byte, last LSN, n int, gap bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	// The retained records are dense: truncation only drops a prefix.
+	// A cursor behind the first retained LSN has a hole it can never
+	// pull through; so does one behind an empty log whose records were
+	// all truncated away.
+	first := l.next
+	if len(l.records) > 0 {
+		first = l.records[0].LSN
+	}
+	if after+1 < first {
+		return nil, 0, 0, true
+	}
+	for _, r := range l.records {
+		if r.LSN <= after || r.LSN > l.flushed {
+			continue
+		}
+		if maxBytes > 0 && n > 0 && len(batch) >= maxBytes {
+			break
+		}
+		batch = AppendFrame(batch, r)
+		last = r.LSN
+		n++
+	}
+	return batch, last, n, false
+}

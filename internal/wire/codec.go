@@ -222,6 +222,20 @@ func MarshalRequest(op Op, req any) ([]byte, error) {
 		e.str(string(r.Entity))
 	case OpAudit:
 		_ = req.(api.AuditRequest)
+	case OpReplHello:
+		e.str(req.(ReplHelloRequest).ReplicaID)
+	case OpReplSnapshot:
+		r := req.(ReplSnapshotRequest)
+		e.str(r.ReplicaID)
+		e.u32(r.Shard)
+	case OpReplPull:
+		r := req.(ReplPullRequest)
+		e.str(r.ReplicaID)
+		e.u32(r.Shard)
+		e.i64(r.After)
+		e.u32(r.WaitMicros)
+	case OpReplBye:
+		e.str(req.(ReplByeRequest).ReplicaID)
 	default:
 		return nil, fmt.Errorf("%w: marshal request op %d", ErrBadOp, op)
 	}
@@ -279,6 +293,16 @@ func UnmarshalRequest(op Op, payload []byte) (any, error) {
 		}
 	case OpAudit:
 		req = api.AuditRequest{}
+	case OpReplHello:
+		req = ReplHelloRequest{ReplicaID: d.str()}
+	case OpReplSnapshot:
+		req = ReplSnapshotRequest{ReplicaID: d.str(), Shard: d.u32()}
+	case OpReplPull:
+		req = ReplPullRequest{
+			ReplicaID: d.str(), Shard: d.u32(), After: d.i64(), WaitMicros: d.u32(),
+		}
+	case OpReplBye:
+		req = ReplByeRequest{ReplicaID: d.str()}
 	default:
 		return nil, fmt.Errorf("%w: unmarshal request op %d", ErrBadOp, op)
 	}
@@ -316,6 +340,20 @@ func MarshalResponse(op Op, resp any) ([]byte, error) {
 		e.i64(r.Now)
 		e.strs(r.Checked)
 		e.strs(r.Violations)
+	case OpReplHello:
+		r := resp.(ReplHelloResponse)
+		e.u32(r.Shards)
+		e.str(r.Profile)
+		e.bytes(r.PayloadKey)
+	case OpReplSnapshot:
+		e.bytes(resp.(ReplSnapshotResponse).Image)
+	case OpReplPull:
+		r := resp.(ReplPullResponse)
+		e.bool(r.Resync)
+		e.bytes(r.Batch)
+		e.i64(r.Durable)
+	case OpReplBye:
+		_ = resp.(ReplByeResponse)
 	default:
 		return nil, fmt.Errorf("%w: marshal response op %d", ErrBadOp, op)
 	}
@@ -367,6 +405,16 @@ func UnmarshalResponse(op Op, payload []byte) (any, error) {
 			Checked:    d.strs(),
 			Violations: d.strs(),
 		}
+	case OpReplHello:
+		resp = ReplHelloResponse{
+			Shards: d.u32(), Profile: d.str(), PayloadKey: d.bytes(),
+		}
+	case OpReplSnapshot:
+		resp = ReplSnapshotResponse{Image: d.bytes()}
+	case OpReplPull:
+		resp = ReplPullResponse{Resync: d.bool(), Batch: d.bytes(), Durable: d.i64()}
+	case OpReplBye:
+		resp = ReplByeResponse{}
 	default:
 		return nil, fmt.Errorf("%w: unmarshal response op %d", ErrBadOp, op)
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/datacase/datacase/internal/api"
 	"github.com/datacase/datacase/internal/compliance"
 )
 
@@ -28,6 +29,7 @@ const (
 	CodeUnavailable ErrCode = 6
 	CodeCancelled   ErrCode = 7
 	CodeDeadline    ErrCode = 8
+	CodeReadOnly    ErrCode = 9
 )
 
 // ErrUnavailable: the server is draining and admitted no new request.
@@ -43,6 +45,7 @@ var codeSentinels = map[ErrCode]error{
 	CodeUnavailable: ErrUnavailable,
 	CodeCancelled:   context.Canceled,
 	CodeDeadline:    context.DeadlineExceeded,
+	CodeReadOnly:    api.ErrReadOnlyReplica,
 }
 
 // EncodeError maps a handler error to its wire code. Unclassified
@@ -63,6 +66,8 @@ func EncodeError(err error) (ErrCode, string) {
 		return CodeCancelled, err.Error()
 	case errors.Is(err, context.DeadlineExceeded):
 		return CodeDeadline, err.Error()
+	case errors.Is(err, api.ErrReadOnlyReplica):
+		return CodeReadOnly, err.Error()
 	default:
 		return CodeInternal, err.Error()
 	}
@@ -118,4 +123,31 @@ func parseErrorPayload(payload []byte) (ErrCode, string, error) {
 		return 0, "", fmt.Errorf("%w: error payload", err)
 	}
 	return code, msg, nil
+}
+
+// ErrorFrame builds the error response frame for a request, for
+// servers that speak raw frames outside Server's dispatch loop (the
+// replication primary).
+func ErrorFrame(op Op, id uint64, err error) Frame {
+	code, msg := EncodeError(err)
+	return Frame{
+		Op:      op,
+		Flags:   FlagResponse | FlagError,
+		ID:      id,
+		Payload: appendErrorPayload(nil, code, msg),
+	}
+}
+
+// ResponseError extracts the error carried by a response frame, or nil
+// when the frame is a success response. A frame that claims to be an
+// error but whose payload does not parse surfaces as ErrBadMessage.
+func ResponseError(f Frame) error {
+	if f.Flags&FlagError == 0 {
+		return nil
+	}
+	code, msg, err := parseErrorPayload(f.Payload)
+	if err != nil {
+		return err
+	}
+	return DecodeError(code, msg)
 }

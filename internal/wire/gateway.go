@@ -35,9 +35,23 @@ type Router struct {
 	// subjects pins a data subject to the backend its records live on;
 	// keys pins each record key to the backend that created it.
 	subjects map[string]string
-	keys     map[string]string
-	// pools caches connections per backend address across topologies.
+	keys     map[string]keyPin
+	// subjectKeys indexes the key pins by the subject whose Create made
+	// them, so an erased subject's key pins leave with its subject pin
+	// instead of outliving it (and routing a re-created key to the old
+	// placement).
+	subjectKeys map[string]map[string]struct{}
+	// pools caches connections per backend address across topologies;
+	// UpdateTopology retires pools no topology entry or pin routes to.
 	pools map[string]*clientPool
+}
+
+// keyPin is one key-directory entry: the backend holding the key, and
+// the subject that created it (empty for probe-learned pins, whose
+// subject the router never saw).
+type keyPin struct {
+	addr    string
+	subject string
 }
 
 // topology is one immutable epoch of the server set.
@@ -52,9 +66,10 @@ func NewRouter(epoch uint64, addrs []string) (*Router, error) {
 		return nil, errors.New("wire: router needs at least one backend address")
 	}
 	r := &Router{
-		subjects: make(map[string]string),
-		keys:     make(map[string]string),
-		pools:    make(map[string]*clientPool),
+		subjects:    make(map[string]string),
+		keys:        make(map[string]keyPin),
+		subjectKeys: make(map[string]map[string]struct{}),
+		pools:       make(map[string]*clientPool),
 	}
 	r.topo.Store(&topology{epoch: epoch, addrs: append([]string(nil), addrs...)})
 	return r, nil
@@ -84,9 +99,44 @@ func (r *Router) UpdateTopology(epoch uint64, addrs []string) (bool, error) {
 			return false, nil
 		}
 		if r.topo.CompareAndSwap(cur, next) {
+			r.retirePools()
 			return true, nil
 		}
 	}
+}
+
+// retirePools closes and drops connection pools for backend addresses
+// the flip retired: addresses in no live topology entry and no pin.
+// Without this, sockets to dead backends would linger for the life of
+// the gateway. (A request that resolved its address before the flip may
+// transiently re-create a pool; the next flip retires it again.)
+func (r *Router) retirePools() {
+	live := make(map[string]bool)
+	for _, a := range r.topo.Load().addrs {
+		live[a] = true
+	}
+	r.mu.Lock()
+	for _, a := range r.subjects {
+		live[a] = true
+	}
+	for _, p := range r.keys {
+		live[p.addr] = true
+	}
+	for addr, p := range r.pools {
+		if !live[addr] {
+			p.closeAll()
+			delete(r.pools, addr)
+		}
+	}
+	r.mu.Unlock()
+}
+
+// NumPools reports how many backend connection pools are live (tests
+// assert retired addresses are actually dropped).
+func (r *Router) NumPools() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.pools)
 }
 
 // subjectAddr resolves a subject's backend: its pin, or the FNV
@@ -102,30 +152,55 @@ func (r *Router) subjectAddr(subject string) string {
 	return t.addrs[compliance.SubjectShard(subject, len(t.addrs))]
 }
 
-// pin records a subject's (and optionally a key's) home backend.
+// pin records a subject's (and optionally a key's) home backend. A key
+// pinned with its subject is indexed under it, so unpinSubject can
+// clear the subject's whole key set.
 func (r *Router) pin(subject, key, addr string) {
 	r.mu.Lock()
 	if subject != "" {
 		r.subjects[subject] = addr
 	}
 	if key != "" {
-		r.keys[key] = addr
+		r.keys[key] = keyPin{addr: addr, subject: subject}
+		if subject != "" {
+			ks := r.subjectKeys[subject]
+			if ks == nil {
+				ks = make(map[string]struct{})
+				r.subjectKeys[subject] = ks
+			}
+			ks[key] = struct{}{}
+		}
 	}
 	r.mu.Unlock()
 }
 
-// unpinSubject forgets an erased subject (a re-created subject hashes
-// freshly over the then-current topology).
+// unpinSubject forgets an erased subject and every key pin its Creates
+// made (a re-created subject — or key — hashes freshly over the
+// then-current topology; a surviving key pin would both leak and route
+// the re-created key to the stale placement).
 func (r *Router) unpinSubject(subject string) {
 	r.mu.Lock()
 	delete(r.subjects, subject)
+	for key := range r.subjectKeys[subject] {
+		delete(r.keys, key)
+	}
+	delete(r.subjectKeys, subject)
 	r.mu.Unlock()
 }
 
-// unpinKey forgets a deleted (or misrouted-and-absent) key.
+// unpinKey forgets a deleted (or misrouted-and-absent) key, including
+// its slot in the subject's key index.
 func (r *Router) unpinKey(key string) {
 	r.mu.Lock()
-	delete(r.keys, key)
+	if p, ok := r.keys[key]; ok {
+		delete(r.keys, key)
+		if ks := r.subjectKeys[p.subject]; ks != nil {
+			delete(ks, key)
+			if len(ks) == 0 {
+				delete(r.subjectKeys, p.subject)
+			}
+		}
+	}
 	r.mu.Unlock()
 }
 
@@ -174,10 +249,10 @@ func (r *Router) Create(ctx context.Context, req api.CreateRequest) (api.CreateR
 func keyed[T any](r *Router, key string, f func(c *RemoteClient) (T, error)) (T, error) {
 	var zero T
 	r.mu.RLock()
-	addr, ok := r.keys[key]
+	p, ok := r.keys[key]
 	r.mu.RUnlock()
 	if ok {
-		out, err := f2(r, addr, f)
+		out, err := f2(r, p.addr, f)
 		if err != nil && errors.Is(err, compliance.ErrNotFound) {
 			r.unpinKey(key)
 		}
@@ -193,9 +268,13 @@ func keyed[T any](r *Router, key string, f func(c *RemoteClient) (T, error)) (T,
 		case errors.Is(err, compliance.ErrNotFound):
 			lastNotFound = err
 		default:
-			// Denied, exists, transport, …: the backend that answered
-			// owns the key; don't keep probing past a real answer.
-			if !isTransportErr(err) {
+			// A real (non-transport) answer ends the probe, but only an
+			// answer that proves ownership may pin: success (above) or
+			// exists — which only the backend holding the key can say. A
+			// denial proves nothing about placement (a backend hosting a
+			// *different* subject's record under policy answers ErrDenied
+			// too), and pinning on it would route the key wrong forever.
+			if errors.Is(err, compliance.ErrExists) {
 				r.pin("", key, addr)
 			}
 			return zero, err
@@ -210,20 +289,6 @@ func keyed[T any](r *Router, key string, f func(c *RemoteClient) (T, error)) (T,
 // f2 adapts withBackend for keyed's closure shape.
 func f2[T any](r *Router, addr string, f func(c *RemoteClient) (T, error)) (T, error) {
 	return withBackend(r, addr, f)
-}
-
-// isTransportErr reports whether err is a connection-level failure
-// rather than a remote answer.
-func isTransportErr(err error) bool {
-	var re *remoteError
-	if errors.As(err, &re) {
-		return false
-	}
-	return !errors.Is(err, compliance.ErrDenied) &&
-		!errors.Is(err, compliance.ErrNotFound) &&
-		!errors.Is(err, compliance.ErrExists) &&
-		!errors.Is(err, context.Canceled) &&
-		!errors.Is(err, context.DeadlineExceeded)
 }
 
 // ReadData routes by key.

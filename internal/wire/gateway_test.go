@@ -251,6 +251,179 @@ func TestGatewayFreshRouterFindsExistingKeys(t *testing.T) {
 	}
 }
 
+// TestGatewayErasedKeyRoutesFreshAfterFlip is the pin-lifecycle
+// regression test: EraseSubject must clear the subject's key pins with
+// the subject pin, so a re-created key after a topology flip routes to
+// the NEW placement instead of leaking a stale route to the old one.
+func TestGatewayErasedKeyRoutesFreshAfterFlip(t *testing.T) {
+	cl := startCluster(t, 2)
+	ctx := context.Background()
+	r := cl.gw.Router
+
+	if _, err := cl.c.Create(ctx, api.CreateRequest{Record: wireRecord("pk1", "carol")}); err != nil {
+		t.Fatal(err)
+	}
+	home := compliance.SubjectShard("carol", 2)
+
+	if _, err := cl.c.EraseSubject(ctx, api.EraseSubjectRequest{
+		Subject: "carol", Entity: compliance.EntitySystem,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The erase took the key pins with the subject pin: nothing routes
+	// to the old placement anymore.
+	r.mu.RLock()
+	nKeys, nSubjects, nIdx := len(r.keys), len(r.subjects), len(r.subjectKeys)
+	r.mu.RUnlock()
+	if nKeys != 0 || nSubjects != 0 || nIdx != 0 {
+		t.Fatalf("directory not empty after erase: keys=%d subjects=%d subjectKeys=%d",
+			nKeys, nSubjects, nIdx)
+	}
+
+	// Flip so carol's hash placement moves to the other backend, then
+	// re-create the same key: it must land on the NEW placement.
+	if flipped, err := r.UpdateTopology(2, []string{cl.addrs[1], cl.addrs[0]}); err != nil || !flipped {
+		t.Fatalf("flip: %v %v", flipped, err)
+	}
+	if _, err := cl.c.Create(ctx, api.CreateRequest{Record: wireRecord("pk1", "carol")}); err != nil {
+		t.Fatal(err)
+	}
+	newHome := 1 - home // same hash index, reversed address list
+	counts := cl.homesOf(t, "carol")
+	if counts[newHome] != 1 || counts[home] != 0 {
+		t.Fatalf("re-created subject at %v, want backend %d only", counts, newHome)
+	}
+	// And the key reads back through the gateway (the directory pin
+	// points at the new home, not the erased one).
+	read, err := cl.c.ReadData(ctx, api.ReadDataRequest{
+		Key: "pk1", Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+	})
+	if err != nil || !bytes.Equal(read.Payload, []byte("obs|carol")) {
+		t.Fatalf("re-created key: %q, %v", read.Payload, err)
+	}
+}
+
+// TestGatewayPoolRetirementOnTopologyFlip is the connection-pool-leak
+// regression test: a flip retires pools for addresses no topology entry
+// and no pin routes to — and keeps the ones a pin still needs.
+func TestGatewayPoolRetirementOnTopologyFlip(t *testing.T) {
+	cl := startCluster(t, 2)
+	ctx := context.Background()
+	r := cl.gw.Router
+
+	// One subject homed on each backend, so both pools exist.
+	var subj [2]string
+	for i := 0; subj[0] == "" || subj[1] == ""; i++ {
+		s := fmt.Sprintf("pool-subj-%d", i)
+		subj[compliance.SubjectShard(s, 2)] = s
+	}
+	for i, s := range subj {
+		if _, err := cl.c.Create(ctx, api.CreateRequest{Record: wireRecord(fmt.Sprintf("pool-k%d", i), s)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := r.NumPools(); n != 2 {
+		t.Fatalf("pools after creates = %d, want 2", n)
+	}
+
+	// Shrink the topology to backend 0 only. Backend 1 still holds
+	// subj[1]'s records and its pins survive the flip, so its pool must
+	// NOT be retired — retiring it would orphan the pinned data.
+	if flipped, err := r.UpdateTopology(2, cl.addrs[:1]); err != nil || !flipped {
+		t.Fatalf("flip: %v %v", flipped, err)
+	}
+	if n := r.NumPools(); n != 2 {
+		t.Fatalf("pools after shrink with live pin = %d, want 2", n)
+	}
+	read, err := cl.c.ReadData(ctx, api.ReadDataRequest{
+		Key: "pool-k1", Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+	})
+	if err != nil || !bytes.Equal(read.Payload, []byte("obs|"+subj[1])) {
+		t.Fatalf("pinned key off-topology: %q, %v", read.Payload, err)
+	}
+
+	// Erase the off-topology subject, then flip again: now nothing
+	// routes to backend 1 and its pool is closed and dropped.
+	if _, err := cl.c.EraseSubject(ctx, api.EraseSubjectRequest{
+		Subject: subj[1], Entity: compliance.EntitySystem,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if flipped, err := r.UpdateTopology(3, cl.addrs[:1]); err != nil || !flipped {
+		t.Fatalf("re-flip: %v %v", flipped, err)
+	}
+	if n := r.NumPools(); n != 1 {
+		t.Fatalf("pools after erase+flip = %d, want 1", n)
+	}
+	// The surviving pool still serves.
+	if _, err := cl.c.ReadData(ctx, api.ReadDataRequest{
+		Key: "pool-k0", Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGatewayProbePinsOnlyOnOwnershipProof is the probe-pinning
+// regression test: only answers that prove a backend holds the key —
+// success or ErrExists — may pin. ErrDenied ends the probe but proves
+// nothing about placement, so it must never pin.
+func TestGatewayProbePinsOnlyOnOwnershipProof(t *testing.T) {
+	cl := startCluster(t, 2)
+	r := cl.gw.Router
+
+	pinOf := func(key string) (string, bool) {
+		r.mu.RLock()
+		defer r.mu.RUnlock()
+		p, ok := r.keys[key]
+		return p.addr, ok
+	}
+
+	cases := []struct {
+		name     string
+		answers  []error // per probed backend, in topology order
+		wantErr  error
+		wantPin  bool
+		pinFirst bool // pin must be the first probed address
+	}{
+		{"denied-never-pins", []error{compliance.ErrDenied}, compliance.ErrDenied, false, false},
+		{"notfound-then-denied", []error{compliance.ErrNotFound, compliance.ErrDenied}, compliance.ErrDenied, false, false},
+		{"exists-pins", []error{compliance.ErrExists}, compliance.ErrExists, true, true},
+		{"success-pins", []error{nil}, nil, true, true},
+		{"notfound-then-success", []error{compliance.ErrNotFound, nil}, nil, true, false},
+		{"notfound-everywhere", []error{compliance.ErrNotFound, compliance.ErrNotFound}, compliance.ErrNotFound, false, false},
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			key := fmt.Sprintf("probe-%d", i)
+			calls := 0
+			_, err := keyed(r, key, func(*RemoteClient) (struct{}, error) {
+				e := tc.answers[calls]
+				calls++
+				return struct{}{}, e
+			})
+			if tc.wantErr == nil && err != nil {
+				t.Fatalf("keyed: %v", err)
+			}
+			if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+				t.Fatalf("keyed err = %v, want %v", err, tc.wantErr)
+			}
+			addr, pinned := pinOf(key)
+			if pinned != tc.wantPin {
+				t.Fatalf("pinned = %v (addr %q), want %v", pinned, addr, tc.wantPin)
+			}
+			if tc.wantPin {
+				want := cl.addrs[len(tc.answers)-1]
+				if tc.pinFirst {
+					want = cl.addrs[0]
+				}
+				if addr != want {
+					t.Fatalf("pinned to %q, want %q", addr, want)
+				}
+			}
+		})
+	}
+}
+
 func TestGatewayScanAndAuditFanOut(t *testing.T) {
 	cl := startCluster(t, 2)
 	ctx := context.Background()

@@ -1,0 +1,76 @@
+package wire
+
+// Replication messages (internal/repl). They reuse the frame format
+// and codec of the client protocol but are served by a repl.Primary on
+// its own listener; a plain Server answers them with ErrBadOp. Like
+// every op, their codes and field order are append-only protocol.
+
+// ReplHelloRequest introduces a replica. The primary answers with the
+// deployment shape the replica must mirror.
+type ReplHelloRequest struct {
+	// ReplicaID names the replica for ack tracking and fencing. Two
+	// connections with the same ID are the same replica.
+	ReplicaID string
+}
+
+// ReplHelloResponse describes the primary's deployment.
+type ReplHelloResponse struct {
+	// Shards is the primary's shard count; the replica mirrors it.
+	Shards uint32
+	// Profile is the primary's profile name (sanity check only).
+	Profile string
+	// PayloadKey is the deployment's at-rest payload key. The
+	// replication handshake plays KMS, exactly as the recovery path
+	// does: segment images are useless without it.
+	PayloadKey []byte
+}
+
+// ReplSnapshotRequest asks for one shard's full segment image, the
+// bootstrap point for the incremental stream.
+type ReplSnapshotRequest struct {
+	ReplicaID string
+	Shard     uint32
+}
+
+// ReplSnapshotResponse carries the shard's durable segment image. The
+// replica derives its stream cursor from the image's own last LSN.
+type ReplSnapshotResponse struct {
+	Image []byte
+}
+
+// ReplPullRequest long-polls one shard's committed WAL records after a
+// cursor. After doubles as the replica's ack: sending After=N tells
+// the primary every record up to N is applied, which is what a
+// revocation barrier waits on.
+type ReplPullRequest struct {
+	ReplicaID string
+	Shard     uint32
+	// After is the last primary LSN the replica has applied.
+	After int64
+	// WaitMicros bounds how long the primary may hold the poll open
+	// waiting for new records (0 = answer immediately).
+	WaitMicros uint32
+}
+
+// ReplPullResponse answers a pull.
+type ReplPullResponse struct {
+	// Resync: the primary's retained WAL no longer reaches After+1 (a
+	// checkpoint truncated past the cursor, or the topology changed).
+	// The replica must re-bootstrap from snapshots; Batch is empty.
+	Resync bool
+	// Batch is zero or more records in segment framing (wal.Recover
+	// decodes it); empty when the wait expired with nothing new.
+	Batch []byte
+	// Durable is the shard's durable LSN at answer time, so a replica
+	// can report its lag.
+	Durable int64
+}
+
+// ReplByeRequest deregisters a replica cleanly, so barriers stop
+// waiting on it without burning the fencing timeout.
+type ReplByeRequest struct {
+	ReplicaID string
+}
+
+// ReplByeResponse acknowledges the goodbye.
+type ReplByeResponse struct{}

@@ -55,8 +55,17 @@ const (
 	OpRevoke        Op = 10
 	OpAudit         Op = 11
 
+	// Replication ops (internal/repl): a replica's handshake, shard
+	// bootstrap, batch long-poll and clean goodbye. They ride the same
+	// framing but are served by a repl.Primary, not by Server — a plain
+	// Server answers them with ErrBadOp.
+	OpReplHello    Op = 12
+	OpReplSnapshot Op = 13
+	OpReplPull     Op = 14
+	OpReplBye      Op = 15
+
 	// maxOp guards frame decoding; bump when appending codes.
-	maxOp = OpAudit
+	maxOp = OpReplBye
 )
 
 var opNames = map[Op]string{
@@ -71,6 +80,10 @@ var opNames = map[Op]string{
 	OpEraseSubject:  "erase-subject",
 	OpRevoke:        "revoke",
 	OpAudit:         "audit",
+	OpReplHello:     "repl-hello",
+	OpReplSnapshot:  "repl-snapshot",
+	OpReplPull:      "repl-pull",
+	OpReplBye:       "repl-bye",
 }
 
 // String names the op for logs and errors.
