@@ -31,12 +31,17 @@
 //	                                           # async lag vs barriered
 //	                                           # revocation latency; writes
 //	                                           # BENCH_replication.json
+//	datacase-bench -exp ingest -ingest-batches 1,16,256
+//	                                           # batched write admission ×
+//	                                           # full vs incremental
+//	                                           # checkpoints; writes
+//	                                           # BENCH_ingest.json
 //	datacase-bench -list                       # print the experiment
 //	                                           # registry and exit
 //
 // Experiments: table1, fig3, fig4a, fig4b, fig4c, table2, deleteonly,
 // shardscale, loadgen, recovery, backend, readpath, reshard, network,
-// replication, all. An unknown
+// replication, ingest, all. An unknown
 // -exp value exits with status 2 and a usage message; -list prints the
 // registry with one-line descriptions and exits 0.
 package main
@@ -72,6 +77,7 @@ var experimentInfo = []struct {
 	{"reshard", "elastic resharding: Zipfian hot shard measured before/after a live rebalancer split; writes BENCH_reshard.json"},
 	{"network", "end-to-end network soak: a wire-connection fleet through the subject-routing gateway; writes BENCH_network.json"},
 	{"replication", "WAL-shipping replica set: async write lag vs synchronous revocation-barrier latency; writes BENCH_replication.json"},
+	{"ingest", "batched write admission sweep: batch size × backend × full/incremental checkpoints; writes BENCH_ingest.json"},
 }
 
 // experimentNames returns the registry names in order.
@@ -156,6 +162,12 @@ func main() {
 		replRevokes  = flag.Int("repl-revokes", 50, "measured revocation barriers for -exp replication")
 		replErases   = flag.Int("repl-erases", 10, "measured erasure barriers for -exp replication")
 		replOut      = flag.String("repl-out", "BENCH_replication.json", "JSON output path for -exp replication")
+
+		ingBatches = flag.String("ingest-batches", "1,16,256", "batch-size sweep for -exp ingest")
+		ingRecords = flag.Int("ingest-records", 4096, "records ingested per sweep point for -exp ingest")
+		ingShards  = flag.Int("ingest-shards", 4, "shard count for -exp ingest")
+		ingEvery   = flag.Int("ingest-checkpoint-every", 64, "per-shard checkpoint interval (ops) for -exp ingest")
+		ingOut     = flag.String("ingest-out", "BENCH_ingest.json", "JSON output path for -exp ingest")
 	)
 	flag.Parse()
 
@@ -278,6 +290,9 @@ func main() {
 	}
 	if run("replication") {
 		runReplication(*replShards, *replReplicas, *replRecords, *replWrites, *replRevokes, *replErases, *seed, *replOut)
+	}
+	if run("ingest") {
+		runIngest(*ingBatches, *ingRecords, *ingShards, *ingEvery, *ingOut, *csv)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr,
@@ -508,6 +523,34 @@ func runReplication(shards, replicas, records, writes, revokes, erases int, seed
 	_, err := datacase.ReadReplicationJSON(out)
 	fail(err)
 	fmt.Printf("wrote %s (%d results, zero barrier violations)\n", out, len(results))
+}
+
+// runIngest sweeps batch sizes over both backends with full and
+// incremental checkpoints, renders the throughput figure and writes
+// (then re-reads, enforcing the batch-speedup and delta-ratio gates)
+// the machine-readable BENCH_ingest.json.
+func runIngest(batchesCSV string, records, shards, every int, out string, csv bool) {
+	batches, err := parseShards(batchesCSV) // same "positive ints" grammar
+	fail(err)
+	fmt.Printf("running ingest (records=%d, shards=%d, batches=%v, checkpoint every %d ops/shard, backends=%v)...\n",
+		records, shards, batches, every, datacase.Backends())
+	var results []datacase.IngestResult
+	for _, backend := range datacase.Backends() {
+		for _, incremental := range []bool{false, true} {
+			for _, bs := range batches {
+				r, err := datacase.RunIngest(backend, records, bs, shards, every, incremental)
+				fail(err)
+				fail(r.Validate())
+				fmt.Printf("  %s\n", r)
+				results = append(results, r)
+			}
+		}
+	}
+	render(datacase.IngestFigure(results), nil, csv)
+	fail(datacase.WriteIngestJSON(out, results))
+	_, err = datacase.ReadIngestJSON(out)
+	fail(err)
+	fmt.Printf("wrote %s (%d results, batch speedups above the floor)\n", out, len(results))
 }
 
 // parseShards parses a comma-separated shard-count sweep like "1,4,16".

@@ -585,6 +585,35 @@ var (
 	ReadRecoveryJSON = benchx.ReadRecoveryJSON
 )
 
+// ---- Batched-ingest experiment (-exp ingest) ----
+
+type (
+	// IngestResult is one BENCH_ingest.json row: throughput and
+	// checkpoint bytes for one (backend, batch size, checkpoint mode).
+	IngestResult = benchx.IngestResult
+	// IngestReport is the BENCH_ingest.json document envelope.
+	IngestReport = benchx.IngestReport
+)
+
+var (
+	// RunIngest ingests records through IngestBatch at one batch size.
+	RunIngest = benchx.RunIngest
+	// IngestSweep runs backend x batch size x checkpoint mode.
+	IngestSweep = benchx.IngestSweep
+	// IngestBatchSizes is the default 1/16/256 batch-size axis.
+	IngestBatchSizes = benchx.IngestBatchSizes
+	// IngestFigure renders sweep results as throughput-vs-batch-size.
+	IngestFigure = benchx.IngestFigure
+	// WriteIngestJSON writes results as a BENCH_ingest.json document.
+	WriteIngestJSON = benchx.WriteIngestJSON
+	// ReadIngestJSON parses and validates a BENCH_ingest.json file,
+	// enforcing the batch-speedup and delta-ratio gates.
+	ReadIngestJSON = benchx.ReadIngestJSON
+	// ValidateIngestReport checks an ingest report's per-result and
+	// cross-result gates.
+	ValidateIngestReport = benchx.ValidateIngestReport
+)
+
 // ---- Transport-neutral Client API and the wire serving stack ----
 
 type (

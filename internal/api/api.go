@@ -39,6 +39,20 @@ type CreateRequest struct {
 // CreateResponse acknowledges a collection.
 type CreateResponse struct{}
 
+// CreateBatchRequest collects many records in one admission: the
+// deployment bins them by home shard and admits each bin under a
+// single shard-lock acquisition and WAL group submission.
+type CreateBatchRequest struct {
+	Records []gdprbench.Record
+}
+
+// CreateBatchResponse reports how many records were created. On error
+// the count covers the shard bins that committed before the failure —
+// each bin is all-or-nothing, but bins commit independently.
+type CreateBatchResponse struct {
+	Created int
+}
+
 // ReadDataRequest reads a record's personal data by key.
 type ReadDataRequest struct {
 	Key     string
@@ -169,6 +183,7 @@ func (r AuditResponse) Compliant() bool { return len(r.Violations) == 0 }
 // context cancellation surfaces as ctx.Err().
 type Client interface {
 	Create(ctx context.Context, req CreateRequest) (CreateResponse, error)
+	CreateBatch(ctx context.Context, req CreateBatchRequest) (CreateBatchResponse, error)
 	ReadData(ctx context.Context, req ReadDataRequest) (ReadDataResponse, error)
 	UpdateData(ctx context.Context, req UpdateDataRequest) (UpdateDataResponse, error)
 	DeleteData(ctx context.Context, req DeleteDataRequest) (DeleteDataResponse, error)

@@ -34,6 +34,17 @@ func (l *Local) Create(ctx context.Context, req CreateRequest) (CreateResponse, 
 	return CreateResponse{}, l.db.Create(req.Record)
 }
 
+// CreateBatch collects many records under one admission per home
+// shard. Cancellation is checked only at entry: each shard bin is one
+// commit unit, so a deadline expiring mid-batch must not tear it.
+func (l *Local) CreateBatch(ctx context.Context, req CreateBatchRequest) (CreateBatchResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return CreateBatchResponse{}, err
+	}
+	n, err := l.db.CreateBatch(req.Records)
+	return CreateBatchResponse{Created: n}, err
+}
+
 // ReadData reads a record's personal data by key.
 func (l *Local) ReadData(ctx context.Context, req ReadDataRequest) (ReadDataResponse, error) {
 	if err := ctx.Err(); err != nil {

@@ -162,6 +162,12 @@ func TestLocalCancellationAtEntry(t *testing.T) {
 			_, err := l.Create(ctx, CreateRequest{Record: localRecord("c2", "bob")})
 			return err
 		},
+		"CreateBatch": func() error {
+			_, err := l.CreateBatch(ctx, CreateBatchRequest{
+				Records: []gdprbench.Record{localRecord("c3", "bob")},
+			})
+			return err
+		},
 		"ReadData": func() error {
 			_, err := l.ReadData(ctx, ReadDataRequest{Key: "c1", Entity: compliance.EntityController, Purpose: compliance.PurposeService})
 			return err
@@ -252,5 +258,41 @@ func TestLocalScanCancellationBetweenShards(t *testing.T) {
 	}
 	if _, err := l.Audit(&trippingCtx{Context: bg, after: 1}, AuditRequest{}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("mid-audit cancellation: %v", err)
+	}
+}
+
+func TestLocalCreateBatch(t *testing.T) {
+	l := openLocal(t, 4)
+	ctx := context.Background()
+	recs := []gdprbench.Record{
+		localRecord("b1", "alice"), localRecord("b2", "bob"),
+		localRecord("b3", "carol"), localRecord("b4", "alice"),
+	}
+	resp, err := l.CreateBatch(ctx, CreateBatchRequest{Records: recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Created != len(recs) {
+		t.Fatalf("Created = %d, want %d", resp.Created, len(recs))
+	}
+	for _, rec := range recs {
+		read, err := l.ReadData(ctx, ReadDataRequest{
+			Key: rec.Key, Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+		})
+		if err != nil || !bytes.Equal(read.Payload, rec.Payload) {
+			t.Fatalf("read %s = %q, %v", rec.Key, read.Payload, err)
+		}
+	}
+	// A batch holding an already-taken key surfaces ErrExists; the
+	// response still reports how many records the other shard bins
+	// admitted before the conflict bin failed.
+	if _, err := l.CreateBatch(ctx, CreateBatchRequest{
+		Records: []gdprbench.Record{localRecord("b1", "alice")},
+	}); !errors.Is(err, compliance.ErrExists) {
+		t.Fatalf("duplicate batch: %v", err)
+	}
+	// An empty batch is a no-op acknowledgement.
+	if resp, err := l.CreateBatch(ctx, CreateBatchRequest{}); err != nil || resp.Created != 0 {
+		t.Fatalf("empty batch = %+v, %v", resp, err)
 	}
 }

@@ -59,8 +59,17 @@ type Counters struct {
 	// their subject was identifiable after a parent's erasure.
 	CascadeDeletes uint64
 	// Checkpoints counts durable WAL checkpoints taken (periodic
-	// checkpointer plus explicit Checkpoint calls).
+	// checkpointer plus explicit Checkpoint calls), full images and
+	// delta frames both.
 	Checkpoints uint64
+	// DeltaCheckpoints counts the subset of Checkpoints emitted as
+	// incremental delta frames (IncrementalCheckpoints profiles).
+	DeltaCheckpoints uint64
+	// FullCheckpointBytes / DeltaCheckpointBytes total the payload bytes
+	// of full images vs delta frames — the incremental checkpointer's
+	// O(dirty) claim, measurable.
+	FullCheckpointBytes  uint64
+	DeltaCheckpointBytes uint64
 }
 
 // counterBlock is the live tally. Every field is atomic because the
@@ -68,37 +77,43 @@ type Counters struct {
 // holding mu only in read mode — concurrent readers must count
 // race-free without write access.
 type counterBlock struct {
-	creates        atomic.Uint64
-	dataReads      atomic.Uint64
-	dataUpdates    atomic.Uint64
-	deletes        atomic.Uint64
-	metaReads      atomic.Uint64
-	metaUpdates    atomic.Uint64
-	metaScans      atomic.Uint64
-	denials        atomic.Uint64
-	notFound       atomic.Uint64
-	vacuums        atomic.Uint64
-	vacuumFulls    atomic.Uint64
-	cascadeDeletes atomic.Uint64
-	checkpoints    atomic.Uint64
+	creates              atomic.Uint64
+	dataReads            atomic.Uint64
+	dataUpdates          atomic.Uint64
+	deletes              atomic.Uint64
+	metaReads            atomic.Uint64
+	metaUpdates          atomic.Uint64
+	metaScans            atomic.Uint64
+	denials              atomic.Uint64
+	notFound             atomic.Uint64
+	vacuums              atomic.Uint64
+	vacuumFulls          atomic.Uint64
+	cascadeDeletes       atomic.Uint64
+	checkpoints          atomic.Uint64
+	deltaCheckpoints     atomic.Uint64
+	fullCheckpointBytes  atomic.Uint64
+	deltaCheckpointBytes atomic.Uint64
 }
 
 // snapshot copies the live tally into the exported shape.
 func (c *counterBlock) snapshot() Counters {
 	return Counters{
-		Creates:        c.creates.Load(),
-		DataReads:      c.dataReads.Load(),
-		DataUpdates:    c.dataUpdates.Load(),
-		Deletes:        c.deletes.Load(),
-		MetaReads:      c.metaReads.Load(),
-		MetaUpdates:    c.metaUpdates.Load(),
-		MetaScans:      c.metaScans.Load(),
-		Denials:        c.denials.Load(),
-		NotFound:       c.notFound.Load(),
-		Vacuums:        c.vacuums.Load(),
-		VacuumFulls:    c.vacuumFulls.Load(),
-		CascadeDeletes: c.cascadeDeletes.Load(),
-		Checkpoints:    c.checkpoints.Load(),
+		Creates:              c.creates.Load(),
+		DataReads:            c.dataReads.Load(),
+		DataUpdates:          c.dataUpdates.Load(),
+		Deletes:              c.deletes.Load(),
+		MetaReads:            c.metaReads.Load(),
+		MetaUpdates:          c.metaUpdates.Load(),
+		MetaScans:            c.metaScans.Load(),
+		Denials:              c.denials.Load(),
+		NotFound:             c.notFound.Load(),
+		Vacuums:              c.vacuums.Load(),
+		VacuumFulls:          c.vacuumFulls.Load(),
+		CascadeDeletes:       c.cascadeDeletes.Load(),
+		Checkpoints:          c.checkpoints.Load(),
+		DeltaCheckpoints:     c.deltaCheckpoints.Load(),
+		FullCheckpointBytes:  c.fullCheckpointBytes.Load(),
+		DeltaCheckpointBytes: c.deltaCheckpointBytes.Load(),
 	}
 }
 
@@ -158,8 +173,20 @@ type DB struct {
 	// compound operation (EraseSubject's intent + delete loop) is in
 	// flight: a snapshot taken mid-compound would capture a half-erased
 	// subject and truncate the erase intent, so a crash right after it
-	// would partially resurrect the subject.
+	// would partially resurrect the subject. Delta frames are gated the
+	// same way — a mid-compound delta would chain a half-erased subject
+	// to the base image.
 	suppressCheckpoints bool
+	// incremental-checkpoint dirty tracking (guarded by mu; nil unless
+	// the profile enables IncrementalCheckpoints). dirtyKeys holds keys
+	// whose rows changed since the last checkpoint frame, deletedKeys
+	// the keys deleted since then; the sets are kept disjoint, so a
+	// delta frame is exactly one upsert or one delete per touched key.
+	dirtyKeys   map[string]struct{}
+	deletedKeys map[string]struct{}
+	// deltasSinceFull counts delta frames chained to the current full
+	// image; at FullCheckpointEvery the next checkpoint is forced full.
+	deltasSinceFull int
 	// mutationsSinceClockNote schedules the periodic RecClock notes.
 	mutationsSinceClockNote int
 
@@ -225,6 +252,9 @@ func openNamed(p Profile, tableName string, clock *core.Clock) (*DB, error) {
 	if p.SerialWAL {
 		log = wal.NewSerial()
 	}
+	if p.WALSyncStall > 0 {
+		log.SetSyncDelay(p.WALSyncStall)
+	}
 	data, err := newEngine(p, tableName, log)
 	if err != nil {
 		return nil, err
@@ -276,6 +306,10 @@ func openNamed(p Profile, tableName string, clock *core.Clock) (*DB, error) {
 	}
 	if p.TrackSubjectLoad {
 		db.loads = newLoadTracker()
+	}
+	if p.IncrementalCheckpoints {
+		db.dirtyKeys = make(map[string]struct{})
+		db.deletedKeys = make(map[string]struct{})
 	}
 	return db, nil
 }
@@ -410,20 +444,93 @@ func (db *DB) checkpointIfDueLocked() {
 	}
 }
 
-// checkpointLocked snapshots the DB state into the WAL and truncates
-// the log up to the new checkpoint. Caller holds mu. The async audit
-// queue flushes first, so the log is complete up to every state a
-// checkpoint can be taken at.
+// checkpointLocked snapshots the DB state into the WAL. Caller holds
+// mu. The async audit queue flushes first, so the log is complete up to
+// every state a checkpoint can be taken at.
+//
+// With IncrementalCheckpoints, the snapshot is a delta frame — only the
+// rows dirtied (and keys deleted) since the last frame, chained to the
+// last full image — unless no full image exists yet or the chain has
+// reached FullCheckpointEvery deltas, in which case a full image is
+// forced. Only full images move the WAL's truncation floor: a delta's
+// base image and every record after it must stay replayable, so the
+// PR 3 truncation clamp keeps protecting them unchanged.
 func (db *DB) checkpointLocked() wal.LSN {
 	db.flushAudit()
 	log := db.data.Log()
-	lsn := log.Checkpoint(encodeCheckpointState(db))
+	if db.incrementalDueLocked() {
+		payload := encodeCheckpointDelta(db)
+		lsn := log.Append(wal.RecCheckpointDelta, nil, payload)
+		db.counters.checkpoints.Add(1)
+		db.counters.deltaCheckpoints.Add(1)
+		db.counters.deltaCheckpointBytes.Add(uint64(len(payload)))
+		db.deltasSinceFull++
+		db.resetDirtyLocked()
+		db.opsSinceCheckpoint = 0
+		db.mutationsSinceClockNote = 0 // the frame carries the clock
+		db.walBytesAtCheckpoint = log.SizeBytes()
+		return lsn
+	}
+	payload := encodeCheckpointState(db)
+	lsn := log.Checkpoint(payload)
 	log.Truncate(lsn - 1)
 	db.counters.checkpoints.Add(1)
+	db.counters.fullCheckpointBytes.Add(uint64(len(payload)))
+	db.deltasSinceFull = 0
+	db.resetDirtyLocked()
 	db.opsSinceCheckpoint = 0
 	db.mutationsSinceClockNote = 0 // the snapshot carries the clock
 	db.walBytesAtCheckpoint = log.SizeBytes()
 	return lsn
+}
+
+// incrementalDueLocked reports whether the next checkpoint should be a
+// delta frame: the profile opted in, a full image exists to chain to,
+// and the chain is still under the full-image cadence. Caller holds mu.
+func (db *DB) incrementalDueLocked() bool {
+	if !db.profile.IncrementalCheckpoints {
+		return false
+	}
+	if _, ok := db.data.Log().LastCheckpoint(); !ok {
+		return false
+	}
+	every := db.profile.FullCheckpointEvery
+	if every <= 0 {
+		every = DefaultFullCheckpointEvery
+	}
+	return db.deltasSinceFull < every
+}
+
+// resetDirtyLocked clears the dirty sets after a checkpoint frame
+// captured them. Caller holds mu.
+func (db *DB) resetDirtyLocked() {
+	if db.dirtyKeys == nil {
+		return
+	}
+	clear(db.dirtyKeys)
+	clear(db.deletedKeys)
+}
+
+// noteDirtyLocked records that key's row changed since the last
+// checkpoint frame (no-op unless IncrementalCheckpoints). Caller holds
+// mu.
+func (db *DB) noteDirtyLocked(key string) {
+	if db.dirtyKeys == nil {
+		return
+	}
+	delete(db.deletedKeys, key)
+	db.dirtyKeys[key] = struct{}{}
+}
+
+// noteDeletedLocked records that key was deleted since the last
+// checkpoint frame (no-op unless IncrementalCheckpoints). Caller holds
+// mu.
+func (db *DB) noteDeletedLocked(key string) {
+	if db.dirtyKeys == nil {
+		return
+	}
+	delete(db.dirtyKeys, key)
+	db.deletedKeys[key] = struct{}{}
 }
 
 // clockNoteEvery bounds how far the logical clock can regress across a
@@ -569,9 +676,136 @@ func (db *DB) createLocked(rec gdprbench.Record) error {
 		})
 	}
 	db.counters.creates.Add(1)
+	db.noteDirtyLocked(rec.Key)
 	db.noteSubjectLoad(rec.Subject)
 	db.noteClockLocked(false)
 	db.maybeCheckpointLocked()
+	return nil
+}
+
+// CreateBatch collects N records under one lock acquisition. See
+// createBatchLocked for the amortization contract.
+func (db *DB) CreateBatch(recs []gdprbench.Record) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.createBatchLocked(recs)
+}
+
+// createBatchLocked admits a whole batch of new records with the
+// per-batch costs paid once instead of per record: one clock tick (the
+// batch is one collection event), one policy-bundle adjudication per
+// distinct TTL (the bundle depends only on (now, deadline); the engine
+// still attaches it per unit, inside one epoch-bracketed mutation
+// each), one cipher setup (the sealer is resident; payloads seal
+// back-to-back without per-record lock traffic), one engine-lock
+// acquisition and one WAL group submission for all N inserts
+// (storage.BatchInserter), and one clock-note/checkpoint-policy pass.
+//
+// Admission is all-or-nothing at the storage boundary: every row is
+// encoded and sealed before the engine sees any of them, and the
+// engine's InsertBatch rejects the whole batch on a duplicate key, so a
+// failed batch leaves no partial state. Per-record audit entries are
+// still written — demonstrable accountability is per operation, and
+// batching may not thin the trail. Caller holds mu.
+func (db *DB) createBatchLocked(recs []gdprbench.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	if len(recs) == 1 {
+		return db.createLocked(recs[0])
+	}
+	now := db.clock.Tick()
+	keys := make([][]byte, len(recs))
+	rows := make([][]byte, len(recs))
+	blobLens := make([]int, len(recs))
+	var personal, meta int64
+	for i, rec := range recs {
+		blob, err := db.protect(rec.Payload)
+		if err != nil {
+			return err
+		}
+		row := encodeRecord(storedRecord{Meta: Metadata{
+			Subject:    rec.Subject,
+			Purposes:   rec.Purposes,
+			TTL:        rec.TTL,
+			Processors: rec.Processors,
+			Objected:   rec.Objected,
+			CreatedAt:  int64(now),
+			BaseTTL:    rec.TTL,
+		}, Blob: blob})
+		keys[i], rows[i], blobLens[i] = []byte(rec.Key), row, len(blob)
+		personal += int64(len(rec.Payload))
+		meta += int64(len(row) - len(blob))
+	}
+	if err := db.insertRows(keys, rows); err != nil {
+		return err
+	}
+	db.personalBytes += personal
+	db.metaBytes += meta
+	// recordPolicies depends only on (now, deadline), and now is shared
+	// by the batch: adjudicate one bundle per distinct TTL and attach it
+	// to every record that consented under that TTL.
+	bundles := make(map[int64][]core.Policy)
+	for i, rec := range recs {
+		pols, ok := bundles[rec.TTL]
+		if !ok {
+			pols = recordPolicies(rec, now, core.Time(int64(now)+rec.TTL))
+			bundles[rec.TTL] = pols
+		}
+		unit := core.UnitID(rec.Key)
+		subject := core.EntityID(rec.Subject)
+		if err := db.policies.AttachPolicies(unit, subject, pols); err != nil {
+			return err
+		}
+		db.logOp(core.HistoryTuple{
+			Unit: unit, Purpose: PurposeService, Entity: EntityController,
+			Action: core.Action{Kind: core.ActionCreate, SystemAction: "INSERT"}, At: now,
+		}, "INSERT INTO data (batch)", rows[i], unit, nil)
+		if db.modelDB != nil {
+			u := core.NewDataUnit(unit, core.KindBase, subject, "collection")
+			u.SetValue(rec.Payload, now)
+			for _, p := range pols {
+				_ = u.Grant(p, now)
+			}
+			_ = db.modelDB.Add(u)
+			db.history.MustAppend(core.HistoryTuple{
+				Unit: unit, Purpose: "consent", Entity: subject,
+				Action: core.Action{Kind: core.ActionConsent, RequiredByRegulation: true}, At: now,
+			})
+			db.history.MustAppend(core.HistoryTuple{
+				Unit: unit, Purpose: PurposeService, Entity: EntityController,
+				Action: core.Action{Kind: core.ActionCreate, SystemAction: "INSERT"}, At: now,
+			})
+		}
+		db.noteDirtyLocked(rec.Key)
+		db.noteSubjectLoad(rec.Subject)
+	}
+	db.counters.creates.Add(uint64(len(recs)))
+	db.noteClockLocked(false)
+	if db.profile.CheckpointEveryOps > 0 || db.profile.CheckpointEveryBytes > 0 {
+		db.opsSinceCheckpoint += len(recs)
+		db.checkpointIfDueLocked()
+	}
+	return nil
+}
+
+// insertRows admits the encoded batch into the storage engine: through
+// the BatchInserter capability when the engine has one (both built-ins
+// do — one engine lock, one WAL group submission), otherwise per-record
+// Insert with rollback of the prefix on failure, preserving the
+// all-or-nothing contract.
+func (db *DB) insertRows(keys, rows [][]byte) error {
+	if bi, ok := db.data.(storage.BatchInserter); ok {
+		return bi.InsertBatch(keys, rows)
+	}
+	for i := range keys {
+		if err := db.data.Insert(keys[i], rows[i]); err != nil {
+			for j := 0; j < i; j++ {
+				_ = db.data.Delete(keys[j])
+			}
+			return err
+		}
+	}
 	return nil
 }
 
@@ -691,6 +925,7 @@ func (db *DB) updateDataLocked(entity core.EntityID, purpose core.Purpose, key s
 		db.history.MustAppend(tuple)
 	}
 	db.counters.dataUpdates.Add(1)
+	db.noteDirtyLocked(key)
 	db.noteSubjectLoad(string(metaSubject(row)))
 	db.afterMutation()
 	return nil
@@ -764,6 +999,7 @@ func (db *DB) deleteDataLocked(entity core.EntityID, key string) error {
 		db.history.MustAppend(tuple)
 	}
 	db.counters.deletes.Add(1)
+	db.noteDeletedLocked(key)
 	db.noteSubjectLoad(string(subject))
 	// The strong-delete grounding cascades to derived records in which
 	// the subject remains identifiable (§3.1's strong deletion).
@@ -894,6 +1130,7 @@ func (db *DB) updateMetaLocked(entity core.EntityID, purpose core.Purpose, key, 
 		db.history.MustAppend(tuple)
 	}
 	db.counters.metaUpdates.Add(1)
+	db.noteDirtyLocked(key)
 	db.afterMutation()
 	return nil
 }

@@ -185,6 +185,14 @@ type Profile struct {
 	// overlap. 0 (the default) disables the model entirely.
 	IOStall time.Duration
 
+	// WALSyncStall models the device latency of one WAL sync (fsync):
+	// when positive, every durable commit — serial or group — sleeps
+	// this long exactly once, however many records it carries. It is
+	// the cost batched ingestion amortizes: N serial creates pay N
+	// stalls, one N-record batch pays one. 0 (the default) keeps syncs
+	// free, matching the historical in-memory behavior.
+	WALSyncStall time.Duration
+
 	// CheckpointEveryOps, when positive, makes each deployment (each
 	// shard, in a sharded deployment) take a durable WAL checkpoint
 	// every N mutating operations, truncating the log up to it. 0
@@ -200,7 +208,33 @@ type Profile struct {
 	// move off a hot shard). One map update per routed op; off by
 	// default so steady-state deployments pay nothing.
 	TrackSubjectLoad bool
+
+	// RebalanceByBytes makes the Rebalancer weigh shards (and rank
+	// subjects in split planning) by per-subject byte volume from the
+	// storage engine's space accounting instead of op-rate counters: a
+	// shard can be cold in ops yet dominate disk, and a byte-weighted
+	// plan moves the bulk, not the chatter. Off by default.
+	RebalanceByBytes bool
+
+	// IncrementalCheckpoints makes the periodic checkpointer emit delta
+	// frames — only the rows dirtied since the last checkpoint, chained
+	// to the last full image — instead of a full table snapshot every
+	// time, turning checkpoint cost from O(table) to O(dirty). A full
+	// image is still forced every FullCheckpointEvery deltas (and is the
+	// only point the WAL truncates at). Off by default.
+	IncrementalCheckpoints bool
+	// FullCheckpointEvery bounds how many consecutive delta frames may
+	// chain to one full image before the next checkpoint is forced full;
+	// 0 selects DefaultFullCheckpointEvery. Only meaningful with
+	// IncrementalCheckpoints.
+	FullCheckpointEvery int
 }
+
+// DefaultFullCheckpointEvery is the delta-chain length cap when
+// Profile.FullCheckpointEvery is 0: after this many delta frames the
+// next checkpoint is forced full, re-anchoring the chain and letting
+// the WAL truncate.
+const DefaultFullCheckpointEvery = 8
 
 // validate rejects incomplete profiles.
 func (p Profile) validate() error {

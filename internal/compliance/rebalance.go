@@ -62,6 +62,22 @@ func (db *DB) SubjectLoads() map[string]uint64 {
 	return db.loads.snapshot()
 }
 
+// SubjectBytes returns this shard's live per-subject byte footprint:
+// one table scan summing each row's encoded size under the subject
+// that owns it. Unlike SubjectLoads it needs no tracker — the table
+// itself is the measurement — so it works on any profile.
+func (db *DB) SubjectBytes() map[string]uint64 {
+	defer db.rlock()()
+	out := make(map[string]uint64)
+	db.data.SeqScan(func(k, v []byte) bool {
+		if s := metaSubject(v); len(s) > 0 {
+			out[string(s)] += uint64(len(v))
+		}
+		return true
+	})
+	return out
+}
+
 // ShardLoad is one shard's observed operation count over an Observe
 // interval.
 type ShardLoad struct {
@@ -117,14 +133,38 @@ func shardOpsTotal(db *DB) uint64 {
 		c.MetaReads + c.MetaUpdates
 }
 
-// Observe samples per-shard cumulative op counts and returns the delta
-// since the previous Observe (the whole history, on the first call).
-// Call it once to anchor, run traffic, call it again, then Plan.
+// shardBytesTotal reads one shard's live byte footprint from its
+// storage engine's space statistics. Under the RebalanceByBytes knob
+// this replaces op counts as the load signal: a shard hosting few but
+// enormous subjects splits, one serving many tiny hot records does not.
+func shardBytesTotal(db *DB) uint64 {
+	sp := db.data.Space()
+	if sp.LiveBytes < 0 {
+		return 0
+	}
+	return uint64(sp.LiveBytes)
+}
+
+// byBytes reports whether the deployment weighs rebalancing by byte
+// volume (Profile.RebalanceByBytes) rather than operation rates.
+func (r *Rebalancer) byBytes() bool { return r.s.Profile().RebalanceByBytes }
+
+// Observe samples per-shard cumulative load — operation counts, or live
+// bytes under RebalanceByBytes — and returns the delta since the
+// previous Observe (the whole history, on the first call). Call it once
+// to anchor, run traffic, call it again, then Plan. Byte footprints can
+// shrink between observations (deletes, erasure); a shard that shrank
+// observes as zero load, which is exactly what a merge candidate is.
 func (r *Rebalancer) Observe() []ShardLoad {
 	shards := r.s.view()
+	byBytes := r.byBytes()
 	cur := make([]uint64, len(shards))
 	for i, db := range shards {
-		cur[i] = shardOpsTotal(db)
+		if byBytes {
+			cur[i] = shardBytesTotal(db)
+		} else {
+			cur[i] = shardOpsTotal(db)
+		}
 	}
 	loads := make([]ShardLoad, len(shards))
 	for i := range cur {
@@ -132,7 +172,11 @@ func (r *Rebalancer) Observe() []ShardLoad {
 		if i < len(r.prev) {
 			prev = r.prev[i]
 		}
-		loads[i] = ShardLoad{Shard: i, Ops: cur[i] - prev}
+		delta := uint64(0)
+		if cur[i] > prev {
+			delta = cur[i] - prev
+		}
+		loads[i] = ShardLoad{Shard: i, Ops: delta}
 	}
 	r.prev = cur
 	r.last = loads
@@ -212,14 +256,20 @@ func (r *Rebalancer) Plan() Plan {
 }
 
 // splitSubjects picks the subjects to move off a hot shard: subjects
-// sorted by observed load descending, assigned greedily to the lighter
-// half, and the half NOT containing the single hottest subject moves
-// (moving less data when the skew is extreme). Both halves keep at
-// least one subject; nil when the tracker is off or knows fewer than
-// two subjects.
+// sorted by observed weight descending — tracked operation counts, or
+// live byte footprints under RebalanceByBytes — assigned greedily to
+// the lighter half, and the half NOT containing the single heaviest
+// subject moves (moving less data when the skew is extreme). Both
+// halves keep at least one subject; nil when the weighting knows fewer
+// than two subjects (for op weighting, when the tracker is off).
 func (r *Rebalancer) splitSubjects(shard int) []string {
 	db := r.s.Shard(shard)
-	counts := db.SubjectLoads()
+	var counts map[string]uint64
+	if r.byBytes() {
+		counts = db.SubjectBytes()
+	} else {
+		counts = db.SubjectLoads()
+	}
 	if len(counts) < 2 {
 		return nil
 	}

@@ -1,7 +1,10 @@
 package compliance
 
 import (
+	"fmt"
 	"testing"
+
+	"github.com/datacase/datacase/internal/gdprbench"
 )
 
 // TestRebalancerSplitsHotShard drives a skewed read workload at a
@@ -127,5 +130,138 @@ func TestSubjectLoadsDisabled(t *testing.T) {
 	rb.Observe()
 	if plan := rb.Plan(); len(plan.Splits) != 0 {
 		t.Fatalf("plan proposes a split %+v with no load tracker", plan)
+	}
+}
+
+// TestRebalancerByBytesWeighting flips the RebalanceByBytes knob: the
+// load signal becomes live byte volume, so a shard hosting one enormous
+// subject must split even with zero read traffic — and the split cut
+// must move subjects by byte weight (the big subject anchors, the small
+// ones move), with no load tracker needed at all.
+func TestRebalancerByBytesWeighting(t *testing.T) {
+	p := PBase()
+	p.RebalanceByBytes = true
+	s, err := OpenShardedWorkers(p, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := NewRebalancer(s)
+	rb.Observe() // anchor on the empty deployment
+
+	// One whale subject plus several minnows, all colocated on the
+	// whale's home shard; the other shards get a trickle so the mean is
+	// nonzero but the whale shard dominates.
+	whaleHome := s.SubjectHome("whale")
+	big := make([]byte, 4096)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	mk := func(key, subject string, payload []byte) {
+		t.Helper()
+		if err := s.Create(gdprbench.Record{
+			Key: key, Subject: subject, Payload: payload,
+			Purposes: []string{"analytics"}, TTL: 1 << 40,
+			Processors: []string{"processor-a"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		mk(fmt.Sprintf("whale-%d", i), "whale", big)
+	}
+	minnows := 0
+	for i := 0; minnows < 3; i++ {
+		name := fmt.Sprintf("minnow-%d", i)
+		if s.SubjectHome(name) != whaleHome {
+			continue
+		}
+		mk(fmt.Sprintf("minnow-key-%d", i), name, []byte("tiny"))
+		minnows++
+	}
+	// A little data elsewhere so not every other shard observes zero.
+	seeded := 0
+	for i := 0; seeded < 2; i++ {
+		name := fmt.Sprintf("elsewhere-%d", i)
+		if s.SubjectHome(name) == whaleHome {
+			continue
+		}
+		mk(fmt.Sprintf("elsewhere-key-%d", i), name, []byte("small"))
+		seeded++
+	}
+
+	loads := rb.Observe()
+	for i, l := range loads {
+		if i == whaleHome {
+			if l.Ops < uint64(8*len(big)) {
+				t.Fatalf("whale shard observed %d bytes, want >= %d", l.Ops, 8*len(big))
+			}
+		} else if l.Ops >= loads[whaleHome].Ops {
+			t.Fatalf("shard %d observed %d bytes, expected the whale shard %d (%d) to dominate",
+				i, l.Ops, whaleHome, loads[whaleHome].Ops)
+		}
+	}
+
+	// SubjectBytes sees every subject — no TrackSubjectLoad required —
+	// and weighs the whale heaviest.
+	sb := s.Shard(whaleHome).SubjectBytes()
+	if len(sb) < 1+minnows {
+		t.Fatalf("SubjectBytes knows %d subjects, want >= %d", len(sb), 1+minnows)
+	}
+	if sb["whale"] < uint64(8*len(big)) {
+		t.Fatalf("whale weighs %d bytes, want >= %d", sb["whale"], 8*len(big))
+	}
+
+	plan := rb.Plan()
+	if len(plan.Splits) != 1 || plan.Splits[0].Source != whaleHome {
+		t.Fatalf("plan = %+v, want a split of the whale shard %d", plan, whaleHome)
+	}
+	for _, moved := range plan.Splits[0].Subjects {
+		if moved == "whale" {
+			t.Fatal("split moved the whale: the heaviest subject must anchor in place")
+		}
+	}
+
+	created, err := rb.Apply(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(created) != 1 {
+		t.Fatalf("created = %v, want one new shard", created)
+	}
+	// Shrinking footprints clamp to zero observed load rather than
+	// wrapping: after the split moved bytes off the whale shard, the
+	// next Observe must not underflow.
+	for _, l := range rb.Observe() {
+		if l.Ops > uint64(1)<<62 {
+			t.Fatalf("observed load %d looks like unsigned underflow", l.Ops)
+		}
+	}
+}
+
+// TestRebalancerByBytesOffUsesOps pins the default: without the knob,
+// byte volume is invisible — a byte-heavy but idle shard proposes no
+// split even when loads are tracked.
+func TestRebalancerByBytesOffUsesOps(t *testing.T) {
+	p := PBase()
+	p.TrackSubjectLoad = true
+	s, err := OpenShardedWorkers(p, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := NewRebalancer(s)
+	rb.Observe()
+	big := make([]byte, 4096)
+	for i := 0; i < 8; i++ {
+		if err := s.Create(gdprbench.Record{
+			Key: fmt.Sprintf("quiet-%d", i), Subject: "quiet-whale", Payload: big,
+			Purposes: []string{"analytics"}, TTL: 1 << 40,
+			Processors: []string{"processor-a"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rb.Observe()
+	if plan := rb.Plan(); len(plan.Splits) != 0 {
+		t.Fatalf("op-weighted plan split an idle shard: %+v", plan)
 	}
 }

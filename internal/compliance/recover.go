@@ -3,6 +3,7 @@ package compliance
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/datacase/datacase/internal/core"
@@ -460,6 +461,28 @@ func (db *DB) applyRecovered(r wal.Record, st *RecoveryStats, maxTime *int64) er
 		if t, err := decodeClockNote(r.Payload); err == nil && t > *maxTime {
 			*maxTime = t
 		}
+	case wal.RecCheckpointDelta:
+		// Compose the delta onto the state built so far: redo its
+		// deletes, upsert its dirty rows, floor the clock at its note.
+		// Every mutation a delta summarizes also rides in the tail as an
+		// ordinary record (deltas never truncate past their base image),
+		// so composition is idempotent — a torn or missing delta frame
+		// costs nothing, and a present one must land on the same state.
+		d, err := decodeCheckpointDelta(r.Payload)
+		if err != nil {
+			return err
+		}
+		for _, k := range d.deleted {
+			db.recoverDelete(k)
+		}
+		for _, row := range d.rows {
+			if err := db.recoverUpsert(row.key, row.row, maxTime); err != nil {
+				return err
+			}
+		}
+		if d.clock > *maxTime {
+			*maxTime = d.clock
+		}
 	case wal.RecVacuum, wal.RecCheckpoint, wal.RecTombstone:
 		// Vacuum state is rebuilt dense by construction; checkpoints
 		// before the last were superseded; tombstones are scrubbed
@@ -499,6 +522,7 @@ func (db *DB) recoverUpsert(key, row []byte, maxTime *int64) error {
 		}
 		db.personalBytes += db.plaintextLen(rec.Blob)
 		db.metaBytes += int64(len(row) - len(rec.Blob))
+		db.noteDirtyLocked(string(key))
 		return db.attachRecoveredPolicies(unit, rec.Meta, nil)
 	}
 	oldRec, err := decodeRecord(old)
@@ -510,6 +534,7 @@ func (db *DB) recoverUpsert(key, row []byte, maxTime *int64) error {
 	}
 	db.personalBytes += db.plaintextLen(rec.Blob) - db.plaintextLen(oldRec.Blob)
 	db.metaBytes += int64(len(row)-len(rec.Blob)) - int64(len(old)-len(oldRec.Blob))
+	db.noteDirtyLocked(string(key))
 	return db.attachRecoveredPolicies(unit, rec.Meta, &oldRec.Meta)
 }
 
@@ -524,6 +549,7 @@ func (db *DB) recoverDelete(key string) {
 	if pg, ok := db.data.(storage.Purger); ok {
 		pg.RegisterPurge([]byte(key))
 	}
+	db.noteDeletedLocked(key)
 	unit := core.UnitID(key)
 	db.policies.RevokePolicies(unit)
 	if db.onDelete != nil {
@@ -842,6 +868,118 @@ func (db *DB) restoreCheckpoint(cs checkpointState, st *RecoveryStats) error {
 	db.metaBytes = cs.metaBytes
 	st.CheckpointRows += len(cs.rows)
 	return nil
+}
+
+// ---- incremental checkpoint (delta frame) encoding ----
+
+// checkpointDeltaVersion tags the delta-frame encoding
+// (RecCheckpointDelta payloads).
+const checkpointDeltaVersion = 1
+
+// checkpointDelta is a decoded delta frame: the rows dirtied and keys
+// deleted since the previous checkpoint frame, plus the clock at
+// emission. Composition order is deletes first, then upserts — the two
+// sets are disjoint by construction (DB.noteDirtyLocked /
+// noteDeletedLocked keep them so).
+type checkpointDelta struct {
+	clock   int64
+	deleted []string
+	rows    []checkpointDeltaRow
+}
+
+// checkpointDeltaRow is one dirty row: the full current encoded row, so
+// composing it is an idempotent upsert.
+type checkpointDeltaRow struct {
+	key, row []byte
+}
+
+// encodeCheckpointDelta frames the dirty sets into a delta payload:
+//
+//	[ver u8][clock i64][nDel u32]([key bytes])* [nRows u32]([key][row])*
+//
+// Keys emit in sorted order so identical dirty sets produce identical
+// frames regardless of map iteration. Caller holds mu; the dirty sets
+// are cleared by the caller after emission.
+func encodeCheckpointDelta(db *DB) []byte {
+	buf := []byte{checkpointDeltaVersion}
+	buf = appendI64(buf, int64(db.clock.Now()))
+	dels := make([]string, 0, len(db.deletedKeys))
+	for k := range db.deletedKeys {
+		dels = append(dels, k)
+	}
+	sort.Strings(dels)
+	buf = appendU32(buf, uint32(len(dels)))
+	for _, k := range dels {
+		buf = appendBytes(buf, []byte(k))
+	}
+	dirty := make([]string, 0, len(db.dirtyKeys))
+	for k := range db.dirtyKeys {
+		dirty = append(dirty, k)
+	}
+	sort.Strings(dirty)
+	// A dirty key with no live row (it should be in deletedKeys instead,
+	// but stay defensive) is skipped; count live rows first.
+	type pair struct{ key, row []byte }
+	rows := make([]pair, 0, len(dirty))
+	for _, k := range dirty {
+		if row, ok := db.data.Get([]byte(k)); ok {
+			rows = append(rows, pair{[]byte(k), row})
+		}
+	}
+	buf = appendU32(buf, uint32(len(rows)))
+	for _, r := range rows {
+		buf = appendBytes(buf, r.key)
+		buf = appendBytes(buf, r.row)
+	}
+	return buf
+}
+
+// decodeCheckpointDelta parses a delta payload.
+func decodeCheckpointDelta(buf []byte) (checkpointDelta, error) {
+	var d checkpointDelta
+	r := byteReader{buf: buf}
+	ver, err := r.u8()
+	if err != nil || ver != checkpointDeltaVersion {
+		return d, fmt.Errorf("compliance: bad checkpoint delta version (err=%v ver=%d)", err, ver)
+	}
+	if d.clock, err = r.i64(); err != nil {
+		return d, err
+	}
+	nd, err := r.u32()
+	if err != nil {
+		return d, err
+	}
+	d.deleted = make([]string, 0, capCount(nd, len(r.buf)-r.off, 4))
+	for i := uint32(0); i < nd; i++ {
+		k, err := r.bytes()
+		if err != nil {
+			return d, err
+		}
+		d.deleted = append(d.deleted, string(k))
+	}
+	nr, err := r.u32()
+	if err != nil {
+		return d, err
+	}
+	d.rows = make([]checkpointDeltaRow, 0, capCount(nr, len(r.buf)-r.off, 8))
+	for i := uint32(0); i < nr; i++ {
+		var row checkpointDeltaRow
+		k, err := r.bytes()
+		if err != nil {
+			return d, err
+		}
+		v, err := r.bytes()
+		if err != nil {
+			return d, err
+		}
+		row.key = append([]byte(nil), k...)
+		row.row = append([]byte(nil), v...)
+		d.rows = append(d.rows, row)
+	}
+	if r.off != len(r.buf) {
+		return d, fmt.Errorf("compliance: %d trailing bytes after checkpoint delta", len(r.buf)-r.off)
+	}
+	return d, nil
 }
 
 // ---- logical-record payload encodings ----

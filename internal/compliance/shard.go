@@ -312,6 +312,88 @@ func (s *ShardedDB) Create(rec gdprbench.Record) error {
 	}
 }
 
+// CreateBatch collects many records in one pass: the records are
+// binned by their subjects' home shards and each bin is admitted under
+// a single acquisition of its shard's lock (DB.createBatchLocked — one
+// clock tick, one policy adjudication per distinct TTL, one engine-lock
+// acquisition and one WAL group submission per bin). Records whose
+// route a concurrent migration moved between binning and the shard lock
+// retry against their new home, exactly like Create.
+//
+// Each bin is all-or-nothing, but bins commit independently: on a
+// duplicate key (or any shard-level failure) the records already
+// admitted on other shards remain — they are valid records — and the
+// call returns how many were created alongside the error. A batch is
+// one commit unit per shard: it occupies its shard's lock from first
+// reservation to WAL durability, so a RevokeConsent or EraseSubject on
+// that shard lands entirely before or entirely after it, never inside.
+func (s *ShardedDB) CreateBatch(recs []gdprbench.Record) (int, error) {
+	created := 0
+	pending := recs
+	for len(pending) > 0 {
+		s.dirMu.RLock()
+		bins := make(map[*DB][]gdprbench.Record)
+		indexes := make(map[*DB]uint32)
+		for _, rec := range pending {
+			idx := s.subjects.route(rec.Subject)
+			sh := s.shards[idx]
+			bins[sh] = append(bins[sh], rec)
+			indexes[sh] = idx
+		}
+		s.dirMu.RUnlock()
+		var retry []gdprbench.Record
+		for sh, bin := range bins {
+			sh.mu.Lock()
+			// Revalidate every record's route under the shard lock; a
+			// migration may have moved some subjects (or split this
+			// shard), so moved records go back for re-binning.
+			s.dirMu.RLock()
+			idx := indexes[sh]
+			valid := make([]gdprbench.Record, 0, len(bin))
+			var moved []gdprbench.Record
+			for _, rec := range bin {
+				i := s.subjects.route(rec.Subject)
+				if int(i) < len(s.shards) && s.shards[i] == sh {
+					idx = i
+					valid = append(valid, rec)
+				} else {
+					moved = append(moved, rec)
+				}
+			}
+			s.dirMu.RUnlock()
+			reserved := make([]string, 0, len(valid))
+			var err error
+			for _, rec := range valid {
+				if rerr := s.reserve(rec.Key, idx); rerr != nil {
+					err = rerr
+					break
+				}
+				reserved = append(reserved, rec.Key)
+			}
+			if err == nil && len(valid) > 0 {
+				err = sh.createBatchLocked(valid)
+			}
+			if err != nil {
+				for _, k := range reserved {
+					s.forget(k)
+				}
+				sh.mu.Unlock()
+				return created, err
+			}
+			created += len(valid)
+			sh.mu.Unlock()
+			retry = append(retry, moved...)
+		}
+		pending = retry
+	}
+	return created, nil
+}
+
+// IngestBatch is CreateBatch under its ingestion-pipeline name.
+func (s *ShardedDB) IngestBatch(recs []gdprbench.Record) (int, error) {
+	return s.CreateBatch(recs)
+}
+
 // ReadData reads a record's personal data by key.
 func (s *ShardedDB) ReadData(entity core.EntityID, purpose core.Purpose, key string) ([]byte, error) {
 	var out []byte
@@ -801,6 +883,9 @@ func (s *ShardedDB) Counters() Counters {
 		out.VacuumFulls += c.VacuumFulls
 		out.CascadeDeletes += c.CascadeDeletes
 		out.Checkpoints += c.Checkpoints
+		out.DeltaCheckpoints += c.DeltaCheckpoints
+		out.FullCheckpointBytes += c.FullCheckpointBytes
+		out.DeltaCheckpointBytes += c.DeltaCheckpointBytes
 	}
 	return out
 }

@@ -83,9 +83,13 @@ func NewAESGCM(key []byte, rng io.Reader) (Sealer, error) {
 }
 
 func (s *aesgcm) Seal(plaintext []byte) ([]byte, error) {
-	nonce := make([]byte, s.aead.NonceSize())
+	// Size the buffer for nonce + ciphertext + tag up front: Seal
+	// appends in place instead of growing the nonce-sized slice, so a
+	// seal is one allocation, not two.
+	ns := s.aead.NonceSize()
+	nonce := make([]byte, ns, ns+len(plaintext)+s.aead.Overhead())
 	copy(nonce, s.prefix[:])
-	binary.BigEndian.PutUint64(nonce[len(nonce)-8:], s.counter.Add(1))
+	binary.BigEndian.PutUint64(nonce[ns-8:], s.counter.Add(1))
 	return s.aead.Seal(nonce, nonce, plaintext, nil), nil
 }
 

@@ -21,6 +21,10 @@ func (c readOnly) Create(context.Context, api.CreateRequest) (api.CreateResponse
 	return api.CreateResponse{}, roErr("create")
 }
 
+func (c readOnly) CreateBatch(context.Context, api.CreateBatchRequest) (api.CreateBatchResponse, error) {
+	return api.CreateBatchResponse{}, roErr("create-batch")
+}
+
 func (c readOnly) UpdateData(context.Context, api.UpdateDataRequest) (api.UpdateDataResponse, error) {
 	return api.UpdateDataResponse{}, roErr("update-data")
 }
@@ -71,6 +75,10 @@ type replicaBackend struct{ r *Replica }
 
 func (b replicaBackend) Create(ctx context.Context, req api.CreateRequest) (api.CreateResponse, error) {
 	return b.r.localClient().Create(ctx, req)
+}
+
+func (b replicaBackend) CreateBatch(ctx context.Context, req api.CreateBatchRequest) (api.CreateBatchResponse, error) {
+	return b.r.localClient().CreateBatch(ctx, req)
 }
 
 func (b replicaBackend) ReadData(ctx context.Context, req api.ReadDataRequest) (api.ReadDataResponse, error) {

@@ -169,6 +169,12 @@ func TestReplicaClientIsReadOnly(t *testing.T) {
 			_, err := c.Create(ctx, api.CreateRequest{Record: replRecord("k2", "bob")})
 			return err
 		}},
+		{"create-batch", func() error {
+			_, err := c.CreateBatch(ctx, api.CreateBatchRequest{Records: []gdprbench.Record{
+				replRecord("k3", "bob"), replRecord("k4", "bob"),
+			}})
+			return err
+		}},
 		{"update-data", func() error {
 			_, err := c.UpdateData(ctx, api.UpdateDataRequest{Key: "k1", Entity: compliance.EntityController, Purpose: compliance.PurposeService, Payload: []byte("x")})
 			return err

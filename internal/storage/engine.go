@@ -136,6 +136,18 @@ type SpaceStats struct {
 	TotalBytes int64
 }
 
+// BatchInserter is the bulk-admission capability: both built-in engines
+// implement it. InsertBatch admits N new records under one engine-lock
+// acquisition and one WAL group submission (contiguous LSNs, one sync),
+// instead of N of each. It is all-or-nothing: if any key is already
+// live the whole batch fails with ErrKeyExists (wrapped with the
+// offending key) and no record is inserted or logged, so callers never
+// see a half-admitted batch. Engines without the capability fall back
+// to per-record Insert.
+type BatchInserter interface {
+	InsertBatch(keys, values [][]byte) error
+}
+
 // Vacuumer is the reclamation capability of PostgreSQL-style engines:
 // the compliance layer's vacuum groundings (DELETE+VACUUM,
 // DELETE+VACUUM FULL) require it.

@@ -133,6 +133,41 @@ func (t *Table) Insert(key, value []byte) (TID, error) {
 	return tid, nil
 }
 
+// InsertBatch adds N new tuples under one lock acquisition and one WAL
+// group submission. It is all-or-nothing: every key is checked against
+// the index (and against its predecessors in the batch) before any
+// tuple is placed, so a duplicate fails the whole batch with
+// ErrKeyExists and leaves the table and log untouched.
+func (t *Table) InsertBatch(keys, values [][]byte) error {
+	if len(keys) != len(values) {
+		return fmt.Errorf("heap: InsertBatch keys/values length mismatch")
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, k := range keys {
+		if _, ok := t.index.Get(k); ok {
+			return fmt.Errorf("%w: %q", ErrKeyExists, k)
+		}
+		for j := 0; j < i; j++ {
+			if string(keys[j]) == string(k) {
+				return fmt.Errorf("%w: %q", ErrKeyExists, k)
+			}
+		}
+	}
+	for i, k := range keys {
+		tid := t.place(k, values[i])
+		t.index.Put(k, uint64(tid))
+	}
+	t.stats.tuplesInserted.Add(uint64(len(keys)))
+	if t.log != nil {
+		t.log.AppendBatch(wal.RecInsert, keys, values)
+	}
+	return nil
+}
+
 // place writes the tuple into a page with space, preferring FSM pages,
 // then the current tail page, then a fresh page. Caller holds mu.
 func (t *Table) place(key, value []byte) TID {

@@ -48,6 +48,13 @@ func (h *Heap) Insert(key, value []byte) error {
 	return mapHeapErr(err)
 }
 
+// InsertBatch admits N new tuples under one table-lock acquisition and
+// one WAL group submission (BatchInserter). All-or-nothing on
+// ErrKeyExists.
+func (h *Heap) InsertBatch(keys, values [][]byte) error {
+	return mapHeapErr(h.Table.InsertBatch(keys, values))
+}
+
 // Update replaces the value under key MVCC-style.
 func (h *Heap) Update(key, value []byte) error {
 	_, err := h.Table.Update(key, value)

@@ -69,6 +69,39 @@ func (e *LSM) Insert(key, value []byte) error {
 	return nil
 }
 
+// InsertBatch admits N new records under one adapter-lock acquisition
+// and one WAL group submission (BatchInserter). It is all-or-nothing:
+// every key (including intra-batch duplicates) is checked live before
+// any Put, so a conflict leaves the store and log untouched.
+func (e *LSM) InsertBatch(keys, values [][]byte) error {
+	if len(keys) != len(values) {
+		return fmt.Errorf("storage: InsertBatch keys/values length mismatch")
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, k := range keys {
+		if e.store.Live(k) {
+			return fmt.Errorf("%w: %q", ErrKeyExists, k)
+		}
+		for j := 0; j < i; j++ {
+			if string(keys[j]) == string(k) {
+				return fmt.Errorf("%w: %q", ErrKeyExists, k)
+			}
+		}
+	}
+	for i, k := range keys {
+		e.store.Put(k, values[i])
+	}
+	e.inserts.Add(uint64(len(keys)))
+	if e.log != nil {
+		e.log.AppendBatch(wal.RecInsert, keys, values)
+	}
+	return nil
+}
+
 // Update overwrites the record; the old version stays shadowed in
 // older runs until compaction (the tombstone-retention hazard applies
 // to updates too).

@@ -1,0 +1,282 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAppendBatchContiguousAndDurable(t *testing.T) {
+	for _, serial := range []bool{false, true} {
+		name := "group"
+		if serial {
+			name = "serial"
+		}
+		t.Run(name, func(t *testing.T) {
+			l := New()
+			if serial {
+				l = NewSerial()
+			}
+			keys := [][]byte{[]byte("a"), []byte("b"), []byte("c"), []byte("d"), []byte("e")}
+			payloads := make([][]byte, len(keys))
+			for i := range payloads {
+				payloads[i] = []byte(fmt.Sprintf("v%d", i))
+			}
+			first, last := l.AppendBatch(RecInsert, keys, payloads)
+			if first != 1 || last != LSN(len(keys)) {
+				t.Fatalf("batch LSNs [%d,%d], want [1,%d]", first, last, len(keys))
+			}
+			if l.Durable() < last {
+				t.Fatalf("batch not durable: Durable()=%d < last=%d", l.Durable(), last)
+			}
+			i := 0
+			l.Replay(0, func(r Record) bool {
+				if r.LSN != LSN(i+1) || string(r.Key) != string(keys[i]) || r.Type != RecInsert {
+					t.Fatalf("replay %d: lsn=%d key=%q type=%v", i, r.LSN, r.Key, r.Type)
+				}
+				i++
+				return true
+			})
+			if i != len(keys) {
+				t.Fatalf("replayed %d records, want %d", i, len(keys))
+			}
+			// The whole batch rode a single sync under either protocol.
+			if st := l.Stats(); st.Syncs != 1 || st.Appends != uint64(len(keys)) {
+				t.Fatalf("stats = %+v, want 1 sync / %d appends", st, len(keys))
+			}
+			if f, la := l.AppendBatch(RecInsert, nil, nil); f != 0 || la != 0 {
+				t.Fatalf("empty batch returned [%d,%d]", f, la)
+			}
+		})
+	}
+}
+
+// TestAppendBatchChecksumMatchesSerial pins the group path's durable
+// byte stream to the serial path's: the same batch must produce the
+// same committed-stream checksum (records plus exactly one commit
+// block) under both protocols.
+func TestAppendBatchChecksumMatchesSerial(t *testing.T) {
+	var keys, payloads [][]byte
+	for i := 0; i < 16; i++ {
+		keys = append(keys, []byte(fmt.Sprintf("key-%02d", i)))
+		payloads = append(payloads, []byte(fmt.Sprintf("payload-%02d", i)))
+	}
+	g, s := New(), NewSerial()
+	g.AppendBatch(RecInsert, keys, payloads)
+	s.AppendBatch(RecInsert, keys, payloads)
+	if gc, sc := g.DurableChecksum(), s.DurableChecksum(); gc != sc {
+		t.Fatalf("group checksum %08x != serial checksum %08x", gc, sc)
+	}
+}
+
+// TestAppendBatchConcurrentStaysDense fans many concurrent AppendBatch
+// calls at the group committer: every batch must receive a contiguous
+// private LSN range, the ranges must tile 1..total with no overlap,
+// and every record must be durable.
+func TestAppendBatchConcurrentStaysDense(t *testing.T) {
+	l := New()
+	const writers, batches, size = 8, 20, 5
+	type span struct{ first, last LSN }
+	spans := make(chan span, writers*batches)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				keys := make([][]byte, size)
+				payloads := make([][]byte, size)
+				for i := range keys {
+					keys[i] = []byte(fmt.Sprintf("w%d-b%d-%d", w, b, i))
+					payloads[i] = []byte("v")
+				}
+				first, last := l.AppendBatch(RecInsert, keys, payloads)
+				if last-first+1 != size {
+					t.Errorf("batch span [%d,%d] is not %d records", first, last, size)
+				}
+				if l.Durable() < last {
+					t.Errorf("batch [%d,%d] returned before durable (%d)", first, last, l.Durable())
+				}
+				spans <- span{first, last}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(spans)
+	seen := make(map[LSN]bool)
+	for sp := range spans {
+		for lsn := sp.first; lsn <= sp.last; lsn++ {
+			if seen[lsn] {
+				t.Fatalf("LSN %d assigned to two batches", lsn)
+			}
+			seen[lsn] = true
+		}
+	}
+	if want := writers * batches * size; len(seen) != want || !seen[1] || !seen[LSN(want)] {
+		t.Fatalf("LSN ranges do not tile 1..%d (%d assigned)", want, len(seen))
+	}
+}
+
+// TestBatchAfterConcurrentCheckpointTruncate is the replication-stream
+// regression test: a cursor-following consumer pulls BatchAfter while
+// an appender streams batches in and a checkpointer takes checkpoints
+// and truncates the prefix. The consumer must never receive a record
+// twice, every non-gap pull must be LSN-dense from its cursor, and
+// every record the consumer never received must have been truncated
+// under a durable checkpoint it was told to resync past — BatchAfter
+// may declare a gap, it may never silently skip a retained record.
+func TestBatchAfterConcurrentCheckpointTruncate(t *testing.T) {
+	l := New()
+	const total = 600
+	lsnOf := make([]LSN, total) // seq -> LSN, written by the appender
+	var appendDone sync.WaitGroup
+	appendDone.Add(1)
+	go func() {
+		defer appendDone.Done()
+		seq := 0
+		for seq < total {
+			n := 1 + seq%4
+			if seq+n > total {
+				n = total - seq
+			}
+			keys := make([][]byte, n)
+			payloads := make([][]byte, n)
+			for i := 0; i < n; i++ {
+				keys[i] = []byte(fmt.Sprintf("seq-%05d", seq+i))
+				payloads[i] = []byte("v")
+			}
+			first, _ := l.AppendBatch(RecInsert, keys, payloads)
+			for i := 0; i < n; i++ {
+				lsnOf[seq+i] = first + LSN(i)
+			}
+			seq += n
+		}
+	}()
+
+	stopCkpt := make(chan struct{})
+	var ckptDone sync.WaitGroup
+	ckptDone.Add(1)
+	go func() {
+		defer ckptDone.Done()
+		for {
+			select {
+			case <-stopCkpt:
+				return
+			default:
+			}
+			ck := l.Checkpoint([]byte("state"))
+			l.Truncate(ck - 1)
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	received := make(map[int]bool)
+	var maxResync LSN
+	cursor := LSN(0)
+	pull := func() {
+		batch, last, n, gap := l.BatchAfter(cursor, 512)
+		if gap {
+			ck, ok := l.LastCheckpoint()
+			if !ok {
+				t.Fatal("gap reported but no checkpoint to resync from")
+			}
+			if ck > maxResync {
+				maxResync = ck
+			}
+			cursor = ck
+			return
+		}
+		if n == 0 {
+			return
+		}
+		want := cursor + 1
+		info := Recover(batch, 0, func(r Record) bool {
+			if r.LSN != want {
+				t.Fatalf("non-dense stream: got LSN %d, want %d", r.LSN, want)
+			}
+			want++
+			if r.Type == RecInsert {
+				var seq int
+				if _, err := fmt.Sscanf(string(r.Key), "seq-%d", &seq); err != nil {
+					t.Fatalf("unexpected key %q", r.Key)
+				}
+				if received[seq] {
+					t.Fatalf("record seq %d received twice", seq)
+				}
+				received[seq] = true
+			}
+			return true
+		})
+		if info.TornTail {
+			t.Fatalf("BatchAfter shipped a torn batch (%d bytes discarded)", info.TailBytesDiscarded)
+		}
+		if want != last+1 {
+			t.Fatalf("batch claimed last=%d but decoded through %d", last, want-1)
+		}
+		cursor = last
+	}
+	appendFinished := make(chan struct{})
+	go func() { appendDone.Wait(); close(appendFinished) }()
+	for {
+		pull()
+		select {
+		case <-appendFinished:
+		default:
+			continue
+		}
+		if cursor >= l.Durable() {
+			break
+		}
+	}
+	close(stopCkpt)
+	ckptDone.Wait()
+	// Drain anything committed between the last pull and the
+	// checkpointer stopping.
+	for cursor < l.Durable() {
+		pull()
+	}
+
+	for seq := 0; seq < total; seq++ {
+		if received[seq] {
+			continue
+		}
+		if lsnOf[seq] > maxResync {
+			t.Fatalf("record seq %d (LSN %d) neither received nor truncated under a checkpoint (max resync %d)",
+				seq, lsnOf[seq], maxResync)
+		}
+	}
+}
+
+// BenchmarkAppend gates the WAL framing's allocation budget: one
+// combined key+payload copy per record, with the frame checksummed
+// from stack scratch instead of materialized.
+func BenchmarkAppend(b *testing.B) {
+	l := NewSerial()
+	key := []byte("bench-key-00000000")
+	payload := bytes.Repeat([]byte("p"), 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Append(RecInsert, key, payload)
+	}
+}
+
+// BenchmarkAppendBatch measures the batched commit: N records, one
+// lock acquisition, one sync.
+func BenchmarkAppendBatch(b *testing.B) {
+	l := NewSerial()
+	const size = 256
+	keys := make([][]byte, size)
+	payloads := make([][]byte, size)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("bench-key-%08d", i))
+		payloads[i] = bytes.Repeat([]byte("p"), 128)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.AppendBatch(RecInsert, keys, payloads)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"time"
 )
 
 // RecordType tags the payload of a log record.
@@ -64,20 +65,27 @@ const (
 	// recovery a pre-change directory to fall back to if the change
 	// never commits.
 	RecDirectory
+	// RecCheckpointDelta carries an incremental checkpoint: only the rows
+	// dirtied since the previous checkpoint (full or delta), chained to
+	// the last full RecCheckpoint image. Unlike RecCheckpoint it does not
+	// move the truncation floor — the base image and every delta after it
+	// must survive until the next full checkpoint supersedes them.
+	RecCheckpointDelta
 )
 
 var recordTypeNames = [...]string{
-	RecInsert:     "insert",
-	RecUpdate:     "update",
-	RecDelete:     "delete",
-	RecVacuum:     "vacuum",
-	RecCheckpoint: "checkpoint",
-	RecErase:      "erase",
-	RecTombstone:  "tombstone",
-	RecConsent:    "consent",
-	RecClock:      "clock",
-	RecShardBirth: "shard-birth",
-	RecDirectory:  "directory",
+	RecInsert:          "insert",
+	RecUpdate:          "update",
+	RecDelete:          "delete",
+	RecVacuum:          "vacuum",
+	RecCheckpoint:      "checkpoint",
+	RecErase:           "erase",
+	RecTombstone:       "tombstone",
+	RecConsent:         "consent",
+	RecClock:           "clock",
+	RecShardBirth:      "shard-birth",
+	RecDirectory:       "directory",
+	RecCheckpointDelta: "checkpoint-delta",
 }
 
 // String returns the record type name.
@@ -154,6 +162,13 @@ type Log struct {
 	serial bool
 	// committer is the group-commit queue (unused when serial).
 	committer committer
+
+	// syncDelay models the device latency of one durable sync (fsync).
+	// Every sync pays it exactly once regardless of how many records the
+	// batch carries, so it is the cost that group commit and batched
+	// ingestion amortize. Zero (the default) keeps syncs free, as the
+	// pure in-memory simulator always had them.
+	syncDelay time.Duration
 }
 
 // New returns an empty log committing with group commit (the default
@@ -183,19 +198,81 @@ func (l *Log) Append(t RecordType, key, payload []byte) LSN {
 	return l.appendGroup(t, key, payload)
 }
 
+// AppendBatch commits len(keys) records of one type as a single unit:
+// contiguous LSNs, one lock acquisition, one sync shared by the whole
+// batch (plus whatever concurrent appends the group-commit leader cuts
+// into the same batch). It returns the first and last LSN assigned; the
+// whole range is durable (Durable() >= last) by the time it returns.
+// keys[i] pairs with payloads[i]; both are copied.
+func (l *Log) AppendBatch(t RecordType, keys, payloads [][]byte) (first, last LSN) {
+	if len(keys) != len(payloads) {
+		panic("wal: AppendBatch keys/payloads length mismatch")
+	}
+	if len(keys) == 0 {
+		return 0, 0
+	}
+	if l.serial {
+		l.mu.Lock()
+		first = l.appendLocked(t, keys[0], payloads[0])
+		for i := 1; i < len(keys); i++ {
+			l.appendLocked(t, keys[i], payloads[i])
+		}
+		l.syncLocked(len(keys))
+		l.mu.Unlock()
+		return first, first + LSN(len(keys)) - 1
+	}
+	first = l.appendGroupBatch(t, keys, payloads)
+	return first, first + LSN(len(keys)) - 1
+}
+
 // appendLocked assigns the next LSN, copies the record in and checksums
 // its encoding into the durable stream. Caller holds mu.
+//
+// The copy is one allocation shared by key and payload (the two
+// subslices have non-overlapping capacities, so neither can grow into
+// the other), and the encoding is checksummed incrementally from stack
+// scratch rather than materialized: per record the append costs one
+// allocation, not three.
 func (l *Log) appendLocked(t RecordType, key, payload []byte) LSN {
-	r := Record{
-		LSN:     l.next,
-		Type:    t,
-		Key:     append([]byte(nil), key...),
-		Payload: append([]byte(nil), payload...),
+	var kcopy, pcopy []byte
+	if n := len(key) + len(payload); n > 0 {
+		buf := make([]byte, n)
+		copy(buf, key)
+		copy(buf[len(key):], payload)
+		if len(key) > 0 {
+			kcopy = buf[:len(key):len(key)]
+		}
+		if len(payload) > 0 {
+			pcopy = buf[len(key):]
+		}
 	}
+	r := Record{LSN: l.next, Type: t, Key: kcopy, Payload: pcopy}
 	l.records = append(l.records, r)
 	l.next++
 	l.bytes += encodedSize(r)
-	l.durableCRC = crc32.Update(l.durableCRC, crcTable, Encode(r))
+
+	// Checksum the record's encoding (Encode's exact byte layout) into
+	// the durable stream without building it: the record CRC and the
+	// stream CRC both advance over header, key, payload-length, payload,
+	// then the stream also covers the trailing record CRC.
+	var hdr [13]byte
+	binary.BigEndian.PutUint64(hdr[:8], uint64(r.LSN))
+	hdr[8] = byte(r.Type)
+	binary.BigEndian.PutUint32(hdr[9:13], uint32(len(r.Key)))
+	var plen [4]byte
+	binary.BigEndian.PutUint32(plen[:], uint32(len(r.Payload)))
+	rec := crc32.Update(0, crcTable, hdr[:])
+	rec = crc32.Update(rec, crcTable, r.Key)
+	rec = crc32.Update(rec, crcTable, plen[:])
+	rec = crc32.Update(rec, crcTable, r.Payload)
+	c := crc32.Update(l.durableCRC, crcTable, hdr[:])
+	c = crc32.Update(c, crcTable, r.Key)
+	c = crc32.Update(c, crcTable, plen[:])
+	c = crc32.Update(c, crcTable, r.Payload)
+	var crcb [4]byte
+	binary.BigEndian.PutUint32(crcb[:], rec)
+	l.durableCRC = crc32.Update(c, crcTable, crcb[:])
+
 	l.appends++
 	return r.LSN
 }
@@ -203,7 +280,17 @@ func (l *Log) appendLocked(t RecordType, key, payload []byte) LSN {
 // syncLocked advances the durable horizon to everything appended so far
 // and charges the fixed per-sync cost. batch is the number of records
 // this sync covers. Caller holds mu.
+// SetSyncDelay configures the modeled per-sync device latency. Call it
+// once right after New/NewSerial, before the log is shared between
+// goroutines; it is not synchronized against concurrent commits.
+func (l *Log) SetSyncDelay(d time.Duration) {
+	l.syncDelay = d
+}
+
 func (l *Log) syncLocked(batch int) {
+	if l.syncDelay > 0 {
+		time.Sleep(l.syncDelay)
+	}
 	l.flushed = l.next - 1
 	l.durableCRC = crc32.Update(l.durableCRC, crcTable, commitBlock)
 	l.syncs++

@@ -183,6 +183,13 @@ func (c *RemoteClient) Create(ctx context.Context, req api.CreateRequest) (api.C
 	return call[api.CreateResponse](c, ctx, OpCreate, req)
 }
 
+// CreateBatch collects many records in one round trip; the server's
+// deployment admits them with one shard-lock acquisition and one WAL
+// group submission per home shard.
+func (c *RemoteClient) CreateBatch(ctx context.Context, req api.CreateBatchRequest) (api.CreateBatchResponse, error) {
+	return call[api.CreateBatchResponse](c, ctx, OpCreateBatch, req)
+}
+
 // ReadData reads a record's personal data by key.
 func (c *RemoteClient) ReadData(ctx context.Context, req api.ReadDataRequest) (api.ReadDataResponse, error) {
 	return call[api.ReadDataResponse](c, ctx, OpReadData, req)

@@ -236,6 +236,18 @@ func MarshalRequest(op Op, req any) ([]byte, error) {
 		e.u32(r.WaitMicros)
 	case OpReplBye:
 		e.str(req.(ReplByeRequest).ReplicaID)
+	case OpCreateBatch:
+		r := req.(api.CreateBatchRequest)
+		e.u32(uint32(len(r.Records)))
+		for _, rec := range r.Records {
+			e.str(rec.Subject)
+			e.str(rec.Key)
+			e.bytes(rec.Payload)
+			e.strs(rec.Purposes)
+			e.i64(rec.TTL)
+			e.strs(rec.Processors)
+			e.bool(rec.Objected)
+		}
 	default:
 		return nil, fmt.Errorf("%w: marshal request op %d", ErrBadOp, op)
 	}
@@ -303,6 +315,26 @@ func UnmarshalRequest(op Op, payload []byte) (any, error) {
 		}
 	case OpReplBye:
 		req = ReplByeRequest{ReplicaID: d.str()}
+	case OpCreateBatch:
+		n := d.u32()
+		// A record costs at least its subject's 4-byte length prefix:
+		// a count the remaining bytes cannot carry is corrupt.
+		if d.err == nil && uint32(len(d.b))/4 < n {
+			d.fail()
+		}
+		var recs []gdprbench.Record
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			recs = append(recs, gdprbench.Record{
+				Subject:    d.str(),
+				Key:        d.str(),
+				Payload:    d.bytes(),
+				Purposes:   d.strs(),
+				TTL:        d.i64(),
+				Processors: d.strs(),
+				Objected:   d.bool(),
+			})
+		}
+		req = api.CreateBatchRequest{Records: recs}
 	default:
 		return nil, fmt.Errorf("%w: unmarshal request op %d", ErrBadOp, op)
 	}
@@ -354,6 +386,8 @@ func MarshalResponse(op Op, resp any) ([]byte, error) {
 		e.i64(r.Durable)
 	case OpReplBye:
 		_ = resp.(ReplByeResponse)
+	case OpCreateBatch:
+		e.u32(uint32(resp.(api.CreateBatchResponse).Created))
 	default:
 		return nil, fmt.Errorf("%w: marshal response op %d", ErrBadOp, op)
 	}
@@ -415,6 +449,8 @@ func UnmarshalResponse(op Op, payload []byte) (any, error) {
 		resp = ReplPullResponse{Resync: d.bool(), Batch: d.bytes(), Durable: d.i64()}
 	case OpReplBye:
 		resp = ReplByeResponse{}
+	case OpCreateBatch:
+		resp = api.CreateBatchResponse{Created: int(d.u32())}
 	default:
 		return nil, fmt.Errorf("%w: unmarshal response op %d", ErrBadOp, op)
 	}

@@ -18,6 +18,12 @@ func requestCases() map[Op]any {
 			Purposes: []string{"billing", "analytics"}, TTL: 1 << 40,
 			Processors: []string{"processor-a"}, Objected: true,
 		}},
+		OpCreateBatch: api.CreateBatchRequest{Records: []gdprbench.Record{
+			{Key: "user42", Subject: "alice", Payload: []byte("obs|alice"),
+				Purposes: []string{"billing"}, TTL: 1 << 40,
+				Processors: []string{"processor-a", "processor-b"}},
+			{Key: "user43", Subject: "bob", TTL: -7, Objected: true},
+		}},
 		OpReadData:      api.ReadDataRequest{Key: "user42", Entity: "controller", Purpose: "service"},
 		OpUpdateData:    api.UpdateDataRequest{Key: "user42", Entity: "controller", Purpose: "service", Payload: []byte("new")},
 		OpDeleteData:    api.DeleteDataRequest{Key: "user42", Entity: "subject-svc"},
@@ -39,13 +45,14 @@ func responseCases() map[Op]any {
 		CreatedAt: 7, Consented: []string{"research"}, BaseTTL: 90,
 	}
 	return map[Op]any{
-		OpCreate:     api.CreateResponse{},
-		OpReadData:   api.ReadDataResponse{Payload: []byte("obs|alice")},
-		OpUpdateData: api.UpdateDataResponse{},
-		OpDeleteData: api.DeleteDataResponse{},
-		OpReadMeta:   api.ReadMetaResponse{Meta: meta},
-		OpUpdateMeta: api.UpdateMetaResponse{},
-		OpReadByMeta: api.ReadByMetaResponse{Matched: 9},
+		OpCreate:      api.CreateResponse{},
+		OpCreateBatch: api.CreateBatchResponse{Created: 17},
+		OpReadData:    api.ReadDataResponse{Payload: []byte("obs|alice")},
+		OpUpdateData:  api.UpdateDataResponse{},
+		OpDeleteData:  api.DeleteDataResponse{},
+		OpReadMeta:    api.ReadMetaResponse{Meta: meta},
+		OpUpdateMeta:  api.UpdateMetaResponse{},
+		OpReadByMeta:  api.ReadByMetaResponse{Matched: 9},
 		OpSubjectAccess: api.SubjectAccessResponse{Records: []compliance.SubjectRecord{
 			{Key: "user42", Meta: meta, Payload: []byte("obs|alice")},
 			{Key: "user43", Meta: compliance.Metadata{Subject: "alice"}, Payload: nil},

@@ -9,6 +9,7 @@ import (
 
 	"github.com/datacase/datacase/internal/api"
 	"github.com/datacase/datacase/internal/compliance"
+	"github.com/datacase/datacase/internal/gdprbench"
 )
 
 // Router places requests across N wire servers by data subject, using
@@ -240,6 +241,59 @@ func (r *Router) Create(ctx context.Context, req api.CreateRequest) (api.CreateR
 		r.pin(req.Record.Subject, req.Record.Key, addr)
 	}
 	return resp, err
+}
+
+// CreateBatch bins the records by their subjects' home backends and
+// sends each bin as one sub-batch, so a backend admits its share under
+// one shard-lock acquisition per shard instead of one per record.
+// Bins preserve the records' relative order and commit independently:
+// on a sub-batch failure the records already created on other backends
+// remain, the count reflects them, and the first error is returned.
+// Subjects and keys pin exactly as for Create. A failed sub-batch may
+// still have committed some of its shard bins before the failure (the
+// error frame hides the partial count), so its subjects — though not
+// its keys — are pinned anyway: pinning a subject to the backend its
+// hash chose is always sound, and it keeps any committed records
+// reachable, while an uncommitted key pin would turn later probes into
+// false authoritative not-founds.
+func (r *Router) CreateBatch(ctx context.Context, req api.CreateBatchRequest) (api.CreateBatchResponse, error) {
+	type bin struct {
+		addr string
+		recs []gdprbench.Record
+	}
+	var order []string
+	bins := make(map[string]*bin)
+	for _, rec := range req.Records {
+		addr := r.subjectAddr(rec.Subject)
+		b, ok := bins[addr]
+		if !ok {
+			b = &bin{addr: addr}
+			bins[addr] = b
+			order = append(order, addr)
+		}
+		b.recs = append(b.recs, rec)
+	}
+	created := 0
+	for _, addr := range order {
+		b := bins[addr]
+		if err := ctx.Err(); err != nil {
+			return api.CreateBatchResponse{Created: created}, err
+		}
+		resp, err := withBackend(r, addr, func(c *RemoteClient) (api.CreateBatchResponse, error) {
+			return c.CreateBatch(ctx, api.CreateBatchRequest{Records: b.recs})
+		})
+		created += resp.Created
+		if err != nil {
+			for _, rec := range b.recs {
+				r.pin(rec.Subject, "", addr)
+			}
+			return api.CreateBatchResponse{Created: created}, err
+		}
+		for _, rec := range b.recs {
+			r.pin(rec.Subject, rec.Key, addr)
+		}
+	}
+	return api.CreateBatchResponse{Created: created}, nil
 }
 
 // keyed routes a keyed request: directory hit first, then a probe of

@@ -10,6 +10,7 @@ import (
 
 	"github.com/datacase/datacase/internal/api"
 	"github.com/datacase/datacase/internal/compliance"
+	"github.com/datacase/datacase/internal/gdprbench"
 )
 
 // cluster is a two-server deployment behind a gateway: the smallest
@@ -456,5 +457,65 @@ func TestGatewayScanAndAuditFanOut(t *testing.T) {
 	}
 	if audit.Profile != "P_SYS" || len(audit.Checked) == 0 {
 		t.Fatalf("audit = %+v", audit)
+	}
+}
+
+// TestGatewayCreateBatchFanOut drives one mixed-subject batch through
+// the gateway: the router must bin records by subject home, fan the
+// sub-batches to their backends, and report the full created count —
+// with every record landing on its subject's sticky home so later
+// keyed ops route without probing.
+func TestGatewayCreateBatchFanOut(t *testing.T) {
+	cl := startCluster(t, 2)
+	ctx := context.Background()
+	var recs []gdprbench.Record
+	const subjects, perSubject = 8, 3
+	for s := 0; s < subjects; s++ {
+		for k := 0; k < perSubject; k++ {
+			recs = append(recs, wireRecord(fmt.Sprintf("bat-s%d-k%d", s, k), fmt.Sprintf("bat-subject-%d", s)))
+		}
+	}
+	resp, err := cl.c.CreateBatch(ctx, api.CreateBatchRequest{Records: recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Created != len(recs) {
+		t.Fatalf("Created = %d, want %d", resp.Created, len(recs))
+	}
+	// Subject affinity held inside the batch: each subject's records sit
+	// together on one backend, and with 8 subjects both backends got work.
+	busy := 0
+	for s := 0; s < subjects; s++ {
+		counts := cl.homesOf(t, fmt.Sprintf("bat-subject-%d", s))
+		if counts[0]+counts[1] != perSubject || (counts[0] != 0 && counts[1] != 0) {
+			t.Fatalf("bat-subject-%d split across backends: %v", s, counts)
+		}
+	}
+	for _, db := range cl.dbs {
+		if db.Len() > 0 {
+			busy++
+		}
+	}
+	if busy != 2 {
+		t.Fatalf("batch fanned out to %d backends, want 2", busy)
+	}
+	// Every batch record is reachable through the gateway afterwards.
+	for _, rec := range recs {
+		read, err := cl.c.ReadData(ctx, api.ReadDataRequest{
+			Key: rec.Key, Entity: compliance.EntityController, Purpose: compliance.PurposeService,
+		})
+		if err != nil || !bytes.Equal(read.Payload, rec.Payload) {
+			t.Fatalf("read %s = %q, %v", rec.Key, read.Payload, err)
+		}
+	}
+	// A conflicting batch fails with the server's error; the existing
+	// records stay readable and re-sending fresh keys still works.
+	if _, err := cl.c.CreateBatch(ctx, api.CreateBatchRequest{Records: recs[:1]}); err == nil {
+		t.Fatal("duplicate batch did not error")
+	}
+	if _, err := cl.c.CreateBatch(ctx, api.CreateBatchRequest{Records: []gdprbench.Record{
+		wireRecord("bat-fresh", "bat-subject-0"),
+	}}); err != nil {
+		t.Fatalf("fresh batch after conflict: %v", err)
 	}
 }

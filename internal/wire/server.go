@@ -177,6 +177,8 @@ func (s *Server) dispatch(ctx context.Context, op Op, payload []byte) ([]byte, e
 	switch op {
 	case OpCreate:
 		respAny, err = s.backend.Create(ctx, reqAny.(api.CreateRequest))
+	case OpCreateBatch:
+		respAny, err = s.backend.CreateBatch(ctx, reqAny.(api.CreateBatchRequest))
 	case OpReadData:
 		respAny, err = s.backend.ReadData(ctx, reqAny.(api.ReadDataRequest))
 	case OpUpdateData:

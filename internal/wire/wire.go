@@ -64,8 +64,12 @@ const (
 	OpReplPull     Op = 14
 	OpReplBye      Op = 15
 
+	// OpCreateBatch admits many records in one round trip (appended
+	// after the replication block; codes are never renumbered).
+	OpCreateBatch Op = 16
+
 	// maxOp guards frame decoding; bump when appending codes.
-	maxOp = OpReplBye
+	maxOp = OpCreateBatch
 )
 
 var opNames = map[Op]string{
@@ -84,6 +88,7 @@ var opNames = map[Op]string{
 	OpReplSnapshot:  "repl-snapshot",
 	OpReplPull:      "repl-pull",
 	OpReplBye:       "repl-bye",
+	OpCreateBatch:   "create-batch",
 }
 
 // String names the op for logs and errors.
