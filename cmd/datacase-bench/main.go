@@ -36,12 +36,18 @@
 //	                                           # full vs incremental
 //	                                           # checkpoints; writes
 //	                                           # BENCH_ingest.json
+//	datacase-bench -exp durableheap -dh-records 6000
+//	                                           # mmap durable-heap engine
+//	                                           # vs row-image backends:
+//	                                           # checkpoint + recovery
+//	                                           # cost; writes
+//	                                           # BENCH_durableheap.json
 //	datacase-bench -list                       # print the experiment
 //	                                           # registry and exit
 //
 // Experiments: table1, fig3, fig4a, fig4b, fig4c, table2, deleteonly,
 // shardscale, loadgen, recovery, backend, readpath, reshard, network,
-// replication, ingest, all. An unknown
+// replication, ingest, durableheap, all. An unknown
 // -exp value exits with status 2 and a usage message; -list prints the
 // registry with one-line descriptions and exits 0.
 package main
@@ -78,6 +84,7 @@ var experimentInfo = []struct {
 	{"network", "end-to-end network soak: a wire-connection fleet through the subject-routing gateway; writes BENCH_network.json"},
 	{"replication", "WAL-shipping replica set: async write lag vs synchronous revocation-barrier latency; writes BENCH_replication.json"},
 	{"ingest", "batched write admission sweep: batch size × backend × full/incremental checkpoints; writes BENCH_ingest.json"},
+	{"durableheap", "mmap durable-heap engine vs row-image backends: ingest, forced-checkpoint cost, crash recovery; writes BENCH_durableheap.json"},
 }
 
 // experimentNames returns the registry names in order.
@@ -168,6 +175,12 @@ func main() {
 		ingShards  = flag.Int("ingest-shards", 4, "shard count for -exp ingest")
 		ingEvery   = flag.Int("ingest-checkpoint-every", 64, "per-shard checkpoint interval (ops) for -exp ingest")
 		ingOut     = flag.String("ingest-out", "BENCH_ingest.json", "JSON output path for -exp ingest")
+
+		dhRecords    = flag.Int("dh-records", 6000, "records ingested per backend for -exp durableheap")
+		dhValueBytes = flag.Int("dh-value-bytes", 4096, "payload bytes per record for -exp durableheap")
+		dhShards     = flag.Int("dh-shards", 4, "shard count for -exp durableheap")
+		dhCkpts      = flag.Int("dh-checkpoints", 3, "forced touch-then-checkpoint cycles for -exp durableheap")
+		dhOut        = flag.String("dh-out", "BENCH_durableheap.json", "JSON output path for -exp durableheap")
 	)
 	flag.Parse()
 
@@ -293,6 +306,9 @@ func main() {
 	}
 	if run("ingest") {
 		runIngest(*ingBatches, *ingRecords, *ingShards, *ingEvery, *ingOut, *csv)
+	}
+	if run("durableheap") {
+		runDurableHeap(*dhRecords, *dhValueBytes, *dhShards, *dhCkpts, *seed, *dhOut, *csv)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr,
@@ -551,6 +567,27 @@ func runIngest(batchesCSV string, records, shards, every int, out string, csv bo
 	_, err = datacase.ReadIngestJSON(out)
 	fail(err)
 	fmt.Printf("wrote %s (%d results, batch speedups above the floor)\n", out, len(results))
+}
+
+// runDurableHeap runs the durable-heap engine comparison across all
+// three backends — timed ingest, forced-checkpoint cost, crash
+// recovery — then writes and re-reads (enforcing the >= 2x recovery
+// and >= 5x checkpoint-cost floors) BENCH_durableheap.json.
+func runDurableHeap(records, valueBytes, shards, checkpoints int, seed int64, out string, csv bool) {
+	fmt.Printf("running durableheap (records=%d, value-bytes=%d, shards=%d, checkpoints=%d, backends=%v)...\n",
+		records, valueBytes, shards, checkpoints, datacase.DurableHeapBackends())
+	rep, err := datacase.DurableHeapSweep(records, valueBytes, shards, checkpoints, seed)
+	fail(err)
+	for _, r := range rep.Results {
+		fail(r.Validate())
+		fmt.Printf("  %s\n", r)
+	}
+	render(datacase.DurableHeapFigure(rep), nil, csv)
+	fail(datacase.WriteDurableHeapJSON(out, rep))
+	_, err = datacase.ReadDurableHeapJSON(out)
+	fail(err)
+	fmt.Printf("wrote %s (%d results, above the recovery and checkpoint-cost floors)\n",
+		out, len(rep.Results))
 }
 
 // parseShards parses a comma-separated shard-count sweep like "1,4,16".

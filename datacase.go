@@ -257,10 +257,14 @@ const (
 
 // Storage backends for Profile.Backend: the heap engine grounds
 // deletion in DELETE+VACUUM mechanics; the LSM engine grounds it in
-// tombstones with erase-aware compaction (§3.1's contrast, pluggable).
+// tombstones with erase-aware compaction (§3.1's contrast, pluggable);
+// the mmap engine grounds durability in the region itself — slotted
+// pages plus an embedded redo log — so erasure is an in-place page
+// scrub and checkpoints are page-table snapshots.
 const (
 	BackendHeap = compliance.BackendHeap
 	BackendLSM  = compliance.BackendLSM
+	BackendMmap = compliance.BackendMmap
 )
 
 // ---- Pluggable storage engines ----
@@ -321,6 +325,12 @@ var (
 	// RecoverShardedWorkers is RecoverSharded with an explicit fan-out
 	// width.
 	RecoverShardedWorkers = compliance.RecoverShardedWorkers
+	// RecoverDBWithRegion rebuilds an mmap-backed deployment from its
+	// WAL image plus the crashed region bytes.
+	RecoverDBWithRegion = compliance.RecoverDBWithRegion
+	// RecoverShardedWithRegions is RecoverSharded for mmap-backed
+	// deployments: per-shard WAL images plus per-shard region snapshots.
+	RecoverShardedWithRegions = compliance.RecoverShardedWithRegions
 	// ErrNotFound / ErrDenied / ErrExists are the DB's operation errors.
 	ErrNotFound = compliance.ErrNotFound
 	ErrDenied   = compliance.ErrDenied
@@ -612,6 +622,36 @@ var (
 	// ValidateIngestReport checks an ingest report's per-result and
 	// cross-result gates.
 	ValidateIngestReport = benchx.ValidateIngestReport
+)
+
+// ---- Durable-heap experiment (-exp durableheap) ----
+
+type (
+	// DurableHeapResult is one BENCH_durableheap.json row: ingest,
+	// forced-checkpoint and recovery wall time for one backend.
+	DurableHeapResult = benchx.DurableHeapResult
+	// DurableHeapReport is the BENCH_durableheap.json document envelope.
+	DurableHeapReport = benchx.DurableHeapReport
+)
+
+var (
+	// RunDurableHeap runs one backend's ingest / checkpoint / recovery
+	// measurement.
+	RunDurableHeap = benchx.RunDurableHeap
+	// DurableHeapSweep runs the heap/lsm/mmap axis at one scale.
+	DurableHeapSweep = benchx.DurableHeapSweep
+	// DurableHeapBackends is the experiment's three-backend axis.
+	DurableHeapBackends = benchx.DurableHeapBackends
+	// DurableHeapFigure renders the report as per-phase timing series.
+	DurableHeapFigure = benchx.DurableHeapFigure
+	// WriteDurableHeapJSON writes a BENCH_durableheap.json document.
+	WriteDurableHeapJSON = benchx.WriteDurableHeapJSON
+	// ReadDurableHeapJSON parses and validates a BENCH_durableheap.json
+	// file, enforcing the recovery and checkpoint-cost floors.
+	ReadDurableHeapJSON = benchx.ReadDurableHeapJSON
+	// ValidateDurableHeapReport checks a durableheap report's per-result
+	// invariants and cross-backend floors.
+	ValidateDurableHeapReport = benchx.ValidateDurableHeapReport
 )
 
 // ---- Transport-neutral Client API and the wire serving stack ----

@@ -324,6 +324,8 @@ func newEngine(p Profile, tableName string, log *wal.Log) (storage.Engine, error
 			PurgeWithinOps:       p.PurgeWithinOps,
 			MemtableFlushEntries: p.LSMFlushEntries,
 		}), nil
+	case BackendMmap:
+		return storage.NewMmap(tableName, log), nil
 	default:
 		// validate rejects unknown backends before this runs; keep the
 		// error anyway for callers constructing engines directly.
@@ -474,6 +476,12 @@ func (db *DB) checkpointLocked() wal.LSN {
 	payload := encodeCheckpointState(db)
 	lsn := log.Checkpoint(payload)
 	log.Truncate(lsn - 1)
+	if rb, ok := db.data.(storage.RegionBacked); ok {
+		// The engine's half of a region checkpoint: snapshot the page
+		// table and reset the (fully applied) embedded redo log — the
+		// msync-analogue, O(dirty pages) with no row serialization.
+		rb.CheckpointRegion()
+	}
 	db.counters.checkpoints.Add(1)
 	db.counters.fullCheckpointBytes.Add(uint64(len(payload)))
 	db.deltasSinceFull = 0
@@ -489,6 +497,12 @@ func (db *DB) checkpointLocked() wal.LSN {
 // and the chain is still under the full-image cadence. Caller holds mu.
 func (db *DB) incrementalDueLocked() bool {
 	if !db.profile.IncrementalCheckpoints {
+		return false
+	}
+	if _, ok := db.data.(storage.RegionBacked); ok {
+		// Region engines never write delta frames: their full
+		// checkpoint is already row-free and O(1)-sized, so a delta
+		// would cost more than the image it avoids.
 		return false
 	}
 	if _, ok := db.data.Log().LastCheckpoint(); !ok {

@@ -522,43 +522,46 @@ func FuzzCheckpointDelta(f *testing.F) {
 	})
 }
 
-// BenchmarkIngest is the allocation gate for the batched write path:
-// CI runs it with -benchtime=100x and budgets allocs/op divided by the
-// batch size. Record construction happens off the clock so the numbers
-// measure admission (policy synthesis, encryption, WAL framing, index
-// insertion), not the harness.
+// BenchmarkIngest is the allocation gate for the batched write path on
+// all three backends: CI runs it with -benchtime=100x and budgets
+// allocs/op divided by the batch size. Record construction happens off
+// the clock so the numbers measure admission (policy synthesis,
+// encryption, WAL framing, engine insertion), not the harness.
 func BenchmarkIngest(b *testing.B) {
-	for _, batch := range []int{1, 256} {
-		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
-			p := PBase()
-			p.IncrementalCheckpoints = true
-			db, err := OpenSharded(p, 4)
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer db.Close()
-			next := 0
-			recs := make([]gdprbench.Record, batch)
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				for j := range recs {
-					recs[j] = gdprbench.Record{
-						Key:        fmt.Sprintf("bench-%010d", next),
-						Subject:    fmt.Sprintf("bench-subject-%d", next%64),
-						Payload:    []byte("bench-payload-0123456789abcdef"),
-						Purposes:   []string{"analytics"},
-						TTL:        1 << 40,
-						Processors: []string{"processor-a"},
-					}
-					next++
-				}
-				b.StartTimer()
-				if _, err := db.IngestBatch(recs); err != nil {
+	for _, backend := range []string{BackendHeap, BackendLSM, BackendMmap} {
+		for _, batch := range []int{1, 256} {
+			b.Run(fmt.Sprintf("backend=%s/batch=%d", backend, batch), func(b *testing.B) {
+				p := PBase()
+				p.Backend = backend
+				p.IncrementalCheckpoints = backend != BackendMmap
+				db, err := OpenSharded(p, 4)
+				if err != nil {
 					b.Fatal(err)
 				}
-			}
-		})
+				defer db.Close()
+				next := 0
+				recs := make([]gdprbench.Record, batch)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					for j := range recs {
+						recs[j] = gdprbench.Record{
+							Key:        fmt.Sprintf("bench-%010d", next),
+							Subject:    fmt.Sprintf("bench-subject-%d", next%64),
+							Payload:    []byte("bench-payload-0123456789abcdef"),
+							Purposes:   []string{"analytics"},
+							TTL:        1 << 40,
+							Processors: []string{"processor-a"},
+						}
+						next++
+					}
+					b.StartTimer()
+					if _, err := db.IngestBatch(recs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }

@@ -67,6 +67,14 @@ const (
 	// purge obligation that bounds that residency (erase-aware
 	// compaction).
 	BackendLSM = "lsm"
+	// BackendMmap is the durable-region heap engine: the table lives in
+	// a flat mmap-style byte region whose pages ARE the durable state —
+	// mutations are redo-logged in-place transactions, a checkpoint is a
+	// page-table snapshot (no row serialization), and recovery
+	// re-attaches the crashed region instead of decoding a segment
+	// image, so it needs the region snapshots alongside the WAL images
+	// (RecoverShardedWithRegions / ShardedDB.Recover).
+	BackendMmap = "mmap"
 )
 
 // Profile is a complete, grounded interpretation of GDPR compliance.
@@ -75,10 +83,10 @@ type Profile struct {
 	Description string
 
 	// Backend selects the storage engine of the data table: BackendHeap
-	// (the default when empty) or BackendLSM. Every shard of a sharded
-	// deployment uses the same backend; crash recovery rebuilds against
-	// the profile's backend, so recover with the crashed deployment's
-	// Profile().
+	// (the default when empty), BackendLSM, or BackendMmap. Every shard
+	// of a sharded deployment uses the same backend; crash recovery
+	// rebuilds against the profile's backend, so recover with the
+	// crashed deployment's Profile().
 	Backend string
 	// PurgeWithinOps bounds, for BackendLSM, how many storage
 	// operations a purge obligation (registered by every
@@ -252,9 +260,12 @@ func (p Profile) validate() error {
 			p.Name, len(p.PayloadKey), int(p.PayloadCipher))
 	case p.VacuumThreshold < 0 || p.VacuumThreshold > 1:
 		return fmt.Errorf("compliance: profile %s has vacuum threshold %f", p.Name, p.VacuumThreshold)
-	case p.Backend != "" && p.Backend != BackendHeap && p.Backend != BackendLSM:
-		return fmt.Errorf("compliance: profile %s has unknown storage backend %q (want %q or %q)",
-			p.Name, p.Backend, BackendHeap, BackendLSM)
+	case p.Backend != "" && p.Backend != BackendHeap && p.Backend != BackendLSM && p.Backend != BackendMmap:
+		return fmt.Errorf("compliance: profile %s has unknown storage backend %q (want %q, %q, or %q)",
+			p.Name, p.Backend, BackendHeap, BackendLSM, BackendMmap)
+	case p.Backend == BackendMmap && p.UseBlockDev:
+		return fmt.Errorf("compliance: profile %s combines the mmap backend with a block device; "+
+			"the region already is the durable byte store", p.Name)
 	}
 	return nil
 }

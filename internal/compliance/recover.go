@@ -17,7 +17,8 @@ import (
 
 // Crash recovery. A deployment's durable state is its WAL segment image
 // (plus, for block-device profiles, the device itself — it is the
-// disk). Recovery rebuilds everything else from that image:
+// disk — and, for the mmap backend, the byte region — the pages ARE
+// the rows). Recovery rebuilds everything else from that image:
 //
 //  1. Scan the image forward, tolerating a torn or corrupt tail (the
 //     un-synced bytes a crash loses; see wal.Recover).
@@ -43,10 +44,18 @@ import (
 // collection time as the policy window origin — a conservative
 // approximation that can only deny earlier, never allow longer.
 
-// checkpointVersion tags the checkpoint payload encoding. Version 2
-// appends the shard's view of the key->shard directory (elastic
-// resharding); version 1 payloads (no directory) still decode.
-const checkpointVersion = 2
+// checkpointVersion tags the row-bearing checkpoint payload encoding.
+// Version 2 appends the shard's view of the key->shard directory
+// (elastic resharding); version 1 payloads (no directory) still
+// decode. Region-backed engines (the mmap backend) checkpoint with
+// checkpointVersionRegion instead: scalars and directory only, no row
+// section — the rows live in the durable region, and snapshotting them
+// into the payload would reintroduce exactly the O(data) encode the
+// backend exists to avoid.
+const (
+	checkpointVersion       = 2
+	checkpointVersionRegion = 3
+)
 
 // RecoveryStats describes one recovery pass.
 type RecoveryStats struct {
@@ -91,6 +100,32 @@ func (s *RecoveryStats) merge(o RecoveryStats) {
 // here is an error rather than a deployment full of dangling sector
 // references.
 func RecoverDB(p Profile, image []byte) (*DB, RecoveryStats, error) {
+	if p.Backend == BackendMmap {
+		return nil, RecoveryStats{}, fmt.Errorf(
+			"compliance: profile %s keeps its rows in an mmap byte region, which survives the crash; recover with RecoverDBWithRegion, which carries the region", p.Name)
+	}
+	return recoverDBRegion(p, image, nil)
+}
+
+// RecoverDBWithRegion rebuilds a single mmap-backed deployment from its
+// WAL segment image plus the durable byte region (DB.RegionSnapshot of
+// the crashed instance). The region carries the rows; the image carries
+// the logical tail (erase intents, consent revocations, clock notes and
+// any mutations the region's applied-LSN cursor never reached). The
+// region slice is copied, not aliased.
+func RecoverDBWithRegion(p Profile, image, region []byte) (*DB, RecoveryStats, error) {
+	if p.Backend != BackendMmap {
+		return nil, RecoveryStats{}, fmt.Errorf(
+			"compliance: profile %s (backend %q) has no durable byte region; recover with RecoverDB", p.Name, p.Backend)
+	}
+	if region == nil {
+		return nil, RecoveryStats{}, fmt.Errorf(
+			"compliance: profile %s needs its durable region to recover; the segment image alone does not carry the rows", p.Name)
+	}
+	return recoverDBRegion(p, image, region)
+}
+
+func recoverDBRegion(p Profile, image, region []byte) (*DB, RecoveryStats, error) {
 	start := time.Now()
 	if p.UseBlockDev {
 		return nil, RecoveryStats{}, fmt.Errorf(
@@ -101,7 +136,7 @@ func RecoverDB(p Profile, image []byte) (*DB, RecoveryStats, error) {
 			"compliance: profile %s has no payload key; recover with Profile() of the crashed deployment (the key the KMS issued it), not a freshly constructed profile", p.Name)
 	}
 	clock := &core.Clock{}
-	db, st, err := recoverNamed(p, p.Name+":data", clock, image, nil)
+	db, st, err := recoverNamed(p, p.Name+":data", clock, image, nil, region)
 	st.Shards = 1
 	st.Elapsed = time.Since(start)
 	return db, st, err
@@ -119,14 +154,24 @@ func RecoverSharded(p Profile, images [][]byte) (*ShardedDB, RecoveryStats, erro
 // RecoverShardedWorkers is RecoverSharded with an explicit fan-out
 // width (workers <= 0 selects the default).
 func RecoverShardedWorkers(p Profile, images [][]byte, workers int) (*ShardedDB, RecoveryStats, error) {
-	return recoverSharded(p, images, nil, workers)
+	return recoverSharded(p, images, nil, nil, workers)
+}
+
+// RecoverShardedWithRegions rebuilds a sharded mmap-backed deployment
+// from per-shard segment images plus per-shard durable byte regions
+// (ShardedDB.SegmentImages and ShardedDB.RegionSnapshots of the crashed
+// instance). regions[i] pairs with images[i]; both slices must be the
+// same length. Region slices are copied, not aliased.
+func RecoverShardedWithRegions(p Profile, images, regions [][]byte) (*ShardedDB, RecoveryStats, error) {
+	return recoverSharded(p, images, nil, regions, 0)
 }
 
 // recoverSharded rebuilds shards in parallel and reassembles the
 // deployment: shared clock, key->shard directory from the recovered
 // rows, delete hooks rewired. devs, when non-nil, carries each shard's
-// surviving block device.
-func recoverSharded(p Profile, images [][]byte, devs []*cryptox.BlockDev, workers int) (*ShardedDB, RecoveryStats, error) {
+// surviving block device; regions, when non-nil, carries each shard's
+// surviving mmap byte region.
+func recoverSharded(p Profile, images [][]byte, devs []*cryptox.BlockDev, regions [][]byte, workers int) (*ShardedDB, RecoveryStats, error) {
 	start := time.Now()
 	if len(images) == 0 {
 		return nil, RecoveryStats{}, fmt.Errorf("compliance: recovery needs at least one segment image")
@@ -137,6 +182,17 @@ func recoverSharded(p Profile, images [][]byte, devs []*cryptox.BlockDev, worker
 		// "succeed" and then serve garbage on every read.
 		return nil, RecoveryStats{}, fmt.Errorf(
 			"compliance: profile %s stores payloads on a block device, which survives the crash; recover through ShardedDB.Recover, which carries the devices", p.Name)
+	}
+	if p.Backend == BackendMmap && regions == nil {
+		// The images carry the logical tail, not the rows; the rows live
+		// in the per-shard byte regions. Rebuilding from images alone
+		// would silently come up empty.
+		return nil, RecoveryStats{}, fmt.Errorf(
+			"compliance: profile %s keeps its rows in mmap byte regions, which survive the crash; recover through ShardedDB.Recover or RecoverShardedWithRegions, which carry the regions", p.Name)
+	}
+	if regions != nil && len(regions) != len(images) {
+		return nil, RecoveryStats{}, fmt.Errorf(
+			"compliance: %d segment images but %d regions; each shard needs both", len(images), len(regions))
 	}
 	if !p.UseBlockDev && len(p.PayloadKey) == 0 {
 		return nil, RecoveryStats{}, fmt.Errorf(
@@ -172,6 +228,9 @@ func recoverSharded(p Profile, images [][]byte, devs []*cryptox.BlockDev, worker
 		if devs != nil {
 			devs = devs[:kept]
 		}
+		if regions != nil {
+			regions = regions[:kept]
+		}
 		if len(images) == 0 {
 			return nil, RecoveryStats{}, fmt.Errorf("compliance: every segment image is uncommitted split debris")
 		}
@@ -197,8 +256,12 @@ func recoverSharded(p Profile, images [][]byte, devs []*cryptox.BlockDev, worker
 		if devs != nil {
 			dev = devs[i]
 		}
+		var region []byte
+		if regions != nil {
+			region = regions[i]
+		}
 		s.shards[i], perShard[i], errs[i] = recoverNamed(
-			p, shardTableName(p, i), clock, images[i], dev)
+			p, shardTableName(p, i), clock, images[i], dev, region)
 		return errs[i]
 	})
 	total := RecoveryStats{Shards: len(images)}
@@ -350,19 +413,80 @@ func (s *ShardedDB) Recover() (*ShardedDB, RecoveryStats, error) {
 			devs[i] = db.blockdev.Snapshot()
 		}
 	}
-	return recoverSharded(s.profile, images, devs, s.workers)
+	// Regions after images, like devices: a region snapshot taken after
+	// the image covers every op the image holds (each mutation appends
+	// to the WAL and applies to the region under one table lock, and the
+	// snapshot waits for that lock), so replay's applied-LSN skip never
+	// re-applies work the region missed. Ops landing in between only add
+	// region-side state the image has no record of, which recovery keeps.
+	var regions [][]byte
+	if s.profile.Backend == BackendMmap {
+		regions = make([][]byte, len(shards))
+		for i, db := range shards {
+			regions[i] = db.RegionSnapshot()
+		}
+	}
+	return recoverSharded(s.profile, images, devs, regions, s.workers)
+}
+
+// RegionSnapshot returns a copy of the deployment's durable byte region
+// (nil for backends that are not region-backed). Together with
+// SegmentImage it is what a crash would leave behind on an mmap-backed
+// deployment.
+func (db *DB) RegionSnapshot() []byte {
+	if rb, ok := db.data.(storage.RegionBacked); ok {
+		return rb.RegionSnapshot()
+	}
+	return nil
+}
+
+// RegionSnapshots returns a copy of every shard's durable byte region
+// for region-backed deployments (Profile.Backend == BackendMmap), nil
+// otherwise. Pairs with SegmentImages as input to
+// RecoverShardedWithRegions; capture images first, regions second (see
+// Recover for why that order is safe).
+func (s *ShardedDB) RegionSnapshots() [][]byte {
+	shards := s.view()
+	regions := make([][]byte, len(shards))
+	any := false
+	for i, db := range shards {
+		if r := db.RegionSnapshot(); r != nil {
+			regions[i] = r
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return regions
 }
 
 // recoverNamed rebuilds one deployment (one shard) from a segment
 // image. dev, when non-nil, is the surviving block device of the
-// crashed instance.
-func recoverNamed(p Profile, tableName string, clock *core.Clock, image []byte, dev *cryptox.BlockDev) (*DB, RecoveryStats, error) {
+// crashed instance; region, when non-nil, is its surviving mmap byte
+// region (the engine's row state, attached in place of a fresh table).
+func recoverNamed(p Profile, tableName string, clock *core.Clock, image []byte, dev *cryptox.BlockDev, region []byte) (*DB, RecoveryStats, error) {
 	db, err := openNamed(p, tableName, clock)
 	if err != nil {
 		return nil, RecoveryStats{}, err
 	}
 	if dev != nil {
 		db.blockdev = dev
+	}
+	var baseLSN wal.LSN
+	if region != nil {
+		// Attach a private copy of the region over the fresh WAL: the
+		// attach repairs the page table from its shadow if a torn
+		// checkpoint left an invalid entry, replays the embedded redo
+		// tail, and leaves the applied-LSN cursor at the last mutation
+		// the region absorbed. Everything in the image at or below that
+		// cursor is already in the pages and must not replay twice.
+		eng, err := storage.AttachMmap(tableName, db.data.Log(), append([]byte(nil), region...))
+		if err != nil {
+			return nil, RecoveryStats{}, err
+		}
+		db.data = eng
+		baseLSN = eng.AppliedLSN()
 	}
 
 	scan := wal.ScanSegment(image)
@@ -379,7 +503,12 @@ func recoverNamed(p Profile, tableName string, clock *core.Clock, image []byte, 
 		if err != nil {
 			return nil, st, err
 		}
-		if err := db.restoreCheckpoint(state, &st); err != nil {
+		if region != nil {
+			// Region checkpoints carry no rows — the region does. Only
+			// the scalar floors come from the payload; accounting and
+			// policies rebuild from the region scan below.
+			db.nextSector = state.nextSector
+		} else if err := db.restoreCheckpoint(state, &st); err != nil {
 			return nil, st, err
 		}
 		if state.clock > maxTime {
@@ -394,8 +523,38 @@ func recoverNamed(p Profile, tableName string, clock *core.Clock, image []byte, 
 		tail = scan.Records[scan.LastCheckpoint+1:]
 	}
 
+	if region != nil {
+		// The region IS the row store: one scan rebuilds everything
+		// recovery otherwise re-derives row by row — space accounting,
+		// per-row policy state (the same conservative bundle checkpoint
+		// rows without enumerable policies get) and the clock floor.
+		// This walks live keys and rows, not checkpoint-encoded images:
+		// O(live data) with no decode/bulk-load pass in front of it.
+		type pair struct{ key, row []byte }
+		var rows []pair
+		db.data.SeqScan(func(k, v []byte) bool {
+			rows = append(rows, pair{append([]byte(nil), k...), append([]byte(nil), v...)})
+			return true
+		})
+		for _, r := range rows {
+			rec, err := decodeRecord(r.row)
+			if err != nil {
+				return nil, st, fmt.Errorf("compliance: recovery: region row %q: %w", r.key, err)
+			}
+			db.personalBytes += db.plaintextLen(rec.Blob)
+			db.metaBytes += int64(len(r.row) - len(rec.Blob))
+			if rec.Meta.CreatedAt+1 > maxTime {
+				maxTime = rec.Meta.CreatedAt + 1
+			}
+			if err := db.attachRecoveredPolicies(core.UnitID(r.key), rec.Meta, nil); err != nil {
+				return nil, st, err
+			}
+		}
+		st.CheckpointRows += len(rows)
+	}
+
 	for _, r := range tail {
-		if err := db.applyRecovered(r, &st, &maxTime); err != nil {
+		if err := db.applyRecovered(r, &st, &maxTime, baseLSN); err != nil {
 			return nil, st, err
 		}
 	}
@@ -429,13 +588,29 @@ func recoverNamed(p Profile, tableName string, clock *core.Clock, image []byte, 
 
 // applyRecovered redoes one tail record against the rebuilding DB. The
 // DB is not yet shared, so no locking is needed; mutations go through
-// the heap table (re-logging them into the fresh WAL) while policy and
+// the engine (re-logging them into the fresh WAL) while policy and
 // accounting effects are re-derived from the row metadata.
-func (db *DB) applyRecovered(r wal.Record, st *RecoveryStats, maxTime *int64) error {
+//
+// baseLSN is the region's applied-LSN cursor on region-backed
+// recoveries (zero otherwise — LSNs start at 1, so zero skips
+// nothing). Data records at or below it are already in the pages and
+// must not replay: the region scan accounted for them, and redoing an
+// insert the region holds would fail on the duplicate key. Logical
+// records — erase intents, consent revocations, clock notes — replay
+// regardless: they are idempotent, and a half-finished erasure cascade
+// must complete even when every row mutation it already issued landed
+// in the region.
+func (db *DB) applyRecovered(r wal.Record, st *RecoveryStats, maxTime *int64, baseLSN wal.LSN) error {
 	switch r.Type {
 	case wal.RecInsert, wal.RecUpdate:
+		if r.LSN <= baseLSN {
+			return nil
+		}
 		return db.recoverUpsert(r.Key, r.Payload, maxTime)
 	case wal.RecDelete:
+		if r.LSN <= baseLSN {
+			return nil
+		}
 		db.recoverDelete(string(r.Key))
 	case wal.RecErase:
 		keys, err := decodeEraseIntent(r.Payload)
@@ -462,6 +637,9 @@ func (db *DB) applyRecovered(r wal.Record, st *RecoveryStats, maxTime *int64) er
 			*maxTime = t
 		}
 	case wal.RecCheckpointDelta:
+		if r.LSN <= baseLSN {
+			return nil
+		}
 		// Compose the delta onto the state built so far: redo its
 		// deletes, upsert its dirty rows, floor the clock at its note.
 		// Every mutation a delta summarizes also rides in the tail as an
@@ -692,8 +870,29 @@ type checkpointState struct {
 }
 
 // encodeCheckpointState snapshots the DB into a checkpoint payload.
-// Caller holds mu.
+// Caller holds mu. Region-backed engines get the version-3 form: the
+// scalar floors and the directory, no row section — checkpointing them
+// is O(1) in the data because the durable region already holds every
+// row.
 func encodeCheckpointState(db *DB) []byte {
+	if _, ok := db.data.(storage.RegionBacked); ok {
+		buf := []byte{checkpointVersionRegion}
+		buf = appendI64(buf, int64(db.clock.Now()))
+		buf = appendU32(buf, uint32(db.nextSector))
+		buf = appendI64(buf, db.personalBytes)
+		buf = appendI64(buf, db.metaBytes)
+		var dir []byte
+		if db.dirSnapshot != nil {
+			dir = db.dirSnapshot()
+		}
+		if len(dir) > 0 {
+			buf = append(buf, 1)
+			buf = appendBytes(buf, dir)
+		} else {
+			buf = append(buf, 0)
+		}
+		return buf
+	}
 	lister, hasLister := db.policies.(policy.PolicyLister)
 	buf := []byte{checkpointVersion}
 	buf = appendI64(buf, int64(db.clock.Now()))
@@ -744,7 +943,7 @@ func decodeCheckpointState(buf []byte) (checkpointState, error) {
 	var cs checkpointState
 	r := byteReader{buf: buf}
 	ver, err := r.u8()
-	if err != nil || ver < 1 || ver > checkpointVersion {
+	if err != nil || ver < 1 || ver > checkpointVersionRegion {
 		return cs, fmt.Errorf("compliance: bad checkpoint version (err=%v ver=%d)", err, ver)
 	}
 	if cs.clock, err = r.i64(); err != nil {
@@ -760,6 +959,10 @@ func decodeCheckpointState(buf []byte) (checkpointState, error) {
 	}
 	if cs.metaBytes, err = r.i64(); err != nil {
 		return cs, err
+	}
+	if ver == checkpointVersionRegion {
+		// Region form: no row section; straight to the directory flag.
+		return cs, decodeCheckpointDir(&cs, &r)
 	}
 	n, err := r.u32()
 	if err != nil {
@@ -815,19 +1018,28 @@ func decodeCheckpointState(buf []byte) (checkpointState, error) {
 		cs.rows = append(cs.rows, row)
 	}
 	if ver >= 2 {
-		flag, err := r.u8()
-		if err != nil {
+		if err := decodeCheckpointDir(&cs, &r); err != nil {
 			return cs, err
-		}
-		if flag == 1 {
-			dir, err := r.bytes()
-			if err != nil {
-				return cs, err
-			}
-			cs.dir = append([]byte(nil), dir...)
 		}
 	}
 	return cs, nil
+}
+
+// decodeCheckpointDir parses the trailing directory section shared by
+// version 2 and version 3 payloads.
+func decodeCheckpointDir(cs *checkpointState, r *byteReader) error {
+	flag, err := r.u8()
+	if err != nil {
+		return err
+	}
+	if flag == 1 {
+		dir, err := r.bytes()
+		if err != nil {
+			return err
+		}
+		cs.dir = append([]byte(nil), dir...)
+	}
+	return nil
 }
 
 // restoreCheckpoint loads a checkpoint snapshot into a fresh DB: rows

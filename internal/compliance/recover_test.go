@@ -133,9 +133,21 @@ func TestCrashPointMatrix(t *testing.T) {
 	runCrashPointMatrix(t, p)
 }
 
-// runCrashPointMatrix is the matrix body, shared with the LSM-backed
-// variant in backend_test.go: the crash-consistency guarantee is a
-// property of the WAL protocol, not of one storage engine.
+// recoverCaptured recovers a crash capture through the entry point its
+// backend requires: region-backed captures (the mmap backend) carry the
+// per-shard byte regions alongside the segment images, everything else
+// recovers from images alone.
+func recoverCaptured(p Profile, images, regions [][]byte) (*ShardedDB, RecoveryStats, error) {
+	if regions != nil {
+		return RecoverShardedWithRegions(p, images, regions)
+	}
+	return RecoverSharded(p, images)
+}
+
+// runCrashPointMatrix is the matrix body, shared with the LSM- and
+// mmap-backed variants in backend_test.go: the crash-consistency
+// guarantee is a property of the WAL protocol, not of one storage
+// engine.
 func runCrashPointMatrix(t *testing.T, p Profile) {
 	t.Helper()
 	s, err := OpenShardedWorkers(p, 4, 2)
@@ -144,20 +156,27 @@ func runCrashPointMatrix(t *testing.T, p Profile) {
 	}
 	ops, eraseAt := matrixScript(s, true)
 	type capture struct {
-		digest string
-		images [][]byte
-		erased bool // subject-2 fully erased at this point
+		digest  string
+		images  [][]byte
+		regions [][]byte
+		erased  bool // subject-2 fully erased at this point
 	}
 	var caps []capture
 	for i, op := range ops {
 		if err := op(); err != nil {
 			t.Fatalf("op %d: %v", i, err)
 		}
-		caps = append(caps, capture{digest: stateDigest(t, s), images: s.SegmentImages(), erased: i >= eraseAt})
+		// Images before regions — the capture order crash recovery
+		// assumes (region state covers every imaged op).
+		images := s.SegmentImages()
+		caps = append(caps, capture{
+			digest: stateDigest(t, s), images: images,
+			regions: s.RegionSnapshots(), erased: i >= eraseAt,
+		})
 	}
 
 	for i, c := range caps {
-		r, st, err := RecoverSharded(s.Profile(), c.images)
+		r, st, err := recoverCaptured(s.Profile(), c.images, c.regions)
 		if err != nil {
 			t.Fatalf("recover at op %d: %v", i, err)
 		}
@@ -177,7 +196,8 @@ func runCrashPointMatrix(t *testing.T, p Profile) {
 
 	// Spot-check that the final recovered deployment still serves reads:
 	// present where live, gone where deleted.
-	r, _, err := RecoverSharded(s.Profile(), caps[len(caps)-1].images)
+	last := caps[len(caps)-1]
+	r, _, err := recoverCaptured(s.Profile(), last.images, last.regions)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -395,13 +415,14 @@ func runCrashDuringErase(t *testing.T, p Profile) {
 	wg.Wait()
 
 	images := s.SegmentImages()
+	regions := s.RegionSnapshots() // after images: region state covers every imaged op
 	homeImage := images[home]
 	stride := len(homeImage)/64 + 1
 	for cut := 0; cut <= len(homeImage); cut += stride {
 		crashed := make([][]byte, len(images))
 		copy(crashed, images)
 		crashed[home] = wal.CrashPoint{Bytes: cut, FlipBit: -1}.Apply(homeImage)
-		r, _, err := RecoverSharded(s.Profile(), crashed)
+		r, _, err := recoverCaptured(s.Profile(), crashed, regions)
 		if err != nil {
 			t.Fatalf("cut %d: %v", cut, err)
 		}

@@ -86,7 +86,7 @@ func (s *ShardedDB) ApplyReplicatedBatch(shard int, batch []byte, after wal.LSN)
 		case wal.RecErase, wal.RecConsent:
 			st.Fenced = true
 		}
-		if err := db.applyRecovered(r, &rst, &maxTime); err != nil {
+		if err := db.applyRecovered(r, &rst, &maxTime, 0); err != nil {
 			applyErr = err
 			return false
 		}

@@ -8,11 +8,14 @@
 // erasure verification — so both sides of the contrast are executable
 // on the full stack, not just in isolated micro-benchmarks.
 //
-// The two implementations are NewHeap (internal/storage/heap) and
-// NewLSM (internal/storage/lsm). Capability sub-interfaces express what
-// only one backend can do: Vacuumer is the heap's reclamation family,
-// Purger is the LSM's erase-aware compaction (purge obligations that
-// override the tombstone GC grace).
+// The implementations are NewHeap (internal/storage/heap), NewLSM
+// (internal/storage/lsm), and NewMmap (internal/storage/mheap), the
+// durable-region heap whose pages ARE the durable state. Capability
+// sub-interfaces express what only some backends can do: Vacuumer is
+// the heap-family reclamation, Purger is the LSM's erase-aware
+// compaction (purge obligations that override the tombstone GC grace),
+// and RegionBacked is the mmap backend's serialization-free
+// checkpoint/recovery path.
 package storage
 
 import (
@@ -160,6 +163,25 @@ type Vacuumer interface {
 	// VacuumFullRewrite rewrites the store densely and returns how many
 	// entries it reclaimed.
 	VacuumFullRewrite() int
+}
+
+// RegionBacked is the capability of durable-region engines (the mmap
+// backend): rows live in a flat byte region that itself survives a
+// crash, so checkpoints and recovery never serialize rows through WAL
+// segment images. The compliance layer branches on it — checkpoints
+// become region snapshots plus a row-free WAL marker, and recovery
+// re-attaches a captured region instead of decoding a checkpoint
+// payload.
+type RegionBacked interface {
+	// RegionSnapshot returns a copy of the durable region, the analogue
+	// of what a crash leaves in an mmap'd file.
+	RegionSnapshot() []byte
+	// AppliedLSN is the WAL LSN of the last mutation the region
+	// reflects; recovery skips WAL tail records at or below it.
+	AppliedLSN() wal.LSN
+	// CheckpointRegion snapshots the page table and resets the embedded
+	// redo log, returning the pages dirtied since the last snapshot.
+	CheckpointRegion() int
 }
 
 // Purger is the erase-aware-compaction capability of LSM-style

@@ -9,24 +9,44 @@ import (
 
 	"github.com/datacase/datacase/internal/cryptox"
 	"github.com/datacase/datacase/internal/storage/lsm"
+	"github.com/datacase/datacase/internal/storage/mheap"
 	"github.com/datacase/datacase/internal/wal"
 )
 
-// engines builds one engine per backend, each with its own group-commit
-// WAL, so the contract suite runs identically over both.
-func engines(t *testing.T) map[string]Engine {
-	t.Helper()
-	return map[string]Engine{
-		"heap": NewHeap("contract:data", wal.New()),
-		"lsm": NewLSM("contract:data", wal.New(), lsm.Options{
+// backendFactories is the registry the conformance suite iterates: one
+// constructor per registered backend. A new backend earns the full
+// contract suite — including the ForensicScan/Sanitizable
+// erase-physicality pair — by adding a row here.
+var backendFactories = map[string]func() Engine{
+	"heap": func() Engine { return NewHeap("contract:data", wal.New()) },
+	"lsm": func() Engine {
+		return NewLSM("contract:data", wal.New(), lsm.Options{
 			MemtableFlushEntries: 8, // small, so the suite crosses run boundaries
 			PurgeWithinOps:       16,
-		}),
-	}
+		})
+	},
+	"mmap": func() Engine {
+		return NewMmapWithOptions("contract:data", wal.New(), mheap.Options{
+			MaxPages: 64,
+			RedoCap:  16384, // small, so the suite crosses redo resets
+		})
+	},
 }
 
-// TestEngineContract drives the shared CRUD/scan/WAL contract over both
-// backends.
+// engines builds one engine per registered backend, each with its own
+// group-commit WAL, so the contract suite runs identically over all of
+// them.
+func engines(t *testing.T) map[string]Engine {
+	t.Helper()
+	out := make(map[string]Engine, len(backendFactories))
+	for name, mk := range backendFactories {
+		out[name] = mk()
+	}
+	return out
+}
+
+// TestEngineContract drives the shared CRUD/scan/WAL contract over
+// every registered backend.
 func TestEngineContract(t *testing.T) {
 	for name, e := range engines(t) {
 		t.Run(name, func(t *testing.T) {
@@ -282,6 +302,57 @@ func TestHeapVacuumFullThroughCapability(t *testing.T) {
 	st := h.Stats()
 	if st.MaintenanceRuns != 1 || st.EntriesReclaimed != 5 {
 		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestMmapRegionRoundTrip: a region snapshot re-attaches to the same
+// logical state — the engine-level half of crash recovery — and the
+// re-attached engine reports the WAL position its pages reflect.
+func TestMmapRegionRoundTrip(t *testing.T) {
+	log := wal.New()
+	e := NewMmap("t", log)
+	for i := 0; i < 20; i++ {
+		if err := e.Insert([]byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("v%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Update([]byte("k03"), []byte("v03b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Delete([]byte("k07")); err != nil {
+		t.Fatal(err)
+	}
+	lsn := e.AppliedLSN()
+	if lsn == 0 {
+		t.Fatal("AppliedLSN did not advance")
+	}
+	re, err := AttachMmap("t", wal.New(), e.RegionSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 19 {
+		t.Fatalf("re-attached Len = %d, want 19", re.Len())
+	}
+	if v, ok := re.Get([]byte("k03")); !ok || string(v) != "v03b" {
+		t.Fatalf("Get(k03) = %q,%v after attach", v, ok)
+	}
+	if re.Has([]byte("k07")) {
+		t.Fatal("deleted key resurrected by attach")
+	}
+	if re.AppliedLSN() != lsn {
+		t.Fatalf("AppliedLSN = %d after attach, want %d", re.AppliedLSN(), lsn)
+	}
+	// CheckpointRegion reports the pages dirtied since the last snapshot
+	// and resets the counter.
+	if n := re.CheckpointRegion(); n != 0 {
+		// attach itself dirties nothing until a mutation lands
+		t.Fatalf("CheckpointRegion on fresh attach = %d dirty pages", n)
+	}
+	if err := re.Insert([]byte("post"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if n := re.CheckpointRegion(); n == 0 {
+		t.Fatal("CheckpointRegion missed a dirtied page")
 	}
 }
 

@@ -1,0 +1,191 @@
+package mheap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+)
+
+// The embedded redo log makes each mutation an in-place transaction on
+// the region: the entry is written first, then the commit marker
+// (header redoLen) advances over it, then the page is mutated and the
+// applied cursors (appliedSeq/appliedLSN) move. A crash between any two
+// steps is recoverable: an entry the marker never covered is invisible,
+// a covered-but-unapplied entry is replayed at attach, and a torn entry
+// fails its CRC and truncates the tail back to the last good boundary —
+// i.e. the region always re-attaches to exactly the pre-op or post-op
+// state.
+//
+// Entry layout (big-endian):
+//
+//	[magic u16][op u8][seq u64][lsn u64][keyLen u16][valLen u32]
+//	[key][value][crc32 u32 over everything before it]
+
+const (
+	redoMagic       = 0x5244 // "RD"
+	redoHeaderSize  = 2 + 1 + 8 + 8 + 2 + 4
+	redoTrailerSize = 4
+)
+
+// Redo ops.
+const (
+	opInsert = 1
+	opUpdate = 2
+	opDelete = 3
+)
+
+var errRedoTorn = errors.New("mheap: torn or corrupt redo entry")
+
+type redoEntry struct {
+	op  int
+	seq uint64
+	lsn uint64
+	key []byte // aliases the region
+	val []byte // aliases the region
+}
+
+func redoEntrySize(keyLen, valLen int) int {
+	return redoHeaderSize + keyLen + valLen + redoTrailerSize
+}
+
+// writeRedo appends one committed redo entry to the embedded log. When
+// the area cannot absorb the entry it is reset first: every resident
+// entry is already applied to pages (apply happens in the same critical
+// section as the write), so dropping them loses nothing.
+func (t *Table) writeRedo(op int, seq, lsn uint64, key, value []byte) {
+	need := redoEntrySize(len(key), len(value))
+	if t.redoLen()+need > t.redoCap {
+		t.scrubRedoLocked()
+	}
+	off := t.redoOff() + t.redoLen()
+	encodeRedo(t.region[off:off+need], op, seq, lsn, key, value)
+	// Commit marker: the entry exists only once redoLen covers it.
+	t.setRedoLen(t.redoLen() + need)
+	t.stats.redoEntries.Add(1)
+}
+
+// encodeRedo lays out one entry in dst, which must be exactly
+// redoEntrySize(len(key), len(value)) bytes.
+func encodeRedo(dst []byte, op int, seq, lsn uint64, key, value []byte) {
+	binary.BigEndian.PutUint16(dst[0:], redoMagic)
+	dst[2] = byte(op)
+	binary.BigEndian.PutUint64(dst[3:], seq)
+	binary.BigEndian.PutUint64(dst[11:], lsn)
+	binary.BigEndian.PutUint16(dst[19:], uint16(len(key)))
+	binary.BigEndian.PutUint32(dst[21:], uint32(len(value)))
+	copy(dst[redoHeaderSize:], key)
+	copy(dst[redoHeaderSize+len(key):], value)
+	crc := crc32.ChecksumIEEE(dst[:len(dst)-redoTrailerSize])
+	binary.BigEndian.PutUint32(dst[len(dst)-redoTrailerSize:], crc)
+}
+
+// decodeRedo parses one entry from the front of buf. Every field is
+// bounds-checked before use so arbitrary garbage (a torn tail, fuzz
+// input) yields errRedoTorn rather than a panic.
+func decodeRedo(buf []byte) (redoEntry, int, error) {
+	var e redoEntry
+	if len(buf) < redoHeaderSize+redoTrailerSize {
+		return e, 0, errRedoTorn
+	}
+	if binary.BigEndian.Uint16(buf[0:]) != redoMagic {
+		return e, 0, errRedoTorn
+	}
+	e.op = int(buf[2])
+	if e.op < opInsert || e.op > opDelete {
+		return e, 0, errRedoTorn
+	}
+	e.seq = binary.BigEndian.Uint64(buf[3:])
+	e.lsn = binary.BigEndian.Uint64(buf[11:])
+	kl := int(binary.BigEndian.Uint16(buf[19:]))
+	vl := int(binary.BigEndian.Uint32(buf[21:]))
+	if tupleOverhead+kl+vl > maxTupleSize {
+		return e, 0, errRedoTorn
+	}
+	n := redoEntrySize(kl, vl)
+	if n > len(buf) {
+		return e, 0, errRedoTorn
+	}
+	want := binary.BigEndian.Uint32(buf[n-redoTrailerSize:])
+	if crc32.ChecksumIEEE(buf[:n-redoTrailerSize]) != want {
+		return e, 0, errRedoTorn
+	}
+	e.key = buf[redoHeaderSize : redoHeaderSize+kl]
+	e.val = buf[redoHeaderSize+kl : redoHeaderSize+kl+vl]
+	return e, n, nil
+}
+
+// replayRedo walks the committed redo window at attach time and applies
+// every entry newer than the region's applied cursor. The first torn or
+// corrupt entry ends the walk and truncates the commit marker back to
+// the last good boundary.
+func (t *Table) replayRedo() {
+	off := 0
+	redoLen := t.redoLen()
+	for off < redoLen {
+		e, n, err := decodeRedo(t.region[t.redoOff()+off : t.redoOff()+redoLen])
+		if err != nil {
+			t.setRedoLen(off)
+			// Zero the discarded tail so a half-written entry's payload
+			// bytes do not outlive the transaction they belonged to.
+			clear(t.region[t.redoOff()+off : t.redoOff()+redoLen])
+			return
+		}
+		off += n
+		if e.seq <= t.appliedSeq() {
+			continue
+		}
+		t.replayApply(e)
+		t.setAppliedSeq(e.seq)
+		if e.lsn != 0 {
+			t.setAppliedLSN(e.lsn)
+		}
+		t.stats.redoReplayed.Add(1)
+	}
+}
+
+// replayApply applies one redo entry to the pages idempotently: a crash
+// after the page mutation but before the applied cursor advanced means
+// replay sees work that is already done, so every op checks the current
+// state first.
+func (t *Table) replayApply(e redoEntry) {
+	cur, exists := t.index[string(e.key)]
+	switch e.op {
+	case opInsert, opUpdate:
+		if exists {
+			_, v := t.tupleAt(cur)
+			if bytes.Equal(v, e.val) {
+				return // already applied
+			}
+			t.kill(cur)
+		}
+		id := t.place(e.key, e.val)
+		t.index[string(e.key)] = id
+	case opDelete:
+		if exists {
+			t.kill(cur)
+			delete(t.index, string(e.key))
+		}
+	}
+}
+
+func (t *Table) tupleAt(id tid) (key, value []byte) {
+	off, _, _ := t.slot(id.page(), id.slot())
+	return t.tuple(id.page(), off)
+}
+
+// scrubRedoLocked zeroes the committed redo window and resets the
+// commit marker. Callers guarantee every resident entry is applied
+// (always true outside a mutation's critical section). Vacuum and
+// sanitization route through here so that a record's redo entries die
+// with its tuple bytes — physical erasure covers the whole region.
+func (t *Table) scrubRedoLocked() {
+	if n := t.redoLen(); n > 0 {
+		clear(t.region[t.redoOff() : t.redoOff()+n])
+		t.setRedoLen(0)
+		t.stats.redoResets.Add(1)
+	}
+}
+
+// redoUtilization reports committed redo bytes (diagnostics/tests).
+func (t *Table) redoUtilization() (used, capacity int) { return t.redoLen(), t.redoCap }

@@ -1,0 +1,284 @@
+// Package mheap is a durable heap engine in the idiom of
+// persistent-memory stores: the whole table lives in one flat byte
+// region laid out as if it were an mmap'd file. Pages ARE the durable
+// state — mutations are redo-logged in-place transactions against the
+// region (write redo entry, advance the commit marker, apply to the
+// page), never serialized through WAL segment images. A checkpoint is a
+// page-table snapshot plus a redo-log reset (O(dirty pages), no
+// encoding), and recovery re-attaches the region, replays the embedded
+// redo tail, and rebuilds the in-memory index from the page headers.
+//
+// Region layout (all integers big-endian):
+//
+//	[ header 64 B ]
+//	[ page table      maxPages × 8 B ]  bump u32 | nSlots u16 | live u16
+//	[ shadow page table, same size   ]  checkpoint-time snapshot
+//	[ redo area       redoCap B      ]  embedded redo log
+//	[ pages           nPages × 8 KiB ]  slotted pages
+//
+// Each page holds a slot directory growing from the front (8 B per
+// slot: off u32 | flag:2+size:30 u32) and tuple data bump-allocated
+// downward from the page end, `[keyLen u16][valLen u32][key][value]`
+// per tuple. A logical DELETE only flips the slot flag — the tuple
+// bytes stay resident in the region until VACUUM compacts the page and
+// zeroes the reclaimed range, which is exactly the physical-retention
+// hazard the erasure groundings must be able to observe (ForensicScan)
+// and remove (SanitizePass).
+package mheap
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+const (
+	regionMagic   = 0x4D485031 // "MHP1"
+	regionVersion = 1
+
+	// PageSize matches the heap backend's 8 KiB pages.
+	PageSize = 8192
+
+	headerSize = 64
+	pteSize    = 8
+	slotSize   = 8
+
+	// tupleOverhead is the inline tuple header: keyLen(2) + valLen(4).
+	tupleOverhead = 2 + 4
+
+	// maxTupleSize is the largest tuple a page can hold (one slot plus
+	// the tuple itself must fit in a fresh page).
+	maxTupleSize = PageSize - slotSize
+
+	defaultMaxPages = 1 << 13 // 64 MiB of pages
+	defaultRedoCap  = 1 << 20 // 1 MiB embedded redo area
+	// minRedoCap guarantees any single tuple's redo entry fits the area
+	// even right after a reset.
+	minRedoCap = 2 * PageSize
+)
+
+// Header field offsets.
+const (
+	offMagic       = 0
+	offVersion     = 4
+	offPageSize    = 8
+	offMaxPages    = 12
+	offNPages      = 16
+	offRedoCap     = 20
+	offRedoLen     = 24 // commit marker: bytes [0, redoLen) are committed entries
+	offAppliedSeq  = 32 // highest redo sequence applied to pages
+	offAppliedLSN  = 40 // WAL LSN of the last page-applied mutation
+	offCheckpoints = 48 // page-table snapshots taken
+)
+
+// Slot flags (top 2 bits of the slot's size word).
+const (
+	slotUnused = 0
+	slotLive   = 1
+	slotDead   = 2
+)
+
+// tid identifies a tuple as page<<16 | slot, mirroring the heap
+// backend's TID packing.
+type tid uint64
+
+func makeTID(page, slot int) tid { return tid(uint64(page)<<16 | uint64(slot&0xFFFF)) }
+func (t tid) page() int          { return int(t >> 16) }
+func (t tid) slot() int          { return int(t & 0xFFFF) }
+
+// --- raw region accessors (caller holds the table lock) ---
+
+func (t *Table) u32(off int) uint32     { return binary.BigEndian.Uint32(t.region[off:]) }
+func (t *Table) u64(off int) uint64     { return binary.BigEndian.Uint64(t.region[off:]) }
+func (t *Table) pu32(off int, v uint32) { binary.BigEndian.PutUint32(t.region[off:], v) }
+func (t *Table) pu64(off int, v uint64) { binary.BigEndian.PutUint64(t.region[off:], v) }
+
+func (t *Table) nPages() int        { return int(t.u32(offNPages)) }
+func (t *Table) redoLen() int       { return int(t.u64(offRedoLen)) }
+func (t *Table) appliedSeq() uint64 { return t.u64(offAppliedSeq) }
+func (t *Table) appliedLSN() uint64 { return t.u64(offAppliedLSN) }
+
+func (t *Table) setNPages(n int)        { t.pu32(offNPages, uint32(n)) }
+func (t *Table) setRedoLen(n int)       { t.pu64(offRedoLen, uint64(n)) }
+func (t *Table) setAppliedSeq(s uint64) { t.pu64(offAppliedSeq, s) }
+func (t *Table) setAppliedLSN(l uint64) { t.pu64(offAppliedLSN, l) }
+
+// Derived layout offsets.
+func (t *Table) ptOff() int         { return headerSize }
+func (t *Table) sptOff() int        { return headerSize + t.maxPages*pteSize }
+func (t *Table) redoOff() int       { return headerSize + 2*t.maxPages*pteSize }
+func (t *Table) pagesOff() int      { return t.redoOff() + t.redoCap }
+func (t *Table) pageOff(pi int) int { return t.pagesOff() + pi*PageSize }
+
+// --- page-table entries ---
+
+func (t *Table) pteOff(pi int) int { return t.ptOff() + pi*pteSize }
+
+func (t *Table) pteBump(pi int) int   { return int(t.u32(t.pteOff(pi))) }
+func (t *Table) pteNSlots(pi int) int { return int(binary.BigEndian.Uint16(t.region[t.pteOff(pi)+4:])) }
+func (t *Table) pteLive(pi int) int   { return int(binary.BigEndian.Uint16(t.region[t.pteOff(pi)+6:])) }
+
+func (t *Table) setPTE(pi, bump, nSlots, live int) {
+	off := t.pteOff(pi)
+	binary.BigEndian.PutUint32(t.region[off:], uint32(bump))
+	binary.BigEndian.PutUint16(t.region[off+4:], uint16(nSlots))
+	binary.BigEndian.PutUint16(t.region[off+6:], uint16(live))
+}
+
+// pteValid is the attach-time sanity check on a page-table entry; an
+// entry that fails it is repaired from the shadow snapshot.
+func (t *Table) pteValid(pi int) bool {
+	bump, nSlots := t.pteBump(pi), t.pteNSlots(pi)
+	return bump <= PageSize && nSlots*slotSize <= bump
+}
+
+// --- slots (within page pi) ---
+
+func (t *Table) slotOff(pi, s int) int { return t.pageOff(pi) + s*slotSize }
+
+func (t *Table) slot(pi, s int) (off, size, flag int) {
+	so := t.slotOff(pi, s)
+	off = int(t.u32(so))
+	w := t.u32(so + 4)
+	return off, int(w & 0x3FFFFFFF), int(w >> 30)
+}
+
+func (t *Table) setSlot(pi, s, off, size, flag int) {
+	so := t.slotOff(pi, s)
+	t.pu32(so, uint32(off))
+	t.pu32(so+4, uint32(size)|uint32(flag)<<30)
+}
+
+// tuple reads the tuple behind a slot; the returned slices alias the
+// region and must not be retained past the lock.
+func (t *Table) tuple(pi, off int) (key, value []byte) {
+	base := t.pageOff(pi) + off
+	kl := int(binary.BigEndian.Uint16(t.region[base:]))
+	vl := int(binary.BigEndian.Uint32(t.region[base+2:]))
+	key = t.region[base+tupleOverhead : base+tupleOverhead+kl]
+	value = t.region[base+tupleOverhead+kl : base+tupleOverhead+kl+vl]
+	return key, value
+}
+
+func (t *Table) writeTuple(pi, off int, key, value []byte) {
+	base := t.pageOff(pi) + off
+	if len(key) > 0xFFFF {
+		panic(fmt.Sprintf("mheap: key too large (%d bytes)", len(key)))
+	}
+	binary.BigEndian.PutUint16(t.region[base:], uint16(len(key)))
+	binary.BigEndian.PutUint32(t.region[base+2:], uint32(len(value)))
+	copy(t.region[base+tupleOverhead:], key)
+	copy(t.region[base+tupleOverhead+len(key):], value)
+}
+
+// pageInsert places a tuple in page pi, reusing an unused slot when one
+// exists; ok is false when the page lacks space.
+func (t *Table) pageInsert(pi int, key, value []byte) (int, bool) {
+	need := tupleOverhead + len(key) + len(value)
+	bump, nSlots, live := t.pteBump(pi), t.pteNSlots(pi), t.pteLive(pi)
+	s := -1
+	for i := 0; i < nSlots; i++ {
+		if _, _, flag := t.slot(pi, i); flag == slotUnused {
+			s = i
+			break
+		}
+	}
+	slotEnd := nSlots * slotSize
+	if s < 0 {
+		slotEnd += slotSize
+	}
+	if bump-need < slotEnd {
+		return 0, false
+	}
+	off := bump - need
+	t.writeTuple(pi, off, key, value)
+	if s < 0 {
+		s = nSlots
+		nSlots++
+	}
+	t.setSlot(pi, s, off, need, slotLive)
+	t.setPTE(pi, off, nSlots, live+1)
+	t.liveTuples++
+	t.liveBytes += int64(need)
+	t.dirtySinceCkpt[pi] = true
+	return s, true
+}
+
+// kill marks a slot dead; the tuple bytes stay in the page (awaiting
+// vacuum), which is the physical-retention hazard ForensicScan reports.
+func (t *Table) kill(id tid) {
+	pi, s := id.page(), id.slot()
+	off, size, flag := t.slot(pi, s)
+	if flag != slotLive {
+		return
+	}
+	t.setSlot(pi, s, off, size, slotDead)
+	t.setPTE(pi, t.pteBump(pi), t.pteNSlots(pi), t.pteLive(pi)-1)
+	t.liveTuples--
+	t.deadTuples++
+	t.liveBytes -= int64(size)
+	t.deadBytes += int64(size)
+	t.dirty[pi] = true
+	t.dirtySinceCkpt[pi] = true
+}
+
+// addPage extends the region by one zeroed page. The caller must have
+// verified capacity (ensureSpace); running out here is a logic error.
+func (t *Table) addPage() int {
+	n := t.nPages()
+	if n >= t.maxPages {
+		panic("mheap: page table full (ensureSpace not called)")
+	}
+	t.region = append(t.region, make([]byte, PageSize)...)
+	t.setNPages(n + 1)
+	t.setPTE(n, PageSize, 0, 0)
+	t.stats.pagesAllocated.Add(1)
+	return n
+}
+
+// place writes the tuple into a page with space — FSM pages first, then
+// the tail page, then a fresh page. Caller holds mu and has run
+// ensureSpace.
+func (t *Table) place(key, value []byte) tid {
+	for len(t.fsm) > 0 {
+		pi := t.fsm[len(t.fsm)-1]
+		if s, ok := t.pageInsert(pi, key, value); ok {
+			return makeTID(pi, s)
+		}
+		t.fsm = t.fsm[:len(t.fsm)-1]
+		delete(t.fsmSet, pi)
+	}
+	if n := t.nPages(); n > 0 {
+		if s, ok := t.pageInsert(n-1, key, value); ok {
+			return makeTID(n-1, s)
+		}
+	}
+	pi := t.addPage()
+	s, ok := t.pageInsert(pi, key, value)
+	if !ok {
+		panic(fmt.Sprintf("mheap: tuple larger than page (%d+%d bytes)", len(key), len(value)))
+	}
+	return makeTID(pi, s)
+}
+
+// ensureSpace verifies the region can absorb n more tuples of the given
+// total size in the worst case (each on a fresh page) BEFORE anything is
+// WAL-logged, so a mutation that passed the check can never half-fail.
+func (t *Table) ensureSpace(n int, maxNeed int) error {
+	if maxNeed > maxTupleSize {
+		return fmt.Errorf("mheap: tuple of %d bytes exceeds page capacity (%d)", maxNeed, maxTupleSize)
+	}
+	if t.nPages()+n > t.maxPages {
+		return fmt.Errorf("mheap: region full (%d/%d pages)", t.nPages(), t.maxPages)
+	}
+	return nil
+}
+
+// pageFreeBytes returns the space available for one more tuple in page
+// pi, accounting for a fresh slot.
+func (t *Table) pageFreeBytes(pi int) int {
+	free := t.pteBump(pi) - (t.pteNSlots(pi)+1)*slotSize
+	if free < 0 {
+		return 0
+	}
+	return free
+}

@@ -1,0 +1,707 @@
+package mheap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/datacase/datacase/internal/wal"
+)
+
+// Common errors.
+var (
+	// ErrKeyExists is returned by Insert when a live tuple with the key
+	// already exists.
+	ErrKeyExists = errors.New("mheap: key already exists")
+	// ErrKeyNotFound is returned by Update/Delete on absent keys.
+	ErrKeyNotFound = errors.New("mheap: key not found")
+)
+
+// Counters accumulate the physical work a table has performed.
+type Counters struct {
+	TuplesInserted  uint64
+	TuplesUpdated   uint64
+	TuplesDeleted   uint64
+	PagesAllocated  uint64
+	SeqScans        uint64
+	PagesScanned    uint64
+	TuplesScanned   uint64
+	DeadSkipped     uint64
+	IndexLookups    uint64
+	VacuumRuns      uint64
+	VacuumFullRuns  uint64
+	TuplesReclaimed uint64
+	// RedoEntries/RedoResets/RedoReplayed describe the embedded redo
+	// log: entries committed, area resets (checkpoint or overflow), and
+	// entries re-applied at attach time.
+	RedoEntries  uint64
+	RedoResets   uint64
+	RedoReplayed uint64
+}
+
+type counters struct {
+	tuplesInserted  atomic.Uint64
+	tuplesUpdated   atomic.Uint64
+	tuplesDeleted   atomic.Uint64
+	pagesAllocated  atomic.Uint64
+	seqScans        atomic.Uint64
+	pagesScanned    atomic.Uint64
+	tuplesScanned   atomic.Uint64
+	deadSkipped     atomic.Uint64
+	indexLookups    atomic.Uint64
+	vacuumRuns      atomic.Uint64
+	vacuumFullRuns  atomic.Uint64
+	tuplesReclaimed atomic.Uint64
+	redoEntries     atomic.Uint64
+	redoResets      atomic.Uint64
+	redoReplayed    atomic.Uint64
+}
+
+func (c *counters) snapshot() Counters {
+	return Counters{
+		TuplesInserted:  c.tuplesInserted.Load(),
+		TuplesUpdated:   c.tuplesUpdated.Load(),
+		TuplesDeleted:   c.tuplesDeleted.Load(),
+		PagesAllocated:  c.pagesAllocated.Load(),
+		SeqScans:        c.seqScans.Load(),
+		PagesScanned:    c.pagesScanned.Load(),
+		TuplesScanned:   c.tuplesScanned.Load(),
+		DeadSkipped:     c.deadSkipped.Load(),
+		IndexLookups:    c.indexLookups.Load(),
+		VacuumRuns:      c.vacuumRuns.Load(),
+		VacuumFullRuns:  c.vacuumFullRuns.Load(),
+		TuplesReclaimed: c.tuplesReclaimed.Load(),
+		RedoEntries:     c.redoEntries.Load(),
+		RedoResets:      c.redoResets.Load(),
+		RedoReplayed:    c.redoReplayed.Load(),
+	}
+}
+
+// Options sizes the region. The zero value picks defaults.
+type Options struct {
+	// MaxPages caps the page table (default 8192 pages = 64 MiB).
+	MaxPages int
+	// RedoCap sizes the embedded redo area (default 1 MiB, min 16 KiB).
+	RedoCap int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxPages <= 0 {
+		o.MaxPages = defaultMaxPages
+	}
+	if o.RedoCap < minRedoCap {
+		o.RedoCap = defaultRedoCap
+	}
+	return o
+}
+
+// Table is a durable-region heap table with a hash index on the key.
+// It is safe for concurrent use (one RWMutex serializes writers; reads
+// share). Everything durable lives in the region; index, FSM, and
+// counters are cheap in-memory caches rebuilt on Attach.
+type Table struct {
+	name string
+
+	mu     sync.RWMutex
+	region []byte
+
+	maxPages int
+	redoCap  int
+
+	index  map[string]tid
+	fsm    []int
+	fsmSet map[int]bool
+	// dirty is the visibility-map analogue: pages known to contain dead
+	// tuples, so lazy VACUUM visits only them.
+	dirty map[int]bool
+	// dirtySinceCkpt tracks pages touched since the last page-table
+	// snapshot — the O(dirty) cost a real msync would pay.
+	dirtySinceCkpt map[int]bool
+
+	liveTuples, deadTuples int
+	liveBytes, deadBytes   int64
+
+	log   *wal.Log
+	stats counters
+}
+
+// New returns an empty table backed by a fresh region. A nil log
+// disables write-ahead logging.
+func New(name string, log *wal.Log, opts Options) *Table {
+	opts = opts.withDefaults()
+	t := &Table{
+		name:           name,
+		maxPages:       opts.MaxPages,
+		redoCap:        opts.RedoCap,
+		index:          make(map[string]tid),
+		fsmSet:         make(map[int]bool),
+		dirty:          make(map[int]bool),
+		dirtySinceCkpt: make(map[int]bool),
+		log:            log,
+	}
+	t.region = make([]byte, t.pagesOff())
+	t.pu32(offMagic, regionMagic)
+	t.pu32(offVersion, regionVersion)
+	t.pu32(offPageSize, PageSize)
+	t.pu32(offMaxPages, uint32(t.maxPages))
+	t.pu32(offRedoCap, uint32(t.redoCap))
+	return t
+}
+
+// Attach re-opens a table from a region snapshot: validate the header,
+// repair any insane page-table entry from the shadow snapshot, rebuild
+// the index and FSM from the pages, then replay the committed redo tail
+// past the region's applied cursor. The table takes ownership of the
+// region slice.
+func Attach(name string, log *wal.Log, region []byte) (*Table, error) {
+	if len(region) < headerSize {
+		return nil, fmt.Errorf("mheap: region too small (%d bytes)", len(region))
+	}
+	if m := binary.BigEndian.Uint32(region[offMagic:]); m != regionMagic {
+		return nil, fmt.Errorf("mheap: bad region magic %#x", m)
+	}
+	if v := binary.BigEndian.Uint32(region[offVersion:]); v != regionVersion {
+		return nil, fmt.Errorf("mheap: unsupported region version %d", v)
+	}
+	if ps := binary.BigEndian.Uint32(region[offPageSize:]); ps != PageSize {
+		return nil, fmt.Errorf("mheap: region page size %d != %d", ps, PageSize)
+	}
+	t := &Table{
+		name:           name,
+		maxPages:       int(binary.BigEndian.Uint32(region[offMaxPages:])),
+		redoCap:        int(binary.BigEndian.Uint32(region[offRedoCap:])),
+		index:          make(map[string]tid),
+		fsmSet:         make(map[int]bool),
+		dirty:          make(map[int]bool),
+		dirtySinceCkpt: make(map[int]bool),
+		log:            log,
+		region:         region,
+	}
+	if t.maxPages <= 0 || t.redoCap < minRedoCap {
+		return nil, fmt.Errorf("mheap: corrupt region geometry (maxPages=%d redoCap=%d)", t.maxPages, t.redoCap)
+	}
+	nPages := int(binary.BigEndian.Uint32(region[offNPages:]))
+	if nPages < 0 || nPages > t.maxPages {
+		return nil, fmt.Errorf("mheap: corrupt page count %d (max %d)", nPages, t.maxPages)
+	}
+	want := t.pagesOff() + nPages*PageSize
+	if len(region) < want {
+		return nil, fmt.Errorf("mheap: region truncated (%d bytes, want %d)", len(region), want)
+	}
+	t.region = region[:want]
+	if t.redoLen() > t.redoCap {
+		t.setRedoLen(t.redoCap)
+	}
+	t.repairPageTable()
+	t.rebuild()
+	t.replayRedo()
+	return t, nil
+}
+
+// repairPageTable restores any page-table entry that fails its sanity
+// check from the shadow (checkpoint-time) snapshot — the double-buffer
+// discipline that makes a torn page-table write survivable. Entries the
+// shadow also cannot vouch for reset to an empty page.
+func (t *Table) repairPageTable() {
+	for pi := 0; pi < t.nPages(); pi++ {
+		if t.pteValid(pi) {
+			continue
+		}
+		shadow := t.region[t.sptOff()+pi*pteSize : t.sptOff()+(pi+1)*pteSize]
+		copy(t.region[t.pteOff(pi):t.pteOff(pi)+pteSize], shadow)
+		if !t.pteValid(pi) {
+			t.setPTE(pi, PageSize, 0, 0)
+		}
+	}
+}
+
+// rebuild reconstructs the in-memory index, FSM, and footprint counters
+// from the page headers. Only keys are decoded — values are never
+// touched, which is what makes re-attach O(live keys) instead of
+// O(data bytes).
+func (t *Table) rebuild() {
+	for pi := 0; pi < t.nPages(); pi++ {
+		for s := 0; s < t.pteNSlots(pi); s++ {
+			off, size, flag := t.slot(pi, s)
+			switch flag {
+			case slotLive:
+				k, _ := t.tuple(pi, off)
+				t.index[string(k)] = makeTID(pi, s)
+				t.liveTuples++
+				t.liveBytes += int64(size)
+			case slotDead:
+				t.deadTuples++
+				t.deadBytes += int64(size)
+				t.dirty[pi] = true
+			}
+		}
+		if t.pageFreeBytes(pi) >= 64 && !t.fsmSet[pi] {
+			t.fsmSet[pi] = true
+			t.fsm = append(t.fsm, pi)
+		}
+	}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Log returns the table's write-ahead log (nil when logging is
+// disabled).
+func (t *Table) Log() *wal.Log { return t.log }
+
+// commit runs the redo transaction for one mutation: entry, commit
+// marker, page apply, applied cursors. Caller holds mu and has already
+// WAL-logged the op (lsn 0 when logging is disabled).
+func (t *Table) commit(op int, lsn wal.LSN, key, value []byte) {
+	seq := t.appliedSeq() + 1
+	t.writeRedo(op, seq, uint64(lsn), key, value)
+	switch op {
+	case opInsert:
+		id := t.place(key, value)
+		t.index[string(key)] = id
+	case opUpdate:
+		t.kill(t.index[string(key)])
+		id := t.place(key, value)
+		t.index[string(key)] = id
+	case opDelete:
+		t.kill(t.index[string(key)])
+		delete(t.index, string(key))
+	}
+	t.setAppliedSeq(seq)
+	if lsn != 0 {
+		t.setAppliedLSN(uint64(lsn))
+	}
+}
+
+// Insert adds a new tuple. It fails with ErrKeyExists if a live tuple
+// with the key exists.
+func (t *Table) Insert(key, value []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.index[string(key)]; ok {
+		return fmt.Errorf("%w: %q", ErrKeyExists, key)
+	}
+	if err := t.ensureSpace(1, tupleOverhead+len(key)+len(value)); err != nil {
+		return err
+	}
+	var lsn wal.LSN
+	if t.log != nil {
+		lsn = t.log.Append(wal.RecInsert, key, value)
+	}
+	t.commit(opInsert, lsn, key, value)
+	t.stats.tuplesInserted.Add(1)
+	return nil
+}
+
+// InsertBatch adds N new tuples under one lock acquisition and one WAL
+// group submission. All-or-nothing: every key is checked against the
+// index (and its predecessors in the batch) and the region's capacity
+// before any entry is logged or placed.
+func (t *Table) InsertBatch(keys, values [][]byte) error {
+	if len(keys) != len(values) {
+		return fmt.Errorf("mheap: InsertBatch keys/values length mismatch")
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	maxNeed := 0
+	for i, k := range keys {
+		if _, ok := t.index[string(k)]; ok {
+			return fmt.Errorf("%w: %q", ErrKeyExists, k)
+		}
+		for j := 0; j < i; j++ {
+			if string(keys[j]) == string(k) {
+				return fmt.Errorf("%w: %q", ErrKeyExists, k)
+			}
+		}
+		if need := tupleOverhead + len(k) + len(values[i]); need > maxNeed {
+			maxNeed = need
+		}
+	}
+	if err := t.ensureSpace(len(keys), maxNeed); err != nil {
+		return err
+	}
+	var first wal.LSN
+	if t.log != nil {
+		first, _ = t.log.AppendBatch(wal.RecInsert, keys, values)
+	}
+	for i, k := range keys {
+		var lsn wal.LSN
+		if t.log != nil {
+			lsn = first + wal.LSN(i)
+		}
+		t.commit(opInsert, lsn, k, values[i])
+	}
+	t.stats.tuplesInserted.Add(uint64(len(keys)))
+	return nil
+}
+
+// Update replaces the value under key MVCC-style: the old version is
+// marked dead in place and a new version is written elsewhere. Without
+// a vacuum the old version's bytes stay resident in the region.
+func (t *Table) Update(key, value []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.index[string(key)]; !ok {
+		return fmt.Errorf("%w: %q", ErrKeyNotFound, key)
+	}
+	if err := t.ensureSpace(1, tupleOverhead+len(key)+len(value)); err != nil {
+		return err
+	}
+	var lsn wal.LSN
+	if t.log != nil {
+		lsn = t.log.Append(wal.RecUpdate, key, value)
+	}
+	t.commit(opUpdate, lsn, key, value)
+	t.stats.tuplesUpdated.Add(1)
+	return nil
+}
+
+// Upsert inserts or updates.
+func (t *Table) Upsert(key, value []byte) error {
+	t.mu.RLock()
+	_, has := t.index[string(key)]
+	t.mu.RUnlock()
+	if has {
+		return t.Update(key, value)
+	}
+	err := t.Insert(key, value)
+	if errors.Is(err, ErrKeyExists) {
+		return t.Update(key, value)
+	}
+	return err
+}
+
+// Delete marks the tuple dead: the index entry goes away but the tuple
+// bytes — and its redo entries — remain in the region until a vacuum.
+func (t *Table) Delete(key []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.index[string(key)]; !ok {
+		return fmt.Errorf("%w: %q", ErrKeyNotFound, key)
+	}
+	var lsn wal.LSN
+	if t.log != nil {
+		lsn = t.log.Append(wal.RecDelete, key, nil)
+	}
+	t.commit(opDelete, lsn, key, nil)
+	t.stats.tuplesDeleted.Add(1)
+	return nil
+}
+
+// BulkLoad fills an empty table from an iterator without per-row WAL or
+// redo records: the recovery path restores checkpoint/reshard images
+// through it and the region bytes are durable the moment they land.
+func (t *Table) BulkLoad(next func() (key, value []byte, ok bool)) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.index) > 0 {
+		return 0, fmt.Errorf("mheap: BulkLoad into non-empty table %q", t.name)
+	}
+	n := 0
+	for {
+		k, v, ok := next()
+		if !ok {
+			return n, nil
+		}
+		if _, dup := t.index[string(k)]; dup {
+			return n, fmt.Errorf("%w: %q", ErrKeyExists, k)
+		}
+		if err := t.ensureSpace(1, tupleOverhead+len(k)+len(v)); err != nil {
+			return n, err
+		}
+		id := t.place(k, v)
+		t.index[string(k)] = id
+		t.stats.tuplesInserted.Add(1)
+		n++
+	}
+}
+
+// Get returns a copy of the value under key.
+func (t *Table) Get(key []byte) ([]byte, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.stats.indexLookups.Add(1)
+	id, ok := t.index[string(key)]
+	if !ok {
+		return nil, false
+	}
+	_, v := t.tupleAt(id)
+	return append([]byte(nil), v...), true
+}
+
+// Has reports whether a live tuple with the key exists.
+func (t *Table) Has(key []byte) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.index[string(key)]
+	return ok
+}
+
+// SeqScan visits every live tuple in physical order until fn returns
+// false. Dead tuples are skipped, but skipping them costs work. The
+// key/value slices passed to fn alias region memory and must not be
+// retained.
+func (t *Table) SeqScan(fn func(key, value []byte) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var pages, tuples, dead uint64
+	defer func() {
+		t.stats.seqScans.Add(1)
+		t.stats.pagesScanned.Add(pages)
+		t.stats.tuplesScanned.Add(tuples)
+		t.stats.deadSkipped.Add(dead)
+	}()
+	for pi := 0; pi < t.nPages(); pi++ {
+		pages++
+		for s := 0; s < t.pteNSlots(pi); s++ {
+			off, _, flag := t.slot(pi, s)
+			if flag == slotUnused {
+				continue
+			}
+			tuples++
+			if flag == slotDead {
+				dead++
+				continue
+			}
+			k, v := t.tuple(pi, off)
+			if !fn(k, v) {
+				return
+			}
+		}
+	}
+}
+
+// Len returns the number of live tuples.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.index)
+}
+
+// Stats returns a snapshot of the work counters.
+func (t *Table) Stats() Counters { return t.stats.snapshot() }
+
+// SpaceStats describes the physical footprint of the table.
+type SpaceStats struct {
+	Pages      int
+	LiveTuples int
+	DeadTuples int
+	LiveBytes  int64
+	DeadBytes  int64
+	// TotalBytes is the full region footprint: header, page tables,
+	// redo area, and pages.
+	TotalBytes int64
+	IndexBytes int64
+}
+
+// Space returns the physical footprint.
+func (t *Table) Space() SpaceStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return SpaceStats{
+		Pages:      t.nPages(),
+		LiveTuples: t.liveTuples,
+		DeadTuples: t.deadTuples,
+		LiveBytes:  t.liveBytes,
+		DeadBytes:  t.deadBytes,
+		TotalBytes: int64(len(t.region)),
+		IndexBytes: int64(len(t.index)) * 48,
+	}
+}
+
+// DeadRatio returns dead/(live+dead) tuples, or 0 for an empty table.
+func (t *Table) DeadRatio() float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	total := t.liveTuples + t.deadTuples
+	if total == 0 {
+		return 0
+	}
+	return float64(t.deadTuples) / float64(total)
+}
+
+// VacuumStats reports what a vacuum pass accomplished.
+type VacuumStats struct {
+	TuplesReclaimed int
+	PagesVisited    int
+	BytesReclaimed  int64
+}
+
+// Vacuum is the lazy VACUUM: it visits only pages known to hold dead
+// tuples, compacts each in place (zeroing the reclaimed range), records
+// reusable space in the FSM, and scrubs the applied redo window so a
+// reclaimed record's redo entries die with its tuple bytes.
+func (t *Table) Vacuum() VacuumStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var vs VacuumStats
+	for pi := range t.dirty {
+		vs.PagesVisited++
+		n, bytesFreed := t.compactPage(pi)
+		vs.TuplesReclaimed += n
+		vs.BytesReclaimed += bytesFreed
+		if t.pageFreeBytes(pi) >= 64 && !t.fsmSet[pi] {
+			t.fsmSet[pi] = true
+			t.fsm = append(t.fsm, pi)
+		}
+	}
+	clear(t.dirty)
+	t.scrubRedoLocked()
+	t.stats.vacuumRuns.Add(1)
+	t.stats.tuplesReclaimed.Add(uint64(vs.TuplesReclaimed))
+	if t.log != nil {
+		t.log.Append(wal.RecVacuum, []byte(t.name), nil)
+	}
+	return vs
+}
+
+// compactPage slides live tuples toward the page end, zeroes the
+// reclaimed range, and turns dead slots unused. Slot numbers are
+// preserved so index TIDs for live tuples stay valid. Caller holds mu.
+func (t *Table) compactPage(pi int) (reclaimed int, bytesFreed int64) {
+	nSlots := t.pteNSlots(pi)
+	// Live slots in order of decreasing offset, so sliding each toward
+	// the page end never overwrites an unmoved tuple.
+	order := make([]int, 0, nSlots)
+	for s := 0; s < nSlots; s++ {
+		if _, _, flag := t.slot(pi, s); flag == slotLive {
+			order = append(order, s)
+		}
+	}
+	for i := 1; i < len(order); i++ {
+		j := i
+		for j > 0 {
+			a, _, _ := t.slot(pi, order[j-1])
+			b, _, _ := t.slot(pi, order[j])
+			if a >= b {
+				break
+			}
+			order[j-1], order[j] = order[j], order[j-1]
+			j--
+		}
+	}
+	po := t.pageOff(pi)
+	newBump := PageSize
+	for _, s := range order {
+		off, size, _ := t.slot(pi, s)
+		dest := newBump - size
+		if dest != off {
+			copy(t.region[po+dest:po+dest+size], t.region[po+off:po+off+size])
+			t.setSlot(pi, s, dest, size, slotLive)
+		}
+		newBump = dest
+	}
+	for s := 0; s < nSlots; s++ {
+		if _, size, flag := t.slot(pi, s); flag == slotDead {
+			t.setSlot(pi, s, 0, 0, slotUnused)
+			reclaimed++
+			bytesFreed += int64(size)
+			t.deadTuples--
+			t.deadBytes -= int64(size)
+		}
+	}
+	// Zero the reclaimed gap so dead bytes are physically erased.
+	clear(t.region[po+t.pteNSlots(pi)*slotSize : po+newBump])
+	t.setPTE(pi, newBump, nSlots, t.pteLive(pi))
+	t.dirtySinceCkpt[pi] = true
+	return reclaimed, bytesFreed
+}
+
+// VacuumFull rewrites every page densely from page 0, zeroing freed
+// space, rebuilding the index, and scrubbing the redo window — the
+// strongest in-engine reclamation.
+func (t *Table) VacuumFull() VacuumStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var vs VacuumStats
+	vs.PagesVisited = t.nPages()
+	type kv struct{ k, v []byte }
+	var rows []kv
+	for pi := 0; pi < t.nPages(); pi++ {
+		for s := 0; s < t.pteNSlots(pi); s++ {
+			off, size, flag := t.slot(pi, s)
+			switch flag {
+			case slotLive:
+				k, v := t.tuple(pi, off)
+				rows = append(rows, kv{append([]byte(nil), k...), append([]byte(nil), v...)})
+			case slotDead:
+				vs.TuplesReclaimed++
+				vs.BytesReclaimed += int64(size)
+			}
+		}
+	}
+	// Reset every page to empty (zeroed) and re-place densely.
+	clear(t.region[t.pagesOff():])
+	for pi := 0; pi < t.nPages(); pi++ {
+		t.setPTE(pi, PageSize, 0, 0)
+		t.dirtySinceCkpt[pi] = true
+	}
+	t.index = make(map[string]tid, len(rows))
+	t.fsm = t.fsm[:0]
+	clear(t.fsmSet)
+	clear(t.dirty)
+	t.liveTuples, t.deadTuples = 0, 0
+	t.liveBytes, t.deadBytes = 0, 0
+	cur := 0
+	for _, r := range rows {
+		s, ok := t.pageInsert(cur, r.k, r.v)
+		if !ok {
+			cur++
+			if s, ok = t.pageInsert(cur, r.k, r.v); !ok {
+				panic("mheap: tuple larger than page during VACUUM FULL")
+			}
+		}
+		t.index[string(r.k)] = makeTID(cur, s)
+	}
+	for pi := 0; pi <= cur && pi < t.nPages(); pi++ {
+		if t.pageFreeBytes(pi) >= 64 && !t.fsmSet[pi] {
+			t.fsmSet[pi] = true
+			t.fsm = append(t.fsm, pi)
+		}
+	}
+	t.scrubRedoLocked()
+	t.stats.vacuumFullRuns.Add(1)
+	t.stats.tuplesReclaimed.Add(uint64(vs.TuplesReclaimed))
+	if t.log != nil {
+		t.log.Append(wal.RecVacuum, []byte(t.name+":full"), nil)
+	}
+	return vs
+}
+
+// RegionSnapshot returns a copy of the durable region — what a crash
+// leaves on "disk". Recovery re-attaches it with Attach.
+func (t *Table) RegionSnapshot() []byte {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]byte(nil), t.region...)
+}
+
+// AppliedLSN returns the WAL LSN of the last mutation applied to the
+// region. Recovery uses it to skip WAL tail records the region already
+// reflects.
+func (t *Table) AppliedLSN() wal.LSN {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return wal.LSN(t.appliedLSN())
+}
+
+// CheckpointRegion takes the engine's part of a checkpoint: snapshot
+// the page table into the shadow copy (the double-buffer a real mmap
+// store would msync) and reset the — fully applied — redo window. No
+// row is serialized anywhere. It returns the number of pages dirtied
+// since the previous snapshot (the O(dirty) msync cost).
+func (t *Table) CheckpointRegion() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	copy(t.region[t.sptOff():t.sptOff()+t.maxPages*pteSize], t.region[t.ptOff():t.ptOff()+t.maxPages*pteSize])
+	t.scrubRedoLocked()
+	t.pu64(offCheckpoints, t.u64(offCheckpoints)+1)
+	n := len(t.dirtySinceCkpt)
+	clear(t.dirtySinceCkpt)
+	return n
+}

@@ -1,0 +1,128 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"github.com/datacase/datacase/internal/storage/mheap"
+	"github.com/datacase/datacase/internal/wal"
+)
+
+// Mmap adapts mheap.Table to the Engine contract: the durable-region
+// backend, where pages ARE the durable state — mutations are
+// redo-logged in-place transactions on a flat byte region, a checkpoint
+// is a page-table snapshot instead of any serialization, and recovery
+// re-attaches the region rather than decoding a segment image. It
+// implements Vacuumer, BatchInserter, RegionBacked, and (by promotion)
+// cryptox.Sanitizable.
+type Mmap struct {
+	*mheap.Table
+	bulkLoads atomic.Uint64
+}
+
+// NewMmap returns a region-backed engine with default geometry. A nil
+// log disables write-ahead logging.
+func NewMmap(name string, log *wal.Log) *Mmap {
+	return &Mmap{Table: mheap.New(name, log, mheap.Options{})}
+}
+
+// NewMmapWithOptions returns a region-backed engine with explicit
+// geometry (tests shrink the redo area to force resets).
+func NewMmapWithOptions(name string, log *wal.Log, opts mheap.Options) *Mmap {
+	return &Mmap{Table: mheap.New(name, log, opts)}
+}
+
+// AttachMmap re-opens an engine from a region snapshot, replaying the
+// embedded redo tail. The engine takes ownership of the slice.
+func AttachMmap(name string, log *wal.Log, region []byte) (*Mmap, error) {
+	t, err := mheap.Attach(name, log, region)
+	if err != nil {
+		return nil, err
+	}
+	return &Mmap{Table: t}, nil
+}
+
+// mapMheapErr translates the region heap's sentinels into the Engine
+// vocabulary, keeping the native error in the chain.
+func mapMheapErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, mheap.ErrKeyExists):
+		return fmt.Errorf("%w: %v", ErrKeyExists, err)
+	case errors.Is(err, mheap.ErrKeyNotFound):
+		return fmt.Errorf("%w: %v", ErrKeyNotFound, err)
+	default:
+		return err
+	}
+}
+
+// Insert adds a new tuple.
+func (m *Mmap) Insert(key, value []byte) error {
+	return mapMheapErr(m.Table.Insert(key, value))
+}
+
+// InsertBatch admits N new tuples under one lock acquisition and one
+// WAL group submission (BatchInserter). All-or-nothing on ErrKeyExists.
+func (m *Mmap) InsertBatch(keys, values [][]byte) error {
+	return mapMheapErr(m.Table.InsertBatch(keys, values))
+}
+
+// Update replaces the value under key MVCC-style.
+func (m *Mmap) Update(key, value []byte) error {
+	return mapMheapErr(m.Table.Update(key, value))
+}
+
+// Upsert inserts or updates.
+func (m *Mmap) Upsert(key, value []byte) error {
+	return mapMheapErr(m.Table.Upsert(key, value))
+}
+
+// Delete marks the tuple dead.
+func (m *Mmap) Delete(key []byte) error {
+	return mapMheapErr(m.Table.Delete(key))
+}
+
+// BulkLoad fills an empty table without per-row logging.
+func (m *Mmap) BulkLoad(next func() (key, value []byte, ok bool)) (int, error) {
+	n, err := m.Table.BulkLoad(next)
+	if err == nil {
+		m.bulkLoads.Add(1)
+	}
+	return n, mapMheapErr(err)
+}
+
+// Stats maps the table's counters onto the Engine vocabulary.
+func (m *Mmap) Stats() Stats {
+	c := m.Table.Stats()
+	return Stats{
+		Inserts:          c.TuplesInserted,
+		Updates:          c.TuplesUpdated,
+		Deletes:          c.TuplesDeleted,
+		Lookups:          c.IndexLookups,
+		Scans:            c.SeqScans,
+		MaintenanceRuns:  c.VacuumRuns + c.VacuumFullRuns,
+		EntriesReclaimed: c.TuplesReclaimed,
+		BulkLoads:        m.bulkLoads.Load(),
+	}
+}
+
+// Space maps the table's footprint onto the Engine vocabulary.
+func (m *Mmap) Space() SpaceStats {
+	sp := m.Table.Space()
+	return SpaceStats{
+		LiveEntries: sp.LiveTuples,
+		DeadEntries: sp.DeadTuples,
+		LiveBytes:   sp.LiveBytes,
+		DeadBytes:   sp.DeadBytes,
+		IndexBytes:  sp.IndexBytes,
+		TotalBytes:  sp.TotalBytes + sp.IndexBytes,
+	}
+}
+
+// VacuumLazy runs the lazy VACUUM and returns the tuples reclaimed.
+func (m *Mmap) VacuumLazy() int { return m.Table.Vacuum().TuplesReclaimed }
+
+// VacuumFullRewrite runs VACUUM FULL and returns the tuples reclaimed.
+func (m *Mmap) VacuumFullRewrite() int { return m.Table.VacuumFull().TuplesReclaimed }
